@@ -1,0 +1,136 @@
+//! AllGather algorithms, including the hybrid-cube-mesh variant used for
+//! the SCCL comparison (§7.5, Figure 11).
+//!
+//! Both algorithms here are *exchange* algorithms: in `log2(R)` steps each
+//! rank swaps everything it holds with a partner, doubling its data. On a
+//! switched fabric any partner order works (recursive doubling); on the
+//! DGX-1 hybrid cube mesh the order `[4, 1, 2]` keeps every exchange on a
+//! directly-wired NVLink pair, which is the structure of the SCCL
+//! synthesized `(1,2,2)` AllGather this reproduction stands in for.
+
+use mscclang::{BufferKind, Collective, Program, Result};
+
+/// Exchange-pattern AllGather: at step `k`, rank `r` exchanges all blocks
+/// it holds with rank `r ^ dists[k]`. Requires `dists` to be a
+/// permutation-free basis covering `0..R` (e.g. powers of two).
+///
+/// # Errors
+///
+/// Propagates DSL errors from the traced operations.
+///
+/// # Panics
+///
+/// Panics if the distances don't multiply out to the rank count or any
+/// distance is zero.
+fn exchange_all_gather(name: &str, num_ranks: usize, dists: &[usize]) -> Result<Program> {
+    assert!(dists.iter().all(|&d| d > 0));
+    assert_eq!(
+        dists.iter().map(|_| 2usize).product::<usize>(),
+        num_ranks,
+        "each exchange step doubles coverage; need log2(R) steps"
+    );
+    let coll = Collective::all_gather(num_ranks, 1, true);
+    let mut p = Program::new(name, coll);
+    // Blocks each rank currently holds; starts with its own (the input
+    // chunk aliases output block r in the in-place layout).
+    let mut held: Vec<Vec<usize>> = (0..num_ranks).map(|r| vec![r]).collect();
+    for &d in dists {
+        let snapshot = held.clone();
+        for r in 0..num_ranks {
+            let partner = r ^ d;
+            for &b in &snapshot[r] {
+                let c = if snapshot[r].len() == 1 && b == r {
+                    p.chunk(r, BufferKind::Input, 0, 1)?
+                } else {
+                    p.chunk(r, BufferKind::Output, b, 1)?
+                };
+                let _ = p.copy(&c, partner, BufferKind::Output, b)?;
+            }
+            held[r].extend(snapshot[partner].iter().copied());
+        }
+    }
+    Ok(p)
+}
+
+/// Recursive-doubling AllGather over a power-of-two rank count: partners
+/// at distance 1, 2, 4, ….
+///
+/// # Errors
+///
+/// Propagates DSL errors from the traced operations.
+///
+/// # Panics
+///
+/// Panics if `num_ranks` is not a power of two greater than 1.
+pub fn recursive_doubling_all_gather(num_ranks: usize) -> Result<Program> {
+    assert!(num_ranks.is_power_of_two() && num_ranks >= 2);
+    let dists: Vec<usize> = (0..num_ranks.trailing_zeros())
+        .map(|k| 1usize << k)
+        .collect();
+    exchange_all_gather("recursive_doubling_allgather", num_ranks, &dists)
+}
+
+/// The 3-step AllGather for the DGX-1 hybrid cube mesh (§7.5): exchange
+/// across the boards first (distance 4, the double-width cross-board
+/// links), then within each quad (distances 1 and 2). Every transfer runs
+/// over a directly-connected NVLink pair.
+///
+/// # Errors
+///
+/// Propagates DSL errors from the traced operations.
+pub fn hcm_allgather() -> Result<Program> {
+    exchange_all_gather("hcm_allgather", 8, &[4, 1, 2])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msccl_topology::Machine;
+    use mscclang::{compile, CompileOptions};
+
+    #[test]
+    fn recursive_doubling_validates() {
+        for n in [2, 4, 8, 16] {
+            let p = recursive_doubling_all_gather(n).unwrap();
+            p.validate().unwrap();
+            let _ = compile(&p, &CompileOptions::default()).unwrap();
+        }
+    }
+
+    #[test]
+    fn hcm_validates_and_compiles() {
+        let p = hcm_allgather().unwrap();
+        p.validate().unwrap();
+        let ir = compile(&p, &CompileOptions::default()).unwrap();
+        assert_eq!(ir.num_ranks(), 8);
+    }
+
+    #[test]
+    fn hcm_only_uses_wired_pairs() {
+        let machine = Machine::dgx1();
+        let p = hcm_allgather().unwrap();
+        for op in p.ops() {
+            if op.src.rank != op.dst.rank {
+                assert!(
+                    machine.nvlink_lanes(op.src.rank, op.dst.rank) > 0,
+                    "transfer {} -> {} has no direct NVLink on DGX-1",
+                    op.src.rank,
+                    op.dst.rank
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn hcm_is_three_steps() {
+        // Each rank sends 1 + 2 + 4 = 7 blocks total.
+        let p = hcm_allgather().unwrap();
+        assert_eq!(p.ops().len(), 8 * 7);
+    }
+
+    #[test]
+    #[should_panic]
+    fn recursive_doubling_rejects_non_power_of_two() {
+        let _ = recursive_doubling_all_gather(6);
+    }
+}

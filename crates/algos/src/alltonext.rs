@@ -1,0 +1,128 @@
+//! AllToNext — the paper's custom collective (§7.4, Figure 10).
+//!
+//! GPU `i` sends a buffer to GPU `i + 1`; the last GPU sends nothing. A
+//! naive implementation bottlenecks on the single InfiniBand connection at
+//! each node boundary. AllToNext instead splits the buffer into `G` chunks
+//! at every boundary, scatters them over the sending node's GPUs via
+//! NVLink, crosses the boundary on **all** `G` IB connections in parallel,
+//! and gathers on the receiving side.
+
+use mscclang::{BufferKind, Collective, Program, Result};
+
+/// Builds AllToNext for `num_nodes` nodes of `gpus_per_node` GPUs, with
+/// one chunk per local GPU (`chunk_factor = G`) so boundary transfers can
+/// use every IB link.
+///
+/// Scratch layout per rank: index 0 stages the outgoing boundary scatter,
+/// index 1 stages the incoming boundary gather.
+///
+/// # Errors
+///
+/// Propagates DSL errors from the traced operations.
+///
+/// # Panics
+///
+/// Panics if `num_nodes < 2` or `gpus_per_node == 0`.
+pub fn all_to_next(num_nodes: usize, gpus_per_node: usize) -> Result<Program> {
+    let (n_dim, g_dim) = (num_nodes, gpus_per_node);
+    assert!(
+        n_dim >= 2,
+        "alltonext across nodes needs at least two nodes"
+    );
+    assert!(g_dim >= 1, "need at least one GPU per node");
+    let rank = |node: usize, gpu: usize| node * g_dim + gpu;
+    let num_ranks = n_dim * g_dim;
+    let coll = Collective::all_to_next(num_ranks, g_dim);
+    let mut p = Program::new("alltonext", coll);
+
+    for src in 0..num_ranks - 1 {
+        let dst = src + 1;
+        if src / g_dim == dst / g_dim {
+            // Same node: one direct NVLink copy of the whole buffer.
+            let c = p.chunk(src, BufferKind::Input, 0, g_dim)?;
+            let _ = p.copy(&c, dst, BufferKind::Output, 0)?;
+        } else {
+            // Node boundary: src = (n, G-1), dst = (n+1, 0).
+            let node = src / g_dim;
+            for g in 0..g_dim {
+                let c = p.chunk(src, BufferKind::Input, g, 1)?;
+                // Scatter chunk g onto GPU (node, g) over NVLink.
+                let c = if rank(node, g) != src {
+                    p.copy(&c, rank(node, g), BufferKind::Scratch, 0)?
+                } else {
+                    c
+                };
+                // Cross the boundary on GPU pair (node, g) -> (node+1, g).
+                if rank(node + 1, g) == dst {
+                    let _ = p.copy(&c, dst, BufferKind::Output, g)?;
+                } else {
+                    let c = p.copy(&c, rank(node + 1, g), BufferKind::Scratch, 1)?;
+                    // Gather on the destination over NVLink.
+                    let _ = p.copy(&c, dst, BufferKind::Output, g)?;
+                }
+            }
+        }
+    }
+    Ok(p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mscclang::{compile, CompileOptions};
+
+    #[test]
+    fn validates_and_compiles() {
+        for (n, g) in [(2, 2), (2, 3), (3, 4)] {
+            let p = all_to_next(n, g).unwrap();
+            p.validate().unwrap();
+            let ir = compile(&p, &CompileOptions::default()).unwrap();
+            assert_eq!(ir.num_ranks(), n * g);
+        }
+    }
+
+    #[test]
+    fn boundary_uses_all_gpu_pairs() {
+        let (n, g) = (2, 4);
+        let p = all_to_next(n, g).unwrap();
+        // Cross-node ops: exactly g transfers over the boundary, one per
+        // GPU pair.
+        let cross: Vec<_> = p
+            .ops()
+            .iter()
+            .filter(|o| o.src.rank / g != o.dst.rank / g)
+            .collect();
+        assert_eq!(cross.len(), g);
+        let pairs: std::collections::HashSet<_> = cross
+            .iter()
+            .map(|o| (o.src.rank % g, o.dst.rank % g))
+            .collect();
+        assert_eq!(
+            pairs.len(),
+            g,
+            "each boundary transfer uses a distinct GPU pair"
+        );
+    }
+
+    #[test]
+    fn intra_node_hops_are_whole_buffer() {
+        let (n, g) = (2, 3);
+        let p = all_to_next(n, g).unwrap();
+        let whole = p.ops().iter().filter(|o| o.count == g).count();
+        // G-1 intra-node hops per node.
+        assert_eq!(whole, n * (g - 1));
+    }
+
+    #[test]
+    fn works_with_instances() {
+        let p = all_to_next(2, 2).unwrap();
+        let _ = compile(&p, &CompileOptions::default().with_instances(4)).unwrap();
+    }
+
+    #[test]
+    fn single_gpu_nodes_degenerate_to_direct_sends() {
+        let p = all_to_next(3, 1).unwrap();
+        p.validate().unwrap();
+        assert_eq!(p.ops().len(), 2);
+    }
+}

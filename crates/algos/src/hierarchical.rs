@@ -1,0 +1,131 @@
+//! Hierarchical AllReduce — the paper's running example (Figure 3, §2).
+//!
+//! For `N` nodes with `G` GPUs each, the input splits into `N × G` chunks
+//! and the algorithm proceeds in four phases: an intra-node ReduceScatter,
+//! an inter-node ReduceScatter, an inter-node AllGather and an intra-node
+//! AllGather, all expressed with the Ring helpers of Figure 3b.
+//!
+//! Scheduling follows §5.1: the intra-node ReduceScatters run on channel 0,
+//! the inter-node phases on channel 1, and the intra-node AllGathers on
+//! channel 2; the intra-node phases are chunk-parallelized by `N`.
+
+use mscclang::{Collective, Program, Result};
+
+use crate::ring::{ring_all_gather, ring_reduce_scatter};
+
+/// Builds the hierarchical AllReduce for `num_nodes` nodes of
+/// `gpus_per_node` GPUs (Figure 3a).
+///
+/// # Errors
+///
+/// Propagates DSL errors from the traced operations.
+///
+/// # Panics
+///
+/// Panics unless both dimensions are at least 2 (a single node has no
+/// inter-node phase; a single GPU per node has no intra-node phase).
+pub fn hierarchical_all_reduce(num_nodes: usize, gpus_per_node: usize) -> Result<Program> {
+    let (n, g) = (num_nodes, gpus_per_node);
+    assert!(
+        n >= 2 && g >= 2,
+        "hierarchical allreduce needs >= 2 nodes and >= 2 GPUs per node"
+    );
+    let coll = Collective::all_reduce(n * g, n * g, true);
+    let mut p = Program::new("hierarchical_allreduce", coll);
+
+    // Intra-node ReduceScatter (channel 0, parallelized by N).
+    for node in 0..n {
+        let local_ranks: Vec<usize> = (0..g).map(|i| i + node * g).collect();
+        p.parallelize(n, |p| ring_reduce_scatter(p, &local_ranks, 0, n, 0))?;
+    }
+
+    // Inter-node ReduceScatter + AllGather (channel 1).
+    for gpu in 0..g {
+        let cross_ranks: Vec<usize> = (0..n).map(|i| i * g + gpu).collect();
+        ring_reduce_scatter(&mut p, &cross_ranks, gpu * n, 1, 1)?;
+        ring_all_gather_scattered(&mut p, &cross_ranks, gpu * n, 1, 1)?;
+    }
+
+    // Intra-node AllGather (channel 2, parallelized by N).
+    for node in 0..n {
+        let local_ranks: Vec<usize> = (0..g).map(|i| i + node * g).collect();
+        p.parallelize(n, |p| ring_all_gather_scattered(p, &local_ranks, 0, n, 2))?;
+    }
+    Ok(p)
+}
+
+/// Ring AllGather matching the data placement a ring ReduceScatter leaves
+/// behind: block `r` starts on ring member `r` (where the ReduceScatter
+/// finished) instead of being that member's original data.
+fn ring_all_gather_scattered(
+    p: &mut Program,
+    ranks: &[usize],
+    offset: usize,
+    count: usize,
+    channel: usize,
+) -> Result<()> {
+    ring_all_gather(p, ranks, offset, count, channel)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mscclang::{compile, verify, CompileOptions, OpCode};
+
+    #[test]
+    fn validates_for_paper_example_dimensions() {
+        // Figure 1 uses N = 2 nodes and G = 3 GPUs.
+        let p = hierarchical_all_reduce(2, 3).unwrap();
+        p.validate().unwrap();
+    }
+
+    #[test]
+    fn compiles_and_verifies() {
+        for (n, g) in [(2, 2), (2, 3), (3, 2)] {
+            let p = hierarchical_all_reduce(n, g).unwrap();
+            let ir = compile(&p, &CompileOptions::default()).unwrap();
+            assert_eq!(ir.num_ranks(), n * g);
+            // Channel directives 0..2 are honored (plus instance shifts
+            // from the parallelize scopes).
+            assert!(ir.num_channels >= 3);
+        }
+    }
+
+    #[test]
+    fn intra_node_phases_are_parallelized() {
+        let p = hierarchical_all_reduce(2, 2).unwrap();
+        // Intra ops carry fragment factor 2, inter ops factor 1.
+        let intra = p.ops().iter().filter(|o| o.fragment_factor == 2).count();
+        let inter = p.ops().iter().filter(|o| o.fragment_factor == 1).count();
+        assert!(intra > 0 && inter > 0);
+    }
+
+    #[test]
+    fn uses_fused_reductions() {
+        let p = hierarchical_all_reduce(2, 3).unwrap();
+        let ir = compile(&p, &CompileOptions::default()).unwrap();
+        let fused = ir
+            .gpus
+            .iter()
+            .flat_map(|g| &g.threadblocks)
+            .flat_map(|t| &t.instructions)
+            .filter(|i| {
+                matches!(
+                    i.op,
+                    OpCode::RecvReduceCopySend | OpCode::RecvReduceSend | OpCode::RecvCopySend
+                )
+            })
+            .count();
+        assert!(
+            fused > 0,
+            "hierarchical allreduce should contain fused instructions"
+        );
+    }
+
+    #[test]
+    fn verifies_with_extra_instances() {
+        let p = hierarchical_all_reduce(2, 2).unwrap();
+        let ir = compile(&p, &CompileOptions::default().with_instances(2)).unwrap();
+        verify::check(&ir, &verify::VerifyOptions::default()).unwrap();
+    }
+}

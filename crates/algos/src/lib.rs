@@ -1,0 +1,54 @@
+//! Collective communication algorithms written in the MSCCLang DSL.
+//!
+//! Every algorithm the paper implements or evaluates is here:
+//!
+//! * [`ring`] — Ring ReduceScatter / AllGather / AllReduce (Figure 3b and
+//!   §7.1.1), with the logical ring distributable across multiple channels;
+//! * [`hierarchical`] — the hierarchical AllReduce running example
+//!   (Figure 3a, §2 and §7.2);
+//! * [`allpairs`] — the All Pairs AllReduce developed for small buffers
+//!   (§7.1.2);
+//! * [`alltoall`] — the naive one-step and the Two-Step AllToAll
+//!   (Figure 9, §7.3);
+//! * [`alltonext`] — the custom AllToNext collective (Figure 10, §7.4);
+//! * [`allgather`] — AllGather variants, including the 3-step
+//!   hybrid-cube-mesh algorithm used for the SCCL comparison (§7.5) and a
+//!   recursive-doubling variant;
+//! * [`tree`] — a binary tree AllReduce (the shape NCCL uses for small
+//!   multi-node buffers);
+//! * [`rooted`] — Broadcast, Reduce, Gather and Scatter, completing the
+//!   MPI surface.
+//!
+//! All programs are written in the paper's chunk-oriented style — a few
+//! dozen lines of routing logic each — and validate against their
+//! collective's postcondition.
+
+pub mod allgather;
+pub mod allpairs;
+pub mod alltoall;
+pub mod alltonext;
+pub mod hierarchical;
+pub mod rabenseifner;
+pub mod ring;
+pub mod rooted;
+pub mod tree;
+
+pub use allgather::{hcm_allgather, recursive_doubling_all_gather};
+pub use allpairs::allpairs_all_reduce;
+pub use alltoall::{one_step_all_to_all, three_step_all_to_all, two_step_all_to_all};
+pub use alltonext::all_to_next;
+pub use hierarchical::hierarchical_all_reduce;
+pub use rabenseifner::rabenseifner_all_reduce;
+pub use ring::{
+    ring_all_gather, ring_all_gather_program, ring_all_reduce, ring_reduce_scatter,
+    ring_reduce_scatter_program,
+};
+pub use rooted::{binomial_broadcast, binomial_reduce, linear_gather, linear_scatter};
+pub use tree::{binary_tree_all_reduce, double_binary_tree_all_reduce};
+
+/// Counts the `copy`/`reduce` statements a program traced — the paper
+/// reports all its algorithms need fewer than 30 lines of DSL code (§7).
+#[must_use]
+pub fn routing_op_count(program: &mscclang::Program) -> usize {
+    program.ops().len()
+}

@@ -1,0 +1,115 @@
+//! Rabenseifner's AllReduce: recursive-halving ReduceScatter followed by
+//! recursive-doubling AllGather.
+//!
+//! The classic bandwidth-optimal algorithm for power-of-two rank counts
+//! (Thakur, Rabenseifner & Gropp, 2005 — reference \[41\] of the MSCCLang
+//! paper): `log2 R` exchange steps in each phase, each moving half the
+//! data of the previous step, for a total transfer of `2·(R−1)/R · B`
+//! with only `2·log2 R` latency steps — Ring's bandwidth at Tree-like
+//! latency.
+
+use mscclang::{BufferKind, Collective, Program, Result};
+
+/// In-place Rabenseifner AllReduce over a power-of-two `num_ranks`.
+/// The buffer splits into `num_ranks` chunks.
+///
+/// # Errors
+///
+/// Propagates DSL errors from the traced operations.
+///
+/// # Panics
+///
+/// Panics unless `num_ranks` is a power of two ≥ 2.
+pub fn rabenseifner_all_reduce(num_ranks: usize) -> Result<Program> {
+    assert!(
+        num_ranks.is_power_of_two() && num_ranks >= 2,
+        "rabenseifner needs a power-of-two rank count"
+    );
+    let coll = Collective::all_reduce(num_ranks, num_ranks, true);
+    let mut p = Program::new("rabenseifner_allreduce", coll);
+    let log = num_ranks.trailing_zeros() as usize;
+
+    // Phase 1 — recursive halving ReduceScatter.
+    //
+    // Invariant: before step k, rank r is responsible for the contiguous
+    // block of `R >> k` chunks starting at `r & !(block - 1)` (the high
+    // bits of r fixed so far pick the block). Step k pairs r with
+    // `r ^ (block/2)`; each rank keeps the half of its block selected by
+    // that same bit of its own rank and reduces the partner's copy of it.
+    for k in 0..log {
+        let block = num_ranks >> k;
+        let half = block / 2;
+        for r in 0..num_ranks {
+            let partner = r ^ half;
+            let base = r & !(block - 1);
+            let keep_low = (r & half) == 0;
+            let send_base = if keep_low { base + half } else { base };
+            // Partner reduces our half into its buffer.
+            let src = p.chunk(r, BufferKind::Input, send_base, half)?;
+            let dst = p.chunk(partner, BufferKind::Input, send_base, half)?;
+            let _ = p.reduce(&dst, &src)?;
+        }
+    }
+
+    // Phase 2 — recursive doubling AllGather: reverse the exchanges,
+    // copying instead of reducing, with owned blocks growing back.
+    for k in (0..log).rev() {
+        let block = num_ranks >> k;
+        let half = block / 2;
+        for r in 0..num_ranks {
+            let partner = r ^ half;
+            let base = r & !(block - 1);
+            let keep_low = (r & half) == 0;
+            // Send the half this rank OWNS (fully reduced) to the partner.
+            let own_base = if keep_low { base } else { base + half };
+            let src = p.chunk(r, BufferKind::Input, own_base, half)?;
+            let _ = p.copy(&src, partner, BufferKind::Input, own_base)?;
+        }
+    }
+    Ok(p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mscclang::{compile, CompileOptions, IrStats};
+
+    #[test]
+    fn validates_for_powers_of_two() {
+        for n in [2usize, 4, 8, 16] {
+            let p = rabenseifner_all_reduce(n).unwrap();
+            p.validate().unwrap_or_else(|e| panic!("{n} ranks: {e}"));
+            let _ = compile(&p, &CompileOptions::default()).unwrap();
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power-of-two")]
+    fn rejects_non_power_of_two() {
+        let _ = rabenseifner_all_reduce(6);
+    }
+
+    #[test]
+    fn latency_is_logarithmic_bandwidth_is_ring_like() {
+        let n = 8;
+        let p = rabenseifner_all_reduce(n).unwrap();
+        let ir = compile(&p, &CompileOptions::default()).unwrap();
+        let stats = IrStats::compute(&ir);
+        // 2*log2(8) = 6 communication steps on the critical path.
+        assert_eq!(stats.critical_hops, 2 * 3);
+        // Total chunks sent per rank = 2*(R-1) across all ranks:
+        // (4+2+1) down + (1+2+4) up = 14 per rank -> 112 total.
+        assert_eq!(stats.chunks_sent, 2 * (n - 1) * n);
+    }
+
+    #[test]
+    fn beats_ring_on_hops_matches_on_volume() {
+        let n = 16;
+        let rab = rabenseifner_all_reduce(n).unwrap();
+        let ring = crate::ring::ring_all_reduce(n, 1).unwrap();
+        let rab_stats = IrStats::compute(&compile(&rab, &CompileOptions::default()).unwrap());
+        let ring_stats = IrStats::compute(&compile(&ring, &CompileOptions::default()).unwrap());
+        assert!(rab_stats.critical_hops < ring_stats.critical_hops);
+        assert_eq!(rab_stats.chunks_sent, ring_stats.chunks_sent);
+    }
+}

@@ -1,0 +1,237 @@
+//! Ring algorithms (Figure 3b, §7.1.1).
+//!
+//! A Ring AllReduce over `R` ranks divides each input buffer into `R`
+//! chunks; every chunk traverses the logical ring twice — once reducing
+//! (ReduceScatter) and once copying (AllGather). The MSCCLang
+//! implementation from the paper distributes the single logical ring
+//! across multiple channels by varying the channel of copy and reduce
+//! operations, which lets transfers of different chunks overlap.
+
+use mscclang::{BufferKind, Collective, Program, Result};
+
+/// Ring ReduceScatter over `ranks` (Figure 3b).
+///
+/// Routes, for each position `r` in the ring, the chunks at
+/// `offset + r*count` around the ring, reducing at every hop. The
+/// reduction for position `r` starts at ring member `r + 1` and ends at
+/// member `r`, leaving member `r` with the reduced block. The transfers
+/// use `channel`.
+///
+/// # Errors
+///
+/// Propagates DSL errors from the traced operations.
+pub fn ring_reduce_scatter(
+    p: &mut Program,
+    ranks: &[usize],
+    offset: usize,
+    count: usize,
+    channel: usize,
+) -> Result<()> {
+    let r_len = ranks.len();
+    for r in 0..r_len {
+        let index = offset + r * count;
+        let mut c = p.chunk(ranks[(r + 1) % r_len], BufferKind::Input, index, count)?;
+        for step in 1..r_len {
+            let next = ranks[(step + r + 1) % r_len];
+            let dst = p.chunk(next, BufferKind::Input, index, count)?;
+            c = p.reduce_on(&dst, &c, channel)?;
+        }
+    }
+    Ok(())
+}
+
+/// Ring AllGather over `ranks` (Figure 3b).
+///
+/// Routes each ring member's block at `offset + r*count` around the ring,
+/// copying at every hop, on `channel`.
+///
+/// # Errors
+///
+/// Propagates DSL errors from the traced operations.
+pub fn ring_all_gather(
+    p: &mut Program,
+    ranks: &[usize],
+    offset: usize,
+    count: usize,
+    channel: usize,
+) -> Result<()> {
+    let r_len = ranks.len();
+    for r in 0..r_len {
+        let index = offset + r * count;
+        let mut c = p.chunk(ranks[r], BufferKind::Input, index, count)?;
+        for step in 1..r_len {
+            let next = ranks[(step + r) % r_len];
+            c = p.copy_on(&c, next, BufferKind::Input, index, channel)?;
+        }
+    }
+    Ok(())
+}
+
+/// In-place Ring AllReduce over `num_ranks` ranks: a ReduceScatter
+/// followed by an AllGather, with the logical ring distributed across
+/// `channels` channels (§7.1.1).
+///
+/// Chunk `r`'s ring runs entirely on channel `r % channels`, so with
+/// `channels > 1` the rings for different chunks proceed in parallel on
+/// redundant connections.
+///
+/// # Errors
+///
+/// Propagates DSL errors from the traced operations.
+///
+/// # Panics
+///
+/// Panics if `num_ranks < 2` or `channels == 0`.
+pub fn ring_all_reduce(num_ranks: usize, channels: usize) -> Result<Program> {
+    assert!(num_ranks >= 2, "a ring needs at least two ranks");
+    assert!(channels >= 1, "need at least one channel");
+    let coll = Collective::all_reduce(num_ranks, num_ranks, true);
+    let mut p = Program::new(format!("ring_allreduce_ch{channels}"), coll);
+    let ranks: Vec<usize> = (0..num_ranks).collect();
+    for r in 0..num_ranks {
+        let ch = r % channels;
+        // ReduceScatter leg for chunk r.
+        let mut c = p.chunk(ranks[(r + 1) % num_ranks], BufferKind::Input, r, 1)?;
+        for step in 1..num_ranks {
+            let next = ranks[(step + r + 1) % num_ranks];
+            let dst = p.chunk(next, BufferKind::Input, r, 1)?;
+            c = p.reduce_on(&dst, &c, ch)?;
+        }
+        // AllGather leg for chunk r (starts at the rank holding the sum).
+        for step in 0..(num_ranks - 1) {
+            let next = ranks[(r + 1 + step) % num_ranks];
+            c = p.copy_on(&c, next, BufferKind::Input, r, ch)?;
+        }
+    }
+    Ok(p)
+}
+
+/// Standalone in-place Ring ReduceScatter program over `num_ranks` ranks
+/// (`chunk_factor` chunks land on each rank).
+///
+/// # Errors
+///
+/// Propagates DSL errors from the traced operations.
+///
+/// # Panics
+///
+/// Panics if `num_ranks < 2` or `chunk_factor == 0`.
+pub fn ring_reduce_scatter_program(num_ranks: usize, chunk_factor: usize) -> Result<Program> {
+    assert!(num_ranks >= 2 && chunk_factor >= 1);
+    let coll = Collective::reduce_scatter(num_ranks, chunk_factor, true);
+    let mut p = Program::new("ring_reduce_scatter", coll);
+    let ranks: Vec<usize> = (0..num_ranks).collect();
+    // Block r (chunk_factor chunks) must end, fully reduced, on rank r:
+    // start the lap at rank r+1 so it terminates at r.
+    ring_reduce_scatter(&mut p, &ranks, 0, chunk_factor, 0)?;
+    Ok(p)
+}
+
+/// Standalone in-place Ring AllGather program over `num_ranks` ranks
+/// (each rank contributes `chunk_factor` chunks).
+///
+/// # Errors
+///
+/// Propagates DSL errors from the traced operations.
+///
+/// # Panics
+///
+/// Panics if `num_ranks < 2` or `chunk_factor == 0`.
+pub fn ring_all_gather_program(num_ranks: usize, chunk_factor: usize) -> Result<Program> {
+    assert!(num_ranks >= 2 && chunk_factor >= 1);
+    let coll = Collective::all_gather(num_ranks, chunk_factor, true);
+    let mut p = Program::new("ring_allgather", coll);
+    for r in 0..num_ranks {
+        let mut c = p.chunk(r, BufferKind::Input, 0, chunk_factor)?;
+        for step in 1..num_ranks {
+            let next = (r + step) % num_ranks;
+            c = p.copy(&c, next, BufferKind::Output, r * chunk_factor)?;
+        }
+    }
+    Ok(p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mscclang::{compile, verify, CompileOptions};
+
+    #[test]
+    fn ring_allreduce_validates_and_compiles() {
+        for n in [2, 4, 8] {
+            let p = ring_all_reduce(n, 1).unwrap();
+            p.validate().unwrap();
+            let ir = compile(&p, &CompileOptions::default()).unwrap();
+            assert_eq!(ir.num_ranks(), n);
+        }
+    }
+
+    #[test]
+    fn multi_channel_ring_uses_more_channels() {
+        let p1 = ring_all_reduce(8, 1).unwrap();
+        let p4 = ring_all_reduce(8, 4).unwrap();
+        let ir1 = compile(&p1, &CompileOptions::default()).unwrap();
+        let ir4 = compile(&p4, &CompileOptions::default()).unwrap();
+        assert_eq!(ir1.num_channels, 1);
+        assert_eq!(ir4.num_channels, 4);
+        // More channels means more thread blocks per rank.
+        assert!(ir4.max_threadblocks_per_rank() > ir1.max_threadblocks_per_rank());
+    }
+
+    #[test]
+    fn ring_with_instances_verifies() {
+        let p = ring_all_reduce(4, 2).unwrap();
+        let ir = compile(&p, &CompileOptions::default().with_instances(3)).unwrap();
+        verify::check(&ir, &verify::VerifyOptions::default()).unwrap();
+    }
+
+    #[test]
+    fn reduce_scatter_and_allgather_helpers_compose() {
+        // Compose the Fig. 3b helpers directly into an AllReduce.
+        let n = 4;
+        let coll = Collective::all_reduce(n, n, true);
+        let mut p = Program::new("composed", coll);
+        let ranks: Vec<usize> = (0..n).collect();
+        ring_reduce_scatter(&mut p, &ranks, 0, 1, 0).unwrap();
+        ring_all_gather_from_scatter(&mut p, &ranks).unwrap();
+        p.validate().unwrap();
+    }
+
+    /// AllGather step matching the state `ring_reduce_scatter` leaves: the
+    /// reduced block `r` sits on ring member `r`.
+    fn ring_all_gather_from_scatter(p: &mut Program, ranks: &[usize]) -> Result<()> {
+        let n = ranks.len();
+        for r in 0..n {
+            let mut c = p.chunk(ranks[r], BufferKind::Input, r, 1)?;
+            for step in 1..n {
+                let next = ranks[(r + step) % n];
+                c = p.copy(&c, next, BufferKind::Input, r)?;
+            }
+        }
+        Ok(())
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two ranks")]
+    fn rejects_single_rank() {
+        let _ = ring_all_reduce(1, 1);
+    }
+
+    #[test]
+    fn standalone_reduce_scatter_validates() {
+        for n in [2, 4, 5] {
+            let p = ring_reduce_scatter_program(n, 2).unwrap();
+            p.validate().unwrap();
+            let _ = compile(&p, &CompileOptions::default()).unwrap();
+        }
+    }
+
+    #[test]
+    fn standalone_all_gather_validates() {
+        for n in [2, 4, 5] {
+            let p = ring_all_gather_program(n, 2).unwrap();
+            p.validate().unwrap();
+            let _ = compile(&p, &CompileOptions::default()).unwrap();
+        }
+    }
+}

@@ -1,0 +1,173 @@
+//! Rooted collectives: Broadcast, Reduce, Gather and Scatter.
+//!
+//! These are not part of the paper's evaluation, but they complete the MPI
+//! surface the DSL supports (§3.2 defines collectives purely by pre- and
+//! postconditions, so nothing new is needed in the compiler) and exercise
+//! postconditions with unconstrained entries.
+
+use mscclang::{BufferKind, Collective, Program, Result};
+
+/// Binomial-tree Broadcast from `root`: at step `k` every rank that
+/// already holds the data forwards it to the rank `2^k` positions away
+/// (in root-relative numbering), reaching all ranks in `ceil(log2 R)`
+/// steps.
+///
+/// # Errors
+///
+/// Propagates DSL errors from the traced operations.
+///
+/// # Panics
+///
+/// Panics if dimensions are zero or `root` is out of range.
+pub fn binomial_broadcast(num_ranks: usize, chunk_factor: usize, root: usize) -> Result<Program> {
+    assert!(num_ranks >= 2 && chunk_factor >= 1 && root < num_ranks);
+    let coll = Collective::broadcast(num_ranks, chunk_factor, root);
+    let mut p = Program::new("binomial_broadcast", coll);
+    // Root seeds its own output.
+    let c = p.chunk(root, BufferKind::Input, 0, chunk_factor)?;
+    let _ = p.copy(&c, root, BufferKind::Output, 0)?;
+    let mut covered = 1usize;
+    while covered < num_ranks {
+        for offset in 0..covered.min(num_ranks - covered) {
+            let from = (root + offset) % num_ranks;
+            let to = (root + covered + offset) % num_ranks;
+            let c = p.chunk(from, BufferKind::Output, 0, chunk_factor)?;
+            let _ = p.copy(&c, to, BufferKind::Output, 0)?;
+        }
+        covered *= 2;
+    }
+    Ok(p)
+}
+
+/// Binomial-tree Reduce to `root`: the mirror image of the broadcast —
+/// partial sums combine pairwise until everything lands on the root.
+///
+/// # Errors
+///
+/// Propagates DSL errors from the traced operations.
+///
+/// # Panics
+///
+/// Panics if dimensions are zero or `root` is out of range.
+pub fn binomial_reduce(num_ranks: usize, chunk_factor: usize, root: usize) -> Result<Program> {
+    assert!(num_ranks >= 2 && chunk_factor >= 1 && root < num_ranks);
+    let coll = Collective::reduce(num_ranks, chunk_factor, root);
+    let mut p = Program::new("binomial_reduce", coll);
+    // Work in the input buffers (root-relative rank `i` is
+    // `(root + i) % R`), then publish the root's total.
+    let mut stride = 1usize;
+    while stride < num_ranks {
+        let mut offset = 0;
+        while offset + stride < num_ranks {
+            let dst_rank = (root + offset) % num_ranks;
+            let src_rank = (root + offset + stride) % num_ranks;
+            let dst = p.chunk(dst_rank, BufferKind::Input, 0, chunk_factor)?;
+            let src = p.chunk(src_rank, BufferKind::Input, 0, chunk_factor)?;
+            let _ = p.reduce(&dst, &src)?;
+            offset += stride * 2;
+        }
+        stride *= 2;
+    }
+    let total = p.chunk(root, BufferKind::Input, 0, chunk_factor)?;
+    let _ = p.copy(&total, root, BufferKind::Output, 0)?;
+    Ok(p)
+}
+
+/// Linear Gather to `root`: every rank sends its buffer directly.
+///
+/// # Errors
+///
+/// Propagates DSL errors from the traced operations.
+///
+/// # Panics
+///
+/// Panics if dimensions are zero or `root` is out of range.
+pub fn linear_gather(num_ranks: usize, chunk_factor: usize, root: usize) -> Result<Program> {
+    assert!(num_ranks >= 1 && chunk_factor >= 1 && root < num_ranks);
+    let coll = Collective::gather(num_ranks, chunk_factor, root);
+    let mut p = Program::new("linear_gather", coll);
+    for r in 0..num_ranks {
+        let c = p.chunk(r, BufferKind::Input, 0, chunk_factor)?;
+        let _ = p.copy(&c, root, BufferKind::Output, r * chunk_factor)?;
+    }
+    Ok(p)
+}
+
+/// Linear Scatter from `root`: the root sends block `r` to rank `r`.
+///
+/// # Errors
+///
+/// Propagates DSL errors from the traced operations.
+///
+/// # Panics
+///
+/// Panics if dimensions are zero or `root` is out of range.
+pub fn linear_scatter(num_ranks: usize, chunk_factor: usize, root: usize) -> Result<Program> {
+    assert!(num_ranks >= 1 && chunk_factor >= 1 && root < num_ranks);
+    let coll = Collective::scatter(num_ranks, chunk_factor, root);
+    let mut p = Program::new("linear_scatter", coll);
+    for r in 0..num_ranks {
+        let c = p.chunk(root, BufferKind::Input, r * chunk_factor, chunk_factor)?;
+        let _ = p.copy(&c, r, BufferKind::Output, 0)?;
+    }
+    Ok(p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mscclang::{compile, CompileOptions};
+
+    #[test]
+    fn broadcast_validates_for_all_roots_and_sizes() {
+        for n in [2, 3, 5, 8] {
+            for root in [0, n - 1] {
+                let p = binomial_broadcast(n, 2, root).unwrap();
+                p.validate().unwrap();
+                let _ = compile(&p, &CompileOptions::default()).unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn broadcast_depth_is_logarithmic() {
+        // 8 ranks: 1 seed copy + 7 forwards, longest chain 3 hops.
+        let p = binomial_broadcast(8, 1, 0).unwrap();
+        assert_eq!(p.ops().len(), 8);
+    }
+
+    #[test]
+    fn reduce_validates_for_all_roots_and_sizes() {
+        for n in [2, 3, 5, 8] {
+            for root in [0, n / 2] {
+                let p = binomial_reduce(n, 2, root).unwrap();
+                p.validate().unwrap();
+                let _ = compile(&p, &CompileOptions::default()).unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn gather_and_scatter_validate() {
+        for n in [1, 2, 4, 6] {
+            let g = linear_gather(n, 2, 0).unwrap();
+            g.validate().unwrap();
+            let s = linear_scatter(n, 2, n - 1).unwrap();
+            s.validate().unwrap();
+        }
+        let _ = compile(&linear_gather(4, 1, 2).unwrap(), &CompileOptions::default()).unwrap();
+        let _ = compile(
+            &linear_scatter(4, 1, 2).unwrap(),
+            &CompileOptions::default(),
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn scatter_then_gather_compose_via_scratch_free_programs() {
+        // Both compile with instances to confirm refinement works on
+        // rooted postconditions (unconstrained entries refine too).
+        let p = binomial_broadcast(4, 1, 1).unwrap();
+        let _ = compile(&p, &CompileOptions::default().with_instances(3)).unwrap();
+    }
+}

@@ -1,0 +1,161 @@
+//! Binary tree AllReduce.
+//!
+//! NCCL switches from Ring to Tree for small buffers on multi-node
+//! systems: the tree halves the latency exponent (`2·log R` hops instead
+//! of `2R − 2`). This implementation reduces every rank's buffer up a
+//! binary tree into rank 0 and broadcasts the result back down, and serves
+//! as part of the NCCL baseline model.
+
+use mscclang::{BufferKind, Collective, Program, Result};
+
+/// In-place binary tree AllReduce over `num_ranks` ranks with
+/// `chunk_factor` chunks (each chunk follows the same tree; multi-count
+/// operations keep it a single aggregated transfer per edge).
+///
+/// # Errors
+///
+/// Propagates DSL errors from the traced operations.
+///
+/// # Panics
+///
+/// Panics if `num_ranks < 2` or `chunk_factor == 0`.
+pub fn binary_tree_all_reduce(num_ranks: usize, chunk_factor: usize) -> Result<Program> {
+    assert!(num_ranks >= 2, "a tree needs at least two ranks");
+    assert!(chunk_factor >= 1);
+    let coll = Collective::all_reduce(num_ranks, chunk_factor, true);
+    let mut p = Program::new("tree_allreduce", coll);
+    // Reduce up: process children in decreasing rank so every subtree is
+    // complete before its root forwards.
+    for child in (1..num_ranks).rev() {
+        let parent = (child - 1) / 2;
+        let src = p.chunk(child, BufferKind::Input, 0, chunk_factor)?;
+        let dst = p.chunk(parent, BufferKind::Input, 0, chunk_factor)?;
+        let _ = p.reduce(&dst, &src)?;
+    }
+    // Broadcast down in increasing rank.
+    for child in 1..num_ranks {
+        let parent = (child - 1) / 2;
+        let c = p.chunk(parent, BufferKind::Input, 0, chunk_factor)?;
+        let _ = p.copy(&c, child, BufferKind::Input, 0)?;
+    }
+    Ok(p)
+}
+
+/// Double binary tree AllReduce — the structure NCCL actually uses at
+/// scale: two complementary binary trees, each reducing and broadcasting
+/// half of the buffer, so that (almost) every rank is an interior node in
+/// one tree and a leaf in the other, balancing the per-rank load.
+///
+/// Tree A is the binary tree over ranks in natural order; tree B is the
+/// same shape over ranks shifted by one (mirror construction), which makes
+/// the two parent-child link sets (nearly) disjoint.
+///
+/// # Errors
+///
+/// Propagates DSL errors from the traced operations.
+///
+/// # Panics
+///
+/// Panics if `num_ranks < 2` or `chunk_factor` is not even (each tree
+/// needs its own half of the chunks).
+pub fn double_binary_tree_all_reduce(num_ranks: usize, chunk_factor: usize) -> Result<Program> {
+    assert!(num_ranks >= 2, "a tree needs at least two ranks");
+    assert!(
+        chunk_factor >= 2 && chunk_factor.is_multiple_of(2),
+        "double binary tree splits chunks across two trees"
+    );
+    let half = chunk_factor / 2;
+    let coll = Collective::all_reduce(num_ranks, chunk_factor, true);
+    let mut p = Program::new("double_binary_tree_allreduce", coll);
+    for tree in 0..2usize {
+        // Tree 1 relabels rank r as (r + 1) % R, rotating every rank's
+        // role; offsets select this tree's half of the buffer.
+        let relabel = |logical: usize| (logical + tree) % num_ranks;
+        let offset = tree * half;
+        let channel = tree;
+        // Reduce up (children before parents: descending logical rank).
+        for child in (1..num_ranks).rev() {
+            let parent = (child - 1) / 2;
+            let src = p.chunk(relabel(child), BufferKind::Input, offset, half)?;
+            let dst = p.chunk(relabel(parent), BufferKind::Input, offset, half)?;
+            let _ = p.reduce_on(&dst, &src, channel)?;
+        }
+        // Broadcast down.
+        for child in 1..num_ranks {
+            let parent = (child - 1) / 2;
+            let c = p.chunk(relabel(parent), BufferKind::Input, offset, half)?;
+            let _ = p.copy_on(&c, relabel(child), BufferKind::Input, offset, channel)?;
+        }
+    }
+    Ok(p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mscclang::{compile, CompileOptions};
+
+    #[test]
+    fn validates_for_various_sizes() {
+        for n in [2, 3, 5, 8, 16] {
+            let p = binary_tree_all_reduce(n, 1).unwrap();
+            p.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn compiles_and_verifies() {
+        let p = binary_tree_all_reduce(7, 2).unwrap();
+        let ir = compile(&p, &CompileOptions::default()).unwrap();
+        assert_eq!(ir.num_ranks(), 7);
+    }
+
+    #[test]
+    fn double_tree_validates_and_compiles() {
+        for n in [2, 4, 7, 12] {
+            let p = double_binary_tree_all_reduce(n, 2).unwrap();
+            p.validate().unwrap();
+            let ir = compile(&p, &CompileOptions::default()).unwrap();
+            assert_eq!(ir.num_ranks(), n);
+            // The two trees occupy separate channels.
+            assert!(ir.num_channels >= 2);
+        }
+    }
+
+    #[test]
+    fn double_tree_balances_load_against_single_tree() {
+        // In a single tree, rank 0 (the root) receives 2 chunks and leaves
+        // receive 1; in the double tree every rank's totals are closer.
+        let n = 8;
+        let single = binary_tree_all_reduce(n, 2).unwrap();
+        let double = double_binary_tree_all_reduce(n, 2).unwrap();
+        let spread = |p: &Program| {
+            let mut recv = vec![0usize; n];
+            for op in p.ops() {
+                if op.src.rank != op.dst.rank {
+                    recv[op.dst.rank] += op.count;
+                }
+            }
+            recv.iter().max().unwrap() - recv.iter().min().unwrap()
+        };
+        assert!(
+            spread(&double) <= spread(&single),
+            "double tree should not be less balanced than the single tree"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "splits chunks")]
+    fn double_tree_rejects_odd_chunk_factor() {
+        let _ = double_binary_tree_all_reduce(4, 3);
+    }
+
+    #[test]
+    fn depth_is_logarithmic() {
+        // The longest chain of dependent transfers is 2*ceil(log2(R)).
+        let n = 8;
+        let p = binary_tree_all_reduce(n, 1).unwrap();
+        // Reduce ops: n-1, copy ops: n-1.
+        assert_eq!(p.ops().len(), 2 * (n - 1));
+    }
+}

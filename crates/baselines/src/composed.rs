@@ -1,0 +1,161 @@
+//! The "NCCL Hierarchical" baseline (§7.2).
+//!
+//! The same hierarchical AllReduce algorithm as
+//! [`msccl_algos::hierarchical_all_reduce`], but composed from four
+//! separate NCCL collective kernels (intra-node ReduceScatter, inter-node
+//! ReduceScatter, inter-node AllGather, intra-node AllGather). Each kernel
+//! pays its own launch, a global barrier separates the phases, and no
+//! cross-phase tile pipelining happens — the costs Figure 6 and §7.2 blame
+//! for its poor performance.
+
+use msccl_sim::{simulate, SimConfig};
+use msccl_topology::Machine;
+use mscclang::{compile, Collective, CompileOptions, IrProgram, Program};
+
+use crate::nccl::{Nccl, NCCL_RING_INSTANCES};
+use crate::BaselineError;
+
+/// The four pre-compiled phase kernels.
+pub struct NcclHierarchical {
+    machine: Machine,
+    /// `(kernel, fraction of the AllReduce buffer it operates on)`.
+    phases: Vec<(IrProgram, f64)>,
+}
+
+impl NcclHierarchical {
+    /// Builds the composed baseline for a multi-node machine.
+    ///
+    /// # Errors
+    ///
+    /// Propagates compilation failures.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `machine` has fewer than 2 nodes or 2 GPUs per node.
+    pub fn new(machine: Machine) -> Result<Self, BaselineError> {
+        let (n, g) = (machine.num_nodes(), machine.gpus_per_node());
+        assert!(
+            n >= 2 && g >= 2,
+            "hierarchical composition needs a multi-node, multi-GPU machine"
+        );
+        let num_ranks = n * g;
+        let unconstrained = Collective::custom(
+            num_ranks,
+            num_ranks,
+            num_ranks,
+            vec![vec![None; num_ranks]; num_ranks],
+        );
+        let opts = CompileOptions::default()
+            .with_verify(false)
+            .with_instances(NCCL_RING_INSTANCES);
+
+        // Phase 1: intra-node ReduceScatter over the full buffer.
+        let mut p1 = Program::new("nccl_intra_reduce_scatter", unconstrained.clone());
+        for node in 0..n {
+            let local: Vec<usize> = (0..g).map(|i| i + node * g).collect();
+            msccl_algos::ring_reduce_scatter(&mut p1, &local, 0, n, 0)?;
+        }
+        // Phase 2: inter-node ReduceScatter over 1/G of the buffer.
+        let mut p2 = Program::new("nccl_inter_reduce_scatter", unconstrained.clone());
+        for gpu in 0..g {
+            let cross: Vec<usize> = (0..n).map(|i| i * g + gpu).collect();
+            msccl_algos::ring_reduce_scatter(&mut p2, &cross, gpu * n, 1, 0)?;
+        }
+        // Phase 3: inter-node AllGather over 1/G of the buffer.
+        let mut p3 = Program::new("nccl_inter_all_gather", unconstrained.clone());
+        for gpu in 0..g {
+            let cross: Vec<usize> = (0..n).map(|i| i * g + gpu).collect();
+            msccl_algos::ring_all_gather(&mut p3, &cross, gpu * n, 1, 0)?;
+        }
+        // Phase 4: intra-node AllGather over the full buffer.
+        let mut p4 = Program::new("nccl_intra_all_gather", unconstrained);
+        for node in 0..n {
+            let local: Vec<usize> = (0..g).map(|i| i + node * g).collect();
+            msccl_algos::ring_all_gather(&mut p4, &local, 0, n, 0)?;
+        }
+
+        let g_frac = 1.0 / g as f64;
+        let phases = vec![
+            (compile(&p1, &opts)?, 1.0),
+            (compile(&p2, &opts)?, g_frac),
+            (compile(&p3, &opts)?, g_frac),
+            (compile(&p4, &opts)?, 1.0),
+        ];
+        Ok(Self { machine, phases })
+    }
+
+    /// Total time in microseconds for a per-GPU buffer of `bytes`: the sum
+    /// of the four kernels, each with its own launch and its own
+    /// size-selected protocol.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulation failures.
+    pub fn all_reduce_us(&self, bytes: u64) -> Result<f64, BaselineError> {
+        let mut total = 0.0;
+        for (ir, fraction) in &self.phases {
+            let phase_bytes = ((bytes as f64 * fraction) as u64).max(1);
+            let protocol = Nccl::protocol_for(phase_bytes);
+            let cfg = SimConfig::new(self.machine.clone()).with_protocol(protocol);
+            // Each kernel operates on `bytes` worth of chunks; the phase's
+            // programs only touch the chunks belonging to that phase, so
+            // the full buffer size is passed and the per-chunk size stays
+            // consistent across phases.
+            total += simulate(ir, &cfg, bytes)?.total_us;
+        }
+        Ok(total)
+    }
+
+    /// The phase kernels (for inspection).
+    #[must_use]
+    pub fn phases(&self) -> &[(IrProgram, f64)] {
+        &self.phases
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msccl_sim::simulate as sim_one;
+    use msccl_topology::Protocol;
+
+    #[test]
+    fn builds_four_phases() {
+        let h = NcclHierarchical::new(Machine::ndv4(2)).unwrap();
+        assert_eq!(h.phases().len(), 4);
+    }
+
+    #[test]
+    fn composition_is_slower_than_single_kernel() {
+        let machine = Machine::ndv4(2);
+        let composed = NcclHierarchical::new(machine.clone()).unwrap();
+        // The single-kernel program tuned like the paper's large-size
+        // configuration (§7.2 applies different optimizations per size).
+        let single = mscclang::compile(
+            &msccl_algos::hierarchical_all_reduce(2, 8).unwrap(),
+            &CompileOptions::default()
+                .with_verify(false)
+                .with_instances(4),
+        )
+        .unwrap();
+        for bytes in [256u64 << 10, 4 << 20] {
+            let t_composed = composed.all_reduce_us(bytes).unwrap();
+            let cfg = SimConfig::new(machine.clone()).with_protocol(Nccl::protocol_for(bytes));
+            let t_single = sim_one(&single, &cfg, bytes).unwrap().total_us;
+            assert!(
+                t_composed > t_single,
+                "composed {t_composed} should exceed single-kernel {t_single} at {bytes} bytes"
+            );
+        }
+    }
+
+    #[test]
+    fn phase_protocols_follow_phase_sizes() {
+        // At 1 MB total, the inter-node phases operate on 128 KB and pick
+        // LL128 while intra phases use LL128 too; at 256 KB the inter
+        // phases drop to LL.
+        assert_eq!(Nccl::protocol_for(1 << 20), Protocol::Ll128);
+        assert_eq!(Nccl::protocol_for((1 << 20) / 8), Protocol::Ll128);
+        assert_eq!(Nccl::protocol_for((256 << 10) / 8), Protocol::Ll);
+    }
+}

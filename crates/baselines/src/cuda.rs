@@ -1,0 +1,195 @@
+//! Hand-written CUDA baselines (§7.3, §7.4).
+
+use msccl_sim::{simulate, simulate_sequence, SimConfig};
+use msccl_topology::{Machine, Protocol};
+use mscclang::{compile, BufferKind, Collective, CompileOptions, IrProgram, Program};
+
+use crate::BaselineError;
+
+/// The hand-optimized CUDA Two-Step AllToAll (§7.3): the same algorithm as
+/// [`msccl_algos::two_step_all_to_all`], but implemented with NCCL
+/// point-to-point primitives and *a separate pack kernel* that arranges
+/// chunks contiguously in scratch for the aggregated IB send. The two
+/// kernels serialize at a global barrier, so the intra-node shuffle cannot
+/// pipeline with the IB transfers, and each kernel pays its own launch.
+pub struct CudaTwoStep {
+    machine: Machine,
+    pack: IrProgram,
+    send: IrProgram,
+}
+
+impl CudaTwoStep {
+    /// Builds the two kernels for `machine`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates compilation failures.
+    ///
+    /// # Panics
+    ///
+    /// Panics for single-node machines (the two-step structure needs IB).
+    pub fn new(machine: Machine) -> Result<Self, BaselineError> {
+        let (n_dim, g_dim) = (machine.num_nodes(), machine.gpus_per_node());
+        assert!(n_dim >= 2, "two-step alltoall targets multi-node systems");
+        let rank = |node: usize, gpu: usize| node * g_dim + gpu;
+        let num_ranks = n_dim * g_dim;
+        let unconstrained = Collective::custom(
+            num_ranks,
+            num_ranks,
+            num_ranks,
+            vec![vec![None; num_ranks]; num_ranks],
+        );
+        let opts = CompileOptions::default().with_verify(false);
+
+        // Kernel 1: pack — intra-node shuffle into the staging layout.
+        let mut pack = Program::new("cuda_a2a_pack", unconstrained.clone());
+        for n in 0..n_dim {
+            for g in 0..g_dim {
+                for m in 0..n_dim {
+                    if n == m {
+                        continue;
+                    }
+                    for i in 0..g_dim {
+                        let c = pack.chunk(rank(m, i), BufferKind::Input, rank(n, g), 1)?;
+                        let _ = pack.copy(&c, rank(m, g), BufferKind::Output, rank(n, i))?;
+                    }
+                }
+            }
+        }
+        // Kernel 2: sends — aggregated IB transfers plus intra-node
+        // point-to-point copies.
+        let mut send = Program::new("cuda_a2a_send", unconstrained);
+        for n in 0..n_dim {
+            for g in 0..g_dim {
+                for m in 0..n_dim {
+                    if n == m {
+                        for i in 0..g_dim {
+                            let c = send.chunk(rank(m, i), BufferKind::Input, rank(n, g), 1)?;
+                            let _ = send.copy(&c, rank(n, g), BufferKind::Output, rank(m, i))?;
+                        }
+                    } else {
+                        let c = send.chunk(rank(m, g), BufferKind::Input, n * g_dim, g_dim)?;
+                        let _ = send.copy(&c, rank(n, g), BufferKind::Output, m * g_dim)?;
+                    }
+                }
+            }
+        }
+        Ok(Self {
+            machine,
+            pack: compile(&pack, &opts)?,
+            send: compile(&send, &opts)?,
+        })
+    }
+
+    /// Time in microseconds for a per-GPU buffer of `bytes`, at the given
+    /// protocol (the hand-written kernels also ride on NCCL's transports).
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulation failures.
+    pub fn all_to_all_us(&self, bytes: u64, protocol: Protocol) -> Result<f64, BaselineError> {
+        let cfg = SimConfig::new(self.machine.clone()).with_protocol(protocol);
+        Ok(simulate_sequence(&[(&self.pack, bytes), (&self.send, bytes)], &cfg)?.total_us)
+    }
+}
+
+/// The naive AllToNext baseline (§7.4): "each GPU directly sends its
+/// entire buffer to the next GPU using NCCL's send and receive
+/// primitives" — one connection per hop, so each node boundary is limited
+/// to a single IB NIC.
+pub struct CudaNaiveNext {
+    machine: Machine,
+    ir: IrProgram,
+}
+
+impl CudaNaiveNext {
+    /// Builds the baseline for `machine`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates compilation failures.
+    pub fn new(machine: Machine) -> Result<Self, BaselineError> {
+        let num_ranks = machine.num_ranks();
+        let coll = Collective::all_to_next(num_ranks, 1);
+        let mut p = Program::new("cuda_naive_alltonext", coll);
+        for r in 0..num_ranks - 1 {
+            let c = p.chunk(r, BufferKind::Input, 0, 1)?;
+            let _ = p.copy(&c, r + 1, BufferKind::Output, 0)?;
+        }
+        let ir = compile(&p, &CompileOptions::default().with_verify(false))?;
+        Ok(Self { machine, ir })
+    }
+
+    /// Time in microseconds for a per-GPU buffer of `bytes`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulation failures.
+    pub fn all_to_next_us(&self, bytes: u64, protocol: Protocol) -> Result<f64, BaselineError> {
+        let cfg = SimConfig::new(self.machine.clone()).with_protocol(protocol);
+        Ok(simulate(&self.ir, &cfg, bytes)?.total_us)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mscclang::CompileOptions;
+
+    #[test]
+    fn two_step_cuda_loses_to_mscclang_at_large_sizes() {
+        let machine = Machine::ndv4(2);
+        let cuda = CudaTwoStep::new(machine.clone()).unwrap();
+        let p = msccl_algos::two_step_all_to_all(2, 8).unwrap();
+        let ir = compile(&p, &CompileOptions::default().with_verify(false)).unwrap();
+        let bytes = 256u64 << 20;
+        let t_cuda = cuda.all_to_all_us(bytes, Protocol::Simple).unwrap();
+        let cfg = SimConfig::new(machine).with_protocol(Protocol::Simple);
+        let t_msccl = simulate(&ir, &cfg, bytes).unwrap().total_us;
+        assert!(
+            t_msccl < t_cuda,
+            "MSCCLang two-step ({t_msccl}) should beat the CUDA version ({t_cuda})"
+        );
+    }
+
+    #[test]
+    fn naive_next_bottlenecks_on_one_nic() {
+        let machine = Machine::ndv4(2);
+        let naive = CudaNaiveNext::new(machine.clone()).unwrap();
+        let p = msccl_algos::all_to_next(2, 8).unwrap();
+        // The paper sweeps the parallelization factor r; large buffers
+        // favour more instances (§7.4).
+        let ir = compile(
+            &p,
+            &CompileOptions::default()
+                .with_verify(false)
+                .with_instances(8),
+        )
+        .unwrap();
+        let bytes = 128u64 << 20;
+        let t_naive = naive.all_to_next_us(bytes, Protocol::Simple).unwrap();
+        let cfg = SimConfig::new(machine).with_protocol(Protocol::Simple);
+        let t_msccl = simulate(&ir, &cfg, bytes).unwrap().total_us;
+        // AllToNext uses all 8 NICs at the boundary; expect a large win.
+        assert!(
+            t_msccl * 3.0 < t_naive,
+            "AllToNext ({t_msccl}) should be several times faster than naive ({t_naive})"
+        );
+    }
+
+    #[test]
+    fn naive_next_wins_at_tiny_sizes() {
+        let machine = Machine::ndv4(2);
+        let naive = CudaNaiveNext::new(machine.clone()).unwrap();
+        let p = msccl_algos::all_to_next(2, 8).unwrap();
+        let ir = compile(&p, &CompileOptions::default().with_verify(false)).unwrap();
+        let bytes = 4096;
+        let t_naive = naive.all_to_next_us(bytes, Protocol::Ll).unwrap();
+        let cfg = SimConfig::new(machine).with_protocol(Protocol::Ll);
+        let t_msccl = simulate(&ir, &cfg, bytes).unwrap().total_us;
+        assert!(
+            t_naive < t_msccl,
+            "naive ({t_naive}) should beat AllToNext ({t_msccl}) at 4KB"
+        );
+    }
+}

@@ -1,0 +1,62 @@
+//! Baseline models the paper compares against (§7).
+//!
+//! * [`nccl`] — the NCCL library model: Ring AllReduce scheduled as "one
+//!   logical ring per channel, parallelized 24×, protocol selected by
+//!   buffer size" (the paper's own characterization of NCCL's schedule,
+//!   §7.1.1), a Tree AllReduce for small multi-node buffers, and the naive
+//!   point-to-point AllToAll.
+//! * [`composed`] — the "NCCL Hierarchical" baseline of §7.2: the same
+//!   hierarchical AllReduce algorithm, but built from four separate
+//!   collective kernel launches, losing single-kernel execution and
+//!   cross-phase pipelining.
+//! * [`cuda`] — the hand-written CUDA baselines: the Two-Step AllToAll
+//!   with a separate pack kernel (§7.3) and the naive whole-buffer
+//!   point-to-point AllToNext (§7.4).
+//! * [`sccl`] — the SCCL runtime model with its direct-copy point-to-point
+//!   protocol (§7.5).
+//!
+//! Every baseline is a compiled MSCCL-IR program (or a sequence of them)
+//! run through the same simulator as the MSCCLang implementations, so
+//! comparisons isolate algorithm and schedule, not simulator bias.
+
+pub mod composed;
+pub mod cuda;
+pub mod nccl;
+pub mod sccl;
+
+pub use composed::NcclHierarchical;
+pub use cuda::{CudaNaiveNext, CudaTwoStep};
+pub use nccl::Nccl;
+pub use sccl::ScclAllGather;
+
+/// Error raised when a baseline cannot be constructed or simulated.
+#[derive(Debug)]
+pub enum BaselineError {
+    /// DSL or compilation failure.
+    Compile(mscclang::Error),
+    /// Simulation failure.
+    Sim(msccl_sim::SimError),
+}
+
+impl std::fmt::Display for BaselineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BaselineError::Compile(e) => write!(f, "baseline compilation failed: {e}"),
+            BaselineError::Sim(e) => write!(f, "baseline simulation failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for BaselineError {}
+
+impl From<mscclang::Error> for BaselineError {
+    fn from(e: mscclang::Error) -> Self {
+        BaselineError::Compile(e)
+    }
+}
+
+impl From<msccl_sim::SimError> for BaselineError {
+    fn from(e: msccl_sim::SimError) -> Self {
+        BaselineError::Sim(e)
+    }
+}

@@ -1,0 +1,313 @@
+//! The NCCL library model.
+//!
+//! §7.1.1: "While examining NCCL's codebase, we found and experimentally
+//! validated that NCCL's Ring schedule is roughly equivalent to scheduling
+//! a logical ring onto one channel, parallelizing the entire program 24
+//! times, and varying the protocol based on the buffer size." This module
+//! implements exactly that characterization, plus the Tree algorithm NCCL
+//! prefers for small multi-node buffers, and the naive point-to-point
+//! AllToAll NCCL provides.
+
+use std::cell::OnceCell;
+
+use msccl_sim::{simulate, SimConfig};
+use msccl_topology::{Machine, Protocol};
+use mscclang::{compile, BufferKind, Collective, CompileOptions, IrProgram, Program};
+
+use crate::BaselineError;
+
+/// NCCL's ring parallelization factor (§7.1.1).
+pub const NCCL_RING_INSTANCES: usize = 24;
+
+/// Tree parallelization factor (trees need more thread blocks per channel
+/// than rings, so NCCL uses fewer channels for them).
+pub const NCCL_TREE_INSTANCES: usize = 8;
+
+/// The NCCL model for one machine: ring/tree/AllToAll programs compiled
+/// lazily on first use and cached (the 256-rank ring with 24-way
+/// parallelization is millions of instructions; building it eagerly for a
+/// figure that only times AllToAll would waste minutes and gigabytes).
+pub struct Nccl {
+    machine: Machine,
+    ring: OnceCell<IrProgram>,
+    tree: OnceCell<Option<IrProgram>>,
+    alltoall: OnceCell<Option<Vec<IrProgram>>>,
+}
+
+impl Nccl {
+    /// Creates the model for `machine`; programs compile on first use.
+    ///
+    /// # Errors
+    ///
+    /// Never fails today; kept fallible for interface stability with the
+    /// other baselines.
+    pub fn new(machine: Machine) -> Result<Self, BaselineError> {
+        Ok(Self {
+            machine,
+            ring: OnceCell::new(),
+            tree: OnceCell::new(),
+            alltoall: OnceCell::new(),
+        })
+    }
+
+    fn ring(&self) -> Result<&IrProgram, BaselineError> {
+        if self.ring.get().is_none() {
+            let opts = CompileOptions::default().with_verify(false);
+            let program = nccl_ring_program(&self.machine)?;
+            let ir = compile(&program, &opts)?;
+            let _ = self.ring.set(ir);
+        }
+        Ok(self.ring.get().expect("just set"))
+    }
+
+    fn tree(&self) -> Result<Option<&IrProgram>, BaselineError> {
+        if self.tree.get().is_none() {
+            let built = if self.machine.num_nodes() > 1 {
+                let opts = CompileOptions::default().with_verify(false);
+                let program =
+                    msccl_algos::double_binary_tree_all_reduce(self.machine.num_ranks(), 2)?;
+                Some(compile(
+                    &program,
+                    &opts.with_instances(NCCL_TREE_INSTANCES),
+                )?)
+            } else {
+                None
+            };
+            let _ = self.tree.set(built);
+        }
+        Ok(self.tree.get().expect("just set").as_ref())
+    }
+
+    /// NCCL's grouped point-to-point AllToAll. Every rank exchanges with
+    /// every other rank, but a cooperative launch cannot host one thread
+    /// block per peer at cluster scale, so NCCL cycles the peers through a
+    /// bounded number of channels; modelled here as a sequence of rounds,
+    /// each exchanging with a budget-sized group of ring distances.
+    fn alltoall(&self) -> Result<Option<&[IrProgram]>, BaselineError> {
+        if self.alltoall.get().is_none() {
+            let built = if self.machine.is_switched() {
+                let num_ranks = self.machine.num_ranks();
+                let opts = CompileOptions::default().with_verify(false);
+                // Two thread blocks (send + recv) per peer distance.
+                let per_round = (self.machine.num_sms() / 2).max(1);
+                let mut rounds = Vec::new();
+                let mut first_distance = 1usize;
+                while first_distance < num_ranks {
+                    let last = (first_distance + per_round).min(num_ranks);
+                    let coll = Collective::custom(
+                        num_ranks,
+                        num_ranks,
+                        num_ranks,
+                        vec![vec![None; num_ranks]; num_ranks],
+                    );
+                    let mut p =
+                        Program::new(format!("nccl_alltoall_round_d{first_distance}"), coll);
+                    for src in 0..num_ranks {
+                        for d in first_distance..last {
+                            let dst = (src + d) % num_ranks;
+                            let c = p.chunk(src, BufferKind::Input, dst, 1)?;
+                            let _ = p.copy(&c, dst, BufferKind::Output, src)?;
+                        }
+                    }
+                    rounds.push(compile(&p, &opts)?);
+                    first_distance = last;
+                }
+                // Local block: a plain device copy folded into round 0 is
+                // negligible; omitted.
+                Some(rounds)
+            } else {
+                None
+            };
+            let _ = self.alltoall.set(built);
+        }
+        Ok(self.alltoall.get().expect("just set").as_deref())
+    }
+
+    /// The protocol NCCL's tuner would select for `bytes` (per-GPU buffer
+    /// size). NCCL decides on *per-channel* chunk sizes, and with its fixed
+    /// 24-way parallelization the per-channel share shrinks fast; the
+    /// effective totals below mirror NCCL's observed switch points (LL for
+    /// tiny buffers, Simple from about a megabyte) — §7.1.1 notes NCCL
+    /// "varies the protocol based on the buffer size".
+    #[must_use]
+    pub fn protocol_for(bytes: u64) -> Protocol {
+        if bytes <= 48 * 1024 {
+            Protocol::Ll
+        } else if bytes <= 1024 * 1024 {
+            Protocol::Ll128
+        } else {
+            Protocol::Simple
+        }
+    }
+
+    fn config(&self, protocol: Protocol) -> SimConfig {
+        SimConfig::new(self.machine.clone()).with_protocol(protocol)
+    }
+
+    /// AllReduce time in microseconds for a per-GPU buffer of `bytes`
+    /// (tuner takes the best of ring and tree at the size-selected
+    /// protocol).
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulation failures.
+    pub fn all_reduce_us(&self, bytes: u64) -> Result<f64, BaselineError> {
+        let protocol = Self::protocol_for(bytes);
+        let mut best = simulate(self.ring()?, &self.config(protocol), bytes)?.total_us;
+        if let Some(tree) = self.tree()? {
+            let t = simulate(tree, &self.config(protocol), bytes)?.total_us;
+            best = best.min(t);
+        }
+        Ok(best)
+    }
+
+    /// AllToAll time in microseconds for a per-GPU buffer of `bytes`
+    /// (NCCL's grouped point-to-point sends).
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulation failures, and reports a compile error for
+    /// switchless machines where the model was not built.
+    pub fn all_to_all_us(&self, bytes: u64) -> Result<f64, BaselineError> {
+        let rounds = self.alltoall()?.ok_or_else(|| {
+            BaselineError::Sim(msccl_sim::SimError::BadConfig {
+                message: "AllToAll model unavailable on switchless machines".into(),
+            })
+        })?;
+        let protocol = Self::protocol_for(bytes);
+        let kernels: Vec<(&IrProgram, u64)> = rounds.iter().map(|ir| (ir, bytes)).collect();
+        Ok(msccl_sim::simulate_sequence(&kernels, &self.config(protocol))?.total_us)
+    }
+
+    /// The machine this model targets.
+    #[must_use]
+    pub fn machine(&self) -> &Machine {
+        &self.machine
+    }
+
+    /// The compiled ring AllReduce (useful for inspection and ablations).
+    ///
+    /// # Errors
+    ///
+    /// Propagates compilation failures on first use.
+    pub fn ring_ir(&self) -> Result<&IrProgram, BaselineError> {
+        self.ring()
+    }
+}
+
+/// Builds NCCL's Ring AllReduce: 24 logical rings, one per channel, each
+/// handling 1/24 of the buffer. On multi-node machines NCCL rotates the
+/// intra-node GPU order per ring so consecutive rings cross the node
+/// boundary on different GPU pairs — spreading the inter-node traffic over
+/// every NIC, which is essential for its large-size bandwidth.
+fn nccl_ring_program(machine: &Machine) -> Result<mscclang::Program, BaselineError> {
+    use mscclang::{BufferKind, Collective};
+    let r = machine.num_ranks();
+    let g = machine.gpus_per_node();
+    let channels = NCCL_RING_INSTANCES;
+    let coll = Collective::all_reduce(r, channels * r, true);
+    let mut p = mscclang::Program::new("nccl_ring_allreduce", coll);
+    for c in 0..channels {
+        // Rotate GPUs within each node by the channel index.
+        let order: Vec<usize> = (0..machine.num_nodes())
+            .flat_map(|n| (0..g).map(move |i| n * g + (c + i) % g))
+            .collect();
+        for pos in 0..r {
+            let index = c * r + pos;
+            // ReduceScatter lap for this ring's block `pos`.
+            let mut chunk = p.chunk(order[(pos + 1) % r], BufferKind::Input, index, 1)?;
+            for step in 1..r {
+                let next = order[(step + pos + 1) % r];
+                let dst = p.chunk(next, BufferKind::Input, index, 1)?;
+                chunk = p.reduce_on(&dst, &chunk, c)?;
+            }
+            // AllGather lap.
+            for step in 0..(r - 1) {
+                let next = order[(pos + 1 + step) % r];
+                chunk = p.copy_on(&chunk, next, BufferKind::Input, index, c)?;
+            }
+        }
+    }
+    Ok(p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn protocol_thresholds() {
+        assert_eq!(Nccl::protocol_for(1 << 10), Protocol::Ll);
+        assert_eq!(Nccl::protocol_for(32 << 10), Protocol::Ll);
+        assert_eq!(Nccl::protocol_for(256 << 10), Protocol::Ll128);
+        assert_eq!(Nccl::protocol_for(64 << 20), Protocol::Simple);
+    }
+
+    #[test]
+    fn single_node_model_times_allreduce() {
+        let nccl = Nccl::new(Machine::ndv4(1)).unwrap();
+        let small = nccl.all_reduce_us(4 << 10).unwrap();
+        let large = nccl.all_reduce_us(64 << 20).unwrap();
+        assert!(small > 0.0 && large > small);
+    }
+
+    #[test]
+    fn ring_uses_24_channels() {
+        let nccl = Nccl::new(Machine::ndv4(1)).unwrap();
+        assert_eq!(nccl.ring_ir().unwrap().num_channels, NCCL_RING_INSTANCES);
+    }
+
+    #[test]
+    fn multinode_rings_spread_over_all_nics() {
+        // The rotated ring orders must cross the node boundary on every
+        // GPU pair, not just one.
+        let machine = Machine::ndv4(2);
+        let program = nccl_ring_program(&machine).unwrap();
+        let boundary_gpus: std::collections::HashSet<usize> = program
+            .ops()
+            .iter()
+            .filter(|o| o.src.rank / 8 != o.dst.rank / 8)
+            .map(|o| o.src.rank % 8)
+            .collect();
+        assert_eq!(
+            boundary_gpus.len(),
+            8,
+            "all 8 NICs should carry ring traffic"
+        );
+    }
+
+    #[test]
+    fn rotated_rings_still_verify() {
+        let machine = Machine::ndv4(2);
+        let program = nccl_ring_program(&machine).unwrap();
+        program.validate().unwrap();
+    }
+
+    #[test]
+    fn multinode_model_has_tree() {
+        let nccl = Nccl::new(Machine::ndv4(2)).unwrap();
+        assert!(nccl.tree().unwrap().is_some());
+        let t = nccl.all_reduce_us(8 << 10).unwrap();
+        assert!(t > 0.0);
+    }
+
+    #[test]
+    fn alltoall_scales_with_size() {
+        let nccl = Nccl::new(Machine::ndv4(2)).unwrap();
+        let a = nccl.all_to_all_us(1 << 20).unwrap();
+        let b = nccl.all_to_all_us(64 << 20).unwrap();
+        assert!(b > a);
+    }
+
+    #[test]
+    fn large_allreduce_approaches_ring_bandwidth() {
+        // At 256 MB on one NDv4 node, ring AllReduce moves 2(R-1)/R * B
+        // per GPU over 275 GB/s ports: within a small factor of ideal.
+        let nccl = Nccl::new(Machine::ndv4(1)).unwrap();
+        let bytes = 256u64 << 20;
+        let t = nccl.all_reduce_us(bytes).unwrap();
+        let ideal = 2.0 * 7.0 / 8.0 * bytes as f64 / (275.0 * 1000.0);
+        assert!(t > ideal, "t={t} ideal={ideal}");
+        assert!(t < 4.0 * ideal, "t={t} ideal={ideal}");
+    }
+}

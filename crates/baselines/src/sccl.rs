@@ -1,0 +1,136 @@
+//! The SCCL runtime model (§7.5).
+//!
+//! SCCL implements algorithms with its own point-to-point protocol that
+//! writes directly from source to destination — no FIFO slot buffers, so
+//! no receiver-side copy-out and a smaller memory footprint, at the cost
+//! of sender/receiver rendezvous (modelled as a single outstanding slot).
+//! MSCCLang's Simple protocol is less efficient at mid sizes for exactly
+//! this reason, while its LL protocol wins at small sizes (Figure 11).
+
+use msccl_sim::{simulate, SimConfig};
+use msccl_topology::Machine;
+use mscclang::{compile, CompileOptions, IrProgram};
+
+use crate::BaselineError;
+
+/// SCCL's per-transfer synchronization overhead (µs): cheaper than the
+/// Simple protocol's slot protocol, pricier than LL's flag-per-line.
+const SCCL_TILE_OVERHEAD_US: f64 = 1.6;
+
+/// The SCCL `(1,2,2)` AllGather on a DGX-1, executed by the SCCL runtime
+/// model.
+pub struct ScclAllGather {
+    machine: Machine,
+    ir: IrProgram,
+}
+
+impl ScclAllGather {
+    /// Builds the model (always on a DGX-1, as in the paper).
+    ///
+    /// # Errors
+    ///
+    /// Propagates compilation failures.
+    pub fn new() -> Result<Self, BaselineError> {
+        let p = msccl_algos::hcm_allgather()?;
+        let ir = compile(&p, &CompileOptions::default().with_verify(false))?;
+        Ok(Self {
+            machine: Machine::dgx1(),
+            ir,
+        })
+    }
+
+    /// Latency in microseconds for a per-GPU input buffer of `bytes`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulation failures.
+    pub fn all_gather_us(&self, bytes: u64) -> Result<f64, BaselineError> {
+        let cfg = SimConfig::new(self.machine.clone())
+            .with_protocol(msccl_topology::Protocol::Simple)
+            .with_direct_copy(true)
+            .with_tile_overhead(SCCL_TILE_OVERHEAD_US);
+        Ok(simulate(&self.ir, &cfg, bytes)?.total_us)
+    }
+
+    /// The compiled algorithm (shared with the MSCCLang-side measurements
+    /// so both runtimes execute the identical schedule).
+    #[must_use]
+    pub fn ir(&self) -> &IrProgram {
+        &self.ir
+    }
+}
+
+/// Builder helper mirroring the other config setters.
+trait SimConfigExt {
+    fn with_tile_overhead(self, us: f64) -> Self;
+}
+
+impl SimConfigExt for SimConfig {
+    fn with_tile_overhead(mut self, us: f64) -> Self {
+        self.tile_overhead_us = Some(us);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msccl_topology::Protocol;
+
+    #[test]
+    fn model_builds_and_times() {
+        let sccl = ScclAllGather::new().unwrap();
+        let t = sccl.all_gather_us(1 << 20).unwrap();
+        assert!(t > 0.0);
+    }
+
+    #[test]
+    fn ll_wins_small_sccl_wins_mid() {
+        // Figure 11's shape: MSCCLang LL is fastest at small sizes thanks
+        // to its low-latency protocol; SCCL's direct-copy protocol wins in
+        // the middle against MSCCLang Simple.
+        let sccl = ScclAllGather::new().unwrap();
+        let cfg = |p: Protocol| SimConfig::new(Machine::dgx1()).with_protocol(p);
+
+        // Figure 11's buffer sizes refer to the AllGather output; the
+        // per-rank input is 1/8 of it. 32 KB output = 4 KB input.
+        let small = 4u64 << 10;
+        let t_sccl = sccl.all_gather_us(small).unwrap();
+        let t_ll = simulate(sccl.ir(), &cfg(Protocol::Ll), small)
+            .unwrap()
+            .total_us;
+        assert!(
+            t_ll < t_sccl,
+            "LL ({t_ll}) should beat SCCL ({t_sccl}) at 32KB output"
+        );
+
+        let mid = 16u64 << 20;
+        let t_sccl = sccl.all_gather_us(mid).unwrap();
+        let t_simple = simulate(sccl.ir(), &cfg(Protocol::Simple), mid)
+            .unwrap()
+            .total_us;
+        assert!(
+            t_sccl < t_simple,
+            "SCCL ({t_sccl}) should beat MSCCLang Simple ({t_simple}) at 16MB"
+        );
+    }
+
+    #[test]
+    fn large_sizes_converge() {
+        let sccl = ScclAllGather::new().unwrap();
+        let big = 512u64 << 20;
+        let t_sccl = sccl.all_gather_us(big).unwrap();
+        let t_simple = simulate(
+            sccl.ir(),
+            &SimConfig::new(Machine::dgx1()).with_protocol(Protocol::Simple),
+            big,
+        )
+        .unwrap()
+        .total_us;
+        let ratio = t_simple / t_sccl;
+        assert!(
+            ratio < 1.5,
+            "Simple and SCCL should converge at 512MB (ratio {ratio})"
+        );
+    }
+}

@@ -1,0 +1,74 @@
+//! Criterion benchmarks for the MSCCLang compiler: tracing, lowering,
+//! fusion and scheduling throughput on the paper's algorithms.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use mscclang::{compile, CompileOptions};
+
+fn bench_compile(c: &mut Criterion) {
+    let mut group = c.benchmark_group("compile");
+    group.sample_size(20);
+
+    let ring = msccl_algos::ring_all_reduce(8, 4).expect("builds");
+    group.bench_function("ring_allreduce_8r_ch4", |b| {
+        b.iter(|| {
+            compile(
+                black_box(&ring),
+                &CompileOptions::default().with_verify(false),
+            )
+            .unwrap()
+        })
+    });
+
+    let hier = msccl_algos::hierarchical_all_reduce(2, 8).expect("builds");
+    group.bench_function("hierarchical_2x8", |b| {
+        b.iter(|| {
+            compile(
+                black_box(&hier),
+                &CompileOptions::default().with_verify(false),
+            )
+            .unwrap()
+        })
+    });
+
+    let a2a = msccl_algos::two_step_all_to_all(4, 8).expect("builds");
+    group.bench_function("two_step_alltoall_4x8", |b| {
+        b.iter(|| {
+            compile(
+                black_box(&a2a),
+                &CompileOptions::default().with_verify(false),
+            )
+            .unwrap()
+        })
+    });
+
+    group.bench_function("ring_with_8_instances", |b| {
+        b.iter(|| {
+            compile(
+                black_box(&ring),
+                &CompileOptions::default()
+                    .with_verify(false)
+                    .with_instances(8),
+            )
+            .unwrap()
+        })
+    });
+
+    group.finish();
+
+    let mut group = c.benchmark_group("verify");
+    group.sample_size(10);
+    let ir = compile(&ring, &CompileOptions::default().with_verify(false)).unwrap();
+    group.bench_function("symbolic_executor_ring_8r", |b| {
+        b.iter_batched(
+            || ir.clone(),
+            |ir| mscclang::verify::check(&ir, &mscclang::verify::VerifyOptions::default()).unwrap(),
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_compile);
+criterion_main!(benches);

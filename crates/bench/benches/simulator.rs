@@ -1,0 +1,52 @@
+//! Criterion benchmarks for the discrete-event simulator: events-per-second
+//! on representative programs and cluster sizes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use msccl_sim::{simulate, SimConfig};
+use msccl_topology::{Machine, Protocol};
+use mscclang::{compile, CompileOptions};
+
+fn bench_sim(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulator");
+    group.sample_size(10);
+
+    let ring = msccl_algos::ring_all_reduce(8, 1).expect("builds");
+    let ring_ir = compile(
+        &ring,
+        &CompileOptions::default()
+            .with_verify(false)
+            .with_instances(8),
+    )
+    .expect("compiles");
+    let ndv4 = SimConfig::new(Machine::ndv4(1)).with_protocol(Protocol::Simple);
+    group.bench_function("ring_8r_r8_64MB", |b| {
+        b.iter(|| simulate(black_box(&ring_ir), &ndv4, 64 << 20).unwrap())
+    });
+
+    let hier = msccl_algos::hierarchical_all_reduce(2, 8).expect("builds");
+    let hier_ir = compile(
+        &hier,
+        &CompileOptions::default()
+            .with_verify(false)
+            .with_instances(4),
+    )
+    .expect("compiles");
+    let two_node = SimConfig::new(Machine::ndv4(2)).with_protocol(Protocol::Simple);
+    group.bench_function("hierarchical_2x8_r4_256MB", |b| {
+        b.iter(|| simulate(black_box(&hier_ir), &two_node, 256 << 20).unwrap())
+    });
+
+    let a2a = msccl_algos::two_step_all_to_all(4, 8).expect("builds");
+    let a2a_ir = compile(&a2a, &CompileOptions::default().with_verify(false)).expect("compiles");
+    let four_node = SimConfig::new(Machine::ndv4(4)).with_protocol(Protocol::Simple);
+    group.bench_function("two_step_alltoall_4x8_256MB", |b| {
+        b.iter(|| simulate(black_box(&a2a_ir), &four_node, 256 << 20).unwrap())
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_sim);
+criterion_main!(benches);

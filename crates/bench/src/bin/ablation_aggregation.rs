@@ -1,0 +1,9 @@
+//! Ablation bench; see the generator's documentation.
+//!
+//! Run with `cargo run --release -p msccl-bench --bin ablation_aggregation`.
+
+fn main() -> Result<(), msccl_bench::BenchError> {
+    let figure = msccl_bench::figures::ablation_aggregation(msccl_bench::Scale::from_env())?;
+    println!("{figure}");
+    Ok(())
+}

@@ -1,0 +1,9 @@
+//! Races the library's AllReduce algorithms on one NDv4 node.
+//!
+//! Run with `cargo run --release -p msccl-bench --bin algorithm_comparison`.
+
+fn main() -> Result<(), msccl_bench::BenchError> {
+    let figure = msccl_bench::figures::algorithm_comparison(msccl_bench::Scale::from_env())?;
+    println!("{figure}");
+    Ok(())
+}

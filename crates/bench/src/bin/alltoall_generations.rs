@@ -1,0 +1,9 @@
+//! Races the one-, two- and three-step AllToAll algorithms.
+//!
+//! Run with `cargo run --release -p msccl-bench --bin alltoall_generations`.
+
+fn main() -> Result<(), msccl_bench::BenchError> {
+    let figure = msccl_bench::figures::alltoall_generations(msccl_bench::Scale::from_env())?;
+    println!("{figure}");
+    Ok(())
+}

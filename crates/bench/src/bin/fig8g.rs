@@ -1,0 +1,10 @@
+//! Regenerates the paper's Figure 8g.
+//!
+//! Run with `cargo run --release -p msccl-bench --bin fig8g`; set
+//! `MSCCL_BENCH_QUICK=1` for a fast reduced-scale run.
+
+fn main() -> Result<(), msccl_bench::BenchError> {
+    let figure = msccl_bench::figures::fig8g(msccl_bench::Scale::from_env())?;
+    println!("{figure}");
+    Ok(())
+}

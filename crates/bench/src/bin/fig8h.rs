@@ -1,0 +1,10 @@
+//! Regenerates the paper's Figure 8h.
+//!
+//! Run with `cargo run --release -p msccl-bench --bin fig8h`; set
+//! `MSCCL_BENCH_QUICK=1` for a fast reduced-scale run.
+
+fn main() -> Result<(), msccl_bench::BenchError> {
+    let figure = msccl_bench::figures::fig8h(msccl_bench::Scale::from_env())?;
+    println!("{figure}");
+    Ok(())
+}

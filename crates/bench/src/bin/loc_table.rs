@@ -1,0 +1,6 @@
+//! Prints the program-size table (§7's "<30 lines" claim).
+
+fn main() -> Result<(), msccl_bench::BenchError> {
+    println!("{}", msccl_bench::figures::loc_table()?);
+    Ok(())
+}

@@ -1,0 +1,146 @@
+//! Ablations for the design choices DESIGN.md calls out: tile pipelining
+//! (Figure 6), instruction fusion (§4.3) and chunk parallelization (§5.1).
+
+use msccl_sim::{simulate, SimConfig};
+use msccl_topology::{Machine, Protocol};
+use mscclang::{compile, CompileOptions};
+
+use crate::figures::build;
+use crate::{BenchError, Figure, Mode, Scale};
+
+/// Figure 6 ablation: pipelined versus sequential tile execution of the
+/// hierarchical AllReduce. `max_tiles = 1` processes each chunk as a
+/// single monolithic transfer (no overlap between the intra- and
+/// inter-node phases); more tiles deepen the pipeline.
+pub fn ablation_pipelining(scale: Scale) -> Result<Figure, BenchError> {
+    let machine = Machine::ndv4(2);
+    let ir = build(&msccl_algos::hierarchical_all_reduce(2, 8)?, 4, &machine)?;
+    let tile_choices: &[usize] = &[1, 2, 4, 8, 16, 32];
+    let sizes: Vec<u64> = if scale.is_quick() {
+        vec![64 << 20]
+    } else {
+        vec![16 << 20, 64 << 20, 256 << 20, 1 << 30]
+    };
+    let mut rows = Vec::new();
+    for bytes in sizes {
+        let mut values = Vec::new();
+        for &tiles in tile_choices {
+            let cfg = SimConfig::new(machine.clone())
+                .with_protocol(Protocol::Simple)
+                .with_max_tiles(tiles);
+            values.push(simulate(&ir, &cfg, bytes)?.total_us);
+        }
+        rows.push((bytes, values));
+    }
+    Ok(Figure {
+        id: "ablation_pipelining".into(),
+        title: "tile pipelining (Figure 6): hierarchical AllReduce latency vs pipeline depth"
+            .into(),
+        series: tile_choices
+            .iter()
+            .map(|t| format!("{t} tile(s)"))
+            .collect(),
+        rows,
+        mode: Mode::LatencyUs,
+        paper_claim: "pipelining tiles lets the intra-node and inter-node links work \
+                      concurrently (Figure 6); a single tile serializes the phases"
+            .into(),
+        notes: vec![],
+    })
+}
+
+/// §4.3 ablation: instruction fusion on versus off for the Ring AllReduce.
+/// Values are the speedup of the fused program over the unfused one.
+pub fn ablation_fusion(scale: Scale) -> Result<Figure, BenchError> {
+    let machine = Machine::ndv4(1);
+    let program = msccl_algos::ring_all_reduce(8, 1)?;
+    let instances = 8;
+    let fused = compile(
+        &program,
+        &CompileOptions::default()
+            .with_verify(false)
+            .with_instances(instances),
+    )?;
+    let unfused = compile(
+        &program,
+        &CompileOptions::default()
+            .with_verify(false)
+            .with_instances(instances)
+            .with_fuse(false),
+    )?;
+    let sizes: Vec<u64> = if scale.is_quick() {
+        vec![1 << 20]
+    } else {
+        vec![32 << 10, 1 << 20, 32 << 20, 256 << 20]
+    };
+    let mut rows = Vec::new();
+    for bytes in sizes {
+        let mut values = Vec::new();
+        for protocol in [Protocol::Ll, Protocol::Simple] {
+            let cfg = SimConfig::new(machine.clone()).with_protocol(protocol);
+            let t_fused = simulate(&fused, &cfg, bytes)?.total_us;
+            let t_unfused = simulate(&unfused, &cfg, bytes)?.total_us;
+            values.push(t_unfused / t_fused);
+        }
+        rows.push((bytes, values));
+    }
+    Ok(Figure {
+        id: "ablation_fusion".into(),
+        title: format!(
+            "instruction fusion (§4.3): Ring AllReduce, fused {} vs unfused {} instructions",
+            fused.num_instructions(),
+            unfused.num_instructions()
+        ),
+        series: vec!["LL".into(), "Simple".into()],
+        rows,
+        mode: Mode::Speedup,
+        paper_claim: "fused rcs/rrcs/rrs instructions remove a global-memory round trip per \
+                      hop and halve the instruction count of forwarding chains"
+            .into(),
+        notes: vec![],
+    })
+}
+
+/// §5.1 ablation: the chunk-parallelization sweep. Latency of the Ring
+/// AllReduce at increasing instance counts shows the trade-off the paper
+/// describes: more parallelism saturates fat links at large sizes but
+/// wastes start-up cost at small ones.
+pub fn ablation_parallelization(scale: Scale) -> Result<Figure, BenchError> {
+    let machine = Machine::ndv4(1);
+    let program = msccl_algos::ring_all_reduce(8, 1)?;
+    let choices: &[usize] = &[1, 2, 4, 8, 16, 24];
+    let irs: Vec<_> = choices
+        .iter()
+        .map(|&r| build(&program, r, &machine))
+        .collect::<Result<_, _>>()?;
+    let sizes: Vec<u64> = if scale.is_quick() {
+        vec![4 << 10, 4 << 20]
+    } else {
+        vec![4 << 10, 256 << 10, 4 << 20, 128 << 20]
+    };
+    let mut rows = Vec::new();
+    for bytes in sizes {
+        let protocol = if bytes <= 64 << 10 {
+            Protocol::Ll
+        } else {
+            Protocol::Simple
+        };
+        let cfg = SimConfig::new(machine.clone()).with_protocol(protocol);
+        let mut values = Vec::new();
+        for ir in &irs {
+            values.push(simulate(ir, &cfg, bytes)?.total_us);
+        }
+        rows.push((bytes, values));
+    }
+    Ok(Figure {
+        id: "ablation_parallelization".into(),
+        title: "chunk parallelization (§5.1): Ring AllReduce latency vs instance count".into(),
+        series: choices.iter().map(|r| format!("r={r}")).collect(),
+        rows,
+        mode: Mode::LatencyUs,
+        paper_claim: "a single thread block cannot saturate an NVLink, so large buffers need \
+                      parallelization; beyond a point extra instances only add start-up cost"
+            .into(),
+        notes: vec![],
+    })
+}

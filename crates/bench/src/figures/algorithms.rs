@@ -1,0 +1,140 @@
+//! Algorithm exploration: the DSL's purpose is making it cheap to compare
+//! collective algorithms (§7.1: "one advantage of MSCCLang is the ability
+//! to explore different algorithms easily"). This figure races every
+//! AllReduce in the library on one 8×A100 node, each at its best protocol
+//! per size.
+
+use msccl_topology::{Machine, Protocol};
+use mscclang::IrProgram;
+
+use crate::figures::{build, sim_us};
+use crate::{size_sweep, BenchError, Figure, Mode, Scale};
+
+/// Latency comparison of the AllToAll generations (one-, two- and
+/// three-step) on a multi-node cluster: the message-count/extra-hop
+/// trade-off that drives §7.3.
+pub fn alltoall_generations(scale: Scale) -> Result<Figure, BenchError> {
+    let machine = if scale.is_quick() {
+        Machine::ndv4(2)
+    } else {
+        Machine::ndv4(8)
+    };
+    let (n, g) = (machine.num_nodes(), machine.gpus_per_node());
+    let irs = vec![
+        (
+            "One-step".to_owned(),
+            build(&msccl_algos::one_step_all_to_all(n, g)?, 1, &machine)?,
+        ),
+        (
+            "Two-step".to_owned(),
+            build(&msccl_algos::two_step_all_to_all(n, g)?, 1, &machine)?,
+        ),
+        (
+            "Three-step".to_owned(),
+            build(&msccl_algos::three_step_all_to_all(n, g)?, 1, &machine)?,
+        ),
+    ];
+    let sizes = if scale.is_quick() {
+        size_sweep(16, 22)
+    } else {
+        size_sweep(14, 28)
+    };
+    let mut rows = Vec::with_capacity(sizes.len());
+    for &bytes in &sizes {
+        let mut values = Vec::with_capacity(irs.len());
+        for (_, ir) in &irs {
+            let best = Protocol::ALL
+                .iter()
+                .map(|&p| sim_us(ir, &machine, p, bytes))
+                .collect::<Result<Vec<_>, _>>()?
+                .into_iter()
+                .fold(f64::INFINITY, f64::min);
+            values.push(best);
+        }
+        rows.push((bytes, values));
+    }
+    Ok(Figure {
+        id: "alltoall_generations".into(),
+        title: format!(
+            "AllToAll generations on {} (latency, best protocol per point)",
+            machine.name()
+        ),
+        series: irs.into_iter().map(|(l, _)| l).collect(),
+        rows,
+        mode: Mode::LatencyUs,
+        paper_claim: "aggregation trades extra intra-node hops for fewer InfiniBand \
+                      messages (§7.3); more aggregation wins while per-message overhead \
+                      dominates, and load concentrates on port GPUs at small node counts"
+            .into(),
+        notes: vec![],
+    })
+}
+
+/// Latency comparison of the library's AllReduce algorithms (best protocol
+/// per point) on a single NDv4 node.
+pub fn algorithm_comparison(scale: Scale) -> Result<Figure, BenchError> {
+    let machine = Machine::ndv4(1);
+    let ranks = machine.num_ranks();
+    let entries: Vec<(&str, mscclang::Program, usize)> = vec![
+        ("Ring ch=4", msccl_algos::ring_all_reduce(ranks, 4)?, 8),
+        ("All Pairs", msccl_algos::allpairs_all_reduce(ranks)?, 2),
+        (
+            "Rabenseifner",
+            msccl_algos::rabenseifner_all_reduce(ranks)?,
+            4,
+        ),
+        (
+            "Double tree",
+            msccl_algos::double_binary_tree_all_reduce(ranks, 2)?,
+            4,
+        ),
+        (
+            "Binary tree",
+            msccl_algos::binary_tree_all_reduce(ranks, 1)?,
+            8,
+        ),
+    ];
+    let irs: Vec<(String, IrProgram)> = entries
+        .into_iter()
+        .map(|(label, program, instances)| {
+            build(&program, instances, &machine).map(|ir| (label.to_owned(), ir))
+        })
+        .collect::<Result<_, _>>()?;
+
+    let sizes = if scale.is_quick() {
+        size_sweep(12, 22)
+    } else {
+        size_sweep(10, 27)
+    };
+    let mut rows = Vec::with_capacity(sizes.len());
+    for &bytes in &sizes {
+        let mut values = Vec::with_capacity(irs.len());
+        for (_, ir) in &irs {
+            let best = Protocol::ALL
+                .iter()
+                .map(|&p| sim_us(ir, &machine, p, bytes))
+                .collect::<Result<Vec<_>, _>>()?
+                .into_iter()
+                .fold(f64::INFINITY, f64::min);
+            values.push(best);
+        }
+        rows.push((bytes, values));
+    }
+    Ok(Figure {
+        id: "algorithm_comparison".into(),
+        title: "AllReduce algorithm exploration on 1x NDv4 (latency, best protocol per point)"
+            .into(),
+        series: irs.into_iter().map(|(l, _)| l).collect(),
+        rows,
+        mode: Mode::LatencyUs,
+        paper_claim: "the DSL makes exploring algorithmic alternatives cheap (§7.1); low-depth \
+                      algorithms (All Pairs, trees, Rabenseifner) win small sizes, \
+                      bandwidth-optimal ones (Ring, Rabenseifner) win large sizes"
+            .into(),
+        notes: vec![
+            "all algorithms compiled by the same pipeline; instance counts fixed per \
+             algorithm, protocol chosen per point"
+                .into(),
+        ],
+    })
+}

@@ -1,0 +1,184 @@
+//! AllToAll figures: 8e (32-node 256×A100), 8f (4-node 64×V100), plus the
+//! send-aggregation ablation (§5.1).
+
+use msccl_baselines::{CudaTwoStep, Nccl};
+use msccl_topology::{Machine, Protocol};
+use mscclang::{BufferKind, Collective, Program};
+
+use crate::figures::{build, sim_us};
+use crate::{size_sweep, BenchError, Figure, Mode, Scale};
+
+/// The protocol the Two-Step implementations select per buffer size (§7.3
+/// tunes "the protocol for the buffer size").
+fn a2a_protocol(bytes: u64) -> Protocol {
+    if bytes <= 16 << 20 {
+        Protocol::Ll128
+    } else {
+        Protocol::Simple
+    }
+}
+
+fn alltoall_figure(
+    id: &str,
+    title: &str,
+    machine: Machine,
+    instances: usize,
+    sizes: &[u64],
+    paper_claim: &str,
+) -> Result<Figure, BenchError> {
+    let (n, g) = (machine.num_nodes(), machine.gpus_per_node());
+    let two_step = msccl_algos::two_step_all_to_all(n, g)?;
+    let ir_ll128 = build(&two_step, instances, &machine)?;
+    let cuda = CudaTwoStep::new(machine.clone())?;
+    let nccl = Nccl::new(machine.clone())?;
+
+    let series = vec![
+        format!("MSCCLang Two-step LL128 r={instances}"),
+        format!("MSCCLang Two-step Simple r={instances}"),
+        "NCCL".to_owned(),
+    ];
+    let mut rows = Vec::with_capacity(sizes.len());
+    for &bytes in sizes {
+        let base = cuda.all_to_all_us(bytes, a2a_protocol(bytes))?;
+        let ll128 = sim_us(&ir_ll128, &machine, Protocol::Ll128, bytes)?;
+        let simple = sim_us(&ir_ll128, &machine, Protocol::Simple, bytes)?;
+        let nccl_t = nccl.all_to_all_us(bytes)?;
+        rows.push((bytes, vec![base / ll128, base / simple, base / nccl_t]));
+    }
+    Ok(Figure {
+        id: id.into(),
+        title: title.into(),
+        series,
+        rows,
+        mode: Mode::Speedup,
+        paper_claim: paper_claim.into(),
+        notes: vec![format!(
+            "baseline: hand-written CUDA Two-Step on {}",
+            machine.name()
+        )],
+    })
+}
+
+/// Figure 8e: 256×A100 Two-Step AllToAll, speedup over the hand-optimized
+/// CUDA implementation.
+pub fn fig8e(scale: Scale) -> Result<Figure, BenchError> {
+    let (machine, sizes) = if scale.is_quick() {
+        (Machine::ndv4(4), size_sweep(20, 26))
+    } else {
+        (Machine::ndv4(32), size_sweep(18, 32))
+    };
+    alltoall_figure(
+        "fig8e",
+        "256xA100 (32 NDv4 nodes) AllToAll (speedup over CUDA Two-Step)",
+        machine,
+        1,
+        &sizes,
+        "up to 1.3x over the hand-optimized CUDA Two-Step at large sizes; both Two-Steps \
+         far faster than NCCL; at >512MB the CUDA version drops below NCCL while MSCCLang \
+         stays ~20% faster",
+    )
+}
+
+/// Figure 8f: 4-node 64×V100 Two-Step AllToAll.
+pub fn fig8f(scale: Scale) -> Result<Figure, BenchError> {
+    let (machine, sizes) = if scale.is_quick() {
+        (Machine::dgx2(2), size_sweep(20, 26))
+    } else {
+        (Machine::dgx2(4), size_sweep(20, 32))
+    };
+    alltoall_figure(
+        "fig8f",
+        "4-node, 64xV100 AllToAll (speedup over CUDA Two-Step)",
+        machine,
+        2,
+        &sizes,
+        "up to ~1.2x over the CUDA Two-Step",
+    )
+}
+
+/// A Two-Step AllToAll whose cross-node sends are *not* aggregated: the
+/// staging copies still happen, but each chunk crosses InfiniBand as its
+/// own message. Isolates the benefit of multi-count sends (§5.1).
+fn two_step_unaggregated(n_dim: usize, g_dim: usize) -> Result<Program, mscclang::Error> {
+    let rank = |node: usize, gpu: usize| node * g_dim + gpu;
+    let coll = Collective::all_to_all(n_dim * g_dim, 1);
+    let mut p = Program::new("two_step_alltoall_noagg", coll);
+    for n in 0..n_dim {
+        for g in 0..g_dim {
+            for m in 0..n_dim {
+                for i in 0..g_dim {
+                    let c = p.chunk(rank(m, i), BufferKind::Input, rank(n, g), 1)?;
+                    if n == m {
+                        let _ = p.copy(&c, rank(n, g), BufferKind::Output, rank(m, i))?;
+                    } else {
+                        let _ = p.copy(&c, rank(m, g), BufferKind::Scratch, rank(n, i))?;
+                    }
+                }
+                if n != m {
+                    for i in 0..g_dim {
+                        let c = p.chunk(rank(m, g), BufferKind::Scratch, n * g_dim + i, 1)?;
+                        let _ = p.copy(&c, rank(n, g), BufferKind::Output, m * g_dim + i)?;
+                    }
+                }
+            }
+        }
+    }
+    Ok(p)
+}
+
+/// Ablation: aggregated versus per-chunk cross-node sends in the Two-Step
+/// AllToAll (§5.1 "Aggregation").
+pub fn ablation_aggregation(scale: Scale) -> Result<Figure, BenchError> {
+    let machine = if scale.is_quick() {
+        Machine::ndv4(2)
+    } else {
+        Machine::ndv4(4)
+    };
+    let (n, g) = (machine.num_nodes(), machine.gpus_per_node());
+    let agg = build(&msccl_algos::two_step_all_to_all(n, g)?, 1, &machine)?;
+    let unagg_src = two_step_unaggregated(n, g)?;
+    let noagg = build(&unagg_src, 1, &machine)?;
+    // The automatic aggregation pass applied to the unaggregated source
+    // recovers the multi-count sends.
+    let auto = mscclang::compile(
+        &unagg_src,
+        &mscclang::CompileOptions::default()
+            .with_verify(false)
+            .with_aggregate(true)
+            .with_max_tbs_per_rank(machine.num_sms()),
+    )?;
+    let sizes = if scale.is_quick() {
+        vec![1 << 20, 1 << 24]
+    } else {
+        vec![1 << 18, 1 << 21, 1 << 24, 1 << 27, 1 << 30]
+    };
+    let mut rows = Vec::new();
+    for bytes in sizes {
+        let protocol = a2a_protocol(bytes);
+        let base = sim_us(&noagg, &machine, protocol, bytes)?;
+        let t_agg = sim_us(&agg, &machine, protocol, bytes)?;
+        let t_auto = sim_us(&auto, &machine, protocol, bytes)?;
+        rows.push((bytes, vec![base / t_agg, base / t_auto]));
+    }
+    Ok(Figure {
+        id: "ablation_aggregation".into(),
+        title: format!(
+            "aggregated vs per-chunk IB sends, Two-Step AllToAll, {}",
+            machine.name()
+        ),
+        series: vec![
+            "hand-aggregated / unaggregated".into(),
+            "auto-aggregation pass / unaggregated".into(),
+        ],
+        rows,
+        mode: Mode::Speedup,
+        paper_claim: "aggregating cross-node sends amortizes the per-message IB overhead (§5.1); \
+                      gains shrink as messages grow"
+            .into(),
+        notes: vec![
+            "the compiler's automatic pass recovers Figure 9's aggregation from the \
+                     per-chunk source"
+                .into(),
+        ],
+    })
+}

@@ -1,0 +1,147 @@
+//! Figure data and markdown rendering.
+
+use std::fmt;
+
+use crate::human_bytes;
+
+/// How a figure's values are reported.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// Values are speedups of each series over the named baseline (the
+    /// paper's Figure 8 style).
+    Speedup,
+    /// Values are absolute latencies in microseconds (Figure 11 style).
+    LatencyUs,
+}
+
+/// A reproduced figure: per-size values for each series.
+#[derive(Debug, Clone)]
+pub struct Figure {
+    /// Identifier, e.g. `"fig8a"`.
+    pub id: String,
+    /// Title matching the paper's caption.
+    pub title: String,
+    /// Series labels (columns).
+    pub series: Vec<String>,
+    /// Rows: buffer size and one value per series.
+    pub rows: Vec<(u64, Vec<f64>)>,
+    /// Value interpretation.
+    pub mode: Mode,
+    /// What the paper reports for this figure, for EXPERIMENTS.md.
+    pub paper_claim: String,
+    /// Free-form observations filled in by the generator.
+    pub notes: Vec<String>,
+}
+
+impl Figure {
+    /// The largest value a given series reaches across the sweep (the
+    /// "up to N×" numbers the paper quotes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `series` is out of range.
+    #[must_use]
+    pub fn peak(&self, series: usize) -> f64 {
+        assert!(series < self.series.len());
+        self.rows
+            .iter()
+            .map(|(_, v)| v[series])
+            .fold(f64::NAN, f64::max)
+    }
+
+    /// The best (max for speedups, min for latencies) value across all
+    /// series at the row closest to `bytes`.
+    #[must_use]
+    pub fn best_at(&self, bytes: u64) -> Option<(usize, f64)> {
+        let (_, values) = self.rows.iter().min_by_key(|(b, _)| b.abs_diff(bytes))?;
+        let pick = |a: &(usize, &f64), b: &(usize, &f64)| match self.mode {
+            Mode::Speedup => a.1.total_cmp(b.1),
+            Mode::LatencyUs => b.1.total_cmp(a.1),
+        };
+        values
+            .iter()
+            .enumerate()
+            .max_by(|a, b| pick(&(a.0, a.1), &(b.0, b.1)))
+            .map(|(i, &v)| (i, v))
+    }
+
+    /// Renders the figure as a markdown table.
+    #[must_use]
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("### {} — {}\n\n", self.id, self.title));
+        let unit = match self.mode {
+            Mode::Speedup => "speedup",
+            Mode::LatencyUs => "latency (us)",
+        };
+        out.push_str(&format!("| size | {} |\n", self.series.join(" | ")));
+        out.push_str(&format!("|---{}|\n", "|---".repeat(self.series.len())));
+        for (bytes, values) in &self.rows {
+            let cells: Vec<String> = values
+                .iter()
+                .map(|v| match self.mode {
+                    Mode::Speedup => format!("{v:.2}x"),
+                    Mode::LatencyUs => format!("{v:.1}"),
+                })
+                .collect();
+            out.push_str(&format!(
+                "| {} | {} |\n",
+                human_bytes(*bytes),
+                cells.join(" | ")
+            ));
+        }
+        out.push_str(&format!(
+            "\n*values: {unit}; paper: {}*\n",
+            self.paper_claim
+        ));
+        for n in &self.notes {
+            out.push_str(&format!("- {n}\n"));
+        }
+        out
+    }
+}
+
+impl fmt::Display for Figure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_markdown())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Figure {
+        Figure {
+            id: "figX".into(),
+            title: "test".into(),
+            series: vec!["a".into(), "b".into()],
+            rows: vec![(1024, vec![1.5, 0.9]), (2048, vec![2.0, 1.1])],
+            mode: Mode::Speedup,
+            paper_claim: "up to 2x".into(),
+            notes: vec!["note".into()],
+        }
+    }
+
+    #[test]
+    fn peak_finds_max() {
+        assert_eq!(sample().peak(0), 2.0);
+        assert_eq!(sample().peak(1), 1.1);
+    }
+
+    #[test]
+    fn best_at_picks_mode_appropriately() {
+        let mut f = sample();
+        assert_eq!(f.best_at(2048), Some((0, 2.0)));
+        f.mode = Mode::LatencyUs;
+        assert_eq!(f.best_at(2048), Some((1, 1.1)));
+    }
+
+    #[test]
+    fn markdown_contains_rows_and_notes() {
+        let md = sample().to_markdown();
+        assert!(md.contains("| 1KB | 1.50x | 0.90x |"));
+        assert!(md.contains("- note"));
+        assert!(md.contains("figX"));
+    }
+}

@@ -1,0 +1,193 @@
+//! Minimal dependency-free argument parsing.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// A parsed command line: the subcommand, its positional operands and
+/// `--key value` options (bare `--flag`s get the value `"true"`).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Args {
+    /// The subcommand name.
+    pub command: String,
+    /// Positional operands after the subcommand.
+    pub positional: Vec<String>,
+    /// `--key value` options, keys without the dashes.
+    pub options: HashMap<String, String>,
+}
+
+impl Args {
+    /// Fetches an option parsed as `T`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error naming the option when present but unparsable.
+    pub fn opt<T: std::str::FromStr>(&self, key: &str) -> Result<Option<T>, CliError> {
+        match self.options.get(key) {
+            None => Ok(None),
+            Some(v) => v
+                .parse()
+                .map(Some)
+                .map_err(|_| CliError::new(format!("invalid value '{v}' for --{key}"))),
+        }
+    }
+
+    /// Fetches an option parsed as `T`, with a default.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when present but unparsable.
+    pub fn opt_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, CliError> {
+        Ok(self.opt(key)?.unwrap_or(default))
+    }
+
+    /// Whether a bare flag was given.
+    #[must_use]
+    pub fn flag(&self, key: &str) -> bool {
+        self.options.contains_key(key)
+    }
+
+    /// The single required positional operand.
+    ///
+    /// # Errors
+    ///
+    /// Errors when missing.
+    pub fn positional1(&self, what: &str) -> Result<&str, CliError> {
+        self.positional
+            .first()
+            .map(String::as_str)
+            .ok_or_else(|| CliError::new(format!("missing {what}")))
+    }
+}
+
+/// A user-facing command-line error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CliError {
+    message: String,
+}
+
+impl CliError {
+    /// Creates an error with the given message.
+    #[must_use]
+    pub fn new(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<mscclang::Error> for CliError {
+    fn from(e: mscclang::Error) -> Self {
+        CliError::new(e.to_string())
+    }
+}
+
+impl From<msccl_sim::SimError> for CliError {
+    fn from(e: msccl_sim::SimError) -> Self {
+        CliError::new(e.to_string())
+    }
+}
+
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> Self {
+        CliError::new(e.to_string())
+    }
+}
+
+/// Parses raw arguments (without the program name).
+///
+/// # Errors
+///
+/// Returns an error for an empty command line or an option missing its
+/// value (options may also be written `--key=value`).
+pub fn parse_args<I: IntoIterator<Item = String>>(raw: I) -> Result<Args, CliError> {
+    let mut iter = raw.into_iter().peekable();
+    let command = iter
+        .next()
+        .ok_or_else(|| CliError::new("missing command; try 'msccl help'"))?;
+    let mut args = Args {
+        command,
+        ..Args::default()
+    };
+    while let Some(token) = iter.next() {
+        if let Some(key) = token.strip_prefix("--") {
+            if let Some((k, v)) = key.split_once('=') {
+                args.options.insert(k.to_owned(), v.to_owned());
+            } else if iter.peek().is_some_and(|next| !next.starts_with('-')) {
+                args.options
+                    .insert(key.to_owned(), iter.next().expect("peeked"));
+            } else {
+                args.options.insert(key.to_owned(), "true".to_owned());
+            }
+        } else if let Some(key) = token.strip_prefix('-') {
+            // Short options always take a value (-o file).
+            let value = iter
+                .next()
+                .ok_or_else(|| CliError::new(format!("option -{key} needs a value")))?;
+            let long = match key {
+                "o" => "output",
+                other => other,
+            };
+            args.options.insert(long.to_owned(), value);
+        } else {
+            args.positional.push(token);
+        }
+    }
+    Ok(args)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> Args {
+        parse_args(s.split_whitespace().map(String::from)).unwrap()
+    }
+
+    #[test]
+    fn parses_command_positionals_and_options() {
+        let a = parse("compile ring-allreduce --ranks 8 --no-fuse -o out.xml");
+        assert_eq!(a.command, "compile");
+        assert_eq!(a.positional, vec!["ring-allreduce"]);
+        assert_eq!(a.opt::<usize>("ranks").unwrap(), Some(8));
+        assert!(a.flag("no-fuse"));
+        assert_eq!(a.options["output"], "out.xml");
+    }
+
+    #[test]
+    fn equals_form_is_supported() {
+        let a = parse("simulate f.xml --size=32MB");
+        assert_eq!(a.options["size"], "32MB");
+    }
+
+    #[test]
+    fn trailing_flag_has_true_value() {
+        let a = parse("verify f.xml --races");
+        assert_eq!(a.options["races"], "true");
+    }
+
+    #[test]
+    fn bad_numeric_option_is_reported() {
+        let a = parse("compile x --ranks eight");
+        let err = a.opt::<usize>("ranks").unwrap_err();
+        assert!(err.to_string().contains("--ranks"));
+    }
+
+    #[test]
+    fn empty_command_line_errors() {
+        assert!(parse_args(Vec::<String>::new()).is_err());
+    }
+
+    #[test]
+    fn defaults_apply() {
+        let a = parse("compile x");
+        assert_eq!(a.opt_or("instances", 1usize).unwrap(), 1);
+    }
+}

@@ -1,0 +1,568 @@
+//! The subcommands and their registry of buildable algorithms.
+
+use std::fmt::Write as _;
+
+use msccl_runtime::{execute, reference, RunOptions};
+use msccl_sim::{simulate, SimConfig};
+use msccl_topology::Protocol;
+use mscclang::{compile, ir_xml, verify, CompileOptions, IrProgram, Program};
+
+use crate::args::{Args, CliError};
+use crate::machine_spec::{parse_machine, parse_size};
+
+/// The `msccl help` text.
+pub const HELP: &str = "\
+msccl — MSCCLang compiler and tools (paper reproduction)
+
+USAGE:
+    msccl <command> [arguments]
+
+COMMANDS:
+    list                          list buildable algorithms
+    compile <algorithm> [opts]    build an algorithm and emit MSCCL-IR XML
+        --ranks N | --nodes N --gpus N    dimensions (per algorithm)
+        --channels N                      ring channel count
+        --chunks N                        chunk factor (tree)
+        --instances N                     parallelization factor r
+        --protocol Simple|LL|LL128        protocol hint stored in the IR
+        --no-fuse                         disable instruction fusion
+        --aggregate                       auto-merge contiguous sends
+        --dce                             drop staging whose result is unread
+        --slots N                         FIFO budget the schedule must respect
+        -o FILE                           write XML here (default: stdout)
+    verify <file.xml> [--slots N]  symbolically execute and check the IR
+    inspect <file.xml>             print the IR and schedule statistics
+    graph <file.xml>               emit a Graphviz DOT rendering of the IR
+    simulate <file.xml> --machine M --size S [--protocol P] [--timeline F]
+                                   estimate latency (M: ndv4[:N], dgx2[:N], dgx1,
+                                   or custom:<nodes>x<gpus>[:intra_gbps[:nic_gbps]]);
+                                   --timeline writes per-thread-block busy
+                                   intervals as CSV to F
+    run <file.xml> [--elems N]     execute on real data and check numerics
+    tune <algorithm> --machine M [--sizes 4KB,1MB,...] [dimension opts]
+                                   sweep (instances x protocol) and print
+                                   the best configuration per buffer size
+    help                           this text
+";
+
+/// Dispatches a parsed command line; returns the text to print.
+///
+/// # Errors
+///
+/// Returns a [`CliError`] describing what went wrong, suitable for
+/// printing to stderr.
+pub fn dispatch(args: &Args) -> Result<String, CliError> {
+    match args.command.as_str() {
+        "help" | "--help" => Ok(HELP.to_owned()),
+        "list" => Ok(list()),
+        "compile" => cmd_compile(args),
+        "verify" => cmd_verify(args),
+        "inspect" => cmd_inspect(args),
+        "graph" => Ok(mscclang::dot::ir_dot(&load_ir(args)?)),
+        "simulate" => cmd_simulate(args),
+        "run" => cmd_run(args),
+        "tune" => cmd_tune(args),
+        other => Err(CliError::new(format!(
+            "unknown command '{other}'; try 'msccl help'"
+        ))),
+    }
+}
+
+/// `(name, description, dimension hint)` for each buildable algorithm.
+const ALGORITHMS: &[(&str, &str, &str)] = &[
+    (
+        "ring-allreduce",
+        "Ring AllReduce (Fig. 3b), --channels distributes the ring",
+        "--ranks",
+    ),
+    (
+        "allpairs-allreduce",
+        "All Pairs AllReduce for small buffers (§7.1.2)",
+        "--ranks",
+    ),
+    (
+        "hierarchical-allreduce",
+        "hierarchical AllReduce (Fig. 3a)",
+        "--nodes --gpus",
+    ),
+    (
+        "two-step-alltoall",
+        "Two-Step AllToAll with aggregated IB sends (Fig. 9)",
+        "--nodes --gpus",
+    ),
+    (
+        "one-step-alltoall",
+        "naive point-to-point AllToAll",
+        "--nodes --gpus",
+    ),
+    (
+        "alltonext",
+        "AllToNext custom collective (§7.4)",
+        "--nodes --gpus",
+    ),
+    (
+        "hcm-allgather",
+        "3-step AllGather for the DGX-1 cube mesh (§7.5)",
+        "(fixed 8 ranks)",
+    ),
+    (
+        "recursive-doubling-allgather",
+        "recursive doubling AllGather",
+        "--ranks (power of 2)",
+    ),
+    (
+        "tree-allreduce",
+        "binary tree AllReduce",
+        "--ranks [--chunks]",
+    ),
+    (
+        "double-tree-allreduce",
+        "NCCL-style double binary tree AllReduce",
+        "--ranks [--chunks]",
+    ),
+    (
+        "rabenseifner-allreduce",
+        "recursive halving+doubling AllReduce",
+        "--ranks (power of 2)",
+    ),
+    (
+        "broadcast",
+        "binomial tree Broadcast",
+        "--ranks [--root R] [--chunks]",
+    ),
+    (
+        "reduce",
+        "binomial tree Reduce",
+        "--ranks [--root R] [--chunks]",
+    ),
+    ("gather", "linear Gather", "--ranks [--root R] [--chunks]"),
+    ("scatter", "linear Scatter", "--ranks [--root R] [--chunks]"),
+];
+
+fn list() -> String {
+    let mut out = String::from("buildable algorithms:\n");
+    for (name, desc, dims) in ALGORITHMS {
+        let _ = writeln!(out, "  {name:<30} {desc}  [{dims}]");
+    }
+    out
+}
+
+/// Builds a program from the registry.
+fn build_program(args: &Args) -> Result<Program, CliError> {
+    let name = args.positional1("algorithm name (try 'msccl list')")?;
+    let ranks: Option<usize> = args.opt("ranks")?;
+    let nodes: usize = args.opt_or("nodes", 2)?;
+    let gpus: usize = args.opt_or("gpus", 8)?;
+    let need_ranks = || ranks.ok_or_else(|| CliError::new("--ranks is required"));
+    let program = match name {
+        "ring-allreduce" => {
+            msccl_algos::ring_all_reduce(need_ranks()?, args.opt_or("channels", 1)?)?
+        }
+        "allpairs-allreduce" => msccl_algos::allpairs_all_reduce(need_ranks()?)?,
+        "hierarchical-allreduce" => msccl_algos::hierarchical_all_reduce(nodes, gpus)?,
+        "two-step-alltoall" => msccl_algos::two_step_all_to_all(nodes, gpus)?,
+        "one-step-alltoall" => msccl_algos::one_step_all_to_all(nodes, gpus)?,
+        "alltonext" => msccl_algos::all_to_next(nodes, gpus)?,
+        "hcm-allgather" => msccl_algos::hcm_allgather()?,
+        "recursive-doubling-allgather" => {
+            msccl_algos::recursive_doubling_all_gather(need_ranks()?)?
+        }
+        "tree-allreduce" => {
+            msccl_algos::binary_tree_all_reduce(need_ranks()?, args.opt_or("chunks", 1)?)?
+        }
+        "double-tree-allreduce" => {
+            msccl_algos::double_binary_tree_all_reduce(need_ranks()?, args.opt_or("chunks", 2)?)?
+        }
+        "rabenseifner-allreduce" => msccl_algos::rabenseifner_all_reduce(need_ranks()?)?,
+        "broadcast" => msccl_algos::binomial_broadcast(
+            need_ranks()?,
+            args.opt_or("chunks", 1)?,
+            args.opt_or("root", 0)?,
+        )?,
+        "reduce" => msccl_algos::binomial_reduce(
+            need_ranks()?,
+            args.opt_or("chunks", 1)?,
+            args.opt_or("root", 0)?,
+        )?,
+        "gather" => msccl_algos::linear_gather(
+            need_ranks()?,
+            args.opt_or("chunks", 1)?,
+            args.opt_or("root", 0)?,
+        )?,
+        "scatter" => msccl_algos::linear_scatter(
+            need_ranks()?,
+            args.opt_or("chunks", 1)?,
+            args.opt_or("root", 0)?,
+        )?,
+        other => {
+            return Err(CliError::new(format!(
+                "unknown algorithm '{other}'; try 'msccl list'"
+            )))
+        }
+    };
+    Ok(program)
+}
+
+fn cmd_compile(args: &Args) -> Result<String, CliError> {
+    let mut program = build_program(args)?;
+    if let Some(proto) = args.options.get("protocol") {
+        let protocol = Protocol::parse(proto)
+            .ok_or_else(|| CliError::new(format!("unknown protocol '{proto}'")))?;
+        program.set_protocol(protocol);
+    }
+    program.validate()?;
+    let opts = CompileOptions::default()
+        .with_instances(args.opt_or("instances", 1)?)
+        .with_fuse(!args.flag("no-fuse"))
+        .with_aggregate(args.flag("aggregate"))
+        .with_eliminate_dead(args.flag("dce"))
+        .with_slots(args.opt_or("slots", 8)?);
+    let ir = compile(&program, &opts)?;
+    let xml = ir_xml::to_xml(&ir);
+    match args.options.get("output") {
+        Some(path) => {
+            std::fs::write(path, &xml)?;
+            Ok(format!(
+                "wrote {path}: {} ranks, {} thread blocks, {} instructions (verified)\n",
+                ir.num_ranks(),
+                ir.num_threadblocks(),
+                ir.num_instructions()
+            ))
+        }
+        None => Ok(xml),
+    }
+}
+
+fn load_ir(args: &Args) -> Result<IrProgram, CliError> {
+    let path = args.positional1("MSCCL-IR XML file")?;
+    let xml = std::fs::read_to_string(path)?;
+    Ok(ir_xml::from_xml(&xml)?)
+}
+
+fn cmd_verify(args: &Args) -> Result<String, CliError> {
+    let ir = load_ir(args)?;
+    let opts = verify::VerifyOptions {
+        slots: args.opt_or("slots", 8)?,
+        check_races: true,
+    };
+    let report = verify::check(&ir, &opts)?;
+    Ok(format!(
+        "{}: OK — {} instructions across {} thread blocks, deadlock-free at {} slot(s), \
+         race-free, postcondition satisfied (peak queue depth {})\n",
+        ir.name,
+        report.instructions_executed,
+        report.threadblocks,
+        opts.slots,
+        report.max_queue_depth
+    ))
+}
+
+fn cmd_inspect(args: &Args) -> Result<String, CliError> {
+    let ir = load_ir(args)?;
+    let mut out = format!("{ir}");
+    let _ = writeln!(
+        out,
+        "\nschedule: protocol hint {:?}, refinement x{}\n{}",
+        ir.protocol,
+        ir.refinement,
+        mscclang::IrStats::compute(&ir)
+    );
+    Ok(out)
+}
+
+fn cmd_simulate(args: &Args) -> Result<String, CliError> {
+    let ir = load_ir(args)?;
+    let machine = parse_machine(
+        args.options
+            .get("machine")
+            .ok_or_else(|| CliError::new("--machine is required (e.g. ndv4:2)"))?,
+    )?;
+    let bytes = parse_size(
+        args.options
+            .get("size")
+            .ok_or_else(|| CliError::new("--size is required"))?,
+    )?;
+    let mut cfg = SimConfig::new(machine);
+    if let Some(p) = args.options.get("protocol") {
+        cfg = cfg.with_protocol(
+            Protocol::parse(p).ok_or_else(|| CliError::new(format!("unknown protocol '{p}'")))?,
+        );
+    }
+    if args.options.contains_key("timeline") {
+        cfg = cfg.with_timeline(true);
+    }
+    let r = simulate(&ir, &cfg, bytes)?;
+    if let Some(path) = args.options.get("timeline") {
+        let mut csv = String::from("rank,tb,start_us,end_us,activity\n");
+        for e in &r.timeline {
+            let _ = writeln!(
+                csv,
+                "{},{},{:.3},{:.3},{:?}",
+                e.rank, e.tb, e.start_us, e.end_us, e.activity
+            );
+        }
+        std::fs::write(path, csv)?;
+    }
+    let ntbs = ir.num_threadblocks().max(1) as f64;
+    Ok(format!(
+        "{}: {:.1} us at {} bytes ({} protocol, {} tiles, {} transfers, utilization {:.0}%)\n",
+        ir.name,
+        r.total_us,
+        bytes,
+        r.protocol,
+        r.tiles,
+        r.flows,
+        100.0 * r.busy_us / (r.total_us * ntbs)
+    ))
+}
+
+fn cmd_run(args: &Args) -> Result<String, CliError> {
+    let ir = load_ir(args)?;
+    let chunk_elems: usize = args.opt_or("elems", 256)?;
+    if chunk_elems == 0 {
+        return Err(CliError::new("--elems must be positive"));
+    }
+    let inputs = reference::random_inputs(&ir, chunk_elems, 0xFEED);
+    let outputs = execute(&ir, &inputs, chunk_elems, &RunOptions::default())
+        .map_err(|e| CliError::new(e.to_string()))?;
+    reference::check_outputs(
+        &ir.collective,
+        &inputs,
+        &outputs,
+        chunk_elems,
+        mscclang::ReduceOp::Sum,
+    )
+    .map_err(CliError::new)?;
+    Ok(format!(
+        "{}: executed on {} threads, {} elements/rank — results match the golden collective\n",
+        ir.name,
+        ir.num_threadblocks(),
+        ir.collective.in_chunks() * chunk_elems
+    ))
+}
+
+fn cmd_tune(args: &Args) -> Result<String, CliError> {
+    use msccl_sim::simulate as sim;
+    let machine = parse_machine(
+        args.options
+            .get("machine")
+            .ok_or_else(|| CliError::new("--machine is required (e.g. ndv4:1)"))?,
+    )?;
+    let program = build_program(args)?;
+    program.validate()?;
+    let sizes: Vec<u64> = match args.options.get("sizes") {
+        Some(list) => list.split(',').map(parse_size).collect::<Result<_, _>>()?,
+        None => vec![4 << 10, 64 << 10, 1 << 20, 16 << 20, 256 << 20],
+    };
+    // Grid: instance counts within the channel budget x protocols.
+    let max_directive = program
+        .ops()
+        .iter()
+        .filter_map(|o| o.channel)
+        .max()
+        .unwrap_or(0);
+    let max_fragment = program
+        .ops()
+        .iter()
+        .map(|o| o.fragment_factor)
+        .max()
+        .unwrap_or(1);
+    let stride = max_directive + 1;
+    let mut irs = Vec::new();
+    for instances in [1usize, 2, 4, 8, 16, 24] {
+        // Highest channel an instance can claim must stay under 32.
+        if max_directive + (instances * max_fragment - 1) * stride >= 32 {
+            continue;
+        }
+        let compiled = compile(
+            &program,
+            &CompileOptions::default()
+                .with_verify(false)
+                .with_instances(instances)
+                .with_max_tbs_per_rank(machine.num_sms()),
+        );
+        if let Ok(ir) = compiled {
+            irs.push((instances, ir));
+        }
+    }
+    if irs.is_empty() {
+        return Err(CliError::new("no instance count fits this machine"));
+    }
+    let mut out = format!(
+        "tuning {} on {} over {} configurations
+{:>10} | {:>22} | {:>12}
+",
+        program.name(),
+        machine.name(),
+        irs.len() * Protocol::ALL.len(),
+        "size",
+        "best configuration",
+        "time"
+    );
+    for &bytes in &sizes {
+        let mut best: Option<(String, f64)> = None;
+        for (instances, ir) in &irs {
+            for protocol in Protocol::ALL {
+                let cfg = SimConfig::new(machine.clone()).with_protocol(protocol);
+                let t = sim(ir, &cfg, bytes)?.total_us;
+                if best.as_ref().is_none_or(|(_, b)| t < *b) {
+                    best = Some((format!("r={instances} {protocol}"), t));
+                }
+            }
+        }
+        let (label, t) = best.expect("non-empty grid");
+        let _ = writeln!(
+            out,
+            "{:>10} | {:>22} | {:>10.1}us",
+            crate::machine_spec::format_size(bytes),
+            label,
+            t
+        );
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::parse_args;
+
+    fn run(line: &str) -> Result<String, CliError> {
+        dispatch(&parse_args(line.split_whitespace().map(String::from)).unwrap())
+    }
+
+    fn tmp(name: &str) -> String {
+        let mut p = std::env::temp_dir();
+        p.push(format!("msccl-cli-test-{}-{name}", std::process::id()));
+        p.to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn list_names_all_algorithms() {
+        let out = run("list").unwrap();
+        for (name, _, _) in ALGORITHMS {
+            assert!(out.contains(name), "missing {name}");
+        }
+    }
+
+    #[test]
+    fn help_is_returned() {
+        assert!(run("help").unwrap().contains("USAGE"));
+    }
+
+    #[test]
+    fn unknown_command_errors() {
+        assert!(run("frobnicate").is_err());
+    }
+
+    #[test]
+    fn compile_emits_xml_on_stdout() {
+        let out = run("compile ring-allreduce --ranks 4").unwrap();
+        assert!(out.starts_with("<algo"));
+        assert!(out.contains("coll=\"allreduce\""));
+    }
+
+    #[test]
+    fn full_pipeline_through_a_file() {
+        let path = tmp("ring.xml");
+        let out = run(&format!(
+            "compile ring-allreduce --ranks 4 --instances 2 -o {path}"
+        ))
+        .unwrap();
+        assert!(out.contains("wrote"));
+
+        let v = run(&format!("verify {path}")).unwrap();
+        assert!(v.contains("OK"));
+
+        let i = run(&format!("inspect {path}")).unwrap();
+        assert!(i.contains("schedule:"));
+        assert!(i.contains("critical path:"));
+
+        let s = run(&format!(
+            "simulate {path} --machine ndv4:1 --size 4MB --protocol LL128"
+        ))
+        .unwrap();
+        assert!(s.contains("us at"));
+
+        let r = run(&format!("run {path} --elems 32")).unwrap();
+        assert!(r.contains("match the golden collective"));
+
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn compile_requires_dimensions() {
+        let err = run("compile ring-allreduce").unwrap_err();
+        assert!(err.to_string().contains("--ranks"));
+    }
+
+    #[test]
+    fn compile_rejects_unknown_algorithm() {
+        let err = run("compile warp-drive --ranks 4").unwrap_err();
+        assert!(err.to_string().contains("warp-drive"));
+    }
+
+    #[test]
+    fn simulate_requires_machine_and_size() {
+        let path = tmp("req.xml");
+        let _ = run(&format!("compile allpairs-allreduce --ranks 4 -o {path}")).unwrap();
+        assert!(run(&format!("simulate {path}"))
+            .unwrap_err()
+            .to_string()
+            .contains("--machine"));
+        assert!(run(&format!("simulate {path} --machine dgx1"))
+            .unwrap_err()
+            .to_string()
+            .contains("--size"));
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn tune_sweeps_configurations() {
+        let out = run("tune ring-allreduce --ranks 8 --channels 2 --machine ndv4:1                        --sizes 8KB,4MB")
+            .unwrap();
+        assert!(out.contains("best configuration"));
+        assert!(out.contains("8KB"));
+        assert!(out.contains("4MB"));
+        assert!(out.contains("r="));
+    }
+
+    #[test]
+    fn simulate_writes_timeline_csv() {
+        let path = tmp("tl.xml");
+        let csv = tmp("tl.csv");
+        let _ = run(&format!("compile ring-allreduce --ranks 4 -o {path}")).unwrap();
+        let _ = run(&format!(
+            "simulate {path} --machine ndv4:1 --size 1MB --timeline {csv}"
+        ))
+        .unwrap();
+        let data = std::fs::read_to_string(&csv).unwrap();
+        assert!(data.starts_with("rank,tb,start_us,end_us,activity"));
+        assert!(data.lines().count() > 4);
+        let _ = std::fs::remove_file(path);
+        let _ = std::fs::remove_file(csv);
+    }
+
+    #[test]
+    fn graph_emits_dot() {
+        let path = tmp("dot.xml");
+        let _ = run(&format!("compile tree-allreduce --ranks 4 -o {path}")).unwrap();
+        let dot = run(&format!("graph {path}")).unwrap();
+        assert!(dot.starts_with("digraph msccl_ir"));
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn protocol_hint_lands_in_xml() {
+        let out = run("compile tree-allreduce --ranks 4 --protocol LL").unwrap();
+        assert!(out.contains("proto=\"LL\""));
+    }
+
+    #[test]
+    fn no_fuse_produces_more_instructions() {
+        let fused = run("compile ring-allreduce --ranks 4").unwrap();
+        let unfused = run("compile ring-allreduce --ranks 4 --no-fuse").unwrap();
+        let count = |s: &str| s.matches("<step").count();
+        assert!(count(&unfused) > count(&fused));
+    }
+}

@@ -1,0 +1,23 @@
+//! The `msccl` command line: compile the algorithm library to MSCCL-IR
+//! XML, verify, inspect, simulate and functionally execute IR files.
+//!
+//! ```text
+//! msccl list
+//! msccl compile ring-allreduce --ranks 8 --channels 4 --instances 8 -o ring.xml
+//! msccl verify ring.xml --slots 8
+//! msccl inspect ring.xml
+//! msccl simulate ring.xml --machine ndv4:1 --size 32MB --protocol LL128
+//! msccl run ring.xml --elems 1024
+//! ```
+//!
+//! Every command is a pure function from parsed arguments to an output
+//! string, so the complete surface is unit-testable without spawning
+//! processes.
+
+mod args;
+mod commands;
+mod machine_spec;
+
+pub use args::{parse_args, Args, CliError};
+pub use commands::{dispatch, HELP};
+pub use machine_spec::{format_size, parse_machine, parse_size};

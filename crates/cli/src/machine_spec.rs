@@ -1,0 +1,166 @@
+//! Parsing of machine specs (`ndv4:4`, `dgx2:2`, `dgx1`) and byte sizes
+//! (`64MB`, `4KB`, `1GB`, `512`).
+
+use msccl_topology::Machine;
+
+use crate::args::CliError;
+
+/// Parses a machine spec: `ndv4[:N]`, `dgx2[:N]`, `dgx1`, or a custom
+/// cluster `custom:<nodes>x<gpus>[:intra_gbps[:nic_gbps]]`.
+///
+/// # Errors
+///
+/// Returns an error for unknown families or malformed parameters.
+pub fn parse_machine(spec: &str) -> Result<Machine, CliError> {
+    let lower = spec.to_ascii_lowercase();
+    if let Some(rest) = lower.strip_prefix("custom:") {
+        return parse_custom(rest, spec);
+    }
+    let (family, nodes) = match lower.split_once(':') {
+        Some((f, n)) => {
+            let nodes: usize = n
+                .parse()
+                .map_err(|_| CliError::new(format!("invalid node count in '{spec}'")))?;
+            if nodes == 0 {
+                return Err(CliError::new("node count must be at least 1"));
+            }
+            (f.to_owned(), nodes)
+        }
+        None => (lower, 1),
+    };
+    match family.as_str() {
+        "ndv4" | "a100" => Ok(Machine::ndv4(nodes)),
+        "ndv5" | "h100" => Ok(Machine::ndv5(nodes)),
+        "dgx2" | "v100" => Ok(Machine::dgx2(nodes)),
+        "dgx1" => {
+            if nodes != 1 {
+                return Err(CliError::new("dgx1 is a single-node machine"));
+            }
+            Ok(Machine::dgx1())
+        }
+        other => Err(CliError::new(format!(
+            "unknown machine '{other}' (expected ndv4[:N], dgx2[:N], dgx1 or              custom:<nodes>x<gpus>[:intra_gbps[:nic_gbps]])"
+        ))),
+    }
+}
+
+fn parse_custom(rest: &str, spec: &str) -> Result<Machine, CliError> {
+    let bad = || CliError::new(format!("invalid custom machine '{spec}'"));
+    let mut parts = rest.split(':');
+    let dims = parts.next().ok_or_else(bad)?;
+    let (nodes, gpus) = dims.split_once('x').ok_or_else(bad)?;
+    let nodes: usize = nodes.parse().map_err(|_| bad())?;
+    let gpus: usize = gpus.parse().map_err(|_| bad())?;
+    if nodes == 0 || gpus == 0 {
+        return Err(bad());
+    }
+    let intra_gbps: f64 = match parts.next() {
+        Some(v) => v.parse().map_err(|_| bad())?,
+        None => 200.0,
+    };
+    let nic_gbps: f64 = match parts.next() {
+        Some(v) => v.parse().map_err(|_| bad())?,
+        None => 25.0,
+    };
+    if intra_gbps <= 0.0 || nic_gbps <= 0.0 {
+        return Err(bad());
+    }
+    Ok(Machine::custom(
+        nodes,
+        gpus,
+        msccl_topology::LinkParams::new(2.0, intra_gbps),
+        gpus,
+        msccl_topology::LinkParams::new(3.5, nic_gbps),
+    ))
+}
+
+/// Parses a byte size with optional `KB`/`MB`/`GB` suffix (binary units).
+///
+/// # Errors
+///
+/// Returns an error for malformed numbers or unknown suffixes.
+pub fn parse_size(spec: &str) -> Result<u64, CliError> {
+    let s = spec.trim().to_ascii_uppercase();
+    let (digits, multiplier) = if let Some(d) = s.strip_suffix("GB") {
+        (d, 1u64 << 30)
+    } else if let Some(d) = s.strip_suffix("MB") {
+        (d, 1u64 << 20)
+    } else if let Some(d) = s.strip_suffix("KB") {
+        (d, 1u64 << 10)
+    } else if let Some(d) = s.strip_suffix('B') {
+        (d, 1)
+    } else {
+        (s.as_str(), 1)
+    };
+    let value: u64 = digits
+        .trim()
+        .parse()
+        .map_err(|_| CliError::new(format!("invalid size '{spec}'")))?;
+    value
+        .checked_mul(multiplier)
+        .ok_or_else(|| CliError::new(format!("size '{spec}' overflows")))
+}
+
+/// Formats a byte count compactly (inverse of [`parse_size`] for powers
+/// of two).
+#[must_use]
+pub fn format_size(bytes: u64) -> String {
+    if bytes >= 1 << 30 && bytes.is_multiple_of(1 << 30) {
+        format!("{}GB", bytes >> 30)
+    } else if bytes >= 1 << 20 && bytes.is_multiple_of(1 << 20) {
+        format!("{}MB", bytes >> 20)
+    } else if bytes >= 1 << 10 && bytes.is_multiple_of(1 << 10) {
+        format!("{}KB", bytes >> 10)
+    } else {
+        format!("{bytes}B")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn machine_specs_parse() {
+        assert_eq!(parse_machine("ndv4:4").unwrap().num_ranks(), 32);
+        assert_eq!(parse_machine("dgx2").unwrap().num_ranks(), 16);
+        assert_eq!(parse_machine("dgx1").unwrap().num_ranks(), 8);
+        assert_eq!(parse_machine("A100:2").unwrap().num_ranks(), 16);
+        assert_eq!(parse_machine("ndv5:2").unwrap().num_ranks(), 16);
+        assert!(parse_machine("tpu").is_err());
+        assert!(parse_machine("ndv4:0").is_err());
+        assert!(parse_machine("dgx1:2").is_err());
+    }
+
+    #[test]
+    fn custom_machines_parse() {
+        let m = parse_machine("custom:2x4").unwrap();
+        assert_eq!(m.num_ranks(), 8);
+        assert_eq!(m.intra_link().bandwidth_gbps, 200.0);
+        let m = parse_machine("custom:3x2:100:12.5").unwrap();
+        assert_eq!(m.num_ranks(), 6);
+        assert_eq!(m.intra_link().bandwidth_gbps, 100.0);
+        assert_eq!(m.nic_link().bandwidth_gbps, 12.5);
+        assert!(parse_machine("custom:0x4").is_err());
+        assert!(parse_machine("custom:2").is_err());
+        assert!(parse_machine("custom:2x4:-5").is_err());
+    }
+
+    #[test]
+    fn format_size_round_trips() {
+        for bytes in [512u64, 4 << 10, 3 << 20, 1 << 30, 1000] {
+            assert_eq!(parse_size(&format_size(bytes)).unwrap(), bytes);
+        }
+    }
+
+    #[test]
+    fn sizes_parse() {
+        assert_eq!(parse_size("512").unwrap(), 512);
+        assert_eq!(parse_size("512B").unwrap(), 512);
+        assert_eq!(parse_size("4KB").unwrap(), 4096);
+        assert_eq!(parse_size("64mb").unwrap(), 64 << 20);
+        assert_eq!(parse_size("1GB").unwrap(), 1 << 30);
+        assert!(parse_size("4TB").is_err());
+        assert!(parse_size("abc").is_err());
+    }
+}

@@ -1,0 +1,14 @@
+//! Entry point for the `msccl` command line; all logic lives in the
+//! library so it stays unit-testable.
+
+fn main() {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let result = msccl_cli::parse_args(raw).and_then(|args| msccl_cli::dispatch(&args));
+    match result {
+        Ok(output) => print!("{output}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

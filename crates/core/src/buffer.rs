@@ -1,0 +1,120 @@
+//! Named GPU buffers (§3.1).
+//!
+//! Each rank exposes three named buffers: `Input` (initialized at runtime),
+//! `Output` (uninitialized, holds the result), and `Scratch` (uninitialized
+//! temporary storage whose size MSCCLang deduces from the highest index the
+//! program accesses).
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// One of the three named buffers available on every rank.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum BufferKind {
+    /// Holds the collective's input data.
+    Input,
+    /// Receives the collective's result.
+    Output,
+    /// Temporary storage; sized automatically.
+    Scratch,
+}
+
+impl BufferKind {
+    /// All buffer kinds.
+    pub const ALL: [BufferKind; 3] = [BufferKind::Input, BufferKind::Output, BufferKind::Scratch];
+
+    /// Short name as used in MSCCL-IR files (`i`, `o`, `s`).
+    #[must_use]
+    pub fn short_name(self) -> &'static str {
+        match self {
+            BufferKind::Input => "i",
+            BufferKind::Output => "o",
+            BufferKind::Scratch => "s",
+        }
+    }
+
+    /// Parses the short (`i`/`o`/`s`) or long (`input`/...) name.
+    #[must_use]
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "i" | "input" | "in" => Some(BufferKind::Input),
+            "o" | "output" | "out" => Some(BufferKind::Output),
+            "s" | "scratch" | "sc" => Some(BufferKind::Scratch),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for BufferKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            BufferKind::Input => "input",
+            BufferKind::Output => "output",
+            BufferKind::Scratch => "scratch",
+        };
+        f.write_str(name)
+    }
+}
+
+/// A fully-resolved chunk location: a rank, a buffer and a chunk index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Loc {
+    /// GPU rank.
+    pub rank: usize,
+    /// Buffer on that rank.
+    pub buffer: BufferKind,
+    /// Chunk index within the buffer.
+    pub index: usize,
+}
+
+impl Loc {
+    /// Creates a location.
+    #[must_use]
+    pub fn new(rank: usize, buffer: BufferKind, index: usize) -> Self {
+        Self {
+            rank,
+            buffer,
+            index,
+        }
+    }
+}
+
+impl fmt::Display for Loc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "({}, {}, {})",
+            self.rank,
+            self.buffer.short_name(),
+            self.index
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn short_names_round_trip() {
+        for kind in BufferKind::ALL {
+            assert_eq!(BufferKind::parse(kind.short_name()), Some(kind));
+        }
+    }
+
+    #[test]
+    fn parse_accepts_dsl_spellings() {
+        // Fig. 3 and Fig. 9 use 'in', 'out' and 'sc'.
+        assert_eq!(BufferKind::parse("in"), Some(BufferKind::Input));
+        assert_eq!(BufferKind::parse("out"), Some(BufferKind::Output));
+        assert_eq!(BufferKind::parse("sc"), Some(BufferKind::Scratch));
+        assert_eq!(BufferKind::parse("x"), None);
+    }
+
+    #[test]
+    fn loc_display() {
+        let l = Loc::new(2, BufferKind::Scratch, 5);
+        assert_eq!(l.to_string(), "(2, s, 5)");
+    }
+}

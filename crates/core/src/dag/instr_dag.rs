@@ -1,0 +1,586 @@
+//! The Instruction DAG (§4.2).
+//!
+//! Each Chunk DAG operation expands into point-to-point or local
+//! instructions: a remote copy becomes a `send` and a `recv`, a remote
+//! reduce becomes a `send` and a `recvReduceCopy` (`rrc`), and local
+//! operations become single `copy`/`reduce` instructions. Matching sends
+//! and receives are connected by *communication edges*; execution-order
+//! dependencies within a rank are *processing edges* labelled by their
+//! hazard kind (RAW/WAR/WAW), which the fusion pass (§4.3) and scheduler
+//! (§5.2) consume.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::buffer::Loc;
+use crate::collective::{Collective, Space};
+use crate::dag::chunk_dag::ChunkDag;
+use crate::program::TraceOpKind;
+
+/// MSCCL-IR instruction kinds (§4.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum InstrOp {
+    /// Send chunks from a local buffer to the remote peer.
+    Send,
+    /// Receive chunks from the remote peer into a local buffer.
+    Recv,
+    /// Local copy.
+    Copy,
+    /// Local reduce (into the destination).
+    Reduce,
+    /// Fused: receive, reduce with a local chunk, store locally (`rrc`).
+    RecvReduceCopy,
+    /// Fused: receive, store locally, forward to the send peer (`rcs`).
+    RecvCopySend,
+    /// Fused: receive, reduce with a local chunk, forward without storing
+    /// (`rrs`).
+    RecvReduceSend,
+    /// Fused: receive, reduce with a local chunk, store locally and forward
+    /// (`rrcs`).
+    RecvReduceCopySend,
+}
+
+impl InstrOp {
+    /// Whether the instruction receives from a peer.
+    #[must_use]
+    pub fn has_recv(self) -> bool {
+        !matches!(self, InstrOp::Send | InstrOp::Copy | InstrOp::Reduce)
+    }
+
+    /// Whether the instruction sends to a peer.
+    #[must_use]
+    pub fn has_send(self) -> bool {
+        matches!(
+            self,
+            InstrOp::Send
+                | InstrOp::RecvCopySend
+                | InstrOp::RecvReduceSend
+                | InstrOp::RecvReduceCopySend
+        )
+    }
+
+    /// Whether the instruction applies the reduction operator.
+    #[must_use]
+    pub fn reduces(self) -> bool {
+        matches!(
+            self,
+            InstrOp::Reduce
+                | InstrOp::RecvReduceCopy
+                | InstrOp::RecvReduceSend
+                | InstrOp::RecvReduceCopySend
+        )
+    }
+
+    /// Whether the instruction writes its destination buffer.
+    #[must_use]
+    pub fn writes_local(self) -> bool {
+        matches!(
+            self,
+            InstrOp::Recv
+                | InstrOp::Copy
+                | InstrOp::Reduce
+                | InstrOp::RecvReduceCopy
+                | InstrOp::RecvCopySend
+                | InstrOp::RecvReduceCopySend
+        )
+    }
+
+    /// Short mnemonic used in MSCCL-IR files.
+    #[must_use]
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            InstrOp::Send => "s",
+            InstrOp::Recv => "r",
+            InstrOp::Copy => "cpy",
+            InstrOp::Reduce => "re",
+            InstrOp::RecvReduceCopy => "rrc",
+            InstrOp::RecvCopySend => "rcs",
+            InstrOp::RecvReduceSend => "rrs",
+            InstrOp::RecvReduceCopySend => "rrcs",
+        }
+    }
+
+    /// Parses a mnemonic.
+    #[must_use]
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "s" => Some(InstrOp::Send),
+            "r" => Some(InstrOp::Recv),
+            "cpy" => Some(InstrOp::Copy),
+            "re" => Some(InstrOp::Reduce),
+            "rrc" => Some(InstrOp::RecvReduceCopy),
+            "rcs" => Some(InstrOp::RecvCopySend),
+            "rrs" => Some(InstrOp::RecvReduceSend),
+            "rrcs" => Some(InstrOp::RecvReduceCopySend),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for InstrOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+/// The hazard class of a processing edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EdgeKind {
+    /// Read-after-write: the successor consumes data the predecessor
+    /// produced (a true dependency).
+    Raw,
+    /// Write-after-read: the successor overwrites data the predecessor
+    /// read (a false dependency).
+    War,
+    /// Write-after-write: the successor overwrites the predecessor's
+    /// output (a false dependency).
+    Waw,
+}
+
+/// One instruction node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InstrNode {
+    /// Executing rank.
+    pub rank: usize,
+    /// Instruction kind.
+    pub op: InstrOp,
+    /// Local source operand (for sends: the data to send; for reduces: the
+    /// local operand), if any.
+    pub src: Option<Loc>,
+    /// Local destination operand, if any.
+    pub dst: Option<Loc>,
+    /// Contiguous refined chunks the instruction moves.
+    pub count: usize,
+    /// Peer receiving this instruction's send half, if any.
+    pub send_peer: Option<usize>,
+    /// Peer feeding this instruction's receive half, if any.
+    pub recv_peer: Option<usize>,
+    /// Chunk DAG node this instruction was generated from (the send half's
+    /// origin for fused instructions).
+    pub chunk_node: usize,
+    /// Chunk DAG node of the receive half (differs from `chunk_node` after
+    /// fusion).
+    pub recv_chunk_node: usize,
+    /// Tombstone flag used by the fusion pass.
+    pub alive: bool,
+}
+
+impl InstrNode {
+    /// Refined locations this instruction reads on its own rank.
+    #[must_use]
+    pub fn reads(&self, collective: &Collective) -> Vec<(usize, Space, usize)> {
+        let mut out = Vec::new();
+        match self.op {
+            InstrOp::Send => push_range(&mut out, collective, self.rank, self.src, self.count),
+            InstrOp::Recv => {}
+            InstrOp::Copy => push_range(&mut out, collective, self.rank, self.src, self.count),
+            InstrOp::Reduce => {
+                push_range(&mut out, collective, self.rank, self.src, self.count);
+                push_range(&mut out, collective, self.rank, self.dst, self.count);
+            }
+            // Fused receive+reduce reads its local operand.
+            InstrOp::RecvReduceCopy | InstrOp::RecvReduceSend | InstrOp::RecvReduceCopySend => {
+                push_range(&mut out, collective, self.rank, self.src, self.count);
+            }
+            InstrOp::RecvCopySend => {}
+        }
+        out
+    }
+
+    /// Refined locations this instruction writes on its own rank.
+    #[must_use]
+    pub fn writes(&self, collective: &Collective) -> Vec<(usize, Space, usize)> {
+        let mut out = Vec::new();
+        if self.op.writes_local() {
+            push_range(&mut out, collective, self.rank, self.dst, self.count);
+        }
+        out
+    }
+}
+
+fn push_range(
+    out: &mut Vec<(usize, Space, usize)>,
+    collective: &Collective,
+    rank: usize,
+    loc: Option<Loc>,
+    count: usize,
+) {
+    if let Some(loc) = loc {
+        for i in 0..count {
+            let (space, off) = collective.space_of(rank, loc.buffer, loc.index + i);
+            out.push((rank, space, off));
+        }
+    }
+}
+
+/// A communication edge connecting a send half to its receive half.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CommEdge {
+    /// Node id performing the send.
+    pub send: usize,
+    /// Node id performing the receive.
+    pub recv: usize,
+    /// Channel directive inherited from the chunk operation, if any.
+    pub channel: Option<usize>,
+}
+
+/// The Instruction DAG.
+#[derive(Debug, Clone)]
+pub struct InstrDag {
+    /// Instruction nodes; dead nodes (consumed by fusion) have
+    /// `alive == false`.
+    pub nodes: Vec<InstrNode>,
+    /// Processing edges `(from, to, kind)` between instructions on the same
+    /// rank.
+    pub proc_edges: Vec<(usize, usize, EdgeKind)>,
+    /// Communication edges between matching sends and receives.
+    pub comm_edges: Vec<CommEdge>,
+    /// The refined collective.
+    pub collective: Collective,
+    /// Refined scratch chunks per rank.
+    pub scratch_chunks: Vec<usize>,
+    /// The global chunk refinement factor applied during DAG construction.
+    pub refinement: usize,
+}
+
+impl InstrDag {
+    /// Expands a Chunk DAG into instructions (§4.2).
+    #[must_use]
+    pub fn build(chunk_dag: &ChunkDag) -> Self {
+        let collective = chunk_dag.collective().clone();
+        let mut nodes: Vec<InstrNode> = Vec::new();
+        let mut proc_edges: Vec<(usize, usize, EdgeKind)> = Vec::new();
+        let mut comm_edges: Vec<CommEdge> = Vec::new();
+        let mut last_writer: HashMap<(usize, Space, usize), usize> = HashMap::new();
+        let mut readers: HashMap<(usize, Space, usize), Vec<usize>> = HashMap::new();
+
+        let add_node = |nodes: &mut Vec<InstrNode>,
+                        proc_edges: &mut Vec<(usize, usize, EdgeKind)>,
+                        last_writer: &mut HashMap<(usize, Space, usize), usize>,
+                        readers: &mut HashMap<(usize, Space, usize), Vec<usize>>,
+                        node: InstrNode| {
+            let id = nodes.len();
+            let mut raw: Vec<usize> = Vec::new();
+            let mut false_deps: Vec<(usize, EdgeKind)> = Vec::new();
+            for key in node.reads(&collective) {
+                if let Some(&w) = last_writer.get(&key) {
+                    if !raw.contains(&w) {
+                        raw.push(w);
+                    }
+                }
+                readers.entry(key).or_default().push(id);
+            }
+            for key in node.writes(&collective) {
+                if let Some(&w) = last_writer.get(&key) {
+                    if !raw.contains(&w) && !false_deps.iter().any(|&(n, _)| n == w) {
+                        false_deps.push((w, EdgeKind::Waw));
+                    }
+                }
+                if let Some(rs) = readers.get(&key) {
+                    for &r in rs {
+                        if r != id && !raw.contains(&r) && !false_deps.iter().any(|&(n, _)| n == r)
+                        {
+                            false_deps.push((r, EdgeKind::War));
+                        }
+                    }
+                }
+            }
+            for key in node.writes(&collective) {
+                last_writer.insert(key, id);
+                readers.insert(key, vec![]);
+            }
+            for w in raw {
+                proc_edges.push((w, id, EdgeKind::Raw));
+            }
+            for (n, kind) in false_deps {
+                proc_edges.push((n, id, kind));
+            }
+            nodes.push(node);
+            id
+        };
+
+        for (cid, cn) in chunk_dag.nodes().iter().enumerate() {
+            if cn.is_remote() {
+                let send = add_node(
+                    &mut nodes,
+                    &mut proc_edges,
+                    &mut last_writer,
+                    &mut readers,
+                    InstrNode {
+                        rank: cn.src.rank,
+                        op: InstrOp::Send,
+                        src: Some(cn.src),
+                        dst: Some(cn.dst),
+                        count: cn.count,
+                        send_peer: Some(cn.dst.rank),
+                        recv_peer: None,
+                        chunk_node: cid,
+                        recv_chunk_node: cid,
+                        alive: true,
+                    },
+                );
+                let recv_op = match cn.kind {
+                    TraceOpKind::Copy => InstrOp::Recv,
+                    TraceOpKind::Reduce => InstrOp::RecvReduceCopy,
+                };
+                let recv = add_node(
+                    &mut nodes,
+                    &mut proc_edges,
+                    &mut last_writer,
+                    &mut readers,
+                    InstrNode {
+                        rank: cn.dst.rank,
+                        op: recv_op,
+                        // rrc reduces the incoming data with the chunk
+                        // already at the destination.
+                        src: (cn.kind == TraceOpKind::Reduce).then_some(cn.dst),
+                        dst: Some(cn.dst),
+                        count: cn.count,
+                        send_peer: None,
+                        recv_peer: Some(cn.src.rank),
+                        chunk_node: cid,
+                        recv_chunk_node: cid,
+                        alive: true,
+                    },
+                );
+                comm_edges.push(CommEdge {
+                    send,
+                    recv,
+                    channel: cn.channel,
+                });
+            } else {
+                let op = match cn.kind {
+                    TraceOpKind::Copy => InstrOp::Copy,
+                    TraceOpKind::Reduce => InstrOp::Reduce,
+                };
+                let _ = add_node(
+                    &mut nodes,
+                    &mut proc_edges,
+                    &mut last_writer,
+                    &mut readers,
+                    InstrNode {
+                        rank: cn.src.rank,
+                        op,
+                        src: Some(cn.src),
+                        dst: Some(cn.dst),
+                        count: cn.count,
+                        send_peer: None,
+                        recv_peer: None,
+                        chunk_node: cid,
+                        recv_chunk_node: cid,
+                        alive: true,
+                    },
+                );
+            }
+        }
+
+        Self {
+            nodes,
+            proc_edges,
+            comm_edges,
+            collective,
+            scratch_chunks: chunk_dag.scratch_chunks().to_vec(),
+            refinement: chunk_dag.refinement(),
+        }
+    }
+
+    /// Number of live instructions.
+    #[must_use]
+    pub fn live_count(&self) -> usize {
+        self.nodes.iter().filter(|n| n.alive).count()
+    }
+
+    /// Drops tombstoned nodes and renumbers everything contiguously.
+    /// Call after fusion.
+    pub fn compact(&mut self) {
+        let mut remap: Vec<Option<usize>> = Vec::with_capacity(self.nodes.len());
+        let mut next = 0usize;
+        for n in &self.nodes {
+            if n.alive {
+                remap.push(Some(next));
+                next += 1;
+            } else {
+                remap.push(None);
+            }
+        }
+        self.nodes.retain(|n| n.alive);
+        self.proc_edges
+            .retain(|&(u, v, _)| remap[u].is_some() && remap[v].is_some());
+        for e in &mut self.proc_edges {
+            e.0 = remap[e.0].expect("retained");
+            e.1 = remap[e.1].expect("retained");
+        }
+        // Deduplicate edges that collapsed onto each other; prefer RAW over
+        // false dependencies so fusion conditions stay visible.
+        self.proc_edges
+            .sort_by_key(|&(u, v, k)| (u, v, edge_rank(k)));
+        self.proc_edges.dedup_by_key(|&mut (u, v, _)| (u, v));
+        self.comm_edges
+            .retain(|e| remap[e.send].is_some() && remap[e.recv].is_some());
+        for e in &mut self.comm_edges {
+            e.send = remap[e.send].expect("retained");
+            e.recv = remap[e.recv].expect("retained");
+        }
+    }
+
+    /// Live processing successors of `node`, with edge kinds.
+    #[must_use]
+    pub fn successors(&self, node: usize) -> Vec<(usize, EdgeKind)> {
+        self.proc_edges
+            .iter()
+            .filter(|&&(u, v, _)| u == node && self.nodes[v].alive)
+            .map(|&(_, v, k)| (v, k))
+            .collect()
+    }
+}
+
+fn edge_rank(kind: EdgeKind) -> u8 {
+    match kind {
+        EdgeKind::Raw => 0,
+        EdgeKind::War => 1,
+        EdgeKind::Waw => 2,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::buffer::BufferKind;
+    use crate::collective::Collective;
+    use crate::program::Program;
+
+    fn build(p: &Program) -> InstrDag {
+        InstrDag::build(&ChunkDag::build(p, 1).unwrap())
+    }
+
+    #[test]
+    fn remote_copy_expands_to_send_recv() {
+        let mut p = Program::new("t", Collective::all_gather(2, 1, false));
+        let c = p.chunk(0, BufferKind::Input, 0, 1).unwrap();
+        let _ = p.copy(&c, 1, BufferKind::Output, 0).unwrap();
+        let c = p.chunk(1, BufferKind::Input, 0, 1).unwrap();
+        let _ = p.copy(&c, 0, BufferKind::Output, 1).unwrap();
+        // Fill in the local chunks to make it complete (not required here).
+        let dag = build(&p);
+        assert_eq!(dag.nodes[0].op, InstrOp::Send);
+        assert_eq!(dag.nodes[0].send_peer, Some(1));
+        assert_eq!(dag.nodes[1].op, InstrOp::Recv);
+        assert_eq!(dag.nodes[1].recv_peer, Some(0));
+        assert_eq!(dag.comm_edges[0].send, 0);
+        assert_eq!(dag.comm_edges[0].recv, 1);
+    }
+
+    #[test]
+    fn remote_reduce_expands_to_send_rrc() {
+        let mut p = Program::new("t", Collective::all_reduce(2, 1, true));
+        let c0 = p.chunk(0, BufferKind::Input, 0, 1).unwrap();
+        let c1 = p.chunk(1, BufferKind::Input, 0, 1).unwrap();
+        let _ = p.reduce(&c1, &c0).unwrap();
+        let dag = build(&p);
+        assert_eq!(dag.nodes[0].op, InstrOp::Send);
+        assert_eq!(dag.nodes[1].op, InstrOp::RecvReduceCopy);
+        // rrc reads its local operand (the destination chunk).
+        let reads = dag.nodes[1].reads(&dag.collective);
+        assert_eq!(reads.len(), 1);
+        assert_eq!(reads[0].0, 1);
+    }
+
+    #[test]
+    fn local_ops_stay_single_instructions() {
+        let mut p = Program::new("t", Collective::all_reduce(2, 2, true));
+        let c = p.chunk(0, BufferKind::Input, 0, 1).unwrap();
+        let _ = p.copy(&c, 0, BufferKind::Input, 1).unwrap();
+        let dag = build(&p);
+        assert_eq!(dag.nodes.len(), 1);
+        assert_eq!(dag.nodes[0].op, InstrOp::Copy);
+    }
+
+    #[test]
+    fn raw_edge_from_recv_to_forwarding_send() {
+        // Ring step: rank0 -> rank1 -> rank0's neighbour (here rank 0 again
+        // is invalid; use 3 ranks).
+        let mut p = Program::new("t", Collective::all_gather(3, 1, false));
+        let c = p.chunk(0, BufferKind::Input, 0, 1).unwrap();
+        let c = p.copy(&c, 1, BufferKind::Output, 0).unwrap();
+        let _ = p.copy(&c, 2, BufferKind::Output, 0).unwrap();
+        let dag = build(&p);
+        // nodes: 0 send@0, 1 recv@1, 2 send@1, 3 recv@2
+        assert_eq!(dag.nodes[2].op, InstrOp::Send);
+        assert_eq!(dag.nodes[2].rank, 1);
+        assert!(dag.proc_edges.contains(&(1, 2, EdgeKind::Raw)));
+    }
+
+    #[test]
+    fn waw_edge_on_overwrite() {
+        let mut p = Program::new("t", Collective::all_gather(2, 1, false));
+        let c0 = p.chunk(0, BufferKind::Input, 0, 1).unwrap();
+        let _ = p.copy(&c0, 1, BufferKind::Output, 0).unwrap();
+        let c1 = p.chunk(1, BufferKind::Input, 0, 1).unwrap();
+        let _ = p.copy(&c1, 1, BufferKind::Output, 0).unwrap();
+        let dag = build(&p);
+        // Second recv overwrites first recv's destination.
+        assert!(dag.proc_edges.iter().any(|&(u, v, k)| k == EdgeKind::Waw
+            && dag.nodes[u].op == InstrOp::Recv
+            && dag.nodes[v].op == InstrOp::Copy));
+    }
+
+    #[test]
+    fn war_edge_when_read_then_overwritten() {
+        let mut p = Program::new("t", Collective::all_reduce(2, 2, true));
+        // Send input chunk 0 away, then overwrite it locally.
+        let c = p.chunk(0, BufferKind::Input, 0, 1).unwrap();
+        let _ = p.copy(&c, 1, BufferKind::Input, 1).unwrap();
+        let c1 = p.chunk(0, BufferKind::Input, 1, 1).unwrap();
+        let _ = p.copy(&c1, 0, BufferKind::Input, 0).unwrap();
+        let dag = build(&p);
+        // The local copy overwrites what the send read: WAR send -> copy.
+        assert!(dag.proc_edges.iter().any(|&(u, v, k)| k == EdgeKind::War
+            && dag.nodes[u].op == InstrOp::Send
+            && dag.nodes[v].op == InstrOp::Copy));
+    }
+
+    #[test]
+    fn compact_renumbers_consistently() {
+        let mut p = Program::new("t", Collective::all_gather(3, 1, false));
+        let c = p.chunk(0, BufferKind::Input, 0, 1).unwrap();
+        let c = p.copy(&c, 1, BufferKind::Output, 0).unwrap();
+        let _ = p.copy(&c, 2, BufferKind::Output, 0).unwrap();
+        let mut dag = build(&p);
+        dag.nodes[1].alive = false; // pretend fusion consumed the recv
+        dag.compact();
+        assert_eq!(dag.nodes.len(), 3);
+        // remaining comm edge endpoints stay valid
+        for e in &dag.comm_edges {
+            assert!(e.send < dag.nodes.len() && e.recv < dag.nodes.len());
+        }
+        for &(u, v, _) in &dag.proc_edges {
+            assert!(u < dag.nodes.len() && v < dag.nodes.len());
+        }
+    }
+
+    #[test]
+    fn mnemonics_round_trip() {
+        for op in [
+            InstrOp::Send,
+            InstrOp::Recv,
+            InstrOp::Copy,
+            InstrOp::Reduce,
+            InstrOp::RecvReduceCopy,
+            InstrOp::RecvCopySend,
+            InstrOp::RecvReduceSend,
+            InstrOp::RecvReduceCopySend,
+        ] {
+            assert_eq!(InstrOp::parse(op.mnemonic()), Some(op));
+        }
+        assert_eq!(InstrOp::parse("bogus"), None);
+    }
+
+    #[test]
+    fn channel_directive_lands_on_comm_edge() {
+        let mut p = Program::new("t", Collective::all_gather(2, 1, false));
+        let c = p.chunk(0, BufferKind::Input, 0, 1).unwrap();
+        let _ = p.copy_on(&c, 1, BufferKind::Output, 0, 2).unwrap();
+        let dag = build(&p);
+        assert_eq!(dag.comm_edges[0].channel, Some(2));
+    }
+}

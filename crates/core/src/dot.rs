@@ -1,0 +1,204 @@
+//! Graphviz DOT export of the compiler's intermediate structures.
+//!
+//! Renders the Chunk DAG (§4.1), the Instruction DAG (§4.2) and the
+//! scheduled MSCCL-IR (Figure 4's three views) for debugging and for
+//! documentation. Feed the output to `dot -Tsvg`.
+
+use std::fmt::Write as _;
+
+use crate::dag::{ChunkDag, EdgeKind, InstrDag};
+use crate::ir::IrProgram;
+use crate::program::TraceOpKind;
+
+fn escape(s: &str) -> String {
+    s.replace('"', "\\\"")
+}
+
+/// Renders a Chunk DAG: one node per `copy`/`reduce` operation, solid
+/// edges for true dependencies and dashed edges for false ones.
+#[must_use]
+pub fn chunk_dag_dot(dag: &ChunkDag) -> String {
+    let mut out = String::from("digraph chunk_dag {\n  rankdir=TB;\n  node [shape=box];\n");
+    for (i, n) in dag.nodes().iter().enumerate() {
+        let kind = match n.kind {
+            TraceOpKind::Copy => "copy",
+            TraceOpKind::Reduce => "reduce",
+        };
+        let _ = writeln!(
+            out,
+            "  n{i} [label=\"{kind} {} -> {} (n={})\"];",
+            escape(&n.src.to_string()),
+            escape(&n.dst.to_string()),
+            n.count
+        );
+        for &d in &n.true_deps {
+            let _ = writeln!(out, "  n{d} -> n{i};");
+        }
+        for &d in &n.false_deps {
+            let _ = writeln!(out, "  n{d} -> n{i} [style=dashed];");
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Renders an Instruction DAG: instructions grouped per rank, with
+/// processing edges (solid: RAW; dashed: WAR/WAW) and communication edges
+/// (bold).
+#[must_use]
+pub fn instr_dag_dot(dag: &InstrDag) -> String {
+    let mut out = String::from("digraph instr_dag {\n  rankdir=TB;\n  node [shape=box];\n");
+    let num_ranks = dag.collective.num_ranks();
+    for rank in 0..num_ranks {
+        let _ = writeln!(
+            out,
+            "  subgraph cluster_r{rank} {{\n    label=\"rank {rank}\";"
+        );
+        for (i, n) in dag.nodes.iter().enumerate() {
+            if !n.alive || n.rank != rank {
+                continue;
+            }
+            let src = n.src.map_or("-".to_owned(), |l| l.to_string());
+            let dst = n.dst.map_or("-".to_owned(), |l| l.to_string());
+            let _ = writeln!(
+                out,
+                "    i{i} [label=\"{} {} -> {} (n={})\"];",
+                n.op,
+                escape(&src),
+                escape(&dst),
+                n.count
+            );
+        }
+        out.push_str("  }\n");
+    }
+    for &(u, v, kind) in &dag.proc_edges {
+        if !dag.nodes[u].alive || !dag.nodes[v].alive {
+            continue;
+        }
+        let style = match kind {
+            EdgeKind::Raw => "",
+            EdgeKind::War | EdgeKind::Waw => " [style=dashed]",
+        };
+        let _ = writeln!(out, "  i{u} -> i{v}{style};");
+    }
+    for e in &dag.comm_edges {
+        let _ = writeln!(out, "  i{} -> i{} [style=bold color=blue];", e.send, e.recv);
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Renders a scheduled program: one cluster per GPU, one record per
+/// thread block listing its instructions, blue edges for connections and
+/// dashed red edges for cross-thread-block dependencies.
+#[must_use]
+pub fn ir_dot(ir: &IrProgram) -> String {
+    let mut out = String::from("digraph msccl_ir {\n  rankdir=LR;\n  node [shape=record];\n");
+    for gpu in &ir.gpus {
+        let _ = writeln!(
+            out,
+            "  subgraph cluster_g{} {{\n    label=\"GPU {}\";",
+            gpu.rank, gpu.rank
+        );
+        for tb in &gpu.threadblocks {
+            let instrs: Vec<String> = tb
+                .instructions
+                .iter()
+                .map(|i| format!("{}: {}", i.step, i.op.mnemonic()))
+                .collect();
+            let _ = writeln!(
+                out,
+                "    tb_{}_{} [label=\"{{tb {} ch {}|{}}}\"];",
+                gpu.rank,
+                tb.id,
+                tb.id,
+                tb.channel,
+                escape(&instrs.join("\\n"))
+            );
+        }
+        out.push_str("  }\n");
+    }
+    for gpu in &ir.gpus {
+        for tb in &gpu.threadblocks {
+            if let Some(peer) = tb.send_peer {
+                // The receiving thread block is the one whose recv peer and
+                // channel match.
+                if let Some(rtb) = ir
+                    .gpu(peer)
+                    .threadblocks
+                    .iter()
+                    .find(|t| t.recv_peer == Some(gpu.rank) && t.channel == tb.channel)
+                {
+                    let _ = writeln!(
+                        out,
+                        "  tb_{}_{} -> tb_{}_{} [color=blue label=\"ch{}\"];",
+                        gpu.rank, tb.id, peer, rtb.id, tb.channel
+                    );
+                }
+            }
+            for instr in &tb.instructions {
+                for d in &instr.deps {
+                    let _ = writeln!(
+                        out,
+                        "  tb_{}_{} -> tb_{}_{} [style=dashed color=red];",
+                        gpu.rank, d.tb, gpu.rank, tb.id
+                    );
+                }
+            }
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::buffer::BufferKind;
+    use crate::collective::Collective;
+    use crate::compile::{compile, CompileOptions};
+    use crate::dag::{ChunkDag, InstrDag};
+    use crate::program::Program;
+
+    fn sample_program() -> Program {
+        let mut p = Program::new("dot", Collective::all_gather(3, 1, false));
+        for r in 0..3 {
+            let c = p.chunk(r, BufferKind::Input, 0, 1).unwrap();
+            let mut c = p.copy(&c, r, BufferKind::Output, r).unwrap();
+            for step in 1..3 {
+                c = p.copy(&c, (r + step) % 3, BufferKind::Output, r).unwrap();
+            }
+        }
+        p
+    }
+
+    #[test]
+    fn chunk_dag_dot_is_valid_graphviz_shape() {
+        let dag = ChunkDag::build(&sample_program(), 1).unwrap();
+        let dot = chunk_dag_dot(&dag);
+        assert!(dot.starts_with("digraph chunk_dag {"));
+        assert!(dot.trim_end().ends_with('}'));
+        assert_eq!(dot.matches("copy").count(), dag.nodes().len());
+        assert!(dot.contains("->"));
+    }
+
+    #[test]
+    fn instr_dag_dot_includes_comm_edges() {
+        let dag = InstrDag::build(&ChunkDag::build(&sample_program(), 1).unwrap());
+        let dot = instr_dag_dot(&dag);
+        assert!(dot.contains("color=blue"));
+        assert!(dot.contains("cluster_r0"));
+        assert!(dot.contains("cluster_r2"));
+    }
+
+    #[test]
+    fn ir_dot_draws_connections_and_deps() {
+        let ir = compile(&sample_program(), &CompileOptions::default()).unwrap();
+        let dot = ir_dot(&ir);
+        assert!(dot.starts_with("digraph msccl_ir {"));
+        assert!(dot.contains("cluster_g1"));
+        assert!(dot.contains("color=blue"));
+        // Balanced braces.
+        assert_eq!(dot.matches('{').count(), dot.matches('}').count());
+    }
+}

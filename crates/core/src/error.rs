@@ -1,0 +1,201 @@
+//! Error types for DSL tracing, compilation and verification.
+
+use std::fmt;
+
+use crate::buffer::BufferKind;
+
+/// Location triple used in error reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ErrorLoc {
+    /// GPU rank.
+    pub rank: usize,
+    /// Buffer on that rank.
+    pub buffer: BufferKind,
+    /// Chunk index within the buffer.
+    pub index: usize,
+}
+
+impl fmt::Display for ErrorLoc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "rank {} {} [{}]", self.rank, self.buffer, self.index)
+    }
+}
+
+/// Errors raised while writing or compiling an MSCCLang program.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum Error {
+    /// A chunk reference was used after its location was overwritten by a
+    /// later operation (§3.3: only the latest reference for any location may
+    /// be used).
+    StaleReference {
+        /// The out-of-date location.
+        loc: ErrorLoc,
+    },
+    /// The program accessed a chunk that holds no data yet (§3.3).
+    UninitializedChunk {
+        /// The uninitialized location.
+        loc: ErrorLoc,
+    },
+    /// A chunk index or range exceeded the buffer size.
+    IndexOutOfBounds {
+        /// The offending location (index of the first out-of-range chunk).
+        loc: ErrorLoc,
+        /// Number of chunks in the buffer.
+        size: usize,
+    },
+    /// A rank outside `0..num_ranks` was referenced.
+    InvalidRank {
+        /// The offending rank.
+        rank: usize,
+        /// Number of ranks in the collective.
+        num_ranks: usize,
+    },
+    /// `reduce` was applied to references with different chunk counts.
+    CountMismatch {
+        /// Count of the destination reference.
+        dst: usize,
+        /// Count of the source reference.
+        src: usize,
+    },
+    /// Source and destination ranges of an operation overlap on the same
+    /// buffer.
+    OverlappingOperands {
+        /// The overlapping location.
+        loc: ErrorLoc,
+    },
+    /// A `chunk`/`copy`/`reduce` with `count == 0`.
+    EmptyReference,
+    /// A parallelization factor of zero was requested.
+    InvalidParallelFactor,
+    /// The scheduled program needs more thread blocks on one GPU than the
+    /// hardware offers (§6.2: a cooperative launch requires all thread
+    /// blocks to be resident).
+    TooManyThreadBlocks {
+        /// The over-subscribed rank.
+        rank: usize,
+        /// Thread blocks the schedule requires.
+        required: usize,
+        /// Thread blocks available.
+        limit: usize,
+    },
+    /// A user channel directive could not be honored without giving one
+    /// connection two sending or two receiving thread blocks (§5).
+    ChannelConflict {
+        /// The rank on which the conflict arose.
+        rank: usize,
+        /// The conflicting channel.
+        channel: usize,
+    },
+    /// Channel assignment exceeded the maximum channel count.
+    TooManyChannels {
+        /// Channels the schedule would need.
+        required: usize,
+        /// Maximum channels supported.
+        limit: usize,
+    },
+    /// The program performs no operations.
+    EmptyProgram,
+    /// MSCCL-IR XML parsing failed.
+    Parse {
+        /// Human-readable description of the parse failure.
+        message: String,
+    },
+    /// The compiled program failed verification; see [`crate::verify`].
+    Verification {
+        /// Human-readable description of the verification failure.
+        message: String,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::StaleReference { loc } => {
+                write!(
+                    f,
+                    "stale chunk reference at {loc}: a newer write superseded it"
+                )
+            }
+            Error::UninitializedChunk { loc } => {
+                write!(f, "access to uninitialized chunk at {loc}")
+            }
+            Error::IndexOutOfBounds { loc, size } => {
+                write!(
+                    f,
+                    "chunk index out of bounds at {loc}: buffer has {size} chunks"
+                )
+            }
+            Error::InvalidRank { rank, num_ranks } => {
+                write!(
+                    f,
+                    "rank {rank} out of range: collective has {num_ranks} ranks"
+                )
+            }
+            Error::CountMismatch { dst, src } => {
+                write!(
+                    f,
+                    "reduce requires equal counts: destination has {dst}, source has {src}"
+                )
+            }
+            Error::OverlappingOperands { loc } => {
+                write!(f, "source and destination overlap at {loc}")
+            }
+            Error::EmptyReference => write!(f, "chunk reference must cover at least one chunk"),
+            Error::InvalidParallelFactor => write!(f, "parallelization factor must be positive"),
+            Error::TooManyThreadBlocks {
+                rank,
+                required,
+                limit,
+            } => write!(
+                f,
+                "rank {rank} needs {required} thread blocks but only {limit} are available"
+            ),
+            Error::ChannelConflict { rank, channel } => write!(
+                f,
+                "channel directive conflict on rank {rank} channel {channel}: \
+                 a connection may have only one sending and one receiving thread block"
+            ),
+            Error::TooManyChannels { required, limit } => {
+                write!(
+                    f,
+                    "schedule needs {required} channels but at most {limit} are supported"
+                )
+            }
+            Error::EmptyProgram => write!(f, "program performs no chunk operations"),
+            Error::Parse { message } => write!(f, "failed to parse MSCCL-IR: {message}"),
+            Error::Verification { message } => write!(f, "verification failed: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Convenient result alias for this crate.
+pub type Result<T> = std::result::Result<T, Error>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_informative() {
+        let e = Error::StaleReference {
+            loc: ErrorLoc {
+                rank: 3,
+                buffer: BufferKind::Input,
+                index: 7,
+            },
+        };
+        let s = e.to_string();
+        assert!(s.contains("rank 3"));
+        assert!(s.contains("[7]"));
+        assert!(s.starts_with("stale"));
+    }
+
+    #[test]
+    fn errors_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Error>();
+    }
+}

@@ -1,0 +1,452 @@
+//! MSCCL-IR: the executable form of a compiled program (§5, Figure 4).
+//!
+//! MSCCL-IR is a tree: a program divides into per-GPU programs, which
+//! divide into thread blocks holding sequential instruction lists. A thread
+//! block owns at most one send and one receive connection, identified by a
+//! peer and a channel. Instructions carry cross-thread-block dependencies
+//! (`deps`) realized by semaphores in the runtime.
+
+use std::fmt;
+
+use msccl_topology::Protocol;
+use serde::{Deserialize, Serialize};
+
+use crate::buffer::BufferKind;
+use crate::collective::Collective;
+
+/// Instruction opcodes stored in MSCCL-IR (§4.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OpCode {
+    /// Send to the thread block's send peer.
+    Send,
+    /// Receive from the thread block's receive peer.
+    Recv,
+    /// Local copy.
+    Copy,
+    /// Local reduce into the destination.
+    Reduce,
+    /// Receive, reduce with the local source chunk, store at destination.
+    RecvReduceCopy,
+    /// Receive, store at destination, forward to the send peer.
+    RecvCopySend,
+    /// Receive, reduce with the local source chunk, forward without
+    /// storing.
+    RecvReduceSend,
+    /// Receive, reduce, store and forward.
+    RecvReduceCopySend,
+    /// No operation (padding; never emitted by the compiler).
+    Nop,
+}
+
+impl OpCode {
+    /// Whether the instruction consumes a message from the receive
+    /// connection.
+    #[must_use]
+    pub fn has_recv(self) -> bool {
+        matches!(
+            self,
+            OpCode::Recv
+                | OpCode::RecvReduceCopy
+                | OpCode::RecvCopySend
+                | OpCode::RecvReduceSend
+                | OpCode::RecvReduceCopySend
+        )
+    }
+
+    /// Whether the instruction produces a message on the send connection.
+    #[must_use]
+    pub fn has_send(self) -> bool {
+        matches!(
+            self,
+            OpCode::Send
+                | OpCode::RecvCopySend
+                | OpCode::RecvReduceSend
+                | OpCode::RecvReduceCopySend
+        )
+    }
+
+    /// Whether the instruction applies the reduction operator.
+    #[must_use]
+    pub fn reduces(self) -> bool {
+        matches!(
+            self,
+            OpCode::Reduce
+                | OpCode::RecvReduceCopy
+                | OpCode::RecvReduceSend
+                | OpCode::RecvReduceCopySend
+        )
+    }
+
+    /// Whether the instruction writes local memory.
+    #[must_use]
+    pub fn writes_local(self) -> bool {
+        matches!(
+            self,
+            OpCode::Recv
+                | OpCode::Copy
+                | OpCode::Reduce
+                | OpCode::RecvReduceCopy
+                | OpCode::RecvCopySend
+                | OpCode::RecvReduceCopySend
+        )
+    }
+
+    /// The mnemonic used in MSCCL-IR XML files.
+    #[must_use]
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            OpCode::Send => "s",
+            OpCode::Recv => "r",
+            OpCode::Copy => "cpy",
+            OpCode::Reduce => "re",
+            OpCode::RecvReduceCopy => "rrc",
+            OpCode::RecvCopySend => "rcs",
+            OpCode::RecvReduceSend => "rrs",
+            OpCode::RecvReduceCopySend => "rrcs",
+            OpCode::Nop => "nop",
+        }
+    }
+
+    /// Parses a mnemonic.
+    #[must_use]
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "s" => Some(OpCode::Send),
+            "r" => Some(OpCode::Recv),
+            "cpy" => Some(OpCode::Copy),
+            "re" => Some(OpCode::Reduce),
+            "rrc" => Some(OpCode::RecvReduceCopy),
+            "rcs" => Some(OpCode::RecvCopySend),
+            "rrs" => Some(OpCode::RecvReduceSend),
+            "rrcs" => Some(OpCode::RecvReduceCopySend),
+            "nop" => Some(OpCode::Nop),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for OpCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+/// A buffer-relative operand location.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IrLoc {
+    /// Which named buffer.
+    pub buffer: BufferKind,
+    /// Chunk index within the buffer (refined granularity).
+    pub index: usize,
+}
+
+/// A cross-thread-block dependency: the instruction at `(tb, step)` of the
+/// same GPU must complete first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IrDep {
+    /// Local thread block id within the GPU.
+    pub tb: usize,
+    /// Step index within that thread block.
+    pub step: usize,
+}
+
+/// One interpreted instruction (Figure 5's `Instruction` struct).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IrInstruction {
+    /// Step index within the thread block.
+    pub step: usize,
+    /// Opcode.
+    pub op: OpCode,
+    /// Local source operand, if any.
+    pub src: Option<IrLoc>,
+    /// Local destination operand, if any.
+    pub dst: Option<IrLoc>,
+    /// Number of consecutive chunks the instruction covers (aggregation).
+    pub count: usize,
+    /// Cross-thread-block dependencies (`depBid`/`depStep`).
+    pub deps: Vec<IrDep>,
+    /// Whether later instructions in other thread blocks wait on this one
+    /// (`hasDep`): the interpreter issues a fence and sets its semaphore.
+    pub has_dep: bool,
+}
+
+/// A thread block: sequential instructions plus at most one send and one
+/// receive connection.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IrThreadBlock {
+    /// Local id within the GPU (also the semaphore index).
+    pub id: usize,
+    /// Peer rank this block sends to.
+    pub send_peer: Option<usize>,
+    /// Peer rank this block receives from.
+    pub recv_peer: Option<usize>,
+    /// Channel distinguishing redundant connections between the same GPUs.
+    pub channel: usize,
+    /// The instruction list.
+    pub instructions: Vec<IrInstruction>,
+}
+
+/// The per-GPU program.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IrGpu {
+    /// The rank this program runs on.
+    pub rank: usize,
+    /// Input buffer size in (refined) chunks.
+    pub input_chunks: usize,
+    /// Output buffer size in (refined) chunks.
+    pub output_chunks: usize,
+    /// Scratch buffer size in (refined) chunks.
+    pub scratch_chunks: usize,
+    /// Thread blocks, indexed by their local id.
+    pub threadblocks: Vec<IrThreadBlock>,
+}
+
+/// A compiled MSCCL-IR program.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IrProgram {
+    /// Program name.
+    pub name: String,
+    /// The collective this program implements, at refined granularity.
+    pub collective: Collective,
+    /// Preferred runtime protocol, if the program requested one.
+    pub protocol: Option<Protocol>,
+    /// Number of channels the schedule uses.
+    pub num_channels: usize,
+    /// Chunk refinement factor relative to the source program
+    /// (`instances × fragment parallelization`).
+    pub refinement: usize,
+    /// Per-GPU programs, indexed by rank.
+    pub gpus: Vec<IrGpu>,
+}
+
+impl IrProgram {
+    /// Number of ranks.
+    #[must_use]
+    pub fn num_ranks(&self) -> usize {
+        self.gpus.len()
+    }
+
+    /// Total thread blocks across all GPUs.
+    #[must_use]
+    pub fn num_threadblocks(&self) -> usize {
+        self.gpus.iter().map(|g| g.threadblocks.len()).sum()
+    }
+
+    /// Maximum thread blocks on any one GPU (must not exceed the SM count
+    /// for a cooperative launch, §6.2).
+    #[must_use]
+    pub fn max_threadblocks_per_rank(&self) -> usize {
+        self.gpus
+            .iter()
+            .map(|g| g.threadblocks.len())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Total instruction count.
+    #[must_use]
+    pub fn num_instructions(&self) -> usize {
+        self.gpus
+            .iter()
+            .map(|g| {
+                g.threadblocks
+                    .iter()
+                    .map(|t| t.instructions.len())
+                    .sum::<usize>()
+            })
+            .sum()
+    }
+
+    /// The per-GPU program of `rank`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rank` is out of range.
+    #[must_use]
+    pub fn gpu(&self, rank: usize) -> &IrGpu {
+        &self.gpus[rank]
+    }
+
+    /// Checks internal structural invariants: ranks contiguous, steps
+    /// sequential, dependencies referencing existing instructions, and each
+    /// connection owned by exactly one sender and one receiver block.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`crate::Error::Verification`] describing the first
+    /// violated invariant.
+    pub fn check_structure(&self) -> crate::Result<()> {
+        use std::collections::HashSet;
+        let fail = |message: String| Err(crate::Error::Verification { message });
+        let mut send_conns = HashSet::new();
+        let mut recv_conns = HashSet::new();
+        for (r, gpu) in self.gpus.iter().enumerate() {
+            if gpu.rank != r {
+                return fail(format!("gpu at position {r} has rank {}", gpu.rank));
+            }
+            for (t, tb) in gpu.threadblocks.iter().enumerate() {
+                if tb.id != t {
+                    return fail(format!(
+                        "rank {r}: thread block at position {t} has id {}",
+                        tb.id
+                    ));
+                }
+                if let Some(p) = tb.send_peer {
+                    if p >= self.gpus.len() || p == r {
+                        return fail(format!("rank {r} tb {t}: invalid send peer {p}"));
+                    }
+                    if !send_conns.insert((r, p, tb.channel)) {
+                        return fail(format!(
+                            "two thread blocks send on connection ({r} -> {p}, ch {})",
+                            tb.channel
+                        ));
+                    }
+                }
+                if let Some(p) = tb.recv_peer {
+                    if p >= self.gpus.len() || p == r {
+                        return fail(format!("rank {r} tb {t}: invalid recv peer {p}"));
+                    }
+                    if !recv_conns.insert((p, r, tb.channel)) {
+                        return fail(format!(
+                            "two thread blocks receive on connection ({p} -> {r}, ch {})",
+                            tb.channel
+                        ));
+                    }
+                }
+                for (s, instr) in tb.instructions.iter().enumerate() {
+                    if instr.step != s {
+                        return fail(format!(
+                            "rank {r} tb {t}: instruction at position {s} has step {}",
+                            instr.step
+                        ));
+                    }
+                    if instr.op.has_send() && tb.send_peer.is_none() {
+                        return fail(format!(
+                            "rank {r} tb {t} step {s}: send without a send connection"
+                        ));
+                    }
+                    if instr.op.has_recv() && tb.recv_peer.is_none() {
+                        return fail(format!(
+                            "rank {r} tb {t} step {s}: recv without a receive connection"
+                        ));
+                    }
+                    if instr.count == 0 && instr.op != OpCode::Nop {
+                        return fail(format!("rank {r} tb {t} step {s}: zero count"));
+                    }
+                    for d in &instr.deps {
+                        let Some(dep_tb) = gpu.threadblocks.get(d.tb) else {
+                            return fail(format!(
+                                "rank {r} tb {t} step {s}: dependency on missing tb {}",
+                                d.tb
+                            ));
+                        };
+                        if d.step >= dep_tb.instructions.len() {
+                            return fail(format!(
+                                "rank {r} tb {t} step {s}: dependency on missing step {} of tb {}",
+                                d.step, d.tb
+                            ));
+                        }
+                        if !dep_tb.instructions[d.step].has_dep {
+                            return fail(format!(
+                                "rank {r} tb {t} step {s}: dependency target lacks has_dep"
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+        // Every send connection needs a matching receiver and vice versa.
+        for &(a, b, c) in &send_conns {
+            if !recv_conns.contains(&(a, b, c)) {
+                return fail(format!(
+                    "connection ({a} -> {b}, ch {c}) has a sender but no receiver"
+                ));
+            }
+        }
+        for &(a, b, c) in &recv_conns {
+            if !send_conns.contains(&(a, b, c)) {
+                return fail(format!(
+                    "connection ({a} -> {b}, ch {c}) has a receiver but no sender"
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for IrProgram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "program {} ({}): {} ranks, {} channels, {} thread blocks, {} instructions",
+            self.name,
+            self.collective,
+            self.num_ranks(),
+            self.num_channels,
+            self.num_threadblocks(),
+            self.num_instructions()
+        )?;
+        for gpu in &self.gpus {
+            for tb in &gpu.threadblocks {
+                writeln!(
+                    f,
+                    "  rank {} tb {} (send={:?} recv={:?} ch={}):",
+                    gpu.rank, tb.id, tb.send_peer, tb.recv_peer, tb.channel
+                )?;
+                for i in &tb.instructions {
+                    let src = i
+                        .src
+                        .map(|l| format!("{}[{}]", l.buffer.short_name(), l.index));
+                    let dst = i
+                        .dst
+                        .map(|l| format!("{}[{}]", l.buffer.short_name(), l.index));
+                    writeln!(
+                        f,
+                        "    {:>3}: {:<4} src={:<8} dst={:<8} n={} deps={:?}{}",
+                        i.step,
+                        i.op.mnemonic(),
+                        src.unwrap_or_else(|| "-".into()),
+                        dst.unwrap_or_else(|| "-".into()),
+                        i.count,
+                        i.deps.iter().map(|d| (d.tb, d.step)).collect::<Vec<_>>(),
+                        if i.has_dep { " [sem]" } else { "" }
+                    )?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn opcode_mnemonics_round_trip() {
+        for op in [
+            OpCode::Send,
+            OpCode::Recv,
+            OpCode::Copy,
+            OpCode::Reduce,
+            OpCode::RecvReduceCopy,
+            OpCode::RecvCopySend,
+            OpCode::RecvReduceSend,
+            OpCode::RecvReduceCopySend,
+            OpCode::Nop,
+        ] {
+            assert_eq!(OpCode::parse(op.mnemonic()), Some(op));
+        }
+    }
+
+    #[test]
+    fn opcode_classification() {
+        assert!(OpCode::RecvReduceSend.has_recv());
+        assert!(OpCode::RecvReduceSend.has_send());
+        assert!(!OpCode::RecvReduceSend.writes_local());
+        assert!(OpCode::RecvReduceCopy.writes_local());
+        assert!(!OpCode::Send.has_recv());
+        assert!(OpCode::Reduce.reduces());
+        assert!(!OpCode::Copy.reduces());
+    }
+}

@@ -1,0 +1,879 @@
+//! The MSCCLang DSL: chunk references, `copy`/`reduce` operations and
+//! scheduling directives (§3, §5.1).
+//!
+//! A [`Program`] is built by tracing: every operation executes immediately
+//! against a symbolic buffer state, so errors (stale references, reads of
+//! uninitialized chunks, out-of-bounds indices) surface at the exact call
+//! that caused them, mirroring the paper's traced Python DSL.
+//!
+//! Programs manipulate [`ChunkRef`]s rather than chunks. A reference
+//! records the version of every location it covers; using a reference
+//! after a later operation overwrote one of its locations is a
+//! [stale-reference error](crate::Error::StaleReference), which makes
+//! MSCCLang programs data-race free by construction (§3.3).
+//!
+//! # Example: Ring AllGather on 3 ranks (cf. Figure 3b)
+//!
+//! ```
+//! use mscclang::{BufferKind, Collective, Program};
+//!
+//! let coll = Collective::all_gather(3, 1, false);
+//! let mut p = Program::new("ring_allgather", coll);
+//! let n = 3;
+//! for r in 0..n {
+//!     // Each rank first publishes its own chunk to its output...
+//!     let c = p.chunk(r, BufferKind::Input, 0, 1)?;
+//!     let mut c = p.copy(&c, r, BufferKind::Output, r)?;
+//!     // ...then the chunk travels around the ring.
+//!     for step in 1..n {
+//!         let next = (r + step) % n;
+//!         c = p.copy(&c, next, BufferKind::Output, r)?;
+//!     }
+//! }
+//! p.validate()?;
+//! # Ok::<(), mscclang::Error>(())
+//! ```
+
+use std::collections::HashMap;
+use std::fmt;
+
+use msccl_topology::Protocol;
+
+use crate::buffer::{BufferKind, Loc};
+use crate::chunk::ChunkValue;
+use crate::collective::{Collective, Space};
+use crate::error::{Error, ErrorLoc, Result};
+
+/// A reference to `count` contiguous chunks at a buffer location (§3.3).
+///
+/// References are lightweight values; all operations on them go through the
+/// owning [`Program`]. A reference is invalidated when any location it
+/// covers is overwritten by a later operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChunkRef {
+    rank: usize,
+    buffer: BufferKind,
+    index: usize,
+    count: usize,
+    versions: Vec<u64>,
+}
+
+impl ChunkRef {
+    /// The rank holding the referenced chunks.
+    #[must_use]
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// The buffer holding the referenced chunks.
+    #[must_use]
+    pub fn buffer(&self) -> BufferKind {
+        self.buffer
+    }
+
+    /// Index of the first referenced chunk.
+    #[must_use]
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    /// Number of referenced chunks.
+    #[must_use]
+    pub fn count(&self) -> usize {
+        self.count
+    }
+}
+
+impl fmt::Display for ChunkRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "chunk({}, {}, {}, count={})",
+            self.rank,
+            self.buffer.short_name(),
+            self.index,
+            self.count
+        )
+    }
+}
+
+/// The kind of a traced chunk operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TraceOpKind {
+    /// Copy chunks from `src` to `dst`.
+    Copy,
+    /// Reduce chunks at `src` into `dst` (in-place at `dst`).
+    Reduce,
+}
+
+/// One traced `copy` or `reduce` operation, in program order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceOp {
+    /// Operation kind.
+    pub kind: TraceOpKind,
+    /// First source chunk (for reduce, the operand merged *into* `dst`).
+    pub src: Loc,
+    /// First destination chunk.
+    pub dst: Loc,
+    /// Number of contiguous chunks moved (aggregation, §5.1).
+    pub count: usize,
+    /// Channel directive, if any (§5.1).
+    pub channel: Option<usize>,
+    /// Chunk-parallelization factor from enclosing `parallelize` scopes.
+    pub fragment_factor: usize,
+}
+
+impl TraceOp {
+    /// Whether the operation crosses GPUs.
+    #[must_use]
+    pub fn is_remote(&self) -> bool {
+        self.src.rank != self.dst.rank
+    }
+}
+
+/// Per-location symbolic state.
+#[derive(Debug, Clone)]
+struct LocState {
+    version: u64,
+    value: ChunkValue,
+}
+
+impl Default for LocState {
+    fn default() -> Self {
+        Self {
+            version: 0,
+            value: ChunkValue::Uninit,
+        }
+    }
+}
+
+/// An MSCCLang program under construction.
+///
+/// See the [module documentation](self) for an example.
+#[derive(Debug, Clone)]
+pub struct Program {
+    name: String,
+    collective: Collective,
+    ops: Vec<TraceOp>,
+    state: HashMap<(usize, Space), Vec<LocState>>,
+    parallel_stack: Vec<usize>,
+    protocol: Option<Protocol>,
+}
+
+impl Program {
+    /// Creates an empty program implementing `collective`.
+    #[must_use]
+    pub fn new(name: impl Into<String>, collective: Collective) -> Self {
+        let mut state = HashMap::new();
+        for rank in 0..collective.num_ranks() {
+            // Initialize the data space with the precondition.
+            let mut data = Vec::with_capacity(collective.space_size(Space::Data).unwrap_or(0));
+            for index in 0..collective.in_chunks() {
+                let (space, off) = collective.space_of(rank, BufferKind::Input, index);
+                debug_assert_eq!(space, Space::Data);
+                if data.len() <= off {
+                    data.resize_with(off + 1, LocState::default);
+                }
+                data[off] = LocState {
+                    version: 0,
+                    value: collective.precondition(rank, index),
+                };
+            }
+            if let Some(size) = collective.space_size(Space::Data) {
+                data.resize_with(size, LocState::default);
+            }
+            state.insert((rank, Space::Data), data);
+            let out_size = collective.space_size(Space::Output).unwrap_or(0);
+            state.insert((rank, Space::Output), vec![LocState::default(); out_size]);
+            state.insert((rank, Space::Scratch), Vec::new());
+        }
+        Self {
+            name: name.into(),
+            collective,
+            ops: Vec::new(),
+            state,
+            parallel_stack: Vec::new(),
+            protocol: None,
+        }
+    }
+
+    /// The program name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The collective this program implements.
+    #[must_use]
+    pub fn collective(&self) -> &Collective {
+        &self.collective
+    }
+
+    /// The traced operations, in program order.
+    #[must_use]
+    pub fn ops(&self) -> &[TraceOp] {
+        &self.ops
+    }
+
+    /// Sets the preferred runtime protocol, stored in the MSCCL-IR (§6.1).
+    pub fn set_protocol(&mut self, protocol: Protocol) {
+        self.protocol = Some(protocol);
+    }
+
+    /// The preferred runtime protocol, if one was set.
+    #[must_use]
+    pub fn protocol(&self) -> Option<Protocol> {
+        self.protocol
+    }
+
+    /// Number of scratch chunks rank `rank` uses, deduced from the highest
+    /// scratch index the program writes (§3.2).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rank` is out of range.
+    #[must_use]
+    pub fn scratch_chunks(&self, rank: usize) -> usize {
+        assert!(rank < self.collective.num_ranks());
+        self.state[&(rank, Space::Scratch)].len()
+    }
+
+    fn check_rank(&self, rank: usize) -> Result<()> {
+        if rank >= self.collective.num_ranks() {
+            return Err(Error::InvalidRank {
+                rank,
+                num_ranks: self.collective.num_ranks(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Bounds-checks `index..index+count` of `buffer` on `rank` for reads;
+    /// scratch reads beyond the written high-water mark are uninitialized.
+    fn check_read_bounds(
+        &self,
+        rank: usize,
+        buffer: BufferKind,
+        index: usize,
+        count: usize,
+    ) -> Result<()> {
+        let (space, off) = self.collective.space_of(rank, buffer, index);
+        let size = match self.collective.space_size(space) {
+            Some(s) => s,
+            None => self.state[&(rank, space)].len(),
+        };
+        if off + count > size {
+            return Err(Error::IndexOutOfBounds {
+                loc: ErrorLoc {
+                    rank,
+                    buffer,
+                    index: index + count - 1,
+                },
+                size: size.saturating_sub(off.saturating_sub(index)),
+            });
+        }
+        Ok(())
+    }
+
+    fn check_write_bounds(
+        &mut self,
+        rank: usize,
+        buffer: BufferKind,
+        index: usize,
+        count: usize,
+    ) -> Result<()> {
+        let (space, off) = self.collective.space_of(rank, buffer, index);
+        match self.collective.space_size(space) {
+            Some(size) => {
+                if off + count > size {
+                    return Err(Error::IndexOutOfBounds {
+                        loc: ErrorLoc {
+                            rank,
+                            buffer,
+                            index: index + count - 1,
+                        },
+                        size,
+                    });
+                }
+            }
+            None => {
+                // Scratch grows to the highest accessed index.
+                let vec = self.state.get_mut(&(rank, space)).expect("state exists");
+                if vec.len() < off + count {
+                    vec.resize_with(off + count, LocState::default);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn loc_state(&self, rank: usize, buffer: BufferKind, index: usize) -> &LocState {
+        let (space, off) = self.collective.space_of(rank, buffer, index);
+        &self.state[&(rank, space)][off]
+    }
+
+    fn loc_state_mut(&mut self, rank: usize, buffer: BufferKind, index: usize) -> &mut LocState {
+        let (space, off) = self.collective.space_of(rank, buffer, index);
+        self.state
+            .get_mut(&(rank, space))
+            .expect("state exists")
+            .get_mut(off)
+            .expect("bounds checked")
+    }
+
+    /// Returns a reference to `count` chunks currently in `buffer` at
+    /// `index` on `rank` (§3.3, Table 1).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the rank or range is invalid, `count` is zero,
+    /// or any covered chunk is uninitialized.
+    pub fn chunk(
+        &mut self,
+        rank: usize,
+        buffer: BufferKind,
+        index: usize,
+        count: usize,
+    ) -> Result<ChunkRef> {
+        self.check_rank(rank)?;
+        if count == 0 {
+            return Err(Error::EmptyReference);
+        }
+        self.check_read_bounds(rank, buffer, index, count)?;
+        let mut versions = Vec::with_capacity(count);
+        for i in 0..count {
+            let st = self.loc_state(rank, buffer, index + i);
+            if !st.value.is_initialized() {
+                return Err(Error::UninitializedChunk {
+                    loc: ErrorLoc {
+                        rank,
+                        buffer,
+                        index: index + i,
+                    },
+                });
+            }
+            versions.push(st.version);
+        }
+        Ok(ChunkRef {
+            rank,
+            buffer,
+            index,
+            count,
+            versions,
+        })
+    }
+
+    /// Verifies `r` still refers to the latest data at its location.
+    fn check_fresh(&self, r: &ChunkRef) -> Result<()> {
+        for i in 0..r.count {
+            let st = self.loc_state(r.rank, r.buffer, r.index + i);
+            if st.version != r.versions[i] {
+                return Err(Error::StaleReference {
+                    loc: ErrorLoc {
+                        rank: r.rank,
+                        buffer: r.buffer,
+                        index: r.index + i,
+                    },
+                });
+            }
+        }
+        Ok(())
+    }
+
+    fn ranges_overlap(
+        &self,
+        a: &ChunkRef,
+        b_rank: usize,
+        b_buf: BufferKind,
+        b_index: usize,
+        b_count: usize,
+    ) -> bool {
+        if a.rank != b_rank {
+            return false;
+        }
+        let (sa, oa) = self.collective.space_of(a.rank, a.buffer, a.index);
+        let (sb, ob) = self.collective.space_of(b_rank, b_buf, b_index);
+        sa == sb && oa < ob + b_count && ob < oa + a.count
+    }
+
+    fn current_fragment_factor(&self) -> usize {
+        self.parallel_stack.iter().product::<usize>().max(1)
+    }
+
+    /// Copies the chunks referenced by `src` to `(dst_rank, dst_buffer,
+    /// dst_index)`, returning a reference to the copies (Table 1).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `src` is stale, the destination is invalid, or
+    /// the ranges overlap.
+    pub fn copy(
+        &mut self,
+        src: &ChunkRef,
+        dst_rank: usize,
+        dst_buffer: BufferKind,
+        dst_index: usize,
+    ) -> Result<ChunkRef> {
+        self.copy_impl(src, dst_rank, dst_buffer, dst_index, None)
+    }
+
+    /// Like [`copy`](Self::copy), scheduling the transfer on `channel`
+    /// (§5.1 channel directives).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`copy`](Self::copy).
+    pub fn copy_on(
+        &mut self,
+        src: &ChunkRef,
+        dst_rank: usize,
+        dst_buffer: BufferKind,
+        dst_index: usize,
+        channel: usize,
+    ) -> Result<ChunkRef> {
+        self.copy_impl(src, dst_rank, dst_buffer, dst_index, Some(channel))
+    }
+
+    fn copy_impl(
+        &mut self,
+        src: &ChunkRef,
+        dst_rank: usize,
+        dst_buffer: BufferKind,
+        dst_index: usize,
+        channel: Option<usize>,
+    ) -> Result<ChunkRef> {
+        self.check_rank(dst_rank)?;
+        self.check_fresh(src)?;
+        self.check_write_bounds(dst_rank, dst_buffer, dst_index, src.count)?;
+        if self.ranges_overlap(src, dst_rank, dst_buffer, dst_index, src.count) {
+            return Err(Error::OverlappingOperands {
+                loc: ErrorLoc {
+                    rank: dst_rank,
+                    buffer: dst_buffer,
+                    index: dst_index,
+                },
+            });
+        }
+        let fragment_factor = self.current_fragment_factor();
+        self.ops.push(TraceOp {
+            kind: TraceOpKind::Copy,
+            src: Loc::new(src.rank, src.buffer, src.index),
+            dst: Loc::new(dst_rank, dst_buffer, dst_index),
+            count: src.count,
+            channel,
+            fragment_factor,
+        });
+        let mut versions = Vec::with_capacity(src.count);
+        for i in 0..src.count {
+            let value = self
+                .loc_state(src.rank, src.buffer, src.index + i)
+                .value
+                .clone();
+            let dst_state = self.loc_state_mut(dst_rank, dst_buffer, dst_index + i);
+            dst_state.version += 1;
+            dst_state.value = value;
+            versions.push(dst_state.version);
+        }
+        Ok(ChunkRef {
+            rank: dst_rank,
+            buffer: dst_buffer,
+            index: dst_index,
+            count: src.count,
+            versions,
+        })
+    }
+
+    /// Reduces the chunks referenced by `src` into the location of `dst`
+    /// (in-place at `dst`), returning a reference to the result (Table 1).
+    ///
+    /// Mirrors the paper's `c1.reduce(c2)` with `dst = c1` and `src = c2`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if either reference is stale, counts differ, or the
+    /// ranges overlap.
+    pub fn reduce(&mut self, dst: &ChunkRef, src: &ChunkRef) -> Result<ChunkRef> {
+        self.reduce_impl(dst, src, None)
+    }
+
+    /// Like [`reduce`](Self::reduce), scheduling the transfer on `channel`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`reduce`](Self::reduce).
+    pub fn reduce_on(
+        &mut self,
+        dst: &ChunkRef,
+        src: &ChunkRef,
+        channel: usize,
+    ) -> Result<ChunkRef> {
+        self.reduce_impl(dst, src, Some(channel))
+    }
+
+    fn reduce_impl(
+        &mut self,
+        dst: &ChunkRef,
+        src: &ChunkRef,
+        channel: Option<usize>,
+    ) -> Result<ChunkRef> {
+        self.check_fresh(dst)?;
+        self.check_fresh(src)?;
+        if dst.count != src.count {
+            return Err(Error::CountMismatch {
+                dst: dst.count,
+                src: src.count,
+            });
+        }
+        if self.ranges_overlap(src, dst.rank, dst.buffer, dst.index, dst.count) {
+            return Err(Error::OverlappingOperands {
+                loc: ErrorLoc {
+                    rank: dst.rank,
+                    buffer: dst.buffer,
+                    index: dst.index,
+                },
+            });
+        }
+        let fragment_factor = self.current_fragment_factor();
+        self.ops.push(TraceOp {
+            kind: TraceOpKind::Reduce,
+            src: Loc::new(src.rank, src.buffer, src.index),
+            dst: Loc::new(dst.rank, dst.buffer, dst.index),
+            count: dst.count,
+            channel,
+            fragment_factor,
+        });
+        let mut versions = Vec::with_capacity(dst.count);
+        for i in 0..dst.count {
+            let a = self
+                .loc_state(dst.rank, dst.buffer, dst.index + i)
+                .value
+                .clone();
+            let b = self
+                .loc_state(src.rank, src.buffer, src.index + i)
+                .value
+                .clone();
+            let merged = a
+                .reduce(&b)
+                .expect("both operands initialized via fresh refs");
+            let dst_state = self.loc_state_mut(dst.rank, dst.buffer, dst.index + i);
+            dst_state.version += 1;
+            dst_state.value = merged;
+            versions.push(dst_state.version);
+        }
+        Ok(ChunkRef {
+            rank: dst.rank,
+            buffer: dst.buffer,
+            index: dst.index,
+            count: dst.count,
+            versions,
+        })
+    }
+
+    /// Runs `body` inside a chunk-parallelization scope of `factor` (§5.1):
+    /// every operation traced inside is split into `factor` parallel
+    /// instances, each handling `1/factor` of the data, on disjoint
+    /// channels.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParallelFactor`] for `factor == 0`, or any
+    /// error `body` returns.
+    pub fn parallelize<F>(&mut self, factor: usize, body: F) -> Result<()>
+    where
+        F: FnOnce(&mut Self) -> Result<()>,
+    {
+        if factor == 0 {
+            return Err(Error::InvalidParallelFactor);
+        }
+        self.parallel_stack.push(factor);
+        let result = body(self);
+        self.parallel_stack.pop();
+        result
+    }
+
+    /// Checks the traced final state against the collective's
+    /// postcondition, *before* compiling (§3.2: "MSCCLang can automatically
+    /// check whether an implementation properly implements a collective
+    /// before running on hardware").
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Verification`] describing the first mismatched
+    /// output chunk, or [`Error::EmptyProgram`] if nothing was traced.
+    pub fn validate(&self) -> Result<()> {
+        if self.ops.is_empty() {
+            return Err(Error::EmptyProgram);
+        }
+        for rank in 0..self.collective.num_ranks() {
+            for index in 0..self.collective.out_chunks() {
+                let Some(expected) = self.collective.postcondition(rank, index) else {
+                    continue;
+                };
+                let actual = &self.loc_state(rank, BufferKind::Output, index).value;
+                if actual != expected {
+                    return Err(Error::Verification {
+                        message: format!(
+                            "output chunk {index} of rank {rank} holds {actual}, expected {expected}"
+                        ),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "program {} implementing {}", self.name, self.collective)?;
+        for (i, op) in self.ops.iter().enumerate() {
+            let kind = match op.kind {
+                TraceOpKind::Copy => "copy",
+                TraceOpKind::Reduce => "reduce",
+            };
+            write!(
+                f,
+                "  {i:>4}: {kind} {} -> {} (count {}",
+                op.src, op.dst, op.count
+            )?;
+            if let Some(ch) = op.channel {
+                write!(f, ", ch {ch}")?;
+            }
+            if op.fragment_factor > 1 {
+                write!(f, ", parallelize {}", op.fragment_factor)?;
+            }
+            writeln!(f, ")")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_rank_allgather() -> Program {
+        Program::new("t", Collective::all_gather(2, 1, false))
+    }
+
+    #[test]
+    fn chunk_returns_reference_with_metadata() {
+        let mut p = two_rank_allgather();
+        let c = p.chunk(1, BufferKind::Input, 0, 1).unwrap();
+        assert_eq!(c.rank(), 1);
+        assert_eq!(c.buffer(), BufferKind::Input);
+        assert_eq!(c.index(), 0);
+        assert_eq!(c.count(), 1);
+    }
+
+    #[test]
+    fn chunk_of_uninitialized_output_fails() {
+        let mut p = two_rank_allgather();
+        let err = p.chunk(0, BufferKind::Output, 0, 1).unwrap_err();
+        assert!(matches!(err, Error::UninitializedChunk { .. }));
+    }
+
+    #[test]
+    fn chunk_out_of_bounds_fails() {
+        let mut p = two_rank_allgather();
+        assert!(matches!(
+            p.chunk(0, BufferKind::Input, 1, 1),
+            Err(Error::IndexOutOfBounds { .. })
+        ));
+        assert!(matches!(
+            p.chunk(5, BufferKind::Input, 0, 1),
+            Err(Error::InvalidRank { .. })
+        ));
+        assert!(matches!(
+            p.chunk(0, BufferKind::Input, 0, 0),
+            Err(Error::EmptyReference)
+        ));
+    }
+
+    #[test]
+    fn copy_moves_value_and_returns_new_ref() {
+        let mut p = two_rank_allgather();
+        let c = p.chunk(0, BufferKind::Input, 0, 1).unwrap();
+        let c2 = p.copy(&c, 1, BufferKind::Output, 0).unwrap();
+        assert_eq!(c2.rank(), 1);
+        // The copied value is readable and equals the source input chunk.
+        let c3 = p.chunk(1, BufferKind::Output, 0, 1).unwrap();
+        assert_eq!(c3, c2);
+    }
+
+    #[test]
+    fn stale_reference_is_rejected() {
+        let mut p = two_rank_allgather();
+        let a = p.chunk(0, BufferKind::Input, 0, 1).unwrap();
+        let first = p.copy(&a, 1, BufferKind::Output, 0).unwrap();
+        // Overwrite the same location with a second copy...
+        let b = p.chunk(1, BufferKind::Input, 0, 1).unwrap();
+        let _second = p.copy(&b, 1, BufferKind::Output, 0).unwrap();
+        // ...now the first reference is stale.
+        let err = p.copy(&first, 0, BufferKind::Output, 1).unwrap_err();
+        assert!(matches!(err, Error::StaleReference { .. }));
+    }
+
+    #[test]
+    fn reduce_merges_values() {
+        let coll = Collective::all_reduce(2, 1, true);
+        let mut p = Program::new("ar", coll);
+        let c0 = p.chunk(0, BufferKind::Input, 0, 1).unwrap();
+        let c1 = p.chunk(1, BufferKind::Input, 0, 1).unwrap();
+        let r = p.reduce(&c1, &c0).unwrap();
+        assert_eq!(r.rank(), 1);
+        // Copy the reduction back so both ranks hold the sum.
+        let _ = p.copy(&r, 0, BufferKind::Output, 0).unwrap();
+        assert!(p.validate().is_ok());
+    }
+
+    #[test]
+    fn reduce_count_mismatch_fails() {
+        let coll = Collective::all_reduce(2, 2, true);
+        let mut p = Program::new("ar", coll);
+        let a = p.chunk(0, BufferKind::Input, 0, 2).unwrap();
+        let b = p.chunk(1, BufferKind::Input, 0, 1).unwrap();
+        assert!(matches!(
+            p.reduce(&a, &b),
+            Err(Error::CountMismatch { dst: 2, src: 1 })
+        ));
+    }
+
+    #[test]
+    fn overlapping_copy_fails() {
+        let coll = Collective::all_reduce(2, 4, true);
+        let mut p = Program::new("ar", coll);
+        let a = p.chunk(0, BufferKind::Input, 0, 2).unwrap();
+        let err = p.copy(&a, 0, BufferKind::Input, 1).unwrap_err();
+        assert!(matches!(err, Error::OverlappingOperands { .. }));
+    }
+
+    #[test]
+    fn scratch_grows_automatically() {
+        let coll = Collective::all_to_all(2, 1);
+        let mut p = Program::new("a2a", coll);
+        let c = p.chunk(0, BufferKind::Input, 0, 1).unwrap();
+        let _ = p.copy(&c, 0, BufferKind::Scratch, 7).unwrap();
+        assert_eq!(p.scratch_chunks(0), 8);
+        assert_eq!(p.scratch_chunks(1), 0);
+    }
+
+    #[test]
+    fn scratch_read_before_write_is_uninitialized() {
+        let coll = Collective::all_to_all(2, 1);
+        let mut p = Program::new("a2a", coll);
+        assert!(matches!(
+            p.chunk(0, BufferKind::Scratch, 0, 1),
+            Err(Error::IndexOutOfBounds { .. }) | Err(Error::UninitializedChunk { .. })
+        ));
+    }
+
+    #[test]
+    fn parallelize_records_fragment_factor() {
+        let coll = Collective::all_reduce(2, 1, true);
+        let mut p = Program::new("ar", coll);
+        p.parallelize(4, |p| {
+            let c0 = p.chunk(0, BufferKind::Input, 0, 1)?;
+            let c1 = p.chunk(1, BufferKind::Input, 0, 1)?;
+            let _ = p.reduce(&c1, &c0)?;
+            Ok(())
+        })
+        .unwrap();
+        let c = p.chunk(1, BufferKind::Input, 0, 1).unwrap();
+        let _ = p.copy(&c, 0, BufferKind::Output, 0).unwrap();
+        assert_eq!(p.ops()[0].fragment_factor, 4);
+        assert_eq!(p.ops()[1].fragment_factor, 1);
+    }
+
+    #[test]
+    fn nested_parallelize_multiplies() {
+        let coll = Collective::all_reduce(2, 1, true);
+        let mut p = Program::new("ar", coll);
+        p.parallelize(2, |p| {
+            p.parallelize(3, |p| {
+                let c0 = p.chunk(0, BufferKind::Input, 0, 1)?;
+                let c1 = p.chunk(1, BufferKind::Input, 0, 1)?;
+                let _ = p.reduce(&c1, &c0)?;
+                Ok(())
+            })
+        })
+        .unwrap();
+        assert_eq!(p.ops()[0].fragment_factor, 6);
+    }
+
+    #[test]
+    fn channel_directive_is_recorded() {
+        let mut p = two_rank_allgather();
+        let c = p.chunk(0, BufferKind::Input, 0, 1).unwrap();
+        let _ = p.copy_on(&c, 1, BufferKind::Output, 0, 3).unwrap();
+        assert_eq!(p.ops()[0].channel, Some(3));
+    }
+
+    #[test]
+    fn display_lists_operations() {
+        let coll = Collective::all_reduce(2, 1, true);
+        let mut p = Program::new("show", coll);
+        let c0 = p.chunk(0, BufferKind::Input, 0, 1).unwrap();
+        let c1 = p.chunk(1, BufferKind::Input, 0, 1).unwrap();
+        let r = p.reduce(&c1, &c0).unwrap();
+        let _ = p.copy_on(&r, 0, BufferKind::Input, 0, 2).unwrap();
+        let text = p.to_string();
+        assert!(text.contains("program show"));
+        assert!(text.contains("reduce (0, i, 0) -> (1, i, 0)"));
+        assert!(text.contains("ch 2"));
+    }
+
+    #[test]
+    fn validate_rejects_incomplete_program() {
+        let mut p = two_rank_allgather();
+        let c = p.chunk(0, BufferKind::Input, 0, 1).unwrap();
+        let _ = p.copy(&c, 0, BufferKind::Output, 0).unwrap();
+        let err = p.validate().unwrap_err();
+        assert!(matches!(err, Error::Verification { .. }));
+    }
+
+    #[test]
+    fn validate_rejects_empty_program() {
+        let p = two_rank_allgather();
+        assert!(matches!(p.validate(), Err(Error::EmptyProgram)));
+    }
+
+    #[test]
+    fn validate_accepts_complete_allgather() {
+        let mut p = two_rank_allgather();
+        for r in 0..2 {
+            let c = p.chunk(r, BufferKind::Input, 0, 1).unwrap();
+            let c = p.copy(&c, r, BufferKind::Output, r).unwrap();
+            let _ = p.copy(&c, 1 - r, BufferKind::Output, r).unwrap();
+        }
+        assert!(p.validate().is_ok());
+    }
+
+    #[test]
+    fn inplace_allgather_input_aliases_output_block() {
+        let coll = Collective::all_gather(2, 1, true);
+        let mut p = Program::new("ag", coll);
+        // Input chunk of rank r already sits at output block r: only the
+        // cross copies are needed.
+        for r in 0..2 {
+            let c = p.chunk(r, BufferKind::Input, 0, 1).unwrap();
+            let _ = p.copy(&c, 1 - r, BufferKind::Output, r).unwrap();
+        }
+        assert!(p.validate().is_ok());
+    }
+
+    #[test]
+    fn double_reduce_is_not_validated_as_allreduce() {
+        // Reducing the same contribution twice must not satisfy AllReduce.
+        let coll = Collective::all_reduce(2, 1, true);
+        let mut p = Program::new("bad", coll);
+        let c0 = p.chunk(0, BufferKind::Input, 0, 1).unwrap();
+        let c1 = p.chunk(1, BufferKind::Input, 0, 1).unwrap();
+        let r1 = p.reduce(&c1, &c0).unwrap();
+        // Add rank 0's chunk again (double count).
+        let c0b = p.chunk(0, BufferKind::Input, 0, 1).unwrap();
+        let r2 = p.reduce(&r1, &c0b).unwrap();
+        let _ = p.copy(&r2, 0, BufferKind::Output, 0).unwrap();
+        assert!(matches!(p.validate(), Err(Error::Verification { .. })));
+    }
+}

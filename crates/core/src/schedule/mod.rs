@@ -1,0 +1,20 @@
+//! Scheduling: channels, thread blocks and cross-thread-block
+//! synchronization (§5).
+//!
+//! After lowering and fusion, every instruction is assigned to a thread
+//! block and every communication edge to a channel, under the constraints
+//! that a thread block has at most one send and one receive connection, and
+//! a connection has exactly one sending and one receiving thread block.
+//! Instructions are ordered inside thread blocks by a global topological
+//! order (priority heap), which guarantees the absence of deadlocks;
+//! processing edges that cross thread blocks become explicit semaphore
+//! dependencies.
+
+mod channels;
+mod threadblocks;
+
+pub use channels::{assign_channels, ChannelAssignment, TbDraft};
+pub use threadblocks::{assign_threadblocks, find_fifo_cycle, FifoOrder, Schedule, ScheduledTb};
+
+/// Maximum channels per GPU pair, matching NCCL's limit.
+pub const MAX_CHANNELS: usize = 32;

@@ -1,0 +1,533 @@
+//! The interpreter proper: one thread per IR thread block, a tiling outer
+//! loop, bounded-channel connections and semaphore dependencies
+//! (Figure 5).
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+use std::time::Duration;
+
+use crossbeam::channel::{bounded, Receiver, Sender};
+use msccl_topology::Protocol;
+
+use mscclang::{IrProgram, OpCode, ReduceOp};
+
+use crate::memory::RankMemory;
+use crate::semaphore::Semaphore;
+
+/// Options controlling an execution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunOptions {
+    /// Protocol whose slot size sets the default tile size and whose slot
+    /// count bounds each connection's FIFO (§6.1).
+    pub protocol: Protocol,
+    /// Override for the tile size in elements; defaults to
+    /// `slot_bytes / 4`.
+    pub tile_elems: Option<usize>,
+    /// The reduction operator.
+    pub reduce_op: ReduceOp,
+    /// How long any single blocking step may wait before the run is
+    /// declared hung (a deadlock diagnostic for hand-written IR; compiled
+    /// IR is deadlock-free by construction).
+    pub timeout: Duration,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        Self {
+            protocol: Protocol::Simple,
+            tile_elems: None,
+            reduce_op: ReduceOp::Sum,
+            timeout: Duration::from_secs(20),
+        }
+    }
+}
+
+/// Errors from the functional runtime.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum RuntimeError {
+    /// The provided inputs do not match the program's layout.
+    InputShape {
+        /// Description of the mismatch.
+        message: String,
+    },
+    /// A thread block blocked longer than the timeout (deadlock or hang).
+    Hang {
+        /// Rank of the stuck thread block.
+        rank: usize,
+        /// Thread block id.
+        tb: usize,
+        /// Step it was executing.
+        step: usize,
+    },
+    /// A worker thread panicked.
+    WorkerPanic,
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuntimeError::InputShape { message } => write!(f, "bad input shape: {message}"),
+            RuntimeError::Hang { rank, tb, step } => {
+                write!(f, "execution hung at rank {rank} tb {tb} step {step}")
+            }
+            RuntimeError::WorkerPanic => write!(f, "a thread block worker panicked"),
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {}
+
+type ConnKey = (usize, usize, usize); // (src rank, dst rank, channel)
+
+/// Executes a compiled program over real `f32` buffers.
+///
+/// `inputs[r]` must hold `in_chunks * chunk_elems` elements. Returns each
+/// rank's output buffer (`out_chunks * chunk_elems` elements).
+///
+/// # Errors
+///
+/// Returns [`RuntimeError`] on shape mismatches, hangs and worker panics.
+pub fn execute(
+    ir: &IrProgram,
+    inputs: &[Vec<f32>],
+    chunk_elems: usize,
+    opts: &RunOptions,
+) -> Result<Vec<Vec<f32>>, RuntimeError> {
+    let collective = &ir.collective;
+    let num_ranks = ir.num_ranks();
+    if inputs.len() != num_ranks {
+        return Err(RuntimeError::InputShape {
+            message: format!("{} input buffers for {} ranks", inputs.len(), num_ranks),
+        });
+    }
+    let in_elems = collective.in_chunks() * chunk_elems;
+    for (r, buf) in inputs.iter().enumerate() {
+        if buf.len() != in_elems {
+            return Err(RuntimeError::InputShape {
+                message: format!(
+                    "rank {r} input has {} elements, expected {in_elems}",
+                    buf.len()
+                ),
+            });
+        }
+    }
+    if chunk_elems == 0 {
+        return Err(RuntimeError::InputShape {
+            message: "chunk_elems must be positive".into(),
+        });
+    }
+
+    let params = opts.protocol.params();
+    let tile_elems = opts
+        .tile_elems
+        .unwrap_or_else(|| ((params.slot_bytes as usize) / std::mem::size_of::<f32>()).max(1));
+    let num_tiles = chunk_elems.div_ceil(tile_elems);
+    let op = opts.reduce_op;
+
+    // ---- Memory, loaded with the inputs.
+    let memories: Vec<Arc<RankMemory>> = (0..num_ranks)
+        .map(|r| {
+            let mem = RankMemory::new(collective, r, ir.gpu(r).scratch_chunks, chunk_elems);
+            for index in 0..collective.in_chunks() {
+                let base = index * chunk_elems;
+                mem.write(
+                    collective,
+                    mscclang::BufferKind::Input,
+                    index,
+                    0,
+                    &inputs[r][base..base + chunk_elems],
+                );
+            }
+            Arc::new(mem)
+        })
+        .collect();
+
+    // ---- Connections: one bounded channel (FIFO slots) per (src, dst, ch).
+    let mut senders: HashMap<ConnKey, Sender<Vec<f32>>> = HashMap::new();
+    let mut receivers: HashMap<ConnKey, Receiver<Vec<f32>>> = HashMap::new();
+    for gpu in &ir.gpus {
+        for tb in &gpu.threadblocks {
+            if let Some(peer) = tb.send_peer {
+                let key = (gpu.rank, peer, tb.channel);
+                let (s, r) = bounded(params.num_slots);
+                senders.insert(key, s);
+                receivers.insert(key, r);
+            }
+        }
+    }
+
+    // ---- Semaphores, per (rank, tb).
+    let semaphores: HashMap<(usize, usize), Arc<Semaphore>> = ir
+        .gpus
+        .iter()
+        .flat_map(|g| {
+            g.threadblocks
+                .iter()
+                .map(|t| ((g.rank, t.id), Arc::new(Semaphore::new())))
+        })
+        .collect();
+
+    // Instruction counts per tb, for monotonic semaphore encoding.
+    let tb_len: HashMap<(usize, usize), u64> = ir
+        .gpus
+        .iter()
+        .flat_map(|g| {
+            g.threadblocks
+                .iter()
+                .map(|t| ((g.rank, t.id), t.instructions.len() as u64))
+        })
+        .collect();
+
+    let result: Result<(), RuntimeError> = std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for gpu in &ir.gpus {
+            for tb in &gpu.threadblocks {
+                let mem = Arc::clone(&memories[gpu.rank]);
+                let sem = Arc::clone(&semaphores[&(gpu.rank, tb.id)]);
+                let send = tb
+                    .send_peer
+                    .map(|p| senders[&(gpu.rank, p, tb.channel)].clone());
+                let recv = tb
+                    .recv_peer
+                    .map(|p| receivers[&(p, gpu.rank, tb.channel)].clone());
+                let dep_sems: Vec<Vec<(Arc<Semaphore>, u64)>> = tb
+                    .instructions
+                    .iter()
+                    .map(|i| {
+                        i.deps
+                            .iter()
+                            .map(|d| {
+                                (
+                                    Arc::clone(&semaphores[&(gpu.rank, d.tb)]),
+                                    tb_len[&(gpu.rank, d.tb)],
+                                )
+                            })
+                            .collect()
+                    })
+                    .collect();
+                let rank = gpu.rank;
+                let tb_ref = tb;
+                let collective = collective.clone();
+                let timeout = opts.timeout;
+                handles.push(scope.spawn(move || -> Result<(), RuntimeError> {
+                    let my_len = tb_ref.instructions.len() as u64;
+                    let mut completed = 0u64;
+                    for tile in 0..num_tiles {
+                        let elem_off = tile * tile_elems;
+                        let len = (chunk_elems - elem_off).min(tile_elems);
+                        for (s, instr) in tb_ref.instructions.iter().enumerate() {
+                            // Wait on cross-thread-block dependencies.
+                            for (d_idx, dep) in instr.deps.iter().enumerate() {
+                                let (sem_d, dep_len) = &dep_sems[s][d_idx];
+                                let target = tile as u64 * dep_len + dep.step as u64 + 1;
+                                if !sem_d.wait_at_least(target, timeout) {
+                                    return Err(RuntimeError::Hang {
+                                        rank,
+                                        tb: tb_ref.id,
+                                        step: s,
+                                    });
+                                }
+                            }
+                            let read_src = |elem_off: usize, len: usize| -> Vec<f32> {
+                                let loc = instr.src.expect("instruction requires src");
+                                let mut out = Vec::with_capacity(instr.count * len);
+                                for i in 0..instr.count {
+                                    out.extend(mem.read(
+                                        &collective,
+                                        loc.buffer,
+                                        loc.index + i,
+                                        elem_off,
+                                        len,
+                                    ));
+                                }
+                                out
+                            };
+                            let write_dst = |values: &[f32]| {
+                                let loc = instr.dst.expect("instruction requires dst");
+                                for i in 0..instr.count {
+                                    mem.write(
+                                        &collective,
+                                        loc.buffer,
+                                        loc.index + i,
+                                        elem_off,
+                                        &values[i * len..(i + 1) * len],
+                                    );
+                                }
+                            };
+                            let combine_dst = |values: &[f32]| -> Vec<f32> {
+                                let loc = instr.dst.expect("instruction requires dst");
+                                let mut out = Vec::with_capacity(instr.count * len);
+                                for i in 0..instr.count {
+                                    out.extend(mem.combine(
+                                        &collective,
+                                        loc.buffer,
+                                        loc.index + i,
+                                        elem_off,
+                                        &values[i * len..(i + 1) * len],
+                                        |a, b| op.apply(a, b),
+                                    ));
+                                }
+                                out
+                            };
+                            let receive = || -> Result<Vec<f32>, RuntimeError> {
+                                recv.as_ref()
+                                    .expect("recv op requires a receive connection")
+                                    .recv_timeout(timeout)
+                                    .map_err(|_| RuntimeError::Hang {
+                                        rank,
+                                        tb: tb_ref.id,
+                                        step: s,
+                                    })
+                            };
+                            let transmit = |values: Vec<f32>| -> Result<(), RuntimeError> {
+                                send.as_ref()
+                                    .expect("send op requires a send connection")
+                                    .send_timeout(values, timeout)
+                                    .map_err(|_| RuntimeError::Hang {
+                                        rank,
+                                        tb: tb_ref.id,
+                                        step: s,
+                                    })
+                            };
+
+                            match instr.op {
+                                OpCode::Nop => {}
+                                OpCode::Send => transmit(read_src(elem_off, len))?,
+                                OpCode::Recv => {
+                                    let data = receive()?;
+                                    write_dst(&data);
+                                }
+                                OpCode::Copy => {
+                                    let data = read_src(elem_off, len);
+                                    write_dst(&data);
+                                }
+                                OpCode::Reduce => {
+                                    let data = read_src(elem_off, len);
+                                    let _ = combine_dst(&data);
+                                }
+                                OpCode::RecvReduceCopy => {
+                                    let data = receive()?;
+                                    let _ = combine_dst(&data);
+                                }
+                                OpCode::RecvCopySend => {
+                                    let data = receive()?;
+                                    write_dst(&data);
+                                    transmit(data)?;
+                                }
+                                OpCode::RecvReduceSend => {
+                                    let data = receive()?;
+                                    let local = read_src(elem_off, len);
+                                    let merged: Vec<f32> = local
+                                        .iter()
+                                        .zip(&data)
+                                        .map(|(&a, &b)| op.apply(a, b))
+                                        .collect();
+                                    transmit(merged)?;
+                                }
+                                OpCode::RecvReduceCopySend => {
+                                    let data = receive()?;
+                                    let merged = combine_dst(&data);
+                                    transmit(merged)?;
+                                }
+                            }
+                            completed += 1;
+                            debug_assert_eq!(completed, tile as u64 * my_len + s as u64 + 1);
+                            if instr.has_dep {
+                                sem.set(completed);
+                            }
+                        }
+                    }
+                    Ok(())
+                }));
+            }
+        }
+        let mut status = Ok(());
+        for h in handles {
+            match h.join() {
+                Ok(Ok(())) => {}
+                Ok(Err(e)) => {
+                    if status.is_ok() {
+                        status = Err(e);
+                    }
+                }
+                Err(_) => {
+                    if status.is_ok() {
+                        status = Err(RuntimeError::WorkerPanic);
+                    }
+                }
+            }
+        }
+        status
+    });
+    result?;
+
+    // ---- Extract outputs.
+    let outputs = (0..num_ranks)
+        .map(|r| {
+            let mut out = Vec::with_capacity(collective.out_chunks() * chunk_elems);
+            for index in 0..collective.out_chunks() {
+                out.extend(memories[r].read(
+                    collective,
+                    mscclang::BufferKind::Output,
+                    index,
+                    0,
+                    chunk_elems,
+                ));
+            }
+            out
+        })
+        .collect();
+    Ok(outputs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mscclang::{compile, CompileOptions};
+
+    fn run_and_check(program: &mscclang::Program, instances: usize, chunk_elems: usize) {
+        let ir = compile(
+            program,
+            &CompileOptions::default().with_instances(instances),
+        )
+        .unwrap();
+        let inputs = crate::reference::random_inputs(&ir, chunk_elems, 7);
+        let outputs = execute(&ir, &inputs, chunk_elems, &RunOptions::default()).unwrap();
+        crate::reference::check_outputs(
+            &ir.collective,
+            &inputs,
+            &outputs,
+            chunk_elems,
+            ReduceOp::Sum,
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn ring_allreduce_computes_correct_sums() {
+        let p = msccl_algos::ring_all_reduce(4, 1).unwrap();
+        run_and_check(&p, 1, 16);
+    }
+
+    #[test]
+    fn multi_channel_multi_instance_ring() {
+        let p = msccl_algos::ring_all_reduce(4, 2).unwrap();
+        run_and_check(&p, 2, 8);
+    }
+
+    #[test]
+    fn tiling_pipelines_large_chunks() {
+        // Force multiple tiles with a tiny tile size.
+        let p = msccl_algos::ring_all_reduce(3, 1).unwrap();
+        let ir = compile(&p, &CompileOptions::default()).unwrap();
+        let chunk_elems = 10;
+        let inputs = crate::reference::random_inputs(&ir, chunk_elems, 3);
+        let opts = RunOptions {
+            tile_elems: Some(3),
+            ..RunOptions::default()
+        };
+        let outputs = execute(&ir, &inputs, chunk_elems, &opts).unwrap();
+        crate::reference::check_outputs(
+            &ir.collective,
+            &inputs,
+            &outputs,
+            chunk_elems,
+            ReduceOp::Sum,
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn rejects_bad_input_shape() {
+        let p = msccl_algos::ring_all_reduce(2, 1).unwrap();
+        let ir = compile(&p, &CompileOptions::default()).unwrap();
+        let err = execute(&ir, &[vec![0.0; 3]], 4, &RunOptions::default()).unwrap_err();
+        assert!(matches!(err, RuntimeError::InputShape { .. }));
+    }
+
+    /// A hand-built IR where both ranks only receive: the runtime's
+    /// watchdog must report the hang instead of blocking forever.
+    #[test]
+    fn hang_is_detected() {
+        use mscclang::{Collective, IrProgram};
+        let collective = Collective::all_gather(2, 1, false);
+        let gpu = |rank: usize, peer: usize| mscclang::ir::IrGpu {
+            rank,
+            input_chunks: 1,
+            output_chunks: 2,
+            scratch_chunks: 0,
+            threadblocks: vec![mscclang::IrThreadBlock {
+                id: 0,
+                send_peer: Some(peer),
+                recv_peer: Some(peer),
+                channel: 0,
+                instructions: vec![
+                    mscclang::IrInstruction {
+                        step: 0,
+                        op: OpCode::Recv,
+                        src: None,
+                        dst: Some(mscclang::ir::IrLoc {
+                            buffer: mscclang::BufferKind::Output,
+                            index: 0,
+                        }),
+                        count: 1,
+                        deps: vec![],
+                        has_dep: false,
+                    },
+                    mscclang::IrInstruction {
+                        step: 1,
+                        op: OpCode::Send,
+                        src: Some(mscclang::ir::IrLoc {
+                            buffer: mscclang::BufferKind::Input,
+                            index: 0,
+                        }),
+                        dst: None,
+                        count: 1,
+                        deps: vec![],
+                        has_dep: false,
+                    },
+                ],
+            }],
+        };
+        let ir = IrProgram {
+            name: "deadlock".into(),
+            collective,
+            protocol: None,
+            num_channels: 1,
+            refinement: 1,
+            gpus: vec![gpu(0, 1), gpu(1, 0)],
+        };
+        let opts = RunOptions {
+            timeout: std::time::Duration::from_millis(200),
+            ..RunOptions::default()
+        };
+        let inputs = vec![vec![1.0], vec![2.0]];
+        let err = execute(&ir, &inputs, 1, &opts).unwrap_err();
+        assert!(matches!(err, RuntimeError::Hang { .. }), "got {err:?}");
+    }
+
+    use mscclang::OpCode;
+
+    #[test]
+    fn max_reduction_operator() {
+        let p = msccl_algos::allpairs_all_reduce(3).unwrap();
+        let ir = compile(&p, &CompileOptions::default()).unwrap();
+        let chunk_elems = 4;
+        let inputs = crate::reference::random_inputs(&ir, chunk_elems, 11);
+        let opts = RunOptions {
+            reduce_op: ReduceOp::Max,
+            ..RunOptions::default()
+        };
+        let outputs = execute(&ir, &inputs, chunk_elems, &opts).unwrap();
+        crate::reference::check_outputs(
+            &ir.collective,
+            &inputs,
+            &outputs,
+            chunk_elems,
+            ReduceOp::Max,
+        )
+        .unwrap();
+    }
+}

@@ -1,0 +1,36 @@
+//! A multi-threaded functional interpreter for MSCCL-IR.
+//!
+//! This crate is the CPU analog of the paper's CUDA interpreter (Figure 5,
+//! §6): each IR thread block runs on its own OS thread, executing its
+//! instruction list sequentially inside an outer *tiling* loop; chunks
+//! larger than a FIFO slot are split into tiles and pipelined exactly as
+//! the GPU interpreter does. Point-to-point connections are bounded
+//! channels with the protocol's FIFO slot count — a send blocks when all
+//! slots are full — and cross-thread-block dependencies use monotonic
+//! semaphores, mirroring the `wait`/`set` pair in Figure 5.
+//!
+//! Data is real (`f32`), so executing a compiled program end-to-end
+//! validates numerical correctness against the golden results in
+//! [`mod@reference`].
+//!
+//! # Example
+//!
+//! ```
+//! use msccl_runtime::{execute, reference, RunOptions};
+//! use mscclang::{compile, CompileOptions};
+//!
+//! let program = msccl_algos::ring_all_reduce(4, 1)?;
+//! let ir = compile(&program, &CompileOptions::default())?;
+//! let inputs = reference::random_inputs(&ir, 64, 42);
+//! let outputs = execute(&ir, &inputs, 64, &RunOptions::default()).unwrap();
+//! reference::check_outputs(&ir.collective, &inputs, &outputs, 64, Default::default()).unwrap();
+//! # Ok::<(), mscclang::Error>(())
+//! ```
+
+mod executor;
+mod memory;
+pub mod reference;
+mod semaphore;
+
+pub use executor::{execute, RunOptions, RuntimeError};
+pub use memory::RankMemory;

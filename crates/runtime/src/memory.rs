@@ -1,0 +1,161 @@
+//! Per-rank buffer storage with in-place alias resolution.
+
+use parking_lot::RwLock;
+
+use mscclang::{BufferKind, Collective, Space};
+
+/// The three storage spaces of one rank, in elements.
+///
+/// Chunk indices from MSCCL-IR resolve through the collective's alias map
+/// (in-place input/output share the `Data` space) into element ranges of
+/// these vectors.
+pub struct RankMemory {
+    rank: usize,
+    chunk_elems: usize,
+    data: RwLock<Vec<f32>>,
+    output: RwLock<Vec<f32>>,
+    scratch: RwLock<Vec<f32>>,
+}
+
+impl RankMemory {
+    /// Allocates the buffers for `rank` given the collective's layout and
+    /// the rank's scratch size in chunks.
+    #[must_use]
+    pub fn new(
+        collective: &Collective,
+        rank: usize,
+        scratch_chunks: usize,
+        chunk_elems: usize,
+    ) -> Self {
+        let data = collective.space_size(Space::Data).unwrap_or(0) * chunk_elems;
+        let output = collective.space_size(Space::Output).unwrap_or(0) * chunk_elems;
+        let scratch = scratch_chunks * chunk_elems;
+        Self {
+            rank,
+            chunk_elems,
+            data: RwLock::new(vec![0.0; data]),
+            output: RwLock::new(vec![0.0; output]),
+            scratch: RwLock::new(vec![0.0; scratch]),
+        }
+    }
+
+    /// The rank these buffers belong to.
+    #[must_use]
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    fn space(&self, space: Space) -> &RwLock<Vec<f32>> {
+        match space {
+            Space::Data => &self.data,
+            Space::Output => &self.output,
+            Space::Scratch => &self.scratch,
+        }
+    }
+
+    /// Reads the element range `[elem_off, elem_off + len)` of chunk
+    /// `index` in `buffer` into a vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds.
+    #[must_use]
+    pub fn read(
+        &self,
+        collective: &Collective,
+        buffer: BufferKind,
+        index: usize,
+        elem_off: usize,
+        len: usize,
+    ) -> Vec<f32> {
+        let (space, off) = collective.space_of(self.rank, buffer, index);
+        let start = off * self.chunk_elems + elem_off;
+        let guard = self.space(space).read();
+        guard[start..start + len].to_vec()
+    }
+
+    /// Writes `values` at the element range starting at `elem_off` of
+    /// chunk `index` in `buffer`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds.
+    pub fn write(
+        &self,
+        collective: &Collective,
+        buffer: BufferKind,
+        index: usize,
+        elem_off: usize,
+        values: &[f32],
+    ) {
+        let (space, off) = collective.space_of(self.rank, buffer, index);
+        let start = off * self.chunk_elems + elem_off;
+        let mut guard = self.space(space).write();
+        guard[start..start + values.len()].copy_from_slice(values);
+    }
+
+    /// Applies `f` element-wise onto the range, writing the result back
+    /// and returning it (used for in-place reductions).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds or `other` is shorter than the
+    /// range.
+    pub fn combine(
+        &self,
+        collective: &Collective,
+        buffer: BufferKind,
+        index: usize,
+        elem_off: usize,
+        other: &[f32],
+        f: impl Fn(f32, f32) -> f32,
+    ) -> Vec<f32> {
+        let (space, off) = collective.space_of(self.rank, buffer, index);
+        let start = off * self.chunk_elems + elem_off;
+        let mut guard = self.space(space).write();
+        let slice = &mut guard[start..start + other.len()];
+        for (a, &b) in slice.iter_mut().zip(other) {
+            *a = f(*a, b);
+        }
+        slice.to_vec()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_write_round_trip() {
+        let coll = Collective::all_gather(2, 2, false);
+        let mem = RankMemory::new(&coll, 0, 3, 4);
+        mem.write(&coll, BufferKind::Scratch, 2, 1, &[1.0, 2.0]);
+        assert_eq!(
+            mem.read(&coll, BufferKind::Scratch, 2, 1, 2),
+            vec![1.0, 2.0]
+        );
+        assert_eq!(mem.read(&coll, BufferKind::Scratch, 2, 0, 1), vec![0.0]);
+    }
+
+    #[test]
+    fn inplace_aliasing_is_visible() {
+        let coll = Collective::all_gather(2, 1, true);
+        let mem = RankMemory::new(&coll, 1, 0, 2);
+        // Rank 1's input chunk aliases output block 1.
+        mem.write(&coll, BufferKind::Input, 0, 0, &[7.0, 8.0]);
+        assert_eq!(mem.read(&coll, BufferKind::Output, 1, 0, 2), vec![7.0, 8.0]);
+    }
+
+    #[test]
+    fn combine_applies_reduction() {
+        let coll = Collective::all_reduce(2, 1, true);
+        let mem = RankMemory::new(&coll, 0, 0, 2);
+        mem.write(&coll, BufferKind::Input, 0, 0, &[1.0, 2.0]);
+        let out = mem.combine(&coll, BufferKind::Input, 0, 0, &[10.0, 20.0], |a, b| a + b);
+        assert_eq!(out, vec![11.0, 22.0]);
+        assert_eq!(
+            mem.read(&coll, BufferKind::Input, 0, 0, 2),
+            vec![11.0, 22.0]
+        );
+    }
+}

@@ -1,0 +1,82 @@
+//! Monotonic semaphores for cross-thread-block synchronization.
+//!
+//! The CUDA interpreter (Figure 5) gives every thread block a semaphore in
+//! global memory set to the completed step after each instruction with
+//! `hasDep`; dependent instructions spin until the value is reached. Here
+//! a mutex + condvar pair replaces the spin, and the value counts
+//! instructions monotonically *across tiles* so that waits from tile `t`
+//! can never be satisfied by a completion from tile `t - 1`.
+
+use std::time::Duration;
+
+use parking_lot::{Condvar, Mutex};
+
+/// A monotonically increasing counter others can block on.
+#[derive(Default)]
+pub struct Semaphore {
+    value: Mutex<u64>,
+    cv: Condvar,
+}
+
+impl Semaphore {
+    /// Creates a semaphore at zero.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Advances the counter to `v` (monotonic; lower values are ignored)
+    /// and wakes waiters.
+    pub fn set(&self, v: u64) {
+        let mut guard = self.value.lock();
+        if v > *guard {
+            *guard = v;
+            self.cv.notify_all();
+        }
+    }
+
+    /// Blocks until the counter reaches `v` or `timeout` elapses; returns
+    /// whether the target was reached.
+    #[must_use]
+    pub fn wait_at_least(&self, v: u64, timeout: Duration) -> bool {
+        let mut guard = self.value.lock();
+        while *guard < v {
+            if self.cv.wait_for(&mut guard, timeout).timed_out() && *guard < v {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn set_and_wait() {
+        let s = Semaphore::new();
+        s.set(3);
+        assert!(s.wait_at_least(3, Duration::from_millis(10)));
+        assert!(!s.wait_at_least(4, Duration::from_millis(10)));
+    }
+
+    #[test]
+    fn set_is_monotonic() {
+        let s = Semaphore::new();
+        s.set(5);
+        s.set(2);
+        assert!(s.wait_at_least(5, Duration::from_millis(10)));
+    }
+
+    #[test]
+    fn cross_thread_wakeup() {
+        let s = Arc::new(Semaphore::new());
+        let s2 = Arc::clone(&s);
+        let h = std::thread::spawn(move || s2.wait_at_least(1, Duration::from_secs(5)));
+        std::thread::sleep(Duration::from_millis(20));
+        s.set(1);
+        assert!(h.join().unwrap());
+    }
+}

@@ -1,0 +1,469 @@
+//! Fluid-flow network model: equal-share bandwidth over contended
+//! resources.
+//!
+//! Every in-flight transfer is a *flow* with a byte count, a demand cap
+//! (the per-thread-block injection limit for NVLink copies, or the NIC
+//! engine rate for RDMA) and a set of contended resources. A flow's rate
+//! is `min(demand, min over resources of capacity / active_flows)` — an
+//! equal-split approximation of max-min fairness, recomputed whenever a
+//! flow starts or finishes on a shared resource.
+//!
+//! Resources are interned to dense indices by the caller (see
+//! [`ResourceTable`]) so the per-event work is allocation-free array
+//! traffic.
+
+use std::collections::HashMap;
+
+use msccl_topology::ResourceId;
+
+/// Handle to a flow inside the [`FlowNet`].
+pub type FlowId = usize;
+
+/// Interns [`ResourceId`]s into dense indices with capacities.
+#[derive(Debug, Default)]
+pub struct ResourceTable {
+    ids: HashMap<ResourceId, usize>,
+    capacities: Vec<f64>,
+}
+
+impl ResourceTable {
+    /// Creates an empty table.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `id` with `capacity_gbps`, returning its dense index.
+    pub fn intern(&mut self, id: ResourceId, capacity_gbps: f64) -> usize {
+        let next = self.capacities.len();
+        match self.ids.entry(id) {
+            std::collections::hash_map::Entry::Occupied(e) => *e.get(),
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(next);
+                self.capacities.push(capacity_gbps);
+                next
+            }
+        }
+    }
+
+    /// Number of interned resources.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.capacities.len()
+    }
+
+    /// Whether the table is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.capacities.is_empty()
+    }
+
+    /// Iterates `(resource id, dense index, capacity)` triples.
+    pub fn entries(&self) -> impl Iterator<Item = (ResourceId, usize, f64)> + '_ {
+        self.ids
+            .iter()
+            .map(|(&id, &idx)| (id, idx, self.capacities[idx]))
+    }
+}
+
+#[derive(Debug)]
+struct Flow {
+    remaining_bytes: f64,
+    demand_gbps: f64,
+    rate_gbps: f64,
+    last_update_us: f64,
+    /// Dense resource indices.
+    resources: [usize; 2],
+    num_resources: u8,
+    /// Event-generation counter: completion events carry the generation
+    /// they were scheduled under; stale events are ignored.
+    generation: u64,
+    done: bool,
+}
+
+/// What the engine should do after a flow update: reschedule this flow's
+/// completion event.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Reschedule {
+    /// Which flow.
+    pub flow: FlowId,
+    /// Generation to stamp the event with.
+    pub generation: u64,
+    /// Absolute completion time in microseconds.
+    pub complete_at_us: f64,
+}
+
+/// The set of active flows and resources.
+#[derive(Debug, Default)]
+pub struct FlowNet {
+    flows: Vec<Flow>,
+    /// Active flow ids per dense resource index.
+    active: Vec<Vec<FlowId>>,
+    capacities: Vec<f64>,
+    /// Total bytes carried per resource.
+    carried_bytes: Vec<f64>,
+    free_list: Vec<FlowId>,
+    total_flows_started: usize,
+    max_concurrent: usize,
+    active_count: usize,
+    /// Scratch buffers reused across events.
+    affected_scratch: Vec<FlowId>,
+    seen_stamp: Vec<u64>,
+    stamp: u64,
+}
+
+impl FlowNet {
+    /// Creates a network over the resources of `table`.
+    #[must_use]
+    pub fn new(table: &ResourceTable) -> Self {
+        Self {
+            flows: Vec::new(),
+            active: vec![Vec::new(); table.len()],
+            capacities: table.capacities.clone(),
+            carried_bytes: vec![0.0; table.len()],
+            free_list: Vec::new(),
+            total_flows_started: 0,
+            max_concurrent: 0,
+            active_count: 0,
+            affected_scratch: Vec::new(),
+            seen_stamp: Vec::new(),
+            stamp: 0,
+        }
+    }
+
+    /// Number of flows ever started.
+    #[must_use]
+    pub fn total_flows(&self) -> usize {
+        self.total_flows_started
+    }
+
+    /// Peak number of concurrent flows.
+    #[must_use]
+    pub fn max_concurrent(&self) -> usize {
+        self.max_concurrent
+    }
+
+    /// Total bytes carried per dense resource index.
+    #[must_use]
+    pub fn carried_bytes(&self) -> &[f64] {
+        &self.carried_bytes
+    }
+
+    /// Starts a flow of `bytes` over interned `resources`, capped at
+    /// `demand_gbps`. Returns the flow id; completion schedules for every
+    /// affected flow (including this one) are appended to `out`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes` or `demand_gbps` is non-positive, or `resources`
+    /// is empty or longer than two entries.
+    pub fn start(
+        &mut self,
+        now_us: f64,
+        bytes: f64,
+        demand_gbps: f64,
+        resources: &[usize],
+        out: &mut Vec<Reschedule>,
+    ) -> FlowId {
+        assert!(bytes > 0.0 && demand_gbps > 0.0);
+        assert!(
+            !resources.is_empty() && resources.len() <= 2,
+            "flows use one or two resources"
+        );
+        let mut res = [usize::MAX; 2];
+        res[..resources.len()].copy_from_slice(resources);
+        let id = match self.free_list.pop() {
+            Some(id) => {
+                // The generation stays monotonic across slot reuse so an
+                // in-flight completion event of the previous flow in this
+                // slot can never match the new one.
+                let generation = self.flows[id].generation;
+                self.flows[id] = Flow {
+                    remaining_bytes: bytes,
+                    demand_gbps,
+                    rate_gbps: 0.0,
+                    last_update_us: now_us,
+                    resources: res,
+                    num_resources: resources.len() as u8,
+                    generation,
+                    done: false,
+                };
+                id
+            }
+            None => {
+                self.flows.push(Flow {
+                    remaining_bytes: bytes,
+                    demand_gbps,
+                    rate_gbps: 0.0,
+                    last_update_us: now_us,
+                    resources: res,
+                    num_resources: resources.len() as u8,
+                    generation: 0,
+                    done: false,
+                });
+                self.seen_stamp.push(0);
+                self.flows.len() - 1
+            }
+        };
+        for &r in resources {
+            self.active[r].push(id);
+            self.carried_bytes[r] += bytes;
+        }
+        self.total_flows_started += 1;
+        self.active_count += 1;
+        self.max_concurrent = self.max_concurrent.max(self.active_count);
+        self.collect_affected(id);
+        self.recompute(now_us, out);
+        id
+    }
+
+    /// Marks `flow` complete if `generation` is current and its bytes have
+    /// drained; returns `false` for stale events. Reschedules of released
+    /// flows are appended to `out`.
+    pub fn complete(
+        &mut self,
+        now_us: f64,
+        flow: FlowId,
+        generation: u64,
+        out: &mut Vec<Reschedule>,
+    ) -> bool {
+        let f = &mut self.flows[flow];
+        if f.done || f.generation != generation {
+            return false;
+        }
+        f.remaining_bytes -= f.rate_gbps * 1000.0 * (now_us - f.last_update_us);
+        f.last_update_us = now_us;
+        // Settlement across many rate changes leaves floating-point
+        // residue; anything under a cache line is noise, not an early
+        // event.
+        debug_assert!(
+            f.remaining_bytes < 64.0,
+            "premature completion event ({} bytes left)",
+            f.remaining_bytes
+        );
+        f.done = true;
+        self.active_count -= 1;
+        let (resources, n) = (f.resources, f.num_resources as usize);
+        self.collect_affected_excluding(&resources[..n], flow);
+        for &r in &resources[..n] {
+            let a = &mut self.active[r];
+            let pos = a.iter().position(|&x| x == flow).expect("flow is active");
+            a.swap_remove(pos);
+        }
+        self.free_list.push(flow);
+        self.recompute(now_us, out);
+        true
+    }
+
+    fn collect_affected(&mut self, flow: FlowId) {
+        self.stamp += 1;
+        self.affected_scratch.clear();
+        let n = self.flows[flow].num_resources as usize;
+        let resources = self.flows[flow].resources;
+        for &r in &resources[..n] {
+            for &x in &self.active[r] {
+                if self.seen_stamp[x] != self.stamp {
+                    self.seen_stamp[x] = self.stamp;
+                    self.affected_scratch.push(x);
+                }
+            }
+        }
+    }
+
+    fn collect_affected_excluding(&mut self, resources: &[usize], exclude: FlowId) {
+        self.stamp += 1;
+        self.affected_scratch.clear();
+        for &r in resources {
+            for &x in &self.active[r] {
+                if x != exclude && self.seen_stamp[x] != self.stamp {
+                    self.seen_stamp[x] = self.stamp;
+                    self.affected_scratch.push(x);
+                }
+            }
+        }
+    }
+
+    /// Settles elapsed bytes and recomputes rates for the collected
+    /// affected set, appending fresh completion schedules to `out`.
+    fn recompute(&mut self, now_us: f64, out: &mut Vec<Reschedule>) {
+        for i in 0..self.affected_scratch.len() {
+            let id = self.affected_scratch[i];
+            let f = &self.flows[id];
+            if f.done {
+                continue;
+            }
+            let mut rate = f.demand_gbps;
+            let n = f.num_resources as usize;
+            for &r in &f.resources[..n] {
+                let share = self.capacities[r] / self.active[r].len() as f64;
+                rate = rate.min(share);
+            }
+            let elapsed = now_us - f.last_update_us;
+            let remaining = (f.remaining_bytes - f.rate_gbps * 1000.0 * elapsed).max(0.0);
+            let f = &mut self.flows[id];
+            f.remaining_bytes = remaining;
+            f.last_update_us = now_us;
+            f.rate_gbps = rate;
+            f.generation += 1;
+            out.push(Reschedule {
+                flow: id,
+                generation: f.generation,
+                complete_at_us: now_us + remaining / (rate * 1000.0),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msccl_topology::Direction;
+
+    fn setup(n_ports: usize, cap: f64) -> (ResourceTable, Vec<usize>) {
+        let mut t = ResourceTable::new();
+        let idx = (0..n_ports)
+            .map(|rank| {
+                t.intern(
+                    ResourceId::GpuPort {
+                        rank,
+                        dir: Direction::Egress,
+                    },
+                    cap,
+                )
+            })
+            .collect();
+        (t, idx)
+    }
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut t = ResourceTable::new();
+        assert!(t.is_empty());
+        let a = t.intern(
+            ResourceId::GpuPort {
+                rank: 0,
+                dir: Direction::Egress,
+            },
+            100.0,
+        );
+        let b = t.intern(
+            ResourceId::GpuPort {
+                rank: 0,
+                dir: Direction::Egress,
+            },
+            100.0,
+        );
+        assert_eq!(a, b);
+        assert_eq!(t.len(), 1);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn single_flow_runs_at_demand() {
+        let (t, idx) = setup(1, 100.0);
+        let mut net = FlowNet::new(&t);
+        let mut out = Vec::new();
+        let _ = net.start(0.0, 100_000.0, 20.0, &[idx[0]], &mut out);
+        assert_eq!(out.len(), 1);
+        // 100 KB at 20 GB/s = 5 us.
+        assert!((out[0].complete_at_us - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn capacity_is_shared_equally() {
+        let (t, idx) = setup(1, 100.0);
+        let mut net = FlowNet::new(&t);
+        let mut out = Vec::new();
+        let _ = net.start(0.0, 1_000_000.0, 100.0, &[idx[0]], &mut out);
+        out.clear();
+        let _ = net.start(0.0, 1_000_000.0, 100.0, &[idx[0]], &mut out);
+        // Both flows now run at 50 GB/s: 1 MB / 50 GB/s = 20 us.
+        assert_eq!(out.len(), 2);
+        for r in &out {
+            assert!((r.complete_at_us - 20.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn demand_cap_binds_below_share() {
+        let (t, idx) = setup(1, 100.0);
+        let mut net = FlowNet::new(&t);
+        let mut out = Vec::new();
+        let _ = net.start(0.0, 1_000_000.0, 10.0, &[idx[0]], &mut out);
+        assert!((out[0].complete_at_us - 100.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn completion_releases_bandwidth() {
+        let (t, idx) = setup(1, 100.0);
+        let mut net = FlowNet::new(&t);
+        let mut out = Vec::new();
+        let f1 = net.start(0.0, 500_000.0, 100.0, &[idx[0]], &mut out);
+        out.clear();
+        let _f2 = net.start(0.0, 1_000_000.0, 100.0, &[idx[0]], &mut out);
+        let gen1 = out.iter().find(|x| x.flow == f1).unwrap().generation;
+        let gen2 = out.iter().find(|x| x.flow != f1).unwrap().generation;
+        out.clear();
+        // f1 finishes at 10 us (500 KB at 50 GB/s).
+        assert!(net.complete(10.0, f1, gen1, &mut out));
+        // f2 has 500 KB left, now at full 100 GB/s: completes at 15 us.
+        let r = out.iter().find(|x| x.flow != f1).unwrap();
+        assert!(r.generation > gen2);
+        assert!((r.complete_at_us - 15.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn stale_generations_are_ignored() {
+        let (t, idx) = setup(1, 100.0);
+        let mut net = FlowNet::new(&t);
+        let mut out = Vec::new();
+        let f1 = net.start(0.0, 1000.0, 1.0, &[idx[0]], &mut out);
+        let old_gen = out[0].generation;
+        out.clear();
+        let _ = net.start(0.0, 1000.0, 1.0, &[idx[0]], &mut out);
+        out.clear();
+        // f1's generation advanced when the second flow arrived.
+        assert!(!net.complete(1.0, f1, old_gen, &mut out));
+    }
+
+    #[test]
+    fn multi_resource_flow_takes_tightest_share() {
+        let mut t = ResourceTable::new();
+        let port = t.intern(
+            ResourceId::GpuPort {
+                rank: 0,
+                dir: Direction::Egress,
+            },
+            100.0,
+        );
+        let nic = t.intern(
+            ResourceId::Nic {
+                node: 0,
+                nic: 0,
+                dir: Direction::Egress,
+            },
+            25.0,
+        );
+        let mut net = FlowNet::new(&t);
+        let mut out = Vec::new();
+        let _ = net.start(0.0, 250_000.0, 100.0, &[port, nic], &mut out);
+        // NIC 25 GB/s binds: 250 KB / 25 GB/s = 10 us.
+        assert!((out[0].complete_at_us - 10.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn flow_slots_are_recycled() {
+        let (t, idx) = setup(1, 100.0);
+        let mut net = FlowNet::new(&t);
+        let mut out = Vec::new();
+        let f1 = net.start(0.0, 1000.0, 100.0, &[idx[0]], &mut out);
+        let gen = out[0].generation;
+        out.clear();
+        assert!(net.complete(1.0, f1, gen, &mut out));
+        out.clear();
+        let f2 = net.start(2.0, 1000.0, 100.0, &[idx[0]], &mut out);
+        assert_eq!(f1, f2, "completed flow slot is reused");
+        assert_eq!(net.total_flows(), 2);
+        assert_eq!(net.max_concurrent(), 1);
+    }
+}

@@ -1,0 +1,39 @@
+//! Machine and interconnect topology models for the MSCCLang reproduction.
+//!
+//! The MSCCLang paper evaluates on three machine families:
+//!
+//! * **Azure NDv4** — 8×A100 per node, all-to-all NVLink via NVSwitch
+//!   (300 GB/s per direction per GPU), 8 HDR InfiniBand NICs per node at
+//!   25 GB/s each, one NIC per GPU.
+//! * **NVIDIA DGX-2** — 16×V100 per node, NVSwitch (150 GB/s per direction
+//!   per GPU), 8 HDR IB NICs per node, one NIC shared by each GPU pair.
+//! * **NVIDIA DGX-1V** — 8×V100 in a single node connected by a hybrid
+//!   cube-mesh of point-to-point NVLinks (no switch), used for the SCCL
+//!   comparison (§7.5 of the paper).
+//!
+//! This crate describes those machines abstractly: which links exist, their
+//! latency (α) and bandwidth (1/β), and which shared resources (NVLink
+//! ports, NICs) a transfer between two ranks consumes. The discrete-event
+//! simulator consumes these descriptions; the compiler itself is
+//! topology-agnostic, exactly as in the paper.
+//!
+//! # Example
+//!
+//! ```
+//! use msccl_topology::Machine;
+//!
+//! let m = Machine::ndv4(2); // two NDv4 nodes = 16 GPUs
+//! assert_eq!(m.num_ranks(), 16);
+//! assert!(m.same_node(0, 7));
+//! assert!(!m.same_node(0, 8));
+//! ```
+
+mod link;
+mod machine;
+mod path;
+mod protocol;
+
+pub use link::{LinkKind, LinkParams};
+pub use machine::{Machine, MachineKind};
+pub use path::{Direction, ResourceId, TransferPath};
+pub use protocol::{Protocol, ProtocolParams};

@@ -1,0 +1,113 @@
+//! Link kinds and their α–β parameters.
+
+use serde::{Deserialize, Serialize};
+
+/// The physical interconnect a point-to-point transfer travels over.
+///
+/// The MSCCLang runtime (an extension of NCCL) inherits support for these
+/// interconnect classes (§6); the simulator assigns each class distinct
+/// latency and bandwidth parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LinkKind {
+    /// Point-to-point NVLink (e.g. DGX-1 hybrid cube mesh).
+    NvLink,
+    /// NVLink through an NVSwitch fabric (NDv4, DGX-2): all-to-all within a
+    /// node, limited only by per-GPU port bandwidth.
+    NvSwitch,
+    /// PCIe within a node (not used by the evaluation systems directly, but
+    /// present on the path to the NICs).
+    Pcie,
+    /// Cross-node InfiniBand through GPUDirect RDMA.
+    InfiniBand,
+    /// Shared host memory fallback (supported by NCCL; unused in the paper's
+    /// evaluation and kept for completeness).
+    HostShm,
+}
+
+impl LinkKind {
+    /// Whether this link class stays within one node.
+    #[must_use]
+    pub fn is_intra_node(self) -> bool {
+        !matches!(self, LinkKind::InfiniBand)
+    }
+}
+
+/// α–β parameters of a link: per-message latency in microseconds and
+/// bandwidth in GB/s (per direction).
+///
+/// Under the α–β model used in §5.1 of the paper, a transfer of `b` bytes
+/// costs `α + b·β` where `β = 1/bandwidth`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinkParams {
+    /// Start-up latency per transfer, microseconds.
+    pub alpha_us: f64,
+    /// Bandwidth per direction, GB/s (decimal: 1 GB/s = 1000 bytes/µs).
+    pub bandwidth_gbps: f64,
+}
+
+impl LinkParams {
+    /// Creates link parameters from latency (µs) and bandwidth (GB/s).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bandwidth_gbps` is not strictly positive or `alpha_us` is
+    /// negative.
+    #[must_use]
+    pub fn new(alpha_us: f64, bandwidth_gbps: f64) -> Self {
+        assert!(bandwidth_gbps > 0.0, "bandwidth must be positive");
+        assert!(alpha_us >= 0.0, "alpha must be non-negative");
+        Self {
+            alpha_us,
+            bandwidth_gbps,
+        }
+    }
+
+    /// Time in microseconds to push `bytes` through this link at full rate,
+    /// including the start-up α.
+    #[must_use]
+    pub fn transfer_us(&self, bytes: u64) -> f64 {
+        self.alpha_us + self.serialize_us(bytes)
+    }
+
+    /// Pure serialization time (no α) for `bytes`, in microseconds.
+    ///
+    /// 1 GB/s == 1000 bytes/µs under decimal units.
+    #[must_use]
+    pub fn serialize_us(&self, bytes: u64) -> f64 {
+        bytes as f64 / (self.bandwidth_gbps * 1000.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transfer_time_combines_alpha_and_beta() {
+        let p = LinkParams::new(2.0, 25.0);
+        // 25 GB/s = 25_000 bytes/us; 1 MB takes 41.943.. us
+        let t = p.transfer_us(1 << 20);
+        assert!((t - (2.0 + 1048576.0 / 25000.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_bytes_costs_alpha_only() {
+        let p = LinkParams::new(5.0, 100.0);
+        assert_eq!(p.transfer_us(0), 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "bandwidth must be positive")]
+    fn rejects_zero_bandwidth() {
+        let _ = LinkParams::new(1.0, 0.0);
+    }
+
+    #[test]
+    fn intra_node_classification() {
+        assert!(LinkKind::NvLink.is_intra_node());
+        assert!(LinkKind::NvSwitch.is_intra_node());
+        assert!(LinkKind::Pcie.is_intra_node());
+        assert!(LinkKind::HostShm.is_intra_node());
+        assert!(!LinkKind::InfiniBand.is_intra_node());
+    }
+}

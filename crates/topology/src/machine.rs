@@ -1,0 +1,537 @@
+//! Concrete machine models: NDv4, DGX-2, DGX-1 and custom clusters.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::link::{LinkKind, LinkParams};
+
+/// The machine families used in the paper's evaluation (§7).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MachineKind {
+    /// Azure ND A100 v4: 8×A100 per node, NVSwitch, 8 IB NICs per node.
+    Ndv4,
+    /// NVIDIA DGX-2: 16×V100 per node, NVSwitch, 8 IB NICs per node.
+    Dgx2,
+    /// NVIDIA DGX-1V: 8×V100, single node, hybrid cube mesh of NVLinks.
+    Dgx1,
+    /// A user-defined cluster.
+    Custom,
+}
+
+/// A cluster of identical multi-GPU nodes.
+///
+/// A rank is identified by the integer `node * gpus_per_node + gpu` or the
+/// tuple `(node, gpu)` interchangeably, matching the paper's terminology
+/// (§2).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Machine {
+    kind: MachineKind,
+    name: String,
+    num_nodes: usize,
+    gpus_per_node: usize,
+    /// Parameters of the intra-node fabric. For switched fabrics the
+    /// bandwidth is the per-GPU port bandwidth (one direction).
+    intra: LinkParams,
+    intra_kind: LinkKind,
+    /// Point-to-point NVLink adjacency for switchless machines (DGX-1):
+    /// `(min_rank, max_rank) -> number of NVLink lanes`. Empty for switched
+    /// fabrics, where every pair is reachable.
+    nvlink_lanes: BTreeMap<(usize, usize), u32>,
+    /// Bandwidth of one NVLink lane in GB/s (per direction); only meaningful
+    /// for switchless machines.
+    lane_gbps: f64,
+    nics_per_node: usize,
+    nic: LinkParams,
+    /// How many GPUs share one NIC (`gpus_per_node / nics_per_node`).
+    gpus_per_nic: usize,
+    /// Peak bytes a single thread block can move per second (GB/s). §5.1:
+    /// "a single thread block in an NVIDIA A100 GPU is not capable of
+    /// saturating the bandwidth of its outgoing NVLink".
+    tb_gbps: f64,
+    /// Local device-memory copy/reduce bandwidth available to one thread
+    /// block (GB/s).
+    local_gbps: f64,
+    /// Cooperative kernel launch overhead in microseconds (§6.2).
+    launch_us: f64,
+    /// Streaming multiprocessors per GPU; an MSCCL-IR program may not use
+    /// more thread blocks than this (§6.2).
+    num_sms: usize,
+}
+
+impl Machine {
+    /// Azure NDv4 cluster with `num_nodes` nodes of 8 A100 GPUs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_nodes` is zero.
+    #[must_use]
+    pub fn ndv4(num_nodes: usize) -> Self {
+        assert!(num_nodes > 0, "cluster must have at least one node");
+        Self {
+            kind: MachineKind::Ndv4,
+            name: format!("{num_nodes}x NDv4 (8xA100)"),
+            num_nodes,
+            gpus_per_node: 8,
+            intra: LinkParams::new(1.8, 275.0),
+            intra_kind: LinkKind::NvSwitch,
+            nvlink_lanes: BTreeMap::new(),
+            lane_gbps: 0.0,
+            nics_per_node: 8,
+            nic: LinkParams::new(3.5, 25.0),
+            gpus_per_nic: 1,
+            tb_gbps: 28.0,
+            local_gbps: 55.0,
+            launch_us: 9.0,
+            num_sms: 108,
+        }
+    }
+
+    /// DGX-2 cluster with `num_nodes` nodes of 16 V100 GPUs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_nodes` is zero.
+    #[must_use]
+    pub fn dgx2(num_nodes: usize) -> Self {
+        assert!(num_nodes > 0, "cluster must have at least one node");
+        Self {
+            kind: MachineKind::Dgx2,
+            name: format!("{num_nodes}x DGX-2 (16xV100)"),
+            num_nodes,
+            gpus_per_node: 16,
+            intra: LinkParams::new(2.2, 135.0),
+            intra_kind: LinkKind::NvSwitch,
+            nvlink_lanes: BTreeMap::new(),
+            lane_gbps: 0.0,
+            nics_per_node: 8,
+            nic: LinkParams::new(3.5, 25.0),
+            gpus_per_nic: 2,
+            tb_gbps: 14.0,
+            local_gbps: 40.0,
+            launch_us: 11.0,
+            num_sms: 80,
+        }
+    }
+
+    /// Azure NDv5-style cluster with `num_nodes` nodes of 8 H100 GPUs
+    /// (extension preset — not part of the paper's evaluation; NVLink 4 at
+    /// 450 GB/s per direction, 8×NDR InfiniBand NICs at 50 GB/s).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_nodes` is zero.
+    #[must_use]
+    pub fn ndv5(num_nodes: usize) -> Self {
+        assert!(num_nodes > 0, "cluster must have at least one node");
+        Self {
+            kind: MachineKind::Custom,
+            name: format!("{num_nodes}x NDv5 (8xH100)"),
+            num_nodes,
+            gpus_per_node: 8,
+            intra: LinkParams::new(1.5, 430.0),
+            intra_kind: LinkKind::NvSwitch,
+            nvlink_lanes: BTreeMap::new(),
+            lane_gbps: 0.0,
+            nics_per_node: 8,
+            nic: LinkParams::new(3.0, 50.0),
+            gpus_per_nic: 1,
+            tb_gbps: 45.0,
+            local_gbps: 90.0,
+            launch_us: 8.0,
+            num_sms: 132,
+        }
+    }
+
+    /// A single DGX-1V node: 8 V100 GPUs in a hybrid cube mesh (§7.5).
+    ///
+    /// Each V100 has six NVLink gen-2 lanes at 25 GB/s per direction. The
+    /// lane assignment follows the standard DGX-1V wiring: double links
+    /// within board-pairs and across the boards, single links elsewhere.
+    #[must_use]
+    pub fn dgx1() -> Self {
+        let mut lanes = BTreeMap::new();
+        // Intra-quad links. Quad 0: GPUs 0-3, quad 1: GPUs 4-7.
+        for base in [0usize, 4] {
+            lanes.insert((base, base + 3), 2);
+            lanes.insert((base + 1, base + 2), 2);
+            lanes.insert((base, base + 1), 1);
+            lanes.insert((base, base + 2), 1);
+            lanes.insert((base + 1, base + 3), 1);
+            lanes.insert((base + 2, base + 3), 1);
+        }
+        // Cross-board links: i <-> i+4, double lanes.
+        for i in 0..4 {
+            lanes.insert((i, i + 4), 2);
+        }
+        Self {
+            kind: MachineKind::Dgx1,
+            name: "DGX-1V (8xV100 hybrid cube mesh)".to_owned(),
+            num_nodes: 1,
+            gpus_per_node: 8,
+            intra: LinkParams::new(2.2, 25.0),
+            intra_kind: LinkKind::NvLink,
+            nvlink_lanes: lanes,
+            lane_gbps: 25.0,
+            nics_per_node: 4,
+            nic: LinkParams::new(3.5, 12.5),
+            gpus_per_nic: 2,
+            tb_gbps: 14.0,
+            local_gbps: 40.0,
+            launch_us: 11.0,
+            num_sms: 80,
+        }
+    }
+
+    /// A custom switched cluster for tests and exploration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero or `nics_per_node` does not divide
+    /// `gpus_per_node`.
+    #[must_use]
+    pub fn custom(
+        num_nodes: usize,
+        gpus_per_node: usize,
+        intra: LinkParams,
+        nics_per_node: usize,
+        nic: LinkParams,
+    ) -> Self {
+        assert!(num_nodes > 0 && gpus_per_node > 0 && nics_per_node > 0);
+        assert!(
+            gpus_per_node.is_multiple_of(nics_per_node),
+            "nics_per_node must divide gpus_per_node"
+        );
+        Self {
+            kind: MachineKind::Custom,
+            name: format!("custom {num_nodes}x{gpus_per_node}"),
+            num_nodes,
+            gpus_per_node,
+            intra,
+            intra_kind: LinkKind::NvSwitch,
+            nvlink_lanes: BTreeMap::new(),
+            lane_gbps: 0.0,
+            nics_per_node,
+            nic,
+            gpus_per_nic: gpus_per_node / nics_per_node,
+            tb_gbps: 20.0,
+            local_gbps: 50.0,
+            launch_us: 10.0,
+            num_sms: 100,
+        }
+    }
+
+    /// The machine family.
+    #[must_use]
+    pub fn kind(&self) -> MachineKind {
+        self.kind
+    }
+
+    /// Human-readable machine name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of nodes in the cluster.
+    #[must_use]
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// GPUs per node.
+    #[must_use]
+    pub fn gpus_per_node(&self) -> usize {
+        self.gpus_per_node
+    }
+
+    /// Total ranks (GPUs) in the cluster.
+    #[must_use]
+    pub fn num_ranks(&self) -> usize {
+        self.num_nodes * self.gpus_per_node
+    }
+
+    /// Node index of `rank`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rank` is out of range.
+    #[must_use]
+    pub fn node_of(&self, rank: usize) -> usize {
+        assert!(rank < self.num_ranks(), "rank {rank} out of range");
+        rank / self.gpus_per_node
+    }
+
+    /// Local GPU index of `rank` within its node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rank` is out of range.
+    #[must_use]
+    pub fn gpu_of(&self, rank: usize) -> usize {
+        assert!(rank < self.num_ranks(), "rank {rank} out of range");
+        rank % self.gpus_per_node
+    }
+
+    /// Integer rank for a `(node, gpu)` tuple.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either coordinate is out of range.
+    #[must_use]
+    pub fn rank_of(&self, node: usize, gpu: usize) -> usize {
+        assert!(node < self.num_nodes, "node {node} out of range");
+        assert!(gpu < self.gpus_per_node, "gpu {gpu} out of range");
+        node * self.gpus_per_node + gpu
+    }
+
+    /// Whether two ranks live on the same node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either rank is out of range.
+    #[must_use]
+    pub fn same_node(&self, a: usize, b: usize) -> bool {
+        self.node_of(a) == self.node_of(b)
+    }
+
+    /// NIC index (within a node) used by the GPU `gpu`.
+    #[must_use]
+    pub fn nic_of_gpu(&self, gpu: usize) -> usize {
+        gpu / self.gpus_per_nic
+    }
+
+    /// Intra-node fabric parameters (per-GPU port for switched machines,
+    /// per-lane α for switchless).
+    #[must_use]
+    pub fn intra_link(&self) -> LinkParams {
+        self.intra
+    }
+
+    /// Intra-node fabric kind.
+    #[must_use]
+    pub fn intra_kind(&self) -> LinkKind {
+        self.intra_kind
+    }
+
+    /// NIC parameters (one direction).
+    #[must_use]
+    pub fn nic_link(&self) -> LinkParams {
+        self.nic
+    }
+
+    /// NICs per node.
+    #[must_use]
+    pub fn nics_per_node(&self) -> usize {
+        self.nics_per_node
+    }
+
+    /// Per-thread-block injection bandwidth in GB/s.
+    #[must_use]
+    pub fn tb_gbps(&self) -> f64 {
+        self.tb_gbps
+    }
+
+    /// Local copy/reduce bandwidth per thread block in GB/s.
+    #[must_use]
+    pub fn local_gbps(&self) -> f64 {
+        self.local_gbps
+    }
+
+    /// Cooperative kernel launch overhead in microseconds.
+    #[must_use]
+    pub fn launch_us(&self) -> f64 {
+        self.launch_us
+    }
+
+    /// Streaming multiprocessors per GPU (max thread blocks per program).
+    #[must_use]
+    pub fn num_sms(&self) -> usize {
+        self.num_sms
+    }
+
+    /// For switchless machines: the number of NVLink lanes directly
+    /// connecting two GPUs on the same node, or 0 if they are not adjacent.
+    /// Switched machines report `u32::MAX` as "fully connected".
+    ///
+    /// # Panics
+    ///
+    /// Panics if either rank is out of range.
+    #[must_use]
+    pub fn nvlink_lanes(&self, a: usize, b: usize) -> u32 {
+        assert!(a < self.num_ranks() && b < self.num_ranks());
+        if !self.same_node(a, b) {
+            return 0;
+        }
+        if self.nvlink_lanes.is_empty() {
+            return u32::MAX;
+        }
+        let (ga, gb) = (self.gpu_of(a), self.gpu_of(b));
+        let key = (ga.min(gb), ga.max(gb));
+        self.nvlink_lanes.get(&key).copied().unwrap_or(0)
+    }
+
+    /// Bandwidth of one NVLink lane (GB/s) for switchless machines.
+    #[must_use]
+    pub fn lane_gbps(&self) -> f64 {
+        self.lane_gbps
+    }
+
+    /// Whether the intra-node fabric is switched (every pair reachable at
+    /// port bandwidth).
+    #[must_use]
+    pub fn is_switched(&self) -> bool {
+        self.nvlink_lanes.is_empty()
+    }
+
+    /// Overrides the per-thread-block injection bandwidth. Useful for
+    /// modelling other GPU generations in tests and ablations.
+    #[must_use]
+    pub fn with_tb_gbps(mut self, gbps: f64) -> Self {
+        assert!(gbps > 0.0);
+        self.tb_gbps = gbps;
+        self
+    }
+
+    /// Overrides the kernel launch overhead.
+    #[must_use]
+    pub fn with_launch_us(mut self, us: f64) -> Self {
+        assert!(us >= 0.0);
+        self.launch_us = us;
+        self
+    }
+
+    /// Overrides the SM count (thread block budget). Useful for testing
+    /// over-subscription handling.
+    #[must_use]
+    pub fn with_num_sms(mut self, sms: usize) -> Self {
+        assert!(sms > 0);
+        self.num_sms = sms;
+        self
+    }
+
+    /// Overrides the per-thread-block local copy/reduce bandwidth.
+    #[must_use]
+    pub fn with_local_gbps(mut self, gbps: f64) -> Self {
+        assert!(gbps > 0.0);
+        self.local_gbps = gbps;
+        self
+    }
+
+    /// Overrides the NIC parameters (useful for modelling faster or
+    /// slower fabrics).
+    #[must_use]
+    pub fn with_nic(mut self, nic: LinkParams) -> Self {
+        self.nic = nic;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ndv4_dimensions() {
+        let m = Machine::ndv4(16);
+        assert_eq!(m.num_ranks(), 128);
+        assert_eq!(m.node_of(17), 2);
+        assert_eq!(m.gpu_of(17), 1);
+        assert_eq!(m.rank_of(2, 1), 17);
+        assert_eq!(m.nic_of_gpu(5), 5); // one NIC per GPU
+    }
+
+    #[test]
+    fn ndv5_extension_preset() {
+        let m = Machine::ndv5(2);
+        assert_eq!(m.num_ranks(), 16);
+        assert!(m.is_switched());
+        assert!(m.nic_link().bandwidth_gbps > Machine::ndv4(1).nic_link().bandwidth_gbps);
+    }
+
+    #[test]
+    fn dgx2_shares_nics_between_gpu_pairs() {
+        let m = Machine::dgx2(4);
+        assert_eq!(m.num_ranks(), 64);
+        assert_eq!(m.nic_of_gpu(0), 0);
+        assert_eq!(m.nic_of_gpu(1), 0);
+        assert_eq!(m.nic_of_gpu(2), 1);
+        assert_eq!(m.nic_of_gpu(15), 7);
+    }
+
+    #[test]
+    fn dgx1_each_gpu_has_six_lanes() {
+        let m = Machine::dgx1();
+        assert!(!m.is_switched());
+        for gpu in 0..8 {
+            let total: u32 = (0..8)
+                .filter(|&o| o != gpu)
+                .map(|o| {
+                    let l = m.nvlink_lanes(gpu, o);
+                    assert_ne!(l, u32::MAX);
+                    l
+                })
+                .sum();
+            assert_eq!(total, 6, "gpu {gpu} must have exactly 6 NVLink lanes");
+        }
+    }
+
+    #[test]
+    fn dgx1_cross_board_pairs_are_double_linked() {
+        let m = Machine::dgx1();
+        for i in 0..4 {
+            assert_eq!(m.nvlink_lanes(i, i + 4), 2);
+        }
+        assert_eq!(m.nvlink_lanes(0, 5), 0); // not adjacent
+    }
+
+    #[test]
+    fn switched_machines_are_fully_connected() {
+        let m = Machine::ndv4(1);
+        assert!(m.is_switched());
+        assert_eq!(m.nvlink_lanes(0, 7), u32::MAX);
+    }
+
+    #[test]
+    #[should_panic(expected = "rank 9 out of range")]
+    fn node_of_rejects_out_of_range() {
+        let _ = Machine::ndv4(1).node_of(9);
+    }
+
+    #[test]
+    fn same_node_boundary() {
+        let m = Machine::ndv4(2);
+        assert!(m.same_node(0, 7));
+        assert!(!m.same_node(7, 8));
+        assert!(m.same_node(8, 15));
+    }
+
+    #[test]
+    fn custom_validates_nic_division() {
+        let intra = LinkParams::new(2.0, 100.0);
+        let nic = LinkParams::new(3.0, 25.0);
+        let m = Machine::custom(2, 4, intra, 2, nic);
+        assert_eq!(m.nic_of_gpu(3), 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn custom_rejects_bad_nic_division() {
+        let intra = LinkParams::new(2.0, 100.0);
+        let nic = LinkParams::new(3.0, 25.0);
+        let _ = Machine::custom(2, 4, intra, 3, nic);
+    }
+
+    #[test]
+    fn builder_overrides() {
+        let m = Machine::ndv4(1)
+            .with_tb_gbps(40.0)
+            .with_launch_us(5.0)
+            .with_local_gbps(80.0)
+            .with_nic(LinkParams::new(2.0, 50.0));
+        assert_eq!(m.tb_gbps(), 40.0);
+        assert_eq!(m.launch_us(), 5.0);
+        assert_eq!(m.local_gbps(), 80.0);
+        assert_eq!(m.nic_link().bandwidth_gbps, 50.0);
+    }
+}

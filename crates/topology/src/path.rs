@@ -1,0 +1,259 @@
+//! Shared-resource paths for point-to-point transfers.
+//!
+//! A transfer from rank `s` to rank `d` consumes a small set of contended
+//! resources: the NVLink egress port of `s` and ingress port of `d` for
+//! intra-node traffic, or the sending and receiving InfiniBand NICs for
+//! cross-node traffic (the data moves GPU→NIC→NIC→GPU via GPUDirect RDMA,
+//! §6.1). The simulator shares each resource's bandwidth among the flows
+//! crossing it.
+
+use serde::{Deserialize, Serialize};
+
+use crate::link::LinkKind;
+use crate::machine::Machine;
+
+/// Direction of port usage on a resource.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Direction {
+    /// Traffic leaving the device.
+    Egress,
+    /// Traffic entering the device.
+    Ingress,
+}
+
+/// A contended bandwidth resource in the cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum ResourceId {
+    /// The NVLink/NVSwitch port of one GPU, one direction.
+    GpuPort { rank: usize, dir: Direction },
+    /// One direction of a point-to-point NVLink bundle between two GPUs on a
+    /// switchless machine; `a < b` and `dir` is relative to `a`.
+    PairLink { a: usize, b: usize, dir: Direction },
+    /// One direction of an InfiniBand NIC.
+    Nic {
+        node: usize,
+        nic: usize,
+        dir: Direction,
+    },
+}
+
+/// The resources and base parameters of one point-to-point transfer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TransferPath {
+    /// Resources whose bandwidth the transfer shares.
+    pub resources: Vec<(ResourceId, f64)>,
+    /// Start-up latency of the slowest hop, microseconds.
+    pub alpha_us: f64,
+    /// The dominant link class (for protocol decisions and reporting).
+    pub kind: LinkKind,
+}
+
+impl TransferPath {
+    /// Resolves the path for a transfer `src -> dst` on `machine`.
+    ///
+    /// Returns `None` when the two ranks are not connected: only possible on
+    /// switchless machines (DGX-1) for non-adjacent intra-node pairs.
+    /// `src == dst` yields an empty resource list (a local copy).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either rank is out of range for `machine`.
+    #[must_use]
+    pub fn resolve(machine: &Machine, src: usize, dst: usize) -> Option<Self> {
+        assert!(src < machine.num_ranks(), "src rank out of range");
+        assert!(dst < machine.num_ranks(), "dst rank out of range");
+        if src == dst {
+            return Some(Self {
+                resources: Vec::new(),
+                alpha_us: 0.0,
+                kind: LinkKind::NvSwitch,
+            });
+        }
+        if machine.same_node(src, dst) {
+            let intra = machine.intra_link();
+            if machine.is_switched() {
+                Some(Self {
+                    resources: vec![
+                        (
+                            ResourceId::GpuPort {
+                                rank: src,
+                                dir: Direction::Egress,
+                            },
+                            intra.bandwidth_gbps,
+                        ),
+                        (
+                            ResourceId::GpuPort {
+                                rank: dst,
+                                dir: Direction::Ingress,
+                            },
+                            intra.bandwidth_gbps,
+                        ),
+                    ],
+                    alpha_us: intra.alpha_us,
+                    kind: LinkKind::NvSwitch,
+                })
+            } else {
+                let lanes = machine.nvlink_lanes(src, dst);
+                if lanes == 0 {
+                    return None;
+                }
+                let bw = machine.lane_gbps() * f64::from(lanes);
+                let (a, b) = (src.min(dst), src.max(dst));
+                let dir = if src < dst {
+                    Direction::Egress
+                } else {
+                    Direction::Ingress
+                };
+                Some(Self {
+                    resources: vec![(ResourceId::PairLink { a, b, dir }, bw)],
+                    alpha_us: intra.alpha_us,
+                    kind: LinkKind::NvLink,
+                })
+            }
+        } else {
+            let nic = machine.nic_link();
+            let src_node = machine.node_of(src);
+            let dst_node = machine.node_of(dst);
+            let src_nic = machine.nic_of_gpu(machine.gpu_of(src));
+            let dst_nic = machine.nic_of_gpu(machine.gpu_of(dst));
+            Some(Self {
+                resources: vec![
+                    (
+                        ResourceId::Nic {
+                            node: src_node,
+                            nic: src_nic,
+                            dir: Direction::Egress,
+                        },
+                        nic.bandwidth_gbps,
+                    ),
+                    (
+                        ResourceId::Nic {
+                            node: dst_node,
+                            nic: dst_nic,
+                            dir: Direction::Ingress,
+                        },
+                        nic.bandwidth_gbps,
+                    ),
+                ],
+                alpha_us: nic.alpha_us,
+                kind: LinkKind::InfiniBand,
+            })
+        }
+    }
+
+    /// Whether this is a same-GPU (local) path.
+    #[must_use]
+    pub fn is_local(&self) -> bool {
+        self.resources.is_empty()
+    }
+
+    /// Whether the transfer crosses nodes.
+    #[must_use]
+    pub fn is_cross_node(&self) -> bool {
+        self.kind == LinkKind::InfiniBand
+    }
+
+    /// The tightest bandwidth on the path when uncontended, GB/s.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the path is local (no resources).
+    #[must_use]
+    pub fn min_bandwidth_gbps(&self) -> f64 {
+        assert!(!self.is_local(), "local path has no bandwidth bound");
+        self.resources
+            .iter()
+            .map(|&(_, bw)| bw)
+            .fold(f64::INFINITY, f64::min)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intra_node_switched_path_uses_both_ports() {
+        let m = Machine::ndv4(1);
+        let p = TransferPath::resolve(&m, 0, 3).unwrap();
+        assert_eq!(p.kind, LinkKind::NvSwitch);
+        assert_eq!(p.resources.len(), 2);
+        assert!(p.resources.contains(&(
+            ResourceId::GpuPort {
+                rank: 0,
+                dir: Direction::Egress
+            },
+            275.0
+        )));
+        assert!(p.resources.contains(&(
+            ResourceId::GpuPort {
+                rank: 3,
+                dir: Direction::Ingress
+            },
+            275.0
+        )));
+    }
+
+    #[test]
+    fn cross_node_path_uses_nics() {
+        let m = Machine::ndv4(2);
+        let p = TransferPath::resolve(&m, 1, 9).unwrap();
+        assert!(p.is_cross_node());
+        assert_eq!(p.min_bandwidth_gbps(), 25.0);
+        assert!(p.resources.contains(&(
+            ResourceId::Nic {
+                node: 0,
+                nic: 1,
+                dir: Direction::Egress
+            },
+            25.0
+        )));
+        assert!(p.resources.contains(&(
+            ResourceId::Nic {
+                node: 1,
+                nic: 1,
+                dir: Direction::Ingress
+            },
+            25.0
+        )));
+    }
+
+    #[test]
+    fn dgx2_pairs_share_nic() {
+        let m = Machine::dgx2(2);
+        let p0 = TransferPath::resolve(&m, 0, 16).unwrap();
+        let p1 = TransferPath::resolve(&m, 1, 17).unwrap();
+        // GPUs 0 and 1 share NIC 0 on node 0.
+        assert_eq!(p0.resources[0], p1.resources[0]);
+    }
+
+    #[test]
+    fn local_path_is_empty() {
+        let m = Machine::ndv4(1);
+        let p = TransferPath::resolve(&m, 2, 2).unwrap();
+        assert!(p.is_local());
+        assert!(!p.is_cross_node());
+    }
+
+    #[test]
+    fn dgx1_adjacent_pair_has_lane_bandwidth() {
+        let m = Machine::dgx1();
+        let p = TransferPath::resolve(&m, 0, 3).unwrap();
+        assert_eq!(p.kind, LinkKind::NvLink);
+        assert_eq!(p.min_bandwidth_gbps(), 50.0); // 2 lanes x 25 GB/s
+    }
+
+    #[test]
+    fn dgx1_non_adjacent_pair_is_unreachable() {
+        let m = Machine::dgx1();
+        assert!(TransferPath::resolve(&m, 0, 5).is_none());
+    }
+
+    #[test]
+    fn dgx1_direction_distinguishes_flows() {
+        let m = Machine::dgx1();
+        let fwd = TransferPath::resolve(&m, 0, 3).unwrap();
+        let rev = TransferPath::resolve(&m, 3, 0).unwrap();
+        assert_ne!(fwd.resources[0].0, rev.resources[0].0);
+    }
+}

@@ -1,0 +1,219 @@
+//! NCCL communication protocols: Simple, LL and LL128 (§6.1).
+//!
+//! Protocols trade latency for bandwidth. `Simple` synchronizes whole FIFO
+//! slots and delivers full link bandwidth at the highest per-tile latency;
+//! `LL` ("low latency") interleaves an 8-byte flag with every 8 bytes of
+//! data, halving effective bandwidth but making each tile visible with
+//! near-zero synchronization cost; `LL128` amortizes the flag over a
+//! 128-byte line, delivering 120/128 of link bandwidth at intermediate
+//! latency. The protocol also fixes the remote-buffer slot size and the
+//! number of FIFO slots per connection.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// One of NCCL's three communication protocols.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Protocol {
+    /// Full bandwidth, highest latency.
+    Simple,
+    /// Lowest latency, half bandwidth.
+    Ll,
+    /// In-between on both axes.
+    Ll128,
+}
+
+impl Protocol {
+    /// All protocols, in increasing-bandwidth order.
+    pub const ALL: [Protocol; 3] = [Protocol::Ll, Protocol::Ll128, Protocol::Simple];
+
+    /// Tuning parameters of this protocol.
+    #[must_use]
+    pub fn params(self) -> ProtocolParams {
+        match self {
+            Protocol::Simple => ProtocolParams {
+                protocol: self,
+                slot_bytes: 512 * 1024,
+                num_slots: 8,
+                tile_overhead_us: 5.0,
+                bandwidth_efficiency: 1.0,
+                alpha_factor: 1.0,
+            },
+            Protocol::Ll => ProtocolParams {
+                protocol: self,
+                slot_bytes: 16 * 1024,
+                num_slots: 8,
+                tile_overhead_us: 0.6,
+                bandwidth_efficiency: 0.5,
+                alpha_factor: 0.35,
+            },
+            Protocol::Ll128 => ProtocolParams {
+                protocol: self,
+                slot_bytes: 120 * 1024,
+                num_slots: 8,
+                tile_overhead_us: 1.4,
+                bandwidth_efficiency: 120.0 / 128.0,
+                alpha_factor: 0.5,
+            },
+        }
+    }
+
+    /// Canonical lowercase name as used in MSCCL-IR files.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Protocol::Simple => "Simple",
+            Protocol::Ll => "LL",
+            Protocol::Ll128 => "LL128",
+        }
+    }
+
+    /// Parses the canonical name (case-insensitive).
+    #[must_use]
+    pub fn parse(s: &str) -> Option<Self> {
+        match s.to_ascii_lowercase().as_str() {
+            "simple" => Some(Protocol::Simple),
+            "ll" => Some(Protocol::Ll),
+            "ll128" => Some(Protocol::Ll128),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Protocol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// The concrete parameters a protocol fixes (§6.1: "the protocol also
+/// defines the remote buffer size and the number of slots").
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ProtocolParams {
+    /// Which protocol these parameters belong to.
+    pub protocol: Protocol,
+    /// Bytes per FIFO slot; chunks larger than this are split into tiles
+    /// and pipelined (§6.2).
+    pub slot_bytes: u64,
+    /// FIFO slots per connection: how many sends may complete before any
+    /// receive drains the buffer (1 ≤ s ≤ 8).
+    pub num_slots: usize,
+    /// Per-tile synchronization overhead on the sending side, microseconds.
+    pub tile_overhead_us: f64,
+    /// Fraction of raw link bandwidth delivered as payload (flag overhead).
+    pub bandwidth_efficiency: f64,
+    /// Multiplier on the link's delivery latency: the LL protocols carry
+    /// their flag inline with the data, so the receiver observes it after
+    /// a single store rather than a data-then-flag sequence.
+    pub alpha_factor: f64,
+}
+
+impl ProtocolParams {
+    /// Wire bytes needed to carry `payload` bytes under this protocol.
+    #[must_use]
+    pub fn wire_bytes(&self, payload: u64) -> u64 {
+        (payload as f64 / self.bandwidth_efficiency).ceil() as u64
+    }
+
+    /// Number of tiles a chunk of `chunk_bytes` splits into (at least 1, for
+    /// zero-size edge cases).
+    #[must_use]
+    pub fn num_tiles(&self, chunk_bytes: u64) -> u64 {
+        chunk_bytes.div_ceil(self.slot_bytes).max(1)
+    }
+
+    /// Size in bytes of tile `t` (0-based) of a chunk of `chunk_bytes`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is not a valid tile index for `chunk_bytes`.
+    #[must_use]
+    pub fn tile_bytes(&self, chunk_bytes: u64, t: u64) -> u64 {
+        let n = self.num_tiles(chunk_bytes);
+        assert!(t < n, "tile index {t} out of range (chunk has {n} tiles)");
+        if t + 1 < n {
+            self.slot_bytes
+        } else {
+            chunk_bytes - self.slot_bytes * (n - 1)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ll_halves_bandwidth() {
+        let p = Protocol::Ll.params();
+        assert_eq!(p.wire_bytes(1000), 2000);
+    }
+
+    #[test]
+    fn ll128_overhead_is_8_in_128() {
+        let p = Protocol::Ll128.params();
+        assert_eq!(p.wire_bytes(120), 128);
+    }
+
+    #[test]
+    fn simple_is_full_bandwidth() {
+        let p = Protocol::Simple.params();
+        assert_eq!(p.wire_bytes(4096), 4096);
+    }
+
+    #[test]
+    fn tiling_splits_and_covers_chunk() {
+        let p = Protocol::Simple.params();
+        let chunk = 3 * p.slot_bytes + 100;
+        assert_eq!(p.num_tiles(chunk), 4);
+        let total: u64 = (0..4).map(|t| p.tile_bytes(chunk, t)).sum();
+        assert_eq!(total, chunk);
+        assert_eq!(p.tile_bytes(chunk, 3), 100);
+    }
+
+    #[test]
+    fn small_chunk_is_one_tile() {
+        let p = Protocol::Ll.params();
+        assert_eq!(p.num_tiles(10), 1);
+        assert_eq!(p.tile_bytes(10, 0), 10);
+        assert_eq!(p.num_tiles(0), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "tile index")]
+    fn tile_index_out_of_range_panics() {
+        let p = Protocol::Simple.params();
+        let _ = p.tile_bytes(100, 1);
+    }
+
+    #[test]
+    fn name_round_trip() {
+        for proto in Protocol::ALL {
+            assert_eq!(Protocol::parse(proto.as_str()), Some(proto));
+        }
+        assert_eq!(Protocol::parse("LL128"), Some(Protocol::Ll128));
+        assert_eq!(Protocol::parse("bogus"), None);
+    }
+
+    #[test]
+    fn alpha_factor_ordering() {
+        assert!(Protocol::Ll.params().alpha_factor < Protocol::Ll128.params().alpha_factor);
+        assert!(Protocol::Ll128.params().alpha_factor < Protocol::Simple.params().alpha_factor);
+    }
+
+    #[test]
+    fn latency_bandwidth_ordering_matches_paper() {
+        // §6.1: Simple has the highest bandwidth and latency, LL the lowest
+        // of both, LL128 in between.
+        let (s, ll, ll128) = (
+            Protocol::Simple.params(),
+            Protocol::Ll.params(),
+            Protocol::Ll128.params(),
+        );
+        assert!(s.tile_overhead_us > ll128.tile_overhead_us);
+        assert!(ll128.tile_overhead_us > ll.tile_overhead_us);
+        assert!(s.bandwidth_efficiency > ll128.bandwidth_efficiency);
+        assert!(ll128.bandwidth_efficiency > ll.bandwidth_efficiency);
+    }
+}

@@ -1,0 +1,75 @@
+//! The paper's running example end to end: the hierarchical AllReduce of
+//! §2 / Figure 3 on a 2-node NDv4 cluster, compared against the NCCL
+//! model and the multi-kernel composition of NCCL collectives (§7.2).
+//!
+//! Run with: `cargo run --release --example hierarchical_allreduce`
+
+use msccl_baselines::{Nccl, NcclHierarchical};
+use msccl_sim::{simulate, SimConfig};
+use msccl_topology::{Machine, Protocol};
+use mscclang::{compile, CompileOptions};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let (nodes, gpus) = (2, 8);
+    let machine = Machine::ndv4(nodes);
+
+    let program = msccl_algos::hierarchical_all_reduce(nodes, gpus)?;
+    program.validate()?;
+    println!(
+        "hierarchical AllReduce on {}: {} chunk ops traced",
+        machine.name(),
+        program.ops().len()
+    );
+
+    // Compile the paper's per-size variants (§7.2 applies different
+    // optimizations to the same base algorithm).
+    let small = compile(&program, &CompileOptions::default().with_verify(false))?;
+    let large = compile(
+        &program,
+        &CompileOptions::default()
+            .with_verify(false)
+            .with_instances(4),
+    )?;
+
+    let nccl = Nccl::new(machine.clone())?;
+    let composed = NcclHierarchical::new(machine.clone())?;
+
+    println!(
+        "\n{:>8} | {:>12} | {:>12} | {:>12} | {:>8}",
+        "size", "MSCCLang us", "NCCL us", "composed us", "speedup"
+    );
+    for exp in [14, 17, 20, 23, 26, 28] {
+        let bytes = 1u64 << exp;
+        let (ir, protocol) = if bytes <= 1 << 20 {
+            (&small, Protocol::Ll)
+        } else if bytes <= 32 << 20 {
+            (&large, Protocol::Ll128)
+        } else {
+            (&large, Protocol::Simple)
+        };
+        let cfg = SimConfig::new(machine.clone()).with_protocol(protocol);
+        let t = simulate(ir, &cfg, bytes)?.total_us;
+        let t_nccl = nccl.all_reduce_us(bytes)?;
+        let t_comp = composed.all_reduce_us(bytes)?;
+        println!(
+            "{:>8} | {:>12.1} | {:>12.1} | {:>12.1} | {:>7.2}x",
+            human(bytes),
+            t,
+            t_nccl,
+            t_comp,
+            t_nccl / t
+        );
+    }
+    println!("\n(speedup = NCCL time / MSCCLang time; cf. Figure 8c)");
+    Ok(())
+}
+
+fn human(bytes: u64) -> String {
+    if bytes >= 1 << 30 {
+        format!("{}GB", bytes >> 30)
+    } else if bytes >= 1 << 20 {
+        format!("{}MB", bytes >> 20)
+    } else {
+        format!("{}KB", bytes >> 10)
+    }
+}

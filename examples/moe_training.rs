@@ -1,0 +1,96 @@
+//! End-to-end stand-in for §7.6: a synthetic Mixture-of-Experts training
+//! step on a 4-node cluster.
+//!
+//! The paper reports MSCCLang speeding up a production MoE model by
+//! 1.10–1.89× on 256 A100s; the production workload is not available, so
+//! this example reproduces the *mechanism*: an MoE step is dominated by
+//! two AllToAlls (token dispatch and return) plus a gradient AllReduce,
+//! and replacing NCCL's collectives with MSCCLang's custom schedules
+//! shrinks exactly that communication share.
+//!
+//! Run with: `cargo run --release --example moe_training`
+
+use msccl_baselines::Nccl;
+use msccl_sim::{simulate, SimConfig};
+use msccl_topology::{Machine, Protocol};
+use mscclang::{compile, CompileOptions};
+
+struct MoeStep {
+    /// Per-GPU bytes moved by each AllToAll (token dispatch / combine).
+    alltoall_bytes: u64,
+    /// Per-GPU bytes of the gradient AllReduce.
+    allreduce_bytes: u64,
+    /// Simulated expert + attention compute per step, microseconds.
+    compute_us: f64,
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let (nodes, gpus) = (4, 8);
+    let machine = Machine::ndv4(nodes);
+    let nccl = Nccl::new(machine.clone())?;
+
+    let opts = CompileOptions::default().with_verify(false);
+    let a2a = compile(&msccl_algos::two_step_all_to_all(nodes, gpus)?, &opts)?;
+    // Multi-node AllReduce uses the hierarchical algorithm (Fig. 3), the
+    // paper's answer to flat rings on hierarchical networks.
+    let ar = compile(
+        &msccl_algos::hierarchical_all_reduce(nodes, gpus)?,
+        &opts.clone().with_instances(2),
+    )?;
+
+    // A transformer-MoE layer dispatches tokens with an AllToAll, runs the
+    // experts, combines with a second AllToAll, and periodically
+    // all-reduces the dense gradients. The per-step buffers sit in the
+    // megabyte range the paper's AllToAll evaluation targets.
+    let configs = [
+        (
+            "small model  (8MB tokens/layer, 16MB grads)",
+            MoeStep {
+                alltoall_bytes: 8 << 20,
+                allreduce_bytes: 16 << 20,
+                compute_us: 1_600.0,
+            },
+        ),
+        (
+            "large model  (16MB tokens/layer, 64MB grads)",
+            MoeStep {
+                alltoall_bytes: 16 << 20,
+                allreduce_bytes: 64 << 20,
+                compute_us: 3_500.0,
+            },
+        ),
+    ];
+
+    println!(
+        "synthetic MoE training step on {} ({} GPUs)\n",
+        machine.name(),
+        nodes * gpus
+    );
+    for (label, step) in configs {
+        // NCCL baseline: library collectives.
+        let nccl_comm = 2.0 * nccl.all_to_all_us(step.alltoall_bytes)?
+            + nccl.all_reduce_us(step.allreduce_bytes)?;
+        // MSCCLang: Two-Step AllToAll + hierarchical AllReduce, with the
+        // protocol tuned to the buffer sizes (§7).
+        let cfg = SimConfig::new(machine.clone()).with_protocol(Protocol::Ll128);
+        let ms_comm = 2.0 * simulate(&a2a, &cfg, step.alltoall_bytes)?.total_us
+            + simulate(&ar, &cfg, step.allreduce_bytes)?.total_us;
+
+        let t_nccl = step.compute_us + nccl_comm;
+        let t_ms = step.compute_us + ms_comm;
+        println!("{label}:");
+        println!(
+            "  NCCL     step {:8.1} ms (communication {:5.1}%)",
+            t_nccl / 1000.0,
+            100.0 * nccl_comm / t_nccl
+        );
+        println!(
+            "  MSCCLang step {:8.1} ms (communication {:5.1}%)",
+            t_ms / 1000.0,
+            100.0 * ms_comm / t_ms
+        );
+        println!("  end-to-end speedup: {:.2}x\n", t_nccl / t_ms);
+    }
+    println!("(cf. §7.6: production MoE training saw 1.10-1.89x on 256 A100s)");
+    Ok(())
+}

@@ -1,0 +1,87 @@
+//! The tuning workflow of §7: "we optimize each algorithm's schedule for
+//! various GPU system configurations and input sizes … all programs took
+//! between 15 minutes to an hour to write and manually optimize."
+//!
+//! With the simulator in the loop, that exploration is a grid sweep: this
+//! example tunes the Ring AllReduce's (channels, instances, protocol)
+//! configuration per buffer size on one NDv4 node and prints the winner —
+//! reproducing the paper's finding that the best configuration shifts from
+//! low-parallelism LL at small sizes to 24-way Simple at large ones.
+//!
+//! Run with: `cargo run --release --example tune`
+
+use msccl_sim::{simulate, SimConfig};
+use msccl_topology::{Machine, Protocol};
+use mscclang::{compile, CompileOptions, IrProgram};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let machine = Machine::ndv4(1);
+    let ranks = machine.num_ranks();
+
+    // The configuration grid: ring channel splits × instance counts that
+    // stay within the channel and SM budgets.
+    let mut configs: Vec<(String, IrProgram, Protocol)> = Vec::new();
+    for &channels in &[1usize, 2, 4] {
+        for &instances in &[1usize, 2, 4, 8, 24] {
+            if channels * instances > 32 {
+                continue;
+            }
+            let program = msccl_algos::ring_all_reduce(ranks, channels)?;
+            let ir = compile(
+                &program,
+                &CompileOptions::default()
+                    .with_verify(false)
+                    .with_instances(instances)
+                    .with_max_tbs_per_rank(machine.num_sms()),
+            )?;
+            for protocol in Protocol::ALL {
+                configs.push((
+                    format!("ch={channels} r={instances} {protocol}"),
+                    ir.clone(),
+                    protocol,
+                ));
+            }
+        }
+    }
+    println!(
+        "exploring {} ring configurations on {}\n",
+        configs.len(),
+        machine.name()
+    );
+    println!(
+        "{:>8} | {:>24} | {:>10} | vs worst",
+        "size", "best configuration", "time"
+    );
+
+    for exp in [10u32, 13, 16, 19, 22, 25, 28] {
+        let bytes = 1u64 << exp;
+        let mut best: Option<(&str, f64)> = None;
+        let mut worst = 0.0f64;
+        for (label, ir, protocol) in &configs {
+            let cfg = SimConfig::new(machine.clone()).with_protocol(*protocol);
+            let t = simulate(ir, &cfg, bytes)?.total_us;
+            worst = worst.max(t);
+            if best.is_none_or(|(_, b)| t < b) {
+                best = Some((label, t));
+            }
+        }
+        let (label, t) = best.expect("non-empty grid");
+        println!(
+            "{:>8} | {:>24} | {:>8.1}us | {:.1}x",
+            human(bytes),
+            label,
+            t,
+            worst / t
+        );
+    }
+    println!("\n(small sizes pick few instances + LL; large sizes pick r=24 + Simple, §7.1.1)");
+    Ok(())
+}
+
+fn human(bytes: u64) -> String {
+    if bytes >= 1 << 20 {
+        format!("{}MB", bytes >> 20)
+    } else {
+        format!("{}KB", bytes >> 10)
+    }
+}

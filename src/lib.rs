@@ -1,0 +1,1 @@
+//! MSCCLang reproduction umbrella crate.

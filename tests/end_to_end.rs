@@ -1,0 +1,233 @@
+//! Cross-crate integration tests: every algorithm compiles, verifies,
+//! executes numerically correctly in the threaded runtime, and simulates
+//! to a finite time on its target machine.
+
+use msccl_runtime::{execute, reference, RunOptions};
+use msccl_sim::{simulate, SimConfig};
+use msccl_topology::{Machine, Protocol};
+use mscclang::{compile, verify, CompileOptions, Program, ReduceOp};
+
+/// Compile → verify → execute → check numerics → simulate.
+fn full_pipeline(program: &Program, instances: usize, machine: &Machine) {
+    let name = program.name().to_owned();
+    program
+        .validate()
+        .unwrap_or_else(|e| panic!("{name}: source validation failed: {e}"));
+    let ir = compile(
+        program,
+        &CompileOptions::default()
+            .with_verify(false)
+            .with_instances(instances),
+    )
+    .unwrap_or_else(|e| panic!("{name}: compilation failed: {e}"));
+    verify::check(&ir, &verify::VerifyOptions::default())
+        .unwrap_or_else(|e| panic!("{name}: verification failed: {e}"));
+
+    let chunk_elems = 16;
+    let inputs = reference::random_inputs(&ir, chunk_elems, 0xC0FFEE);
+    let outputs = execute(&ir, &inputs, chunk_elems, &RunOptions::default())
+        .unwrap_or_else(|e| panic!("{name}: runtime failed: {e}"));
+    reference::check_outputs(
+        &ir.collective,
+        &inputs,
+        &outputs,
+        chunk_elems,
+        ReduceOp::Sum,
+    )
+    .unwrap_or_else(|e| panic!("{name}: wrong results: {e}"));
+
+    for protocol in Protocol::ALL {
+        let cfg = SimConfig::new(machine.clone()).with_protocol(protocol);
+        let r = simulate(&ir, &cfg, 1 << 20)
+            .unwrap_or_else(|e| panic!("{name}: simulation failed ({protocol}): {e}"));
+        assert!(
+            r.total_us.is_finite() && r.total_us > 0.0,
+            "{name}: bad time"
+        );
+    }
+}
+
+#[test]
+fn ring_allreduce_end_to_end() {
+    let machine = Machine::ndv4(1);
+    for (channels, instances) in [(1, 1), (4, 2)] {
+        let p = msccl_algos::ring_all_reduce(8, channels).unwrap();
+        full_pipeline(&p, instances, &machine);
+    }
+}
+
+#[test]
+fn allpairs_end_to_end() {
+    full_pipeline(
+        &msccl_algos::allpairs_all_reduce(8).unwrap(),
+        2,
+        &Machine::ndv4(1),
+    );
+}
+
+#[test]
+fn hierarchical_end_to_end() {
+    full_pipeline(
+        &msccl_algos::hierarchical_all_reduce(2, 4).unwrap(),
+        1,
+        &Machine::custom(
+            2,
+            4,
+            msccl_topology::LinkParams::new(2.0, 200.0),
+            4,
+            msccl_topology::LinkParams::new(3.5, 25.0),
+        ),
+    );
+}
+
+#[test]
+fn hierarchical_paper_dimensions_end_to_end() {
+    // Figure 1's 2 nodes x 3 GPUs.
+    full_pipeline(
+        &msccl_algos::hierarchical_all_reduce(2, 3).unwrap(),
+        1,
+        &Machine::custom(
+            2,
+            3,
+            msccl_topology::LinkParams::new(2.0, 200.0),
+            3,
+            msccl_topology::LinkParams::new(3.5, 25.0),
+        ),
+    );
+}
+
+#[test]
+fn two_step_alltoall_end_to_end() {
+    full_pipeline(
+        &msccl_algos::two_step_all_to_all(2, 4).unwrap(),
+        1,
+        &Machine::custom(
+            2,
+            4,
+            msccl_topology::LinkParams::new(2.0, 200.0),
+            4,
+            msccl_topology::LinkParams::new(3.5, 25.0),
+        ),
+    );
+}
+
+#[test]
+fn one_step_alltoall_end_to_end() {
+    full_pipeline(
+        &msccl_algos::one_step_all_to_all(2, 4).unwrap(),
+        1,
+        &Machine::custom(
+            2,
+            4,
+            msccl_topology::LinkParams::new(2.0, 200.0),
+            4,
+            msccl_topology::LinkParams::new(3.5, 25.0),
+        ),
+    );
+}
+
+#[test]
+fn alltonext_end_to_end() {
+    full_pipeline(
+        &msccl_algos::all_to_next(2, 4).unwrap(),
+        2,
+        &Machine::custom(
+            2,
+            4,
+            msccl_topology::LinkParams::new(2.0, 200.0),
+            4,
+            msccl_topology::LinkParams::new(3.5, 25.0),
+        ),
+    );
+}
+
+#[test]
+fn hcm_allgather_end_to_end() {
+    full_pipeline(&msccl_algos::hcm_allgather().unwrap(), 1, &Machine::dgx1());
+}
+
+#[test]
+fn recursive_doubling_end_to_end() {
+    full_pipeline(
+        &msccl_algos::recursive_doubling_all_gather(8).unwrap(),
+        1,
+        &Machine::ndv4(1),
+    );
+}
+
+#[test]
+fn tree_allreduce_end_to_end() {
+    full_pipeline(
+        &msccl_algos::binary_tree_all_reduce(7, 2).unwrap(),
+        1,
+        &Machine::ndv4(1),
+    );
+}
+
+#[test]
+fn rabenseifner_end_to_end() {
+    full_pipeline(
+        &msccl_algos::rabenseifner_all_reduce(8).unwrap(),
+        1,
+        &Machine::ndv4(1),
+    );
+}
+
+#[test]
+fn double_tree_end_to_end() {
+    full_pipeline(
+        &msccl_algos::double_binary_tree_all_reduce(6, 2).unwrap(),
+        1,
+        &Machine::ndv4(1),
+    );
+}
+
+#[test]
+fn rooted_collectives_end_to_end() {
+    let machine = Machine::ndv4(1);
+    full_pipeline(
+        &msccl_algos::binomial_broadcast(6, 2, 1).unwrap(),
+        1,
+        &machine,
+    );
+    full_pipeline(&msccl_algos::binomial_reduce(6, 2, 2).unwrap(), 1, &machine);
+    full_pipeline(&msccl_algos::linear_gather(5, 2, 0).unwrap(), 1, &machine);
+    full_pipeline(&msccl_algos::linear_scatter(5, 2, 4).unwrap(), 2, &machine);
+}
+
+#[test]
+fn runtime_matches_across_protocol_tile_sizes() {
+    // The functional result must not depend on tiling.
+    let p = msccl_algos::hierarchical_all_reduce(2, 3).unwrap();
+    let ir = compile(&p, &CompileOptions::default()).unwrap();
+    let chunk_elems = 30;
+    let inputs = reference::random_inputs(&ir, chunk_elems, 17);
+    let mut results = Vec::new();
+    for tile in [4usize, 7, 30, 1000] {
+        let opts = RunOptions {
+            tile_elems: Some(tile),
+            ..RunOptions::default()
+        };
+        results.push(execute(&ir, &inputs, chunk_elems, &opts).unwrap());
+    }
+    for w in results.windows(2) {
+        assert_eq!(w[0], w[1], "tiling changed the functional result");
+    }
+}
+
+#[test]
+fn all_reduce_ops_work_end_to_end() {
+    let p = msccl_algos::ring_all_reduce(4, 1).unwrap();
+    let ir = compile(&p, &CompileOptions::default()).unwrap();
+    let chunk_elems = 8;
+    let inputs = reference::random_inputs(&ir, chunk_elems, 23);
+    for op in [ReduceOp::Sum, ReduceOp::Max, ReduceOp::Min, ReduceOp::Prod] {
+        let opts = RunOptions {
+            reduce_op: op,
+            ..RunOptions::default()
+        };
+        let outputs = execute(&ir, &inputs, chunk_elems, &opts).unwrap();
+        reference::check_outputs(&ir.collective, &inputs, &outputs, chunk_elems, op)
+            .unwrap_or_else(|e| panic!("{op}: {e}"));
+    }
+}

@@ -1,0 +1,182 @@
+//! Shape-level assertions for the paper's headline evaluation claims,
+//! checked against the simulator (absolute numbers are model estimates;
+//! these tests pin down *who wins where*).
+
+use msccl_baselines::{CudaNaiveNext, CudaTwoStep, Nccl, NcclHierarchical};
+use msccl_sim::{simulate, SimConfig};
+use msccl_topology::{Machine, Protocol};
+use mscclang::{compile, CompileOptions, IrProgram};
+
+fn build(p: &mscclang::Program, instances: usize) -> IrProgram {
+    compile(
+        p,
+        &CompileOptions::default()
+            .with_verify(false)
+            .with_instances(instances),
+    )
+    .expect("compiles")
+}
+
+fn sim(ir: &IrProgram, machine: &Machine, protocol: Protocol, bytes: u64) -> f64 {
+    simulate(
+        ir,
+        &SimConfig::new(machine.clone()).with_protocol(protocol),
+        bytes,
+    )
+    .expect("simulates")
+    .total_us
+}
+
+/// §7.1.1: the MSCCLang Ring beats NCCL in the 32KB–3MB window and matches
+/// it at very large sizes (within a small tolerance).
+#[test]
+fn ring_beats_nccl_in_paper_window() {
+    let machine = Machine::ndv4(1);
+    let nccl = Nccl::new(machine.clone()).unwrap();
+    let ring = msccl_algos::ring_all_reduce(8, 4).unwrap();
+    let ir = build(&ring, 8);
+    let mut best_speedup = 0.0f64;
+    for bytes in [64u64 << 10, 256 << 10, 1 << 20, 3 << 20] {
+        let t_nccl = nccl.all_reduce_us(bytes).unwrap();
+        let t =
+            sim(&ir, &machine, Protocol::Ll128, bytes).min(sim(&ir, &machine, Protocol::Ll, bytes));
+        best_speedup = best_speedup.max(t_nccl / t);
+    }
+    assert!(
+        best_speedup > 1.3,
+        "Ring should clearly beat NCCL mid-range (got {best_speedup:.2}x)"
+    );
+
+    // At 256MB the tuned configuration matches NCCL (paper: "matched
+    // NCCL's performance by scheduling a logical ring onto one channel and
+    // parallelizing the program 24 times").
+    let matched = build(&msccl_algos::ring_all_reduce(8, 1).unwrap(), 24);
+    let big = 256u64 << 20;
+    let ratio = sim(&matched, &machine, Protocol::Simple, big) / nccl.all_reduce_us(big).unwrap();
+    assert!(
+        (0.8..1.25).contains(&ratio),
+        "large-size ratio vs NCCL is {ratio:.2}"
+    );
+}
+
+/// §7.1.2: All Pairs wins at small sizes thanks to its 2 communication
+/// steps versus Ring's 2R−2, and loses at large sizes.
+#[test]
+fn allpairs_beats_ring_small_loses_large() {
+    let machine = Machine::ndv4(1);
+    let allpairs = build(&msccl_algos::allpairs_all_reduce(8).unwrap(), 2);
+    let ring = build(&msccl_algos::ring_all_reduce(8, 1).unwrap(), 24);
+    let small = 8u64 << 10;
+    let t_ap = sim(&allpairs, &machine, Protocol::Ll, small);
+    let t_ring = sim(&ring, &machine, Protocol::Ll, small);
+    assert!(
+        t_ap < t_ring,
+        "All Pairs ({t_ap}) should beat Ring ({t_ring}) at 8KB"
+    );
+    let large = 128u64 << 20;
+    let t_ap = sim(&allpairs, &machine, Protocol::Simple, large);
+    let t_ring = sim(&ring, &machine, Protocol::Simple, large);
+    assert!(
+        t_ring < t_ap,
+        "Ring ({t_ring}) should beat All Pairs ({t_ap}) at 128MB"
+    );
+}
+
+/// §7.2: the single-kernel hierarchical AllReduce beats the composition of
+/// NCCL collectives, which suffers multiple launches and no cross-phase
+/// pipelining.
+#[test]
+fn hierarchical_beats_composed_collectives() {
+    let machine = Machine::ndv4(2);
+    let composed = NcclHierarchical::new(machine.clone()).unwrap();
+    // r = 2 for the small point, r = 4 for the large one (§7.2 tunes the
+    // parallelization per size range).
+    let small_ir = build(&msccl_algos::hierarchical_all_reduce(2, 8).unwrap(), 2);
+    let large_ir = build(&msccl_algos::hierarchical_all_reduce(2, 8).unwrap(), 4);
+    for (single, bytes, protocol) in [
+        (&small_ir, 128u64 << 10, Protocol::Ll128),
+        (&large_ir, 8 << 20, Protocol::Simple),
+    ] {
+        let t_single = sim(single, &machine, protocol, bytes);
+        let t_composed = composed.all_reduce_us(bytes).unwrap();
+        assert!(
+            t_single < t_composed,
+            "single kernel ({t_single}) should beat composition ({t_composed}) at {bytes}B"
+        );
+    }
+}
+
+/// §7.3: the Two-Step AllToAll sends far fewer IB messages than one-step
+/// and outperforms both NCCL and the hand-written CUDA version at large
+/// sizes.
+#[test]
+fn two_step_alltoall_wins_at_scale() {
+    let machine = Machine::ndv4(4);
+    let two = build(&msccl_algos::two_step_all_to_all(4, 8).unwrap(), 1);
+    let one = build(&msccl_algos::one_step_all_to_all(4, 8).unwrap(), 1);
+    let cuda = CudaTwoStep::new(machine.clone()).unwrap();
+    let bytes = 512u64 << 20;
+    let t_two = sim(&two, &machine, Protocol::Simple, bytes);
+    let t_one = sim(&one, &machine, Protocol::Simple, bytes);
+    let t_cuda = cuda.all_to_all_us(bytes, Protocol::Simple).unwrap();
+    assert!(
+        t_two < t_one,
+        "two-step ({t_two}) should beat one-step ({t_one})"
+    );
+    assert!(
+        t_two < t_cuda,
+        "MSCCLang ({t_two}) should beat hand CUDA ({t_cuda})"
+    );
+}
+
+/// §7.4: AllToNext loses slightly at small sizes and wins by a large
+/// factor at large sizes.
+#[test]
+fn alltonext_crossover() {
+    let machine = Machine::ndv4(3);
+    let naive = CudaNaiveNext::new(machine.clone()).unwrap();
+    let ir = build(&msccl_algos::all_to_next(3, 8).unwrap(), 8);
+    let small = 8u64 << 10;
+    let t = sim(&ir, &machine, Protocol::Ll, small);
+    let t_naive = naive.all_to_next_us(small, Protocol::Ll).unwrap();
+    assert!(t_naive < t, "naive ({t_naive}) should win at 8KB (got {t})");
+    let large = 256u64 << 20;
+    let t = sim(&ir, &machine, Protocol::Simple, large);
+    let t_naive = naive.all_to_next_us(large, Protocol::Simple).unwrap();
+    let speedup = t_naive / t;
+    assert!(
+        speedup > 4.0,
+        "AllToNext should win big at 256MB (got {speedup:.1}x)"
+    );
+}
+
+/// §7.5 / Figure 11: LL fastest small, SCCL beats Simple mid, converge
+/// large — checked in `msccl-baselines`; here we pin the cross-protocol
+/// latency ordering on the shared schedule.
+#[test]
+fn dgx1_allgather_protocol_ordering() {
+    let machine = Machine::dgx1();
+    let ir = build(&msccl_algos::hcm_allgather().unwrap(), 1);
+    let small = 4u64 << 10;
+    assert!(sim(&ir, &machine, Protocol::Ll, small) < sim(&ir, &machine, Protocol::Simple, small));
+    let large = 64u64 << 20;
+    assert!(sim(&ir, &machine, Protocol::Simple, large) < sim(&ir, &machine, Protocol::Ll, large));
+}
+
+/// The quick-scale figure harness reproduces the headline shapes.
+#[test]
+fn quick_figures_match_headline_shapes() {
+    use msccl_bench::{figures, Scale};
+    // Fig 8g: best series crosses from <1x to >1x as sizes grow.
+    let f = figures::fig8g(Scale::Quick).unwrap();
+    let first = &f.rows.first().unwrap().1;
+    let last = &f.rows.last().unwrap().1;
+    assert!(
+        first.iter().cloned().fold(f64::INFINITY, f64::min) < 1.0,
+        "AllToNext should lose somewhere at the small end"
+    );
+    assert!(
+        last.iter().cloned().fold(0.0, f64::max) > 1.5,
+        "AllToNext should win at the large end"
+    );
+}

@@ -1,0 +1,56 @@
+//! MSCCL-IR XML round-trips for every algorithm in the library, and the
+//! parsed programs stay verifiable.
+
+use mscclang::{compile, ir_xml, verify, CompileOptions, Program};
+
+fn roundtrip(program: &Program, instances: usize) {
+    let ir = compile(
+        program,
+        &CompileOptions::default()
+            .with_verify(false)
+            .with_instances(instances),
+    )
+    .unwrap_or_else(|e| panic!("{}: compile: {e}", program.name()));
+    let xml = ir_xml::to_xml(&ir);
+    let parsed =
+        ir_xml::from_xml(&xml).unwrap_or_else(|e| panic!("{}: parse: {e}", program.name()));
+    assert_eq!(
+        parsed,
+        ir,
+        "{}: XML round-trip not identical",
+        program.name()
+    );
+    verify::check(&parsed, &verify::VerifyOptions::default())
+        .unwrap_or_else(|e| panic!("{}: parsed IR fails verification: {e}", program.name()));
+}
+
+#[test]
+fn all_algorithms_round_trip() {
+    roundtrip(&msccl_algos::ring_all_reduce(6, 2).unwrap(), 2);
+    roundtrip(&msccl_algos::allpairs_all_reduce(5).unwrap(), 1);
+    roundtrip(&msccl_algos::hierarchical_all_reduce(2, 3).unwrap(), 1);
+    roundtrip(&msccl_algos::two_step_all_to_all(2, 3).unwrap(), 1);
+    roundtrip(&msccl_algos::one_step_all_to_all(3, 2).unwrap(), 1);
+    roundtrip(&msccl_algos::all_to_next(2, 3).unwrap(), 2);
+    roundtrip(&msccl_algos::hcm_allgather().unwrap(), 1);
+    roundtrip(&msccl_algos::recursive_doubling_all_gather(4).unwrap(), 1);
+    roundtrip(&msccl_algos::binary_tree_all_reduce(6, 1).unwrap(), 1);
+}
+
+#[test]
+fn xml_is_stable_across_serializations() {
+    let p = msccl_algos::ring_all_reduce(4, 1).unwrap();
+    let ir = compile(&p, &CompileOptions::default()).unwrap();
+    let a = ir_xml::to_xml(&ir);
+    let b = ir_xml::to_xml(&ir_xml::from_xml(&a).unwrap());
+    assert_eq!(a, b);
+}
+
+#[test]
+fn protocol_hint_survives() {
+    let mut p = msccl_algos::ring_all_reduce(4, 1).unwrap();
+    p.set_protocol(msccl_topology::Protocol::Ll128);
+    let ir = compile(&p, &CompileOptions::default()).unwrap();
+    let parsed = ir_xml::from_xml(&ir_xml::to_xml(&ir)).unwrap();
+    assert_eq!(parsed.protocol, Some(msccl_topology::Protocol::Ll128));
+}
