@@ -222,12 +222,17 @@ mod tests {
         let p = three_step_all_to_all(4, 8).unwrap();
         let ir = compile(
             &p,
-            &CompileOptions::default().with_verify(false).with_max_tbs_per_rank(108),
+            &CompileOptions::default()
+                .with_verify(false)
+                .with_max_tbs_per_rank(108),
         )
         .unwrap();
         let report = mscclang::verify::check(
             &ir,
-            &mscclang::verify::VerifyOptions { slots: 8, check_races: false },
+            &mscclang::verify::VerifyOptions {
+                slots: 8,
+                check_races: false,
+            },
         )
         .unwrap();
         assert!(report.max_queue_depth <= 8);

@@ -4,7 +4,7 @@
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use std::hint::black_box;
 
-use msccl_runtime::{execute, reference, RunOptions};
+use msccl_runtime::{execute, execute_traced, reference, RunOptions};
 use mscclang::{compile, CompileOptions};
 
 fn bench_runtime(c: &mut Criterion) {
@@ -29,6 +29,30 @@ fn bench_runtime(c: &mut Criterion) {
                 .unwrap()
             })
         });
+    }
+
+    // Tracing overhead: the same workload with event recording on. The
+    // untraced path above shares `execute_impl` with this one (recording
+    // disabled), so comparing the two bounds the cost of the trace hooks.
+    {
+        let chunk_elems = 4096usize;
+        let inputs = reference::random_inputs(&ir, chunk_elems, 9);
+        let bytes = (ir.collective.in_chunks() * chunk_elems * 4) as u64;
+        group.throughput(Throughput::Bytes(bytes * ir.num_ranks() as u64));
+        group.bench_function(
+            format!("ring_allreduce_4r_{chunk_elems}elems_traced"),
+            |b| {
+                b.iter(|| {
+                    execute_traced(
+                        black_box(&ir),
+                        black_box(&inputs),
+                        chunk_elems,
+                        &RunOptions::default(),
+                    )
+                    .unwrap()
+                })
+            },
+        );
     }
 
     let allpairs = msccl_algos::allpairs_all_reduce(4).expect("builds");

@@ -2,9 +2,10 @@
 
 use std::fmt::Write as _;
 
-use msccl_runtime::{execute, reference, RunOptions};
+use msccl_runtime::{execute, execute_traced, reference, RunOptions};
 use msccl_sim::{simulate, SimConfig};
 use msccl_topology::Protocol;
+use msccl_trace::Trace;
 use mscclang::{compile, ir_xml, verify, CompileOptions, IrProgram, Program};
 
 use crate::args::{Args, CliError};
@@ -34,11 +35,18 @@ COMMANDS:
     inspect <file.xml>             print the IR and schedule statistics
     graph <file.xml>               emit a Graphviz DOT rendering of the IR
     simulate <file.xml> --machine M --size S [--protocol P] [--timeline F]
+                        [--trace F]
                                    estimate latency (M: ndv4[:N], dgx2[:N], dgx1,
                                    or custom:<nodes>x<gpus>[:intra_gbps[:nic_gbps]]);
                                    --timeline writes per-thread-block busy
-                                   intervals as CSV to F
-    run <file.xml> [--elems N]     execute on real data and check numerics
+                                   intervals as CSV to F; --trace writes a
+                                   virtual-time event trace to F (Chrome
+                                   trace JSON, or CSV if F ends in .csv)
+    run <file.xml> [--elems N] [--trace F]
+                                   execute on real data and check numerics;
+                                   --trace writes a wall-clock event trace
+                                   to F (Chrome trace JSON, or CSV if F
+                                   ends in .csv)
     tune <algorithm> --machine M [--sizes 4KB,1MB,...] [dimension opts]
                                    sweep (instances x protocol) and print
                                    the best configuration per buffer size
@@ -270,6 +278,38 @@ fn cmd_inspect(args: &Args) -> Result<String, CliError> {
     Ok(out)
 }
 
+/// Extracts the `--trace` output path. The option parser records a bare
+/// `--trace` as the value `"true"`; requiring an explicit path here keeps
+/// the flag from silently writing a file named `true`.
+fn trace_path(args: &Args) -> Result<Option<&str>, CliError> {
+    match args.options.get("trace").map(String::as_str) {
+        Some("true") => Err(CliError::new(
+            "--trace requires a file path (e.g. --trace out.json)",
+        )),
+        other => Ok(other),
+    }
+}
+
+/// Writes `trace` to `path` — CSV when the extension is `.csv`, Chrome
+/// trace JSON otherwise — and returns a one-line summary for the console.
+fn write_trace(path: &str, trace: &Trace) -> Result<String, CliError> {
+    let body = if path.ends_with(".csv") {
+        trace.to_csv()
+    } else {
+        trace.to_chrome_json()
+    };
+    std::fs::write(path, body)
+        .map_err(|e| CliError::new(format!("cannot write trace to {path}: {e}")))?;
+    let s = trace.summary();
+    Ok(format!(
+        "trace: {} events over {:.1} us ({} clock) -> {path}; critical path {:.1} us\n",
+        trace.len(),
+        s.span_us,
+        trace.domain().label(),
+        s.critical_path_us
+    ))
+}
+
 fn cmd_simulate(args: &Args) -> Result<String, CliError> {
     let ir = load_ir(args)?;
     let machine = parse_machine(
@@ -291,7 +331,16 @@ fn cmd_simulate(args: &Args) -> Result<String, CliError> {
     if args.options.contains_key("timeline") {
         cfg = cfg.with_timeline(true);
     }
+    let trace_out = trace_path(args)?;
+    if trace_out.is_some() {
+        cfg = cfg.with_trace(true);
+    }
     let r = simulate(&ir, &cfg, bytes)?;
+    let mut extra = String::new();
+    if let Some(path) = trace_out {
+        let trace = r.trace.as_ref().expect("requested via with_trace");
+        extra = write_trace(path, trace)?;
+    }
     if let Some(path) = args.options.get("timeline") {
         let mut csv = String::from("rank,tb,start_us,end_us,activity\n");
         for e in &r.timeline {
@@ -305,7 +354,7 @@ fn cmd_simulate(args: &Args) -> Result<String, CliError> {
     }
     let ntbs = ir.num_threadblocks().max(1) as f64;
     Ok(format!(
-        "{}: {:.1} us at {} bytes ({} protocol, {} tiles, {} transfers, utilization {:.0}%)\n",
+        "{}: {:.1} us at {} bytes ({} protocol, {} tiles, {} transfers, utilization {:.0}%)\n{extra}",
         ir.name,
         r.total_us,
         bytes,
@@ -323,8 +372,19 @@ fn cmd_run(args: &Args) -> Result<String, CliError> {
         return Err(CliError::new("--elems must be positive"));
     }
     let inputs = reference::random_inputs(&ir, chunk_elems, 0xFEED);
-    let outputs = execute(&ir, &inputs, chunk_elems, &RunOptions::default())
-        .map_err(|e| CliError::new(e.to_string()))?;
+    let opts = RunOptions::default();
+    let mut extra = String::new();
+    let outputs = match trace_path(args)? {
+        Some(path) => {
+            let (outputs, trace) = execute_traced(&ir, &inputs, chunk_elems, &opts)
+                .map_err(|e| CliError::new(e.to_string()))?;
+            extra = write_trace(path, &trace)?;
+            outputs
+        }
+        None => {
+            execute(&ir, &inputs, chunk_elems, &opts).map_err(|e| CliError::new(e.to_string()))?
+        }
+    };
     reference::check_outputs(
         &ir.collective,
         &inputs,
@@ -334,7 +394,7 @@ fn cmd_run(args: &Args) -> Result<String, CliError> {
     )
     .map_err(CliError::new)?;
     Ok(format!(
-        "{}: executed on {} threads, {} elements/rank — results match the golden collective\n",
+        "{}: executed on {} threads, {} elements/rank — results match the golden collective\n{extra}",
         ir.name,
         ir.num_threadblocks(),
         ir.collective.in_chunks() * chunk_elems
@@ -541,6 +601,48 @@ mod tests {
         assert!(data.lines().count() > 4);
         let _ = std::fs::remove_file(path);
         let _ = std::fs::remove_file(csv);
+    }
+
+    #[test]
+    fn run_and_simulate_write_chrome_traces() {
+        let path = tmp("trace.xml");
+        let run_json = tmp("run-trace.json");
+        let sim_json = tmp("sim-trace.json");
+        let sim_csv = tmp("sim-trace.csv");
+        let _ = run(&format!(
+            "compile ring-allreduce --ranks 8 --channels 2 -o {path}"
+        ))
+        .unwrap();
+
+        let out = run(&format!("run {path} --elems 32 --trace {run_json}")).unwrap();
+        assert!(out.contains("trace:"), "missing trace summary in {out}");
+        assert!(out.contains("wall clock"));
+        let data = std::fs::read_to_string(&run_json).unwrap();
+        assert!(data.contains("\"traceEvents\""));
+        assert!(data.contains("\"instr_begin\"") || data.contains("\"ph\":\"X\""));
+
+        let out = run(&format!(
+            "simulate {path} --machine ndv4:1 --size 1MB --trace {sim_json}"
+        ))
+        .unwrap();
+        assert!(
+            out.contains("virtual clock"),
+            "missing clock label in {out}"
+        );
+        let data = std::fs::read_to_string(&sim_json).unwrap();
+        assert!(data.contains("\"traceEvents\""));
+
+        // A .csv extension selects the CSV exporter.
+        let _ = run(&format!(
+            "simulate {path} --machine ndv4:1 --size 1MB --trace {sim_csv}"
+        ))
+        .unwrap();
+        let data = std::fs::read_to_string(&sim_csv).unwrap();
+        assert!(data.starts_with("ts_us,rank,tb,kind"));
+
+        for f in [path, run_json, sim_json, sim_csv] {
+            let _ = std::fs::remove_file(f);
+        }
     }
 
     #[test]

@@ -7,10 +7,8 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 /// One of the three named buffers available on every rank.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum BufferKind {
     /// Holds the collective's input data.
     Input,
@@ -58,7 +56,7 @@ impl fmt::Display for BufferKind {
 }
 
 /// A fully-resolved chunk location: a rank, a buffer and a chunk index.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Loc {
     /// GPU rank.
     pub rank: usize,

@@ -6,11 +6,9 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 /// Identity of an input chunk: the pair `(rank, index)` into that rank's
 /// input buffer.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct InputId {
     /// Rank whose input buffer holds the chunk at program start.
     pub rank: usize,
@@ -33,7 +31,7 @@ impl fmt::Display for InputId {
 }
 
 /// The symbolic value a buffer location holds during tracing/verification.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum ChunkValue {
     /// No data written yet (output and scratch buffers start this way).
     Uninit,
@@ -90,7 +88,7 @@ impl fmt::Display for ChunkValue {
 }
 
 /// A sorted multiset of input chunks forming a reduction chunk.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
 pub struct ReductionSet(Vec<InputId>);
 
 impl ReductionSet {
@@ -162,7 +160,7 @@ impl fmt::Display for ReductionSet {
 ///
 /// The paper's examples use summation; the runtime supports the usual MPI
 /// reduction operators.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum ReduceOp {
     /// Pointwise addition.
     #[default]

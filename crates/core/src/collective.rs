@@ -9,14 +9,12 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::buffer::BufferKind;
 use crate::chunk::{ChunkValue, InputId, ReductionSet};
 
 /// The physical storage space a buffer resolves to. In-place algorithms
 /// alias the input and output buffers onto a single `Data` space (§3.1).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Space {
     /// The (possibly shared) data space holding input and/or output chunks.
     Data,
@@ -38,7 +36,7 @@ impl fmt::Display for Space {
 
 /// Well-known collective shapes; used for reporting and for in-place alias
 /// layout.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[non_exhaustive]
 pub enum CollectiveKind {
     /// Global reduction replicated everywhere.
@@ -84,7 +82,7 @@ impl fmt::Display for CollectiveKind {
 
 /// A collective communication operation: rank count, chunk layout,
 /// precondition and postcondition.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Collective {
     kind: CollectiveKind,
     num_ranks: usize,

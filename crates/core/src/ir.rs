@@ -9,13 +9,12 @@
 use std::fmt;
 
 use msccl_topology::Protocol;
-use serde::{Deserialize, Serialize};
 
 use crate::buffer::BufferKind;
 use crate::collective::Collective;
 
 /// Instruction opcodes stored in MSCCL-IR (§4.2).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum OpCode {
     /// Send to the thread block's send peer.
     Send,
@@ -132,7 +131,7 @@ impl fmt::Display for OpCode {
 }
 
 /// A buffer-relative operand location.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct IrLoc {
     /// Which named buffer.
     pub buffer: BufferKind,
@@ -142,7 +141,7 @@ pub struct IrLoc {
 
 /// A cross-thread-block dependency: the instruction at `(tb, step)` of the
 /// same GPU must complete first.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct IrDep {
     /// Local thread block id within the GPU.
     pub tb: usize,
@@ -151,7 +150,7 @@ pub struct IrDep {
 }
 
 /// One interpreted instruction (Figure 5's `Instruction` struct).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct IrInstruction {
     /// Step index within the thread block.
     pub step: usize,
@@ -172,7 +171,7 @@ pub struct IrInstruction {
 
 /// A thread block: sequential instructions plus at most one send and one
 /// receive connection.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct IrThreadBlock {
     /// Local id within the GPU (also the semaphore index).
     pub id: usize,
@@ -187,7 +186,7 @@ pub struct IrThreadBlock {
 }
 
 /// The per-GPU program.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct IrGpu {
     /// The rank this program runs on.
     pub rank: usize,
@@ -202,7 +201,7 @@ pub struct IrGpu {
 }
 
 /// A compiled MSCCL-IR program.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct IrProgram {
     /// Program name.
     pub name: String,

@@ -1,17 +1,25 @@
 //! The interpreter proper: one thread per IR thread block, a tiling outer
-//! loop, bounded-channel connections and semaphore dependencies
-//! (Figure 5).
+//! loop, bounded FIFO connections and semaphore dependencies (Figure 5).
+//!
+//! Execution can be traced: [`execute_traced`] returns a wall-clock
+//! [`Trace`] built from lock-free per-worker event buffers merged after
+//! the threads join. The untraced [`execute`] path skips every event
+//! push. Independently of tracing, each worker keeps a small ring buffer
+//! of its recent activity, and when a [`RuntimeError::Hang`] fires the
+//! error carries every thread block's last few entries — enough to see
+//! who stalled on what.
 
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-use crossbeam::channel::{bounded, Receiver, Sender};
 use msccl_topology::Protocol;
+use msccl_trace::{ClockDomain, EventKind, Trace, TraceEvent};
 
 use mscclang::{IrProgram, OpCode, ReduceOp};
 
+use crate::fifo::{Fifo, SendMoment};
 use crate::memory::RankMemory;
 use crate::semaphore::Semaphore;
 
@@ -60,6 +68,9 @@ pub enum RuntimeError {
         tb: usize,
         /// Step it was executing.
         step: usize,
+        /// Every thread block's most recent activity (one line per ring
+        /// entry, oldest first), for post-mortem diagnosis.
+        context: Vec<String>,
     },
     /// A worker thread panicked.
     WorkerPanic,
@@ -69,8 +80,20 @@ impl fmt::Display for RuntimeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             RuntimeError::InputShape { message } => write!(f, "bad input shape: {message}"),
-            RuntimeError::Hang { rank, tb, step } => {
-                write!(f, "execution hung at rank {rank} tb {tb} step {step}")
+            RuntimeError::Hang {
+                rank,
+                tb,
+                step,
+                context,
+            } => {
+                write!(f, "execution hung at rank {rank} tb {tb} step {step}")?;
+                if !context.is_empty() {
+                    write!(f, "; recent activity per thread block:")?;
+                    for line in context {
+                        write!(f, "\n  {line}")?;
+                    }
+                }
+                Ok(())
             }
             RuntimeError::WorkerPanic => write!(f, "a thread block worker panicked"),
         }
@@ -80,6 +103,119 @@ impl fmt::Display for RuntimeError {
 impl std::error::Error for RuntimeError {}
 
 type ConnKey = (usize, usize, usize); // (src rank, dst rank, channel)
+
+/// How many recent ring entries each worker keeps for hang diagnostics.
+const RING_CAPACITY: usize = 8;
+
+/// A phase of an instruction's life, recorded in the diagnostic ring.
+#[derive(Clone, Copy)]
+enum Moment {
+    Started,
+    WaitingDep { dep_tb: usize, target: u64 },
+    BlockedRecv { src: usize, channel: usize },
+    BlockedSend { dst: usize, channel: usize },
+    Completed,
+}
+
+#[derive(Clone, Copy)]
+struct RingEntry {
+    tile: usize,
+    step: usize,
+    op: OpCode,
+    moment: Moment,
+}
+
+/// Fixed-size ring of a worker's recent activity. Always on: pushing is a
+/// couple of word stores, and it is the only evidence left when a
+/// hand-written IR deadlocks.
+struct EventRing {
+    rank: usize,
+    tb: usize,
+    entries: [Option<RingEntry>; RING_CAPACITY],
+    next: usize,
+}
+
+impl EventRing {
+    fn new(rank: usize, tb: usize) -> Self {
+        Self {
+            rank,
+            tb,
+            entries: [None; RING_CAPACITY],
+            next: 0,
+        }
+    }
+
+    fn push(&mut self, tile: usize, step: usize, op: OpCode, moment: Moment) {
+        self.entries[self.next % RING_CAPACITY] = Some(RingEntry {
+            tile,
+            step,
+            op,
+            moment,
+        });
+        self.next += 1;
+    }
+
+    fn dump(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        for i in self.next.saturating_sub(RING_CAPACITY)..self.next {
+            let Some(e) = self.entries[i % RING_CAPACITY] else {
+                continue;
+            };
+            let what = match e.moment {
+                Moment::Started => "started".to_string(),
+                Moment::WaitingDep { dep_tb, target } => {
+                    format!("waiting on tb {dep_tb} (semaphore target {target})")
+                }
+                Moment::BlockedRecv { src, channel } => {
+                    format!("blocked receiving from rank {src} on channel {channel}")
+                }
+                Moment::BlockedSend { dst, channel } => {
+                    format!("blocked sending to rank {dst} on channel {channel} (FIFO full)")
+                }
+                Moment::Completed => "completed".to_string(),
+            };
+            out.push(format!(
+                "rank {} tb {} tile {} step {} ({}): {what}",
+                self.rank,
+                self.tb,
+                e.tile,
+                e.step,
+                e.op.mnemonic()
+            ));
+        }
+        out
+    }
+}
+
+/// Per-worker trace recorder: a plain `Vec` owned by the worker thread
+/// (lock-free by construction), merged into one [`Trace`] after join.
+struct Recorder {
+    enabled: bool,
+    epoch: Instant,
+    rank: usize,
+    tb: usize,
+    events: Vec<TraceEvent>,
+}
+
+impl Recorder {
+    fn emit(&mut self, kind: EventKind) {
+        if self.enabled {
+            self.events.push(TraceEvent {
+                ts_us: self.epoch.elapsed().as_secs_f64() * 1e6,
+                rank: self.rank,
+                tb: self.tb,
+                kind,
+            });
+        }
+    }
+}
+
+/// A worker's hang report; the shared context is assembled at join.
+struct HangInfo {
+    rank: usize,
+    tb: usize,
+    step: usize,
+}
 
 /// Executes a compiled program over real `f32` buffers.
 ///
@@ -95,6 +231,36 @@ pub fn execute(
     chunk_elems: usize,
     opts: &RunOptions,
 ) -> Result<Vec<Vec<f32>>, RuntimeError> {
+    execute_impl(ir, inputs, chunk_elems, opts, false).map(|(outputs, _)| outputs)
+}
+
+/// Like [`execute`], additionally recording a wall-clock [`Trace`] of
+/// every instruction, semaphore wait, FIFO block and message.
+///
+/// Each worker thread appends to its own buffer (no synchronization on
+/// the hot path beyond what execution itself needs); the buffers are
+/// merged into one timestamp-sorted trace after the workers join.
+///
+/// # Errors
+///
+/// Returns [`RuntimeError`] on shape mismatches, hangs and worker panics.
+pub fn execute_traced(
+    ir: &IrProgram,
+    inputs: &[Vec<f32>],
+    chunk_elems: usize,
+    opts: &RunOptions,
+) -> Result<(Vec<Vec<f32>>, Trace), RuntimeError> {
+    execute_impl(ir, inputs, chunk_elems, opts, true)
+        .map(|(outputs, trace)| (outputs, trace.expect("tracing was enabled")))
+}
+
+fn execute_impl(
+    ir: &IrProgram,
+    inputs: &[Vec<f32>],
+    chunk_elems: usize,
+    opts: &RunOptions,
+    tracing: bool,
+) -> Result<(Vec<Vec<f32>>, Option<Trace>), RuntimeError> {
     let collective = &ir.collective;
     let num_ranks = ir.num_ranks();
     if inputs.len() != num_ranks {
@@ -144,16 +310,15 @@ pub fn execute(
         })
         .collect();
 
-    // ---- Connections: one bounded channel (FIFO slots) per (src, dst, ch).
-    let mut senders: HashMap<ConnKey, Sender<Vec<f32>>> = HashMap::new();
-    let mut receivers: HashMap<ConnKey, Receiver<Vec<f32>>> = HashMap::new();
+    // ---- Connections: one bounded FIFO per (src, dst, ch).
+    let mut fifos: HashMap<ConnKey, Arc<Fifo>> = HashMap::new();
     for gpu in &ir.gpus {
         for tb in &gpu.threadblocks {
             if let Some(peer) = tb.send_peer {
-                let key = (gpu.rank, peer, tb.channel);
-                let (s, r) = bounded(params.num_slots);
-                senders.insert(key, s);
-                receivers.insert(key, r);
+                fifos.insert(
+                    (gpu.rank, peer, tb.channel),
+                    Arc::new(Fifo::new(params.num_slots)),
+                );
             }
         }
     }
@@ -180,18 +345,30 @@ pub fn execute(
         })
         .collect();
 
-    let result: Result<(), RuntimeError> = std::thread::scope(|scope| {
+    // Shared wall-clock origin so all workers' timestamps are comparable.
+    let epoch = Instant::now();
+
+    type WorkerOutput = (Result<(), HangInfo>, Vec<TraceEvent>, EventRing);
+    let (status, buffers) = std::thread::scope(|scope| {
         let mut handles = Vec::new();
         for gpu in &ir.gpus {
             for tb in &gpu.threadblocks {
                 let mem = Arc::clone(&memories[gpu.rank]);
                 let sem = Arc::clone(&semaphores[&(gpu.rank, tb.id)]);
-                let send = tb
-                    .send_peer
-                    .map(|p| senders[&(gpu.rank, p, tb.channel)].clone());
-                let recv = tb
-                    .recv_peer
-                    .map(|p| receivers[&(p, gpu.rank, tb.channel)].clone());
+                let send: Option<(usize, usize, Arc<Fifo>)> = tb.send_peer.map(|p| {
+                    (
+                        p,
+                        tb.channel,
+                        Arc::clone(&fifos[&(gpu.rank, p, tb.channel)]),
+                    )
+                });
+                let recv: Option<(usize, usize, Arc<Fifo>)> = tb.recv_peer.map(|p| {
+                    (
+                        p,
+                        tb.channel,
+                        Arc::clone(&fifos[&(p, gpu.rank, tb.channel)]),
+                    )
+                });
                 let dep_sems: Vec<Vec<(Arc<Semaphore>, u64)>> = tb
                     .instructions
                     .iter()
@@ -211,145 +388,54 @@ pub fn execute(
                 let tb_ref = tb;
                 let collective = collective.clone();
                 let timeout = opts.timeout;
-                handles.push(scope.spawn(move || -> Result<(), RuntimeError> {
-                    let my_len = tb_ref.instructions.len() as u64;
-                    let mut completed = 0u64;
-                    for tile in 0..num_tiles {
-                        let elem_off = tile * tile_elems;
-                        let len = (chunk_elems - elem_off).min(tile_elems);
-                        for (s, instr) in tb_ref.instructions.iter().enumerate() {
-                            // Wait on cross-thread-block dependencies.
-                            for (d_idx, dep) in instr.deps.iter().enumerate() {
-                                let (sem_d, dep_len) = &dep_sems[s][d_idx];
-                                let target = tile as u64 * dep_len + dep.step as u64 + 1;
-                                if !sem_d.wait_at_least(target, timeout) {
-                                    return Err(RuntimeError::Hang {
-                                        rank,
-                                        tb: tb_ref.id,
-                                        step: s,
-                                    });
-                                }
-                            }
-                            let read_src = |elem_off: usize, len: usize| -> Vec<f32> {
-                                let loc = instr.src.expect("instruction requires src");
-                                let mut out = Vec::with_capacity(instr.count * len);
-                                for i in 0..instr.count {
-                                    out.extend(mem.read(
-                                        &collective,
-                                        loc.buffer,
-                                        loc.index + i,
-                                        elem_off,
-                                        len,
-                                    ));
-                                }
-                                out
-                            };
-                            let write_dst = |values: &[f32]| {
-                                let loc = instr.dst.expect("instruction requires dst");
-                                for i in 0..instr.count {
-                                    mem.write(
-                                        &collective,
-                                        loc.buffer,
-                                        loc.index + i,
-                                        elem_off,
-                                        &values[i * len..(i + 1) * len],
-                                    );
-                                }
-                            };
-                            let combine_dst = |values: &[f32]| -> Vec<f32> {
-                                let loc = instr.dst.expect("instruction requires dst");
-                                let mut out = Vec::with_capacity(instr.count * len);
-                                for i in 0..instr.count {
-                                    out.extend(mem.combine(
-                                        &collective,
-                                        loc.buffer,
-                                        loc.index + i,
-                                        elem_off,
-                                        &values[i * len..(i + 1) * len],
-                                        |a, b| op.apply(a, b),
-                                    ));
-                                }
-                                out
-                            };
-                            let receive = || -> Result<Vec<f32>, RuntimeError> {
-                                recv.as_ref()
-                                    .expect("recv op requires a receive connection")
-                                    .recv_timeout(timeout)
-                                    .map_err(|_| RuntimeError::Hang {
-                                        rank,
-                                        tb: tb_ref.id,
-                                        step: s,
-                                    })
-                            };
-                            let transmit = |values: Vec<f32>| -> Result<(), RuntimeError> {
-                                send.as_ref()
-                                    .expect("send op requires a send connection")
-                                    .send_timeout(values, timeout)
-                                    .map_err(|_| RuntimeError::Hang {
-                                        rank,
-                                        tb: tb_ref.id,
-                                        step: s,
-                                    })
-                            };
-
-                            match instr.op {
-                                OpCode::Nop => {}
-                                OpCode::Send => transmit(read_src(elem_off, len))?,
-                                OpCode::Recv => {
-                                    let data = receive()?;
-                                    write_dst(&data);
-                                }
-                                OpCode::Copy => {
-                                    let data = read_src(elem_off, len);
-                                    write_dst(&data);
-                                }
-                                OpCode::Reduce => {
-                                    let data = read_src(elem_off, len);
-                                    let _ = combine_dst(&data);
-                                }
-                                OpCode::RecvReduceCopy => {
-                                    let data = receive()?;
-                                    let _ = combine_dst(&data);
-                                }
-                                OpCode::RecvCopySend => {
-                                    let data = receive()?;
-                                    write_dst(&data);
-                                    transmit(data)?;
-                                }
-                                OpCode::RecvReduceSend => {
-                                    let data = receive()?;
-                                    let local = read_src(elem_off, len);
-                                    let merged: Vec<f32> = local
-                                        .iter()
-                                        .zip(&data)
-                                        .map(|(&a, &b)| op.apply(a, b))
-                                        .collect();
-                                    transmit(merged)?;
-                                }
-                                OpCode::RecvReduceCopySend => {
-                                    let data = receive()?;
-                                    let merged = combine_dst(&data);
-                                    transmit(merged)?;
-                                }
-                            }
-                            completed += 1;
-                            debug_assert_eq!(completed, tile as u64 * my_len + s as u64 + 1);
-                            if instr.has_dep {
-                                sem.set(completed);
-                            }
-                        }
-                    }
-                    Ok(())
+                handles.push(scope.spawn(move || -> WorkerOutput {
+                    let tb_id = tb_ref.id;
+                    let mut rec = Recorder {
+                        enabled: tracing,
+                        epoch,
+                        rank,
+                        tb: tb_id,
+                        events: Vec::new(),
+                    };
+                    let mut ring = EventRing::new(rank, tb_id);
+                    let result = run_thread_block(
+                        tb_ref,
+                        rank,
+                        &collective,
+                        &mem,
+                        &sem,
+                        &send,
+                        &recv,
+                        &dep_sems,
+                        num_tiles,
+                        tile_elems,
+                        chunk_elems,
+                        op,
+                        timeout,
+                        &mut rec,
+                        &mut ring,
+                    );
+                    (result, rec.events, ring)
                 }));
             }
         }
-        let mut status = Ok(());
+        let mut status: Result<(), RuntimeError> = Ok(());
+        let mut buffers: Vec<Vec<TraceEvent>> = Vec::new();
+        let mut rings: Vec<EventRing> = Vec::new();
         for h in handles {
             match h.join() {
-                Ok(Ok(())) => {}
-                Ok(Err(e)) => {
-                    if status.is_ok() {
-                        status = Err(e);
+                Ok((res, events, ring)) => {
+                    buffers.push(events);
+                    rings.push(ring);
+                    if let Err(info) = res {
+                        if status.is_ok() {
+                            status = Err(RuntimeError::Hang {
+                                rank: info.rank,
+                                tb: info.tb,
+                                step: info.step,
+                                context: Vec::new(),
+                            });
+                        }
                     }
                 }
                 Err(_) => {
@@ -359,9 +445,26 @@ pub fn execute(
                 }
             }
         }
-        status
+        // On a hang, attach every thread block's recent activity: the
+        // stuck blocks show what they wait on, the finished ones show how
+        // far the data made it.
+        if let Err(RuntimeError::Hang { context, .. }) = &mut status {
+            *context = rings.iter().flat_map(EventRing::dump).collect();
+        }
+        (status, buffers)
     });
-    result?;
+    status?;
+
+    let trace = tracing.then(|| {
+        let mut buffers = buffers;
+        buffers.push(vec![TraceEvent {
+            ts_us: 0.0,
+            rank: 0,
+            tb: 0,
+            kind: EventKind::KernelLaunch,
+        }]);
+        Trace::from_buffers(ClockDomain::Wall, buffers)
+    });
 
     // ---- Extract outputs.
     let outputs = (0..num_ranks)
@@ -379,7 +482,268 @@ pub fn execute(
             out
         })
         .collect();
-    Ok(outputs)
+    Ok((outputs, trace))
+}
+
+/// One worker: interprets a thread block's instruction list under the
+/// tiling outer loop (Figure 5), emitting trace events and ring entries
+/// along the way.
+#[allow(clippy::too_many_arguments)]
+fn run_thread_block(
+    tb_ref: &mscclang::IrThreadBlock,
+    rank: usize,
+    collective: &mscclang::Collective,
+    mem: &RankMemory,
+    sem: &Semaphore,
+    send: &Option<(usize, usize, Arc<Fifo>)>,
+    recv: &Option<(usize, usize, Arc<Fifo>)>,
+    dep_sems: &[Vec<(Arc<Semaphore>, u64)>],
+    num_tiles: usize,
+    tile_elems: usize,
+    chunk_elems: usize,
+    op: ReduceOp,
+    timeout: Duration,
+    rec: &mut Recorder,
+    ring: &mut EventRing,
+) -> Result<(), HangInfo> {
+    let tb_id = tb_ref.id;
+    let my_len = tb_ref.instructions.len() as u64;
+    let mut completed = 0u64;
+    let mut send_seq = 0u64;
+    let mut recv_seq = 0u64;
+    for tile in 0..num_tiles {
+        rec.emit(EventKind::TileBegin { tile });
+        let elem_off = tile * tile_elems;
+        let len = (chunk_elems - elem_off).min(tile_elems);
+        for (s, instr) in tb_ref.instructions.iter().enumerate() {
+            // Wait on cross-thread-block dependencies. These gate the
+            // instruction, so they trace *before* InstrBegin: a begin
+            // event means the dependencies were already satisfied.
+            for (d_idx, dep) in instr.deps.iter().enumerate() {
+                let (sem_d, dep_len) = &dep_sems[s][d_idx];
+                let target = tile as u64 * dep_len + dep.step as u64 + 1;
+                ring.push(
+                    tile,
+                    s,
+                    instr.op,
+                    Moment::WaitingDep {
+                        dep_tb: dep.tb,
+                        target,
+                    },
+                );
+                rec.emit(EventKind::SemWaitEnter {
+                    dep_tb: dep.tb,
+                    target,
+                });
+                if !sem_d.wait_at_least(target, timeout) {
+                    return Err(HangInfo {
+                        rank,
+                        tb: tb_id,
+                        step: s,
+                    });
+                }
+                rec.emit(EventKind::SemWaitExit {
+                    dep_tb: dep.tb,
+                    target,
+                });
+            }
+            ring.push(tile, s, instr.op, Moment::Started);
+            rec.emit(EventKind::InstrBegin {
+                step: s,
+                tile,
+                op: instr.op,
+            });
+
+            let read_src = |elem_off: usize, len: usize| -> Vec<f32> {
+                let loc = instr.src.expect("instruction requires src");
+                let mut out = Vec::with_capacity(instr.count * len);
+                for i in 0..instr.count {
+                    out.extend(mem.read(collective, loc.buffer, loc.index + i, elem_off, len));
+                }
+                out
+            };
+            let write_dst = |values: &[f32]| {
+                let loc = instr.dst.expect("instruction requires dst");
+                for i in 0..instr.count {
+                    mem.write(
+                        collective,
+                        loc.buffer,
+                        loc.index + i,
+                        elem_off,
+                        &values[i * len..(i + 1) * len],
+                    );
+                }
+            };
+            let combine_dst = |values: &[f32]| -> Vec<f32> {
+                let loc = instr.dst.expect("instruction requires dst");
+                let mut out = Vec::with_capacity(instr.count * len);
+                for i in 0..instr.count {
+                    out.extend(mem.combine(
+                        collective,
+                        loc.buffer,
+                        loc.index + i,
+                        elem_off,
+                        &values[i * len..(i + 1) * len],
+                        |a, b| op.apply(a, b),
+                    ));
+                }
+                out
+            };
+            let mut receive =
+                |rec: &mut Recorder, ring: &mut EventRing| -> Result<Vec<f32>, HangInfo> {
+                    let (src, channel, fifo) = recv
+                        .as_ref()
+                        .expect("recv op requires a receive connection");
+                    let (value, blocked) = fifo
+                        .recv(timeout, || {
+                            ring.push(
+                                tile,
+                                s,
+                                instr.op,
+                                Moment::BlockedRecv {
+                                    src: *src,
+                                    channel: *channel,
+                                },
+                            );
+                            rec.emit(EventKind::RecvBlock {
+                                src: *src,
+                                channel: *channel,
+                            });
+                        })
+                        .map_err(|_| HangInfo {
+                            rank,
+                            tb: tb_id,
+                            step: s,
+                        })?;
+                    if blocked {
+                        rec.emit(EventKind::RecvResume {
+                            src: *src,
+                            channel: *channel,
+                        });
+                    }
+                    rec.emit(EventKind::Recv {
+                        src: *src,
+                        channel: *channel,
+                        seq: recv_seq,
+                    });
+                    recv_seq += 1;
+                    Ok(value)
+                };
+            let mut transmit = |rec: &mut Recorder,
+                                ring: &mut EventRing,
+                                values: Vec<f32>|
+             -> Result<(), HangInfo> {
+                let (dst, channel, fifo) =
+                    send.as_ref().expect("send op requires a send connection");
+                // `SendResume` and `Send` are stamped from inside the
+                // callback — `Send` while the queue lock is held — so the
+                // receiver's `Recv` timestamp can never precede them.
+                let mut was_blocked = false;
+                fifo.send(values, timeout, |moment| match moment {
+                    SendMoment::Blocked => {
+                        was_blocked = true;
+                        ring.push(
+                            tile,
+                            s,
+                            instr.op,
+                            Moment::BlockedSend {
+                                dst: *dst,
+                                channel: *channel,
+                            },
+                        );
+                        rec.emit(EventKind::SendBlock {
+                            dst: *dst,
+                            channel: *channel,
+                        });
+                    }
+                    SendMoment::Enqueued => {
+                        if was_blocked {
+                            rec.emit(EventKind::SendResume {
+                                dst: *dst,
+                                channel: *channel,
+                            });
+                        }
+                        rec.emit(EventKind::Send {
+                            dst: *dst,
+                            channel: *channel,
+                            seq: send_seq,
+                        });
+                    }
+                })
+                .map_err(|_| HangInfo {
+                    rank,
+                    tb: tb_id,
+                    step: s,
+                })?;
+                send_seq += 1;
+                Ok(())
+            };
+
+            match instr.op {
+                OpCode::Nop => {}
+                OpCode::Send => {
+                    let data = read_src(elem_off, len);
+                    transmit(rec, ring, data)?;
+                }
+                OpCode::Recv => {
+                    let data = receive(rec, ring)?;
+                    write_dst(&data);
+                }
+                OpCode::Copy => {
+                    let data = read_src(elem_off, len);
+                    write_dst(&data);
+                }
+                OpCode::Reduce => {
+                    let data = read_src(elem_off, len);
+                    let _ = combine_dst(&data);
+                }
+                OpCode::RecvReduceCopy => {
+                    let data = receive(rec, ring)?;
+                    let _ = combine_dst(&data);
+                }
+                OpCode::RecvCopySend => {
+                    let data = receive(rec, ring)?;
+                    write_dst(&data);
+                    transmit(rec, ring, data)?;
+                }
+                OpCode::RecvReduceSend => {
+                    let data = receive(rec, ring)?;
+                    let local = read_src(elem_off, len);
+                    let merged: Vec<f32> = local
+                        .iter()
+                        .zip(&data)
+                        .map(|(&a, &b)| op.apply(a, b))
+                        .collect();
+                    transmit(rec, ring, merged)?;
+                }
+                OpCode::RecvReduceCopySend => {
+                    let data = receive(rec, ring)?;
+                    let merged = combine_dst(&data);
+                    transmit(rec, ring, merged)?;
+                }
+            }
+            completed += 1;
+            debug_assert_eq!(completed, tile as u64 * my_len + s as u64 + 1);
+            ring.push(tile, s, instr.op, Moment::Completed);
+            // Stamp completion *before* advancing the semaphore: a waiter
+            // the set releases stamps its own events after returning from
+            // the wait, so this InstrEnd can never postdate a dependent's
+            // InstrBegin.
+            if instr.has_dep {
+                rec.emit(EventKind::SemSet { value: completed });
+            }
+            rec.emit(EventKind::InstrEnd {
+                step: s,
+                tile,
+                op: instr.op,
+            });
+            if instr.has_dep {
+                sem.set(completed);
+            }
+        }
+        rec.emit(EventKind::TileEnd { tile });
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -447,11 +811,37 @@ mod tests {
         assert!(matches!(err, RuntimeError::InputShape { .. }));
     }
 
-    /// A hand-built IR where both ranks only receive: the runtime's
-    /// watchdog must report the hang instead of blocking forever.
+    /// Tracing must not change results, and the trace must pass the
+    /// consistency oracle against the IR.
     #[test]
-    fn hang_is_detected() {
-        use mscclang::{Collective, IrProgram};
+    fn traced_execution_matches_untraced() {
+        let p = msccl_algos::ring_all_reduce(4, 1).unwrap();
+        let ir = compile(&p, &CompileOptions::default()).unwrap();
+        let chunk_elems = 8;
+        let inputs = crate::reference::random_inputs(&ir, chunk_elems, 5);
+        let plain = execute(&ir, &inputs, chunk_elems, &RunOptions::default()).unwrap();
+        let (traced, trace) =
+            execute_traced(&ir, &inputs, chunk_elems, &RunOptions::default()).unwrap();
+        assert_eq!(plain, traced);
+        assert!(!trace.is_empty());
+        trace.check_consistency(Some(&ir)).unwrap();
+        // Every instruction appears exactly once (single tile).
+        assert_eq!(trace.executed_instructions().len(), ir.num_instructions());
+    }
+
+    #[test]
+    fn untraced_execution_records_nothing() {
+        let p = msccl_algos::ring_all_reduce(2, 1).unwrap();
+        let ir = compile(&p, &CompileOptions::default()).unwrap();
+        let inputs = crate::reference::random_inputs(&ir, 4, 9);
+        // The public untraced API returns only outputs; internally the
+        // recorder stays empty.
+        let (_, trace) = execute_impl(&ir, &inputs, 4, &RunOptions::default(), false).unwrap();
+        assert!(trace.is_none());
+    }
+
+    fn deadlocked_ir() -> mscclang::IrProgram {
+        use mscclang::Collective;
         let collective = Collective::all_gather(2, 1, false);
         let gpu = |rank: usize, peer: usize| mscclang::ir::IrGpu {
             rank,
@@ -491,14 +881,21 @@ mod tests {
                 ],
             }],
         };
-        let ir = IrProgram {
+        mscclang::IrProgram {
             name: "deadlock".into(),
             collective,
             protocol: None,
             num_channels: 1,
             refinement: 1,
             gpus: vec![gpu(0, 1), gpu(1, 0)],
-        };
+        }
+    }
+
+    /// A hand-built IR where both ranks only receive: the runtime's
+    /// watchdog must report the hang instead of blocking forever.
+    #[test]
+    fn hang_is_detected() {
+        let ir = deadlocked_ir();
         let opts = RunOptions {
             timeout: std::time::Duration::from_millis(200),
             ..RunOptions::default()
@@ -506,6 +903,33 @@ mod tests {
         let inputs = vec![vec![1.0], vec![2.0]];
         let err = execute(&ir, &inputs, 1, &opts).unwrap_err();
         assert!(matches!(err, RuntimeError::Hang { .. }), "got {err:?}");
+    }
+
+    /// The hang error carries each thread block's last ring entries, and
+    /// its display names the blocking receives.
+    #[test]
+    fn hang_dumps_recent_activity() {
+        let ir = deadlocked_ir();
+        let opts = RunOptions {
+            timeout: std::time::Duration::from_millis(200),
+            ..RunOptions::default()
+        };
+        let inputs = vec![vec![1.0], vec![2.0]];
+        let err = execute(&ir, &inputs, 1, &opts).unwrap_err();
+        let RuntimeError::Hang { step, context, .. } = &err else {
+            panic!("expected hang, got {err:?}");
+        };
+        assert_eq!(*step, 0);
+        // Both thread blocks contribute their stuck receive.
+        assert!(context
+            .iter()
+            .any(|l| l.starts_with("rank 0 tb 0") && l.contains("blocked receiving from rank 1")));
+        assert!(context
+            .iter()
+            .any(|l| l.starts_with("rank 1 tb 0") && l.contains("blocked receiving from rank 0")));
+        let shown = err.to_string();
+        assert!(shown.contains("recent activity per thread block:"));
+        assert!(shown.contains("blocked receiving"));
     }
 
     use mscclang::OpCode;

@@ -1,0 +1,189 @@
+//! Bounded FIFO connections with blocking instrumentation.
+//!
+//! Each `(src, dst, channel)` connection is a queue with the protocol's
+//! FIFO slot count (§6.1): a send blocks when every slot is full, a
+//! receive blocks when the queue is empty. Unlike an off-the-shelf
+//! channel, these report *whether* a call blocked and invoke a callback at
+//! the moment blocking starts, which is what lets the tracer timestamp
+//! `SendBlock`/`RecvBlock` at the start of the stall rather than after it.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+/// The deadline elapsed while blocked (deadlock or hang).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FifoTimeout;
+
+/// What a [`Fifo::send`] reports through its callback, in call order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SendMoment {
+    /// Every slot was full; the call is about to block (reported once).
+    Blocked,
+    /// The tile is being deposited. Reported while the queue lock is still
+    /// held, so a timestamp taken here provably precedes the matching
+    /// receive's timestamp on any other thread.
+    Enqueued,
+}
+
+/// A bounded queue of tiles for one connection.
+pub struct Fifo {
+    queue: Mutex<VecDeque<Vec<f32>>>,
+    capacity: usize,
+    not_full: Condvar,
+    not_empty: Condvar,
+}
+
+fn relock<T>(result: Result<T, std::sync::PoisonError<T>>) -> T {
+    // A poisoning panic in some worker already fails the run via the scope
+    // join; the queue itself is always left consistent.
+    result.unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+impl Fifo {
+    /// A FIFO with `capacity` slots (at least one).
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            queue: Mutex::new(VecDeque::new()),
+            capacity: capacity.max(1),
+            not_full: Condvar::new(),
+            not_empty: Condvar::new(),
+        }
+    }
+
+    fn wait_until<'a>(
+        cv: &Condvar,
+        guard: MutexGuard<'a, VecDeque<Vec<f32>>>,
+        deadline: Instant,
+    ) -> Result<MutexGuard<'a, VecDeque<Vec<f32>>>, FifoTimeout> {
+        let remaining = deadline.saturating_duration_since(Instant::now());
+        if remaining.is_zero() {
+            return Err(FifoTimeout);
+        }
+        let (guard, _) = relock(cv.wait_timeout(guard, remaining));
+        Ok(guard)
+    }
+
+    /// Deposits `value`, blocking while all slots are full. `on_event`
+    /// reports [`SendMoment::Blocked`] once at the moment the call starts
+    /// blocking (only if it blocks) and [`SendMoment::Enqueued`] under the
+    /// queue lock as the tile goes in. Returns whether the call blocked.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FifoTimeout`] if the queue stays full past `timeout`.
+    pub fn send(
+        &self,
+        value: Vec<f32>,
+        timeout: Duration,
+        mut on_event: impl FnMut(SendMoment),
+    ) -> Result<bool, FifoTimeout> {
+        let deadline = Instant::now() + timeout;
+        let mut guard = relock(self.queue.lock());
+        let mut blocked = false;
+        while guard.len() >= self.capacity {
+            if !blocked {
+                blocked = true;
+                on_event(SendMoment::Blocked);
+            }
+            guard = Self::wait_until(&self.not_full, guard, deadline)?;
+        }
+        on_event(SendMoment::Enqueued);
+        guard.push_back(value);
+        drop(guard);
+        self.not_empty.notify_one();
+        Ok(blocked)
+    }
+
+    /// Removes the oldest tile, blocking while the queue is empty.
+    /// `on_block` runs once, at the moment the call starts blocking, only
+    /// if it blocks. Returns the tile and whether the call blocked.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FifoTimeout`] if the queue stays empty past `timeout`.
+    pub fn recv(
+        &self,
+        timeout: Duration,
+        on_block: impl FnOnce(),
+    ) -> Result<(Vec<f32>, bool), FifoTimeout> {
+        let deadline = Instant::now() + timeout;
+        let mut guard = relock(self.queue.lock());
+        let mut blocked = false;
+        let mut on_block = Some(on_block);
+        loop {
+            if let Some(value) = guard.pop_front() {
+                drop(guard);
+                self.not_full.notify_one();
+                return Ok((value, blocked));
+            }
+            if let Some(f) = on_block.take() {
+                blocked = true;
+                f();
+            }
+            guard = Self::wait_until(&self.not_empty, guard, deadline)?;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn passes_values_in_order() {
+        let f = Fifo::new(2);
+        let t = Duration::from_millis(100);
+        assert_eq!(f.send(vec![1.0], t, |_| ()), Ok(false));
+        assert_eq!(f.send(vec![2.0], t, |_| ()), Ok(false));
+        assert_eq!(f.recv(t, || ()), Ok((vec![1.0], false)));
+        assert_eq!(f.recv(t, || ()), Ok((vec![2.0], false)));
+    }
+
+    #[test]
+    fn send_blocks_when_full_and_reports_it() {
+        let f = Arc::new(Fifo::new(1));
+        let t = Duration::from_secs(5);
+        f.send(vec![0.0], t, |_| ()).unwrap();
+        let f2 = Arc::clone(&f);
+        let h = std::thread::spawn(move || f2.send(vec![1.0], t, |_| ()));
+        std::thread::sleep(Duration::from_millis(20));
+        assert_eq!(f.recv(t, || ()), Ok((vec![0.0], false)));
+        assert_eq!(h.join().unwrap(), Ok(true));
+        assert_eq!(f.recv(t, || ()), Ok((vec![1.0], false)));
+    }
+
+    #[test]
+    fn recv_blocks_when_empty_and_reports_it() {
+        let f = Arc::new(Fifo::new(1));
+        let t = Duration::from_secs(5);
+        let f2 = Arc::clone(&f);
+        let h = std::thread::spawn(move || f2.recv(t, || ()));
+        std::thread::sleep(Duration::from_millis(20));
+        f.send(vec![3.0], t, |_| ()).unwrap();
+        assert_eq!(h.join().unwrap(), Ok((vec![3.0], true)));
+    }
+
+    #[test]
+    fn timeouts_are_reported() {
+        let f = Fifo::new(1);
+        let t = Duration::from_millis(10);
+        assert_eq!(f.recv(t, || ()), Err(FifoTimeout));
+        f.send(vec![0.0], t, |_| ()).unwrap();
+        assert_eq!(f.send(vec![1.0], t, |_| ()), Err(FifoTimeout));
+    }
+
+    #[test]
+    fn send_moments_fire_in_order() {
+        let f = Fifo::new(1);
+        let t = Duration::from_millis(10);
+        let mut moments = Vec::new();
+        f.send(vec![0.0], t, |m| moments.push(m)).unwrap();
+        assert_eq!(moments, vec![SendMoment::Enqueued]);
+        let mut moments = Vec::new();
+        let _ = f.send(vec![1.0], t, |m| moments.push(m));
+        assert_eq!(moments, vec![SendMoment::Blocked]);
+    }
+}

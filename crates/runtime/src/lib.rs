@@ -28,9 +28,10 @@
 //! ```
 
 mod executor;
+mod fifo;
 mod memory;
 pub mod reference;
 mod semaphore;
 
-pub use executor::{execute, RunOptions, RuntimeError};
+pub use executor::{execute, execute_traced, RunOptions, RuntimeError};
 pub use memory::RankMemory;

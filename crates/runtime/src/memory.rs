@@ -1,6 +1,6 @@
 //! Per-rank buffer storage with in-place alias resolution.
 
-use parking_lot::RwLock;
+use std::sync::{PoisonError, RwLock};
 
 use mscclang::{BufferKind, Collective, Space};
 
@@ -70,7 +70,10 @@ impl RankMemory {
     ) -> Vec<f32> {
         let (space, off) = collective.space_of(self.rank, buffer, index);
         let start = off * self.chunk_elems + elem_off;
-        let guard = self.space(space).read();
+        let guard = self
+            .space(space)
+            .read()
+            .unwrap_or_else(PoisonError::into_inner);
         guard[start..start + len].to_vec()
     }
 
@@ -90,7 +93,10 @@ impl RankMemory {
     ) {
         let (space, off) = collective.space_of(self.rank, buffer, index);
         let start = off * self.chunk_elems + elem_off;
-        let mut guard = self.space(space).write();
+        let mut guard = self
+            .space(space)
+            .write()
+            .unwrap_or_else(PoisonError::into_inner);
         guard[start..start + values.len()].copy_from_slice(values);
     }
 
@@ -112,7 +118,10 @@ impl RankMemory {
     ) -> Vec<f32> {
         let (space, off) = collective.space_of(self.rank, buffer, index);
         let start = off * self.chunk_elems + elem_off;
-        let mut guard = self.space(space).write();
+        let mut guard = self
+            .space(space)
+            .write()
+            .unwrap_or_else(PoisonError::into_inner);
         let slice = &mut guard[start..start + other.len()];
         for (a, &b) in slice.iter_mut().zip(other) {
             *a = f(*a, b);

@@ -7,9 +7,8 @@
 //! instructions monotonically *across tiles* so that waits from tile `t`
 //! can never be satisfied by a completion from tile `t - 1`.
 
-use std::time::Duration;
-
-use parking_lot::{Condvar, Mutex};
+use std::sync::{Condvar, Mutex, PoisonError};
+use std::time::{Duration, Instant};
 
 /// A monotonically increasing counter others can block on.
 #[derive(Default)]
@@ -28,7 +27,7 @@ impl Semaphore {
     /// Advances the counter to `v` (monotonic; lower values are ignored)
     /// and wakes waiters.
     pub fn set(&self, v: u64) {
-        let mut guard = self.value.lock();
+        let mut guard = self.value.lock().unwrap_or_else(PoisonError::into_inner);
         if v > *guard {
             *guard = v;
             self.cv.notify_all();
@@ -39,11 +38,18 @@ impl Semaphore {
     /// whether the target was reached.
     #[must_use]
     pub fn wait_at_least(&self, v: u64, timeout: Duration) -> bool {
-        let mut guard = self.value.lock();
+        let deadline = Instant::now() + timeout;
+        let mut guard = self.value.lock().unwrap_or_else(PoisonError::into_inner);
         while *guard < v {
-            if self.cv.wait_for(&mut guard, timeout).timed_out() && *guard < v {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
                 return false;
             }
+            guard = self
+                .cv
+                .wait_timeout(guard, remaining)
+                .unwrap_or_else(PoisonError::into_inner)
+                .0;
         }
         true
     }

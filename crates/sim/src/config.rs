@@ -35,6 +35,10 @@ pub struct SimConfig {
     /// Record a per-thread-block activity timeline in the report (adds
     /// memory proportional to the instruction count × tiles).
     pub record_timeline: bool,
+    /// Record a structured virtual-time [`msccl_trace::Trace`] in the
+    /// report: the same event vocabulary the threaded runtime emits, with
+    /// timestamps from the discrete-event clock.
+    pub record_trace: bool,
     /// Per-message processing occupancy of an InfiniBand NIC's DMA engine
     /// (µs): each RDMA message holds the engine for its serialization time
     /// *plus* this overhead, which is what makes many small IB messages
@@ -63,6 +67,7 @@ impl SimConfig {
             include_launch: true,
             nic_msg_overhead_us: 2.0,
             record_timeline: false,
+            record_trace: false,
             tile_overhead_us: None,
             direct_copy: false,
         }
@@ -108,6 +113,14 @@ impl SimConfig {
     #[must_use]
     pub fn with_timeline(mut self, record: bool) -> Self {
         self.record_timeline = record;
+        self
+    }
+
+    /// Enables structured trace recording (see
+    /// [`SimConfig::record_trace`]).
+    #[must_use]
+    pub fn with_trace(mut self, record: bool) -> Self {
+        self.record_trace = record;
         self
     }
 }

@@ -5,7 +5,8 @@ use std::cmp::Ordering;
 use std::collections::{BinaryHeap, HashMap};
 
 use msccl_topology::{Protocol, TransferPath};
-use mscclang::{IrInstruction, IrProgram};
+use msccl_trace::{ClockDomain, EventKind, Trace, TraceEvent};
+use mscclang::{IrInstruction, IrProgram, OpCode};
 
 use crate::config::{f64_bits, SimConfig, SimError};
 use crate::flow::{FlowId, FlowNet, Reschedule, ResourceTable};
@@ -68,6 +69,22 @@ pub struct SimReport {
     /// NVLink ports the busy time is inferred from bytes over capacity;
     /// for NIC engines it is the exact queue occupancy.
     pub resource_usage: Vec<(msccl_topology::ResourceId, f64, f64)>,
+    /// Structured virtual-time trace (`None` unless
+    /// [`SimConfig::record_trace`] is set): the same event vocabulary the
+    /// threaded runtime emits, timestamped by the discrete-event clock.
+    pub trace: Option<Trace>,
+}
+
+/// Appends one trace event when tracing is enabled.
+fn emit(trace: &mut Option<Trace>, ts_us: f64, rank: usize, tb: usize, kind: EventKind) {
+    if let Some(t) = trace.as_mut() {
+        t.push(TraceEvent {
+            ts_us,
+            rank,
+            tb,
+            kind,
+        });
+    }
 }
 
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -135,6 +152,11 @@ struct Conn {
     available: usize,
     waiting_sender: Option<usize>,
     waiting_receiver: Option<usize>,
+    /// `(src, dst, channel)` identity plus send/recv sequence counters,
+    /// for trace events.
+    key: (usize, usize, usize),
+    send_seq: u64,
+    recv_seq: u64,
 }
 
 struct Tb {
@@ -154,6 +176,13 @@ struct Tb {
     flow_start_us: f64,
     /// (target completed-count, waiting tb, its gen at registration).
     waiters: Vec<(u64, usize, u64)>,
+    // Trace bookkeeping: which boundary events are already emitted for the
+    // current tile/instruction, and which wait/block interval is open.
+    tile_begun: bool,
+    instr_begun: bool,
+    open_wait: Option<(usize, u64)>,
+    open_recv_block: bool,
+    open_send_block: bool,
 }
 
 struct FlowInfo {
@@ -250,6 +279,9 @@ pub fn simulate(
                         available: 0,
                         waiting_sender: None,
                         waiting_receiver: None,
+                        key: (gpu.rank, peer, tb.channel),
+                        send_seq: 0,
+                        recv_seq: 0,
                     });
                     conn_ids.insert((gpu.rank, peer, tb.channel), id);
                     Some(id)
@@ -274,6 +306,11 @@ pub fn simulate(
                 busy_us: 0.0,
                 flow_start_us: 0.0,
                 waiters: Vec::new(),
+                tile_begun: false,
+                instr_begun: false,
+                open_wait: None,
+                open_recv_block: false,
+                open_send_block: false,
             });
         }
     }
@@ -298,6 +335,10 @@ pub fn simulate(
         .collect();
 
     // ---- Event loop.
+    let mut trace: Option<Trace> = config
+        .record_trace
+        .then(|| Trace::new(ClockDomain::Virtual));
+    emit(&mut trace, 0.0, 0, 0, EventKind::KernelLaunch);
     let mut heap: BinaryHeap<QueuedEvent> = BinaryHeap::new();
     let mut seq = 0u64;
     let start = if config.include_launch {
@@ -375,6 +416,7 @@ pub fn simulate(
                     recv_overhead_us,
                     &mut finished_tbs,
                     &mut instructions_executed,
+                    &mut trace,
                 );
             }
             Ev::FlowDone { flow, generation } => {
@@ -445,6 +487,12 @@ pub fn simulate(
             usage.sort_by_key(|&(id, _, _)| id);
             usage
         },
+        trace: {
+            if let Some(t) = trace.as_mut() {
+                t.sort();
+            }
+            trace
+        },
     })
 }
 
@@ -489,10 +537,22 @@ fn advance_tb(
     recv_overhead_us: f64,
     finished_tbs: &mut usize,
     instructions_executed: &mut usize,
+    trace: &mut Option<Trace>,
 ) {
     let machine = &config.machine;
     loop {
         if tbs[me].pc >= tbs[me].num_instructions {
+            if tbs[me].tile_begun {
+                let tile = tbs[me].tile;
+                emit(
+                    trace,
+                    now,
+                    tbs[me].rank,
+                    tbs[me].local_id,
+                    EventKind::TileEnd { tile },
+                );
+                tbs[me].tile_begun = false;
+            }
             tbs[me].pc = 0;
             tbs[me].tile += 1;
             if tbs[me].tile >= num_tiles || tbs[me].num_instructions == 0 {
@@ -501,6 +561,17 @@ fn advance_tb(
                 *finished_tbs += 1;
                 return;
             }
+        }
+        if !tbs[me].tile_begun {
+            let tile = tbs[me].tile;
+            emit(
+                trace,
+                now,
+                tbs[me].rank,
+                tbs[me].local_id,
+                EventKind::TileBegin { tile },
+            );
+            tbs[me].tile_begun = true;
         }
         let pc = tbs[me].pc;
         let instr = &instrs[me][pc];
@@ -515,6 +586,33 @@ fn advance_tb(
                     let dep_idx = tb_index[&dep_key];
                     let target = tile * tb_lens[&dep_key] + d.step as u64 + 1;
                     if tbs[dep_idx].completed < target {
+                        if tbs[me].open_wait != Some((d.tb, target)) {
+                            // A previous registration may have been on an
+                            // earlier dependency of the same instruction.
+                            if let Some((ptb, pt)) = tbs[me].open_wait.take() {
+                                emit(
+                                    trace,
+                                    now,
+                                    tbs[me].rank,
+                                    tbs[me].local_id,
+                                    EventKind::SemWaitExit {
+                                        dep_tb: ptb,
+                                        target: pt,
+                                    },
+                                );
+                            }
+                            emit(
+                                trace,
+                                now,
+                                tbs[me].rank,
+                                tbs[me].local_id,
+                                EventKind::SemWaitEnter {
+                                    dep_tb: d.tb,
+                                    target,
+                                },
+                            );
+                            tbs[me].open_wait = Some((d.tb, target));
+                        }
                         tbs[me].gen += 1;
                         let gen = tbs[me].gen;
                         tbs[dep_idx].waiters.push((target, me, gen));
@@ -525,13 +623,69 @@ fn advance_tb(
                 if blocked {
                     return;
                 }
+                if let Some((dep_tb, target)) = tbs[me].open_wait.take() {
+                    emit(
+                        trace,
+                        now,
+                        tbs[me].rank,
+                        tbs[me].local_id,
+                        EventKind::SemWaitExit { dep_tb, target },
+                    );
+                }
+                if !tbs[me].instr_begun {
+                    emit(
+                        trace,
+                        now,
+                        tbs[me].rank,
+                        tbs[me].local_id,
+                        EventKind::InstrBegin {
+                            step: pc,
+                            tile: tbs[me].tile,
+                            op: instr.op,
+                        },
+                    );
+                    tbs[me].instr_begun = true;
+                }
                 if instr.op.has_recv() {
                     let conn = tbs[me].recv_conn.expect("recv needs a connection");
+                    let (src, _, channel) = conns[conn].key;
                     if conns[conn].available == 0 {
+                        if !tbs[me].open_recv_block {
+                            emit(
+                                trace,
+                                now,
+                                tbs[me].rank,
+                                tbs[me].local_id,
+                                EventKind::RecvBlock { src, channel },
+                            );
+                            tbs[me].open_recv_block = true;
+                        }
                         conns[conn].waiting_receiver = Some(me);
                         tbs[me].gen += 1;
                         return;
                     }
+                    if tbs[me].open_recv_block {
+                        emit(
+                            trace,
+                            now,
+                            tbs[me].rank,
+                            tbs[me].local_id,
+                            EventKind::RecvResume { src, channel },
+                        );
+                        tbs[me].open_recv_block = false;
+                    }
+                    emit(
+                        trace,
+                        now,
+                        tbs[me].rank,
+                        tbs[me].local_id,
+                        EventKind::Recv {
+                            src,
+                            channel,
+                            seq: conns[conn].recv_seq,
+                        },
+                    );
+                    conns[conn].recv_seq += 1;
                     conns[conn].available -= 1;
                     // Receive-side processing. A *fused* instruction
                     // forwards the data straight out of the FIFO slot —
@@ -610,16 +764,59 @@ fn advance_tb(
                 if instr.op.has_send() {
                     tbs[me].stage = Stage::SendStart;
                 } else {
-                    complete_instruction(me, now, tbs, heap, seq, instructions_executed);
+                    complete_instruction(
+                        me,
+                        now,
+                        tbs,
+                        heap,
+                        seq,
+                        instructions_executed,
+                        instr.op,
+                        instr.has_dep,
+                        trace,
+                    );
                 }
             }
             Stage::SendStart => {
                 let conn = tbs[me].send_conn.expect("send needs a connection");
+                let (_, dst, channel) = conns[conn].key;
                 if conns[conn].in_flight >= conns[conn].slots {
+                    if !tbs[me].open_send_block {
+                        emit(
+                            trace,
+                            now,
+                            tbs[me].rank,
+                            tbs[me].local_id,
+                            EventKind::SendBlock { dst, channel },
+                        );
+                        tbs[me].open_send_block = true;
+                    }
                     conns[conn].waiting_sender = Some(me);
                     tbs[me].gen += 1;
                     return;
                 }
+                if tbs[me].open_send_block {
+                    emit(
+                        trace,
+                        now,
+                        tbs[me].rank,
+                        tbs[me].local_id,
+                        EventKind::SendResume { dst, channel },
+                    );
+                    tbs[me].open_send_block = false;
+                }
+                emit(
+                    trace,
+                    now,
+                    tbs[me].rank,
+                    tbs[me].local_id,
+                    EventKind::Send {
+                        dst,
+                        channel,
+                        seq: conns[conn].send_seq,
+                    },
+                );
+                conns[conn].send_seq += 1;
                 conns[conn].in_flight += 1;
                 // Sender-side synchronization + (for RDMA paths) staging
                 // into the proxy buffer at local copy rate.
@@ -671,7 +868,17 @@ fn advance_tb(
                         ev: Ev::Deliver { conn },
                     });
                     *seq += 1;
-                    complete_instruction(me, now, tbs, heap, seq, instructions_executed);
+                    complete_instruction(
+                        me,
+                        now,
+                        tbs,
+                        heap,
+                        seq,
+                        instructions_executed,
+                        instr.op,
+                        instr.has_dep,
+                        trace,
+                    );
                     continue;
                 }
                 if cross {
@@ -695,7 +902,17 @@ fn advance_tb(
                         ev: Ev::Deliver { conn },
                     });
                     *seq += 1;
-                    complete_instruction(me, now, tbs, heap, seq, instructions_executed);
+                    complete_instruction(
+                        me,
+                        now,
+                        tbs,
+                        heap,
+                        seq,
+                        instructions_executed,
+                        instr.op,
+                        instr.has_dep,
+                        trace,
+                    );
                     continue;
                 }
                 resched_scratch.clear();
@@ -728,10 +945,30 @@ fn advance_tb(
                         activity: Activity::Flow,
                     });
                 }
-                complete_instruction(me, now, tbs, heap, seq, instructions_executed);
+                complete_instruction(
+                    me,
+                    now,
+                    tbs,
+                    heap,
+                    seq,
+                    instructions_executed,
+                    instr.op,
+                    instr.has_dep,
+                    trace,
+                );
             }
             Stage::LocalBusy => {
-                complete_instruction(me, now, tbs, heap, seq, instructions_executed);
+                complete_instruction(
+                    me,
+                    now,
+                    tbs,
+                    heap,
+                    seq,
+                    instructions_executed,
+                    instr.op,
+                    instr.has_dep,
+                    trace,
+                );
             }
         }
     }
@@ -739,6 +976,7 @@ fn advance_tb(
 
 /// Marks the current instruction complete, wakes dependency waiters and
 /// advances the program counter.
+#[allow(clippy::too_many_arguments)]
 fn complete_instruction(
     me: usize,
     now: f64,
@@ -746,8 +984,34 @@ fn complete_instruction(
     heap: &mut BinaryHeap<QueuedEvent>,
     seq: &mut u64,
     instructions_executed: &mut usize,
+    op: OpCode,
+    has_dep: bool,
+    trace: &mut Option<Trace>,
 ) {
     tbs[me].completed += 1;
+    if has_dep {
+        emit(
+            trace,
+            now,
+            tbs[me].rank,
+            tbs[me].local_id,
+            EventKind::SemSet {
+                value: tbs[me].completed,
+            },
+        );
+    }
+    emit(
+        trace,
+        now,
+        tbs[me].rank,
+        tbs[me].local_id,
+        EventKind::InstrEnd {
+            step: tbs[me].pc,
+            tile: tbs[me].tile,
+            op,
+        },
+    );
+    tbs[me].instr_begun = false;
     tbs[me].pc += 1;
     tbs[me].stage = Stage::Start;
     *instructions_executed += 1;
@@ -813,6 +1077,7 @@ pub fn simulate_sequence(
         max_heap: 0,
         timeline: Vec::new(),
         resource_usage: Vec::new(),
+        trace: None,
     })
 }
 
@@ -1040,5 +1305,29 @@ mod tests {
         let a = simulate(&ir, &ndv4_config(), 1 << 22).unwrap();
         let b = simulate(&ir, &ndv4_config(), 1 << 22).unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn trace_is_consistent_with_ir() {
+        let ir = ring(8, 2, 2);
+        let cfg = ndv4_config().with_trace(true);
+        let r = simulate(&ir, &cfg, 1 << 22).unwrap();
+        let trace = r.trace.expect("trace requested");
+        assert!(!trace.is_empty());
+        trace.check_consistency(Some(&ir)).unwrap();
+        // Every executed instruction appears exactly once in the trace.
+        assert_eq!(trace.executed_instructions().len(), r.instructions);
+        // Off by default.
+        let quiet = simulate(&ir, &ndv4_config(), 1 << 22).unwrap();
+        assert!(quiet.trace.is_none());
+    }
+
+    #[test]
+    fn traced_and_untraced_times_agree() {
+        let ir = ring(8, 1, 1);
+        let plain = simulate(&ir, &ndv4_config(), 1 << 20).unwrap();
+        let traced = simulate(&ir, &ndv4_config().with_trace(true), 1 << 20).unwrap();
+        assert_eq!(plain.total_us, traced.total_us);
+        assert_eq!(plain.instructions, traced.instructions);
     }
 }

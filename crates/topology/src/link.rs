@@ -1,13 +1,11 @@
 //! Link kinds and their α–β parameters.
 
-use serde::{Deserialize, Serialize};
-
 /// The physical interconnect a point-to-point transfer travels over.
 ///
 /// The MSCCLang runtime (an extension of NCCL) inherits support for these
 /// interconnect classes (§6); the simulator assigns each class distinct
 /// latency and bandwidth parameters.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum LinkKind {
     /// Point-to-point NVLink (e.g. DGX-1 hybrid cube mesh).
     NvLink,
@@ -37,7 +35,7 @@ impl LinkKind {
 ///
 /// Under the α–β model used in §5.1 of the paper, a transfer of `b` bytes
 /// costs `α + b·β` where `β = 1/bandwidth`.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LinkParams {
     /// Start-up latency per transfer, microseconds.
     pub alpha_us: f64,

@@ -2,12 +2,10 @@
 
 use std::collections::BTreeMap;
 
-use serde::{Deserialize, Serialize};
-
 use crate::link::{LinkKind, LinkParams};
 
 /// The machine families used in the paper's evaluation (§7).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum MachineKind {
     /// Azure ND A100 v4: 8×A100 per node, NVSwitch, 8 IB NICs per node.
     Ndv4,
@@ -24,7 +22,7 @@ pub enum MachineKind {
 /// A rank is identified by the integer `node * gpus_per_node + gpu` or the
 /// tuple `(node, gpu)` interchangeably, matching the paper's terminology
 /// (§2).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Machine {
     kind: MachineKind,
     name: String,

@@ -7,13 +7,11 @@
 //! §6.1). The simulator shares each resource's bandwidth among the flows
 //! crossing it.
 
-use serde::{Deserialize, Serialize};
-
 use crate::link::LinkKind;
 use crate::machine::Machine;
 
 /// Direction of port usage on a resource.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Direction {
     /// Traffic leaving the device.
     Egress,
@@ -22,7 +20,7 @@ pub enum Direction {
 }
 
 /// A contended bandwidth resource in the cluster.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum ResourceId {
     /// The NVLink/NVSwitch port of one GPU, one direction.
     GpuPort { rank: usize, dir: Direction },
@@ -38,7 +36,7 @@ pub enum ResourceId {
 }
 
 /// The resources and base parameters of one point-to-point transfer.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TransferPath {
     /// Resources whose bandwidth the transfer shares.
     pub resources: Vec<(ResourceId, f64)>,

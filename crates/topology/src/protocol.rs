@@ -11,10 +11,8 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 /// One of NCCL's three communication protocols.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Protocol {
     /// Full bandwidth, highest latency.
     Simple,
@@ -89,7 +87,7 @@ impl fmt::Display for Protocol {
 
 /// The concrete parameters a protocol fixes (§6.1: "the protocol also
 /// defines the remote buffer size and the number of slots").
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ProtocolParams {
     /// Which protocol these parameters belong to.
     pub protocol: Protocol,

@@ -1,0 +1,504 @@
+//! Trace validation against the IR's dependency structure.
+//!
+//! A trace is a witness of one execution; these checks prove the witness
+//! is feasible under the program's happens-before relation — the same
+//! relation `mscclang::verify` executes symbolically. They are the
+//! backbone of the differential test tier: the runtime's wall-clock trace,
+//! the simulator's virtual-time trace and the verifier's dependency graph
+//! must all tell one consistent story.
+
+use std::collections::HashMap;
+
+use mscclang::{IrProgram, OpCode};
+
+use crate::event::EventKind;
+use crate::Trace;
+
+impl Trace {
+    /// Checks this trace for internal consistency and, when `ir` is given,
+    /// against the program's dependency graph:
+    ///
+    /// 1. per thread block, `InstrBegin`/`InstrEnd` events are well nested
+    ///    (alternating, matching `(step, tile)`); FIFO block/resume
+    ///    intervals sit *inside* an instruction, semaphore wait intervals
+    ///    sit *between* instructions (`InstrBegin` means dependencies are
+    ///    already satisfied);
+    /// 2. per thread block, semaphore values ([`EventKind::SemSet`]) are
+    ///    strictly increasing;
+    /// 3. per connection, sends and receives are numbered `0, 1, 2, …` in
+    ///    trace order, every receive pairs with the send of the same
+    ///    sequence number (FIFO order), no connection ends with a
+    ///    send/receive imbalance, and receive `k` never has an earlier
+    ///    timestamp than send `k`;
+    /// 4. with `ir`: an instruction begins only at or after the end of
+    ///    every `(tb, step)` dependency of the same tile.
+    ///
+    /// Cause and effect may legally share a timestamp (virtual time, or
+    /// wall-clock ties after µs conversion), so cross-thread-block checks
+    /// (3) and (4) compare timestamps with `<=` rather than relying on
+    /// merged event order.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violation found.
+    pub fn check_consistency(&self, ir: Option<&IrProgram>) -> Result<(), String> {
+        self.check_nesting()?;
+        self.check_sem_monotonic()?;
+        self.check_fifo_pairing()?;
+        if let Some(ir) = ir {
+            self.check_dependencies(ir)?;
+        }
+        Ok(())
+    }
+
+    fn check_nesting(&self) -> Result<(), String> {
+        // (rank, tb) -> currently open instruction.
+        let mut open: HashMap<(usize, usize), (usize, usize, OpCode)> = HashMap::new();
+        // (rank, tb) -> currently open wait/block kind name.
+        let mut open_interval: HashMap<(usize, usize), &'static str> = HashMap::new();
+        for e in self.events() {
+            let key = (e.rank, e.tb);
+            match e.kind {
+                EventKind::InstrBegin { step, tile, op } => {
+                    if let Some(kind) = open_interval.get(&key) {
+                        return Err(format!(
+                            "rank {} tb {}: instr_begin(step {step}) while {kind} is open",
+                            e.rank, e.tb
+                        ));
+                    }
+                    if let Some(prev) = open.insert(key, (step, tile, op)) {
+                        return Err(format!(
+                            "rank {} tb {}: instr_begin(step {step}, tile {tile}) while \
+                             (step {}, tile {}) is still open",
+                            e.rank, e.tb, prev.0, prev.1
+                        ));
+                    }
+                }
+                EventKind::InstrEnd { step, tile, op } => match open.remove(&key) {
+                    Some((s, t, o)) if s == step && t == tile && o == op => {
+                        if let Some(kind) = open_interval.remove(&key) {
+                            return Err(format!(
+                                "rank {} tb {}: instr_end(step {step}) with open {kind}",
+                                e.rank, e.tb
+                            ));
+                        }
+                    }
+                    Some((s, t, _)) => {
+                        return Err(format!(
+                            "rank {} tb {}: instr_end(step {step}, tile {tile}) does not \
+                             match open (step {s}, tile {t})",
+                            e.rank, e.tb
+                        ))
+                    }
+                    None => {
+                        return Err(format!(
+                            "rank {} tb {}: instr_end(step {step}) without instr_begin",
+                            e.rank, e.tb
+                        ))
+                    }
+                },
+                // Semaphore waits gate an instruction, so they happen
+                // between instructions: InstrBegin = deps satisfied.
+                EventKind::SemWaitEnter { .. } => {
+                    if let Some((step, _, _)) = open.get(&key) {
+                        return Err(format!(
+                            "rank {} tb {}: sem_wait_enter inside instruction step {step}",
+                            e.rank, e.tb
+                        ));
+                    }
+                    if let Some(prev) = open_interval.insert(key, e.kind.name()) {
+                        return Err(format!(
+                            "rank {} tb {}: sem_wait_enter while {prev} is open",
+                            e.rank, e.tb
+                        ));
+                    }
+                }
+                // FIFO blocking is part of executing a send/recv
+                // instruction, so it nests inside the instruction span.
+                EventKind::SendBlock { .. } | EventKind::RecvBlock { .. } => {
+                    if !open.contains_key(&key) {
+                        return Err(format!(
+                            "rank {} tb {}: {} outside any instruction",
+                            e.rank,
+                            e.tb,
+                            e.kind.name()
+                        ));
+                    }
+                    if let Some(prev) = open_interval.insert(key, e.kind.name()) {
+                        return Err(format!(
+                            "rank {} tb {}: {} while {prev} is open",
+                            e.rank,
+                            e.tb,
+                            e.kind.name()
+                        ));
+                    }
+                }
+                EventKind::SemWaitExit { .. }
+                | EventKind::SendResume { .. }
+                | EventKind::RecvResume { .. } => {
+                    let expected = match e.kind {
+                        EventKind::SemWaitExit { .. } => "sem_wait_enter",
+                        EventKind::SendResume { .. } => "send_block",
+                        _ => "recv_block",
+                    };
+                    match open_interval.remove(&key) {
+                        Some(kind) if kind == expected => {}
+                        Some(kind) => {
+                            return Err(format!(
+                                "rank {} tb {}: {} closes {kind}",
+                                e.rank,
+                                e.tb,
+                                e.kind.name()
+                            ))
+                        }
+                        None => {
+                            return Err(format!(
+                                "rank {} tb {}: {} without a matching enter",
+                                e.rank,
+                                e.tb,
+                                e.kind.name()
+                            ))
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        if let Some(((rank, tb), (step, tile, _))) = open.into_iter().next() {
+            return Err(format!(
+                "rank {rank} tb {tb}: instruction (step {step}, tile {tile}) never ended"
+            ));
+        }
+        Ok(())
+    }
+
+    fn check_sem_monotonic(&self) -> Result<(), String> {
+        let mut last: HashMap<(usize, usize), u64> = HashMap::new();
+        for e in self.events() {
+            if let EventKind::SemSet { value } = e.kind {
+                let prev = last.insert((e.rank, e.tb), value);
+                if let Some(prev) = prev {
+                    if value <= prev {
+                        return Err(format!(
+                            "rank {} tb {}: semaphore value {value} after {prev} \
+                             (must be strictly increasing)",
+                            e.rank, e.tb
+                        ));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn check_fifo_pairing(&self) -> Result<(), String> {
+        // Sends first: each connection has exactly one sending thread
+        // block, so the stable merge preserves its program order and the
+        // sequence numbers must read 0, 1, 2, …
+        let mut sends: HashMap<(usize, usize, usize), Vec<f64>> = HashMap::new();
+        for e in self.events() {
+            if let EventKind::Send { dst, channel, seq } = e.kind {
+                let entry = sends.entry((e.rank, dst, channel)).or_default();
+                if seq != entry.len() as u64 {
+                    return Err(format!(
+                        "connection ({}, {dst}, ch {channel}): send seq {seq}, \
+                         expected {} (FIFO order)",
+                        e.rank,
+                        entry.len()
+                    ));
+                }
+                entry.push(e.ts_us);
+            }
+        }
+        // Then receives, paired by sequence number against the sends.
+        let mut recvs: HashMap<(usize, usize, usize), u64> = HashMap::new();
+        for e in self.events() {
+            if let EventKind::Recv { src, channel, seq } = e.kind {
+                let conn = (src, e.rank, channel);
+                let next = recvs.entry(conn).or_default();
+                if seq != *next {
+                    return Err(format!(
+                        "connection ({src}, {}, ch {channel}): recv seq {seq}, \
+                         expected {next} (FIFO order)",
+                        e.rank
+                    ));
+                }
+                let sent_at = sends
+                    .get(&conn)
+                    .and_then(|s| s.get(seq as usize))
+                    .copied()
+                    .ok_or_else(|| {
+                        format!(
+                            "connection ({src}, {}, ch {channel}): recv seq {seq} \
+                             without a matching send",
+                            e.rank
+                        )
+                    })?;
+                if e.ts_us < sent_at {
+                    return Err(format!(
+                        "connection ({src}, {}, ch {channel}): recv seq {seq} at \
+                         {:.3}µs precedes its send at {sent_at:.3}µs",
+                        e.rank, e.ts_us
+                    ));
+                }
+                *next += 1;
+            }
+        }
+        for (&(src, dst, channel), sent) in &sends {
+            let received = recvs.get(&(src, dst, channel)).copied().unwrap_or(0);
+            if sent.len() as u64 != received {
+                return Err(format!(
+                    "connection ({src}, {dst}, ch {channel}): {} sends but \
+                     {received} receives",
+                    sent.len()
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    fn check_dependencies(&self, ir: &IrProgram) -> Result<(), String> {
+        // Two passes so the check is insensitive to merge order among
+        // equal timestamps: first index every instruction end…
+        let mut ended: HashMap<(usize, usize, usize, usize), f64> = HashMap::new();
+        for e in self.events() {
+            if let EventKind::InstrEnd { step, tile, .. } = e.kind {
+                ended.insert((e.rank, e.tb, step, tile), e.ts_us);
+            }
+        }
+        // …then require every begin to be at or after its dependencies'
+        // ends within the same tile.
+        for e in self.events() {
+            let EventKind::InstrBegin { step, tile, .. } = e.kind else {
+                continue;
+            };
+            let Some(gpu) = ir.gpus.iter().find(|g| g.rank == e.rank) else {
+                return Err(format!("trace references unknown rank {}", e.rank));
+            };
+            let Some(tb) = gpu.threadblocks.iter().find(|t| t.id == e.tb) else {
+                return Err(format!(
+                    "trace references unknown tb {} on rank {}",
+                    e.tb, e.rank
+                ));
+            };
+            let Some(instr) = tb.instructions.get(step) else {
+                return Err(format!(
+                    "trace references unknown step {step} on rank {} tb {}",
+                    e.rank, e.tb
+                ));
+            };
+            for dep in &instr.deps {
+                match ended.get(&(e.rank, dep.tb, dep.step, tile)) {
+                    Some(&end_ts) if end_ts <= e.ts_us => {}
+                    Some(&end_ts) => {
+                        return Err(format!(
+                            "rank {} tb {} step {step} tile {tile} began at \
+                             {:.3}µs before its dependency (tb {}, step {}) \
+                             ended at {end_ts:.3}µs",
+                            e.rank, e.tb, e.ts_us, dep.tb, dep.step
+                        ))
+                    }
+                    None => {
+                        return Err(format!(
+                            "rank {} tb {} step {step} tile {tile} began but \
+                             its dependency (tb {}, step {}) never executed",
+                            e.rank, e.tb, dep.tb, dep.step
+                        ))
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ClockDomain, TraceEvent};
+
+    fn ev(ts: f64, rank: usize, tb: usize, kind: EventKind) -> TraceEvent {
+        TraceEvent {
+            ts_us: ts,
+            rank,
+            tb,
+            kind,
+        }
+    }
+
+    fn instr(ts: f64, rank: usize, tb: usize, step: usize, end: bool) -> TraceEvent {
+        let op = OpCode::Copy;
+        ev(
+            ts,
+            rank,
+            tb,
+            if end {
+                EventKind::InstrEnd { step, tile: 0, op }
+            } else {
+                EventKind::InstrBegin { step, tile: 0, op }
+            },
+        )
+    }
+
+    #[test]
+    fn unbalanced_connection_is_flagged() {
+        let t = Trace::from_buffers(
+            ClockDomain::Wall,
+            vec![vec![
+                instr(0.0, 0, 0, 0, false),
+                ev(
+                    0.5,
+                    0,
+                    0,
+                    EventKind::Send {
+                        dst: 1,
+                        channel: 0,
+                        seq: 0,
+                    },
+                ),
+                instr(1.0, 0, 0, 0, true),
+                ev(1.0, 0, 0, EventKind::SemSet { value: 1 }),
+            ]],
+        );
+        // One send with no recv: connection imbalance must be flagged.
+        assert!(t.check_consistency(None).unwrap_err().contains("receives"));
+    }
+
+    #[test]
+    fn paired_send_recv_passes() {
+        let t = Trace::from_buffers(
+            ClockDomain::Wall,
+            vec![
+                vec![
+                    instr(0.0, 0, 0, 0, false),
+                    ev(
+                        0.5,
+                        0,
+                        0,
+                        EventKind::Send {
+                            dst: 1,
+                            channel: 0,
+                            seq: 0,
+                        },
+                    ),
+                    instr(1.0, 0, 0, 0, true),
+                ],
+                vec![
+                    instr(0.2, 1, 0, 0, false),
+                    ev(0.3, 1, 0, EventKind::RecvBlock { src: 0, channel: 0 }),
+                    ev(0.6, 1, 0, EventKind::RecvResume { src: 0, channel: 0 }),
+                    ev(
+                        0.8,
+                        1,
+                        0,
+                        EventKind::Recv {
+                            src: 0,
+                            channel: 0,
+                            seq: 0,
+                        },
+                    ),
+                    instr(1.2, 1, 0, 0, true),
+                ],
+            ],
+        );
+        t.check_consistency(None).expect("consistent");
+    }
+
+    #[test]
+    fn recv_before_send_is_flagged() {
+        let t = Trace::from_buffers(
+            ClockDomain::Wall,
+            vec![
+                vec![
+                    instr(0.0, 0, 0, 0, false),
+                    ev(
+                        0.5,
+                        0,
+                        0,
+                        EventKind::Send {
+                            dst: 1,
+                            channel: 0,
+                            seq: 0,
+                        },
+                    ),
+                    instr(1.0, 0, 0, 0, true),
+                ],
+                vec![
+                    instr(0.0, 1, 0, 0, false),
+                    ev(
+                        0.1,
+                        1,
+                        0,
+                        EventKind::Recv {
+                            src: 0,
+                            channel: 0,
+                            seq: 0,
+                        },
+                    ),
+                    instr(0.2, 1, 0, 0, true),
+                ],
+            ],
+        );
+        assert!(t
+            .check_consistency(None)
+            .unwrap_err()
+            .contains("precedes its send"));
+    }
+
+    #[test]
+    fn sem_wait_inside_instruction_is_flagged() {
+        let t = Trace::from_buffers(
+            ClockDomain::Wall,
+            vec![vec![
+                instr(0.0, 0, 0, 0, false),
+                ev(
+                    0.1,
+                    0,
+                    0,
+                    EventKind::SemWaitEnter {
+                        dep_tb: 1,
+                        target: 1,
+                    },
+                ),
+                ev(
+                    0.2,
+                    0,
+                    0,
+                    EventKind::SemWaitExit {
+                        dep_tb: 1,
+                        target: 1,
+                    },
+                ),
+                instr(1.0, 0, 0, 0, true),
+            ]],
+        );
+        assert!(t
+            .check_consistency(None)
+            .unwrap_err()
+            .contains("sem_wait_enter inside instruction"));
+    }
+
+    #[test]
+    fn non_monotonic_semaphore_is_flagged() {
+        let t = Trace::from_buffers(
+            ClockDomain::Wall,
+            vec![vec![
+                ev(0.0, 0, 0, EventKind::SemSet { value: 2 }),
+                ev(1.0, 0, 0, EventKind::SemSet { value: 2 }),
+            ]],
+        );
+        assert!(t
+            .check_consistency(None)
+            .unwrap_err()
+            .contains("strictly increasing"));
+    }
+
+    #[test]
+    fn mismatched_nesting_is_flagged() {
+        let t = Trace::from_buffers(ClockDomain::Wall, vec![vec![instr(0.0, 0, 0, 3, true)]]);
+        assert!(t
+            .check_consistency(None)
+            .unwrap_err()
+            .contains("without instr_begin"));
+    }
+}

@@ -1,0 +1,429 @@
+//! Chrome-trace JSON and CSV exporters.
+//!
+//! The JSON is hand-rolled (the build is offline; no serde) with a fully
+//! deterministic field order so simulator traces can be golden-snapshot
+//! tested byte-for-byte. The format is the Chrome `chrome://tracing` /
+//! Perfetto "Trace Event Format": `pid` is the rank, `tid` is the thread
+//! block, duration (`"X"`) events carry instruction spans and wait/block
+//! intervals, instant (`"i"`) events carry sends, receives and semaphore
+//! updates.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+use crate::event::EventKind;
+use crate::Trace;
+
+/// Formats a microsecond timestamp with fixed precision so output is
+/// byte-stable across platforms.
+fn us(v: f64) -> String {
+    format!("{v:.3}")
+}
+
+#[allow(clippy::too_many_arguments)]
+fn push_event(
+    out: &mut String,
+    first: &mut bool,
+    name: &str,
+    ph: &str,
+    ts: f64,
+    rank: usize,
+    tb: usize,
+    dur: Option<f64>,
+    args: &[(&str, String)],
+) {
+    if !*first {
+        out.push_str(",\n");
+    }
+    *first = false;
+    let _ = write!(
+        out,
+        "    {{\"name\":\"{name}\",\"ph\":\"{ph}\",\"ts\":{},\"pid\":{rank},\"tid\":{tb}",
+        us(ts)
+    );
+    if let Some(dur) = dur {
+        let _ = write!(out, ",\"dur\":{}", us(dur));
+    }
+    if ph == "i" {
+        out.push_str(",\"s\":\"t\"");
+    }
+    if !args.is_empty() {
+        out.push_str(",\"args\":{");
+        for (i, (k, v)) in args.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{k}\":{v}");
+        }
+        out.push('}');
+    }
+    out.push('}');
+}
+
+impl Trace {
+    /// Renders the trace in Chrome's Trace Event Format (JSON object form).
+    ///
+    /// Instruction spans and wait/block intervals become `"X"` complete
+    /// events; sends, receives, semaphore updates, kernel launch and tile
+    /// boundaries become `"i"` instant events; per-rank `"M"` metadata
+    /// names each process `rank N`. Field order is fixed, timestamps are
+    /// printed with three decimals, so the output of a deterministic
+    /// producer (the simulator) is byte-stable.
+    #[must_use]
+    pub fn to_chrome_json(&self) -> String {
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            "{{\n  \"displayTimeUnit\": \"ms\",\n  \"otherData\": {{\"clock\": \"{}\"}},\n  \"traceEvents\": [\n",
+            self.domain().label()
+        );
+        let mut first = true;
+
+        // Process metadata, one entry per rank, in rank order.
+        let mut ranks: Vec<usize> = self.events().iter().map(|e| e.rank).collect();
+        ranks.sort_unstable();
+        ranks.dedup();
+        for rank in ranks {
+            if !first {
+                out.push_str(",\n");
+            }
+            first = false;
+            let _ = write!(
+                out,
+                "    {{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{rank},\"args\":{{\"name\":\"rank {rank}\"}}}}"
+            );
+        }
+
+        // Pair begin/end events into "X" spans; emit the rest as instants.
+        // An open interval is (begin ts, span name, span args).
+        type OpenInterval = (f64, String, Vec<(String, String)>);
+        let mut open_instr: HashMap<(usize, usize), (f64, usize, usize, String)> = HashMap::new();
+        let mut open_interval: HashMap<(usize, usize), OpenInterval> = HashMap::new();
+        for e in self.events() {
+            let key = (e.rank, e.tb);
+            match &e.kind {
+                EventKind::InstrBegin { step, tile, op } => {
+                    open_instr.insert(key, (e.ts_us, *step, *tile, op.mnemonic().to_string()));
+                }
+                EventKind::InstrEnd { step, tile, .. } => {
+                    if let Some((begin, s, t, op)) = open_instr.remove(&key) {
+                        push_event(
+                            &mut out,
+                            &mut first,
+                            &op,
+                            "X",
+                            begin,
+                            e.rank,
+                            e.tb,
+                            Some(e.ts_us - begin),
+                            &[("step", step.to_string()), ("tile", tile.to_string())],
+                        );
+                        debug_assert_eq!((s, t), (*step, *tile));
+                    }
+                }
+                EventKind::SemWaitEnter { dep_tb, target } => {
+                    open_interval.insert(
+                        key,
+                        (
+                            e.ts_us,
+                            "sem_wait".to_string(),
+                            vec![
+                                ("dep_tb".to_string(), dep_tb.to_string()),
+                                ("target".to_string(), target.to_string()),
+                            ],
+                        ),
+                    );
+                }
+                EventKind::SendBlock { dst, channel } => {
+                    open_interval.insert(
+                        key,
+                        (
+                            e.ts_us,
+                            "send_block".to_string(),
+                            vec![
+                                ("dst".to_string(), dst.to_string()),
+                                ("channel".to_string(), channel.to_string()),
+                            ],
+                        ),
+                    );
+                }
+                EventKind::RecvBlock { src, channel } => {
+                    open_interval.insert(
+                        key,
+                        (
+                            e.ts_us,
+                            "recv_block".to_string(),
+                            vec![
+                                ("src".to_string(), src.to_string()),
+                                ("channel".to_string(), channel.to_string()),
+                            ],
+                        ),
+                    );
+                }
+                EventKind::SemWaitExit { .. }
+                | EventKind::SendResume { .. }
+                | EventKind::RecvResume { .. } => {
+                    if let Some((begin, name, args)) = open_interval.remove(&key) {
+                        let args: Vec<(&str, String)> =
+                            args.iter().map(|(k, v)| (k.as_str(), v.clone())).collect();
+                        push_event(
+                            &mut out,
+                            &mut first,
+                            &name,
+                            "X",
+                            begin,
+                            e.rank,
+                            e.tb,
+                            Some(e.ts_us - begin),
+                            &args,
+                        );
+                    }
+                }
+                EventKind::KernelLaunch => {
+                    push_event(
+                        &mut out,
+                        &mut first,
+                        "kernel_launch",
+                        "i",
+                        e.ts_us,
+                        e.rank,
+                        e.tb,
+                        None,
+                        &[],
+                    );
+                }
+                EventKind::TileBegin { tile } | EventKind::TileEnd { tile } => {
+                    push_event(
+                        &mut out,
+                        &mut first,
+                        e.kind.name(),
+                        "i",
+                        e.ts_us,
+                        e.rank,
+                        e.tb,
+                        None,
+                        &[("tile", tile.to_string())],
+                    );
+                }
+                EventKind::SemSet { value } => {
+                    push_event(
+                        &mut out,
+                        &mut first,
+                        "sem_set",
+                        "i",
+                        e.ts_us,
+                        e.rank,
+                        e.tb,
+                        None,
+                        &[("value", value.to_string())],
+                    );
+                }
+                EventKind::Send { dst, channel, seq } => {
+                    push_event(
+                        &mut out,
+                        &mut first,
+                        "send",
+                        "i",
+                        e.ts_us,
+                        e.rank,
+                        e.tb,
+                        None,
+                        &[
+                            ("dst", dst.to_string()),
+                            ("channel", channel.to_string()),
+                            ("seq", seq.to_string()),
+                        ],
+                    );
+                }
+                EventKind::Recv { src, channel, seq } => {
+                    push_event(
+                        &mut out,
+                        &mut first,
+                        "recv",
+                        "i",
+                        e.ts_us,
+                        e.rank,
+                        e.tb,
+                        None,
+                        &[
+                            ("src", src.to_string()),
+                            ("channel", channel.to_string()),
+                            ("seq", seq.to_string()),
+                        ],
+                    );
+                }
+            }
+        }
+        out.push_str("\n  ]\n}\n");
+        out
+    }
+
+    /// Renders every event as one CSV row:
+    /// `ts_us,rank,tb,kind,step,tile,op,peer,channel,seq,value` with empty
+    /// cells for fields a kind does not carry.
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("ts_us,rank,tb,kind,step,tile,op,peer,channel,seq,value\n");
+        for e in self.events() {
+            let mut step = String::new();
+            let mut tile = String::new();
+            let mut op = String::new();
+            let mut peer = String::new();
+            let mut channel = String::new();
+            let mut seq = String::new();
+            let mut value = String::new();
+            match &e.kind {
+                EventKind::KernelLaunch => {}
+                EventKind::TileBegin { tile: t } | EventKind::TileEnd { tile: t } => {
+                    tile = t.to_string();
+                }
+                EventKind::InstrBegin {
+                    step: s,
+                    tile: t,
+                    op: o,
+                }
+                | EventKind::InstrEnd {
+                    step: s,
+                    tile: t,
+                    op: o,
+                } => {
+                    step = s.to_string();
+                    tile = t.to_string();
+                    op = o.mnemonic().to_string();
+                }
+                EventKind::SemWaitEnter { dep_tb, target }
+                | EventKind::SemWaitExit { dep_tb, target } => {
+                    peer = dep_tb.to_string();
+                    value = target.to_string();
+                }
+                EventKind::SemSet { value: v } => value = v.to_string(),
+                EventKind::SendBlock { dst, channel: c }
+                | EventKind::SendResume { dst, channel: c } => {
+                    peer = dst.to_string();
+                    channel = c.to_string();
+                }
+                EventKind::Send {
+                    dst,
+                    channel: c,
+                    seq: q,
+                } => {
+                    peer = dst.to_string();
+                    channel = c.to_string();
+                    seq = q.to_string();
+                }
+                EventKind::RecvBlock { src, channel: c }
+                | EventKind::RecvResume { src, channel: c } => {
+                    peer = src.to_string();
+                    channel = c.to_string();
+                }
+                EventKind::Recv {
+                    src,
+                    channel: c,
+                    seq: q,
+                } => {
+                    peer = src.to_string();
+                    channel = c.to_string();
+                    seq = q.to_string();
+                }
+            }
+            let _ = writeln!(
+                out,
+                "{},{},{},{},{step},{tile},{op},{peer},{channel},{seq},{value}",
+                us(e.ts_us),
+                e.rank,
+                e.tb,
+                e.kind.name()
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ClockDomain, TraceEvent};
+    use mscclang::OpCode;
+
+    fn sample() -> Trace {
+        Trace::from_buffers(
+            ClockDomain::Virtual,
+            vec![vec![
+                TraceEvent {
+                    ts_us: 0.0,
+                    rank: 0,
+                    tb: 0,
+                    kind: EventKind::KernelLaunch,
+                },
+                TraceEvent {
+                    ts_us: 0.0,
+                    rank: 0,
+                    tb: 0,
+                    kind: EventKind::InstrBegin {
+                        step: 0,
+                        tile: 0,
+                        op: OpCode::Send,
+                    },
+                },
+                TraceEvent {
+                    ts_us: 1.5,
+                    rank: 0,
+                    tb: 0,
+                    kind: EventKind::Send {
+                        dst: 1,
+                        channel: 0,
+                        seq: 0,
+                    },
+                },
+                TraceEvent {
+                    ts_us: 2.0,
+                    rank: 0,
+                    tb: 0,
+                    kind: EventKind::InstrEnd {
+                        step: 0,
+                        tile: 0,
+                        op: OpCode::Send,
+                    },
+                },
+            ]],
+        )
+    }
+
+    #[test]
+    fn chrome_json_is_wellformed_and_stable() {
+        let json = sample().to_chrome_json();
+        assert!(json.starts_with("{\n  \"displayTimeUnit\": \"ms\""));
+        assert!(json.contains("\"otherData\": {\"clock\": \"virtual\"}"));
+        assert!(json.contains(
+            "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\"args\":{\"name\":\"rank 0\"}}"
+        ));
+        // Send instruction span: begins at 0, lasts 2µs.
+        assert!(json.contains(
+            "{\"name\":\"s\",\"ph\":\"X\",\"ts\":0.000,\"pid\":0,\"tid\":0,\"dur\":2.000,\
+             \"args\":{\"step\":0,\"tile\":0}}"
+        ));
+        // The send instant carries its connection and sequence number.
+        assert!(json.contains(
+            "{\"name\":\"send\",\"ph\":\"i\",\"ts\":1.500,\"pid\":0,\"tid\":0,\"s\":\"t\",\
+             \"args\":{\"dst\":1,\"channel\":0,\"seq\":0}}"
+        ));
+        assert!(json.ends_with("  ]\n}\n"));
+        // Byte-stable: rendering twice is identical.
+        assert_eq!(json, sample().to_chrome_json());
+    }
+
+    #[test]
+    fn csv_has_one_row_per_event() {
+        let csv = sample().to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 1 + sample().len());
+        assert_eq!(
+            lines[0],
+            "ts_us,rank,tb,kind,step,tile,op,peer,channel,seq,value"
+        );
+        assert_eq!(lines[1], "0.000,0,0,kernel_launch,,,,,,,");
+        assert_eq!(lines[2], "0.000,0,0,instr_begin,0,0,s,,,,");
+        assert_eq!(lines[3], "1.500,0,0,send,,,,1,0,0,");
+        assert_eq!(lines[4], "2.000,0,0,instr_end,0,0,s,,,,");
+    }
+}

@@ -1,0 +1,194 @@
+//! Execution-trace observability for MSCCL-IR executors.
+//!
+//! The paper's runtime is an interpreter (Figure 5) whose interesting
+//! behaviour — semaphore waits, FIFO-slot blocking, tile pipelining — is
+//! invisible from the outside: a hang reports only `(rank, tb, step)` and
+//! the simulator's timelines were ad-hoc CSV. This crate defines one
+//! structured event vocabulary ([`TraceEvent`]/[`EventKind`]) emitted by
+//! *both* executors:
+//!
+//! * `msccl-runtime` stamps **wall-clock** microseconds, recording into
+//!   per-thread buffers that are merged when the worker threads join;
+//! * `msccl-sim` stamps **virtual** microseconds from its discrete-event
+//!   clock;
+//!
+//! and everything downstream is shared: aggregate metrics
+//! ([`Trace::summary`] — per-thread-block busy/wait/blocked breakdowns,
+//! per-connection FIFO occupancy, critical-path length), exporters
+//! ([`Trace::to_chrome_json`] for `chrome://tracing`/Perfetto,
+//! [`Trace::to_csv`]), and a consistency oracle
+//! ([`Trace::check_consistency`]) that validates a trace against the IR's
+//! dependency structure — the backbone of the differential test tier.
+
+mod consistency;
+mod event;
+mod export;
+mod metrics;
+
+pub use event::{ClockDomain, EventKind, TraceEvent};
+pub use metrics::{ConnectionStats, TbBreakdown, TraceSummary};
+
+/// A completed execution trace: events from every thread block, sorted by
+/// timestamp.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Trace {
+    domain: ClockDomain,
+    events: Vec<TraceEvent>,
+}
+
+impl Trace {
+    /// An empty trace in the given clock domain.
+    #[must_use]
+    pub fn new(domain: ClockDomain) -> Self {
+        Self {
+            domain,
+            events: Vec::new(),
+        }
+    }
+
+    /// Merges per-thread event buffers into one sorted trace. The sort is
+    /// stable, so each thread block's own events keep their program order
+    /// even when timestamps tie.
+    #[must_use]
+    pub fn from_buffers(domain: ClockDomain, buffers: Vec<Vec<TraceEvent>>) -> Self {
+        let mut events: Vec<TraceEvent> = buffers.into_iter().flatten().collect();
+        events.sort_by(|a, b| a.ts_us.total_cmp(&b.ts_us));
+        Self { domain, events }
+    }
+
+    /// Appends one event (used by the single-threaded simulator sink).
+    pub fn push(&mut self, event: TraceEvent) {
+        self.events.push(event);
+    }
+
+    /// Sorts events by timestamp (stable); call after out-of-order pushes.
+    pub fn sort(&mut self) {
+        self.events.sort_by(|a, b| a.ts_us.total_cmp(&b.ts_us));
+    }
+
+    /// The clock domain the timestamps live in.
+    #[must_use]
+    pub fn domain(&self) -> ClockDomain {
+        self.domain
+    }
+
+    /// All events in timestamp order.
+    #[must_use]
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Number of events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the trace holds no events.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Time between the first and last event, in microseconds.
+    #[must_use]
+    pub fn span_us(&self) -> f64 {
+        match (self.events.first(), self.events.last()) {
+            (Some(first), Some(last)) => last.ts_us - first.ts_us,
+            _ => 0.0,
+        }
+    }
+
+    /// Every executed instruction as `(rank, tb, step, tile)`, sorted —
+    /// the unit of comparison for differential tests between executors.
+    #[must_use]
+    pub fn executed_instructions(&self) -> Vec<(usize, usize, usize, usize)> {
+        let mut out: Vec<_> = self
+            .events
+            .iter()
+            .filter_map(|e| match e.kind {
+                EventKind::InstrEnd { step, tile, .. } => Some((e.rank, e.tb, step, tile)),
+                _ => None,
+            })
+            .collect();
+        out.sort_unstable();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mscclang::OpCode;
+
+    fn ev(ts: f64, rank: usize, tb: usize, kind: EventKind) -> TraceEvent {
+        TraceEvent {
+            ts_us: ts,
+            rank,
+            tb,
+            kind,
+        }
+    }
+
+    #[test]
+    fn buffers_merge_sorted_and_stable() {
+        let a = vec![
+            ev(
+                1.0,
+                0,
+                0,
+                EventKind::InstrBegin {
+                    step: 0,
+                    tile: 0,
+                    op: OpCode::Copy,
+                },
+            ),
+            ev(
+                3.0,
+                0,
+                0,
+                EventKind::InstrEnd {
+                    step: 0,
+                    tile: 0,
+                    op: OpCode::Copy,
+                },
+            ),
+        ];
+        let b = vec![ev(2.0, 0, 1, EventKind::SemSet { value: 1 })];
+        let t = Trace::from_buffers(ClockDomain::Wall, vec![a, b]);
+        let ts: Vec<f64> = t.events().iter().map(|e| e.ts_us).collect();
+        assert_eq!(ts, vec![1.0, 2.0, 3.0]);
+        assert_eq!(t.len(), 3);
+        assert!((t.span_us() - 2.0).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn executed_instructions_extracts_instr_ends() {
+        let t = Trace::from_buffers(
+            ClockDomain::Virtual,
+            vec![vec![
+                ev(
+                    0.0,
+                    1,
+                    0,
+                    EventKind::InstrBegin {
+                        step: 0,
+                        tile: 0,
+                        op: OpCode::Send,
+                    },
+                ),
+                ev(
+                    1.0,
+                    1,
+                    0,
+                    EventKind::InstrEnd {
+                        step: 0,
+                        tile: 0,
+                        op: OpCode::Send,
+                    },
+                ),
+            ]],
+        );
+        assert_eq!(t.executed_instructions(), vec![(1, 0, 0, 0)]);
+    }
+}

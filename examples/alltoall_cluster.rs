@@ -39,8 +39,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let nccl = Nccl::new(machine.clone())?;
 
     println!(
-        "\n{:>8} | {:>12} | {:>12} | {:>12} | {:>12} | {}",
-        "size", "MSCCL 2-step", "CUDA 2-step", "MSCCL 1-step", "NCCL", "speedup vs CUDA"
+        "\n{:>8} | {:>12} | {:>12} | {:>12} | {:>12} | speedup vs CUDA",
+        "size", "MSCCL 2-step", "CUDA 2-step", "MSCCL 1-step", "NCCL"
     );
     for exp in [20, 23, 26, 28, 30] {
         let bytes = 1u64 << exp;

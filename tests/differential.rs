@@ -1,0 +1,172 @@
+//! Differential tests between the two executors and the verifier.
+//!
+//! For every algorithm in `msccl-algos`, the threaded runtime and the
+//! discrete-event simulator each record a trace of the same compiled IR,
+//! pinned to a single tile so the executions are structurally identical.
+//! Both traces must:
+//!
+//! * pass the consistency oracle against the IR — every `InstrBegin`
+//!   happens-before-ordered after the `InstrEnd` of each dependency in
+//!   verify's dependency graph, FIFO pairing intact, nesting intact;
+//! * execute exactly the instruction instances the symbolic verifier
+//!   counts; and
+//! * agree with each other on each thread block's instruction order.
+
+use std::collections::HashMap;
+
+use msccl_runtime::{execute_traced, reference, RunOptions};
+use msccl_sim::{simulate, SimConfig};
+use msccl_topology::Machine;
+use msccl_trace::{EventKind, Trace};
+use mscclang::{compile, verify, CompileOptions, IrProgram, Program};
+
+/// Per-thread-block `(step, tile)` sequence in `InstrBegin` order — the
+/// program-order skeleton both executors must share.
+fn begin_order(trace: &Trace) -> HashMap<(usize, usize), Vec<(usize, usize)>> {
+    let mut order: HashMap<(usize, usize), Vec<(usize, usize)>> = HashMap::new();
+    for e in trace.events() {
+        if let EventKind::InstrBegin { step, tile, .. } = e.kind {
+            order.entry((e.rank, e.tb)).or_default().push((step, tile));
+        }
+    }
+    order
+}
+
+/// Runs one program through compile -> verify -> runtime trace -> sim
+/// trace and cross-checks all three views.
+fn differential(name: &str, program: &Program, machine: Machine) {
+    let ir: IrProgram = compile(program, &CompileOptions::default()).expect("compiles");
+    let report = verify::check(&ir, &verify::VerifyOptions::default()).expect("verifies");
+
+    // Runtime, pinned to one tile (tile size = the whole chunk).
+    let chunk_elems = 16;
+    let opts = RunOptions {
+        tile_elems: Some(chunk_elems),
+        ..RunOptions::default()
+    };
+    let inputs = reference::random_inputs(&ir, chunk_elems, 3);
+    let (_, run_trace) =
+        execute_traced(&ir, &inputs, chunk_elems, &opts).unwrap_or_else(|e| panic!("{name}: {e}"));
+
+    // Simulator, with a buffer small enough that each chunk is one tile.
+    let buffer_bytes = (ir.collective.in_chunks() * 1024) as u64;
+    let cfg = SimConfig::new(machine).with_trace(true);
+    let sim_report = simulate(&ir, &cfg, buffer_bytes).unwrap_or_else(|e| panic!("{name}: {e}"));
+    let sim_trace = sim_report.trace.expect("trace requested");
+    assert_eq!(sim_report.tiles, 1, "{name}: expected a single-tile run");
+
+    // Both traces obey the IR's dependency graph (the same `deps` edges
+    // the verifier schedules by) and the FIFO/nesting invariants.
+    run_trace
+        .check_consistency(Some(&ir))
+        .unwrap_or_else(|e| panic!("{name} runtime trace: {e}"));
+    sim_trace
+        .check_consistency(Some(&ir))
+        .unwrap_or_else(|e| panic!("{name} sim trace: {e}"));
+
+    // All three views count the same instruction instances.
+    let ran = run_trace.executed_instructions();
+    let simmed = sim_trace.executed_instructions();
+    assert_eq!(ran, simmed, "{name}: executors ran different instructions");
+    assert_eq!(
+        ran.len(),
+        report.instructions_executed,
+        "{name}: trace and verifier disagree on instruction count"
+    );
+
+    // And the per-thread-block program order is identical.
+    assert_eq!(
+        begin_order(&run_trace),
+        begin_order(&sim_trace),
+        "{name}: per-tb instruction order diverged"
+    );
+}
+
+#[test]
+fn single_node_allreduce_algorithms_agree() {
+    let cases: Vec<(&str, Program)> = vec![
+        (
+            "ring_all_reduce",
+            msccl_algos::ring_all_reduce(8, 2).unwrap(),
+        ),
+        (
+            "allpairs_all_reduce",
+            msccl_algos::allpairs_all_reduce(8).unwrap(),
+        ),
+        (
+            "binary_tree_all_reduce",
+            msccl_algos::binary_tree_all_reduce(8, 1).unwrap(),
+        ),
+        (
+            "double_binary_tree_all_reduce",
+            msccl_algos::double_binary_tree_all_reduce(8, 2).unwrap(),
+        ),
+        (
+            "rabenseifner_all_reduce",
+            msccl_algos::rabenseifner_all_reduce(8).unwrap(),
+        ),
+    ];
+    for (name, program) in &cases {
+        differential(name, program, Machine::ndv4(1));
+    }
+}
+
+#[test]
+fn single_node_data_movement_algorithms_agree() {
+    let cases: Vec<(&str, Program)> = vec![
+        (
+            "recursive_doubling_all_gather",
+            msccl_algos::recursive_doubling_all_gather(8).unwrap(),
+        ),
+        (
+            "binomial_broadcast",
+            msccl_algos::binomial_broadcast(8, 1, 0).unwrap(),
+        ),
+        (
+            "binomial_reduce",
+            msccl_algos::binomial_reduce(8, 1, 0).unwrap(),
+        ),
+        (
+            "linear_gather",
+            msccl_algos::linear_gather(8, 1, 0).unwrap(),
+        ),
+        (
+            "linear_scatter",
+            msccl_algos::linear_scatter(8, 1, 0).unwrap(),
+        ),
+    ];
+    for (name, program) in &cases {
+        differential(name, program, Machine::ndv4(1));
+    }
+}
+
+#[test]
+fn multi_node_algorithms_agree() {
+    let cases: Vec<(&str, Program)> = vec![
+        (
+            "hierarchical_all_reduce",
+            msccl_algos::hierarchical_all_reduce(2, 8).unwrap(),
+        ),
+        (
+            "two_step_all_to_all",
+            msccl_algos::two_step_all_to_all(2, 8).unwrap(),
+        ),
+        (
+            "one_step_all_to_all",
+            msccl_algos::one_step_all_to_all(2, 8).unwrap(),
+        ),
+        ("all_to_next", msccl_algos::all_to_next(2, 8).unwrap()),
+    ];
+    for (name, program) in &cases {
+        differential(name, program, Machine::ndv4(2));
+    }
+}
+
+#[test]
+fn dgx1_algorithm_agrees() {
+    differential(
+        "hcm_allgather",
+        &msccl_algos::hcm_allgather().unwrap(),
+        Machine::dgx1(),
+    );
+}

@@ -1,0 +1,70 @@
+//! Golden-snapshot test for the Chrome-trace JSON exporter.
+//!
+//! The simulator is deterministic, and the exporter promises byte-stable
+//! output (fixed field order, fixed float formatting), so the JSON for a
+//! small ring is checked in verbatim. Run with
+//! `MSCCL_UPDATE_GOLDEN=1` to regenerate the fixture after an intentional
+//! format change.
+
+use std::path::PathBuf;
+
+use msccl_sim::{simulate, SimConfig};
+use msccl_topology::{Machine, Protocol};
+use mscclang::{compile, CompileOptions};
+
+fn fixture_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("fixtures")
+        .join("ring4_sim_trace.json")
+}
+
+fn golden_json() -> String {
+    let program = msccl_algos::ring_all_reduce(4, 1).expect("builds");
+    let ir = compile(&program, &CompileOptions::default()).expect("compiles");
+    let cfg = SimConfig::new(Machine::ndv4(1))
+        .with_protocol(Protocol::Simple)
+        .with_trace(true);
+    let report = simulate(&ir, &cfg, 4096).expect("simulates");
+    report.trace.expect("trace requested").to_chrome_json()
+}
+
+#[test]
+fn chrome_json_matches_checked_in_fixture() {
+    let json = golden_json();
+    let path = fixture_path();
+    if std::env::var_os("MSCCL_UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, &json).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&path)
+        .expect("fixture missing; regenerate with MSCCL_UPDATE_GOLDEN=1");
+    assert_eq!(
+        json, expected,
+        "Chrome-trace JSON drifted from the fixture; if the change is \
+         intentional, regenerate with MSCCL_UPDATE_GOLDEN=1"
+    );
+}
+
+#[test]
+fn golden_trace_is_valid_chrome_json() {
+    // Structural spot checks on the same output the fixture pins: the
+    // required top-level key, process metadata per rank, and complete
+    // ("X") events carrying durations.
+    let json = golden_json();
+    assert!(json.starts_with('{') && json.ends_with("}\n"));
+    assert!(json.contains("\"traceEvents\": ["));
+    assert!(json.contains("\"displayTimeUnit\": \"ms\""));
+    assert!(json.contains("\"clock\": \"virtual\""));
+    for rank in 0..4 {
+        assert!(json.contains(&format!("\"process_name\",\"ph\":\"M\",\"pid\":{rank}")));
+    }
+    assert!(json.contains("\"ph\":\"X\""));
+    assert!(json.contains("\"dur\":"));
+    // Balanced braces/brackets — cheap well-formedness without a parser.
+    let opens = json.matches('{').count();
+    let closes = json.matches('}').count();
+    assert_eq!(opens, closes);
+    assert_eq!(json.matches('[').count(), json.matches(']').count());
+}
