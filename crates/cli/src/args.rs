@@ -95,6 +95,18 @@ impl From<msccl_sim::SimError> for CliError {
     }
 }
 
+impl From<msccl_runtime::RuntimeError> for CliError {
+    fn from(e: msccl_runtime::RuntimeError) -> Self {
+        CliError::new(e.to_string())
+    }
+}
+
+impl From<msccl_faults::FaultPlanError> for CliError {
+    fn from(e: msccl_faults::FaultPlanError) -> Self {
+        CliError::new(e.to_string())
+    }
+}
+
 impl From<std::io::Error> for CliError {
     fn from(e: std::io::Error) -> Self {
         CliError::new(e.to_string())

@@ -1,8 +1,12 @@
 //! The subcommands and their registry of buildable algorithms.
 
 use std::fmt::Write as _;
+use std::time::Duration;
 
-use msccl_runtime::{execute, execute_traced, reference, RunOptions};
+use msccl_faults::{FaultInjector, FaultPlan, FaultUniverse};
+use msccl_runtime::{
+    execute, execute_traced, execute_with_recovery, reference, RecoveryPolicy, RunOptions,
+};
 use msccl_sim::{simulate, SimConfig};
 use msccl_topology::Protocol;
 use msccl_trace::Trace;
@@ -35,18 +39,30 @@ COMMANDS:
     inspect <file.xml>             print the IR and schedule statistics
     graph <file.xml>               emit a Graphviz DOT rendering of the IR
     simulate <file.xml> --machine M --size S [--protocol P] [--timeline F]
-                        [--trace F]
+                        [--trace F] [--fault-seed N | --fault-plan F]
                                    estimate latency (M: ndv4[:N], dgx2[:N], dgx1,
                                    or custom:<nodes>x<gpus>[:intra_gbps[:nic_gbps]]);
                                    --timeline writes per-thread-block busy
                                    intervals as CSV to F; --trace writes a
                                    virtual-time event trace to F (Chrome
-                                   trace JSON, or CSV if F ends in .csv)
-    run <file.xml> [--elems N] [--trace F]
+                                   trace JSON, or CSV if F ends in .csv);
+                                   fault flags inject deterministic faults
+                                   into the virtual timeline
+    run <file.xml> [--elems N] [--trace F] [--deadline-ms N]
+                   [--fault-seed N | --fault-plan F] [--retries N]
+                   [--fallback FILE.xml]
                                    execute on real data and check numerics;
                                    --trace writes a wall-clock event trace
                                    to F (Chrome trace JSON, or CSV if F
-                                   ends in .csv)
+                                   ends in .csv); --deadline-ms bounds
+                                   total wall-clock time; fault flags
+                                   inject deterministic faults (seeded, or
+                                   from a plan file); --retries/--fallback
+                                   enable collective-level recovery, with
+                                   every decision reported (and traced)
+    faults <file.xml> --seed N     print the deterministic fault plan that
+                                   seed N generates for this program (feed
+                                   it back via --fault-plan to reproduce)
     tune <algorithm> --machine M [--sizes 4KB,1MB,...] [dimension opts]
                                    sweep (instances x protocol) and print
                                    the best configuration per buffer size
@@ -69,6 +85,7 @@ pub fn dispatch(args: &Args) -> Result<String, CliError> {
         "graph" => Ok(mscclang::dot::ir_dot(&load_ir(args)?)),
         "simulate" => cmd_simulate(args),
         "run" => cmd_run(args),
+        "faults" => cmd_faults(args),
         "tune" => cmd_tune(args),
         other => Err(CliError::new(format!(
             "unknown command '{other}'; try 'msccl help'"
@@ -310,6 +327,38 @@ fn write_trace(path: &str, trace: &Trace) -> Result<String, CliError> {
     ))
 }
 
+/// Resolves `--fault-seed N` or `--fault-plan FILE` into a validated
+/// [`FaultPlan`] for `ir`; `None` when neither flag was given.
+fn load_fault_plan(args: &Args, ir: &IrProgram) -> Result<Option<FaultPlan>, CliError> {
+    let seed: Option<u64> = args.opt("fault-seed")?;
+    let file = args.options.get("fault-plan");
+    let plan = match (seed, file) {
+        (Some(_), Some(_)) => {
+            return Err(CliError::new(
+                "--fault-seed and --fault-plan are mutually exclusive",
+            ))
+        }
+        (Some(seed), None) => FaultPlan::generate(seed, &FaultUniverse::from_ir(ir)),
+        (None, Some(path)) => FaultPlan::parse(&std::fs::read_to_string(path)?)?,
+        (None, None) => return Ok(None),
+    };
+    plan.validate(ir)?;
+    Ok(Some(plan))
+}
+
+fn cmd_faults(args: &Args) -> Result<String, CliError> {
+    let ir = load_ir(args)?;
+    let seed: u64 = args
+        .opt("seed")?
+        .ok_or_else(|| CliError::new("--seed is required"))?;
+    let plan = FaultPlan::generate(seed, &FaultUniverse::from_ir(&ir));
+    let mut out = plan.to_text();
+    if let Some(class) = plan.worst_class() {
+        let _ = writeln!(out, "# worst class: {class:?}");
+    }
+    Ok(out)
+}
+
 fn cmd_simulate(args: &Args) -> Result<String, CliError> {
     let ir = load_ir(args)?;
     let machine = parse_machine(
@@ -334,6 +383,9 @@ fn cmd_simulate(args: &Args) -> Result<String, CliError> {
     let trace_out = trace_path(args)?;
     if trace_out.is_some() {
         cfg = cfg.with_trace(true);
+    }
+    if let Some(plan) = load_fault_plan(args, &ir)? {
+        cfg = cfg.with_faults(plan);
     }
     let r = simulate(&ir, &cfg, bytes)?;
     let mut extra = String::new();
@@ -372,18 +424,39 @@ fn cmd_run(args: &Args) -> Result<String, CliError> {
         return Err(CliError::new("--elems must be positive"));
     }
     let inputs = reference::random_inputs(&ir, chunk_elems, 0xFEED);
-    let opts = RunOptions::default();
+    let mut opts = RunOptions::default();
+    if let Some(ms) = args.opt::<u64>("deadline-ms")? {
+        opts.deadline = Some(Duration::from_millis(ms));
+    }
+    let plan = load_fault_plan(args, &ir)?;
+    let retries: Option<usize> = args.opt("retries")?;
+    let fallback = args
+        .options
+        .get("fallback")
+        .map(|path| -> Result<IrProgram, CliError> {
+            Ok(ir_xml::from_xml(&std::fs::read_to_string(path)?)?)
+        })
+        .transpose()?;
+    if plan.is_some() || retries.is_some() || fallback.is_some() {
+        return run_with_recovery(
+            args,
+            &ir,
+            &inputs,
+            chunk_elems,
+            &opts,
+            plan,
+            retries,
+            fallback,
+        );
+    }
     let mut extra = String::new();
     let outputs = match trace_path(args)? {
         Some(path) => {
-            let (outputs, trace) = execute_traced(&ir, &inputs, chunk_elems, &opts)
-                .map_err(|e| CliError::new(e.to_string()))?;
+            let (outputs, trace) = execute_traced(&ir, &inputs, chunk_elems, &opts)?;
             extra = write_trace(path, &trace)?;
             outputs
         }
-        None => {
-            execute(&ir, &inputs, chunk_elems, &opts).map_err(|e| CliError::new(e.to_string()))?
-        }
+        None => execute(&ir, &inputs, chunk_elems, &opts)?,
     };
     reference::check_outputs(
         &ir.collective,
@@ -399,6 +472,67 @@ fn cmd_run(args: &Args) -> Result<String, CliError> {
         ir.num_threadblocks(),
         ir.collective.in_chunks() * chunk_elems
     ))
+}
+
+/// The `run` path with faults, retries or a fallback algorithm: executes
+/// through the runtime's collective-level recovery loop and reports every
+/// decision it made. `--trace` here writes the recovery decision trace.
+#[allow(clippy::too_many_arguments)]
+fn run_with_recovery(
+    args: &Args,
+    ir: &IrProgram,
+    inputs: &[Vec<f32>],
+    chunk_elems: usize,
+    opts: &RunOptions,
+    plan: Option<FaultPlan>,
+    retries: Option<usize>,
+    fallback: Option<IrProgram>,
+) -> Result<String, CliError> {
+    let policy = RecoveryPolicy {
+        max_retries: retries.unwrap_or(RecoveryPolicy::default().max_retries),
+        ..RecoveryPolicy::default()
+    };
+    let injector = plan.as_ref().map(FaultInjector::new);
+    let report = execute_with_recovery(
+        ir,
+        fallback.as_ref(),
+        inputs,
+        chunk_elems,
+        opts,
+        &policy,
+        injector.as_ref(),
+    )?;
+    let mut out = String::new();
+    if let Some(plan) = &plan {
+        let _ = writeln!(out, "fault plan (reproduce with --fault-plan):");
+        for line in plan.to_text().lines() {
+            let _ = writeln!(out, "  {line}");
+        }
+    }
+    let _ = writeln!(
+        out,
+        "{}: verified after {} attempt(s){}",
+        ir.name,
+        report.attempts,
+        if report.used_fallback {
+            " (fell back)"
+        } else {
+            ""
+        }
+    );
+    for step in &report.steps {
+        let _ = writeln!(
+            out,
+            "  attempt {}: {} — {}",
+            step.attempt,
+            step.decision.label(),
+            step.detail
+        );
+    }
+    if let Some(path) = trace_path(args)? {
+        out.push_str(&write_trace(path, &report.decision_trace())?);
+    }
+    Ok(out)
 }
 
 fn cmd_tune(args: &Args) -> Result<String, CliError> {
@@ -643,6 +777,85 @@ mod tests {
         for f in [path, run_json, sim_json, sim_csv] {
             let _ = std::fs::remove_file(f);
         }
+    }
+
+    #[test]
+    fn faults_command_is_deterministic_and_reproducible() {
+        let path = tmp("faults.xml");
+        let _ = run(&format!("compile ring-allreduce --ranks 4 -o {path}")).unwrap();
+        let a = run(&format!("faults {path} --seed 7")).unwrap();
+        let b = run(&format!("faults {path} --seed 7")).unwrap();
+        assert_eq!(a, b);
+        assert!(a.contains("seed 7"), "plan should record its seed: {a}");
+        assert!(run(&format!("faults {path}"))
+            .unwrap_err()
+            .to_string()
+            .contains("--seed"));
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn conflicting_fault_flags_are_rejected() {
+        let path = tmp("conflict.xml");
+        let _ = run(&format!("compile ring-allreduce --ranks 4 -o {path}")).unwrap();
+        let err = run(&format!(
+            "run {path} --fault-seed 1 --fault-plan nowhere.txt"
+        ))
+        .unwrap_err();
+        assert!(err.to_string().contains("mutually exclusive"));
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn run_recovers_from_a_transient_kill_via_retry() {
+        let path = tmp("recover.xml");
+        let plan_file = tmp("recover.plan");
+        let _ = run(&format!("compile ring-allreduce --ranks 4 -o {path}")).unwrap();
+        std::fs::write(&plan_file, "kill block r0 tb0 step0\n").unwrap();
+        let out = run(&format!(
+            "run {path} --elems 16 --fault-plan {plan_file} --retries 2"
+        ))
+        .unwrap();
+        assert!(out.contains("verified after 2 attempt(s)"), "got: {out}");
+        assert!(out.contains("retry"), "got: {out}");
+        assert!(out.contains("kill block r0 tb0 step0"), "got: {out}");
+        let _ = std::fs::remove_file(path);
+        let _ = std::fs::remove_file(plan_file);
+    }
+
+    #[test]
+    fn seeded_run_prints_its_plan_and_recovery_trace() {
+        let path = tmp("seeded.xml");
+        let trace = tmp("seeded-trace.csv");
+        let _ = run(&format!("compile ring-allreduce --ranks 4 -o {path}")).unwrap();
+        let out = run(&format!(
+            "run {path} --elems 16 --fault-seed 3 --retries 3 --trace {trace}"
+        ))
+        .unwrap();
+        assert!(out.contains("fault plan (reproduce with --fault-plan)"));
+        assert!(out.contains("seed 3"));
+        let data = std::fs::read_to_string(&trace).unwrap();
+        assert!(data.contains("recovery"), "decision trace missing: {data}");
+        let _ = std::fs::remove_file(path);
+        let _ = std::fs::remove_file(trace);
+    }
+
+    #[test]
+    fn simulate_surfaces_injected_faults() {
+        let path = tmp("simfault.xml");
+        let plan_file = tmp("simfault.plan");
+        let _ = run(&format!("compile ring-allreduce --ranks 4 -o {path}")).unwrap();
+        std::fs::write(&plan_file, "kill block r0 tb0 step0\n").unwrap();
+        let err = run(&format!(
+            "simulate {path} --machine ndv4:1 --size 1MB --fault-plan {plan_file}"
+        ))
+        .unwrap_err();
+        assert!(
+            err.to_string().contains("injected fault killed"),
+            "got: {err}"
+        );
+        let _ = std::fs::remove_file(path);
+        let _ = std::fs::remove_file(plan_file);
     }
 
     #[test]

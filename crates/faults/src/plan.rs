@@ -1,0 +1,864 @@
+//! Fault taxonomy, deterministic seed-driven plan generation, and the
+//! text serialization used to reproduce a chaos failure from its seed.
+
+use std::fmt;
+
+use mscclang::IrProgram;
+
+/// What goes wrong.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// A FIFO delivery vanishes: the tile is sent but never arrives.
+    DropDelivery,
+    /// A FIFO delivery is held back for `micros` before arriving.
+    DelayDelivery {
+        /// Delay in microseconds.
+        micros: u64,
+    },
+    /// A FIFO delivery arrives twice, shifting every later tile.
+    DuplicateDelivery,
+    /// The payload arrives with one bit flipped in its first element.
+    CorruptPayload {
+        /// Bit index (0..32) flipped in the first `f32` of the tile.
+        bit: u8,
+    },
+    /// The thread block freezes for `micros` before the targeted step.
+    StallBlock {
+        /// Stall in microseconds.
+        micros: u64,
+    },
+    /// The thread block dies at the targeted step and never recovers.
+    KillBlock,
+    /// A simulated link's latency is multiplied for the whole run.
+    LinkLatencySpike {
+        /// Latency multiplier in thousandths (1500 = 1.5x).
+        permille: u32,
+    },
+}
+
+/// How a fault manifests, which drives the recovery policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultClass {
+    /// Timing only: the run slows down but stays correct
+    /// (delay, stall, latency spike).
+    Benign,
+    /// Data is silently wrong; only output verification catches it
+    /// (duplicate, corrupt).
+    Corrupting,
+    /// Progress stops; the run fails with a structured error
+    /// (drop, kill).
+    Disruptive,
+}
+
+impl FaultKind {
+    /// The failure class a fault of this kind produces.
+    #[must_use]
+    pub fn class(self) -> FaultClass {
+        match self {
+            FaultKind::DelayDelivery { .. }
+            | FaultKind::StallBlock { .. }
+            | FaultKind::LinkLatencySpike { .. } => FaultClass::Benign,
+            FaultKind::DuplicateDelivery | FaultKind::CorruptPayload { .. } => {
+                FaultClass::Corrupting
+            }
+            FaultKind::DropDelivery | FaultKind::KillBlock => FaultClass::Disruptive,
+        }
+    }
+}
+
+/// Where a fault strikes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultSite {
+    /// The `seq`-th delivery (counting sends from zero) on the connection
+    /// `(src, dst, channel)`.
+    Delivery {
+        /// Sending rank.
+        src: usize,
+        /// Receiving rank.
+        dst: usize,
+        /// Channel id.
+        channel: usize,
+        /// Per-connection send sequence number.
+        seq: u64,
+    },
+    /// A thread block about to execute `step` (fires once, on the first
+    /// tile that reaches it).
+    Block {
+        /// Rank owning the thread block.
+        rank: usize,
+        /// Thread block id within the rank.
+        tb: usize,
+        /// Step index within the instruction list.
+        step: usize,
+    },
+    /// Every connection from `src` to `dst` (simulator latency model).
+    Link {
+        /// Sending rank.
+        src: usize,
+        /// Receiving rank.
+        dst: usize,
+    },
+}
+
+/// One planned injection: a kind at a site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultSpec {
+    /// Where.
+    pub site: FaultSite,
+    /// What.
+    pub kind: FaultKind,
+}
+
+impl fmt::Display for FaultSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match (self.kind, self.site) {
+            (
+                FaultKind::DropDelivery,
+                FaultSite::Delivery {
+                    src,
+                    dst,
+                    channel,
+                    seq,
+                },
+            ) => write!(f, "drop conn {src}->{dst} ch {channel} seq {seq}"),
+            (
+                FaultKind::DelayDelivery { micros },
+                FaultSite::Delivery {
+                    src,
+                    dst,
+                    channel,
+                    seq,
+                },
+            ) => write!(
+                f,
+                "delay conn {src}->{dst} ch {channel} seq {seq} us {micros}"
+            ),
+            (
+                FaultKind::DuplicateDelivery,
+                FaultSite::Delivery {
+                    src,
+                    dst,
+                    channel,
+                    seq,
+                },
+            ) => write!(f, "dup conn {src}->{dst} ch {channel} seq {seq}"),
+            (
+                FaultKind::CorruptPayload { bit },
+                FaultSite::Delivery {
+                    src,
+                    dst,
+                    channel,
+                    seq,
+                },
+            ) => write!(
+                f,
+                "corrupt conn {src}->{dst} ch {channel} seq {seq} bit {bit}"
+            ),
+            (FaultKind::StallBlock { micros }, FaultSite::Block { rank, tb, step }) => {
+                write!(f, "stall block r{rank} tb{tb} step{step} us {micros}")
+            }
+            (FaultKind::KillBlock, FaultSite::Block { rank, tb, step }) => {
+                write!(f, "kill block r{rank} tb{tb} step{step}")
+            }
+            (FaultKind::LinkLatencySpike { permille }, FaultSite::Link { src, dst }) => {
+                write!(f, "spike link {src}->{dst} x{permille}")
+            }
+            (kind, site) => write!(f, "invalid fault {kind:?} at {site:?}"),
+        }
+    }
+}
+
+/// A deterministic set of injections, reproducible from its seed.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct FaultPlan {
+    /// The seed the plan was generated from (0 for hand-written plans).
+    pub seed: u64,
+    /// The injections, applied independently.
+    pub specs: Vec<FaultSpec>,
+}
+
+/// A named rejection of an ill-formed fault plan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum FaultPlanError {
+    /// The plan has no injections at all.
+    EmptyPlan,
+    /// A spec targets a rank the program does not have.
+    RankOutOfRange {
+        /// The offending spec, rendered.
+        spec: String,
+        /// Ranks in the program.
+        num_ranks: usize,
+    },
+    /// A spec targets a thread block the rank does not have.
+    NoSuchBlock {
+        /// The offending spec, rendered.
+        spec: String,
+    },
+    /// A spec targets a step past the end of the block's instruction list.
+    StepOutOfRange {
+        /// The offending spec, rendered.
+        spec: String,
+        /// Instructions in the targeted block.
+        steps: usize,
+    },
+    /// A delivery spec names a connection no thread block uses.
+    NoSuchConnection {
+        /// The offending spec, rendered.
+        spec: String,
+    },
+    /// A delay, stall or spike with zero magnitude would inject nothing.
+    ZeroMagnitude {
+        /// The offending spec, rendered.
+        spec: String,
+    },
+    /// The plan text could not be parsed.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// What was wrong.
+        message: String,
+    },
+}
+
+impl fmt::Display for FaultPlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultPlanError::EmptyPlan => write!(f, "fault plan has no injections"),
+            FaultPlanError::RankOutOfRange { spec, num_ranks } => {
+                write!(f, "fault '{spec}' targets a rank >= {num_ranks}")
+            }
+            FaultPlanError::NoSuchBlock { spec } => {
+                write!(
+                    f,
+                    "fault '{spec}' targets a thread block the rank does not have"
+                )
+            }
+            FaultPlanError::StepOutOfRange { spec, steps } => {
+                write!(f, "fault '{spec}' targets a step >= {steps}")
+            }
+            FaultPlanError::NoSuchConnection { spec } => {
+                write!(
+                    f,
+                    "fault '{spec}' targets a connection no thread block uses"
+                )
+            }
+            FaultPlanError::ZeroMagnitude { spec } => {
+                write!(
+                    f,
+                    "fault '{spec}' has zero magnitude and would inject nothing"
+                )
+            }
+            FaultPlanError::Parse { line, message } => {
+                write!(f, "fault plan line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FaultPlanError {}
+
+/// splitmix64: the deterministic generator behind seeded plans.
+pub(crate) struct Splitmix {
+    state: u64,
+}
+
+impl Splitmix {
+    pub(crate) fn new(seed: u64) -> Self {
+        // Never zero so the first outputs differ across small seeds.
+        Self {
+            state: seed ^ 0x9E37_79B9_7F4A_7C15,
+        }
+    }
+
+    pub(crate) fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    pub(crate) fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        self.next_u64() % bound
+    }
+}
+
+/// The injectable surface of one program: its connections and blocks.
+/// Derived from the IR so generated plans always validate.
+#[derive(Debug, Clone)]
+pub struct FaultUniverse {
+    /// `(src, dst, channel, sends per tile)` for every connection.
+    pub connections: Vec<(usize, usize, usize, u64)>,
+    /// `(rank, tb, instruction count)` for every thread block.
+    pub blocks: Vec<(usize, usize, usize)>,
+}
+
+impl FaultUniverse {
+    /// Collects every connection and thread block of a program.
+    #[must_use]
+    pub fn from_ir(ir: &IrProgram) -> Self {
+        let mut connections = Vec::new();
+        let mut blocks = Vec::new();
+        for gpu in &ir.gpus {
+            for tb in &gpu.threadblocks {
+                if !tb.instructions.is_empty() {
+                    blocks.push((gpu.rank, tb.id, tb.instructions.len()));
+                }
+                if let Some(peer) = tb.send_peer {
+                    let sends = tb.instructions.iter().filter(|i| i.op.has_send()).count() as u64;
+                    if sends > 0 {
+                        connections.push((gpu.rank, peer, tb.channel, sends));
+                    }
+                }
+            }
+        }
+        Self {
+            connections,
+            blocks,
+        }
+    }
+}
+
+/// Bounds for generated delays/stalls, in microseconds. Small enough that
+/// chaos runs stay fast, large enough to reorder real thread schedules.
+const MAX_GENERATED_DELAY_US: u64 = 2_000;
+
+impl FaultPlan {
+    /// A plan with no injections (always invalid to run).
+    #[must_use]
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// Deterministically generates 1-3 faults for `universe` from `seed`.
+    /// The same seed over the same program always yields the same plan.
+    #[must_use]
+    pub fn generate(seed: u64, universe: &FaultUniverse) -> Self {
+        let mut rng = Splitmix::new(seed);
+        let mut specs = Vec::new();
+        if universe.connections.is_empty() && universe.blocks.is_empty() {
+            return Self { seed, specs };
+        }
+        let count = 1 + rng.below(3);
+        for _ in 0..count {
+            // Weight towards delivery faults: connections are where
+            // distributed executions actually break.
+            let pick_delivery = !universe.connections.is_empty()
+                && (universe.blocks.is_empty() || rng.below(3) < 2);
+            if pick_delivery {
+                let (src, dst, channel, sends) =
+                    universe.connections[rng.below(universe.connections.len() as u64) as usize];
+                let seq = rng.below(sends);
+                let site = FaultSite::Delivery {
+                    src,
+                    dst,
+                    channel,
+                    seq,
+                };
+                let kind = match rng.below(4) {
+                    0 => FaultKind::DropDelivery,
+                    1 => FaultKind::DelayDelivery {
+                        micros: 1 + rng.below(MAX_GENERATED_DELAY_US),
+                    },
+                    2 => FaultKind::DuplicateDelivery,
+                    _ => FaultKind::CorruptPayload {
+                        bit: rng.below(32) as u8,
+                    },
+                };
+                specs.push(FaultSpec { site, kind });
+            } else {
+                let (rank, tb, steps) =
+                    universe.blocks[rng.below(universe.blocks.len() as u64) as usize];
+                let site = FaultSite::Block {
+                    rank,
+                    tb,
+                    step: rng.below(steps as u64) as usize,
+                };
+                let kind = if rng.below(2) == 0 {
+                    FaultKind::KillBlock
+                } else {
+                    FaultKind::StallBlock {
+                        micros: 1 + rng.below(MAX_GENERATED_DELAY_US),
+                    }
+                };
+                specs.push(FaultSpec { site, kind });
+            }
+        }
+        Self { seed, specs }
+    }
+
+    /// The worst [`FaultClass`] in the plan, or `None` for an empty plan.
+    #[must_use]
+    pub fn worst_class(&self) -> Option<FaultClass> {
+        self.specs
+            .iter()
+            .map(|s| s.kind.class())
+            .max_by_key(|c| match c {
+                FaultClass::Benign => 0,
+                FaultClass::Corrupting => 1,
+                FaultClass::Disruptive => 2,
+            })
+    }
+
+    /// Checks every spec against a program: a plan must have at least one
+    /// injection, target existing ranks/blocks/connections/steps, and
+    /// carry non-zero magnitudes.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`FaultPlanError`] found.
+    pub fn validate(&self, ir: &IrProgram) -> Result<(), FaultPlanError> {
+        if self.specs.is_empty() {
+            return Err(FaultPlanError::EmptyPlan);
+        }
+        let universe = FaultUniverse::from_ir(ir);
+        let num_ranks = ir.num_ranks();
+        for spec in &self.specs {
+            match spec.kind {
+                FaultKind::DelayDelivery { micros: 0 }
+                | FaultKind::StallBlock { micros: 0 }
+                | FaultKind::LinkLatencySpike { permille: 0 } => {
+                    return Err(FaultPlanError::ZeroMagnitude {
+                        spec: spec.to_string(),
+                    });
+                }
+                _ => {}
+            }
+            match spec.site {
+                FaultSite::Delivery {
+                    src, dst, channel, ..
+                } => {
+                    if src >= num_ranks || dst >= num_ranks {
+                        return Err(FaultPlanError::RankOutOfRange {
+                            spec: spec.to_string(),
+                            num_ranks,
+                        });
+                    }
+                    if !universe
+                        .connections
+                        .iter()
+                        .any(|&(s, d, c, _)| (s, d, c) == (src, dst, channel))
+                    {
+                        return Err(FaultPlanError::NoSuchConnection {
+                            spec: spec.to_string(),
+                        });
+                    }
+                }
+                FaultSite::Block { rank, tb, step } => {
+                    if rank >= num_ranks {
+                        return Err(FaultPlanError::RankOutOfRange {
+                            spec: spec.to_string(),
+                            num_ranks,
+                        });
+                    }
+                    let Some(&(_, _, steps)) = universe
+                        .blocks
+                        .iter()
+                        .find(|&&(r, t, _)| (r, t) == (rank, tb))
+                    else {
+                        return Err(FaultPlanError::NoSuchBlock {
+                            spec: spec.to_string(),
+                        });
+                    };
+                    if step >= steps {
+                        return Err(FaultPlanError::StepOutOfRange {
+                            spec: spec.to_string(),
+                            steps,
+                        });
+                    }
+                }
+                FaultSite::Link { src, dst } => {
+                    if src >= num_ranks || dst >= num_ranks {
+                        return Err(FaultPlanError::RankOutOfRange {
+                            spec: spec.to_string(),
+                            num_ranks,
+                        });
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Renders the plan in its line-based text format (see [`parse`]).
+    ///
+    /// [`parse`]: FaultPlan::parse
+    #[must_use]
+    pub fn to_text(&self) -> String {
+        let mut out = format!("# msccl fault plan v1\nseed {}\n", self.seed);
+        for spec in &self.specs {
+            out.push_str(&spec.to_string());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parses the text format produced by [`to_text`]: one injection per
+    /// line, `#` comments and blank lines ignored, an optional
+    /// `seed N` header.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FaultPlanError::Parse`] naming the first bad line.
+    ///
+    /// [`to_text`]: FaultPlan::to_text
+    pub fn parse(text: &str) -> Result<Self, FaultPlanError> {
+        let mut plan = FaultPlan::empty();
+        for (idx, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let err = |message: String| FaultPlanError::Parse {
+                line: idx + 1,
+                message,
+            };
+            let words: Vec<&str> = line.split_whitespace().collect();
+            match words.as_slice() {
+                ["seed", s] => {
+                    plan.seed = s.parse().map_err(|_| err(format!("bad seed '{s}'")))?;
+                }
+                ["drop", "conn", conn, "ch", ch, "seq", seq] => {
+                    let (src, dst) = parse_pair(conn).map_err(&err)?;
+                    plan.specs.push(FaultSpec {
+                        site: FaultSite::Delivery {
+                            src,
+                            dst,
+                            channel: parse_num(ch).map_err(&err)?,
+                            seq: parse_num(seq).map_err(&err)?,
+                        },
+                        kind: FaultKind::DropDelivery,
+                    });
+                }
+                ["delay", "conn", conn, "ch", ch, "seq", seq, "us", us] => {
+                    let (src, dst) = parse_pair(conn).map_err(&err)?;
+                    plan.specs.push(FaultSpec {
+                        site: FaultSite::Delivery {
+                            src,
+                            dst,
+                            channel: parse_num(ch).map_err(&err)?,
+                            seq: parse_num(seq).map_err(&err)?,
+                        },
+                        kind: FaultKind::DelayDelivery {
+                            micros: parse_num(us).map_err(&err)?,
+                        },
+                    });
+                }
+                ["dup", "conn", conn, "ch", ch, "seq", seq] => {
+                    let (src, dst) = parse_pair(conn).map_err(&err)?;
+                    plan.specs.push(FaultSpec {
+                        site: FaultSite::Delivery {
+                            src,
+                            dst,
+                            channel: parse_num(ch).map_err(&err)?,
+                            seq: parse_num(seq).map_err(&err)?,
+                        },
+                        kind: FaultKind::DuplicateDelivery,
+                    });
+                }
+                ["corrupt", "conn", conn, "ch", ch, "seq", seq, "bit", bit] => {
+                    let (src, dst) = parse_pair(conn).map_err(&err)?;
+                    plan.specs.push(FaultSpec {
+                        site: FaultSite::Delivery {
+                            src,
+                            dst,
+                            channel: parse_num(ch).map_err(&err)?,
+                            seq: parse_num(seq).map_err(&err)?,
+                        },
+                        kind: FaultKind::CorruptPayload {
+                            bit: parse_num(bit).map_err(&err)?,
+                        },
+                    });
+                }
+                ["stall", "block", r, tb, step, "us", us] => {
+                    plan.specs.push(FaultSpec {
+                        site: parse_block_site(r, tb, step).map_err(&err)?,
+                        kind: FaultKind::StallBlock {
+                            micros: parse_num(us).map_err(&err)?,
+                        },
+                    });
+                }
+                ["kill", "block", r, tb, step] => {
+                    plan.specs.push(FaultSpec {
+                        site: parse_block_site(r, tb, step).map_err(&err)?,
+                        kind: FaultKind::KillBlock,
+                    });
+                }
+                ["spike", "link", conn, factor] => {
+                    let (src, dst) = parse_pair(conn).map_err(&err)?;
+                    let permille = factor
+                        .strip_prefix('x')
+                        .ok_or_else(|| err(format!("bad spike factor '{factor}'")))?;
+                    plan.specs.push(FaultSpec {
+                        site: FaultSite::Link { src, dst },
+                        kind: FaultKind::LinkLatencySpike {
+                            permille: parse_num(permille).map_err(&err)?,
+                        },
+                    });
+                }
+                _ => return Err(err(format!("unrecognized fault '{line}'"))),
+            }
+        }
+        Ok(plan)
+    }
+}
+
+fn parse_num<T: std::str::FromStr>(s: &str) -> Result<T, String> {
+    s.parse().map_err(|_| format!("bad number '{s}'"))
+}
+
+fn parse_pair(s: &str) -> Result<(usize, usize), String> {
+    let (a, b) = s
+        .split_once("->")
+        .ok_or_else(|| format!("bad connection '{s}' (want SRC->DST)"))?;
+    Ok((parse_num(a)?, parse_num(b)?))
+}
+
+fn parse_block_site(r: &str, tb: &str, step: &str) -> Result<FaultSite, String> {
+    let rank = parse_num(
+        r.strip_prefix('r')
+            .ok_or_else(|| format!("bad rank '{r}' (want rN)"))?,
+    )?;
+    let tb = parse_num(
+        tb.strip_prefix("tb")
+            .ok_or_else(|| format!("bad thread block '{tb}' (want tbN)"))?,
+    )?;
+    let step = parse_num(
+        step.strip_prefix("step")
+            .ok_or_else(|| format!("bad step '{step}' (want stepN)"))?,
+    )?;
+    Ok(FaultSite::Block { rank, tb, step })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mscclang::{compile, CompileOptions};
+
+    fn ring_ir() -> IrProgram {
+        let p = msccl_algos::ring_all_reduce(4, 1).unwrap();
+        compile(&p, &CompileOptions::default()).unwrap()
+    }
+
+    #[test]
+    fn generation_is_deterministic_and_valid() {
+        let ir = ring_ir();
+        let universe = FaultUniverse::from_ir(&ir);
+        for seed in 0..50 {
+            let a = FaultPlan::generate(seed, &universe);
+            let b = FaultPlan::generate(seed, &universe);
+            assert_eq!(a, b, "seed {seed} not deterministic");
+            assert!(!a.specs.is_empty());
+            a.validate(&ir).unwrap();
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let universe = FaultUniverse::from_ir(&ring_ir());
+        let plans: Vec<FaultPlan> = (0..20).map(|s| FaultPlan::generate(s, &universe)).collect();
+        let distinct = plans
+            .iter()
+            .map(FaultPlan::to_text)
+            .collect::<std::collections::HashSet<_>>()
+            .len();
+        assert!(
+            distinct > 10,
+            "only {distinct} distinct plans from 20 seeds"
+        );
+    }
+
+    #[test]
+    fn round_trip_is_identical() {
+        let universe = FaultUniverse::from_ir(&ring_ir());
+        for seed in 0..100 {
+            let plan = FaultPlan::generate(seed, &universe);
+            let parsed = FaultPlan::parse(&plan.to_text()).unwrap();
+            assert_eq!(plan, parsed, "seed {seed} did not round-trip");
+        }
+    }
+
+    #[test]
+    fn round_trip_covers_every_kind() {
+        let plan = FaultPlan {
+            seed: 7,
+            specs: vec![
+                FaultSpec {
+                    site: FaultSite::Delivery {
+                        src: 0,
+                        dst: 1,
+                        channel: 0,
+                        seq: 3,
+                    },
+                    kind: FaultKind::DropDelivery,
+                },
+                FaultSpec {
+                    site: FaultSite::Delivery {
+                        src: 1,
+                        dst: 2,
+                        channel: 1,
+                        seq: 0,
+                    },
+                    kind: FaultKind::DelayDelivery { micros: 500 },
+                },
+                FaultSpec {
+                    site: FaultSite::Delivery {
+                        src: 2,
+                        dst: 3,
+                        channel: 0,
+                        seq: 1,
+                    },
+                    kind: FaultKind::DuplicateDelivery,
+                },
+                FaultSpec {
+                    site: FaultSite::Delivery {
+                        src: 3,
+                        dst: 0,
+                        channel: 0,
+                        seq: 2,
+                    },
+                    kind: FaultKind::CorruptPayload { bit: 17 },
+                },
+                FaultSpec {
+                    site: FaultSite::Block {
+                        rank: 1,
+                        tb: 0,
+                        step: 2,
+                    },
+                    kind: FaultKind::StallBlock { micros: 800 },
+                },
+                FaultSpec {
+                    site: FaultSite::Block {
+                        rank: 2,
+                        tb: 1,
+                        step: 0,
+                    },
+                    kind: FaultKind::KillBlock,
+                },
+                FaultSpec {
+                    site: FaultSite::Link { src: 0, dst: 1 },
+                    kind: FaultKind::LinkLatencySpike { permille: 1500 },
+                },
+            ],
+        };
+        let text = plan.to_text();
+        assert_eq!(FaultPlan::parse(&text).unwrap(), plan);
+    }
+
+    #[test]
+    fn parse_rejects_garbage_with_line_numbers() {
+        let err = FaultPlan::parse("seed 1\nfrobnicate everything\n").unwrap_err();
+        let FaultPlanError::Parse { line, .. } = err else {
+            panic!("expected parse error, got {err:?}");
+        };
+        assert_eq!(line, 2);
+    }
+
+    #[test]
+    fn validation_names_bad_targets() {
+        let ir = ring_ir();
+        assert_eq!(
+            FaultPlan::empty().validate(&ir),
+            Err(FaultPlanError::EmptyPlan)
+        );
+        let bad_rank = FaultPlan {
+            seed: 0,
+            specs: vec![FaultSpec {
+                site: FaultSite::Block {
+                    rank: 99,
+                    tb: 0,
+                    step: 0,
+                },
+                kind: FaultKind::KillBlock,
+            }],
+        };
+        assert!(matches!(
+            bad_rank.validate(&ir),
+            Err(FaultPlanError::RankOutOfRange { num_ranks: 4, .. })
+        ));
+        let bad_conn = FaultPlan {
+            seed: 0,
+            specs: vec![FaultSpec {
+                site: FaultSite::Delivery {
+                    src: 0,
+                    dst: 2,
+                    channel: 5,
+                    seq: 0,
+                },
+                kind: FaultKind::DropDelivery,
+            }],
+        };
+        assert!(matches!(
+            bad_conn.validate(&ir),
+            Err(FaultPlanError::NoSuchConnection { .. })
+        ));
+        let zero = FaultPlan {
+            seed: 0,
+            specs: vec![FaultSpec {
+                site: FaultSite::Block {
+                    rank: 0,
+                    tb: 0,
+                    step: 0,
+                },
+                kind: FaultKind::StallBlock { micros: 0 },
+            }],
+        };
+        assert!(matches!(
+            zero.validate(&ir),
+            Err(FaultPlanError::ZeroMagnitude { .. })
+        ));
+        let bad_step = FaultPlan {
+            seed: 0,
+            specs: vec![FaultSpec {
+                site: FaultSite::Block {
+                    rank: 0,
+                    tb: 0,
+                    step: 9999,
+                },
+                kind: FaultKind::KillBlock,
+            }],
+        };
+        assert!(matches!(
+            bad_step.validate(&ir),
+            Err(FaultPlanError::StepOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn classes_order_by_severity() {
+        assert_eq!(
+            FaultKind::DelayDelivery { micros: 1 }.class(),
+            FaultClass::Benign
+        );
+        assert_eq!(
+            FaultKind::CorruptPayload { bit: 0 }.class(),
+            FaultClass::Corrupting
+        );
+        assert_eq!(FaultKind::KillBlock.class(), FaultClass::Disruptive);
+        let plan = FaultPlan {
+            seed: 0,
+            specs: vec![
+                FaultSpec {
+                    site: FaultSite::Block {
+                        rank: 0,
+                        tb: 0,
+                        step: 0,
+                    },
+                    kind: FaultKind::StallBlock { micros: 5 },
+                },
+                FaultSpec {
+                    site: FaultSite::Block {
+                        rank: 0,
+                        tb: 0,
+                        step: 0,
+                    },
+                    kind: FaultKind::KillBlock,
+                },
+            ],
+        };
+        assert_eq!(plan.worst_class(), Some(FaultClass::Disruptive));
+        assert_eq!(FaultPlan::empty().worst_class(), None);
+    }
+}

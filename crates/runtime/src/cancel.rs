@@ -1,0 +1,126 @@
+//! Cooperative cancellation shared by every worker of one execution.
+//!
+//! The first failure anywhere — a blocking-step timeout, the global
+//! deadline, a panic, an injected kill — cancels the token and records
+//! the *originating* failure. Every other worker observes the token in
+//! its blocking loops (FIFO sends/receives, semaphore waits, fault
+//! stalls, all of which slice their waits by [`CANCEL_POLL`]) and aborts
+//! within milliseconds, so the run reports one precise origin instead of
+//! a cascade of secondary timeouts.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::time::Duration;
+
+/// Upper bound on how long a blocked worker can take to observe a
+/// cancellation: every blocking wait is sliced to at most this long
+/// between checks of the token.
+pub(crate) const CANCEL_POLL: Duration = Duration::from_millis(5);
+
+/// Why an execution failed, as seen at the point of origin.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FailureCause {
+    /// A single blocking step exceeded the per-step timeout.
+    StepTimeout,
+    /// The global wall-clock deadline passed.
+    Deadline,
+    /// The worker panicked; carries the panic payload.
+    Panic(String),
+    /// A planned fault killed the thread block; carries the fault.
+    InjectedKill(String),
+}
+
+/// The first failure of a run: who, where, why.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FailureOrigin {
+    /// Rank of the originating thread block.
+    pub rank: usize,
+    /// Thread block id.
+    pub tb: usize,
+    /// Step it was executing.
+    pub step: usize,
+    /// Why it failed.
+    pub cause: FailureCause,
+}
+
+/// A shared flag workers poll inside blocking waits, plus the recorded
+/// origin of the first failure.
+#[derive(Debug, Default)]
+pub(crate) struct CancelToken {
+    cancelled: AtomicBool,
+    origin: Mutex<Option<FailureOrigin>>,
+}
+
+impl CancelToken {
+    pub(crate) fn new() -> Arc<Self> {
+        Arc::new(Self::default())
+    }
+
+    /// Whether some worker has already failed.
+    pub(crate) fn is_cancelled(&self) -> bool {
+        self.cancelled.load(Ordering::Acquire)
+    }
+
+    /// Records `origin` and trips the flag. Only the first caller's
+    /// origin is kept; returns whether this call was the first.
+    pub(crate) fn cancel(&self, origin: FailureOrigin) -> bool {
+        let mut guard = self.origin.lock().unwrap_or_else(PoisonError::into_inner);
+        let first = guard.is_none();
+        if first {
+            *guard = Some(origin);
+        }
+        drop(guard);
+        // Release-store after the origin write so a worker that observes
+        // the flag can rely on the origin being present.
+        self.cancelled.store(true, Ordering::Release);
+        first
+    }
+
+    /// The recorded origin, if any worker failed.
+    pub(crate) fn origin(&self) -> Option<FailureOrigin> {
+        self.origin
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn origin(rank: usize) -> FailureOrigin {
+        FailureOrigin {
+            rank,
+            tb: 0,
+            step: 1,
+            cause: FailureCause::StepTimeout,
+        }
+    }
+
+    #[test]
+    fn first_cancel_wins() {
+        let t = CancelToken::new();
+        assert!(!t.is_cancelled());
+        assert!(t.origin().is_none());
+        assert!(t.cancel(origin(3)));
+        assert!(!t.cancel(origin(7)));
+        assert!(t.is_cancelled());
+        assert_eq!(t.origin().unwrap().rank, 3);
+    }
+
+    #[test]
+    fn cancellation_is_visible_across_threads() {
+        let t = CancelToken::new();
+        let t2 = Arc::clone(&t);
+        let h = std::thread::spawn(move || {
+            while !t2.is_cancelled() {
+                std::thread::yield_now();
+            }
+            t2.origin().unwrap().rank
+        });
+        std::thread::sleep(Duration::from_millis(10));
+        t.cancel(origin(5));
+        assert_eq!(h.join().unwrap(), 5);
+    }
+}

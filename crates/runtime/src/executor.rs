@@ -5,23 +5,36 @@
 //! [`Trace`] built from lock-free per-worker event buffers merged after
 //! the threads join. The untraced [`execute`] path skips every event
 //! push. Independently of tracing, each worker keeps a small ring buffer
-//! of its recent activity, and when a [`RuntimeError::Hang`] fires the
-//! error carries every thread block's last few entries — enough to see
-//! who stalled on what.
+//! of its recent activity, and when the run fails the error carries every
+//! thread block's last few entries — enough to see who stalled on what.
+//!
+//! Failure handling is *cooperative* (see [`crate::cancel`]): the first
+//! worker to fail — step timeout, global deadline, panic, injected kill —
+//! trips a shared [`CancelToken`] recording the originating failure, and
+//! every other worker aborts its blocking waits within milliseconds. The
+//! run therefore reports one precise origin instead of N cascading
+//! timeouts, and a kill anywhere tears the whole execution down in well
+//! under a second regardless of the configured timeouts.
+//!
+//! Deterministic faults ([`msccl_faults`]) are injected at two hook
+//! points: block faults (stall/kill) as an instruction starts, delivery
+//! faults (drop/delay/duplicate/corrupt) as a tile is handed to its FIFO.
 
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use msccl_faults::{corrupt_payload, BlockAction, DeliveryAction, FaultInjector, FaultPlanError};
 use msccl_topology::Protocol;
 use msccl_trace::{ClockDomain, EventKind, Trace, TraceEvent};
 
 use mscclang::{IrProgram, OpCode, ReduceOp};
 
-use crate::fifo::{Fifo, SendMoment};
+use crate::cancel::{CancelToken, FailureCause, FailureOrigin, CANCEL_POLL};
+use crate::fifo::{Fifo, FifoStop, SendMoment};
 use crate::memory::RankMemory;
-use crate::semaphore::Semaphore;
+use crate::semaphore::{Semaphore, WaitOutcome};
 
 /// Options controlling an execution.
 #[derive(Debug, Clone, PartialEq)]
@@ -36,8 +49,19 @@ pub struct RunOptions {
     pub reduce_op: ReduceOp,
     /// How long any single blocking step may wait before the run is
     /// declared hung (a deadlock diagnostic for hand-written IR; compiled
-    /// IR is deadlock-free by construction).
+    /// IR is deadlock-free by construction). Progress resets the clock:
+    /// a run may legitimately take far longer than this end to end, as
+    /// long as no *individual* semaphore wait, FIFO send or FIFO receive
+    /// stalls past it. Bound total wall-clock time with [`deadline`].
+    ///
+    /// [`deadline`]: RunOptions::deadline
     pub timeout: Duration,
+    /// Optional global wall-clock budget for the whole execution,
+    /// measured from entry. Unlike [`timeout`], this fires even when
+    /// every step makes (slow) progress. `None` means unbounded.
+    ///
+    /// [`timeout`]: RunOptions::timeout
+    pub deadline: Option<Duration>,
 }
 
 impl Default for RunOptions {
@@ -47,6 +71,7 @@ impl Default for RunOptions {
             tile_elems: None,
             reduce_op: ReduceOp::Sum,
             timeout: Duration::from_secs(20),
+            deadline: None,
         }
     }
 }
@@ -60,6 +85,16 @@ pub enum RuntimeError {
         /// Description of the mismatch.
         message: String,
     },
+    /// The [`RunOptions`] are self-contradictory or degenerate.
+    InvalidOptions {
+        /// Which option, and why.
+        message: String,
+    },
+    /// A fault plan does not fit the program it was asked to disrupt.
+    InvalidFaultPlan {
+        /// The underlying [`FaultPlanError`], rendered.
+        message: String,
+    },
     /// A thread block blocked longer than the timeout (deadlock or hang).
     Hang {
         /// Rank of the stuck thread block.
@@ -69,17 +104,74 @@ pub enum RuntimeError {
         /// Step it was executing.
         step: usize,
         /// Every thread block's most recent activity (one line per ring
-        /// entry, oldest first), for post-mortem diagnosis.
+        /// entry, oldest first), plus any injected faults that struck.
+        context: Vec<String>,
+    },
+    /// The global wall-clock [`deadline`](RunOptions::deadline) passed.
+    DeadlineExceeded {
+        /// Rank of the thread block that observed the deadline first.
+        rank: usize,
+        /// Thread block id.
+        tb: usize,
+        /// Step it was executing.
+        step: usize,
+        /// Every thread block's most recent activity, plus any injected
+        /// faults that struck.
         context: Vec<String>,
     },
     /// A worker thread panicked.
-    WorkerPanic,
+    WorkerPanic {
+        /// Rank of the panicking thread block.
+        rank: usize,
+        /// Thread block id.
+        tb: usize,
+        /// Step it was executing when it panicked.
+        step: usize,
+        /// The panic payload, stringified.
+        payload: String,
+        /// Every thread block's most recent activity.
+        context: Vec<String>,
+    },
+    /// An injected fault killed a thread block.
+    InjectedFault {
+        /// Rank of the killed thread block.
+        rank: usize,
+        /// Thread block id.
+        tb: usize,
+        /// Step at which the fault struck.
+        step: usize,
+        /// The fault, rendered in fault-plan syntax.
+        fault: String,
+        /// Every thread block's most recent activity, plus any injected
+        /// faults that struck.
+        context: Vec<String>,
+    },
+    /// Outputs did not match the collective's reference semantics (raised
+    /// by the recovery layer's verification, never by plain execution).
+    VerificationFailed {
+        /// First mismatch found.
+        message: String,
+    },
+}
+
+fn write_context(f: &mut fmt::Formatter<'_>, context: &[String]) -> fmt::Result {
+    if !context.is_empty() {
+        write!(f, "; recent activity per thread block:")?;
+        for line in context {
+            write!(f, "\n  {line}")?;
+        }
+    }
+    Ok(())
 }
 
 impl fmt::Display for RuntimeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             RuntimeError::InputShape { message } => write!(f, "bad input shape: {message}"),
+            RuntimeError::InvalidOptions { message } => write!(f, "invalid run options: {message}"),
+            RuntimeError::InvalidFaultPlan { message } => {
+                write!(f, "invalid fault plan: {message}")
+            }
             RuntimeError::Hang {
                 rank,
                 tb,
@@ -87,24 +179,82 @@ impl fmt::Display for RuntimeError {
                 context,
             } => {
                 write!(f, "execution hung at rank {rank} tb {tb} step {step}")?;
-                if !context.is_empty() {
-                    write!(f, "; recent activity per thread block:")?;
-                    for line in context {
-                        write!(f, "\n  {line}")?;
-                    }
-                }
-                Ok(())
+                write_context(f, context)
             }
-            RuntimeError::WorkerPanic => write!(f, "a thread block worker panicked"),
+            RuntimeError::DeadlineExceeded {
+                rank,
+                tb,
+                step,
+                context,
+            } => {
+                write!(
+                    f,
+                    "global deadline exceeded at rank {rank} tb {tb} step {step}"
+                )?;
+                write_context(f, context)
+            }
+            RuntimeError::WorkerPanic {
+                rank,
+                tb,
+                step,
+                payload,
+                context,
+            } => {
+                write!(
+                    f,
+                    "worker panicked at rank {rank} tb {tb} step {step}: {payload}"
+                )?;
+                write_context(f, context)
+            }
+            RuntimeError::InjectedFault {
+                rank,
+                tb,
+                step,
+                fault,
+                context,
+            } => {
+                write!(
+                    f,
+                    "injected fault killed rank {rank} tb {tb} step {step}: {fault}"
+                )?;
+                write_context(f, context)
+            }
+            RuntimeError::VerificationFailed { message } => {
+                write!(f, "output verification failed: {message}")
+            }
         }
     }
 }
 
 impl std::error::Error for RuntimeError {}
 
+impl From<FaultPlanError> for RuntimeError {
+    fn from(e: FaultPlanError) -> Self {
+        RuntimeError::InvalidFaultPlan {
+            message: e.to_string(),
+        }
+    }
+}
+
+impl RuntimeError {
+    /// Whether a retry of the same execution could plausibly succeed.
+    /// Structural rejections (bad inputs, bad options, bad plans) are
+    /// permanent; everything rooted in timing, scheduling or injected
+    /// faults is transient under one-shot injection semantics.
+    #[must_use]
+    pub fn is_transient(&self) -> bool {
+        !matches!(
+            self,
+            RuntimeError::InputShape { .. }
+                | RuntimeError::InvalidOptions { .. }
+                | RuntimeError::InvalidFaultPlan { .. }
+        )
+    }
+}
+
 type ConnKey = (usize, usize, usize); // (src rank, dst rank, channel)
 
-/// How many recent ring entries each worker keeps for hang diagnostics.
+/// How many recent ring entries each worker keeps for failure diagnostics.
 const RING_CAPACITY: usize = 8;
 
 /// A phase of an instruction's life, recorded in the diagnostic ring.
@@ -127,7 +277,7 @@ struct RingEntry {
 
 /// Fixed-size ring of a worker's recent activity. Always on: pushing is a
 /// couple of word stores, and it is the only evidence left when a
-/// hand-written IR deadlocks.
+/// hand-written IR deadlocks or a worker panics.
 struct EventRing {
     rank: usize,
     tb: usize,
@@ -153,6 +303,15 @@ impl EventRing {
             moment,
         });
         self.next += 1;
+    }
+
+    /// The step of the most recent entry — the best available guess at
+    /// where a worker was when it panicked.
+    fn last_step(&self) -> usize {
+        if self.next == 0 {
+            return 0;
+        }
+        self.entries[(self.next - 1) % RING_CAPACITY].map_or(0, |e| e.step)
     }
 
     fn dump(&self) -> Vec<String> {
@@ -210,11 +369,54 @@ impl Recorder {
     }
 }
 
-/// A worker's hang report; the shared context is assembled at join.
-struct HangInfo {
-    rank: usize,
-    tb: usize,
-    step: usize,
+/// Marker for a worker that stopped early. The reason lives in the
+/// [`CancelToken`]: the failing worker records it there before returning
+/// this, and cancelled bystanders return it without recording anything.
+struct Stopped;
+
+/// Sleeps for `duration` in [`CANCEL_POLL`] slices, aborting early on
+/// cancellation. Returns whether the full duration elapsed.
+fn cancellable_sleep(duration: Duration, cancel: &CancelToken) -> bool {
+    let until = Instant::now() + duration;
+    loop {
+        if cancel.is_cancelled() {
+            return false;
+        }
+        let remaining = until.saturating_duration_since(Instant::now());
+        if remaining.is_zero() {
+            return true;
+        }
+        std::thread::sleep(remaining.min(CANCEL_POLL));
+    }
+}
+
+fn payload_string(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+fn validate_options(opts: &RunOptions) -> Result<(), RuntimeError> {
+    if opts.timeout.is_zero() {
+        return Err(RuntimeError::InvalidOptions {
+            message: "timeout must be positive".into(),
+        });
+    }
+    if opts.tile_elems == Some(0) {
+        return Err(RuntimeError::InvalidOptions {
+            message: "tile_elems must be positive when set".into(),
+        });
+    }
+    if opts.deadline.is_some_and(|d| d.is_zero()) {
+        return Err(RuntimeError::InvalidOptions {
+            message: "deadline must be positive when set".into(),
+        });
+    }
+    Ok(())
 }
 
 /// Executes a compiled program over real `f32` buffers.
@@ -224,14 +426,15 @@ struct HangInfo {
 ///
 /// # Errors
 ///
-/// Returns [`RuntimeError`] on shape mismatches, hangs and worker panics.
+/// Returns [`RuntimeError`] on shape mismatches, invalid options, hangs,
+/// deadline overruns and worker panics.
 pub fn execute(
     ir: &IrProgram,
     inputs: &[Vec<f32>],
     chunk_elems: usize,
     opts: &RunOptions,
 ) -> Result<Vec<Vec<f32>>, RuntimeError> {
-    execute_impl(ir, inputs, chunk_elems, opts, false).map(|(outputs, _)| outputs)
+    execute_impl(ir, inputs, chunk_elems, opts, false, None).map(|(outputs, _)| outputs)
 }
 
 /// Like [`execute`], additionally recording a wall-clock [`Trace`] of
@@ -243,14 +446,56 @@ pub fn execute(
 ///
 /// # Errors
 ///
-/// Returns [`RuntimeError`] on shape mismatches, hangs and worker panics.
+/// Returns [`RuntimeError`] on shape mismatches, invalid options, hangs,
+/// deadline overruns and worker panics.
 pub fn execute_traced(
     ir: &IrProgram,
     inputs: &[Vec<f32>],
     chunk_elems: usize,
     opts: &RunOptions,
 ) -> Result<(Vec<Vec<f32>>, Trace), RuntimeError> {
-    execute_impl(ir, inputs, chunk_elems, opts, true)
+    execute_impl(ir, inputs, chunk_elems, opts, true, None)
+        .map(|(outputs, trace)| (outputs, trace.expect("tracing was enabled")))
+}
+
+/// Like [`execute`], with deterministic faults injected from `injector`.
+///
+/// Injection is one-shot per spec *across the injector's lifetime*:
+/// calling this again with the same injector models a retry after a
+/// transient fault. A disruptive fault surfaces as a structured error
+/// whose context names the faults that struck; a corrupting fault
+/// surfaces only through output verification (see
+/// [`reference::check_outputs`](crate::reference::check_outputs) or the
+/// recovery layer).
+///
+/// # Errors
+///
+/// Returns [`RuntimeError`] like [`execute`], plus
+/// [`RuntimeError::InjectedFault`] when a planned kill strikes.
+pub fn execute_with_faults(
+    ir: &IrProgram,
+    inputs: &[Vec<f32>],
+    chunk_elems: usize,
+    opts: &RunOptions,
+    injector: &FaultInjector,
+) -> Result<Vec<Vec<f32>>, RuntimeError> {
+    execute_impl(ir, inputs, chunk_elems, opts, false, Some(injector)).map(|(outputs, _)| outputs)
+}
+
+/// [`execute_with_faults`] with tracing, as [`execute_traced`] is to
+/// [`execute`].
+///
+/// # Errors
+///
+/// As for [`execute_with_faults`].
+pub fn execute_with_faults_traced(
+    ir: &IrProgram,
+    inputs: &[Vec<f32>],
+    chunk_elems: usize,
+    opts: &RunOptions,
+    injector: &FaultInjector,
+) -> Result<(Vec<Vec<f32>>, Trace), RuntimeError> {
+    execute_impl(ir, inputs, chunk_elems, opts, true, Some(injector))
         .map(|(outputs, trace)| (outputs, trace.expect("tracing was enabled")))
 }
 
@@ -260,12 +505,19 @@ fn execute_impl(
     chunk_elems: usize,
     opts: &RunOptions,
     tracing: bool,
+    injector: Option<&FaultInjector>,
 ) -> Result<(Vec<Vec<f32>>, Option<Trace>), RuntimeError> {
+    validate_options(opts)?;
     let collective = &ir.collective;
     let num_ranks = ir.num_ranks();
     if inputs.len() != num_ranks {
         return Err(RuntimeError::InputShape {
             message: format!("{} input buffers for {} ranks", inputs.len(), num_ranks),
+        });
+    }
+    if chunk_elems == 0 {
+        return Err(RuntimeError::InputShape {
+            message: "chunk_elems must be positive".into(),
         });
     }
     let in_elems = collective.in_chunks() * chunk_elems;
@@ -278,11 +530,6 @@ fn execute_impl(
                 ),
             });
         }
-    }
-    if chunk_elems == 0 {
-        return Err(RuntimeError::InputShape {
-            message: "chunk_elems must be positive".into(),
-        });
     }
 
     let params = opts.protocol.params();
@@ -345,11 +592,14 @@ fn execute_impl(
         })
         .collect();
 
-    // Shared wall-clock origin so all workers' timestamps are comparable.
+    // Shared wall-clock origin so all workers' timestamps are comparable;
+    // the global deadline, when set, counts from here too.
     let epoch = Instant::now();
+    let global_deadline = opts.deadline.map(|d| epoch + d);
+    let cancel = CancelToken::new();
 
-    type WorkerOutput = (Result<(), HangInfo>, Vec<TraceEvent>, EventRing);
-    let (status, buffers) = std::thread::scope(|scope| {
+    type WorkerOutput = (Vec<TraceEvent>, EventRing);
+    let buffers_and_rings = std::thread::scope(|scope| {
         let mut handles = Vec::new();
         for gpu in &ir.gpus {
             for tb in &gpu.threadblocks {
@@ -388,6 +638,7 @@ fn execute_impl(
                 let tb_ref = tb;
                 let collective = collective.clone();
                 let timeout = opts.timeout;
+                let cancel = Arc::clone(&cancel);
                 handles.push(scope.spawn(move || -> WorkerOutput {
                     let tb_id = tb_ref.id;
                     let mut rec = Recorder {
@@ -398,62 +649,107 @@ fn execute_impl(
                         events: Vec::new(),
                     };
                     let mut ring = EventRing::new(rank, tb_id);
-                    let result = run_thread_block(
-                        tb_ref,
-                        rank,
-                        &collective,
-                        &mem,
-                        &sem,
-                        &send,
-                        &recv,
-                        &dep_sems,
-                        num_tiles,
-                        tile_elems,
-                        chunk_elems,
-                        op,
-                        timeout,
-                        &mut rec,
-                        &mut ring,
-                    );
-                    (result, rec.events, ring)
+                    // Catch panics so a bug in one worker becomes a
+                    // cancellation with a recorded origin rather than a
+                    // bare thread death the others wait out. Every lock
+                    // in the runtime is poison-tolerant, so unwinding
+                    // with locks held cannot wedge the survivors.
+                    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        run_thread_block(
+                            tb_ref,
+                            rank,
+                            &collective,
+                            &mem,
+                            &sem,
+                            &send,
+                            &recv,
+                            &dep_sems,
+                            num_tiles,
+                            tile_elems,
+                            chunk_elems,
+                            op,
+                            timeout,
+                            global_deadline,
+                            &cancel,
+                            injector,
+                            &mut rec,
+                            &mut ring,
+                        )
+                    }));
+                    if let Err(payload) = result {
+                        cancel.cancel(FailureOrigin {
+                            rank,
+                            tb: tb_id,
+                            step: ring.last_step(),
+                            cause: FailureCause::Panic(payload_string(payload.as_ref())),
+                        });
+                    }
+                    (rec.events, ring)
                 }));
             }
         }
-        let mut status: Result<(), RuntimeError> = Ok(());
         let mut buffers: Vec<Vec<TraceEvent>> = Vec::new();
         let mut rings: Vec<EventRing> = Vec::new();
         for h in handles {
-            match h.join() {
-                Ok((res, events, ring)) => {
-                    buffers.push(events);
-                    rings.push(ring);
-                    if let Err(info) = res {
-                        if status.is_ok() {
-                            status = Err(RuntimeError::Hang {
-                                rank: info.rank,
-                                tb: info.tb,
-                                step: info.step,
-                                context: Vec::new(),
-                            });
-                        }
-                    }
-                }
-                Err(_) => {
-                    if status.is_ok() {
-                        status = Err(RuntimeError::WorkerPanic);
-                    }
-                }
+            // Workers never unwind past catch_unwind; a join error would
+            // mean the runtime itself (recorder, ring) panicked.
+            if let Ok((events, ring)) = h.join() {
+                buffers.push(events);
+                rings.push(ring);
+            } else if !cancel.is_cancelled() {
+                cancel.cancel(FailureOrigin {
+                    rank: 0,
+                    tb: 0,
+                    step: 0,
+                    cause: FailureCause::Panic("worker died outside the interpreter".into()),
+                });
             }
         }
-        // On a hang, attach every thread block's recent activity: the
-        // stuck blocks show what they wait on, the finished ones show how
-        // far the data made it.
-        if let Err(RuntimeError::Hang { context, .. }) = &mut status {
-            *context = rings.iter().flat_map(EventRing::dump).collect();
-        }
-        (status, buffers)
+        (buffers, rings)
     });
-    status?;
+    let (buffers, rings) = buffers_and_rings;
+
+    if let Some(origin) = cancel.origin() {
+        // One origin, full context: every thread block's recent activity
+        // plus the injected faults that actually struck.
+        let mut context: Vec<String> = rings.iter().flat_map(EventRing::dump).collect();
+        if let Some(inj) = injector {
+            context.extend(
+                inj.fired()
+                    .into_iter()
+                    .map(|f| format!("injected fault struck: {f}")),
+            );
+        }
+        let FailureOrigin { rank, tb, step, .. } = origin;
+        return Err(match origin.cause {
+            FailureCause::StepTimeout => RuntimeError::Hang {
+                rank,
+                tb,
+                step,
+                context,
+            },
+            FailureCause::Deadline => RuntimeError::DeadlineExceeded {
+                rank,
+                tb,
+                step,
+                context,
+            },
+            FailureCause::Panic(payload) => RuntimeError::WorkerPanic {
+                rank,
+                tb,
+                step,
+                payload,
+                context,
+            },
+            FailureCause::InjectedKill(fault) => RuntimeError::InjectedFault {
+                rank,
+                tb,
+                step,
+                fault,
+                context,
+            },
+        });
+    }
 
     let trace = tracing.then(|| {
         let mut buffers = buffers;
@@ -485,9 +781,17 @@ fn execute_impl(
     Ok((outputs, trace))
 }
 
+/// Whether a just-expired wait was bounded by the global deadline rather
+/// than the per-step timeout.
+fn deadline_hit(global_deadline: Option<Instant>) -> bool {
+    global_deadline.is_some_and(|g| Instant::now() >= g)
+}
+
 /// One worker: interprets a thread block's instruction list under the
 /// tiling outer loop (Figure 5), emitting trace events and ring entries
-/// along the way.
+/// along the way. On failure it records the origin in `cancel` and
+/// returns [`Stopped`]; when cancelled from elsewhere it returns
+/// [`Stopped`] without recording.
 #[allow(clippy::too_many_arguments)]
 fn run_thread_block(
     tb_ref: &mscclang::IrThreadBlock,
@@ -503,19 +807,63 @@ fn run_thread_block(
     chunk_elems: usize,
     op: ReduceOp,
     timeout: Duration,
+    global_deadline: Option<Instant>,
+    cancel: &CancelToken,
+    injector: Option<&FaultInjector>,
     rec: &mut Recorder,
     ring: &mut EventRing,
-) -> Result<(), HangInfo> {
+) -> Result<(), Stopped> {
     let tb_id = tb_ref.id;
     let my_len = tb_ref.instructions.len() as u64;
     let mut completed = 0u64;
     let mut send_seq = 0u64;
     let mut recv_seq = 0u64;
+    // Each blocking wait runs against min(step deadline, global deadline);
+    // when one expires, `deadline_hit` disambiguates the cause.
+    let wait_deadline = |now: Instant| -> Instant {
+        let step = now + timeout;
+        global_deadline.map_or(step, |g| step.min(g))
+    };
     for tile in 0..num_tiles {
         rec.emit(EventKind::TileBegin { tile });
         let elem_off = tile * tile_elems;
         let len = (chunk_elems - elem_off).min(tile_elems);
         for (s, instr) in tb_ref.instructions.iter().enumerate() {
+            // A failure elsewhere, or the global deadline, stops the
+            // worker between instructions even when it never blocks.
+            if cancel.is_cancelled() {
+                return Err(Stopped);
+            }
+            if deadline_hit(global_deadline) {
+                cancel.cancel(FailureOrigin {
+                    rank,
+                    tb: tb_id,
+                    step: s,
+                    cause: FailureCause::Deadline,
+                });
+                return Err(Stopped);
+            }
+            // Planned block faults strike as the instruction starts.
+            if let Some(action) = injector.and_then(|i| i.on_block(rank, tb_id, s)) {
+                match action {
+                    BlockAction::Stall(d) => {
+                        if !cancellable_sleep(d, cancel) {
+                            return Err(Stopped);
+                        }
+                    }
+                    BlockAction::Kill => {
+                        cancel.cancel(FailureOrigin {
+                            rank,
+                            tb: tb_id,
+                            step: s,
+                            cause: FailureCause::InjectedKill(format!(
+                                "kill block r{rank} tb{tb_id} step{s}"
+                            )),
+                        });
+                        return Err(Stopped);
+                    }
+                }
+            }
             // Wait on cross-thread-block dependencies. These gate the
             // instruction, so they trace *before* InstrBegin: a begin
             // event means the dependencies were already satisfied.
@@ -535,12 +883,23 @@ fn run_thread_block(
                     dep_tb: dep.tb,
                     target,
                 });
-                if !sem_d.wait_at_least(target, timeout) {
-                    return Err(HangInfo {
-                        rank,
-                        tb: tb_id,
-                        step: s,
-                    });
+                match sem_d.wait_at_least(target, wait_deadline(Instant::now()), cancel) {
+                    WaitOutcome::Reached => {}
+                    WaitOutcome::Cancelled => return Err(Stopped),
+                    WaitOutcome::TimedOut => {
+                        let cause = if deadline_hit(global_deadline) {
+                            FailureCause::Deadline
+                        } else {
+                            FailureCause::StepTimeout
+                        };
+                        cancel.cancel(FailureOrigin {
+                            rank,
+                            tb: tb_id,
+                            step: s,
+                            cause,
+                        });
+                        return Err(Stopped);
+                    }
                 }
                 rec.emit(EventKind::SemWaitExit {
                     dep_tb: dep.tb,
@@ -589,13 +948,31 @@ fn run_thread_block(
                 }
                 out
             };
+            // On a FIFO stop: a timeout is this worker's own failure (it
+            // records the origin); a cancellation is someone else's.
+            let stop_to_err = |stop: FifoStop, step: usize| -> Stopped {
+                if stop == FifoStop::Timeout {
+                    let cause = if deadline_hit(global_deadline) {
+                        FailureCause::Deadline
+                    } else {
+                        FailureCause::StepTimeout
+                    };
+                    cancel.cancel(FailureOrigin {
+                        rank,
+                        tb: tb_id,
+                        step,
+                        cause,
+                    });
+                }
+                Stopped
+            };
             let mut receive =
-                |rec: &mut Recorder, ring: &mut EventRing| -> Result<Vec<f32>, HangInfo> {
+                |rec: &mut Recorder, ring: &mut EventRing| -> Result<Vec<f32>, Stopped> {
                     let (src, channel, fifo) = recv
                         .as_ref()
                         .expect("recv op requires a receive connection");
                     let (value, blocked) = fifo
-                        .recv(timeout, || {
+                        .recv(wait_deadline(Instant::now()), cancel, || {
                             ring.push(
                                 tile,
                                 s,
@@ -610,11 +987,7 @@ fn run_thread_block(
                                 channel: *channel,
                             });
                         })
-                        .map_err(|_| HangInfo {
-                            rank,
-                            tb: tb_id,
-                            step: s,
-                        })?;
+                        .map_err(|stop| stop_to_err(stop, s))?;
                     if blocked {
                         rec.emit(EventKind::RecvResume {
                             src: *src,
@@ -632,49 +1005,81 @@ fn run_thread_block(
             let mut transmit = |rec: &mut Recorder,
                                 ring: &mut EventRing,
                                 values: Vec<f32>|
-             -> Result<(), HangInfo> {
+             -> Result<(), Stopped> {
                 let (dst, channel, fifo) =
                     send.as_ref().expect("send op requires a send connection");
+                // Planned delivery faults apply here, where the tile
+                // leaves the sender: corruption rewrites the payload,
+                // a delay holds it back, a drop discards it (the
+                // sequence number still advances, as a real lost packet
+                // leaves the sender none the wiser), a duplicate
+                // enqueues it twice.
+                let mut values = values;
+                let mut dropped = false;
+                let mut copies = 1usize;
+                if let Some(inj) = injector {
+                    for action in inj.on_delivery(rank, *dst, *channel, send_seq) {
+                        match action {
+                            DeliveryAction::Corrupt { bit } => corrupt_payload(&mut values, bit),
+                            DeliveryAction::Delay(d) => {
+                                if !cancellable_sleep(d, cancel) {
+                                    return Err(Stopped);
+                                }
+                            }
+                            DeliveryAction::Drop => dropped = true,
+                            DeliveryAction::Duplicate => copies = 2,
+                        }
+                    }
+                }
+                if dropped {
+                    send_seq += 1;
+                    return Ok(());
+                }
                 // `SendResume` and `Send` are stamped from inside the
                 // callback — `Send` while the queue lock is held — so the
                 // receiver's `Recv` timestamp can never precede them.
-                let mut was_blocked = false;
-                fifo.send(values, timeout, |moment| match moment {
-                    SendMoment::Blocked => {
-                        was_blocked = true;
-                        ring.push(
-                            tile,
-                            s,
-                            instr.op,
-                            Moment::BlockedSend {
-                                dst: *dst,
-                                channel: *channel,
-                            },
-                        );
-                        rec.emit(EventKind::SendBlock {
-                            dst: *dst,
-                            channel: *channel,
-                        });
-                    }
-                    SendMoment::Enqueued => {
-                        if was_blocked {
-                            rec.emit(EventKind::SendResume {
-                                dst: *dst,
-                                channel: *channel,
-                            });
-                        }
-                        rec.emit(EventKind::Send {
-                            dst: *dst,
-                            channel: *channel,
-                            seq: send_seq,
-                        });
-                    }
-                })
-                .map_err(|_| HangInfo {
-                    rank,
-                    tb: tb_id,
-                    step: s,
-                })?;
+                for copy in 0..copies {
+                    let mut was_blocked = false;
+                    fifo.send(
+                        values.clone(),
+                        wait_deadline(Instant::now()),
+                        cancel,
+                        |moment| match moment {
+                            SendMoment::Blocked => {
+                                was_blocked = true;
+                                ring.push(
+                                    tile,
+                                    s,
+                                    instr.op,
+                                    Moment::BlockedSend {
+                                        dst: *dst,
+                                        channel: *channel,
+                                    },
+                                );
+                                rec.emit(EventKind::SendBlock {
+                                    dst: *dst,
+                                    channel: *channel,
+                                });
+                            }
+                            SendMoment::Enqueued => {
+                                if was_blocked {
+                                    rec.emit(EventKind::SendResume {
+                                        dst: *dst,
+                                        channel: *channel,
+                                    });
+                                }
+                                if copy == 0 {
+                                    rec.emit(EventKind::Send {
+                                        dst: *dst,
+                                        channel: *channel,
+                                        seq: send_seq,
+                                    });
+                                }
+                            }
+                        },
+                    )
+                    .map_err(|stop| stop_to_err(stop, s))?;
+                }
                 send_seq += 1;
                 Ok(())
             };
@@ -811,6 +1216,44 @@ mod tests {
         assert!(matches!(err, RuntimeError::InputShape { .. }));
     }
 
+    #[test]
+    fn rejects_degenerate_options_by_name() {
+        let p = msccl_algos::ring_all_reduce(2, 1).unwrap();
+        let ir = compile(&p, &CompileOptions::default()).unwrap();
+        let inputs = crate::reference::random_inputs(&ir, 4, 1);
+        let cases: [(RunOptions, &str); 3] = [
+            (
+                RunOptions {
+                    timeout: Duration::ZERO,
+                    ..RunOptions::default()
+                },
+                "timeout",
+            ),
+            (
+                RunOptions {
+                    tile_elems: Some(0),
+                    ..RunOptions::default()
+                },
+                "tile_elems",
+            ),
+            (
+                RunOptions {
+                    deadline: Some(Duration::ZERO),
+                    ..RunOptions::default()
+                },
+                "deadline",
+            ),
+        ];
+        for (opts, named) in cases {
+            let err = execute(&ir, &inputs, 4, &opts).unwrap_err();
+            let RuntimeError::InvalidOptions { message } = &err else {
+                panic!("expected InvalidOptions for {named}, got {err:?}");
+            };
+            assert!(message.contains(named), "{message:?} names {named}");
+            assert!(!err.is_transient());
+        }
+    }
+
     /// Tracing must not change results, and the trace must pass the
     /// consistency oracle against the IR.
     #[test]
@@ -836,7 +1279,8 @@ mod tests {
         let inputs = crate::reference::random_inputs(&ir, 4, 9);
         // The public untraced API returns only outputs; internally the
         // recorder stays empty.
-        let (_, trace) = execute_impl(&ir, &inputs, 4, &RunOptions::default(), false).unwrap();
+        let (_, trace) =
+            execute_impl(&ir, &inputs, 4, &RunOptions::default(), false, None).unwrap();
         assert!(trace.is_none());
     }
 
@@ -897,12 +1341,13 @@ mod tests {
     fn hang_is_detected() {
         let ir = deadlocked_ir();
         let opts = RunOptions {
-            timeout: std::time::Duration::from_millis(200),
+            timeout: Duration::from_millis(200),
             ..RunOptions::default()
         };
         let inputs = vec![vec![1.0], vec![2.0]];
         let err = execute(&ir, &inputs, 1, &opts).unwrap_err();
         assert!(matches!(err, RuntimeError::Hang { .. }), "got {err:?}");
+        assert!(err.is_transient());
     }
 
     /// The hang error carries each thread block's last ring entries, and
@@ -911,7 +1356,7 @@ mod tests {
     fn hang_dumps_recent_activity() {
         let ir = deadlocked_ir();
         let opts = RunOptions {
-            timeout: std::time::Duration::from_millis(200),
+            timeout: Duration::from_millis(200),
             ..RunOptions::default()
         };
         let inputs = vec![vec![1.0], vec![2.0]];
@@ -930,6 +1375,70 @@ mod tests {
         let shown = err.to_string();
         assert!(shown.contains("recent activity per thread block:"));
         assert!(shown.contains("blocked receiving"));
+    }
+
+    /// A global deadline fires even when every step makes progress, and
+    /// the error is distinguishable from a per-step hang.
+    #[test]
+    fn global_deadline_is_enforced() {
+        let ir = deadlocked_ir();
+        // Generous per-step timeout, tight global deadline: only the
+        // deadline can fire first.
+        let opts = RunOptions {
+            timeout: Duration::from_secs(20),
+            deadline: Some(Duration::from_millis(100)),
+            ..RunOptions::default()
+        };
+        let inputs = vec![vec![1.0], vec![2.0]];
+        let start = Instant::now();
+        let err = execute(&ir, &inputs, 1, &opts).unwrap_err();
+        assert!(
+            matches!(err, RuntimeError::DeadlineExceeded { .. }),
+            "got {err:?}"
+        );
+        assert!(start.elapsed() < Duration::from_secs(2));
+    }
+
+    /// A worker panic is caught, attributed to its rank/tb/step, carries
+    /// the payload text, and cancels the other workers promptly.
+    #[test]
+    fn worker_panic_is_attributed() {
+        // An IR whose rank-1 receive writes to an out-of-range output
+        // chunk makes the worker panic inside memory access.
+        let mut ir = deadlocked_ir();
+        ir.gpus[0].threadblocks[0].instructions.truncate(1);
+        ir.gpus[1].threadblocks[0].instructions = vec![mscclang::IrInstruction {
+            step: 0,
+            op: OpCode::Send,
+            src: Some(mscclang::ir::IrLoc {
+                buffer: mscclang::BufferKind::Input,
+                index: 99, // out of range: reading it panics
+            }),
+            dst: None,
+            count: 1,
+            deps: vec![],
+            has_dep: false,
+        }];
+        let inputs = vec![vec![1.0], vec![2.0]];
+        let start = Instant::now();
+        let err = execute(&ir, &inputs, 1, &RunOptions::default()).unwrap_err();
+        let RuntimeError::WorkerPanic {
+            rank,
+            tb,
+            step,
+            payload,
+            ..
+        } = &err
+        else {
+            panic!("expected WorkerPanic, got {err:?}");
+        };
+        assert_eq!((*rank, *tb, *step), (1, 0, 0));
+        assert!(!payload.is_empty());
+        // Cancellation, not the 20 s default timeout, freed rank 0.
+        assert!(start.elapsed() < Duration::from_secs(2));
+        let shown = err.to_string();
+        assert!(shown.contains("worker panicked at rank 1 tb 0 step 0"));
+        assert!(err.is_transient());
     }
 
     use mscclang::OpCode;

@@ -6,14 +6,26 @@
 //! channel, these report *whether* a call blocked and invoke a callback at
 //! the moment blocking starts, which is what lets the tracer timestamp
 //! `SendBlock`/`RecvBlock` at the start of the stall rather than after it.
+//!
+//! Blocking calls are *cooperative*: they take an absolute deadline and a
+//! [`CancelToken`], and their condvar waits are sliced by
+//! [`CANCEL_POLL`](crate::cancel::CANCEL_POLL) so a failure anywhere in
+//! the run unblocks them within milliseconds.
 
 use std::collections::VecDeque;
 use std::sync::{Condvar, Mutex, MutexGuard};
-use std::time::{Duration, Instant};
+use std::time::Instant;
 
-/// The deadline elapsed while blocked (deadlock or hang).
+use crate::cancel::{CancelToken, CANCEL_POLL};
+
+/// Why a blocking FIFO call stopped without completing.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct FifoTimeout;
+pub enum FifoStop {
+    /// The deadline elapsed while blocked (deadlock or hang).
+    Timeout,
+    /// The run was cancelled by another worker's failure.
+    Cancelled,
+}
 
 /// What a [`Fifo::send`] reports through its callback, in call order.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -56,12 +68,16 @@ impl Fifo {
         cv: &Condvar,
         guard: MutexGuard<'a, VecDeque<Vec<f32>>>,
         deadline: Instant,
-    ) -> Result<MutexGuard<'a, VecDeque<Vec<f32>>>, FifoTimeout> {
+        cancel: &CancelToken,
+    ) -> Result<MutexGuard<'a, VecDeque<Vec<f32>>>, FifoStop> {
+        if cancel.is_cancelled() {
+            return Err(FifoStop::Cancelled);
+        }
         let remaining = deadline.saturating_duration_since(Instant::now());
         if remaining.is_zero() {
-            return Err(FifoTimeout);
+            return Err(FifoStop::Timeout);
         }
-        let (guard, _) = relock(cv.wait_timeout(guard, remaining));
+        let (guard, _) = relock(cv.wait_timeout(guard, remaining.min(CANCEL_POLL)));
         Ok(guard)
     }
 
@@ -72,14 +88,15 @@ impl Fifo {
     ///
     /// # Errors
     ///
-    /// Returns [`FifoTimeout`] if the queue stays full past `timeout`.
+    /// Returns [`FifoStop::Timeout`] if the queue stays full past
+    /// `deadline`, or [`FifoStop::Cancelled`] if the run is cancelled.
     pub fn send(
         &self,
         value: Vec<f32>,
-        timeout: Duration,
+        deadline: Instant,
+        cancel: &CancelToken,
         mut on_event: impl FnMut(SendMoment),
-    ) -> Result<bool, FifoTimeout> {
-        let deadline = Instant::now() + timeout;
+    ) -> Result<bool, FifoStop> {
         let mut guard = relock(self.queue.lock());
         let mut blocked = false;
         while guard.len() >= self.capacity {
@@ -87,7 +104,7 @@ impl Fifo {
                 blocked = true;
                 on_event(SendMoment::Blocked);
             }
-            guard = Self::wait_until(&self.not_full, guard, deadline)?;
+            guard = Self::wait_until(&self.not_full, guard, deadline, cancel)?;
         }
         on_event(SendMoment::Enqueued);
         guard.push_back(value);
@@ -102,13 +119,14 @@ impl Fifo {
     ///
     /// # Errors
     ///
-    /// Returns [`FifoTimeout`] if the queue stays empty past `timeout`.
+    /// Returns [`FifoStop::Timeout`] if the queue stays empty past
+    /// `deadline`, or [`FifoStop::Cancelled`] if the run is cancelled.
     pub fn recv(
         &self,
-        timeout: Duration,
+        deadline: Instant,
+        cancel: &CancelToken,
         on_block: impl FnOnce(),
-    ) -> Result<(Vec<f32>, bool), FifoTimeout> {
-        let deadline = Instant::now() + timeout;
+    ) -> Result<(Vec<f32>, bool), FifoStop> {
         let mut guard = relock(self.queue.lock());
         let mut blocked = false;
         let mut on_block = Some(on_block);
@@ -122,7 +140,7 @@ impl Fifo {
                 blocked = true;
                 f();
             }
-            guard = Self::wait_until(&self.not_empty, guard, deadline)?;
+            guard = Self::wait_until(&self.not_empty, guard, deadline, cancel)?;
         }
     }
 }
@@ -131,59 +149,97 @@ impl Fifo {
 mod tests {
     use super::*;
     use std::sync::Arc;
+    use std::time::Duration;
+
+    use crate::cancel::{FailureCause, FailureOrigin};
+
+    fn after(ms: u64) -> Instant {
+        Instant::now() + Duration::from_millis(ms)
+    }
 
     #[test]
     fn passes_values_in_order() {
         let f = Fifo::new(2);
-        let t = Duration::from_millis(100);
-        assert_eq!(f.send(vec![1.0], t, |_| ()), Ok(false));
-        assert_eq!(f.send(vec![2.0], t, |_| ()), Ok(false));
-        assert_eq!(f.recv(t, || ()), Ok((vec![1.0], false)));
-        assert_eq!(f.recv(t, || ()), Ok((vec![2.0], false)));
+        let c = CancelToken::new();
+        assert_eq!(f.send(vec![1.0], after(100), &c, |_| ()), Ok(false));
+        assert_eq!(f.send(vec![2.0], after(100), &c, |_| ()), Ok(false));
+        assert_eq!(f.recv(after(100), &c, || ()), Ok((vec![1.0], false)));
+        assert_eq!(f.recv(after(100), &c, || ()), Ok((vec![2.0], false)));
     }
 
     #[test]
     fn send_blocks_when_full_and_reports_it() {
         let f = Arc::new(Fifo::new(1));
-        let t = Duration::from_secs(5);
-        f.send(vec![0.0], t, |_| ()).unwrap();
+        let c = CancelToken::new();
+        f.send(vec![0.0], after(5000), &c, |_| ()).unwrap();
         let f2 = Arc::clone(&f);
-        let h = std::thread::spawn(move || f2.send(vec![1.0], t, |_| ()));
+        let c2 = Arc::clone(&c);
+        let h = std::thread::spawn(move || f2.send(vec![1.0], after(5000), &c2, |_| ()));
         std::thread::sleep(Duration::from_millis(20));
-        assert_eq!(f.recv(t, || ()), Ok((vec![0.0], false)));
+        assert_eq!(f.recv(after(5000), &c, || ()), Ok((vec![0.0], false)));
         assert_eq!(h.join().unwrap(), Ok(true));
-        assert_eq!(f.recv(t, || ()), Ok((vec![1.0], false)));
+        assert_eq!(f.recv(after(5000), &c, || ()), Ok((vec![1.0], false)));
     }
 
     #[test]
     fn recv_blocks_when_empty_and_reports_it() {
         let f = Arc::new(Fifo::new(1));
-        let t = Duration::from_secs(5);
+        let c = CancelToken::new();
         let f2 = Arc::clone(&f);
-        let h = std::thread::spawn(move || f2.recv(t, || ()));
+        let c2 = Arc::clone(&c);
+        let h = std::thread::spawn(move || f2.recv(after(5000), &c2, || ()));
         std::thread::sleep(Duration::from_millis(20));
-        f.send(vec![3.0], t, |_| ()).unwrap();
+        f.send(vec![3.0], after(5000), &c, |_| ()).unwrap();
         assert_eq!(h.join().unwrap(), Ok((vec![3.0], true)));
     }
 
     #[test]
     fn timeouts_are_reported() {
         let f = Fifo::new(1);
-        let t = Duration::from_millis(10);
-        assert_eq!(f.recv(t, || ()), Err(FifoTimeout));
-        f.send(vec![0.0], t, |_| ()).unwrap();
-        assert_eq!(f.send(vec![1.0], t, |_| ()), Err(FifoTimeout));
+        let c = CancelToken::new();
+        assert_eq!(f.recv(after(10), &c, || ()), Err(FifoStop::Timeout));
+        f.send(vec![0.0], after(10), &c, |_| ()).unwrap();
+        assert_eq!(
+            f.send(vec![1.0], after(10), &c, |_| ()),
+            Err(FifoStop::Timeout)
+        );
     }
 
     #[test]
     fn send_moments_fire_in_order() {
         let f = Fifo::new(1);
-        let t = Duration::from_millis(10);
+        let c = CancelToken::new();
         let mut moments = Vec::new();
-        f.send(vec![0.0], t, |m| moments.push(m)).unwrap();
+        f.send(vec![0.0], after(10), &c, |m| moments.push(m))
+            .unwrap();
         assert_eq!(moments, vec![SendMoment::Enqueued]);
         let mut moments = Vec::new();
-        let _ = f.send(vec![1.0], t, |m| moments.push(m));
+        let _ = f.send(vec![1.0], after(10), &c, |m| moments.push(m));
         assert_eq!(moments, vec![SendMoment::Blocked]);
+    }
+
+    /// A cancellation elsewhere unblocks a receiver long before its
+    /// deadline.
+    #[test]
+    fn cancellation_unblocks_promptly() {
+        let f = Arc::new(Fifo::new(1));
+        let c = CancelToken::new();
+        let f2 = Arc::clone(&f);
+        let c2 = Arc::clone(&c);
+        let h = std::thread::spawn(move || {
+            let start = Instant::now();
+            let r = f2.recv(after(30_000), &c2, || ());
+            (r, start.elapsed())
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        c.cancel(FailureOrigin {
+            rank: 0,
+            tb: 0,
+            step: 0,
+            cause: FailureCause::StepTimeout,
+        });
+        let (r, took) = h.join().unwrap();
+        assert_eq!(r, Err(FifoStop::Cancelled));
+        assert!(took < Duration::from_secs(1), "took {took:?}");
     }
 }

@@ -27,11 +27,18 @@
 //! # Ok::<(), mscclang::Error>(())
 //! ```
 
+mod cancel;
 mod executor;
 mod fifo;
 mod memory;
+mod recovery;
 pub mod reference;
 mod semaphore;
 
-pub use executor::{execute, execute_traced, RunOptions, RuntimeError};
+pub use cancel::{FailureCause, FailureOrigin};
+pub use executor::{
+    execute, execute_traced, execute_with_faults, execute_with_faults_traced, RunOptions,
+    RuntimeError,
+};
 pub use memory::RankMemory;
+pub use recovery::{execute_with_recovery, RecoveryPolicy, RecoveryReport, RecoveryStep};

@@ -1,0 +1,502 @@
+//! Collective-level recovery: bounded retry with exponential backoff for
+//! transient failures, graceful degradation to a fallback algorithm, and
+//! a decision log convertible to trace events.
+//!
+//! The policy leans on two guarantees from the layers below. First,
+//! errors are classified at the source: [`RuntimeError::is_transient`]
+//! separates timing/fault failures (worth retrying) from structural
+//! rejections (not). Second, injected faults are one-shot *per injector*
+//! ([`FaultInjector`]), so a retry over the same injector runs without
+//! the faults that already struck — precisely the semantics of a
+//! transient fault in a real fabric.
+//!
+//! Verification closes the loop on *corrupting* faults: a bit-flip or a
+//! duplicated delivery produces no error at all, only wrong numbers, so
+//! an attempt counts as successful only when its outputs match the
+//! collective's reference semantics ([`reference::check_outputs`]).
+//!
+//! [`reference::check_outputs`]: crate::reference::check_outputs
+
+use std::time::{Duration, Instant};
+
+use msccl_faults::FaultInjector;
+use msccl_trace::{ClockDomain, EventKind, RecoveryDecision, Trace, TraceEvent};
+use mscclang::IrProgram;
+
+use crate::executor::{execute, execute_with_faults, RunOptions, RuntimeError};
+
+/// How the recovery loop reacts to failed attempts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecoveryPolicy {
+    /// How many times to re-run the primary algorithm after its first
+    /// failed attempt (0 = no retries).
+    pub max_retries: usize,
+    /// Backoff before the first retry; doubles each further retry.
+    pub backoff: Duration,
+    /// Whether to verify outputs against the collective's reference
+    /// semantics; without it, corrupting faults pass silently.
+    pub verify: bool,
+}
+
+impl Default for RecoveryPolicy {
+    fn default() -> Self {
+        Self {
+            max_retries: 2,
+            backoff: Duration::from_millis(10),
+            verify: true,
+        }
+    }
+}
+
+/// One logged decision of the recovery loop.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecoveryStep {
+    /// Microseconds since recovery began.
+    pub ts_us: f64,
+    /// Zero-based attempt the decision follows.
+    pub attempt: usize,
+    /// The decision.
+    pub decision: RecoveryDecision,
+    /// Why: the failure display, or "verified" / "completed" on success.
+    pub detail: String,
+}
+
+/// What a recovered execution produced and how it got there.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecoveryReport {
+    /// Each rank's verified (or at least completed) output buffer.
+    pub outputs: Vec<Vec<f32>>,
+    /// Total executions performed, primary and fallback together.
+    pub attempts: usize,
+    /// Whether the outputs came from the fallback algorithm.
+    pub used_fallback: bool,
+    /// Every decision taken, in order.
+    pub steps: Vec<RecoveryStep>,
+}
+
+impl RecoveryReport {
+    /// The decision log as a wall-clock [`Trace`] (rank 0, tb 0:
+    /// recovery is collective-level, not per-block), mergeable with
+    /// execution traces and exportable like any other.
+    #[must_use]
+    pub fn decision_trace(&self) -> Trace {
+        Trace::from_buffers(
+            ClockDomain::Wall,
+            vec![self
+                .steps
+                .iter()
+                .map(|s| TraceEvent {
+                    ts_us: s.ts_us,
+                    rank: 0,
+                    tb: 0,
+                    kind: EventKind::Recovery {
+                        attempt: s.attempt,
+                        decision: s.decision,
+                    },
+                })
+                .collect()],
+        )
+    }
+}
+
+fn run_once(
+    ir: &IrProgram,
+    inputs: &[Vec<f32>],
+    chunk_elems: usize,
+    opts: &RunOptions,
+    injector: Option<&FaultInjector>,
+    verify: bool,
+) -> Result<Vec<Vec<f32>>, RuntimeError> {
+    let outputs = match injector {
+        Some(inj) => execute_with_faults(ir, inputs, chunk_elems, opts, inj)?,
+        None => execute(ir, inputs, chunk_elems, opts)?,
+    };
+    if verify {
+        crate::reference::check_outputs(
+            &ir.collective,
+            inputs,
+            &outputs,
+            chunk_elems,
+            opts.reduce_op,
+        )
+        .map_err(|message| RuntimeError::VerificationFailed { message })?;
+    }
+    Ok(outputs)
+}
+
+/// Executes `primary`, retrying transient failures with exponential
+/// backoff and degrading to `fallback` once retries are exhausted.
+///
+/// `fallback` must implement the same collective over the same ranks
+/// (its outputs are interchangeable with the primary's); it gets a
+/// single attempt — under one-shot injection the faults that broke the
+/// primary are already spent, and a fallback that also fails on a clean
+/// run is not worth iterating on.
+///
+/// Every decision is logged in the returned [`RecoveryReport`] (and
+/// convertible to trace events via [`RecoveryReport::decision_trace`]).
+///
+/// # Errors
+///
+/// Returns the first permanent [`RuntimeError`] immediately, or the last
+/// transient one once every attempt — retries and fallback — is spent.
+pub fn execute_with_recovery(
+    primary: &IrProgram,
+    fallback: Option<&IrProgram>,
+    inputs: &[Vec<f32>],
+    chunk_elems: usize,
+    opts: &RunOptions,
+    policy: &RecoveryPolicy,
+    injector: Option<&FaultInjector>,
+) -> Result<RecoveryReport, RuntimeError> {
+    if let Some(fb) = fallback {
+        if fb.num_ranks() != primary.num_ranks()
+            || fb.collective.in_chunks() != primary.collective.in_chunks()
+            || fb.collective.out_chunks() != primary.collective.out_chunks()
+        {
+            return Err(RuntimeError::InvalidOptions {
+                message: format!(
+                    "fallback '{}' does not implement the same collective as '{}'",
+                    fb.name, primary.name
+                ),
+            });
+        }
+    }
+    let epoch = Instant::now();
+    let mut steps: Vec<RecoveryStep> = Vec::new();
+    let record = |steps: &mut Vec<RecoveryStep>,
+                  attempt: usize,
+                  decision: RecoveryDecision,
+                  detail: String| {
+        steps.push(RecoveryStep {
+            ts_us: epoch.elapsed().as_secs_f64() * 1e6,
+            attempt,
+            decision,
+            detail,
+        });
+    };
+
+    let mut attempt = 0usize;
+    let mut last_err: RuntimeError;
+    loop {
+        match run_once(primary, inputs, chunk_elems, opts, injector, policy.verify) {
+            Ok(outputs) => {
+                let detail = if policy.verify {
+                    "verified"
+                } else {
+                    "completed"
+                };
+                record(&mut steps, attempt, RecoveryDecision::Accept, detail.into());
+                return Ok(RecoveryReport {
+                    outputs,
+                    attempts: attempt + 1,
+                    used_fallback: false,
+                    steps,
+                });
+            }
+            Err(e) if !e.is_transient() => return Err(e),
+            Err(e) => last_err = e,
+        }
+        if attempt < policy.max_retries {
+            record(
+                &mut steps,
+                attempt,
+                RecoveryDecision::Retry,
+                last_err.to_string(),
+            );
+            // Exponential backoff: backoff * 2^attempt, capped at 30 bits
+            // of shift to dodge overflow on absurd retry counts.
+            let exp = u32::try_from(attempt.min(30)).expect("bounded");
+            std::thread::sleep(policy.backoff.saturating_mul(1u32 << exp));
+            attempt += 1;
+            continue;
+        }
+        break;
+    }
+
+    if let Some(fb) = fallback {
+        record(
+            &mut steps,
+            attempt,
+            RecoveryDecision::Fallback,
+            last_err.to_string(),
+        );
+        attempt += 1;
+        match run_once(fb, inputs, chunk_elems, opts, injector, policy.verify) {
+            Ok(outputs) => {
+                let detail = if policy.verify {
+                    "verified"
+                } else {
+                    "completed"
+                };
+                record(&mut steps, attempt, RecoveryDecision::Accept, detail.into());
+                return Ok(RecoveryReport {
+                    outputs,
+                    attempts: attempt + 1,
+                    used_fallback: true,
+                    steps,
+                });
+            }
+            Err(e) if !e.is_transient() => return Err(e),
+            Err(e) => last_err = e,
+        }
+    }
+    record(
+        &mut steps,
+        attempt,
+        RecoveryDecision::GiveUp,
+        last_err.to_string(),
+    );
+    Err(last_err)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msccl_faults::{FaultKind, FaultPlan, FaultSite, FaultSpec};
+    use mscclang::{compile, CompileOptions};
+
+    fn ring_ir(ranks: usize) -> IrProgram {
+        let p = msccl_algos::ring_all_reduce(ranks, 1).unwrap();
+        compile(&p, &CompileOptions::default()).unwrap()
+    }
+
+    fn allpairs_ir(ranks: usize) -> IrProgram {
+        let p = msccl_algos::allpairs_all_reduce(ranks).unwrap();
+        compile(&p, &CompileOptions::default()).unwrap()
+    }
+
+    fn kill_plan(rank: usize) -> FaultPlan {
+        FaultPlan {
+            seed: 0,
+            specs: vec![FaultSpec {
+                site: FaultSite::Block {
+                    rank,
+                    tb: 0,
+                    step: 0,
+                },
+                kind: FaultKind::KillBlock,
+            }],
+        }
+    }
+
+    #[test]
+    fn clean_run_accepts_first_attempt() {
+        let ir = ring_ir(4);
+        let chunk_elems = 8;
+        let inputs = crate::reference::random_inputs(&ir, chunk_elems, 21);
+        let report = execute_with_recovery(
+            &ir,
+            None,
+            &inputs,
+            chunk_elems,
+            &RunOptions::default(),
+            &RecoveryPolicy::default(),
+            None,
+        )
+        .unwrap();
+        assert_eq!(report.attempts, 1);
+        assert!(!report.used_fallback);
+        assert_eq!(report.steps.len(), 1);
+        assert_eq!(report.steps[0].decision, RecoveryDecision::Accept);
+    }
+
+    /// A one-shot kill breaks the first attempt; the retry runs clean and
+    /// verifies, and the decision log shows retry-then-accept.
+    #[test]
+    fn transient_kill_is_retried_to_success() {
+        let ir = ring_ir(4);
+        let chunk_elems = 8;
+        let inputs = crate::reference::random_inputs(&ir, chunk_elems, 22);
+        let plan = kill_plan(1);
+        plan.validate(&ir).unwrap();
+        let injector = FaultInjector::new(&plan);
+        let opts = RunOptions {
+            timeout: Duration::from_secs(5),
+            ..RunOptions::default()
+        };
+        let report = execute_with_recovery(
+            &ir,
+            None,
+            &inputs,
+            chunk_elems,
+            &opts,
+            &RecoveryPolicy {
+                backoff: Duration::from_millis(1),
+                ..RecoveryPolicy::default()
+            },
+            Some(&injector),
+        )
+        .unwrap();
+        assert_eq!(report.attempts, 2);
+        assert!(!report.used_fallback);
+        let decisions: Vec<RecoveryDecision> = report.steps.iter().map(|s| s.decision).collect();
+        assert_eq!(
+            decisions,
+            vec![RecoveryDecision::Retry, RecoveryDecision::Accept]
+        );
+        assert!(report.steps[0].detail.contains("kill block r1 tb0 step0"));
+        crate::reference::check_outputs(
+            &ir.collective,
+            &inputs,
+            &report.outputs,
+            chunk_elems,
+            opts.reduce_op,
+        )
+        .unwrap();
+    }
+
+    /// A corrupting fault produces no error, only wrong numbers: the
+    /// verification step must catch it and drive a retry.
+    #[test]
+    fn corruption_is_caught_by_verification() {
+        let ir = ring_ir(4);
+        let chunk_elems = 8;
+        let inputs = crate::reference::random_inputs(&ir, chunk_elems, 23);
+        let plan = FaultPlan {
+            seed: 0,
+            specs: vec![FaultSpec {
+                site: FaultSite::Delivery {
+                    src: 0,
+                    dst: 1,
+                    channel: 0,
+                    seq: 0,
+                },
+                // Flip the sign bit: large, unmistakable corruption.
+                kind: FaultKind::CorruptPayload { bit: 31 },
+            }],
+        };
+        plan.validate(&ir).unwrap();
+        let injector = FaultInjector::new(&plan);
+        let report = execute_with_recovery(
+            &ir,
+            None,
+            &inputs,
+            chunk_elems,
+            &RunOptions::default(),
+            &RecoveryPolicy {
+                backoff: Duration::from_millis(1),
+                ..RecoveryPolicy::default()
+            },
+            Some(&injector),
+        )
+        .unwrap();
+        assert_eq!(report.attempts, 2);
+        assert_eq!(report.steps[0].decision, RecoveryDecision::Retry);
+        assert!(report.steps[0]
+            .detail
+            .contains("output verification failed"));
+    }
+
+    /// With no retry budget, a transient failure degrades to the
+    /// fallback algorithm, whose (clean) run is accepted.
+    #[test]
+    fn fallback_runs_when_retries_are_exhausted() {
+        let ir = ring_ir(4);
+        let fb = allpairs_ir(4);
+        let chunk_elems = 8;
+        let inputs = crate::reference::random_inputs(&ir, chunk_elems, 24);
+        let plan = kill_plan(2);
+        let injector = FaultInjector::new(&plan);
+        let opts = RunOptions {
+            timeout: Duration::from_secs(5),
+            ..RunOptions::default()
+        };
+        let report = execute_with_recovery(
+            &ir,
+            Some(&fb),
+            &inputs,
+            chunk_elems,
+            &opts,
+            &RecoveryPolicy {
+                max_retries: 0,
+                backoff: Duration::from_millis(1),
+                verify: true,
+            },
+            Some(&injector),
+        )
+        .unwrap();
+        assert!(report.used_fallback);
+        assert_eq!(report.attempts, 2);
+        let decisions: Vec<RecoveryDecision> = report.steps.iter().map(|s| s.decision).collect();
+        assert_eq!(
+            decisions,
+            vec![RecoveryDecision::Fallback, RecoveryDecision::Accept]
+        );
+    }
+
+    /// Permanent errors (structural rejections) must not be retried.
+    #[test]
+    fn permanent_errors_fail_fast() {
+        let ir = ring_ir(2);
+        let err = execute_with_recovery(
+            &ir,
+            None,
+            &[vec![0.0; 3]], // wrong rank count
+            4,
+            &RunOptions::default(),
+            &RecoveryPolicy::default(),
+            None,
+        )
+        .unwrap_err();
+        assert!(matches!(err, RuntimeError::InputShape { .. }));
+    }
+
+    /// A fallback implementing a different collective is rejected by name.
+    #[test]
+    fn mismatched_fallback_is_rejected() {
+        let ir = ring_ir(4);
+        let p = msccl_algos::ring_all_gather_program(4, 1).unwrap();
+        let fb = compile(&p, &CompileOptions::default()).unwrap();
+        let inputs = crate::reference::random_inputs(&ir, 4, 25);
+        let err = execute_with_recovery(
+            &ir,
+            Some(&fb),
+            &inputs,
+            4,
+            &RunOptions::default(),
+            &RecoveryPolicy::default(),
+            None,
+        )
+        .unwrap_err();
+        let RuntimeError::InvalidOptions { message } = &err else {
+            panic!("expected InvalidOptions, got {err:?}");
+        };
+        assert!(message.contains("fallback"));
+    }
+
+    /// The decision log exports as trace events.
+    #[test]
+    fn decisions_become_trace_events() {
+        let ir = ring_ir(4);
+        let chunk_elems = 4;
+        let inputs = crate::reference::random_inputs(&ir, chunk_elems, 26);
+        let plan = kill_plan(0);
+        let injector = FaultInjector::new(&plan);
+        let opts = RunOptions {
+            timeout: Duration::from_secs(5),
+            ..RunOptions::default()
+        };
+        let report = execute_with_recovery(
+            &ir,
+            None,
+            &inputs,
+            chunk_elems,
+            &opts,
+            &RecoveryPolicy {
+                backoff: Duration::from_millis(1),
+                ..RecoveryPolicy::default()
+            },
+            Some(&injector),
+        )
+        .unwrap();
+        let trace = report.decision_trace();
+        assert_eq!(trace.len(), report.steps.len());
+        let csv = trace.to_csv();
+        assert!(csv.contains("recovery"), "{csv}");
+        assert!(csv.contains("retry"), "{csv}");
+        assert!(csv.contains("accept"), "{csv}");
+        let json = trace.to_chrome_json();
+        assert!(json.contains("\"decision\":\"retry\""), "{json}");
+    }
+}

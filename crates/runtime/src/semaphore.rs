@@ -6,9 +6,27 @@
 //! a mutex + condvar pair replaces the spin, and the value counts
 //! instructions monotonically *across tiles* so that waits from tile `t`
 //! can never be satisfied by a completion from tile `t - 1`.
+//!
+//! Waits are *cooperative*: they run against an absolute deadline and a
+//! [`CancelToken`], slicing the condvar wait by [`CANCEL_POLL`] so a
+//! cancellation anywhere in the run wakes a blocked waiter within
+//! milliseconds instead of letting it ride out its own timeout.
 
 use std::sync::{Condvar, Mutex, PoisonError};
-use std::time::{Duration, Instant};
+use std::time::Instant;
+
+use crate::cancel::{CancelToken, CANCEL_POLL};
+
+/// How a cooperative wait ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WaitOutcome {
+    /// The awaited condition became true.
+    Reached,
+    /// The deadline passed first.
+    TimedOut,
+    /// The run was cancelled by another worker's failure.
+    Cancelled,
+}
 
 /// A monotonically increasing counter others can block on.
 #[derive(Default)]
@@ -34,24 +52,26 @@ impl Semaphore {
         }
     }
 
-    /// Blocks until the counter reaches `v` or `timeout` elapses; returns
-    /// whether the target was reached.
+    /// Blocks until the counter reaches `v`, the `deadline` passes, or
+    /// `cancel` trips.
     #[must_use]
-    pub fn wait_at_least(&self, v: u64, timeout: Duration) -> bool {
-        let deadline = Instant::now() + timeout;
+    pub fn wait_at_least(&self, v: u64, deadline: Instant, cancel: &CancelToken) -> WaitOutcome {
         let mut guard = self.value.lock().unwrap_or_else(PoisonError::into_inner);
         while *guard < v {
+            if cancel.is_cancelled() {
+                return WaitOutcome::Cancelled;
+            }
             let remaining = deadline.saturating_duration_since(Instant::now());
             if remaining.is_zero() {
-                return false;
+                return WaitOutcome::TimedOut;
             }
             guard = self
                 .cv
-                .wait_timeout(guard, remaining)
+                .wait_timeout(guard, remaining.min(CANCEL_POLL))
                 .unwrap_or_else(PoisonError::into_inner)
                 .0;
         }
-        true
+        WaitOutcome::Reached
     }
 }
 
@@ -59,30 +79,66 @@ impl Semaphore {
 mod tests {
     use super::*;
     use std::sync::Arc;
+    use std::time::Duration;
+
+    use crate::cancel::{FailureCause, FailureOrigin};
+
+    fn soon(ms: u64) -> Instant {
+        Instant::now() + Duration::from_millis(ms)
+    }
 
     #[test]
     fn set_and_wait() {
         let s = Semaphore::new();
+        let c = CancelToken::new();
         s.set(3);
-        assert!(s.wait_at_least(3, Duration::from_millis(10)));
-        assert!(!s.wait_at_least(4, Duration::from_millis(10)));
+        assert_eq!(s.wait_at_least(3, soon(10), &c), WaitOutcome::Reached);
+        assert_eq!(s.wait_at_least(4, soon(10), &c), WaitOutcome::TimedOut);
     }
 
     #[test]
     fn set_is_monotonic() {
         let s = Semaphore::new();
+        let c = CancelToken::new();
         s.set(5);
         s.set(2);
-        assert!(s.wait_at_least(5, Duration::from_millis(10)));
+        assert_eq!(s.wait_at_least(5, soon(10), &c), WaitOutcome::Reached);
     }
 
     #[test]
     fn cross_thread_wakeup() {
         let s = Arc::new(Semaphore::new());
+        let c = CancelToken::new();
         let s2 = Arc::clone(&s);
-        let h = std::thread::spawn(move || s2.wait_at_least(1, Duration::from_secs(5)));
+        let c2 = Arc::clone(&c);
+        let h = std::thread::spawn(move || s2.wait_at_least(1, soon(5000), &c2));
         std::thread::sleep(Duration::from_millis(20));
         s.set(1);
-        assert!(h.join().unwrap());
+        assert_eq!(h.join().unwrap(), WaitOutcome::Reached);
+    }
+
+    /// A cancellation elsewhere must wake a waiter long before its own
+    /// deadline.
+    #[test]
+    fn cancellation_interrupts_wait_promptly() {
+        let s = Arc::new(Semaphore::new());
+        let c = CancelToken::new();
+        let s2 = Arc::clone(&s);
+        let c2 = Arc::clone(&c);
+        let h = std::thread::spawn(move || {
+            let start = Instant::now();
+            let outcome = s2.wait_at_least(1, soon(30_000), &c2);
+            (outcome, start.elapsed())
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        c.cancel(FailureOrigin {
+            rank: 0,
+            tb: 0,
+            step: 0,
+            cause: FailureCause::StepTimeout,
+        });
+        let (outcome, took) = h.join().unwrap();
+        assert_eq!(outcome, WaitOutcome::Cancelled);
+        assert!(took < Duration::from_secs(1), "took {took:?}");
     }
 }

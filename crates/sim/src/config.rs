@@ -2,6 +2,7 @@
 
 use std::fmt;
 
+use msccl_faults::FaultPlan;
 use msccl_topology::{Machine, Protocol};
 
 /// Configuration of one simulation: the machine, the protocol and a few
@@ -51,6 +52,12 @@ pub struct SimConfig {
     /// write straight into the destination buffer, so receivers pay no
     /// copy-out of an intermediate FIFO slot.
     pub direct_copy: bool,
+    /// Deterministic faults to inject into the simulated execution.
+    /// Timing-visible kinds (drop, delay, duplicate, stall, link spike)
+    /// perturb or wedge the virtual timeline; payload kinds (corrupt)
+    /// are timing no-ops here since the simulator moves no data — use the
+    /// threaded runtime to observe them.
+    pub fault_plan: Option<FaultPlan>,
 }
 
 impl SimConfig {
@@ -70,6 +77,7 @@ impl SimConfig {
             record_trace: false,
             tile_overhead_us: None,
             direct_copy: false,
+            fault_plan: None,
         }
     }
 
@@ -123,6 +131,13 @@ impl SimConfig {
         self.record_trace = record;
         self
     }
+
+    /// Injects a deterministic fault plan (see [`SimConfig::fault_plan`]).
+    #[must_use]
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
+        self
+    }
 }
 
 /// Errors from the simulator.
@@ -154,10 +169,32 @@ pub enum SimError {
         /// SMs available.
         sms: usize,
     },
-    /// The simulation made no progress (deadlock in hand-written IR).
+    /// The simulation made no progress (deadlock in hand-written IR, or
+    /// an injected drop starving a receiver).
     Stuck {
         /// Simulated time at which progress stopped.
         at_us: f64_bits,
+        /// Injected faults that struck before the wedge (fault-plan
+        /// syntax), empty when none were configured.
+        fired_faults: Vec<String>,
+    },
+    /// An injected fault killed a simulated thread block.
+    InjectedFault {
+        /// Rank of the killed thread block.
+        rank: usize,
+        /// Thread block id.
+        tb: usize,
+        /// Step at which the fault struck.
+        step: usize,
+        /// The fault, rendered in fault-plan syntax.
+        fault: String,
+        /// Simulated time of the kill.
+        at_us: f64_bits,
+    },
+    /// The configured fault plan does not fit the program.
+    BadFaultPlan {
+        /// The underlying [`msccl_faults::FaultPlanError`], rendered.
+        message: String,
     },
     /// Invalid configuration.
     BadConfig {
@@ -210,9 +247,30 @@ impl fmt::Display for SimError {
                     "rank {rank} needs {required} thread blocks but the GPU has {sms} SMs"
                 )
             }
-            SimError::Stuck { at_us } => {
-                write!(f, "simulation stuck at {:.3} us (deadlock)", at_us.as_f64())
+            SimError::Stuck {
+                at_us,
+                fired_faults,
+            } => {
+                write!(f, "simulation stuck at {:.3} us (deadlock)", at_us.as_f64())?;
+                for fault in fired_faults {
+                    write!(f, "\n  injected fault struck: {fault}")?;
+                }
+                Ok(())
             }
+            SimError::InjectedFault {
+                rank,
+                tb,
+                step,
+                fault,
+                at_us,
+            } => {
+                write!(
+                    f,
+                    "injected fault killed rank {rank} tb {tb} step {step} at {:.3} us: {fault}",
+                    at_us.as_f64()
+                )
+            }
+            SimError::BadFaultPlan { message } => write!(f, "bad fault plan: {message}"),
             SimError::BadConfig { message } => write!(f, "bad configuration: {message}"),
         }
     }
@@ -244,7 +302,9 @@ mod tests {
         assert!(e.to_string().contains("rank 0"));
         let s = SimError::Stuck {
             at_us: f64_bits::from_f64(1.5),
+            fired_faults: vec!["drop conn 0->1 ch 0 seq 3".into()],
         };
         assert!(s.to_string().contains("1.500"));
+        assert!(s.to_string().contains("drop conn 0->1 ch 0 seq 3"));
     }
 }

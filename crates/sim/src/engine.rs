@@ -4,6 +4,7 @@
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, HashMap};
 
+use msccl_faults::{BlockAction, DeliveryAction, FaultInjector};
 use msccl_topology::{Protocol, TransferPath};
 use msccl_trace::{ClockDomain, EventKind, Trace, TraceEvent};
 use mscclang::{IrInstruction, IrProgram, OpCode};
@@ -157,6 +158,12 @@ struct Conn {
     key: (usize, usize, usize),
     send_seq: u64,
     recv_seq: u64,
+    /// Injected fault actions recorded at send start for the in-flight
+    /// tile, consumed when its `Deliver` event is scheduled. A connection
+    /// has exactly one sender thread block and that block does not reach
+    /// its next send before the current tile's delivery is scheduled, so
+    /// one pending slot suffices.
+    pending_delivery: Vec<DeliveryAction>,
 }
 
 struct Tb {
@@ -225,6 +232,16 @@ pub fn simulate(
             });
         }
     }
+    let injector = match &config.fault_plan {
+        Some(plan) => {
+            plan.validate(ir).map_err(|e| SimError::BadFaultPlan {
+                message: e.to_string(),
+            })?;
+            Some(FaultInjector::new(plan))
+        }
+        None => None,
+    };
+    let injector = injector.as_ref();
     let protocol = config.protocol.or(ir.protocol).unwrap_or(Protocol::Simple);
     let mut params = protocol.params();
     if let Some(overhead) = config.tile_overhead_us {
@@ -264,13 +281,18 @@ pub fn simulate(
                     } else {
                         machine.tb_gbps()
                     };
+                    // An injected link-latency spike multiplies the path's
+                    // base latency for every transfer on this connection.
+                    let spike = injector
+                        .and_then(|inj| inj.link_spike(gpu.rank, peer))
+                        .unwrap_or(1.0);
                     conns.push(Conn {
                         resources: path
                             .resources
                             .iter()
                             .map(|&(r, cap)| table.intern(r, cap))
                             .collect(),
-                        alpha_us: path.alpha_us,
+                        alpha_us: path.alpha_us * spike,
                         cross_node,
                         local,
                         demand_gbps,
@@ -282,6 +304,7 @@ pub fn simulate(
                         key: (gpu.rank, peer, tb.channel),
                         send_seq: 0,
                         recv_seq: 0,
+                        pending_delivery: Vec::new(),
                     });
                     conn_ids.insert((gpu.rank, peer, tb.channel), id);
                     Some(id)
@@ -381,6 +404,7 @@ pub fn simulate(
         let Some(QueuedEvent { time, ev, .. }) = heap.pop() else {
             return Err(SimError::Stuck {
                 at_us: f64_bits::from_f64(last_time),
+                fired_faults: injector.map(FaultInjector::fired).unwrap_or_default(),
             });
         };
         events_processed += 1;
@@ -417,7 +441,8 @@ pub fn simulate(
                     &mut finished_tbs,
                     &mut instructions_executed,
                     &mut trace,
-                );
+                    injector,
+                )?;
             }
             Ev::FlowDone { flow, generation } => {
                 resched_scratch.clear();
@@ -426,12 +451,13 @@ pub fn simulate(
                 }
                 push_reschedules(&mut heap, &mut seq, &resched_scratch);
                 let info = flow_info.remove(&flow).expect("flow info exists");
-                heap.push(QueuedEvent {
-                    time: time + info.alpha_us,
-                    seq,
-                    ev: Ev::Deliver { conn: info.conn },
-                });
-                seq += 1;
+                push_delivery(
+                    &mut heap,
+                    &mut seq,
+                    info.conn,
+                    time + info.alpha_us,
+                    &mut conns,
+                );
                 if let Some(sender) = info.sender_tb {
                     // Intra-node: the sending thread block was occupied
                     // by the copy; it resumes now.
@@ -510,7 +536,46 @@ fn push_reschedules(heap: &mut BinaryHeap<QueuedEvent>, seq: &mut u64, rs: &[Res
     }
 }
 
+/// Schedules a tile delivery on `conn` at `base_time`, honouring any
+/// injected fault actions recorded when the send started: a drop
+/// suppresses the event entirely (the receiver starves and the run wedges
+/// into [`SimError::Stuck`]), a delay postpones it, a duplicate schedules
+/// it twice. Payload corruption has no timing effect — the simulator
+/// moves no data — so it is ignored here.
+fn push_delivery(
+    heap: &mut BinaryHeap<QueuedEvent>,
+    seq: &mut u64,
+    conn: usize,
+    base_time: f64,
+    conns: &mut [Conn],
+) {
+    let actions = std::mem::take(&mut conns[conn].pending_delivery);
+    let mut copies = 1usize;
+    let mut delay_us = 0.0;
+    for action in actions {
+        match action {
+            DeliveryAction::Drop => return,
+            DeliveryAction::Delay(d) => delay_us += d.as_secs_f64() * 1e6,
+            DeliveryAction::Duplicate => copies += 1,
+            DeliveryAction::Corrupt { .. } => {}
+        }
+    }
+    for _ in 0..copies {
+        heap.push(QueuedEvent {
+            time: base_time + delay_us,
+            seq: *seq,
+            ev: Ev::Deliver { conn },
+        });
+        *seq += 1;
+    }
+}
+
 /// Runs one thread block forward as far as it can go at `now`.
+///
+/// # Errors
+///
+/// Returns [`SimError::InjectedFault`] when the configured fault plan
+/// kills this thread block at the current step.
 #[allow(clippy::too_many_arguments)]
 fn advance_tb(
     me: usize,
@@ -538,7 +603,8 @@ fn advance_tb(
     finished_tbs: &mut usize,
     instructions_executed: &mut usize,
     trace: &mut Option<Trace>,
-) {
+    injector: Option<&FaultInjector>,
+) -> Result<(), SimError> {
     let machine = &config.machine;
     loop {
         if tbs[me].pc >= tbs[me].num_instructions {
@@ -559,7 +625,7 @@ fn advance_tb(
                 tbs[me].done = true;
                 tbs[me].finish_time = now;
                 *finished_tbs += 1;
-                return;
+                return Ok(());
             }
         }
         if !tbs[me].tile_begun {
@@ -578,6 +644,45 @@ fn advance_tb(
         let payload = instr.count as f64 * tile_bytes;
         match tbs[me].stage {
             Stage::Start => {
+                // Injected block faults strike as the instruction starts,
+                // before dependency checks — mirroring the threaded
+                // runtime, where the hook sits at the top of the
+                // per-instruction loop. The plan fires on tile 0 only
+                // (steps are program counters, and each spec is one-shot).
+                if tbs[me].tile == 0 {
+                    if let Some(action) =
+                        injector.and_then(|inj| inj.on_block(tbs[me].rank, tbs[me].local_id, pc))
+                    {
+                        match action {
+                            BlockAction::Stall(d) => {
+                                // Freeze the block, then re-enter this
+                                // stage; the spec is spent so the retry
+                                // proceeds normally.
+                                tbs[me].gen += 1;
+                                let gen = tbs[me].gen;
+                                heap.push(QueuedEvent {
+                                    time: now + d.as_secs_f64() * 1e6,
+                                    seq: *seq,
+                                    ev: Ev::TbWake { tb: me, gen },
+                                });
+                                *seq += 1;
+                                return Ok(());
+                            }
+                            BlockAction::Kill => {
+                                return Err(SimError::InjectedFault {
+                                    rank: tbs[me].rank,
+                                    tb: tbs[me].local_id,
+                                    step: pc,
+                                    fault: format!(
+                                        "kill block r{} tb{} step{}",
+                                        tbs[me].rank, tbs[me].local_id, pc
+                                    ),
+                                    at_us: f64_bits::from_f64(now),
+                                });
+                            }
+                        }
+                    }
+                }
                 // Cross-thread-block dependencies.
                 let tile = tbs[me].tile as u64;
                 let mut blocked = false;
@@ -621,7 +726,7 @@ fn advance_tb(
                     }
                 }
                 if blocked {
-                    return;
+                    return Ok(());
                 }
                 if let Some((dep_tb, target)) = tbs[me].open_wait.take() {
                     emit(
@@ -662,7 +767,7 @@ fn advance_tb(
                         }
                         conns[conn].waiting_receiver = Some(me);
                         tbs[me].gen += 1;
-                        return;
+                        return Ok(());
                     }
                     if tbs[me].open_recv_block {
                         emit(
@@ -720,7 +825,7 @@ fn advance_tb(
                         ev: Ev::TbWake { tb: me, gen },
                     });
                     *seq += 1;
-                    return;
+                    return Ok(());
                 } else if instr.op.has_send() {
                     tbs[me].stage = Stage::SendStart;
                 } else {
@@ -745,13 +850,15 @@ fn advance_tb(
                         ev: Ev::TbWake { tb: me, gen },
                     });
                     *seq += 1;
-                    return;
+                    return Ok(());
                 }
             }
             Stage::RecvBusy => {
-                // Slot drained: release the sender's FIFO slot.
+                // Slot drained: release the sender's FIFO slot. Saturating
+                // because an injected duplicate delivery can let the
+                // receiver drain more tiles than the sender put in flight.
                 let conn = tbs[me].recv_conn.expect("recv needs a connection");
-                conns[conn].in_flight -= 1;
+                conns[conn].in_flight = conns[conn].in_flight.saturating_sub(1);
                 if let Some(tx) = conns[conn].waiting_sender.take() {
                     let gen = tbs[tx].gen;
                     heap.push(QueuedEvent {
@@ -793,7 +900,7 @@ fn advance_tb(
                     }
                     conns[conn].waiting_sender = Some(me);
                     tbs[me].gen += 1;
-                    return;
+                    return Ok(());
                 }
                 if tbs[me].open_send_block {
                     emit(
@@ -816,6 +923,11 @@ fn advance_tb(
                         seq: conns[conn].send_seq,
                     },
                 );
+                if let Some(inj) = injector {
+                    let (src, _, _) = conns[conn].key;
+                    conns[conn].pending_delivery =
+                        inj.on_delivery(src, dst, channel, conns[conn].send_seq);
+                }
                 conns[conn].send_seq += 1;
                 conns[conn].in_flight += 1;
                 // Sender-side synchronization + (for RDMA paths) staging
@@ -848,7 +960,7 @@ fn advance_tb(
                     ev: Ev::TbWake { tb: me, gen },
                 });
                 *seq += 1;
-                return;
+                return Ok(());
             }
             Stage::SendBusy => {
                 let conn = tbs[me].send_conn.expect("send needs a connection");
@@ -862,12 +974,7 @@ fn advance_tb(
                 if conns[conn].local {
                     // Same-GPU transfer (not produced by the compiler, but
                     // legal IR): treat as a local copy.
-                    heap.push(QueuedEvent {
-                        time: now,
-                        seq: *seq,
-                        ev: Ev::Deliver { conn },
-                    });
-                    *seq += 1;
+                    push_delivery(heap, seq, conn, now, conns);
                     complete_instruction(
                         me,
                         now,
@@ -896,12 +1003,7 @@ fn advance_tb(
                         nic_bytes[r] += wire;
                     }
                     *cross_flows += 1;
-                    heap.push(QueuedEvent {
-                        time: done + alpha,
-                        seq: *seq,
-                        ev: Ev::Deliver { conn },
-                    });
-                    *seq += 1;
+                    push_delivery(heap, seq, conn, done + alpha, conns);
                     complete_instruction(
                         me,
                         now,
@@ -931,7 +1033,7 @@ fn advance_tb(
                         alpha_us: alpha,
                     },
                 );
-                return;
+                return Ok(());
             }
             Stage::FlowWait => {
                 // Woken by FlowDone: the send is finished.
@@ -1329,5 +1431,80 @@ mod tests {
         let traced = simulate(&ir, &ndv4_config().with_trace(true), 1 << 20).unwrap();
         assert_eq!(plain.total_us, traced.total_us);
         assert_eq!(plain.instructions, traced.instructions);
+    }
+
+    fn faulted(plan_text: &str) -> SimConfig {
+        ndv4_config().with_faults(msccl_faults::FaultPlan::parse(plan_text).unwrap())
+    }
+
+    #[test]
+    fn injected_kill_is_a_structured_error() {
+        let ir = ring(4, 1, 1);
+        let err = simulate(&ir, &faulted("kill block r0 tb0 step0"), 1 << 20).unwrap_err();
+        match err {
+            SimError::InjectedFault { rank, tb, step, .. } => {
+                assert_eq!((rank, tb, step), (0, 0, 0))
+            }
+            other => panic!("expected InjectedFault, got {other}"),
+        }
+        assert!(err.to_string().contains("kill block r0 tb0 step0"));
+    }
+
+    #[test]
+    fn injected_drop_wedges_into_stuck_naming_the_fault() {
+        let ir = ring(4, 1, 1);
+        let err = simulate(&ir, &faulted("drop conn 0->1 ch 0 seq 0"), 1 << 20).unwrap_err();
+        match &err {
+            SimError::Stuck { fired_faults, .. } => {
+                assert_eq!(fired_faults, &["drop conn 0->1 ch 0 seq 0".to_string()]);
+            }
+            other => panic!("expected Stuck, got {other}"),
+        }
+        assert!(err.to_string().contains("injected fault struck"));
+    }
+
+    #[test]
+    fn benign_faults_only_shift_timing() {
+        let ir = ring(4, 1, 1);
+        let clean = simulate(&ir, &ndv4_config(), 1 << 20).unwrap();
+        for plan in [
+            "spike link 0->1 x5000",
+            "delay conn 0->1 ch 0 seq 0 us 500",
+            "stall block r0 tb0 step0 us 500",
+        ] {
+            let hurt = simulate(&ir, &faulted(plan), 1 << 20).unwrap();
+            assert_eq!(
+                hurt.instructions, clean.instructions,
+                "{plan} changed the work done"
+            );
+            assert!(
+                hurt.total_us >= clean.total_us,
+                "{plan} sped the run up: {} < {}",
+                hurt.total_us,
+                clean.total_us
+            );
+        }
+        // A duplicated delivery still completes the same program — its
+        // timing may shift either way (the spurious tile can unblock the
+        // receiver early), which is exactly why only output verification
+        // in the threaded runtime can catch it.
+        let dup = simulate(&ir, &faulted("dup conn 0->1 ch 0 seq 0"), 1 << 20).unwrap();
+        assert_eq!(dup.instructions, clean.instructions);
+        // Deterministic: the same faulted run twice gives identical times.
+        let a = simulate(&ir, &faulted("delay conn 0->1 ch 0 seq 0 us 500"), 1 << 20).unwrap();
+        let b = simulate(&ir, &faulted("delay conn 0->1 ch 0 seq 0 us 500"), 1 << 20).unwrap();
+        assert_eq!(a.total_us, b.total_us);
+    }
+
+    #[test]
+    fn fault_plan_is_validated_against_the_program() {
+        let ir = ring(4, 1, 1);
+        let err = simulate(&ir, &faulted("kill block r99 tb0 step0"), 1 << 20).unwrap_err();
+        match &err {
+            SimError::BadFaultPlan { message } => {
+                assert!(message.contains("targets a rank"), "got: {message}");
+            }
+            other => panic!("expected BadFaultPlan, got {other}"),
+        }
     }
 }

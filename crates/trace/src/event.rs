@@ -128,6 +128,41 @@ pub enum EventKind {
         /// Per-connection receive sequence number.
         seq: u64,
     },
+    /// The recovery layer decided what to do after an execution attempt
+    /// (emitted with `rank = 0`, `tb = 0`: recovery is collective-level,
+    /// not per-block).
+    Recovery {
+        /// Zero-based attempt the decision follows.
+        attempt: usize,
+        /// What the recovery layer decided.
+        decision: RecoveryDecision,
+    },
+}
+
+/// The outcome of one attempt, as judged by the recovery layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecoveryDecision {
+    /// The attempt produced verified-correct outputs; the run is done.
+    Accept,
+    /// The attempt failed transiently; retry after backoff.
+    Retry,
+    /// Retries are exhausted; switch to the fallback algorithm.
+    Fallback,
+    /// Nothing left to try; surface the error.
+    GiveUp,
+}
+
+impl RecoveryDecision {
+    /// Stable lowercase name used by the exporters.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            RecoveryDecision::Accept => "accept",
+            RecoveryDecision::Retry => "retry",
+            RecoveryDecision::Fallback => "fallback",
+            RecoveryDecision::GiveUp => "give_up",
+        }
+    }
 }
 
 impl EventKind {
@@ -149,6 +184,7 @@ impl EventKind {
             EventKind::RecvBlock { .. } => "recv_block",
             EventKind::RecvResume { .. } => "recv_resume",
             EventKind::Recv { .. } => "recv",
+            EventKind::Recovery { .. } => "recovery",
         }
     }
 }

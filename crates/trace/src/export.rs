@@ -252,6 +252,22 @@ impl Trace {
                         ],
                     );
                 }
+                EventKind::Recovery { attempt, decision } => {
+                    push_event(
+                        &mut out,
+                        &mut first,
+                        "recovery",
+                        "i",
+                        e.ts_us,
+                        e.rank,
+                        e.tb,
+                        None,
+                        &[
+                            ("attempt", attempt.to_string()),
+                            ("decision", format!("\"{}\"", decision.label())),
+                        ],
+                    );
+                }
             }
         }
         out.push_str("\n  ]\n}\n");
@@ -324,6 +340,12 @@ impl Trace {
                     peer = src.to_string();
                     channel = c.to_string();
                     seq = q.to_string();
+                }
+                // `step` reuses its column for the attempt index; the
+                // decision label rides in the free-form `value` column.
+                EventKind::Recovery { attempt, decision } => {
+                    step = attempt.to_string();
+                    value = decision.label().to_string();
                 }
             }
             let _ = writeln!(

@@ -25,7 +25,7 @@ mod event;
 mod export;
 mod metrics;
 
-pub use event::{ClockDomain, EventKind, TraceEvent};
+pub use event::{ClockDomain, EventKind, RecoveryDecision, TraceEvent};
 pub use metrics::{ConnectionStats, TbBreakdown, TraceSummary};
 
 /// A completed execution trace: events from every thread block, sorted by

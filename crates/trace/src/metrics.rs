@@ -188,7 +188,8 @@ impl Trace {
                 EventKind::KernelLaunch
                 | EventKind::TileBegin { .. }
                 | EventKind::TileEnd { .. }
-                | EventKind::SemSet { .. } => {}
+                | EventKind::SemSet { .. }
+                | EventKind::Recovery { .. } => {}
             }
         }
 

@@ -1,0 +1,220 @@
+//! Chaos tier: deterministic fault injection over every algorithm.
+//!
+//! The invariant under test is the robustness contract from
+//! `docs/robustness.md`: under *any* seeded fault plan, an execution
+//! either returns outputs that verify against the golden collective, or
+//! fails with a precise structured error that names an injected fault —
+//! and it does so promptly (cooperative cancellation, not a timeout
+//! cascade), never wedging and never corrupting silently.
+//!
+//! Seeds are pinned (`ALGO_INDEX * 1000 + i`), so every plan exercised
+//! here is reproducible with `msccl faults <ir.xml> --seed N`. The
+//! proptest tier layers randomized seeds on top of the pinned sweep.
+
+use std::time::{Duration, Instant};
+
+use msccl_faults::{FaultInjector, FaultPlan, FaultUniverse};
+use msccl_runtime::{execute_with_faults, reference, RunOptions, RuntimeError};
+use mscclang::{compile, CompileOptions, IrProgram, Program, ReduceOp};
+use proptest::prelude::*;
+
+/// Every buildable algorithm, at small dimensions.
+fn catalog() -> Vec<Program> {
+    vec![
+        msccl_algos::ring_all_reduce(4, 1).unwrap(),
+        msccl_algos::allpairs_all_reduce(4).unwrap(),
+        msccl_algos::hierarchical_all_reduce(2, 2).unwrap(),
+        msccl_algos::two_step_all_to_all(2, 2).unwrap(),
+        msccl_algos::one_step_all_to_all(2, 2).unwrap(),
+        msccl_algos::all_to_next(2, 2).unwrap(),
+        msccl_algos::hcm_allgather().unwrap(),
+        msccl_algos::recursive_doubling_all_gather(4).unwrap(),
+        msccl_algos::binary_tree_all_reduce(4, 1).unwrap(),
+        msccl_algos::double_binary_tree_all_reduce(4, 2).unwrap(),
+        msccl_algos::rabenseifner_all_reduce(4).unwrap(),
+        msccl_algos::binomial_broadcast(4, 1, 0).unwrap(),
+        msccl_algos::binomial_reduce(4, 1, 0).unwrap(),
+        msccl_algos::linear_gather(4, 1, 0).unwrap(),
+        msccl_algos::linear_scatter(4, 1, 0).unwrap(),
+    ]
+}
+
+fn compiled(program: &Program) -> IrProgram {
+    compile(program, &CompileOptions::default()).expect("catalog programs compile")
+}
+
+/// Runs `ir` under the plan `seed` generates for it and asserts the
+/// chaos contract: prompt termination, and either verified outputs or a
+/// structured error naming a fired fault.
+fn chaos_invariant(name: &str, ir: &IrProgram, seed: u64) {
+    let plan = FaultPlan::generate(seed, &FaultUniverse::from_ir(ir));
+    let chunk_elems = 8;
+    let inputs = reference::random_inputs(ir, chunk_elems, seed ^ 0x00C0_FFEE);
+    let opts = RunOptions {
+        // Short step timeout so disruptive faults (drops) resolve fast;
+        // generated delays/stalls top out at 2 ms, far below it.
+        timeout: Duration::from_millis(250),
+        deadline: Some(Duration::from_secs(5)),
+        ..RunOptions::default()
+    };
+    let injector = FaultInjector::new(&plan);
+    let start = Instant::now();
+    let result = execute_with_faults(ir, &inputs, chunk_elems, &opts, &injector);
+    let elapsed = start.elapsed();
+    assert!(
+        elapsed < Duration::from_secs(8),
+        "{name} seed {seed}: run exceeded the global deadline ({elapsed:?})\nplan:\n{}",
+        plan.to_text()
+    );
+    let fired = injector.fired();
+    match result {
+        Ok(outputs) => {
+            if let Err(msg) = reference::check_outputs(
+                &ir.collective,
+                &inputs,
+                &outputs,
+                chunk_elems,
+                ReduceOp::Sum,
+            ) {
+                // A wrong answer is only acceptable when a corrupting
+                // fault (payload corruption / duplicated delivery)
+                // actually struck; anything else is silent corruption.
+                assert!(
+                    fired
+                        .iter()
+                        .any(|f| f.starts_with("corrupt") || f.starts_with("dup")),
+                    "{name} seed {seed}: wrong outputs without a corrupting fault\n\
+                     verification: {msg}\nfired: {fired:?}\nplan:\n{}",
+                    plan.to_text()
+                );
+            }
+        }
+        Err(err) => {
+            assert!(
+                err.is_transient(),
+                "{name} seed {seed}: fault surfaced as a non-transient error: {err}"
+            );
+            assert!(
+                !fired.is_empty(),
+                "{name} seed {seed}: failed with no fault fired: {err}"
+            );
+            let display = err.to_string();
+            assert!(
+                fired.iter().any(|f| display.contains(f.as_str())),
+                "{name} seed {seed}: error does not name any injected fault\n\
+                 error: {display}\nfired: {fired:?}"
+            );
+        }
+    }
+}
+
+/// Pinned sweep: 15 algorithms x 14 seeds = 210 fault plans.
+macro_rules! chaos_sweep {
+    ($($test:ident => $index:expr),* $(,)?) => {
+        $(
+            #[test]
+            fn $test() {
+                let program = &catalog()[$index];
+                let ir = compiled(program);
+                for i in 0..14u64 {
+                    chaos_invariant(program.name(), &ir, $index as u64 * 1000 + i);
+                }
+            }
+        )*
+    };
+}
+
+chaos_sweep! {
+    chaos_ring_allreduce => 0,
+    chaos_allpairs_allreduce => 1,
+    chaos_hierarchical_allreduce => 2,
+    chaos_two_step_alltoall => 3,
+    chaos_one_step_alltoall => 4,
+    chaos_alltonext => 5,
+    chaos_hcm_allgather => 6,
+    chaos_recursive_doubling_allgather => 7,
+    chaos_tree_allreduce => 8,
+    chaos_double_tree_allreduce => 9,
+    chaos_rabenseifner_allreduce => 10,
+    chaos_broadcast => 11,
+    chaos_reduce => 12,
+    chaos_gather => 13,
+    chaos_scatter => 14,
+}
+
+/// Killing one thread block aborts the whole collective in under a
+/// second even though the per-step timeout is the 20 s default: the
+/// cancellation token wakes every worker; nobody waits out a timeout.
+#[test]
+fn killing_one_block_cancels_all_workers_promptly() {
+    let program = msccl_algos::ring_all_reduce(8, 2).unwrap();
+    let ir = compiled(&program);
+    let plan = FaultPlan::parse("kill block r0 tb0 step0").unwrap();
+    plan.validate(&ir).unwrap();
+    let injector = FaultInjector::new(&plan);
+    let inputs = reference::random_inputs(&ir, 8, 1);
+    let start = Instant::now();
+    let err = execute_with_faults(&ir, &inputs, 8, &RunOptions::default(), &injector).unwrap_err();
+    let elapsed = start.elapsed();
+    assert!(
+        elapsed < Duration::from_secs(1),
+        "cancellation took {elapsed:?}; workers waited out timeouts instead"
+    );
+    match &err {
+        RuntimeError::InjectedFault { rank, tb, step, .. } => {
+            assert_eq!((*rank, *tb, *step), (0, 0, 0))
+        }
+        other => panic!("expected InjectedFault, got {other}"),
+    }
+    assert!(err.to_string().contains("kill block r0 tb0 step0"));
+}
+
+/// A dropped delivery starves the receiver into a `Hang` whose context
+/// dump names the injected fault — the error-path formatting contract.
+#[test]
+fn dropped_delivery_hangs_with_the_fault_named_in_context() {
+    let program = msccl_algos::ring_all_reduce(4, 1).unwrap();
+    let ir = compiled(&program);
+    let plan = FaultPlan::parse("drop conn 0->1 ch 0 seq 0").unwrap();
+    plan.validate(&ir).unwrap();
+    let injector = FaultInjector::new(&plan);
+    let inputs = reference::random_inputs(&ir, 8, 2);
+    let opts = RunOptions {
+        timeout: Duration::from_millis(200),
+        ..RunOptions::default()
+    };
+    let err = execute_with_faults(&ir, &inputs, 8, &opts, &injector).unwrap_err();
+    let display = err.to_string();
+    assert!(
+        matches!(err, RuntimeError::Hang { .. }),
+        "expected Hang, got {display}"
+    );
+    assert!(
+        display.contains("injected fault struck: drop conn 0->1 ch 0 seq 0"),
+        "context does not name the drop: {display}"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Randomized seeds uphold the same contract the pinned sweep pins.
+    #[test]
+    fn random_fault_plans_never_wedge(index in 0usize..15, seed in any::<u64>()) {
+        let program = &catalog()[index];
+        let ir = compiled(program);
+        chaos_invariant(program.name(), &ir, seed);
+    }
+
+    /// Every generated plan survives text serialization round-trip and
+    /// still validates against the program it was generated for.
+    #[test]
+    fn generated_plans_round_trip_through_text(index in 0usize..15, seed in any::<u64>()) {
+        let program = &catalog()[index];
+        let ir = compiled(program);
+        let plan = FaultPlan::generate(seed, &FaultUniverse::from_ir(&ir));
+        let parsed = FaultPlan::parse(&plan.to_text()).unwrap();
+        prop_assert_eq!(parsed.to_text(), plan.to_text());
+        parsed.validate(&ir).unwrap();
+    }
+}
