@@ -1,0 +1,50 @@
+//! Criterion microbenchmarks for the in-place reduce kernels: the
+//! vectorizable chunked loops (`reduce_into_slice`) against the scalar
+//! per-element dispatch (`reduce_into_slice_scalar`) they replaced.
+//!
+//! The chunked loops hoist the operator match out of the loop and walk
+//! the slices in fixed-width lanes so LLVM can emit SIMD; the scalar
+//! oracle dispatches on the operator per element. The gap between the
+//! two is the speedup the runtime's combine path inherits.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use msccl_runtime::kernels::{reduce_into_slice, reduce_into_slice_scalar};
+use mscclang::ReduceOp;
+
+fn bench_reduce_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reduce_kernels");
+
+    // 128 Ki f32 = 512 KiB, one Simple-protocol tile.
+    for len in [4096usize, 131_072] {
+        let src: Vec<f32> = (0..len).map(|i| (i % 97) as f32 * 0.5).collect();
+        let base: Vec<f32> = (0..len).map(|i| (i % 89) as f32 * 0.25).collect();
+        group.throughput(Throughput::Bytes((len * 4) as u64));
+        for op in [ReduceOp::Sum, ReduceOp::Max, ReduceOp::Min, ReduceOp::Prod] {
+            let tag = match op {
+                ReduceOp::Sum => "sum",
+                ReduceOp::Max => "max",
+                ReduceOp::Min => "min",
+                ReduceOp::Prod => "prod",
+            };
+            group.bench_function(format!("vectorized_{tag}_{len}"), |b| {
+                let mut acc = base.clone();
+                b.iter(|| {
+                    reduce_into_slice(op, black_box(&mut acc), black_box(&src));
+                })
+            });
+            group.bench_function(format!("scalar_{tag}_{len}"), |b| {
+                let mut acc = base.clone();
+                b.iter(|| {
+                    reduce_into_slice_scalar(op, black_box(&mut acc), black_box(&src));
+                })
+            });
+        }
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_reduce_kernels);
+criterion_main!(benches);

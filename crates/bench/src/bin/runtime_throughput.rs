@@ -1,0 +1,223 @@
+//! Runtime throughput tier: sweeps collective buffer sizes through the
+//! *real* threaded executor (not the simulator) and reports achieved
+//! GB/s plus allocation behaviour, emitting `BENCH_RUNTIME.json` — the
+//! repo's measured perf trajectory.
+//!
+//! Scale: `MSCCL_BENCH_QUICK=1` shrinks ranks/sizes/iterations for CI.
+//! Output: `MSCCL_BENCH_OUT` overrides the JSON path (default
+//! `BENCH_RUNTIME.json` in the working directory).
+//! Regression gate: `--baseline <path>` (or `MSCCL_BENCH_BASELINE`)
+//! compares matching entries against a previously emitted JSON and exits
+//! non-zero when any entry loses more than 20% GB/s.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use msccl_bench::Scale;
+use msccl_runtime::{execute_in_arena, reference, ExecArena, RunOptions};
+use mscclang::{compile, CompileOptions, Program};
+
+/// One measured point of the sweep.
+struct Entry {
+    collective: &'static str,
+    ranks: usize,
+    bytes_per_rank: u64,
+    gbps: f64,
+    /// Tile-buffer allocations per executed instruction in the measured
+    /// (post-warmup) run — zero when the pool recycles perfectly.
+    allocs_per_step: f64,
+    pool_allocated: u64,
+    pool_reused: u64,
+}
+
+fn build(collective: &'static str, ranks: usize) -> Program {
+    match collective {
+        "allreduce_ring" => msccl_algos::ring_all_reduce(ranks, 1).expect("builds"),
+        "allgather_recursive_doubling" => {
+            msccl_algos::recursive_doubling_all_gather(ranks).expect("builds")
+        }
+        _ => unreachable!("unknown collective {collective}"),
+    }
+}
+
+fn measure(collective: &'static str, ranks: usize, bytes_per_rank: u64, iters: usize) -> Entry {
+    let program = build(collective, ranks);
+    let ir = compile(&program, &CompileOptions::default().with_verify(false)).expect("compiles");
+    let in_chunks = ir.collective.in_chunks();
+    let chunk_elems = ((bytes_per_rank as usize / 4) / in_chunks).max(1);
+    let inputs = reference::random_inputs(&ir, chunk_elems, 42);
+    let opts = RunOptions::default();
+
+    // One arena across warmup and measurement: warmup runs pay every
+    // allocation (tiles, rank memory, result vectors), so measured
+    // iterations report the steady state — allocs_per_step == 0 when
+    // recycling is perfect. Two warmups, because the pool's high
+    // watermark is scheduling-dependent and can grow once more on the
+    // second pass.
+    let mut arena = ExecArena::new(&ir, &opts);
+    for _ in 0..2 {
+        let (warm, _) =
+            execute_in_arena(&ir, &inputs, chunk_elems, &opts, &mut arena).expect("warmup");
+        arena.recycle_outputs(warm);
+    }
+
+    let mut best = f64::INFINITY;
+    let mut stats = None;
+    for _ in 0..iters {
+        let t0 = Instant::now();
+        let (out, s) =
+            execute_in_arena(&ir, &inputs, chunk_elems, &opts, &mut arena).expect("runs");
+        let dt = t0.elapsed().as_secs_f64();
+        std::hint::black_box(&out);
+        arena.recycle_outputs(out);
+        if dt < best {
+            best = dt;
+            // Stats travel with the iteration whose time is reported.
+            stats = Some(s);
+        }
+    }
+    let stats = stats.expect("at least one iteration");
+    let moved = in_chunks as f64 * chunk_elems as f64 * 4.0;
+    Entry {
+        collective,
+        ranks,
+        bytes_per_rank: moved as u64,
+        gbps: moved / best / 1e9,
+        allocs_per_step: if stats.instructions == 0 {
+            0.0
+        } else {
+            stats.pool.allocated as f64 / stats.instructions as f64
+        },
+        pool_allocated: stats.pool.allocated,
+        pool_reused: stats.pool.reused,
+    }
+}
+
+fn to_json(mode: &str, entries: &[Entry]) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "{{");
+    let _ = writeln!(s, "  \"bench\": \"runtime_throughput\",");
+    let _ = writeln!(s, "  \"mode\": \"{mode}\",");
+    let _ = writeln!(s, "  \"unit\": \"GB/s (bytes-per-rank / wall time)\",");
+    let _ = writeln!(s, "  \"entries\": [");
+    for (i, e) in entries.iter().enumerate() {
+        let comma = if i + 1 == entries.len() { "" } else { "," };
+        let _ = writeln!(
+            s,
+            "    {{\"collective\": \"{}\", \"ranks\": {}, \"bytes_per_rank\": {}, \
+             \"gbps\": {:.3}, \"allocs_per_step\": {:.4}, \"pool_allocated\": {}, \
+             \"pool_reused\": {}}}{comma}",
+            e.collective,
+            e.ranks,
+            e.bytes_per_rank,
+            e.gbps,
+            e.allocs_per_step,
+            e.pool_allocated,
+            e.pool_reused,
+        );
+    }
+    let _ = writeln!(s, "  ]");
+    let _ = writeln!(s, "}}");
+    s
+}
+
+/// Pulls `(collective, ranks, bytes_per_rank) -> gbps` out of a previously
+/// emitted JSON file with a line-oriented scan (the format above is one
+/// entry per line; no JSON parser in the dependency tree).
+fn parse_baseline(text: &str) -> Vec<(String, usize, u64, f64)> {
+    let field = |line: &str, key: &str| -> Option<String> {
+        let pat = format!("\"{key}\": ");
+        let start = line.find(&pat)? + pat.len();
+        let rest = &line[start..];
+        let rest = rest.strip_prefix('"').unwrap_or(rest);
+        let end = rest.find([',', '"', '}']).unwrap_or(rest.len());
+        Some(rest[..end].trim().to_string())
+    };
+    text.lines()
+        .filter(|l| l.contains("\"collective\""))
+        .filter_map(|l| {
+            Some((
+                field(l, "collective")?,
+                field(l, "ranks")?.parse().ok()?,
+                field(l, "bytes_per_rank")?.parse().ok()?,
+                field(l, "gbps")?.parse().ok()?,
+            ))
+        })
+        .collect()
+}
+
+fn check_regression(entries: &[Entry], baseline: &str, tolerance: f64) -> Result<(), String> {
+    let base = parse_baseline(baseline);
+    let mut compared = 0usize;
+    for e in entries {
+        let Some((_, _, _, base_gbps)) = base
+            .iter()
+            .find(|(c, r, b, _)| c == e.collective && *r == e.ranks && *b == e.bytes_per_rank)
+        else {
+            continue;
+        };
+        compared += 1;
+        let floor = base_gbps * (1.0 - tolerance);
+        if e.gbps < floor {
+            return Err(format!(
+                "{} ranks={} bytes={}: {:.3} GB/s is a >{:.0}% regression vs baseline {:.3} GB/s",
+                e.collective,
+                e.ranks,
+                e.bytes_per_rank,
+                e.gbps,
+                tolerance * 100.0,
+                base_gbps,
+            ));
+        }
+    }
+    if compared == 0 {
+        return Err("baseline shares no entries with this run".into());
+    }
+    Ok(())
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let (ranks, sizes, iters): (usize, Vec<u64>, usize) = match scale {
+        Scale::Full => (8, vec![1 << 20, 8 << 20, 64 << 20], 3),
+        Scale::Quick => (4, vec![1 << 16, 1 << 20], 2),
+    };
+    let mode = match scale {
+        Scale::Full => "full",
+        Scale::Quick => "quick",
+    };
+
+    let mut entries = Vec::new();
+    for collective in ["allreduce_ring", "allgather_recursive_doubling"] {
+        for &bytes in &sizes {
+            let e = measure(collective, ranks, bytes, iters);
+            println!(
+                "{:<30} ranks={} bytes/rank={:>9} {:>8.3} GB/s  allocs/step={:.4} (pool: {} allocated, {} reused)",
+                e.collective, e.ranks, e.bytes_per_rank, e.gbps, e.allocs_per_step,
+                e.pool_allocated, e.pool_reused,
+            );
+            entries.push(e);
+        }
+    }
+
+    let json = to_json(mode, &entries);
+    let out = std::env::var("MSCCL_BENCH_OUT").unwrap_or_else(|_| "BENCH_RUNTIME.json".into());
+    std::fs::write(&out, &json).expect("write BENCH_RUNTIME.json");
+    println!("wrote {out}");
+
+    let baseline_path = std::env::args()
+        .skip_while(|a| a != "--baseline")
+        .nth(1)
+        .or_else(|| std::env::var("MSCCL_BENCH_BASELINE").ok());
+    if let Some(path) = baseline_path {
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}"));
+        match check_regression(&entries, &text, 0.20) {
+            Ok(()) => println!("no regression vs {path}"),
+            Err(msg) => {
+                eprintln!("REGRESSION: {msg}");
+                std::process::exit(1);
+            }
+        }
+    }
+}

@@ -33,7 +33,8 @@ use mscclang::{IrProgram, OpCode, ReduceOp};
 
 use crate::cancel::{CancelToken, FailureCause, FailureOrigin, CANCEL_POLL};
 use crate::fifo::{Fifo, FifoStop, SendMoment};
-use crate::memory::RankMemory;
+use crate::memory::{RankMemory, SpaceBuffers};
+use crate::pool::{PoolStats, PooledTile, TilePool};
 use crate::semaphore::{Semaphore, WaitOutcome};
 
 /// Options controlling an execution.
@@ -252,6 +253,82 @@ impl RuntimeError {
     }
 }
 
+/// Observability counters for one execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecStats {
+    /// Tile-pool behaviour *during this run* (allocation/reuse deltas;
+    /// `free` is the pool's absolute level afterwards). With a warm
+    /// shared pool (see [`execute_pooled`]), `pool.allocated` is zero.
+    pub pool: PoolStats,
+    /// Instruction instances completed across all thread blocks and
+    /// tiles — the denominator for allocations-per-step.
+    pub instructions: u64,
+}
+
+/// The tile pool [`execute`] would create internally for `ir` under
+/// `opts`: buffers sized to one maximal tile (`tile_elems` × the largest
+/// instruction `count`). Create one of these and pass it to
+/// [`execute_pooled`] repeatedly to keep buffers warm across runs.
+#[must_use]
+pub fn tile_pool_for(ir: &IrProgram, opts: &RunOptions) -> Arc<TilePool> {
+    let params = opts.protocol.params();
+    let tile_elems = opts
+        .tile_elems
+        .unwrap_or_else(|| ((params.slot_bytes as usize) / std::mem::size_of::<f32>()).max(1));
+    let max_count = ir
+        .gpus
+        .iter()
+        .flat_map(|g| &g.threadblocks)
+        .flat_map(|t| &t.instructions)
+        .map(|i| i.count.max(1))
+        .max()
+        .unwrap_or(1);
+    TilePool::new(tile_elems * max_count)
+}
+
+/// Warm, reusable execution state: the tile pool plus recycled rank
+/// memory spaces and (optionally) result vectors. [`execute_in_arena`]
+/// draws every buffer of the data path from here and stashes the space
+/// buffers back after the run, so repeated executions of the same
+/// program allocate nothing in steady state — not tiles, not rank
+/// memory, and, when finished outputs are handed back with
+/// [`recycle_outputs`](ExecArena::recycle_outputs), not result buffers
+/// either. Beyond skipping `malloc`, reuse keeps the pages faulted in:
+/// for large buffers that is worth more than the allocation itself.
+pub struct ExecArena {
+    pool: Arc<TilePool>,
+    spares: Vec<SpaceBuffers>,
+    outputs: Vec<Vec<f32>>,
+}
+
+impl ExecArena {
+    /// An arena whose tile pool is sized for `ir` under `opts` (see
+    /// [`tile_pool_for`]). Memory-space and output buffers are adopted
+    /// from whatever program runs in it, so one arena can serve
+    /// different programs of similar size.
+    #[must_use]
+    pub fn new(ir: &IrProgram, opts: &RunOptions) -> Self {
+        Self {
+            pool: tile_pool_for(ir, opts),
+            spares: Vec::new(),
+            outputs: Vec::new(),
+        }
+    }
+
+    /// The arena's tile pool, e.g. for inspecting cumulative
+    /// [`stats`](TilePool::stats).
+    #[must_use]
+    pub fn pool(&self) -> &Arc<TilePool> {
+        &self.pool
+    }
+
+    /// Hands finished output buffers back for reuse as the next run's
+    /// result vectors.
+    pub fn recycle_outputs(&mut self, outputs: Vec<Vec<f32>>) {
+        self.outputs.extend(outputs);
+    }
+}
+
 type ConnKey = (usize, usize, usize); // (src rank, dst rank, channel)
 
 /// How many recent ring entries each worker keeps for failure diagnostics.
@@ -434,7 +511,70 @@ pub fn execute(
     chunk_elems: usize,
     opts: &RunOptions,
 ) -> Result<Vec<Vec<f32>>, RuntimeError> {
-    execute_impl(ir, inputs, chunk_elems, opts, false, None).map(|(outputs, _)| outputs)
+    execute_impl(ir, inputs, chunk_elems, opts, false, None, None).map(|(outputs, _, _)| outputs)
+}
+
+/// Like [`execute`], additionally returning the run's [`ExecStats`]
+/// (tile-pool allocation counters and instructions executed).
+///
+/// # Errors
+///
+/// As for [`execute`].
+pub fn execute_with_stats(
+    ir: &IrProgram,
+    inputs: &[Vec<f32>],
+    chunk_elems: usize,
+    opts: &RunOptions,
+) -> Result<(Vec<Vec<f32>>, ExecStats), RuntimeError> {
+    execute_impl(ir, inputs, chunk_elems, opts, false, None, None)
+        .map(|(outputs, _, stats)| (outputs, stats))
+}
+
+/// Like [`execute_with_stats`], reusing a caller-owned [`TilePool`]
+/// (typically from [`tile_pool_for`]) so tile buffers stay warm across
+/// runs: after one warmup execution, subsequent runs report zero pool
+/// allocations. For the full steady state — rank memory and result
+/// buffers too — use [`execute_in_arena`].
+///
+/// # Errors
+///
+/// As for [`execute`].
+pub fn execute_pooled(
+    ir: &IrProgram,
+    inputs: &[Vec<f32>],
+    chunk_elems: usize,
+    opts: &RunOptions,
+    pool: &Arc<TilePool>,
+) -> Result<(Vec<Vec<f32>>, ExecStats), RuntimeError> {
+    let mut arena = ExecArena {
+        pool: Arc::clone(pool),
+        spares: Vec::new(),
+        outputs: Vec::new(),
+    };
+    execute_impl(ir, inputs, chunk_elems, opts, false, None, Some(&mut arena))
+        .map(|(outputs, _, stats)| (outputs, stats))
+}
+
+/// Like [`execute_with_stats`], drawing every buffer of the data path —
+/// tiles, rank memory spaces, result vectors — from a caller-owned
+/// [`ExecArena`] and returning the reusable ones to it afterwards. After
+/// one warmup run (and with outputs handed back via
+/// [`ExecArena::recycle_outputs`]), subsequent runs of the same program
+/// perform zero steady-state allocations on the data path; this is the
+/// configuration the throughput bench measures.
+///
+/// # Errors
+///
+/// As for [`execute`].
+pub fn execute_in_arena(
+    ir: &IrProgram,
+    inputs: &[Vec<f32>],
+    chunk_elems: usize,
+    opts: &RunOptions,
+    arena: &mut ExecArena,
+) -> Result<(Vec<Vec<f32>>, ExecStats), RuntimeError> {
+    execute_impl(ir, inputs, chunk_elems, opts, false, None, Some(arena))
+        .map(|(outputs, _, stats)| (outputs, stats))
 }
 
 /// Like [`execute`], additionally recording a wall-clock [`Trace`] of
@@ -454,8 +594,8 @@ pub fn execute_traced(
     chunk_elems: usize,
     opts: &RunOptions,
 ) -> Result<(Vec<Vec<f32>>, Trace), RuntimeError> {
-    execute_impl(ir, inputs, chunk_elems, opts, true, None)
-        .map(|(outputs, trace)| (outputs, trace.expect("tracing was enabled")))
+    execute_impl(ir, inputs, chunk_elems, opts, true, None, None)
+        .map(|(outputs, trace, _)| (outputs, trace.expect("tracing was enabled")))
 }
 
 /// Like [`execute`], with deterministic faults injected from `injector`.
@@ -479,7 +619,8 @@ pub fn execute_with_faults(
     opts: &RunOptions,
     injector: &FaultInjector,
 ) -> Result<Vec<Vec<f32>>, RuntimeError> {
-    execute_impl(ir, inputs, chunk_elems, opts, false, Some(injector)).map(|(outputs, _)| outputs)
+    execute_impl(ir, inputs, chunk_elems, opts, false, Some(injector), None)
+        .map(|(outputs, _, _)| outputs)
 }
 
 /// [`execute_with_faults`] with tracing, as [`execute_traced`] is to
@@ -495,9 +636,13 @@ pub fn execute_with_faults_traced(
     opts: &RunOptions,
     injector: &FaultInjector,
 ) -> Result<(Vec<Vec<f32>>, Trace), RuntimeError> {
-    execute_impl(ir, inputs, chunk_elems, opts, true, Some(injector))
-        .map(|(outputs, trace)| (outputs, trace.expect("tracing was enabled")))
+    execute_impl(ir, inputs, chunk_elems, opts, true, Some(injector), None)
+        .map(|(outputs, trace, _)| (outputs, trace.expect("tracing was enabled")))
 }
+
+/// Everything one run produces: per-rank outputs, the trace when
+/// tracing was on, and the pool/instruction statistics.
+type RunProducts = (Vec<Vec<f32>>, Option<Trace>, ExecStats);
 
 fn execute_impl(
     ir: &IrProgram,
@@ -506,7 +651,9 @@ fn execute_impl(
     opts: &RunOptions,
     tracing: bool,
     injector: Option<&FaultInjector>,
-) -> Result<(Vec<Vec<f32>>, Option<Trace>), RuntimeError> {
+    arena: Option<&mut ExecArena>,
+) -> Result<RunProducts, RuntimeError> {
+    let mut arena = arena;
     validate_options(opts)?;
     let collective = &ir.collective;
     let num_ranks = ir.num_ranks();
@@ -539,10 +686,31 @@ fn execute_impl(
     let num_tiles = chunk_elems.div_ceil(tile_elems);
     let op = opts.reduce_op;
 
-    // ---- Memory, loaded with the inputs.
+    // ---- Tile pool: every payload in flight lives in a recycled buffer.
+    // Counters are read as before/after deltas so a shared pool's history
+    // from earlier runs does not leak into this run's stats.
+    let pool = match &arena {
+        Some(a) => Arc::clone(&a.pool),
+        None => tile_pool_for(ir, opts),
+    };
+    let pool_base = pool.stats();
+    let mut spares = arena
+        .as_mut()
+        .map(|a| std::mem::take(&mut a.spares))
+        .unwrap_or_default();
+    let mut spare_outs = arena
+        .as_mut()
+        .map(|a| std::mem::take(&mut a.outputs))
+        .unwrap_or_default();
+
+    // ---- Memory, loaded with the inputs. Recycled space buffers keep
+    // their warmed-up pages; the input load below completes the
+    // fresh-construction semantics `RankMemory::recycled` documents.
     let memories: Vec<Arc<RankMemory>> = (0..num_ranks)
         .map(|r| {
-            let mem = RankMemory::new(collective, r, ir.gpu(r).scratch_chunks, chunk_elems);
+            let spare = spares.pop().unwrap_or_default();
+            let mem =
+                RankMemory::recycled(collective, r, ir.gpu(r).scratch_chunks, chunk_elems, spare);
             for index in 0..collective.in_chunks() {
                 let base = index * chunk_elems;
                 mem.write(
@@ -557,8 +725,9 @@ fn execute_impl(
         })
         .collect();
 
-    // ---- Connections: one bounded FIFO per (src, dst, ch).
-    let mut fifos: HashMap<ConnKey, Arc<Fifo>> = HashMap::new();
+    // ---- Connections: one bounded FIFO per (src, dst, ch), carrying
+    // pooled tiles by ownership (no copy in transit).
+    let mut fifos: HashMap<ConnKey, Arc<Fifo<PooledTile>>> = HashMap::new();
     for gpu in &ir.gpus {
         for tb in &gpu.threadblocks {
             if let Some(peer) = tb.send_peer {
@@ -598,21 +767,22 @@ fn execute_impl(
     let global_deadline = opts.deadline.map(|d| epoch + d);
     let cancel = CancelToken::new();
 
-    type WorkerOutput = (Vec<TraceEvent>, EventRing);
+    type WorkerOutput = (Vec<TraceEvent>, EventRing, u64);
     let buffers_and_rings = std::thread::scope(|scope| {
         let mut handles = Vec::new();
         for gpu in &ir.gpus {
             for tb in &gpu.threadblocks {
                 let mem = Arc::clone(&memories[gpu.rank]);
                 let sem = Arc::clone(&semaphores[&(gpu.rank, tb.id)]);
-                let send: Option<(usize, usize, Arc<Fifo>)> = tb.send_peer.map(|p| {
+                let pool = Arc::clone(&pool);
+                let send: Option<(usize, usize, Arc<Fifo<PooledTile>>)> = tb.send_peer.map(|p| {
                     (
                         p,
                         tb.channel,
                         Arc::clone(&fifos[&(gpu.rank, p, tb.channel)]),
                     )
                 });
-                let recv: Option<(usize, usize, Arc<Fifo>)> = tb.recv_peer.map(|p| {
+                let recv: Option<(usize, usize, Arc<Fifo<PooledTile>>)> = tb.recv_peer.map(|p| {
                     (
                         p,
                         tb.channel,
@@ -661,6 +831,7 @@ fn execute_impl(
                             &collective,
                             &mem,
                             &sem,
+                            &pool,
                             &send,
                             &recv,
                             &dep_sems,
@@ -676,26 +847,33 @@ fn execute_impl(
                             &mut ring,
                         )
                     }));
-                    if let Err(payload) = result {
-                        cancel.cancel(FailureOrigin {
-                            rank,
-                            tb: tb_id,
-                            step: ring.last_step(),
-                            cause: FailureCause::Panic(payload_string(payload.as_ref())),
-                        });
-                    }
-                    (rec.events, ring)
+                    let completed = match result {
+                        Ok(Ok(completed)) => completed,
+                        Ok(Err(Stopped)) => 0,
+                        Err(payload) => {
+                            cancel.cancel(FailureOrigin {
+                                rank,
+                                tb: tb_id,
+                                step: ring.last_step(),
+                                cause: FailureCause::Panic(payload_string(payload.as_ref())),
+                            });
+                            0
+                        }
+                    };
+                    (rec.events, ring, completed)
                 }));
             }
         }
         let mut buffers: Vec<Vec<TraceEvent>> = Vec::new();
         let mut rings: Vec<EventRing> = Vec::new();
+        let mut instructions = 0u64;
         for h in handles {
             // Workers never unwind past catch_unwind; a join error would
             // mean the runtime itself (recorder, ring) panicked.
-            if let Ok((events, ring)) = h.join() {
+            if let Ok((events, ring, completed)) = h.join() {
                 buffers.push(events);
                 rings.push(ring);
+                instructions += completed;
             } else if !cancel.is_cancelled() {
                 cancel.cancel(FailureOrigin {
                     rank: 0,
@@ -705,11 +883,34 @@ fn execute_impl(
                 });
             }
         }
-        (buffers, rings)
+        (buffers, rings, instructions)
     });
-    let (buffers, rings) = buffers_and_rings;
+    let (buffers, rings, instructions) = buffers_and_rings;
+
+    let pool_now = pool.stats();
+    let stats = ExecStats {
+        pool: PoolStats {
+            allocated: pool_now.allocated.saturating_sub(pool_base.allocated),
+            reused: pool_now.reused.saturating_sub(pool_base.reused),
+            free: pool_now.free,
+        },
+        instructions,
+    };
+
+    // After the scope the workers' Arc clones are gone, so the memories
+    // unwrap cleanly and their buffers can go back to the arena.
+    let stash = |arena: Option<&mut ExecArena>, memories: Vec<Arc<RankMemory>>| {
+        if let Some(a) = arena {
+            a.spares = memories
+                .into_iter()
+                .filter_map(|m| Arc::try_unwrap(m).ok())
+                .map(RankMemory::into_buffers)
+                .collect();
+        }
+    };
 
     if let Some(origin) = cancel.origin() {
+        stash(arena.take(), memories);
         // One origin, full context: every thread block's recent activity
         // plus the injected faults that actually struck.
         let mut context: Vec<String> = rings.iter().flat_map(EventRing::dump).collect();
@@ -753,32 +954,53 @@ fn execute_impl(
 
     let trace = tracing.then(|| {
         let mut buffers = buffers;
-        buffers.push(vec![TraceEvent {
-            ts_us: 0.0,
-            rank: 0,
-            tb: 0,
-            kind: EventKind::KernelLaunch,
-        }]);
+        buffers.push(vec![
+            TraceEvent {
+                ts_us: 0.0,
+                rank: 0,
+                tb: 0,
+                kind: EventKind::KernelLaunch,
+            },
+            TraceEvent {
+                ts_us: epoch.elapsed().as_secs_f64() * 1e6,
+                rank: 0,
+                tb: 0,
+                kind: EventKind::PoolStats {
+                    allocated: stats.pool.allocated,
+                    reused: stats.pool.reused,
+                },
+            },
+        ]);
         Trace::from_buffers(ClockDomain::Wall, buffers)
     });
 
-    // ---- Extract outputs.
+    // ---- Extract outputs: one `read_into` pass per chunk, straight
+    // into the result buffer (no intermediate per-chunk allocation).
+    // Recycled result vectors are overwritten in full by the reads.
     let outputs = (0..num_ranks)
         .map(|r| {
-            let mut out = Vec::with_capacity(collective.out_chunks() * chunk_elems);
+            let elems = collective.out_chunks() * chunk_elems;
+            let mut out = spare_outs.pop().unwrap_or_default();
+            if out.is_empty() {
+                out = vec![0.0; elems];
+            } else {
+                out.resize(elems, 0.0);
+            }
             for index in 0..collective.out_chunks() {
-                out.extend(memories[r].read(
+                let base = index * chunk_elems;
+                memories[r].read_into(
                     collective,
                     mscclang::BufferKind::Output,
                     index,
                     0,
-                    chunk_elems,
-                ));
+                    &mut out[base..base + chunk_elems],
+                );
             }
             out
         })
         .collect();
-    Ok((outputs, trace))
+    stash(arena.take(), memories);
+    Ok((outputs, trace, stats))
 }
 
 /// Whether a just-expired wait was bounded by the global deadline rather
@@ -789,9 +1011,12 @@ fn deadline_hit(global_deadline: Option<Instant>) -> bool {
 
 /// One worker: interprets a thread block's instruction list under the
 /// tiling outer loop (Figure 5), emitting trace events and ring entries
-/// along the way. On failure it records the origin in `cancel` and
-/// returns [`Stopped`]; when cancelled from elsewhere it returns
-/// [`Stopped`] without recording.
+/// along the way. Every payload travels in a [`PooledTile`] taken from
+/// the shared pool and recycled on receipt, so the steady-state hot path
+/// allocates nothing. Returns the number of instruction instances
+/// completed. On failure it records the origin in `cancel` and returns
+/// [`Stopped`]; when cancelled from elsewhere it returns [`Stopped`]
+/// without recording.
 #[allow(clippy::too_many_arguments)]
 fn run_thread_block(
     tb_ref: &mscclang::IrThreadBlock,
@@ -799,8 +1024,9 @@ fn run_thread_block(
     collective: &mscclang::Collective,
     mem: &RankMemory,
     sem: &Semaphore,
-    send: &Option<(usize, usize, Arc<Fifo>)>,
-    recv: &Option<(usize, usize, Arc<Fifo>)>,
+    pool: &Arc<TilePool>,
+    send: &Option<(usize, usize, Arc<Fifo<PooledTile>>)>,
+    recv: &Option<(usize, usize, Arc<Fifo<PooledTile>>)>,
     dep_sems: &[Vec<(Arc<Semaphore>, u64)>],
     num_tiles: usize,
     tile_elems: usize,
@@ -812,7 +1038,7 @@ fn run_thread_block(
     injector: Option<&FaultInjector>,
     rec: &mut Recorder,
     ring: &mut EventRing,
-) -> Result<(), Stopped> {
+) -> Result<u64, Stopped> {
     let tb_id = tb_ref.id;
     let my_len = tb_ref.instructions.len() as u64;
     let mut completed = 0u64;
@@ -913,13 +1139,20 @@ fn run_thread_block(
                 op: instr.op,
             });
 
-            let read_src = |elem_off: usize, len: usize| -> Vec<f32> {
+            // Tile-shaped memory closures: each moves `count` chunk
+            // segments directly between rank memory and a pooled tile —
+            // no intermediate Vec on any path.
+            let fill_src = |tile: &mut PooledTile| {
                 let loc = instr.src.expect("instruction requires src");
-                let mut out = Vec::with_capacity(instr.count * len);
                 for i in 0..instr.count {
-                    out.extend(mem.read(collective, loc.buffer, loc.index + i, elem_off, len));
+                    mem.read_into(
+                        collective,
+                        loc.buffer,
+                        loc.index + i,
+                        elem_off,
+                        &mut tile[i * len..(i + 1) * len],
+                    );
                 }
-                out
             };
             let write_dst = |values: &[f32]| {
                 let loc = instr.dst.expect("instruction requires dst");
@@ -933,20 +1166,36 @@ fn run_thread_block(
                     );
                 }
             };
-            let combine_dst = |values: &[f32]| -> Vec<f32> {
+            // dst-memory = op(dst-memory, tile), tile = dst-memory: the
+            // in-place form of the old read-combine-write round trip,
+            // preserving its operand order exactly.
+            let reduce_merge_dst = |tile: &mut PooledTile| {
                 let loc = instr.dst.expect("instruction requires dst");
-                let mut out = Vec::with_capacity(instr.count * len);
                 for i in 0..instr.count {
-                    out.extend(mem.combine(
+                    mem.reduce_merge(
                         collective,
                         loc.buffer,
                         loc.index + i,
                         elem_off,
-                        &values[i * len..(i + 1) * len],
-                        |a, b| op.apply(a, b),
-                    ));
+                        &mut tile[i * len..(i + 1) * len],
+                        op,
+                    );
                 }
-                out
+            };
+            // tile = op(src-memory, tile): the receive-side merge of
+            // RecvReduceSend, local operand on the left as before.
+            let combine_read_src = |tile: &mut PooledTile| {
+                let loc = instr.src.expect("instruction requires src");
+                for i in 0..instr.count {
+                    mem.combine_read(
+                        collective,
+                        loc.buffer,
+                        loc.index + i,
+                        elem_off,
+                        &mut tile[i * len..(i + 1) * len],
+                        op,
+                    );
+                }
             };
             // On a FIFO stop: a timeout is this worker's own failure (it
             // records the origin); a cancellation is someone else's.
@@ -967,7 +1216,7 @@ fn run_thread_block(
                 Stopped
             };
             let mut receive =
-                |rec: &mut Recorder, ring: &mut EventRing| -> Result<Vec<f32>, Stopped> {
+                |rec: &mut Recorder, ring: &mut EventRing| -> Result<PooledTile, Stopped> {
                     let (src, channel, fifo) = recv
                         .as_ref()
                         .expect("recv op requires a receive connection");
@@ -1004,7 +1253,7 @@ fn run_thread_block(
                 };
             let mut transmit = |rec: &mut Recorder,
                                 ring: &mut EventRing,
-                                values: Vec<f32>|
+                                outbound: PooledTile|
              -> Result<(), Stopped> {
                 let (dst, channel, fifo) =
                     send.as_ref().expect("send op requires a send connection");
@@ -1014,34 +1263,41 @@ fn run_thread_block(
                 // sequence number still advances, as a real lost packet
                 // leaves the sender none the wiser), a duplicate
                 // enqueues it twice.
-                let mut values = values;
+                let mut outbound = outbound;
                 let mut dropped = false;
-                let mut copies = 1usize;
+                let mut duplicated = false;
                 if let Some(inj) = injector {
                     for action in inj.on_delivery(rank, *dst, *channel, send_seq) {
                         match action {
-                            DeliveryAction::Corrupt { bit } => corrupt_payload(&mut values, bit),
+                            DeliveryAction::Corrupt { bit } => corrupt_payload(&mut outbound, bit),
                             DeliveryAction::Delay(d) => {
                                 if !cancellable_sleep(d, cancel) {
                                     return Err(Stopped);
                                 }
                             }
                             DeliveryAction::Drop => dropped = true,
-                            DeliveryAction::Duplicate => copies = 2,
+                            DeliveryAction::Duplicate => duplicated = true,
                         }
                     }
                 }
                 if dropped {
                     send_seq += 1;
+                    // The tile drops here and its buffer returns to the
+                    // pool: a lost packet costs nothing.
                     return Ok(());
                 }
+                // Copy-on-write duplication: the second tile is taken
+                // from the pool only when the fault actually fires, and
+                // only after corruption, so both deliveries carry the
+                // same (possibly corrupted) payload.
+                let dup = duplicated.then(|| outbound.duplicate());
                 // `SendResume` and `Send` are stamped from inside the
                 // callback — `Send` while the queue lock is held — so the
                 // receiver's `Recv` timestamp can never precede them.
-                for copy in 0..copies {
+                for (copy, payload) in std::iter::once(outbound).chain(dup).enumerate() {
                     let mut was_blocked = false;
                     fifo.send(
-                        values.clone(),
+                        payload,
                         wait_deadline(Instant::now()),
                         cancel,
                         |moment| match moment {
@@ -1087,44 +1343,64 @@ fn run_thread_block(
             match instr.op {
                 OpCode::Nop => {}
                 OpCode::Send => {
-                    let data = read_src(elem_off, len);
-                    transmit(rec, ring, data)?;
+                    let mut tile = pool.take(instr.count * len);
+                    fill_src(&mut tile);
+                    transmit(rec, ring, tile)?;
                 }
                 OpCode::Recv => {
-                    let data = receive(rec, ring)?;
-                    write_dst(&data);
+                    let tile = receive(rec, ring)?;
+                    write_dst(&tile);
                 }
                 OpCode::Copy => {
-                    let data = read_src(elem_off, len);
-                    write_dst(&data);
+                    // Local data movement never touches the pool: the
+                    // chunks move memory-to-memory under the fixed lock
+                    // order (see `memory::copy_between`).
+                    let src = instr.src.expect("instruction requires src");
+                    let dst = instr.dst.expect("instruction requires dst");
+                    for i in 0..instr.count {
+                        mem.copy_between(
+                            collective,
+                            (src.buffer, src.index + i),
+                            (dst.buffer, dst.index + i),
+                            elem_off,
+                            len,
+                        );
+                    }
                 }
                 OpCode::Reduce => {
-                    let data = read_src(elem_off, len);
-                    let _ = combine_dst(&data);
+                    let src = instr.src.expect("instruction requires src");
+                    let dst = instr.dst.expect("instruction requires dst");
+                    for i in 0..instr.count {
+                        mem.reduce_between(
+                            collective,
+                            (src.buffer, src.index + i),
+                            (dst.buffer, dst.index + i),
+                            elem_off,
+                            len,
+                            op,
+                        );
+                    }
                 }
                 OpCode::RecvReduceCopy => {
-                    let data = receive(rec, ring)?;
-                    let _ = combine_dst(&data);
+                    let mut tile = receive(rec, ring)?;
+                    reduce_merge_dst(&mut tile);
                 }
                 OpCode::RecvCopySend => {
-                    let data = receive(rec, ring)?;
-                    write_dst(&data);
-                    transmit(rec, ring, data)?;
+                    // Zero-copy forward: the received tile is written to
+                    // memory and then handed onward as-is.
+                    let tile = receive(rec, ring)?;
+                    write_dst(&tile);
+                    transmit(rec, ring, tile)?;
                 }
                 OpCode::RecvReduceSend => {
-                    let data = receive(rec, ring)?;
-                    let local = read_src(elem_off, len);
-                    let merged: Vec<f32> = local
-                        .iter()
-                        .zip(&data)
-                        .map(|(&a, &b)| op.apply(a, b))
-                        .collect();
-                    transmit(rec, ring, merged)?;
+                    let mut tile = receive(rec, ring)?;
+                    combine_read_src(&mut tile);
+                    transmit(rec, ring, tile)?;
                 }
                 OpCode::RecvReduceCopySend => {
-                    let data = receive(rec, ring)?;
-                    let merged = combine_dst(&data);
-                    transmit(rec, ring, merged)?;
+                    let mut tile = receive(rec, ring)?;
+                    reduce_merge_dst(&mut tile);
+                    transmit(rec, ring, tile)?;
                 }
             }
             completed += 1;
@@ -1148,7 +1424,7 @@ fn run_thread_block(
         }
         rec.emit(EventKind::TileEnd { tile });
     }
-    Ok(())
+    Ok(completed)
 }
 
 #[cfg(test)]
@@ -1279,8 +1555,8 @@ mod tests {
         let inputs = crate::reference::random_inputs(&ir, 4, 9);
         // The public untraced API returns only outputs; internally the
         // recorder stays empty.
-        let (_, trace) =
-            execute_impl(&ir, &inputs, 4, &RunOptions::default(), false, None).unwrap();
+        let (_, trace, _) =
+            execute_impl(&ir, &inputs, 4, &RunOptions::default(), false, None, None).unwrap();
         assert!(trace.is_none());
     }
 
@@ -1462,5 +1738,41 @@ mod tests {
             ReduceOp::Max,
         )
         .unwrap();
+    }
+
+    #[test]
+    fn arena_reuse_is_bit_identical_and_allocation_free() {
+        let p = msccl_algos::ring_all_reduce(4, 1).unwrap();
+        let ir = compile(&p, &CompileOptions::default()).unwrap();
+        let chunk_elems = 32;
+        let inputs = crate::reference::random_inputs(&ir, chunk_elems, 23);
+        let opts = RunOptions {
+            tile_elems: Some(9),
+            ..RunOptions::default()
+        };
+
+        let fresh = execute(&ir, &inputs, chunk_elems, &opts).unwrap();
+
+        let mut arena = ExecArena::new(&ir, &opts);
+        let (first, _) = execute_in_arena(&ir, &inputs, chunk_elems, &opts, &mut arena).unwrap();
+        assert_eq!(fresh, first, "arena-backed run diverged from fresh run");
+        arena.recycle_outputs(first);
+
+        // Second run through the warmed arena: identical bits, and the
+        // entire data path (tiles, rank memory, output vectors) recycles.
+        let (second, stats) =
+            execute_in_arena(&ir, &inputs, chunk_elems, &opts, &mut arena).unwrap();
+        for (a, b) in fresh.iter().zip(&second) {
+            assert_eq!(a.len(), b.len());
+            for (x, y) in a.iter().zip(b) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
+        assert_eq!(
+            stats.pool.allocated, 0,
+            "warmed arena still allocated tiles: {:?}",
+            stats.pool
+        );
+        assert!(stats.pool.reused > 0, "pool was bypassed entirely");
     }
 }

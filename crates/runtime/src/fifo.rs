@@ -39,8 +39,13 @@ pub enum SendMoment {
 }
 
 /// A bounded queue of tiles for one connection.
-pub struct Fifo {
-    queue: Mutex<VecDeque<Vec<f32>>>,
+///
+/// Generic over the payload so the runtime can carry pooled tiles by
+/// ownership (zero copies in transit) while tests use plain vectors. The
+/// backing deque is allocated at the protocol's slot count up front and
+/// never grows: the send path debug-asserts the bound before every push.
+pub struct Fifo<T> {
+    queue: Mutex<VecDeque<T>>,
     capacity: usize,
     not_full: Condvar,
     not_empty: Condvar,
@@ -52,13 +57,14 @@ fn relock<T>(result: Result<T, std::sync::PoisonError<T>>) -> T {
     result.unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
-impl Fifo {
-    /// A FIFO with `capacity` slots (at least one).
+impl<T> Fifo<T> {
+    /// A FIFO with `capacity` slots (at least one), preallocated.
     #[must_use]
     pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
         Self {
-            queue: Mutex::new(VecDeque::new()),
-            capacity: capacity.max(1),
+            queue: Mutex::new(VecDeque::with_capacity(capacity)),
+            capacity,
             not_full: Condvar::new(),
             not_empty: Condvar::new(),
         }
@@ -66,10 +72,10 @@ impl Fifo {
 
     fn wait_until<'a>(
         cv: &Condvar,
-        guard: MutexGuard<'a, VecDeque<Vec<f32>>>,
+        guard: MutexGuard<'a, VecDeque<T>>,
         deadline: Instant,
         cancel: &CancelToken,
-    ) -> Result<MutexGuard<'a, VecDeque<Vec<f32>>>, FifoStop> {
+    ) -> Result<MutexGuard<'a, VecDeque<T>>, FifoStop> {
         if cancel.is_cancelled() {
             return Err(FifoStop::Cancelled);
         }
@@ -92,7 +98,7 @@ impl Fifo {
     /// `deadline`, or [`FifoStop::Cancelled`] if the run is cancelled.
     pub fn send(
         &self,
-        value: Vec<f32>,
+        value: T,
         deadline: Instant,
         cancel: &CancelToken,
         mut on_event: impl FnMut(SendMoment),
@@ -107,6 +113,13 @@ impl Fifo {
             guard = Self::wait_until(&self.not_full, guard, deadline, cancel)?;
         }
         on_event(SendMoment::Enqueued);
+        debug_assert!(
+            guard.len() < self.capacity && guard.capacity() >= self.capacity,
+            "FIFO bound violated: {} of {} slots used (capacity {})",
+            guard.len(),
+            self.capacity,
+            guard.capacity()
+        );
         guard.push_back(value);
         drop(guard);
         self.not_empty.notify_one();
@@ -126,7 +139,7 @@ impl Fifo {
         deadline: Instant,
         cancel: &CancelToken,
         on_block: impl FnOnce(),
-    ) -> Result<(Vec<f32>, bool), FifoStop> {
+    ) -> Result<(T, bool), FifoStop> {
         let mut guard = relock(self.queue.lock());
         let mut blocked = false;
         let mut on_block = Some(on_block);
@@ -222,7 +235,7 @@ mod tests {
     /// deadline.
     #[test]
     fn cancellation_unblocks_promptly() {
-        let f = Arc::new(Fifo::new(1));
+        let f = Arc::new(Fifo::<Vec<f32>>::new(1));
         let c = CancelToken::new();
         let f2 = Arc::clone(&f);
         let c2 = Arc::clone(&c);

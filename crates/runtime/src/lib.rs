@@ -30,15 +30,19 @@
 mod cancel;
 mod executor;
 mod fifo;
+pub mod kernels;
 mod memory;
+mod pool;
 mod recovery;
 pub mod reference;
 mod semaphore;
 
 pub use cancel::{FailureCause, FailureOrigin};
 pub use executor::{
-    execute, execute_traced, execute_with_faults, execute_with_faults_traced, RunOptions,
-    RuntimeError,
+    execute, execute_in_arena, execute_pooled, execute_traced, execute_with_faults,
+    execute_with_faults_traced, execute_with_stats, tile_pool_for, ExecArena, ExecStats,
+    RunOptions, RuntimeError,
 };
-pub use memory::RankMemory;
+pub use memory::{RankMemory, SpaceBuffers};
+pub use pool::{PoolStats, PooledTile, TilePool};
 pub use recovery::{execute_with_recovery, RecoveryPolicy, RecoveryReport, RecoveryStep};

@@ -1,8 +1,35 @@
 //! Per-rank buffer storage with in-place alias resolution.
+//!
+//! Besides the whole-value [`read`](RankMemory::read)/
+//! [`write`](RankMemory::write) pair, the hot path uses slice-based
+//! in-place operations ([`read_into`](RankMemory::read_into),
+//! [`copy_between`](RankMemory::copy_between),
+//! [`reduce_between`](RankMemory::reduce_between),
+//! [`reduce_merge`](RankMemory::reduce_merge),
+//! [`combine_read`](RankMemory::combine_read)) that move data directly
+//! between spaces or between a space and a pooled tile, with no
+//! intermediate allocation.
+//!
+//! **Lock order.** Operations touching two spaces of the same rank always
+//! acquire the space locks in the fixed order `Data < Output < Scratch`
+//! (declaration order of [`Space`]), regardless of which side is source
+//! or destination — so concurrent two-space operations on one rank can
+//! never deadlock.
 
-use std::sync::{PoisonError, RwLock};
+use std::sync::{PoisonError, RwLock, RwLockWriteGuard};
 
-use mscclang::{BufferKind, Collective, Space};
+use mscclang::{BufferKind, Collective, ReduceOp, Space};
+
+use crate::kernels;
+
+/// Position of a space in the fixed lock order.
+fn lock_rank(space: Space) -> usize {
+    match space {
+        Space::Data => 0,
+        Space::Output => 1,
+        Space::Scratch => 2,
+    }
+}
 
 /// The three storage spaces of one rank, in elements.
 ///
@@ -17,6 +44,17 @@ pub struct RankMemory {
     scratch: RwLock<Vec<f32>>,
 }
 
+/// The backing storage of one rank's three spaces, detached from the
+/// lock wrappers so a caller (see `ExecArena` in the executor) can
+/// recycle the allocations — and their already-faulted-in pages — across
+/// runs instead of paying fresh page faults every execution.
+#[derive(Default)]
+pub struct SpaceBuffers {
+    data: Vec<f32>,
+    output: Vec<f32>,
+    scratch: Vec<f32>,
+}
+
 impl RankMemory {
     /// Allocates the buffers for `rank` given the collective's layout and
     /// the rank's scratch size in chunks.
@@ -27,15 +65,79 @@ impl RankMemory {
         scratch_chunks: usize,
         chunk_elems: usize,
     ) -> Self {
-        let data = collective.space_size(Space::Data).unwrap_or(0) * chunk_elems;
-        let output = collective.space_size(Space::Output).unwrap_or(0) * chunk_elems;
-        let scratch = scratch_chunks * chunk_elems;
+        Self::recycled(
+            collective,
+            rank,
+            scratch_chunks,
+            chunk_elems,
+            SpaceBuffers::default(),
+        )
+    }
+
+    /// Like [`new`](RankMemory::new) but reusing `spare`'s allocations.
+    ///
+    /// Observable state is identical to a fresh construction *provided
+    /// the caller loads every input chunk before execution starts* (as
+    /// the executor does): chunk slots that are not the image of an
+    /// input chunk are zeroed here, and input-covered slots keep their
+    /// stale contents only because the input load overwrites them.
+    #[must_use]
+    pub fn recycled(
+        collective: &Collective,
+        rank: usize,
+        scratch_chunks: usize,
+        chunk_elems: usize,
+        spare: SpaceBuffers,
+    ) -> Self {
+        let data_chunks = collective.space_size(Space::Data).unwrap_or(0);
+        let output_chunks = collective.space_size(Space::Output).unwrap_or(0);
+        // Which chunk slots the input load will overwrite.
+        let mut covered_data = vec![false; data_chunks];
+        let mut covered_output = vec![false; output_chunks];
+        for i in 0..collective.in_chunks() {
+            let (space, off) = collective.space_of(rank, BufferKind::Input, i);
+            match space {
+                Space::Data => covered_data[off] = true,
+                Space::Output => covered_output[off] = true,
+                Space::Scratch => {}
+            }
+        }
+        let prep = |mut buf: Vec<f32>, chunks: usize, covered: &[bool]| -> Vec<f32> {
+            let elems = chunks * chunk_elems;
+            if buf.is_empty() {
+                // Fresh path: a zeroed allocation maps pages lazily.
+                return vec![0.0; elems];
+            }
+            buf.resize(elems, 0.0);
+            for (c, &cov) in covered.iter().enumerate() {
+                if !cov {
+                    buf[c * chunk_elems..(c + 1) * chunk_elems].fill(0.0);
+                }
+            }
+            buf
+        };
         Self {
             rank,
             chunk_elems,
-            data: RwLock::new(vec![0.0; data]),
-            output: RwLock::new(vec![0.0; output]),
-            scratch: RwLock::new(vec![0.0; scratch]),
+            data: RwLock::new(prep(spare.data, data_chunks, &covered_data)),
+            output: RwLock::new(prep(spare.output, output_chunks, &covered_output)),
+            scratch: RwLock::new(prep(
+                spare.scratch,
+                scratch_chunks,
+                &vec![false; scratch_chunks],
+            )),
+        }
+    }
+
+    /// Detaches the backing storage for recycling via
+    /// [`recycled`](RankMemory::recycled).
+    #[must_use]
+    pub fn into_buffers(self) -> SpaceBuffers {
+        let take = |l: RwLock<Vec<f32>>| l.into_inner().unwrap_or_else(PoisonError::into_inner);
+        SpaceBuffers {
+            data: take(self.data),
+            output: take(self.output),
+            scratch: take(self.scratch),
         }
     }
 
@@ -100,6 +202,213 @@ impl RankMemory {
         guard[start..start + values.len()].copy_from_slice(values);
     }
 
+    /// Copies the element range `[elem_off, elem_off + dst.len())` of
+    /// chunk `index` in `buffer` into `dst` — the allocation-free
+    /// counterpart of [`read`](RankMemory::read).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds.
+    pub fn read_into(
+        &self,
+        collective: &Collective,
+        buffer: BufferKind,
+        index: usize,
+        elem_off: usize,
+        dst: &mut [f32],
+    ) {
+        let (space, off) = collective.space_of(self.rank, buffer, index);
+        let start = off * self.chunk_elems + elem_off;
+        let guard = self
+            .space(space)
+            .read()
+            .unwrap_or_else(PoisonError::into_inner);
+        dst.copy_from_slice(&guard[start..start + dst.len()]);
+    }
+
+    /// Resolves a chunk location to its space and element start offset.
+    fn resolve(
+        &self,
+        collective: &Collective,
+        buffer: BufferKind,
+        index: usize,
+        elem_off: usize,
+    ) -> (Space, usize) {
+        let (space, off) = collective.space_of(self.rank, buffer, index);
+        (space, off * self.chunk_elems + elem_off)
+    }
+
+    /// Runs `f` over the source and destination ranges of a two-location
+    /// operation, locking at most two space locks in the fixed
+    /// `Data < Output < Scratch` order. Same-space overlapping ranges
+    /// (legal only for copies, which use `copy_within` semantics) are
+    /// handled by the `same_space` callback on one write guard.
+    fn with_src_dst(
+        &self,
+        src: (Space, usize),
+        dst: (Space, usize),
+        len: usize,
+        same_space: impl FnOnce(&mut [f32], usize, usize),
+        two_spaces: impl FnOnce(&[f32], &mut [f32]),
+    ) {
+        let (s_space, s_start) = src;
+        let (d_space, d_start) = dst;
+        if s_space == d_space {
+            let mut guard = self
+                .space(d_space)
+                .write()
+                .unwrap_or_else(PoisonError::into_inner);
+            same_space(&mut guard, s_start, d_start);
+            return;
+        }
+        // Two distinct spaces: acquire in lock order, then hand the
+        // callback `(src read, dst write)` slices.
+        let lock = |space: Space| self.space(space);
+        let (first, second) = (lock(s_space), lock(d_space));
+        let src_first = lock_rank(s_space) < lock_rank(d_space);
+        let (sg, mut dg): (_, RwLockWriteGuard<'_, Vec<f32>>) = if src_first {
+            let sg = first.read().unwrap_or_else(PoisonError::into_inner);
+            let dg = second.write().unwrap_or_else(PoisonError::into_inner);
+            (sg, dg)
+        } else {
+            // Destination ranks lower: take its write lock first.
+            let dg = second.write().unwrap_or_else(PoisonError::into_inner);
+            let sg = first.read().unwrap_or_else(PoisonError::into_inner);
+            (sg, dg)
+        };
+        two_spaces(&sg[s_start..s_start + len], &mut dg[d_start..d_start + len]);
+    }
+
+    /// Copies `len` elements from one chunk location to another without
+    /// materializing a temporary, locking both spaces in the fixed order.
+    /// Same-space overlap behaves like `memmove`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either range is out of bounds.
+    pub fn copy_between(
+        &self,
+        collective: &Collective,
+        src: (BufferKind, usize),
+        dst: (BufferKind, usize),
+        elem_off: usize,
+        len: usize,
+    ) {
+        let s = self.resolve(collective, src.0, src.1, elem_off);
+        let d = self.resolve(collective, dst.0, dst.1, elem_off);
+        self.with_src_dst(
+            s,
+            d,
+            len,
+            |buf, s_start, d_start| {
+                if s_start != d_start {
+                    buf.copy_within(s_start..s_start + len, d_start);
+                }
+            },
+            |src, dst| dst.copy_from_slice(src),
+        );
+    }
+
+    /// Reduces `len` elements of the source location into the destination
+    /// location in place: `dst[i] = op(dst[i], src[i])`. Locks both
+    /// spaces in the fixed order; same-space disjoint ranges split the
+    /// buffer, and the (never compiler-emitted) overlapping case falls
+    /// back to one temporary copy of the source.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either range is out of bounds.
+    pub fn reduce_between(
+        &self,
+        collective: &Collective,
+        src: (BufferKind, usize),
+        dst: (BufferKind, usize),
+        elem_off: usize,
+        len: usize,
+        op: ReduceOp,
+    ) {
+        let s = self.resolve(collective, src.0, src.1, elem_off);
+        let d = self.resolve(collective, dst.0, dst.1, elem_off);
+        self.with_src_dst(
+            s,
+            d,
+            len,
+            |buf, s_start, d_start| {
+                if d_start + len <= s_start || s_start + len <= d_start {
+                    // Disjoint: split at the later range's start.
+                    let (lo, hi, dst_is_hi) = if s_start < d_start {
+                        (s_start, d_start, true)
+                    } else {
+                        (d_start, s_start, false)
+                    };
+                    let (head, tail) = buf.split_at_mut(hi);
+                    if dst_is_hi {
+                        kernels::reduce_into_slice(op, &mut tail[..len], &head[lo..lo + len]);
+                    } else {
+                        kernels::reduce_into_slice(op, &mut head[lo..lo + len], &tail[..len]);
+                    }
+                } else {
+                    // Overlapping self-reduction: rare and never emitted by
+                    // the compiler; correctness over speed.
+                    let tmp = buf[s_start..s_start + len].to_vec();
+                    kernels::reduce_into_slice(op, &mut buf[d_start..d_start + len], &tmp);
+                }
+            },
+            |src, dst| kernels::reduce_into_slice(op, dst, src),
+        );
+    }
+
+    /// Merges a received tile into memory and leaves the merged values in
+    /// both places: `mem[i] = op(mem[i], tile[i]); tile[i] = mem[i]`.
+    /// This is the in-place form of [`combine`](RankMemory::combine) used
+    /// by `rrc`/`rrcs`, reusing the tile for any follow-on send.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds.
+    pub fn reduce_merge(
+        &self,
+        collective: &Collective,
+        buffer: BufferKind,
+        index: usize,
+        elem_off: usize,
+        tile: &mut [f32],
+        op: ReduceOp,
+    ) {
+        let (space, start) = self.resolve(collective, buffer, index, elem_off);
+        let mut guard = self
+            .space(space)
+            .write()
+            .unwrap_or_else(PoisonError::into_inner);
+        let mem = &mut guard[start..start + tile.len()];
+        kernels::reduce_into_slice(op, mem, tile);
+        tile.copy_from_slice(mem);
+    }
+
+    /// Folds local memory into a received tile without writing memory:
+    /// `tile[i] = op(mem[i], tile[i])` — the `rrs` merge, which forwards
+    /// the combined value but keeps the local buffer untouched.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds.
+    pub fn combine_read(
+        &self,
+        collective: &Collective,
+        buffer: BufferKind,
+        index: usize,
+        elem_off: usize,
+        tile: &mut [f32],
+        op: ReduceOp,
+    ) {
+        let (space, start) = self.resolve(collective, buffer, index, elem_off);
+        let guard = self
+            .space(space)
+            .read()
+            .unwrap_or_else(PoisonError::into_inner);
+        kernels::reduce_from_slice(op, tile, &guard[start..start + tile.len()]);
+    }
+
     /// Applies `f` element-wise onto the range, writing the result back
     /// and returning it (used for in-place reductions).
     ///
@@ -153,6 +462,119 @@ mod tests {
         // Rank 1's input chunk aliases output block 1.
         mem.write(&coll, BufferKind::Input, 0, 0, &[7.0, 8.0]);
         assert_eq!(mem.read(&coll, BufferKind::Output, 1, 0, 2), vec![7.0, 8.0]);
+    }
+
+    #[test]
+    fn read_into_matches_read() {
+        let coll = Collective::all_gather(2, 2, false);
+        let mem = RankMemory::new(&coll, 0, 3, 4);
+        mem.write(&coll, BufferKind::Scratch, 2, 1, &[1.0, 2.0]);
+        let mut out = [0.0; 2];
+        mem.read_into(&coll, BufferKind::Scratch, 2, 1, &mut out);
+        assert_eq!(out, [1.0, 2.0]);
+        assert_eq!(out.to_vec(), mem.read(&coll, BufferKind::Scratch, 2, 1, 2));
+    }
+
+    #[test]
+    fn copy_between_spaces_moves_data() {
+        let coll = Collective::all_gather(2, 1, false);
+        let mem = RankMemory::new(&coll, 0, 2, 4);
+        mem.write(&coll, BufferKind::Input, 0, 0, &[1.0, 2.0, 3.0, 4.0]);
+        // Input lives in Data space for a non-inplace allgather; scratch
+        // is its own space: a genuine two-lock copy.
+        mem.copy_between(
+            &coll,
+            (BufferKind::Input, 0),
+            (BufferKind::Scratch, 1),
+            0,
+            4,
+        );
+        assert_eq!(
+            mem.read(&coll, BufferKind::Scratch, 1, 0, 4),
+            vec![1.0, 2.0, 3.0, 4.0]
+        );
+    }
+
+    #[test]
+    fn copy_between_same_space_handles_chunks() {
+        let coll = Collective::all_gather(2, 1, false);
+        let mem = RankMemory::new(&coll, 1, 0, 2);
+        mem.write(&coll, BufferKind::Output, 0, 0, &[5.0, 6.0]);
+        mem.copy_between(
+            &coll,
+            (BufferKind::Output, 0),
+            (BufferKind::Output, 1),
+            0,
+            2,
+        );
+        assert_eq!(mem.read(&coll, BufferKind::Output, 1, 0, 2), vec![5.0, 6.0]);
+        // Self-copy is a no-op, not a panic.
+        mem.copy_between(
+            &coll,
+            (BufferKind::Output, 0),
+            (BufferKind::Output, 0),
+            0,
+            2,
+        );
+        assert_eq!(mem.read(&coll, BufferKind::Output, 0, 0, 2), vec![5.0, 6.0]);
+    }
+
+    #[test]
+    fn reduce_between_matches_scalar_combine() {
+        let coll = Collective::all_gather(2, 2, false);
+        let mem = RankMemory::new(&coll, 0, 2, 2);
+        mem.write(&coll, BufferKind::Scratch, 0, 0, &[1.0, 2.0]);
+        mem.write(&coll, BufferKind::Scratch, 1, 0, &[10.0, 20.0]);
+        // Same space (scratch), disjoint chunks, both split directions.
+        mem.reduce_between(
+            &coll,
+            (BufferKind::Scratch, 0),
+            (BufferKind::Scratch, 1),
+            0,
+            2,
+            ReduceOp::Sum,
+        );
+        assert_eq!(
+            mem.read(&coll, BufferKind::Scratch, 1, 0, 2),
+            vec![11.0, 22.0]
+        );
+        mem.reduce_between(
+            &coll,
+            (BufferKind::Scratch, 1),
+            (BufferKind::Scratch, 0),
+            0,
+            2,
+            ReduceOp::Max,
+        );
+        assert_eq!(
+            mem.read(&coll, BufferKind::Scratch, 0, 0, 2),
+            vec![11.0, 22.0]
+        );
+    }
+
+    #[test]
+    fn reduce_merge_updates_memory_and_tile() {
+        let coll = Collective::all_reduce(2, 1, true);
+        let mem = RankMemory::new(&coll, 0, 0, 2);
+        mem.write(&coll, BufferKind::Input, 0, 0, &[1.0, 2.0]);
+        let mut tile = [10.0, 20.0];
+        mem.reduce_merge(&coll, BufferKind::Input, 0, 0, &mut tile, ReduceOp::Sum);
+        assert_eq!(tile, [11.0, 22.0]);
+        assert_eq!(
+            mem.read(&coll, BufferKind::Input, 0, 0, 2),
+            vec![11.0, 22.0]
+        );
+    }
+
+    #[test]
+    fn combine_read_folds_without_writing_memory() {
+        let coll = Collective::all_reduce(2, 1, true);
+        let mem = RankMemory::new(&coll, 0, 0, 2);
+        mem.write(&coll, BufferKind::Input, 0, 0, &[1.0, 2.0]);
+        let mut tile = [10.0, 20.0];
+        mem.combine_read(&coll, BufferKind::Input, 0, 0, &mut tile, ReduceOp::Sum);
+        assert_eq!(tile, [11.0, 22.0]);
+        assert_eq!(mem.read(&coll, BufferKind::Input, 0, 0, 2), vec![1.0, 2.0]);
     }
 
     #[test]

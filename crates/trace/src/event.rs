@@ -128,6 +128,17 @@ pub enum EventKind {
         /// Per-connection receive sequence number.
         seq: u64,
     },
+    /// Tile-pool allocation counters for the whole run, emitted once at
+    /// the end by the threaded runtime (`rank = 0`, `tb = 0`: the pool is
+    /// shared by every thread block). `allocated` is the number of fresh
+    /// tile-buffer allocations (pool misses); in a warm steady state it
+    /// is zero and every tile movement reuses a recycled buffer.
+    PoolStats {
+        /// Fresh tile-buffer allocations (pool misses) during the run.
+        allocated: u64,
+        /// Takes served from recycled buffers (pool hits) during the run.
+        reused: u64,
+    },
     /// The recovery layer decided what to do after an execution attempt
     /// (emitted with `rank = 0`, `tb = 0`: recovery is collective-level,
     /// not per-block).
@@ -184,6 +195,7 @@ impl EventKind {
             EventKind::RecvBlock { .. } => "recv_block",
             EventKind::RecvResume { .. } => "recv_resume",
             EventKind::Recv { .. } => "recv",
+            EventKind::PoolStats { .. } => "pool_stats",
             EventKind::Recovery { .. } => "recovery",
         }
     }

@@ -252,6 +252,22 @@ impl Trace {
                         ],
                     );
                 }
+                EventKind::PoolStats { allocated, reused } => {
+                    push_event(
+                        &mut out,
+                        &mut first,
+                        "pool_stats",
+                        "i",
+                        e.ts_us,
+                        e.rank,
+                        e.tb,
+                        None,
+                        &[
+                            ("allocated", allocated.to_string()),
+                            ("reused", reused.to_string()),
+                        ],
+                    );
+                }
                 EventKind::Recovery { attempt, decision } => {
                     push_event(
                         &mut out,
@@ -340,6 +356,12 @@ impl Trace {
                     peer = src.to_string();
                     channel = c.to_string();
                     seq = q.to_string();
+                }
+                // `seq` reuses its column for the allocation count; the
+                // reuse count rides in the free-form `value` column.
+                EventKind::PoolStats { allocated, reused } => {
+                    seq = allocated.to_string();
+                    value = reused.to_string();
                 }
                 // `step` reuses its column for the attempt index; the
                 // decision label rides in the free-form `value` column.

@@ -51,6 +51,10 @@ pub struct TraceSummary {
     pub per_tb: Vec<TbBreakdown>,
     /// Per-connection FIFO statistics, sorted by `(src, dst, channel)`.
     pub per_connection: Vec<ConnectionStats>,
+    /// Tile-pool `(allocated, reused)` counters, when the trace carries a
+    /// [`EventKind::PoolStats`] event (threaded-runtime traces do; the
+    /// simulator has no allocator to count).
+    pub pool: Option<(u64, u64)>,
 }
 
 /// An instruction instance in the trace.
@@ -90,6 +94,8 @@ impl Trace {
 
         // FIFO occupancy: +1 at send, -1 at recv, peak per connection.
         let mut occupancy: HashMap<(usize, usize, usize), (i64, usize, u64)> = HashMap::new();
+
+        let mut pool: Option<(u64, u64)> = None;
 
         for e in &self.events {
             let tbkey = (e.rank, e.tb);
@@ -185,6 +191,9 @@ impl Trace {
                         recv_nodes.entry(conn).or_default().push(open.0);
                     }
                 }
+                EventKind::PoolStats { allocated, reused } => {
+                    pool = Some((allocated, reused));
+                }
                 EventKind::KernelLaunch
                 | EventKind::TileBegin { .. }
                 | EventKind::TileEnd { .. }
@@ -225,6 +234,7 @@ impl Trace {
             critical_path_us,
             per_tb,
             per_connection,
+            pool,
         }
     }
 }

@@ -170,3 +170,110 @@ fn dgx1_algorithm_agrees() {
         Machine::dgx1(),
     );
 }
+
+/// The pooled, in-place runtime data path must be *bit-identical* to the
+/// program-replay oracle for every algorithm under every protocol.
+///
+/// `random_inputs` produces small integers, so `f32` sums are exact and
+/// independent of association order — any bit difference means the
+/// zero-copy executor corrupted, reordered or dropped data somewhere.
+/// A small explicit tile size forces multiple tiles per chunk (with an
+/// uneven tail tile), so the pooled FIFO pipelining is exercised under
+/// each protocol's slot count.
+#[test]
+fn pooled_executor_is_bit_exact_across_protocols() {
+    use msccl_runtime::execute;
+    use msccl_topology::Protocol;
+    use mscclang::ReduceOp;
+
+    let cases: Vec<(&str, Program)> = vec![
+        (
+            "ring_all_reduce",
+            msccl_algos::ring_all_reduce(8, 2).unwrap(),
+        ),
+        (
+            "allpairs_all_reduce",
+            msccl_algos::allpairs_all_reduce(8).unwrap(),
+        ),
+        (
+            "binary_tree_all_reduce",
+            msccl_algos::binary_tree_all_reduce(8, 1).unwrap(),
+        ),
+        (
+            "double_binary_tree_all_reduce",
+            msccl_algos::double_binary_tree_all_reduce(8, 2).unwrap(),
+        ),
+        (
+            "rabenseifner_all_reduce",
+            msccl_algos::rabenseifner_all_reduce(8).unwrap(),
+        ),
+        (
+            "recursive_doubling_all_gather",
+            msccl_algos::recursive_doubling_all_gather(8).unwrap(),
+        ),
+        (
+            "binomial_broadcast",
+            msccl_algos::binomial_broadcast(8, 1, 0).unwrap(),
+        ),
+        (
+            "binomial_reduce",
+            msccl_algos::binomial_reduce(8, 1, 0).unwrap(),
+        ),
+        (
+            "linear_gather",
+            msccl_algos::linear_gather(8, 1, 0).unwrap(),
+        ),
+        (
+            "linear_scatter",
+            msccl_algos::linear_scatter(8, 1, 0).unwrap(),
+        ),
+        (
+            "hierarchical_all_reduce",
+            msccl_algos::hierarchical_all_reduce(2, 4).unwrap(),
+        ),
+        (
+            "two_step_all_to_all",
+            msccl_algos::two_step_all_to_all(2, 4).unwrap(),
+        ),
+        (
+            "one_step_all_to_all",
+            msccl_algos::one_step_all_to_all(2, 4).unwrap(),
+        ),
+        ("all_to_next", msccl_algos::all_to_next(2, 4).unwrap()),
+        ("hcm_allgather", msccl_algos::hcm_allgather().unwrap()),
+    ];
+
+    let chunk_elems = 96;
+    for (name, program) in &cases {
+        let ir = compile(program, &CompileOptions::default()).expect("compiles");
+        let inputs = reference::random_inputs(&ir, chunk_elems, 17);
+        // The compiler may refine each program chunk into `ir.refinement`
+        // contiguous sub-chunks; replaying the source program with
+        // proportionally larger chunks keeps the flat buffers aligned.
+        let golden =
+            reference::replay_program(program, &inputs, chunk_elems * ir.refinement, ReduceOp::Sum);
+        for protocol in [Protocol::Simple, Protocol::Ll, Protocol::Ll128] {
+            let opts = RunOptions {
+                protocol,
+                tile_elems: Some(25), // 96 elems -> tiles of 25/25/25/21
+                ..RunOptions::default()
+            };
+            let outputs = execute(&ir, &inputs, chunk_elems, &opts)
+                .unwrap_or_else(|e| panic!("{name}/{protocol:?}: {e}"));
+            assert_eq!(outputs.len(), golden.len(), "{name}/{protocol:?}: ranks");
+            for (r, (got, want)) in outputs.iter().zip(&golden).enumerate() {
+                assert_eq!(
+                    got.len(),
+                    want.len(),
+                    "{name}/{protocol:?} rank {r}: output length"
+                );
+                for (i, (a, b)) in got.iter().zip(want).enumerate() {
+                    assert!(
+                        a.to_bits() == b.to_bits(),
+                        "{name}/{protocol:?} rank {r} element {i}: {a} != {b} (bitwise)"
+                    );
+                }
+            }
+        }
+    }
+}
