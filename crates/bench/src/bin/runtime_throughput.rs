@@ -9,6 +9,17 @@
 //! Regression gate: `--baseline <path>` (or `MSCCL_BENCH_BASELINE`)
 //! compares matching entries against a previously emitted JSON and exits
 //! non-zero when any entry loses more than 20% GB/s.
+//!
+//! Metrics overhead gate: every point is measured both with the
+//! always-on metric counters enabled (the default every other consumer
+//! sees) and disabled. Both throughputs land in the JSON. The gate
+//! itself uses a paired estimator — each iteration times the two modes
+//! back-to-back (alternating order so drift cancels) and the point's
+//! overhead is the interquartile geometric mean of the per-pair time
+//! ratios, which is far more stable against scheduler noise than
+//! comparing two independent best-of minima. In quick mode the run
+//! fails when the geometric mean across points exceeds 3% — the
+//! registry's contract that "always on" is affordable.
 
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -23,6 +34,13 @@ struct Entry {
     ranks: usize,
     bytes_per_rank: u64,
     gbps: f64,
+    /// Throughput of the same sweep point with [`RunOptions::metrics`]
+    /// off.
+    gbps_metrics_off: f64,
+    /// Interquartile geometric mean of per-pair `time_on / time_off`
+    /// ratios — the overhead gate's estimator (1.02 = metrics cost 2% of
+    /// wall time here).
+    overhead_ratio: f64,
     /// Tile-buffer allocations per executed instruction in the measured
     /// (post-warmup) run — zero when the pool recycles perfectly.
     allocs_per_step: f64,
@@ -46,7 +64,11 @@ fn measure(collective: &'static str, ranks: usize, bytes_per_rank: u64, iters: u
     let in_chunks = ir.collective.in_chunks();
     let chunk_elems = ((bytes_per_rank as usize / 4) / in_chunks).max(1);
     let inputs = reference::random_inputs(&ir, chunk_elems, 42);
-    let opts = RunOptions::default();
+    let on = RunOptions::default();
+    let off = RunOptions {
+        metrics: false,
+        ..RunOptions::default()
+    };
 
     // One arena across warmup and measurement: warmup runs pay every
     // allocation (tiles, rank memory, result vectors), so measured
@@ -54,28 +76,73 @@ fn measure(collective: &'static str, ranks: usize, bytes_per_rank: u64, iters: u
     // recycling is perfect. Two warmups, because the pool's high
     // watermark is scheduling-dependent and can grow once more on the
     // second pass.
-    let mut arena = ExecArena::new(&ir, &opts);
+    let mut arena = ExecArena::new(&ir, &on);
     for _ in 0..2 {
         let (warm, _) =
-            execute_in_arena(&ir, &inputs, chunk_elems, &opts, &mut arena).expect("warmup");
+            execute_in_arena(&ir, &inputs, chunk_elems, &on, &mut arena).expect("warmup");
         arena.recycle_outputs(warm);
     }
 
+    // Metrics-on and metrics-off iterations run back-to-back over the
+    // same warmed arena, so thermal ramp and scheduler drift hit both
+    // modes alike. Each pair yields one time ratio; the point's overhead
+    // is the median ratio, alternating in-pair order so whichever mode
+    // runs second gains no systematic edge.
     let mut best = f64::INFINITY;
+    let mut best_off = f64::INFINITY;
+    let mut ratios = Vec::with_capacity(iters);
     let mut stats = None;
-    for _ in 0..iters {
-        let t0 = Instant::now();
-        let (out, s) =
-            execute_in_arena(&ir, &inputs, chunk_elems, &opts, &mut arena).expect("runs");
-        let dt = t0.elapsed().as_secs_f64();
-        std::hint::black_box(&out);
-        arena.recycle_outputs(out);
-        if dt < best {
-            best = dt;
-            // Stats travel with the iteration whose time is reported.
-            stats = Some(s);
+    for i in 0..iters {
+        let order = if i % 2 == 0 {
+            [true, false]
+        } else {
+            [false, true]
+        };
+        let (mut t_on, mut t_off) = (f64::INFINITY, f64::INFINITY);
+        for metrics_on in order {
+            let opts = if metrics_on { &on } else { &off };
+            let t0 = Instant::now();
+            let (out, s) =
+                execute_in_arena(&ir, &inputs, chunk_elems, opts, &mut arena).expect("runs");
+            let dt = t0.elapsed().as_secs_f64();
+            std::hint::black_box(&out);
+            arena.recycle_outputs(out);
+            if metrics_on {
+                t_on = dt;
+                if dt < best {
+                    best = dt;
+                    // Stats travel with the iteration whose time is reported.
+                    stats = Some(s);
+                }
+            } else {
+                t_off = dt;
+                if dt < best_off {
+                    best_off = dt;
+                }
+            }
         }
+        ratios.push(t_on / t_off);
     }
+    // Interquartile geometric mean: throws away the tails (a descheduled
+    // worker can double a single run) while averaging enough samples for
+    // the estimate to settle — a plain median of N ratios wobbles several
+    // percent at these sync-dominated sizes. Trimming runs per order
+    // class (on-first pairs vs off-first pairs) before averaging the two
+    // classes: whichever mode runs second inherits the first run's
+    // cleanup, and trimming a mixture of the two shifted distributions
+    // would bias the estimate instead of cancelling the shift.
+    let class_log_mean = |parity: usize| -> f64 {
+        let mut logs: Vec<f64> = ratios
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| i % 2 == parity)
+            .map(|(_, r)| r.ln())
+            .collect();
+        logs.sort_by(f64::total_cmp);
+        let mid = &logs[logs.len() / 4..(3 * logs.len()).div_ceil(4)];
+        mid.iter().sum::<f64>() / mid.len() as f64
+    };
+    let overhead_ratio = ((class_log_mean(0) + class_log_mean(1)) / 2.0).exp();
     let stats = stats.expect("at least one iteration");
     let moved = in_chunks as f64 * chunk_elems as f64 * 4.0;
     Entry {
@@ -83,6 +150,8 @@ fn measure(collective: &'static str, ranks: usize, bytes_per_rank: u64, iters: u
         ranks,
         bytes_per_rank: moved as u64,
         gbps: moved / best / 1e9,
+        gbps_metrics_off: moved / best_off / 1e9,
+        overhead_ratio,
         allocs_per_step: if stats.instructions == 0 {
             0.0
         } else {
@@ -105,12 +174,15 @@ fn to_json(mode: &str, entries: &[Entry]) -> String {
         let _ = writeln!(
             s,
             "    {{\"collective\": \"{}\", \"ranks\": {}, \"bytes_per_rank\": {}, \
-             \"gbps\": {:.3}, \"allocs_per_step\": {:.4}, \"pool_allocated\": {}, \
-             \"pool_reused\": {}}}{comma}",
+             \"gbps\": {:.3}, \"gbps_metrics_off\": {:.3}, \"metrics_overhead_ratio\": {:.4}, \
+             \"allocs_per_step\": {:.4}, \
+             \"pool_allocated\": {}, \"pool_reused\": {}}}{comma}",
             e.collective,
             e.ranks,
             e.bytes_per_rank,
             e.gbps,
+            e.gbps_metrics_off,
+            e.overhead_ratio,
             e.allocs_per_step,
             e.pool_allocated,
             e.pool_reused,
@@ -179,24 +251,72 @@ fn check_regression(entries: &[Entry], baseline: &str, tolerance: f64) -> Result
 fn main() {
     let scale = Scale::from_env();
     let (ranks, sizes, iters): (usize, Vec<u64>, usize) = match scale {
-        Scale::Full => (8, vec![1 << 20, 8 << 20, 64 << 20], 3),
-        Scale::Quick => (4, vec![1 << 16, 1 << 20], 2),
+        // Full-scale executions are long enough that a handful of pairs
+        // gives a usable interquartile band; fewer and the reported
+        // overhead ratio is scheduler noise.
+        Scale::Full => (8, vec![1 << 20, 8 << 20, 64 << 20], 9),
+        // Quick runs are tiny and sync-dominated, so the overhead gate
+        // needs more best-of samples than the full-scale sweep to beat
+        // scheduler noise.
+        Scale::Quick => (4, vec![1 << 16, 1 << 20], 120),
     };
     let mode = match scale {
         Scale::Full => "full",
         Scale::Quick => "quick",
     };
 
-    let mut entries = Vec::new();
-    for collective in ["allreduce_ring", "allgather_recursive_doubling"] {
-        for &bytes in &sizes {
-            let e = measure(collective, ranks, bytes, iters);
-            println!(
-                "{:<30} ranks={} bytes/rank={:>9} {:>8.3} GB/s  allocs/step={:.4} (pool: {} allocated, {} reused)",
-                e.collective, e.ranks, e.bytes_per_rank, e.gbps, e.allocs_per_step,
-                e.pool_allocated, e.pool_reused,
+    let run_sweep = || {
+        let mut entries = Vec::new();
+        for collective in ["allreduce_ring", "allgather_recursive_doubling"] {
+            for &bytes in &sizes {
+                let e = measure(collective, ranks, bytes, iters);
+                println!(
+                    "{:<30} ranks={} bytes/rank={:>9} {:>8.3} GB/s ({:>8.3} metrics off, overhead {:+.2}%)  allocs/step={:.4} (pool: {} allocated, {} reused)",
+                    e.collective, e.ranks, e.bytes_per_rank, e.gbps, e.gbps_metrics_off,
+                    (e.overhead_ratio - 1.0) * 100.0,
+                    e.allocs_per_step, e.pool_allocated, e.pool_reused,
+                );
+                entries.push(e);
+            }
+        }
+        entries
+    };
+    // Metrics-overhead gate: geometric mean of the per-point estimators
+    // (ratios multiply, so the geomean is the right aggregate).
+    let overhead_of = |entries: &[Entry]| -> f64 {
+        (entries
+            .iter()
+            .map(|e| e.overhead_ratio.max(1e-12).ln())
+            .sum::<f64>()
+            / entries.len().max(1) as f64)
+            .exp()
+            - 1.0
+    };
+
+    let mut entries = run_sweep();
+    let mut overhead = overhead_of(&entries);
+    println!(
+        "metrics overhead: {:.2}% (geomean of interquartile paired on/off time ratios across {} points)",
+        overhead * 100.0,
+        entries.len()
+    );
+    if matches!(scale, Scale::Quick) && overhead > 0.03 {
+        // One re-measure before failing: at quick-mode sizes a single
+        // descheduled worker can shift the estimate past the budget. A
+        // real regression fails both sweeps.
+        println!(
+            "metrics overhead {:.2}% exceeds the 3% budget; re-measuring once",
+            overhead * 100.0
+        );
+        entries = run_sweep();
+        overhead = overhead_of(&entries);
+        println!("metrics overhead: {:.2}% (re-measured)", overhead * 100.0);
+        if overhead > 0.03 {
+            eprintln!(
+                "METRICS OVERHEAD: {:.2}% exceeds the 3% always-on budget in both sweeps",
+                overhead * 100.0
             );
-            entries.push(e);
+            std::process::exit(1);
         }
     }
 

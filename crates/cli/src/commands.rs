@@ -4,12 +4,14 @@ use std::fmt::Write as _;
 use std::time::Duration;
 
 use msccl_faults::{FaultInjector, FaultPlan, FaultUniverse};
+use msccl_metrics::{names, MetricsSnapshot};
 use msccl_runtime::{
-    execute, execute_traced, execute_with_recovery, reference, RecoveryPolicy, RunOptions,
+    execute_profiled, execute_with_metrics, execute_with_recovery, reference, RecoveryPolicy,
+    RunOptions,
 };
 use msccl_sim::{simulate, SimConfig};
 use msccl_topology::Protocol;
-use msccl_trace::Trace;
+use msccl_trace::{snapshot_from_trace, ClockDomain, ProfileReport, Trace};
 use mscclang::{compile, ir_xml, verify, CompileOptions, IrProgram, Program};
 
 use crate::args::{Args, CliError};
@@ -63,6 +65,23 @@ COMMANDS:
     faults <file.xml> --seed N     print the deterministic fault plan that
                                    seed N generates for this program (feed
                                    it back via --fault-plan to reproduce)
+    profile <file.xml> [--elems N] [--mode run|sim] [--machine M]
+                       [--from-trace F.csv] [--format text|json|prom]
+                       [--threshold X] [--out FILE]
+                                   per-step performance attribution: compute
+                                   vs send vs sync-wait vs FIFO-block per
+                                   thread block, per-channel traffic, and a
+                                   measured-vs-modeled column replaying the
+                                   same IR through the simulator's cost
+                                   model, flagging steps whose busy share
+                                   diverges by more than --threshold
+                                   (default 0.5). --mode run (default)
+                                   measures a live execution; --mode sim
+                                   attributes the virtual timeline only;
+                                   --from-trace reads a recorded CSV trace
+                                   instead of running. --format json emits
+                                   the msccl-profile-v1 report, prom the
+                                   Prometheus exposition of the counters
     tune <algorithm> --machine M [--sizes 4KB,1MB,...] [dimension opts]
                                    sweep (instances x protocol) and print
                                    the best configuration per buffer size
@@ -85,6 +104,7 @@ pub fn dispatch(args: &Args) -> Result<String, CliError> {
         "graph" => Ok(mscclang::dot::ir_dot(&load_ir(args)?)),
         "simulate" => cmd_simulate(args),
         "run" => cmd_run(args),
+        "profile" => cmd_profile(args),
         "faults" => cmd_faults(args),
         "tune" => cmd_tune(args),
         other => Err(CliError::new(format!(
@@ -327,6 +347,121 @@ fn write_trace(path: &str, trace: &Trace) -> Result<String, CliError> {
     ))
 }
 
+/// One-line summary of the always-on metric counters, printed identically
+/// by `run` and `simulate` so their outputs share a stats schema: the
+/// simulator reports virtual nanoseconds where the runtime reports wall
+/// nanoseconds, and its pool counters are zero (it moves no data).
+fn stats_line(snapshot: &MetricsSnapshot) -> String {
+    let us = |name| snapshot.counter_total(name) as f64 / 1000.0;
+    format!(
+        "stats: instructions={} sends={} recvs={} bytes_sent={} bytes_received={} \
+         sem_wait_us={:.1} fifo_block_us={:.1} pool_allocated={} pool_reused={}\n",
+        snapshot.counter_total(names::INSTRUCTIONS),
+        snapshot.counter_total(names::SENDS),
+        snapshot.counter_total(names::RECVS),
+        snapshot.counter_total(names::BYTES_SENT),
+        snapshot.counter_total(names::BYTES_RECEIVED),
+        us(names::SEM_WAIT_NS),
+        us(names::FIFO_SEND_BLOCK_NS) + us(names::FIFO_RECV_BLOCK_NS),
+        snapshot.counter_total(names::POOL_ALLOCATED),
+        snapshot.counter_total(names::POOL_REUSED),
+    )
+}
+
+/// The `profile` command: attribution of where time went, per thread
+/// block, channel and instruction kind, with a measured-vs-modeled column
+/// from replaying the same IR through the simulator's cost model.
+fn cmd_profile(args: &Args) -> Result<String, CliError> {
+    let ir = load_ir(args)?;
+    let chunk_elems: usize = args.opt_or("elems", 256)?;
+    if chunk_elems == 0 {
+        return Err(CliError::new("--elems must be positive"));
+    }
+    let threshold: f64 = args.opt_or("threshold", 0.5)?;
+    if !threshold.is_finite() || threshold <= 0.0 {
+        return Err(CliError::new("--threshold must be positive"));
+    }
+    let machine = parse_machine(args.options.get("machine").map_or("ndv4:1", String::as_str))?;
+    // The runtime is pinned to one tile per chunk below, so the modeled
+    // run sees the same per-chunk payload when the buffer holds exactly
+    // in_chunks × chunk_elems f32 values.
+    let buffer_bytes = (ir.collective.in_chunks() * chunk_elems * 4) as u64;
+    let cfg = SimConfig::new(machine).with_trace(true);
+    let modeled = simulate(&ir, &cfg, buffer_bytes)?;
+    let modeled_trace = modeled.trace.as_ref().expect("requested via with_trace");
+
+    let mode = args.options.get("mode").map_or("run", String::as_str);
+    let from_trace = args.options.get("from-trace");
+    let (report, snapshot) = match (from_trace, mode) {
+        (Some(path), _) => {
+            // Offline: the same report from a recorded CSV trace.
+            let measured = Trace::from_csv(&std::fs::read_to_string(path)?, ClockDomain::Wall)
+                .map_err(|e| CliError::new(format!("{path}: {e}")))?;
+            let snapshot = snapshot_from_trace(&measured);
+            (
+                ProfileReport::from_traces(&measured, Some(modeled_trace), threshold),
+                snapshot,
+            )
+        }
+        (None, "run") => {
+            let inputs = reference::random_inputs(&ir, chunk_elems, 0xFEED);
+            let opts = RunOptions {
+                // One tile per chunk, so runtime and simulator execute
+                // structurally identical schedules and the per-step
+                // comparison is meaningful.
+                tile_elems: Some(chunk_elems),
+                ..RunOptions::default()
+            };
+            let (outputs, measured, snapshot) = execute_profiled(&ir, &inputs, chunk_elems, &opts)?;
+            reference::check_outputs(
+                &ir.collective,
+                &inputs,
+                &outputs,
+                chunk_elems,
+                mscclang::ReduceOp::Sum,
+            )
+            .map_err(CliError::new)?;
+            (
+                ProfileReport::from_traces(&measured, Some(modeled_trace), threshold),
+                snapshot,
+            )
+        }
+        (None, "sim") => (
+            ProfileReport::from_traces(modeled_trace, None, threshold),
+            modeled.metrics.clone(),
+        ),
+        (None, other) => {
+            return Err(CliError::new(format!(
+                "unknown --mode '{other}' (expected run or sim)"
+            )))
+        }
+    };
+
+    let format = args.options.get("format").map_or("text", String::as_str);
+    let body = match format {
+        "text" => report.render_text(),
+        "json" => report.to_json(),
+        "prom" => snapshot.to_prometheus(),
+        other => {
+            return Err(CliError::new(format!(
+                "unknown --format '{other}' (expected text, json or prom)"
+            )))
+        }
+    };
+    match args.options.get("out") {
+        Some(path) => {
+            std::fs::write(path, &body)?;
+            Ok(format!(
+                "profile: {} thread blocks, {} channels, {} flagged step(s) -> {path}\n",
+                report.thread_blocks.len(),
+                report.channels.len(),
+                report.flagged_steps
+            ))
+        }
+        None => Ok(body),
+    }
+}
+
 /// Resolves `--fault-seed N` or `--fault-plan FILE` into a validated
 /// [`FaultPlan`] for `ir`; `None` when neither flag was given.
 fn load_fault_plan(args: &Args, ir: &IrProgram) -> Result<Option<FaultPlan>, CliError> {
@@ -406,14 +541,15 @@ fn cmd_simulate(args: &Args) -> Result<String, CliError> {
     }
     let ntbs = ir.num_threadblocks().max(1) as f64;
     Ok(format!(
-        "{}: {:.1} us at {} bytes ({} protocol, {} tiles, {} transfers, utilization {:.0}%)\n{extra}",
+        "{}: {:.1} us at {} bytes ({} protocol, {} tiles, {} transfers, utilization {:.0}%)\n{}{extra}",
         ir.name,
         r.total_us,
         bytes,
         r.protocol,
         r.tiles,
         r.flows,
-        100.0 * r.busy_us / (r.total_us * ntbs)
+        100.0 * r.busy_us / (r.total_us * ntbs),
+        stats_line(&r.metrics)
     ))
 }
 
@@ -450,13 +586,13 @@ fn cmd_run(args: &Args) -> Result<String, CliError> {
         );
     }
     let mut extra = String::new();
-    let outputs = match trace_path(args)? {
+    let (outputs, snapshot) = match trace_path(args)? {
         Some(path) => {
-            let (outputs, trace) = execute_traced(&ir, &inputs, chunk_elems, &opts)?;
+            let (outputs, trace, snapshot) = execute_profiled(&ir, &inputs, chunk_elems, &opts)?;
             extra = write_trace(path, &trace)?;
-            outputs
+            (outputs, snapshot)
         }
-        None => execute(&ir, &inputs, chunk_elems, &opts)?,
+        None => execute_with_metrics(&ir, &inputs, chunk_elems, &opts)?,
     };
     reference::check_outputs(
         &ir.collective,
@@ -467,10 +603,11 @@ fn cmd_run(args: &Args) -> Result<String, CliError> {
     )
     .map_err(CliError::new)?;
     Ok(format!(
-        "{}: executed on {} threads, {} elements/rank — results match the golden collective\n{extra}",
+        "{}: executed on {} threads, {} elements/rank — results match the golden collective\n{}{extra}",
         ir.name,
         ir.num_threadblocks(),
-        ir.collective.in_chunks() * chunk_elems
+        ir.collective.in_chunks() * chunk_elems,
+        stats_line(&snapshot)
     ))
 }
 
@@ -777,6 +914,91 @@ mod tests {
         for f in [path, run_json, sim_json, sim_csv] {
             let _ = std::fs::remove_file(f);
         }
+    }
+
+    #[test]
+    fn profile_reports_attribution_and_divergence() {
+        let path = tmp("profile.xml");
+        let _ = run(&format!("compile ring-allreduce --ranks 4 -o {path}")).unwrap();
+        let out = run(&format!("profile {path} --elems 32")).unwrap();
+        assert!(out.contains("per thread block:"), "got: {out}");
+        assert!(out.contains("per channel:"), "got: {out}");
+        assert!(out.contains("per instruction kind:"), "got: {out}");
+        assert!(out.contains("measured vs modeled"), "got: {out}");
+        assert!(out.contains("domain=wall"), "got: {out}");
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn profile_sim_mode_and_formats() {
+        let path = tmp("profile-sim.xml");
+        let _ = run(&format!("compile ring-allreduce --ranks 4 -o {path}")).unwrap();
+        let json = run(&format!(
+            "profile {path} --elems 32 --mode sim --format json"
+        ))
+        .unwrap();
+        assert!(json.contains("\"schema\": \"msccl-profile-v1\""));
+        assert!(json.contains("\"domain\": \"virtual\""));
+        let prom = run(&format!(
+            "profile {path} --elems 32 --mode sim --format prom"
+        ))
+        .unwrap();
+        assert!(prom.contains("# TYPE msccl_bytes_sent_total counter"));
+        assert!(run(&format!("profile {path} --format yaml"))
+            .unwrap_err()
+            .to_string()
+            .contains("--format"));
+        assert!(run(&format!("profile {path} --mode dream"))
+            .unwrap_err()
+            .to_string()
+            .contains("--mode"));
+        let _ = std::fs::remove_file(path);
+    }
+
+    /// The same report, offline, from a CSV trace `run --trace` recorded.
+    #[test]
+    fn profile_from_recorded_trace() {
+        let path = tmp("profile-offline.xml");
+        let csv = tmp("profile-offline.csv");
+        let out_file = tmp("profile-offline.json");
+        let _ = run(&format!("compile ring-allreduce --ranks 4 -o {path}")).unwrap();
+        let _ = run(&format!("run {path} --elems 32 --trace {csv}")).unwrap();
+        let out = run(&format!(
+            "profile {path} --elems 32 --from-trace {csv} --format json --out {out_file}"
+        ))
+        .unwrap();
+        assert!(out.contains("profile:"), "got: {out}");
+        let data = std::fs::read_to_string(&out_file).unwrap();
+        assert!(data.contains("\"schema\": \"msccl-profile-v1\""));
+        assert!(data.contains("\"domain\": \"wall\""));
+        assert!(data.contains("\"modeled_domain\": \"virtual\""));
+        for f in [path, csv, out_file] {
+            let _ = std::fs::remove_file(f);
+        }
+    }
+
+    /// `run` and `simulate` print the same always-on stats schema
+    /// (the simulator's pool counters are zero — it moves no data).
+    #[test]
+    fn run_and_simulate_share_a_stats_schema() {
+        let path = tmp("stats.xml");
+        let _ = run(&format!("compile ring-allreduce --ranks 4 -o {path}")).unwrap();
+        let r = run(&format!("run {path} --elems 16")).unwrap();
+        let s = run(&format!("simulate {path} --machine ndv4:1 --size 1MB")).unwrap();
+        let keys_of = |out: &str| -> Vec<String> {
+            let line = out
+                .lines()
+                .find(|l| l.starts_with("stats:"))
+                .unwrap_or_else(|| panic!("no stats line in: {out}"))
+                .to_owned();
+            line.split_whitespace()
+                .skip(1)
+                .map(|kv| kv.split('=').next().unwrap().to_owned())
+                .collect()
+        };
+        assert_eq!(keys_of(&r), keys_of(&s), "stats schemas differ");
+        assert!(r.contains("pool_allocated="), "got: {r}");
+        let _ = std::fs::remove_file(path);
     }
 
     #[test]

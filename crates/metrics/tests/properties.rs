@@ -1,0 +1,201 @@
+//! Property and stress tests for the sharded metric primitives.
+//!
+//! The always-on instrumentation only earns its keep if it is *exact*:
+//! a relaxed-ordering bug that drops or double-counts an increment would
+//! silently corrupt every profile the tooling above it produces. These
+//! tests pin the three load-bearing guarantees:
+//!
+//! * sharded counters and histograms lose nothing under genuine
+//!   multi-thread contention, including deliberately colliding shard
+//!   indices (the wrap-around path);
+//! * the log2 bucket layout is a partition of `u64` — every value lands
+//!   in exactly one bucket and the published bucket bounds agree with
+//!   the indexing function;
+//! * snapshot merging is commutative and associative, so folding
+//!   per-attempt or per-run snapshots in any order yields one answer.
+
+use std::sync::Arc;
+
+use msccl_metrics::{bucket_index, bucket_upper_bound, MetricsSnapshot, Registry, BUCKETS};
+use proptest::prelude::*;
+
+/// Many threads hammering the same counters through shared handles must
+/// lose nothing. Half the threads use their own shard, half deliberately
+/// alias onto shard `t % shards` via out-of-range indices, so both the
+/// uncontended fast path and the contended wrap-around path are covered.
+#[test]
+fn concurrent_counter_increments_are_exact() {
+    const THREADS: usize = 8;
+    const OPS: u64 = 20_000;
+
+    let registry = Registry::new(THREADS / 2); // force shard aliasing
+    let by_one = registry.counter("stress_inc_total", &[]);
+    let by_val = registry.counter("stress_add_total", &[]);
+    let labeled: Vec<_> = (0..4)
+        .map(|i| registry.counter("stress_labeled_total", &[("lane", &i.to_string())]))
+        .collect();
+
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let by_one = Arc::clone(&by_one);
+            let by_val = Arc::clone(&by_val);
+            let labeled = labeled.clone();
+            scope.spawn(move || {
+                for i in 0..OPS {
+                    by_one.inc(t);
+                    by_val.add(t, i % 7);
+                    labeled[t % labeled.len()].inc(t);
+                }
+            });
+        }
+    });
+
+    assert_eq!(by_one.value(), THREADS as u64 * OPS);
+    assert_eq!(
+        by_val.value(),
+        THREADS as u64 * (0..OPS).map(|i| i % 7).sum::<u64>()
+    );
+    let snap = registry.snapshot();
+    assert_eq!(
+        snap.counter_total("stress_labeled_total"),
+        THREADS as u64 * OPS
+    );
+    assert_eq!(snap.counter("stress_inc_total", &[]), by_one.value());
+}
+
+/// Histograms keep exact counts and sums under the same contention, and
+/// the merged bucket counts sum back to the total observation count.
+#[test]
+fn concurrent_histogram_records_are_exact() {
+    const THREADS: usize = 6;
+    const OPS: u64 = 10_000;
+
+    let registry = Registry::new(THREADS);
+    let hist = registry.histogram("stress_latency_ns", &[]);
+
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let hist = Arc::clone(&hist);
+            // A per-thread value pattern whose total we can state in
+            // closed form: thread t records t, t+1, t+2, ...
+            scope.spawn(move || {
+                for i in 0..OPS {
+                    hist.record(t, t as u64 + i);
+                }
+            });
+        }
+    });
+
+    assert_eq!(hist.count(), THREADS as u64 * OPS);
+    let expect_sum: u64 = (0..THREADS as u64)
+        .map(|t| (0..OPS).map(|i| t + i).sum::<u64>())
+        .sum();
+    assert_eq!(hist.sum(), expect_sum);
+
+    let snap = registry.snapshot();
+    match snap.get("stress_latency_ns", &[]).unwrap() {
+        msccl_metrics::SampleValue::Histogram(h) => {
+            assert_eq!(h.buckets.iter().map(|&(_, n)| n).sum::<u64>(), h.count);
+            assert_eq!(h.count, hist.count());
+            assert_eq!(h.sum, hist.sum());
+        }
+        other => panic!("unexpected sample {other:?}"),
+    }
+}
+
+/// Builds a snapshot from `(name kind, lane, value)` triples. Counters
+/// add, gauges high-watermark, histograms record — the same mixed
+/// vocabulary the runtime registers.
+fn snapshot_of(entries: &[(u8, u8, u64)]) -> MetricsSnapshot {
+    let r = Registry::new(2);
+    for (i, &(kind, lane, value)) in entries.iter().enumerate() {
+        let lane = (lane % 3).to_string();
+        let labels = [("lane", lane.as_str())];
+        match kind % 3 {
+            0 => r.counter("prop_counter_total", &labels).add(i, value),
+            1 => r.gauge("prop_gauge", &labels).set_max(value),
+            _ => r.histogram("prop_hist_ns", &labels).record(i, value),
+        }
+    }
+    r.snapshot()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The log2 buckets partition `u64`: every value falls inside its
+    /// bucket's bounds, strictly above the previous bucket's upper bound,
+    /// and the index function is monotone.
+    #[test]
+    fn bucket_layout_partitions_u64(value in 0u64..u64::MAX, delta in 1u64..1 << 20) {
+        let b = bucket_index(value);
+        prop_assert!(b < BUCKETS);
+
+        // Within the claimed bounds of its own bucket.
+        if let Some(hi) = bucket_upper_bound(b) {
+            prop_assert!(value <= hi, "value {value} above bucket {b} bound {hi}");
+        } else {
+            prop_assert_eq!(b, BUCKETS - 1);
+        }
+        if b > 0 {
+            let below = bucket_upper_bound(b - 1).expect("only the last bucket is unbounded");
+            prop_assert!(value > below, "value {value} not above bucket {}'s bound {below}", b - 1);
+        }
+
+        // Monotone: a larger value never lands in an earlier bucket.
+        prop_assert!(bucket_index(value.saturating_add(delta)) >= b);
+    }
+
+    /// A recorded observation lands in exactly the bucket the public
+    /// indexing function names, with count and sum exact.
+    #[test]
+    fn histogram_routes_values_to_indexed_bucket(
+        values in proptest::collection::vec(0u64..1 << 40, 1..40),
+        shard in 0usize..8,
+    ) {
+        let r = Registry::new(4);
+        let h = r.histogram("prop_route_ns", &[]);
+        for &v in &values {
+            h.record(shard, v);
+        }
+        prop_assert_eq!(h.count(), values.len() as u64);
+        prop_assert_eq!(h.sum(), values.iter().sum::<u64>());
+
+        let mut want: Vec<(u8, u64)> = Vec::new();
+        let mut sorted: Vec<usize> = values.iter().map(|&v| bucket_index(v)).collect();
+        sorted.sort_unstable();
+        for b in sorted {
+            match want.last_mut() {
+                Some((last, n)) if *last as usize == b => *n += 1,
+                _ => want.push((b as u8, 1)),
+            }
+        }
+        match r.snapshot().get("prop_route_ns", &[]).unwrap() {
+            msccl_metrics::SampleValue::Histogram(hs) => {
+                prop_assert_eq!(&hs.buckets, &want);
+            }
+            other => prop_assert!(false, "unexpected sample {:?}", other),
+        }
+    }
+
+    /// Merging snapshots is commutative and associative, and merging with
+    /// the empty snapshot is the identity — so folding any number of
+    /// per-run snapshots gives one deterministic total regardless of
+    /// order or grouping.
+    #[test]
+    fn snapshot_merge_is_order_independent(
+        a in proptest::collection::vec((0u8..3, 0u8..3, 0u64..1 << 30), 0..12),
+        b in proptest::collection::vec((0u8..3, 0u8..3, 0u64..1 << 30), 0..12),
+        c in proptest::collection::vec((0u8..3, 0u8..3, 0u64..1 << 30), 0..12),
+    ) {
+        let (a, b, c) = (snapshot_of(&a), snapshot_of(&b), snapshot_of(&c));
+
+        prop_assert_eq!(a.merge(&b), b.merge(&a));
+        prop_assert_eq!(a.merge(&b).merge(&c), a.merge(&b.merge(&c)));
+        prop_assert_eq!(a.merge(&MetricsSnapshot::default()), a.clone());
+
+        // Equal snapshots serialize byte-equal, so order independence
+        // extends through the JSON exposition.
+        prop_assert_eq!(a.merge(&b).to_json(), b.merge(&a).to_json());
+    }
+}

@@ -26,6 +26,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use msccl_faults::{corrupt_payload, BlockAction, DeliveryAction, FaultInjector, FaultPlanError};
+use msccl_metrics::{names, Counter, Gauge, Histogram, MetricsSnapshot, Registry};
 use msccl_topology::Protocol;
 use msccl_trace::{ClockDomain, EventKind, Trace, TraceEvent};
 
@@ -63,6 +64,13 @@ pub struct RunOptions {
     ///
     /// [`timeout`]: RunOptions::timeout
     pub deadline: Option<Duration>,
+    /// Whether to keep the always-on metric counters (bytes/messages per
+    /// connection, wait and block time, per-instruction-kind latency
+    /// histograms — see [`msccl_metrics::names`]). On by default: the hot
+    /// path per counter is one relaxed atomic add into a per-worker
+    /// shard, and the throughput bench gates the total overhead below a
+    /// few percent. Disable only to measure that overhead.
+    pub metrics: bool,
 }
 
 impl Default for RunOptions {
@@ -73,6 +81,7 @@ impl Default for RunOptions {
             reduce_op: ReduceOp::Sum,
             timeout: Duration::from_secs(20),
             deadline: None,
+            metrics: true,
         }
     }
 }
@@ -299,6 +308,11 @@ pub struct ExecArena {
     pool: Arc<TilePool>,
     spares: Vec<SpaceBuffers>,
     outputs: Vec<Vec<f32>>,
+    /// Metric handles resolved once for the arena's program and reused
+    /// by every metered run whose thread-block layout still matches.
+    /// Counters accumulate across runs; a snapshotting run zeroes them
+    /// first.
+    metrics: Option<Arc<ArenaMetrics>>,
 }
 
 impl ExecArena {
@@ -312,6 +326,7 @@ impl ExecArena {
             pool: tile_pool_for(ir, opts),
             spares: Vec::new(),
             outputs: Vec::new(),
+            metrics: opts.metrics.then(|| Arc::new(ArenaMetrics::new(ir))),
         }
     }
 
@@ -333,6 +348,15 @@ type ConnKey = (usize, usize, usize); // (src rank, dst rank, channel)
 
 /// How many recent ring entries each worker keeps for failure diagnostics.
 const RING_CAPACITY: usize = 8;
+
+/// One in this many instructions (per worker) gets a latency-histogram
+/// observation. Counting every instruction is cheap; *timing* every
+/// instruction is not — two clock reads dwarf the relaxed adds the rest
+/// of the instrumentation costs. Sampling keeps the per-op latency
+/// distribution honest while staying inside the <3% always-on budget.
+/// The first instruction of every worker is always sampled, so even a
+/// one-instruction run produces an observation per active opcode.
+const LATENCY_SAMPLE_PERIOD: u64 = 8;
 
 /// A phase of an instruction's life, recorded in the diagnostic ring.
 #[derive(Clone, Copy)]
@@ -446,6 +470,195 @@ impl Recorder {
     }
 }
 
+/// Every opcode, in [`op_index`] order, for metric-handle construction.
+const ALL_OPS: [OpCode; 9] = [
+    OpCode::Nop,
+    OpCode::Send,
+    OpCode::Recv,
+    OpCode::Copy,
+    OpCode::Reduce,
+    OpCode::RecvReduceCopy,
+    OpCode::RecvCopySend,
+    OpCode::RecvReduceSend,
+    OpCode::RecvReduceCopySend,
+];
+
+/// Dense index of an opcode into [`WorkerMetrics::ops`].
+fn op_index(op: OpCode) -> usize {
+    match op {
+        OpCode::Nop => 0,
+        OpCode::Send => 1,
+        OpCode::Recv => 2,
+        OpCode::Copy => 3,
+        OpCode::Reduce => 4,
+        OpCode::RecvReduceCopy => 5,
+        OpCode::RecvCopySend => 6,
+        OpCode::RecvReduceSend => 7,
+        OpCode::RecvReduceCopySend => 8,
+    }
+}
+
+/// One worker's metric handles, resolved from the [`Registry`] at spawn
+/// time so the hot path never touches the registry lock: each update is
+/// an array index plus a relaxed atomic add into this worker's shard.
+struct WorkerMetrics {
+    /// This worker's shard in every sharded metric.
+    shard: usize,
+    sem_wait_ns: Arc<Counter>,
+    fifo_send_block_ns: Arc<Counter>,
+    fifo_recv_block_ns: Arc<Counter>,
+    /// `(bytes_sent, sends, peak_occupancy)` for this thread block's send
+    /// connection, when it has one.
+    send_conn: Option<(Arc<Counter>, Arc<Counter>, Arc<Gauge>)>,
+    /// `(bytes_received, recvs)` for this thread block's receive
+    /// connection, when it has one.
+    recv_conn: Option<(Arc<Counter>, Arc<Counter>)>,
+    /// Per-opcode `(instruction counter, latency histogram)`, indexed by
+    /// [`op_index`].
+    ops: Vec<(Arc<Counter>, Arc<Histogram>)>,
+}
+
+impl WorkerMetrics {
+    fn new(reg: &Registry, shard: usize, rank: usize, tb: &mscclang::IrThreadBlock) -> Self {
+        let conn = |src: usize, dst: usize| -> [(String, String); 3] {
+            [
+                ("src".to_string(), src.to_string()),
+                ("dst".to_string(), dst.to_string()),
+                ("channel".to_string(), tb.channel.to_string()),
+            ]
+        };
+        fn as_refs(pairs: &[(String, String); 3]) -> Vec<(&str, &str)> {
+            pairs
+                .iter()
+                .map(|(k, v)| (k.as_str(), v.as_str()))
+                .collect()
+        }
+        let send_conn = tb.send_peer.map(|peer| {
+            let labels = conn(rank, peer);
+            let labels = as_refs(&labels);
+            (
+                reg.counter(names::BYTES_SENT, &labels),
+                reg.counter(names::SENDS, &labels),
+                reg.gauge(names::FIFO_PEAK_OCCUPANCY, &labels),
+            )
+        });
+        let recv_conn = tb.recv_peer.map(|peer| {
+            let labels = conn(peer, rank);
+            let labels = as_refs(&labels);
+            (
+                reg.counter(names::BYTES_RECEIVED, &labels),
+                reg.counter(names::RECVS, &labels),
+            )
+        });
+        Self {
+            shard,
+            sem_wait_ns: reg.counter(names::SEM_WAIT_NS, &[]),
+            fifo_send_block_ns: reg.counter(names::FIFO_SEND_BLOCK_NS, &[]),
+            fifo_recv_block_ns: reg.counter(names::FIFO_RECV_BLOCK_NS, &[]),
+            send_conn,
+            recv_conn,
+            ops: ALL_OPS
+                .iter()
+                .map(|op| {
+                    (
+                        reg.counter(names::INSTRUCTIONS, &[("op", op.mnemonic())]),
+                        reg.histogram(names::INSTR_LATENCY_NS, &[("op", op.mnemonic())]),
+                    )
+                })
+                .collect(),
+        }
+    }
+
+    /// Zeroes this worker's slice of every metric it writes. Called by
+    /// the worker itself at the start of a snapshotting run, so reused
+    /// arena handles yield a per-run snapshot without the main thread
+    /// walking ~50 metrics' worth of cache lines serially: shards are
+    /// disjoint per worker, and the peak-occupancy gauge has the sending
+    /// thread block as its only writer.
+    fn reset_own_shard(&self) {
+        self.sem_wait_ns.reset_shard(self.shard);
+        self.fifo_send_block_ns.reset_shard(self.shard);
+        self.fifo_recv_block_ns.reset_shard(self.shard);
+        if let Some((bytes_sent, sends, peak)) = &self.send_conn {
+            bytes_sent.reset_shard(self.shard);
+            sends.reset_shard(self.shard);
+            peak.reset();
+        }
+        if let Some((bytes_recv, recvs)) = &self.recv_conn {
+            bytes_recv.reset_shard(self.shard);
+            recvs.reset_shard(self.shard);
+        }
+        for (count, latency) in &self.ops {
+            count.reset_shard(self.shard);
+            latency.reset_shard(self.shard);
+        }
+    }
+}
+
+/// A run's metric infrastructure, resolved once and reused: the registry
+/// plus one [`WorkerMetrics`] per thread block in spawn order. Handle
+/// resolution goes through the registry mutex with owned label strings
+/// and allocates every metric's shard array, so doing it per run costs
+/// tens of microseconds — real money against the <3% always-on overhead
+/// budget at small message sizes. An [`ExecArena`] caches one of these;
+/// [`Registry::reset`] between runs keeps snapshots per-run.
+struct ArenaMetrics {
+    registry: Registry,
+    workers: Vec<WorkerMetrics>,
+    /// Tile-pool counters, written on shard 0 by the main thread after
+    /// the workers join.
+    pool_allocated: Arc<Counter>,
+    pool_reused: Arc<Counter>,
+    /// One [`TbIdentity`] per worker, to detect when a different program
+    /// runs in the same arena and the cached handles would mislabel its
+    /// traffic.
+    layout: Vec<TbIdentity>,
+}
+
+/// `(rank, tb id, channel, send peer, recv peer)` — everything the metric
+/// labels are derived from.
+type TbIdentity = (usize, usize, usize, Option<usize>, Option<usize>);
+
+impl ArenaMetrics {
+    fn new(ir: &IrProgram) -> Self {
+        let num_workers: usize = ir.gpus.iter().map(|g| g.threadblocks.len()).sum();
+        let registry = Registry::new(num_workers.max(1));
+        let mut workers = Vec::with_capacity(num_workers);
+        let mut layout = Vec::with_capacity(num_workers);
+        for gpu in &ir.gpus {
+            for tb in &gpu.threadblocks {
+                workers.push(WorkerMetrics::new(&registry, workers.len(), gpu.rank, tb));
+                layout.push((gpu.rank, tb.id, tb.channel, tb.send_peer, tb.recv_peer));
+            }
+        }
+        let pool_allocated = registry.counter(names::POOL_ALLOCATED, &[]);
+        let pool_reused = registry.counter(names::POOL_REUSED, &[]);
+        Self {
+            registry,
+            workers,
+            pool_allocated,
+            pool_reused,
+            layout,
+        }
+    }
+
+    /// Whether `ir`'s thread-block layout is the one these handles were
+    /// resolved for.
+    fn matches(&self, ir: &IrProgram) -> bool {
+        let mut expected = self.layout.iter();
+        for gpu in &ir.gpus {
+            for tb in &gpu.threadblocks {
+                if expected.next()
+                    != Some(&(gpu.rank, tb.id, tb.channel, tb.send_peer, tb.recv_peer))
+                {
+                    return false;
+                }
+            }
+        }
+        expected.next().is_none()
+    }
+}
+
 /// Marker for a worker that stopped early. The reason lives in the
 /// [`CancelToken`]: the failing worker records it there before returning
 /// this, and cancelled bystanders return it without recording anything.
@@ -511,7 +724,8 @@ pub fn execute(
     chunk_elems: usize,
     opts: &RunOptions,
 ) -> Result<Vec<Vec<f32>>, RuntimeError> {
-    execute_impl(ir, inputs, chunk_elems, opts, false, None, None).map(|(outputs, _, _)| outputs)
+    execute_impl(ir, inputs, chunk_elems, opts, false, false, None, None)
+        .map(|(outputs, _, _, _)| outputs)
 }
 
 /// Like [`execute`], additionally returning the run's [`ExecStats`]
@@ -526,8 +740,25 @@ pub fn execute_with_stats(
     chunk_elems: usize,
     opts: &RunOptions,
 ) -> Result<(Vec<Vec<f32>>, ExecStats), RuntimeError> {
-    execute_impl(ir, inputs, chunk_elems, opts, false, None, None)
-        .map(|(outputs, _, stats)| (outputs, stats))
+    execute_impl(ir, inputs, chunk_elems, opts, false, false, None, None)
+        .map(|(outputs, _, stats, _)| (outputs, stats))
+}
+
+/// Like [`execute`], additionally returning the run's [`MetricsSnapshot`]
+/// without recording a trace — the cheapest way to observe the always-on
+/// counters. Empty when [`RunOptions::metrics`] is off.
+///
+/// # Errors
+///
+/// As [`execute`].
+pub fn execute_with_metrics(
+    ir: &IrProgram,
+    inputs: &[Vec<f32>],
+    chunk_elems: usize,
+    opts: &RunOptions,
+) -> Result<(Vec<Vec<f32>>, MetricsSnapshot), RuntimeError> {
+    execute_impl(ir, inputs, chunk_elems, opts, false, true, None, None)
+        .map(|(outputs, _, _, m)| (outputs, m.unwrap_or_default()))
 }
 
 /// Like [`execute_with_stats`], reusing a caller-owned [`TilePool`]
@@ -550,9 +781,19 @@ pub fn execute_pooled(
         pool: Arc::clone(pool),
         spares: Vec::new(),
         outputs: Vec::new(),
+        metrics: None,
     };
-    execute_impl(ir, inputs, chunk_elems, opts, false, None, Some(&mut arena))
-        .map(|(outputs, _, stats)| (outputs, stats))
+    execute_impl(
+        ir,
+        inputs,
+        chunk_elems,
+        opts,
+        false,
+        false,
+        None,
+        Some(&mut arena),
+    )
+    .map(|(outputs, _, stats, _)| (outputs, stats))
 }
 
 /// Like [`execute_with_stats`], drawing every buffer of the data path —
@@ -573,8 +814,17 @@ pub fn execute_in_arena(
     opts: &RunOptions,
     arena: &mut ExecArena,
 ) -> Result<(Vec<Vec<f32>>, ExecStats), RuntimeError> {
-    execute_impl(ir, inputs, chunk_elems, opts, false, None, Some(arena))
-        .map(|(outputs, _, stats)| (outputs, stats))
+    execute_impl(
+        ir,
+        inputs,
+        chunk_elems,
+        opts,
+        false,
+        false,
+        None,
+        Some(arena),
+    )
+    .map(|(outputs, _, stats, _)| (outputs, stats))
 }
 
 /// Like [`execute`], additionally recording a wall-clock [`Trace`] of
@@ -594,8 +844,35 @@ pub fn execute_traced(
     chunk_elems: usize,
     opts: &RunOptions,
 ) -> Result<(Vec<Vec<f32>>, Trace), RuntimeError> {
-    execute_impl(ir, inputs, chunk_elems, opts, true, None, None)
-        .map(|(outputs, trace, _)| (outputs, trace.expect("tracing was enabled")))
+    execute_impl(ir, inputs, chunk_elems, opts, true, false, None, None)
+        .map(|(outputs, trace, _, _)| (outputs, trace.expect("tracing was enabled")))
+}
+
+/// Like [`execute_traced`], additionally returning the run's
+/// [`MetricsSnapshot`]: the always-on counters — bytes and messages per
+/// connection, semaphore wait and FIFO block time, per-instruction-kind
+/// latency histograms, tile-pool behaviour — merged across the worker
+/// shards at the end of the run. This is the entry point behind
+/// `msccl profile`. The snapshot is empty when `opts.metrics` is off.
+///
+/// # Errors
+///
+/// As for [`execute`].
+pub fn execute_profiled(
+    ir: &IrProgram,
+    inputs: &[Vec<f32>],
+    chunk_elems: usize,
+    opts: &RunOptions,
+) -> Result<(Vec<Vec<f32>>, Trace, MetricsSnapshot), RuntimeError> {
+    execute_impl(ir, inputs, chunk_elems, opts, true, true, None, None).map(
+        |(outputs, trace, _, m)| {
+            (
+                outputs,
+                trace.expect("tracing was enabled"),
+                m.unwrap_or_default(),
+            )
+        },
+    )
 }
 
 /// Like [`execute`], with deterministic faults injected from `injector`.
@@ -619,8 +896,17 @@ pub fn execute_with_faults(
     opts: &RunOptions,
     injector: &FaultInjector,
 ) -> Result<Vec<Vec<f32>>, RuntimeError> {
-    execute_impl(ir, inputs, chunk_elems, opts, false, Some(injector), None)
-        .map(|(outputs, _, _)| outputs)
+    execute_impl(
+        ir,
+        inputs,
+        chunk_elems,
+        opts,
+        false,
+        false,
+        Some(injector),
+        None,
+    )
+    .map(|(outputs, _, _, _)| outputs)
 }
 
 /// [`execute_with_faults`] with tracing, as [`execute_traced`] is to
@@ -636,20 +922,37 @@ pub fn execute_with_faults_traced(
     opts: &RunOptions,
     injector: &FaultInjector,
 ) -> Result<(Vec<Vec<f32>>, Trace), RuntimeError> {
-    execute_impl(ir, inputs, chunk_elems, opts, true, Some(injector), None)
-        .map(|(outputs, trace, _)| (outputs, trace.expect("tracing was enabled")))
+    execute_impl(
+        ir,
+        inputs,
+        chunk_elems,
+        opts,
+        true,
+        false,
+        Some(injector),
+        None,
+    )
+    .map(|(outputs, trace, _, _)| (outputs, trace.expect("tracing was enabled")))
 }
 
 /// Everything one run produces: per-rank outputs, the trace when
-/// tracing was on, and the pool/instruction statistics.
-type RunProducts = (Vec<Vec<f32>>, Option<Trace>, ExecStats);
+/// tracing was on, the pool/instruction statistics, and the metrics
+/// snapshot when metrics were on.
+type RunProducts = (
+    Vec<Vec<f32>>,
+    Option<Trace>,
+    ExecStats,
+    Option<MetricsSnapshot>,
+);
 
+#[allow(clippy::too_many_arguments)]
 fn execute_impl(
     ir: &IrProgram,
     inputs: &[Vec<f32>],
     chunk_elems: usize,
     opts: &RunOptions,
     tracing: bool,
+    want_snapshot: bool,
     injector: Option<&FaultInjector>,
     arena: Option<&mut ExecArena>,
 ) -> Result<RunProducts, RuntimeError> {
@@ -767,6 +1070,40 @@ fn execute_impl(
     let global_deadline = opts.deadline.map(|d| epoch + d);
     let cancel = CancelToken::new();
 
+    // ---- Metrics: one shard per worker thread, so a hot-path update is
+    // a relaxed atomic add with no sharing; merged on snapshot. An arena
+    // that already carries handles for this program lends them;
+    // otherwise they are resolved fresh and, when an arena is present,
+    // cached for the next run. Arena counters are cumulative (the
+    // Prometheus model): only a run that materializes a snapshot zeroes
+    // the shards first — each worker its own, overlapping thread spawn —
+    // so plain metered runs pay nothing but the hot-path adds. With no
+    // arena and no snapshot requested, the counters would be dropped
+    // unread, so they are not collected at all.
+    let run_metrics: Option<Arc<ArenaMetrics>> = if !opts.metrics {
+        None
+    } else if let Some(cached) = arena
+        .as_deref()
+        .and_then(|a| a.metrics.clone())
+        .filter(|m| m.matches(ir))
+    {
+        Some(cached)
+    } else if want_snapshot || arena.is_some() {
+        let m = Arc::new(ArenaMetrics::new(ir));
+        if let Some(a) = arena.as_deref_mut() {
+            a.metrics = Some(Arc::clone(&m));
+        }
+        Some(m)
+    } else {
+        None
+    };
+    if want_snapshot {
+        if let Some(m) = &run_metrics {
+            m.pool_allocated.reset_shard(0);
+            m.pool_reused.reset_shard(0);
+        }
+    }
+
     type WorkerOutput = (Vec<TraceEvent>, EventRing, u64);
     let buffers_and_rings = std::thread::scope(|scope| {
         let mut handles = Vec::new();
@@ -809,7 +1146,14 @@ fn execute_impl(
                 let collective = collective.clone();
                 let timeout = opts.timeout;
                 let cancel = Arc::clone(&cancel);
+                let worker_metrics: Option<&WorkerMetrics> =
+                    run_metrics.as_deref().map(|m| &m.workers[handles.len()]);
                 handles.push(scope.spawn(move || -> WorkerOutput {
+                    if want_snapshot {
+                        if let Some(m) = worker_metrics {
+                            m.reset_own_shard();
+                        }
+                    }
                     let tb_id = tb_ref.id;
                     let mut rec = Recorder {
                         enabled: tracing,
@@ -843,6 +1187,7 @@ fn execute_impl(
                             global_deadline,
                             &cancel,
                             injector,
+                            worker_metrics,
                             &mut rec,
                             &mut ring,
                         )
@@ -896,6 +1241,16 @@ fn execute_impl(
         },
         instructions,
     };
+    // Scrape model: counters are always recorded, but folding them into
+    // a snapshot (key clones, shard sums) happens only for callers that
+    // return one — entry points that discard it shouldn't pay for it.
+    let metrics_snapshot = run_metrics.as_deref().filter(|_| want_snapshot).map(|m| {
+        // The pool is shared by all workers; its per-run deltas land in
+        // shard 0 once the workers have joined.
+        m.pool_allocated.add(0, stats.pool.allocated);
+        m.pool_reused.add(0, stats.pool.reused);
+        m.registry.snapshot()
+    });
 
     // After the scope the workers' Arc clones are gone, so the memories
     // unwrap cleanly and their buffers can go back to the arena.
@@ -1000,7 +1355,7 @@ fn execute_impl(
         })
         .collect();
     stash(arena.take(), memories);
-    Ok((outputs, trace, stats))
+    Ok((outputs, trace, stats, metrics_snapshot))
 }
 
 /// Whether a just-expired wait was bounded by the global deadline rather
@@ -1036,6 +1391,7 @@ fn run_thread_block(
     global_deadline: Option<Instant>,
     cancel: &CancelToken,
     injector: Option<&FaultInjector>,
+    metrics: Option<&WorkerMetrics>,
     rec: &mut Recorder,
     ring: &mut EventRing,
 ) -> Result<u64, Stopped> {
@@ -1109,8 +1465,14 @@ fn run_thread_block(
                     dep_tb: dep.tb,
                     target,
                 });
-                match sem_d.wait_at_least(target, wait_deadline(Instant::now()), cancel) {
-                    WaitOutcome::Reached => {}
+                let wait_start = Instant::now();
+                match sem_d.wait_at_least(target, wait_deadline(wait_start), cancel) {
+                    WaitOutcome::Reached => {
+                        if let Some(m) = metrics {
+                            m.sem_wait_ns
+                                .add(m.shard, wait_start.elapsed().as_nanos() as u64);
+                        }
+                    }
                     WaitOutcome::Cancelled => return Err(Stopped),
                     WaitOutcome::TimedOut => {
                         let cause = if deadline_hit(global_deadline) {
@@ -1220,6 +1582,7 @@ fn run_thread_block(
                     let (src, channel, fifo) = recv
                         .as_ref()
                         .expect("recv op requires a receive connection");
+                    let mut blocked_at = None;
                     let (value, blocked) = fifo
                         .recv(wait_deadline(Instant::now()), cancel, || {
                             ring.push(
@@ -1235,6 +1598,7 @@ fn run_thread_block(
                                 src: *src,
                                 channel: *channel,
                             });
+                            blocked_at = Some(Instant::now());
                         })
                         .map_err(|stop| stop_to_err(stop, s))?;
                     if blocked {
@@ -1242,12 +1606,24 @@ fn run_thread_block(
                             src: *src,
                             channel: *channel,
                         });
+                        if let (Some(m), Some(t0)) = (metrics, blocked_at) {
+                            m.fifo_recv_block_ns
+                                .add(m.shard, t0.elapsed().as_nanos() as u64);
+                        }
                     }
+                    let bytes = (value.len() * std::mem::size_of::<f32>()) as u64;
                     rec.emit(EventKind::Recv {
                         src: *src,
                         channel: *channel,
                         seq: recv_seq,
+                        bytes,
                     });
+                    if let Some(m) = metrics {
+                        if let Some((bytes_recv, recvs)) = &m.recv_conn {
+                            bytes_recv.add(m.shard, bytes);
+                            recvs.inc(m.shard);
+                        }
+                    }
                     recv_seq += 1;
                     Ok(value)
                 };
@@ -1291,11 +1667,13 @@ fn run_thread_block(
                 // only after corruption, so both deliveries carry the
                 // same (possibly corrupted) payload.
                 let dup = duplicated.then(|| outbound.duplicate());
+                let bytes = (outbound.len() * std::mem::size_of::<f32>()) as u64;
                 // `SendResume` and `Send` are stamped from inside the
                 // callback — `Send` while the queue lock is held — so the
                 // receiver's `Recv` timestamp can never precede them.
                 for (copy, payload) in std::iter::once(outbound).chain(dup).enumerate() {
                     let mut was_blocked = false;
+                    let mut blocked_at = None;
                     fifo.send(
                         payload,
                         wait_deadline(Instant::now()),
@@ -1316,8 +1694,9 @@ fn run_thread_block(
                                     dst: *dst,
                                     channel: *channel,
                                 });
+                                blocked_at = Some(Instant::now());
                             }
-                            SendMoment::Enqueued => {
+                            SendMoment::Enqueued { depth } => {
                                 if was_blocked {
                                     rec.emit(EventKind::SendResume {
                                         dst: *dst,
@@ -1329,7 +1708,21 @@ fn run_thread_block(
                                         dst: *dst,
                                         channel: *channel,
                                         seq: send_seq,
+                                        bytes,
                                     });
+                                }
+                                if let Some(m) = metrics {
+                                    if let (Some(t0), true) = (blocked_at.take(), was_blocked) {
+                                        m.fifo_send_block_ns
+                                            .add(m.shard, t0.elapsed().as_nanos() as u64);
+                                    }
+                                    if let Some((bytes_sent, sends, peak)) = &m.send_conn {
+                                        peak.set_max(depth as u64);
+                                        if copy == 0 {
+                                            bytes_sent.add(m.shard, bytes);
+                                            sends.inc(m.shard);
+                                        }
+                                    }
                                 }
                             }
                         },
@@ -1340,6 +1733,16 @@ fn run_thread_block(
                 Ok(())
             };
 
+            // Latency observations are sampled: the two clock reads they
+            // need cost more than every counter in this loop combined
+            // (~85ns against a sub-10ns relaxed add), and taking them on
+            // every instruction busts the always-on overhead budget at
+            // small sizes. One instruction in [`LATENCY_SAMPLE_PERIOD`]
+            // per worker keeps the histogram's shape; the `instructions`
+            // counter below stays exact.
+            let instr_start = metrics
+                .filter(|_| completed.is_multiple_of(LATENCY_SAMPLE_PERIOD))
+                .map(|_| Instant::now());
             match instr.op {
                 OpCode::Nop => {}
                 OpCode::Send => {
@@ -1401,6 +1804,13 @@ fn run_thread_block(
                     let mut tile = receive(rec, ring)?;
                     reduce_merge_dst(&mut tile);
                     transmit(rec, ring, tile)?;
+                }
+            }
+            if let Some(m) = metrics {
+                let (count, latency) = &m.ops[op_index(instr.op)];
+                count.inc(m.shard);
+                if let Some(t0) = instr_start {
+                    latency.record(m.shard, t0.elapsed().as_nanos() as u64);
                 }
             }
             completed += 1;
@@ -1555,8 +1965,17 @@ mod tests {
         let inputs = crate::reference::random_inputs(&ir, 4, 9);
         // The public untraced API returns only outputs; internally the
         // recorder stays empty.
-        let (_, trace, _) =
-            execute_impl(&ir, &inputs, 4, &RunOptions::default(), false, None, None).unwrap();
+        let (_, trace, _, _) = execute_impl(
+            &ir,
+            &inputs,
+            4,
+            &RunOptions::default(),
+            false,
+            false,
+            None,
+            None,
+        )
+        .unwrap();
         assert!(trace.is_none());
     }
 
@@ -1774,5 +2193,64 @@ mod tests {
             stats.pool
         );
         assert!(stats.pool.reused > 0, "pool was bypassed entirely");
+    }
+
+    /// The metrics snapshot agrees with the trace recorded in the same
+    /// run: same per-connection bytes/sends/receives, same instruction
+    /// count, pool counters mirroring `ExecStats`.
+    #[test]
+    fn profiled_metrics_agree_with_trace() {
+        let p = msccl_algos::ring_all_reduce(4, 1).unwrap();
+        let ir = compile(&p, &CompileOptions::default()).unwrap();
+        let chunk_elems = 16;
+        let inputs = crate::reference::random_inputs(&ir, chunk_elems, 31);
+        let (outputs, trace, snapshot) =
+            execute_profiled(&ir, &inputs, chunk_elems, &RunOptions::default()).unwrap();
+        crate::reference::check_outputs(
+            &ir.collective,
+            &inputs,
+            &outputs,
+            chunk_elems,
+            ReduceOp::Sum,
+        )
+        .unwrap();
+
+        // The trace-derived snapshot carries the same logical counters:
+        // bytes, sends, receives per connection, instructions per op.
+        let derived = msccl_trace::snapshot_from_trace(&trace);
+        for name in [
+            msccl_metrics::names::BYTES_SENT,
+            msccl_metrics::names::BYTES_RECEIVED,
+            msccl_metrics::names::SENDS,
+            msccl_metrics::names::RECVS,
+            msccl_metrics::names::INSTRUCTIONS,
+        ] {
+            let live: Vec<_> = snapshot.with_name(name).collect();
+            assert!(!live.is_empty(), "no live samples for {name}");
+            for sample in live {
+                let labels: Vec<(&str, &str)> = sample
+                    .labels
+                    .iter()
+                    .map(|(k, v)| (k.as_str(), v.as_str()))
+                    .collect();
+                assert_eq!(
+                    derived.counter(name, &labels),
+                    snapshot.counter(name, &labels),
+                    "mismatch on {name} {labels:?}"
+                );
+            }
+        }
+        assert_eq!(
+            snapshot.counter_total(msccl_metrics::names::INSTRUCTIONS),
+            trace.executed_instructions().len() as u64,
+        );
+
+        // Metrics off: the run still works, and the snapshot is empty.
+        let opts = RunOptions {
+            metrics: false,
+            ..RunOptions::default()
+        };
+        let (_, _, empty) = execute_profiled(&ir, &inputs, chunk_elems, &opts).unwrap();
+        assert!(empty.samples.is_empty());
     }
 }

@@ -35,7 +35,12 @@ pub enum SendMoment {
     /// The tile is being deposited. Reported while the queue lock is still
     /// held, so a timestamp taken here provably precedes the matching
     /// receive's timestamp on any other thread.
-    Enqueued,
+    Enqueued {
+        /// Queue depth *including* the tile being deposited — the
+        /// occupancy the receiver will observe, feeding the per-channel
+        /// peak-occupancy gauge.
+        depth: usize,
+    },
 }
 
 /// A bounded queue of tiles for one connection.
@@ -112,7 +117,9 @@ impl<T> Fifo<T> {
             }
             guard = Self::wait_until(&self.not_full, guard, deadline, cancel)?;
         }
-        on_event(SendMoment::Enqueued);
+        on_event(SendMoment::Enqueued {
+            depth: guard.len() + 1,
+        });
         debug_assert!(
             guard.len() < self.capacity && guard.capacity() >= self.capacity,
             "FIFO bound violated: {} of {} slots used (capacity {})",
@@ -225,7 +232,7 @@ mod tests {
         let mut moments = Vec::new();
         f.send(vec![0.0], after(10), &c, |m| moments.push(m))
             .unwrap();
-        assert_eq!(moments, vec![SendMoment::Enqueued]);
+        assert_eq!(moments, vec![SendMoment::Enqueued { depth: 1 }]);
         let mut moments = Vec::new();
         let _ = f.send(vec![1.0], after(10), &c, |m| moments.push(m));
         assert_eq!(moments, vec![SendMoment::Blocked]);

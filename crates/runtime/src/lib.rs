@@ -39,9 +39,9 @@ mod semaphore;
 
 pub use cancel::{FailureCause, FailureOrigin};
 pub use executor::{
-    execute, execute_in_arena, execute_pooled, execute_traced, execute_with_faults,
-    execute_with_faults_traced, execute_with_stats, tile_pool_for, ExecArena, ExecStats,
-    RunOptions, RuntimeError,
+    execute, execute_in_arena, execute_pooled, execute_profiled, execute_traced,
+    execute_with_faults, execute_with_faults_traced, execute_with_metrics, execute_with_stats,
+    tile_pool_for, ExecArena, ExecStats, RunOptions, RuntimeError,
 };
 pub use memory::{RankMemory, SpaceBuffers};
 pub use pool::{PoolStats, PooledTile, TilePool};

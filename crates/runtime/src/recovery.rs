@@ -20,6 +20,7 @@
 use std::time::{Duration, Instant};
 
 use msccl_faults::FaultInjector;
+use msccl_metrics::{names, MetricsSnapshot, Registry};
 use msccl_trace::{ClockDomain, EventKind, RecoveryDecision, Trace, TraceEvent};
 use mscclang::IrProgram;
 
@@ -72,6 +73,12 @@ pub struct RecoveryReport {
     pub used_fallback: bool,
     /// Every decision taken, in order.
     pub steps: Vec<RecoveryStep>,
+    /// The decision log as metric counters (see
+    /// [`msccl_metrics::names`]): total attempts, retries, fallbacks,
+    /// and cancellations (attempts torn down without an accepted
+    /// result). Mergeable with execution snapshots via
+    /// [`MetricsSnapshot::merge`].
+    pub metrics: MetricsSnapshot,
 }
 
 impl RecoveryReport {
@@ -97,6 +104,29 @@ impl RecoveryReport {
                 .collect()],
         )
     }
+}
+
+/// Folds the decision log into the shared metric vocabulary. Derived
+/// from the log rather than incremented inline so the counters and the
+/// log can never disagree.
+fn metrics_of(steps: &[RecoveryStep], attempts: usize) -> MetricsSnapshot {
+    let reg = Registry::new(1);
+    reg.counter(names::RECOVERY_ATTEMPTS, &[])
+        .add(0, attempts as u64);
+    for step in steps {
+        match step.decision {
+            RecoveryDecision::Accept => {}
+            RecoveryDecision::Retry => reg.counter(names::RECOVERY_RETRIES, &[]).inc(0),
+            RecoveryDecision::Fallback => reg.counter(names::RECOVERY_FALLBACKS, &[]).inc(0),
+            RecoveryDecision::GiveUp => {}
+        }
+        if step.decision != RecoveryDecision::Accept {
+            // Every non-accept decision follows exactly one attempt that
+            // was torn down (cancelled) without a usable result.
+            reg.counter(names::RECOVERY_CANCELLATIONS, &[]).inc(0);
+        }
+    }
+    reg.snapshot()
 }
 
 fn run_once(
@@ -187,11 +217,13 @@ pub fn execute_with_recovery(
                     "completed"
                 };
                 record(&mut steps, attempt, RecoveryDecision::Accept, detail.into());
+                let metrics = metrics_of(&steps, attempt + 1);
                 return Ok(RecoveryReport {
                     outputs,
                     attempts: attempt + 1,
                     used_fallback: false,
                     steps,
+                    metrics,
                 });
             }
             Err(e) if !e.is_transient() => return Err(e),
@@ -230,11 +262,13 @@ pub fn execute_with_recovery(
                     "completed"
                 };
                 record(&mut steps, attempt, RecoveryDecision::Accept, detail.into());
+                let metrics = metrics_of(&steps, attempt + 1);
                 return Ok(RecoveryReport {
                     outputs,
                     attempts: attempt + 1,
                     used_fallback: true,
                     steps,
+                    metrics,
                 });
             }
             Err(e) if !e.is_transient() => return Err(e),
@@ -336,6 +370,13 @@ mod tests {
             vec![RecoveryDecision::Retry, RecoveryDecision::Accept]
         );
         assert!(report.steps[0].detail.contains("kill block r1 tb0 step0"));
+        assert_eq!(report.metrics.counter(names::RECOVERY_ATTEMPTS, &[]), 2);
+        assert_eq!(report.metrics.counter(names::RECOVERY_RETRIES, &[]), 1);
+        assert_eq!(
+            report.metrics.counter(names::RECOVERY_CANCELLATIONS, &[]),
+            1
+        );
+        assert_eq!(report.metrics.counter(names::RECOVERY_FALLBACKS, &[]), 0);
         crate::reference::check_outputs(
             &ir.collective,
             &inputs,

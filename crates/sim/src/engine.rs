@@ -2,9 +2,11 @@
 //! network.
 
 use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::sync::Arc;
 
 use msccl_faults::{BlockAction, DeliveryAction, FaultInjector};
+use msccl_metrics::{names, Counter, Gauge, Histogram, MetricsSnapshot, Registry};
 use msccl_topology::{Protocol, TransferPath};
 use msccl_trace::{ClockDomain, EventKind, Trace, TraceEvent};
 use mscclang::{IrInstruction, IrProgram, OpCode};
@@ -74,6 +76,11 @@ pub struct SimReport {
     /// [`SimConfig::record_trace`] is set): the same event vocabulary the
     /// threaded runtime emits, timestamped by the discrete-event clock.
     pub trace: Option<Trace>,
+    /// Always-on metrics in the same vocabulary the threaded runtime
+    /// records (`msccl_metrics::names`), measured on the virtual clock:
+    /// every `*_NS` value is virtual microseconds × 1000. The simulator
+    /// has no tile pool, so the `POOL_*` counters are absent.
+    pub metrics: MetricsSnapshot,
 }
 
 /// Appends one trace event when tracing is enabled.
@@ -85,6 +92,105 @@ fn emit(trace: &mut Option<Trace>, ts_us: f64, rank: usize, tb: usize, kind: Eve
             tb,
             kind,
         });
+    }
+}
+
+/// Opcodes in dense order for the per-op metric handles.
+const ALL_OPS: [OpCode; 9] = [
+    OpCode::Nop,
+    OpCode::Send,
+    OpCode::Recv,
+    OpCode::Copy,
+    OpCode::Reduce,
+    OpCode::RecvReduceCopy,
+    OpCode::RecvCopySend,
+    OpCode::RecvReduceSend,
+    OpCode::RecvReduceCopySend,
+];
+
+/// Dense index of an opcode into [`SimMetrics::ops`].
+fn op_index(op: OpCode) -> usize {
+    match op {
+        OpCode::Nop => 0,
+        OpCode::Send => 1,
+        OpCode::Recv => 2,
+        OpCode::Copy => 3,
+        OpCode::Reduce => 4,
+        OpCode::RecvReduceCopy => 5,
+        OpCode::RecvCopySend => 6,
+        OpCode::RecvReduceSend => 7,
+        OpCode::RecvReduceCopySend => 8,
+    }
+}
+
+/// Per-connection metric handles, parallel to the engine's `conns` vector.
+struct ConnMetrics {
+    bytes_sent: Arc<Counter>,
+    sends: Arc<Counter>,
+    peak: Arc<Gauge>,
+    bytes_received: Arc<Counter>,
+    recvs: Arc<Counter>,
+}
+
+/// Always-on metric handles for one simulation: the same vocabulary the
+/// threaded runtime records, measured on the virtual clock (virtual
+/// microseconds × 1000 stand in for nanoseconds). The engine is
+/// single-threaded, so every update lands in shard 0 of a one-shard
+/// registry.
+struct SimMetrics {
+    registry: Registry,
+    sem_wait_ns: Arc<Counter>,
+    fifo_send_block_ns: Arc<Counter>,
+    fifo_recv_block_ns: Arc<Counter>,
+    conns: Vec<ConnMetrics>,
+    /// Per-opcode `(instruction counter, latency histogram)`, indexed by
+    /// [`op_index`].
+    ops: Vec<(Arc<Counter>, Arc<Histogram>)>,
+}
+
+impl SimMetrics {
+    fn new(conn_keys: &[(usize, usize, usize)]) -> Self {
+        let registry = Registry::new(1);
+        let conns = conn_keys
+            .iter()
+            .map(|&(src, dst, channel)| {
+                let (s, d, c) = (src.to_string(), dst.to_string(), channel.to_string());
+                let labels = [
+                    ("src", s.as_str()),
+                    ("dst", d.as_str()),
+                    ("channel", c.as_str()),
+                ];
+                ConnMetrics {
+                    bytes_sent: registry.counter(names::BYTES_SENT, &labels),
+                    sends: registry.counter(names::SENDS, &labels),
+                    peak: registry.gauge(names::FIFO_PEAK_OCCUPANCY, &labels),
+                    bytes_received: registry.counter(names::BYTES_RECEIVED, &labels),
+                    recvs: registry.counter(names::RECVS, &labels),
+                }
+            })
+            .collect();
+        let ops = ALL_OPS
+            .iter()
+            .map(|op| {
+                (
+                    registry.counter(names::INSTRUCTIONS, &[("op", op.mnemonic())]),
+                    registry.histogram(names::INSTR_LATENCY_NS, &[("op", op.mnemonic())]),
+                )
+            })
+            .collect();
+        Self {
+            sem_wait_ns: registry.counter(names::SEM_WAIT_NS, &[]),
+            fifo_send_block_ns: registry.counter(names::FIFO_SEND_BLOCK_NS, &[]),
+            fifo_recv_block_ns: registry.counter(names::FIFO_RECV_BLOCK_NS, &[]),
+            conns,
+            ops,
+            registry,
+        }
+    }
+
+    /// A virtual-time interval as integer "nanoseconds".
+    fn ns(us: f64) -> u64 {
+        (us * 1000.0).round().max(0.0) as u64
     }
 }
 
@@ -158,6 +264,11 @@ struct Conn {
     key: (usize, usize, usize),
     send_seq: u64,
     recv_seq: u64,
+    /// Payload sizes of tiles sent but not yet received, so the receive
+    /// event reports the bytes the matching send put in flight (an
+    /// injected duplicate delivery falls back to the instruction's own
+    /// payload).
+    pending_bytes: VecDeque<u64>,
     /// Injected fault actions recorded at send start for the in-flight
     /// tile, consumed when its `Deliver` event is scheduled. A connection
     /// has exactly one sender thread block and that block does not reach
@@ -190,6 +301,13 @@ struct Tb {
     open_wait: Option<(usize, u64)>,
     open_recv_block: bool,
     open_send_block: bool,
+    // Metric bookkeeping: virtual timestamps at which the open wait/block
+    // interval or the current instruction began (valid only while the
+    // matching flag above is set).
+    wait_since: f64,
+    recv_block_since: f64,
+    send_block_since: f64,
+    instr_begin_us: f64,
 }
 
 struct FlowInfo {
@@ -304,6 +422,7 @@ pub fn simulate(
                         key: (gpu.rank, peer, tb.channel),
                         send_seq: 0,
                         recv_seq: 0,
+                        pending_bytes: VecDeque::new(),
                         pending_delivery: Vec::new(),
                     });
                     conn_ids.insert((gpu.rank, peer, tb.channel), id);
@@ -334,6 +453,10 @@ pub fn simulate(
                 open_wait: None,
                 open_recv_block: false,
                 open_send_block: false,
+                wait_since: 0.0,
+                recv_block_since: 0.0,
+                send_block_since: 0.0,
+                instr_begin_us: 0.0,
             });
         }
     }
@@ -356,6 +479,8 @@ pub fn simulate(
                 .map(|t| ((g.rank, t.id), t.instructions.len() as u64))
         })
         .collect();
+
+    let metrics = SimMetrics::new(&conns.iter().map(|c| c.key).collect::<Vec<_>>());
 
     // ---- Event loop.
     let mut trace: Option<Trace> = config
@@ -441,6 +566,7 @@ pub fn simulate(
                     &mut finished_tbs,
                     &mut instructions_executed,
                     &mut trace,
+                    &metrics,
                     injector,
                 )?;
             }
@@ -519,6 +645,7 @@ pub fn simulate(
             }
             trace
         },
+        metrics: metrics.registry.snapshot(),
     })
 }
 
@@ -603,6 +730,7 @@ fn advance_tb(
     finished_tbs: &mut usize,
     instructions_executed: &mut usize,
     trace: &mut Option<Trace>,
+    metrics: &SimMetrics,
     injector: Option<&FaultInjector>,
 ) -> Result<(), SimError> {
     let machine = &config.machine;
@@ -695,6 +823,9 @@ fn advance_tb(
                             // A previous registration may have been on an
                             // earlier dependency of the same instruction.
                             if let Some((ptb, pt)) = tbs[me].open_wait.take() {
+                                metrics
+                                    .sem_wait_ns
+                                    .add(0, SimMetrics::ns(now - tbs[me].wait_since));
                                 emit(
                                     trace,
                                     now,
@@ -717,6 +848,7 @@ fn advance_tb(
                                 },
                             );
                             tbs[me].open_wait = Some((d.tb, target));
+                            tbs[me].wait_since = now;
                         }
                         tbs[me].gen += 1;
                         let gen = tbs[me].gen;
@@ -729,6 +861,9 @@ fn advance_tb(
                     return Ok(());
                 }
                 if let Some((dep_tb, target)) = tbs[me].open_wait.take() {
+                    metrics
+                        .sem_wait_ns
+                        .add(0, SimMetrics::ns(now - tbs[me].wait_since));
                     emit(
                         trace,
                         now,
@@ -750,6 +885,7 @@ fn advance_tb(
                         },
                     );
                     tbs[me].instr_begun = true;
+                    tbs[me].instr_begin_us = now;
                 }
                 if instr.op.has_recv() {
                     let conn = tbs[me].recv_conn.expect("recv needs a connection");
@@ -764,12 +900,16 @@ fn advance_tb(
                                 EventKind::RecvBlock { src, channel },
                             );
                             tbs[me].open_recv_block = true;
+                            tbs[me].recv_block_since = now;
                         }
                         conns[conn].waiting_receiver = Some(me);
                         tbs[me].gen += 1;
                         return Ok(());
                     }
                     if tbs[me].open_recv_block {
+                        metrics
+                            .fifo_recv_block_ns
+                            .add(0, SimMetrics::ns(now - tbs[me].recv_block_since));
                         emit(
                             trace,
                             now,
@@ -779,6 +919,10 @@ fn advance_tb(
                         );
                         tbs[me].open_recv_block = false;
                     }
+                    let bytes = conns[conn]
+                        .pending_bytes
+                        .pop_front()
+                        .unwrap_or_else(|| payload.round() as u64);
                     emit(
                         trace,
                         now,
@@ -788,8 +932,12 @@ fn advance_tb(
                             src,
                             channel,
                             seq: conns[conn].recv_seq,
+                            bytes,
                         },
                     );
+                    let cm = &metrics.conns[conn];
+                    cm.bytes_received.add(0, bytes);
+                    cm.recvs.inc(0);
                     conns[conn].recv_seq += 1;
                     conns[conn].available -= 1;
                     // Receive-side processing. A *fused* instruction
@@ -881,6 +1029,7 @@ fn advance_tb(
                         instr.op,
                         instr.has_dep,
                         trace,
+                        metrics,
                     );
                 }
             }
@@ -897,12 +1046,16 @@ fn advance_tb(
                             EventKind::SendBlock { dst, channel },
                         );
                         tbs[me].open_send_block = true;
+                        tbs[me].send_block_since = now;
                     }
                     conns[conn].waiting_sender = Some(me);
                     tbs[me].gen += 1;
                     return Ok(());
                 }
                 if tbs[me].open_send_block {
+                    metrics
+                        .fifo_send_block_ns
+                        .add(0, SimMetrics::ns(now - tbs[me].send_block_since));
                     emit(
                         trace,
                         now,
@@ -912,6 +1065,7 @@ fn advance_tb(
                     );
                     tbs[me].open_send_block = false;
                 }
+                let bytes = payload.round() as u64;
                 emit(
                     trace,
                     now,
@@ -921,8 +1075,10 @@ fn advance_tb(
                         dst,
                         channel,
                         seq: conns[conn].send_seq,
+                        bytes,
                     },
                 );
+                conns[conn].pending_bytes.push_back(bytes);
                 if let Some(inj) = injector {
                     let (src, _, _) = conns[conn].key;
                     conns[conn].pending_delivery =
@@ -930,6 +1086,10 @@ fn advance_tb(
                 }
                 conns[conn].send_seq += 1;
                 conns[conn].in_flight += 1;
+                let cm = &metrics.conns[conn];
+                cm.bytes_sent.add(0, bytes);
+                cm.sends.inc(0);
+                cm.peak.set_max(conns[conn].in_flight as u64);
                 // Sender-side synchronization + (for RDMA paths) staging
                 // into the proxy buffer at local copy rate.
                 let staging = if conns[conn].cross_node {
@@ -985,6 +1145,7 @@ fn advance_tb(
                         instr.op,
                         instr.has_dep,
                         trace,
+                        metrics,
                     );
                     continue;
                 }
@@ -1014,6 +1175,7 @@ fn advance_tb(
                         instr.op,
                         instr.has_dep,
                         trace,
+                        metrics,
                     );
                     continue;
                 }
@@ -1057,6 +1219,7 @@ fn advance_tb(
                     instr.op,
                     instr.has_dep,
                     trace,
+                    metrics,
                 );
             }
             Stage::LocalBusy => {
@@ -1070,6 +1233,7 @@ fn advance_tb(
                     instr.op,
                     instr.has_dep,
                     trace,
+                    metrics,
                 );
             }
         }
@@ -1089,7 +1253,11 @@ fn complete_instruction(
     op: OpCode,
     has_dep: bool,
     trace: &mut Option<Trace>,
+    metrics: &SimMetrics,
 ) {
+    let (count, latency) = &metrics.ops[op_index(op)];
+    count.inc(0);
+    latency.record(0, SimMetrics::ns(now - tbs[me].instr_begin_us));
     tbs[me].completed += 1;
     if has_dep {
         emit(
@@ -1157,6 +1325,7 @@ pub fn simulate_sequence(
     let mut protocol = Protocol::Simple;
     let mut tiles = 0;
     let mut busy = 0.0;
+    let mut metrics = MetricsSnapshot::default();
     for &(ir, bytes) in kernels {
         let r = simulate(ir, config, bytes)?;
         total += r.total_us;
@@ -1166,6 +1335,7 @@ pub fn simulate_sequence(
         protocol = r.protocol;
         tiles = tiles.max(r.tiles);
         busy += r.busy_us;
+        metrics = metrics.merge(&r.metrics);
     }
     Ok(SimReport {
         total_us: total,
@@ -1180,6 +1350,7 @@ pub fn simulate_sequence(
         timeline: Vec::new(),
         resource_usage: Vec::new(),
         trace: None,
+        metrics,
     })
 }
 
@@ -1422,6 +1593,48 @@ mod tests {
         // Off by default.
         let quiet = simulate(&ir, &ndv4_config(), 1 << 22).unwrap();
         assert!(quiet.trace.is_none());
+    }
+
+    /// The always-on metrics and the recorded trace are two views of the
+    /// same run: every logical counter must agree sample for sample with
+    /// the snapshot reconstructed from the trace.
+    #[test]
+    fn metrics_agree_with_trace_counters() {
+        let ir = ring(8, 2, 2);
+        let r = simulate(&ir, &ndv4_config().with_trace(true), 1 << 22).unwrap();
+        let from_trace = msccl_trace::snapshot_from_trace(r.trace.as_ref().unwrap());
+        for name in [
+            names::BYTES_SENT,
+            names::BYTES_RECEIVED,
+            names::SENDS,
+            names::RECVS,
+            names::INSTRUCTIONS,
+        ] {
+            for sample in r.metrics.with_name(name) {
+                let labels: Vec<(&str, &str)> = sample
+                    .labels
+                    .iter()
+                    .map(|(k, v)| (k.as_str(), v.as_str()))
+                    .collect();
+                assert_eq!(
+                    r.metrics.counter(name, &labels),
+                    from_trace.counter(name, &labels),
+                    "{name} diverges from trace at {labels:?}"
+                );
+            }
+            assert_eq!(
+                r.metrics.counter_total(name),
+                from_trace.counter_total(name),
+                "{name} total"
+            );
+        }
+        assert_eq!(
+            r.metrics.counter_total(names::INSTRUCTIONS),
+            r.instructions as u64
+        );
+        // Metrics are always on: the untraced run reports the same counts.
+        let quiet = simulate(&ir, &ndv4_config(), 1 << 22).unwrap();
+        assert_eq!(quiet.metrics, r.metrics);
     }
 
     #[test]

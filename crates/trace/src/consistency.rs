@@ -197,7 +197,10 @@ impl Trace {
         // sequence numbers must read 0, 1, 2, …
         let mut sends: HashMap<(usize, usize, usize), Vec<f64>> = HashMap::new();
         for e in self.events() {
-            if let EventKind::Send { dst, channel, seq } = e.kind {
+            if let EventKind::Send {
+                dst, channel, seq, ..
+            } = e.kind
+            {
                 let entry = sends.entry((e.rank, dst, channel)).or_default();
                 if seq != entry.len() as u64 {
                     return Err(format!(
@@ -213,7 +216,10 @@ impl Trace {
         // Then receives, paired by sequence number against the sends.
         let mut recvs: HashMap<(usize, usize, usize), u64> = HashMap::new();
         for e in self.events() {
-            if let EventKind::Recv { src, channel, seq } = e.kind {
+            if let EventKind::Recv {
+                src, channel, seq, ..
+            } = e.kind
+            {
                 let conn = (src, e.rank, channel);
                 let next = recvs.entry(conn).or_default();
                 if seq != *next {
@@ -354,6 +360,7 @@ mod tests {
                         dst: 1,
                         channel: 0,
                         seq: 0,
+                        bytes: 0,
                     },
                 ),
                 instr(1.0, 0, 0, 0, true),
@@ -379,6 +386,7 @@ mod tests {
                             dst: 1,
                             channel: 0,
                             seq: 0,
+                            bytes: 0,
                         },
                     ),
                     instr(1.0, 0, 0, 0, true),
@@ -395,6 +403,7 @@ mod tests {
                             src: 0,
                             channel: 0,
                             seq: 0,
+                            bytes: 0,
                         },
                     ),
                     instr(1.2, 1, 0, 0, true),
@@ -419,6 +428,7 @@ mod tests {
                             dst: 1,
                             channel: 0,
                             seq: 0,
+                            bytes: 0,
                         },
                     ),
                     instr(1.0, 0, 0, 0, true),
@@ -433,6 +443,7 @@ mod tests {
                             src: 0,
                             channel: 0,
                             seq: 0,
+                            bytes: 0,
                         },
                     ),
                     instr(0.2, 1, 0, 0, true),

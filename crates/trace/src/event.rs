@@ -103,6 +103,8 @@ pub enum EventKind {
         channel: usize,
         /// Per-connection send sequence number.
         seq: u64,
+        /// Payload size in bytes.
+        bytes: u64,
     },
     /// A receive found the FIFO empty and blocked.
     RecvBlock {
@@ -127,6 +129,8 @@ pub enum EventKind {
         channel: usize,
         /// Per-connection receive sequence number.
         seq: u64,
+        /// Payload size in bytes.
+        bytes: u64,
     },
     /// Tile-pool allocation counters for the whole run, emitted once at
     /// the end by the threaded runtime (`rank = 0`, `tb = 0`: the pool is

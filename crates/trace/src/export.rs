@@ -218,7 +218,12 @@ impl Trace {
                         &[("value", value.to_string())],
                     );
                 }
-                EventKind::Send { dst, channel, seq } => {
+                EventKind::Send {
+                    dst,
+                    channel,
+                    seq,
+                    bytes,
+                } => {
                     push_event(
                         &mut out,
                         &mut first,
@@ -232,10 +237,16 @@ impl Trace {
                             ("dst", dst.to_string()),
                             ("channel", channel.to_string()),
                             ("seq", seq.to_string()),
+                            ("bytes", bytes.to_string()),
                         ],
                     );
                 }
-                EventKind::Recv { src, channel, seq } => {
+                EventKind::Recv {
+                    src,
+                    channel,
+                    seq,
+                    bytes,
+                } => {
                     push_event(
                         &mut out,
                         &mut first,
@@ -249,6 +260,7 @@ impl Trace {
                             ("src", src.to_string()),
                             ("channel", channel.to_string()),
                             ("seq", seq.to_string()),
+                            ("bytes", bytes.to_string()),
                         ],
                     );
                 }
@@ -334,14 +346,17 @@ impl Trace {
                     peer = dst.to_string();
                     channel = c.to_string();
                 }
+                // Payload bytes ride in the free-form `value` column.
                 EventKind::Send {
                     dst,
                     channel: c,
                     seq: q,
+                    bytes,
                 } => {
                     peer = dst.to_string();
                     channel = c.to_string();
                     seq = q.to_string();
+                    value = bytes.to_string();
                 }
                 EventKind::RecvBlock { src, channel: c }
                 | EventKind::RecvResume { src, channel: c } => {
@@ -352,10 +367,12 @@ impl Trace {
                     src,
                     channel: c,
                     seq: q,
+                    bytes,
                 } => {
                     peer = src.to_string();
                     channel = c.to_string();
                     seq = q.to_string();
+                    value = bytes.to_string();
                 }
                 // `seq` reuses its column for the allocation count; the
                 // reuse count rides in the free-form `value` column.
@@ -417,6 +434,7 @@ mod tests {
                         dst: 1,
                         channel: 0,
                         seq: 0,
+                        bytes: 64,
                     },
                 },
                 TraceEvent {
@@ -446,10 +464,10 @@ mod tests {
             "{\"name\":\"s\",\"ph\":\"X\",\"ts\":0.000,\"pid\":0,\"tid\":0,\"dur\":2.000,\
              \"args\":{\"step\":0,\"tile\":0}}"
         ));
-        // The send instant carries its connection and sequence number.
+        // The send instant carries its connection, sequence and size.
         assert!(json.contains(
             "{\"name\":\"send\",\"ph\":\"i\",\"ts\":1.500,\"pid\":0,\"tid\":0,\"s\":\"t\",\
-             \"args\":{\"dst\":1,\"channel\":0,\"seq\":0}}"
+             \"args\":{\"dst\":1,\"channel\":0,\"seq\":0,\"bytes\":64}}"
         ));
         assert!(json.ends_with("  ]\n}\n"));
         // Byte-stable: rendering twice is identical.
@@ -467,7 +485,7 @@ mod tests {
         );
         assert_eq!(lines[1], "0.000,0,0,kernel_launch,,,,,,,");
         assert_eq!(lines[2], "0.000,0,0,instr_begin,0,0,s,,,,");
-        assert_eq!(lines[3], "1.500,0,0,send,,,,1,0,0,");
+        assert_eq!(lines[3], "1.500,0,0,send,,,,1,0,0,64");
         assert_eq!(lines[4], "2.000,0,0,instr_end,0,0,s,,,,");
     }
 }

@@ -23,10 +23,16 @@
 mod consistency;
 mod event;
 mod export;
+mod import;
 mod metrics;
+mod profile;
 
 pub use event::{ClockDomain, EventKind, RecoveryDecision, TraceEvent};
 pub use metrics::{ConnectionStats, TbBreakdown, TraceSummary};
+pub use profile::{
+    snapshot_from_trace, ChannelProfile, OpProfile, ProfileReport, StepProfile, TbProfile,
+    MIN_SHARE,
+};
 
 /// A completed execution trace: events from every thread block, sorted by
 /// timestamp.

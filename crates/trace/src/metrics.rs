@@ -34,6 +34,8 @@ pub struct ConnectionStats {
     pub channel: usize,
     /// Messages (tiles) carried.
     pub messages: u64,
+    /// Payload bytes carried (sum of per-send sizes).
+    pub bytes: u64,
     /// Peak number of unconsumed messages in the FIFO.
     pub peak_occupancy: usize,
 }
@@ -51,6 +53,10 @@ pub struct TraceSummary {
     pub per_tb: Vec<TbBreakdown>,
     /// Per-connection FIFO statistics, sorted by `(src, dst, channel)`.
     pub per_connection: Vec<ConnectionStats>,
+    /// Instruction instances `(rank, tb, step, tile)` on the critical
+    /// path, in path order (the chain whose busy times sum to
+    /// `critical_path_us`).
+    pub critical_nodes: Vec<(usize, usize, usize, usize)>,
     /// Tile-pool `(allocated, reused)` counters, when the trace carries a
     /// [`EventKind::PoolStats`] event (threaded-runtime traces do; the
     /// simulator has no allocator to count).
@@ -92,8 +98,10 @@ impl Trace {
         // used to decode semaphore targets back into (step, tile).
         let mut tb_len: HashMap<(usize, usize), u64> = HashMap::new();
 
-        // FIFO occupancy: +1 at send, -1 at recv, peak per connection.
-        let mut occupancy: HashMap<(usize, usize, usize), (i64, usize, u64)> = HashMap::new();
+        // FIFO occupancy per connection: +1 at send, -1 at recv, with the
+        // peak depth, message count and payload byte total.
+        type Occupancy = (i64, usize, u64, u64);
+        let mut occupancy: HashMap<(usize, usize, usize), Occupancy> = HashMap::new();
 
         let mut pool: Option<(u64, u64)> = None;
 
@@ -173,19 +181,25 @@ impl Trace {
                         }
                     }
                 }
-                EventKind::Send { dst, channel, .. } => {
+                EventKind::Send {
+                    dst,
+                    channel,
+                    bytes,
+                    ..
+                } => {
                     let conn = (e.rank, dst, channel);
-                    let entry = occupancy.entry(conn).or_insert((0, 0, 0));
+                    let entry = occupancy.entry(conn).or_insert((0, 0, 0, 0));
                     entry.0 += 1;
                     entry.1 = entry.1.max(entry.0 as usize);
                     entry.2 += 1;
+                    entry.3 += bytes;
                     if let Some(open) = open_instr.get(&tbkey) {
                         send_nodes.entry(conn).or_default().push(open.0);
                     }
                 }
                 EventKind::Recv { src, channel, .. } => {
                     let conn = (src, e.rank, channel);
-                    let entry = occupancy.entry(conn).or_insert((0, 0, 0));
+                    let entry = occupancy.entry(conn).or_insert((0, 0, 0, 0));
                     entry.0 -= 1;
                     if let Some(open) = open_instr.get(&tbkey) {
                         recv_nodes.entry(conn).or_default().push(open.0);
@@ -211,18 +225,19 @@ impl Trace {
             }
         }
 
-        let critical_path_us = critical_path(&nodes, &edges);
+        let (critical_path_us, critical_nodes) = critical_path(&nodes, &edges);
 
         let mut per_tb: Vec<TbBreakdown> = per_tb.into_values().collect();
         per_tb.sort_by_key(|b| (b.rank, b.tb));
         let mut per_connection: Vec<ConnectionStats> = occupancy
             .into_iter()
             .map(
-                |((src, dst, channel), (_, peak, messages))| ConnectionStats {
+                |((src, dst, channel), (_, peak, messages, bytes))| ConnectionStats {
                     src,
                     dst,
                     channel,
                     messages,
+                    bytes,
                     peak_occupancy: peak,
                 },
             )
@@ -234,15 +249,20 @@ impl Trace {
             critical_path_us,
             per_tb,
             per_connection,
+            critical_nodes,
             pool,
         }
     }
 }
 
 /// Longest path through the instruction DAG, weighting each node by its
-/// busy (non-waiting) time. Returns 0 for empty or cyclic graphs (a cyclic
-/// "trace" cannot come from a real execution).
-fn critical_path(nodes: &HashMap<InstrKey, NodeTimes>, edges: &[(InstrKey, InstrKey)]) -> f64 {
+/// busy (non-waiting) time. Returns the path length and its nodes in path
+/// order; `(0, [])` for empty or cyclic graphs (a cyclic "trace" cannot
+/// come from a real execution).
+fn critical_path(
+    nodes: &HashMap<InstrKey, NodeTimes>,
+    edges: &[(InstrKey, InstrKey)],
+) -> (f64, Vec<InstrKey>) {
     let mut succs: HashMap<InstrKey, Vec<InstrKey>> = HashMap::new();
     let mut indegree: HashMap<InstrKey, usize> = nodes.keys().map(|&k| (k, 0)).collect();
     for &(a, b) in edges {
@@ -259,18 +279,24 @@ fn critical_path(nodes: &HashMap<InstrKey, NodeTimes>, edges: &[(InstrKey, Instr
         .map(|(&k, _)| k)
         .collect();
     let mut dist: HashMap<InstrKey, f64> = ready.iter().map(|&k| (k, busy(&k))).collect();
+    let mut pred: HashMap<InstrKey, InstrKey> = HashMap::new();
     let mut processed = 0usize;
     let mut best: f64 = 0.0;
+    let mut best_end: Option<InstrKey> = None;
     while let Some(k) = ready.pop() {
         processed += 1;
         let d = dist[&k];
-        best = best.max(d);
+        if best_end.is_none() || d > best {
+            best = d;
+            best_end = Some(k);
+        }
         if let Some(next) = succs.get(&k) {
             for &n in next {
                 let nd = d + busy(&n);
                 let entry = dist.entry(n).or_insert(0.0);
                 if nd > *entry {
                     *entry = nd;
+                    pred.insert(n, k);
                 }
                 let deg = indegree.get_mut(&n).expect("known node");
                 *deg -= 1;
@@ -281,9 +307,16 @@ fn critical_path(nodes: &HashMap<InstrKey, NodeTimes>, edges: &[(InstrKey, Instr
         }
     }
     if processed < nodes.len() {
-        return 0.0; // cycle: not a feasible execution order
+        return (0.0, Vec::new()); // cycle: not a feasible execution order
     }
-    best
+    let mut path = Vec::new();
+    let mut cursor = best_end;
+    while let Some(k) = cursor {
+        path.push(k);
+        cursor = pred.get(&k).copied();
+    }
+    path.reverse();
+    (best, path)
 }
 
 #[cfg(test)]
@@ -410,6 +443,7 @@ mod tests {
                     dst: 1,
                     channel: 0,
                     seq: 0,
+                    bytes: 0,
                 },
             ),
             mk_instr(1.0, 0, 0, true),
@@ -422,6 +456,7 @@ mod tests {
                     dst: 1,
                     channel: 0,
                     seq: 1,
+                    bytes: 0,
                 },
             ),
             mk_instr(2.0, 0, 1, true),
@@ -433,6 +468,7 @@ mod tests {
                     src: 0,
                     channel: 0,
                     seq: 0,
+                    bytes: 0,
                 },
             ),
             ev(
@@ -443,6 +479,7 @@ mod tests {
                     src: 0,
                     channel: 0,
                     seq: 1,
+                    bytes: 0,
                 },
             ),
         ];

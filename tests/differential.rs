@@ -11,10 +11,17 @@
 //! * execute exactly the instruction instances the symbolic verifier
 //!   counts; and
 //! * agree with each other on each thread block's instruction order.
+//!
+//! On top of the traces, both executors' always-on metric registries
+//! must report *identical* logical counters — bytes, sends and receives
+//! per `(src, dst, channel)` connection and instruction counts per
+//! opcode — because the simulator speaks the same metrics vocabulary on
+//! a virtual clock.
 
 use std::collections::HashMap;
 
-use msccl_runtime::{execute_traced, reference, RunOptions};
+use msccl_metrics::names;
+use msccl_runtime::{execute_profiled, reference, RunOptions};
 use msccl_sim::{simulate, SimConfig};
 use msccl_topology::Machine;
 use msccl_trace::{EventKind, Trace};
@@ -45,11 +52,14 @@ fn differential(name: &str, program: &Program, machine: Machine) {
         ..RunOptions::default()
     };
     let inputs = reference::random_inputs(&ir, chunk_elems, 3);
-    let (_, run_trace) =
-        execute_traced(&ir, &inputs, chunk_elems, &opts).unwrap_or_else(|e| panic!("{name}: {e}"));
+    let (_, run_trace, run_metrics) = execute_profiled(&ir, &inputs, chunk_elems, &opts)
+        .unwrap_or_else(|e| panic!("{name}: {e}"));
 
-    // Simulator, with a buffer small enough that each chunk is one tile.
-    let buffer_bytes = (ir.collective.in_chunks() * 1024) as u64;
+    // Simulator over the *same* logical buffer (in_chunks x chunk_elems
+    // f32), so each chunk is one tile and per-message byte counts line
+    // up with the runtime's.
+    let buffer_bytes =
+        (ir.collective.in_chunks() * chunk_elems * std::mem::size_of::<f32>()) as u64;
     let cfg = SimConfig::new(machine).with_trace(true);
     let sim_report = simulate(&ir, &cfg, buffer_bytes).unwrap_or_else(|e| panic!("{name}: {e}"));
     let sim_trace = sim_report.trace.expect("trace requested");
@@ -80,6 +90,22 @@ fn differential(name: &str, program: &Program, machine: Machine) {
         begin_order(&sim_trace),
         "{name}: per-tb instruction order diverged"
     );
+
+    // The always-on registries agree sample for sample on every logical
+    // counter: threaded execution and discrete-event simulation moved
+    // exactly the same bytes over the same connections.
+    for metric in [
+        names::BYTES_SENT,
+        names::BYTES_RECEIVED,
+        names::SENDS,
+        names::RECVS,
+        names::INSTRUCTIONS,
+    ] {
+        let ran: Vec<_> = run_metrics.with_name(metric).collect();
+        let simmed: Vec<_> = sim_report.metrics.with_name(metric).collect();
+        assert!(!ran.is_empty(), "{name}: runtime recorded no {metric}");
+        assert_eq!(ran, simmed, "{name}: {metric} diverged between executors");
+    }
 }
 
 #[test]

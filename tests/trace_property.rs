@@ -75,12 +75,16 @@ fn assert_fifo_pairing(trace: &Trace) {
     let mut recvs: HashMap<(usize, usize, usize), u64> = HashMap::new();
     for e in trace.events() {
         match e.kind {
-            EventKind::Send { dst, channel, seq } => {
+            EventKind::Send {
+                dst, channel, seq, ..
+            } => {
                 let n = sends.entry((e.rank, dst, channel)).or_default();
                 assert_eq!(seq, *n, "send out of FIFO order on {:?}", (e.rank, dst));
                 *n += 1;
             }
-            EventKind::Recv { src, channel, seq } => {
+            EventKind::Recv {
+                src, channel, seq, ..
+            } => {
                 let n = recvs.entry((src, e.rank, channel)).or_default();
                 assert_eq!(seq, *n, "recv out of FIFO order on {:?}", (src, e.rank));
                 *n += 1;
