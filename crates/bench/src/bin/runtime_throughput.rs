@@ -25,8 +25,8 @@ use std::fmt::Write as _;
 use std::time::Instant;
 
 use msccl_bench::Scale;
-use msccl_runtime::{execute_in_arena, reference, ExecArena, RunOptions};
-use mscclang::{compile, CompileOptions, Program};
+use msccl_runtime::{execute_in_arena, reference, ExecArena, ExecStats, RunOptions};
+use mscclang::{compile, CompileOptions, EpochMode, Program};
 
 /// One measured point of the sweep.
 struct Entry {
@@ -41,6 +41,13 @@ struct Entry {
     /// ratios — the overhead gate's estimator (1.02 = metrics cost 2% of
     /// wall time here).
     overhead_ratio: f64,
+    /// The same paired estimator for `--epochs auto` vs epochs off on a
+    /// fault-free run: what the epoch subsystem costs when nothing
+    /// fails. `Auto` consults the compiler's cost model, which declines
+    /// to checkpoint when the snapshot would not amortize — so this
+    /// ratio is the price of *having* the feature on, not of a forced
+    /// snapshot schedule.
+    epoch_overhead_ratio: f64,
     /// Tile-buffer allocations per executed instruction in the measured
     /// (post-warmup) run — zero when the pool recycles perfectly.
     allocs_per_step: f64,
@@ -58,6 +65,94 @@ fn build(collective: &'static str, ranks: usize) -> Program {
     }
 }
 
+/// One paired A/B measurement over a warmed arena.
+struct Paired {
+    /// Best (minimum) wall time of the A configuration, seconds.
+    best_a: f64,
+    /// Best wall time of the B configuration, seconds.
+    best_b: f64,
+    /// Interquartile geometric mean of per-pair `time_a / time_b`.
+    ratio: f64,
+    /// [`ExecStats`] of the best A iteration.
+    stats_a: ExecStats,
+}
+
+/// Times `a` and `b` back-to-back over the same warmed arena, so thermal
+/// ramp and scheduler drift hit both modes alike. Each pair yields one
+/// time ratio, alternating in-pair order so whichever mode runs second
+/// gains no systematic edge.
+///
+/// The estimate is the interquartile geometric mean: it throws away the
+/// tails (a descheduled worker can double a single run) while averaging
+/// enough samples for the estimate to settle — a plain median of N
+/// ratios wobbles several percent at these sync-dominated sizes.
+/// Trimming runs per order class (a-first pairs vs b-first pairs) before
+/// averaging the two classes: whichever mode runs second inherits the
+/// first run's cleanup, and trimming a mixture of the two shifted
+/// distributions would bias the estimate instead of cancelling the
+/// shift.
+fn paired(
+    ir: &mscclang::IrProgram,
+    inputs: &[Vec<f32>],
+    chunk_elems: usize,
+    arena: &mut ExecArena,
+    a: &RunOptions,
+    b: &RunOptions,
+    iters: usize,
+) -> Paired {
+    let mut best_a = f64::INFINITY;
+    let mut best_b = f64::INFINITY;
+    let mut ratios = Vec::with_capacity(iters);
+    let mut stats_a = None;
+    for i in 0..iters {
+        let order = if i % 2 == 0 {
+            [true, false]
+        } else {
+            [false, true]
+        };
+        let (mut t_a, mut t_b) = (f64::INFINITY, f64::INFINITY);
+        for is_a in order {
+            let opts = if is_a { a } else { b };
+            let t0 = Instant::now();
+            let (out, s) = execute_in_arena(ir, inputs, chunk_elems, opts, arena).expect("runs");
+            let dt = t0.elapsed().as_secs_f64();
+            std::hint::black_box(&out);
+            arena.recycle_outputs(out);
+            if is_a {
+                t_a = dt;
+                if dt < best_a {
+                    best_a = dt;
+                    // Stats travel with the iteration whose time is reported.
+                    stats_a = Some(s);
+                }
+            } else {
+                t_b = dt;
+                if dt < best_b {
+                    best_b = dt;
+                }
+            }
+        }
+        ratios.push(t_a / t_b);
+    }
+    let class_log_mean = |parity: usize| -> f64 {
+        let mut logs: Vec<f64> = ratios
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| i % 2 == parity)
+            .map(|(_, r)| r.ln())
+            .collect();
+        logs.sort_by(f64::total_cmp);
+        let mid = &logs[logs.len() / 4..(3 * logs.len()).div_ceil(4)];
+        mid.iter().sum::<f64>() / mid.len() as f64
+    };
+    Paired {
+        best_a,
+        best_b,
+        ratio: ((class_log_mean(0) + class_log_mean(1)) / 2.0).exp(),
+        stats_a: stats_a.expect("at least one iteration"),
+    }
+}
+
 fn measure(collective: &'static str, ranks: usize, bytes_per_rank: u64, iters: usize) -> Entry {
     let program = build(collective, ranks);
     let ir = compile(&program, &CompileOptions::default().with_verify(false)).expect("compiles");
@@ -67,6 +162,10 @@ fn measure(collective: &'static str, ranks: usize, bytes_per_rank: u64, iters: u
     let on = RunOptions::default();
     let off = RunOptions {
         metrics: false,
+        ..RunOptions::default()
+    };
+    let epochs_auto = RunOptions {
+        epochs: EpochMode::Auto,
         ..RunOptions::default()
     };
 
@@ -83,75 +182,29 @@ fn measure(collective: &'static str, ranks: usize, bytes_per_rank: u64, iters: u
         arena.recycle_outputs(warm);
     }
 
-    // Metrics-on and metrics-off iterations run back-to-back over the
-    // same warmed arena, so thermal ramp and scheduler drift hit both
-    // modes alike. Each pair yields one time ratio; the point's overhead
-    // is the median ratio, alternating in-pair order so whichever mode
-    // runs second gains no systematic edge.
-    let mut best = f64::INFINITY;
-    let mut best_off = f64::INFINITY;
-    let mut ratios = Vec::with_capacity(iters);
-    let mut stats = None;
-    for i in 0..iters {
-        let order = if i % 2 == 0 {
-            [true, false]
-        } else {
-            [false, true]
-        };
-        let (mut t_on, mut t_off) = (f64::INFINITY, f64::INFINITY);
-        for metrics_on in order {
-            let opts = if metrics_on { &on } else { &off };
-            let t0 = Instant::now();
-            let (out, s) =
-                execute_in_arena(&ir, &inputs, chunk_elems, opts, &mut arena).expect("runs");
-            let dt = t0.elapsed().as_secs_f64();
-            std::hint::black_box(&out);
-            arena.recycle_outputs(out);
-            if metrics_on {
-                t_on = dt;
-                if dt < best {
-                    best = dt;
-                    // Stats travel with the iteration whose time is reported.
-                    stats = Some(s);
-                }
-            } else {
-                t_off = dt;
-                if dt < best_off {
-                    best_off = dt;
-                }
-            }
-        }
-        ratios.push(t_on / t_off);
-    }
-    // Interquartile geometric mean: throws away the tails (a descheduled
-    // worker can double a single run) while averaging enough samples for
-    // the estimate to settle — a plain median of N ratios wobbles several
-    // percent at these sync-dominated sizes. Trimming runs per order
-    // class (on-first pairs vs off-first pairs) before averaging the two
-    // classes: whichever mode runs second inherits the first run's
-    // cleanup, and trimming a mixture of the two shifted distributions
-    // would bias the estimate instead of cancelling the shift.
-    let class_log_mean = |parity: usize| -> f64 {
-        let mut logs: Vec<f64> = ratios
-            .iter()
-            .enumerate()
-            .filter(|(i, _)| i % 2 == parity)
-            .map(|(_, r)| r.ln())
-            .collect();
-        logs.sort_by(f64::total_cmp);
-        let mid = &logs[logs.len() / 4..(3 * logs.len()).div_ceil(4)];
-        mid.iter().sum::<f64>() / mid.len() as f64
-    };
-    let overhead_ratio = ((class_log_mean(0) + class_log_mean(1)) / 2.0).exp();
-    let stats = stats.expect("at least one iteration");
+    let metrics = paired(&ir, &inputs, chunk_elems, &mut arena, &on, &off, iters);
+    // Fault-free epoch cost: `--epochs auto` against the plain default,
+    // same estimator. Half the pair budget — the gate aggregates across
+    // points, and this pair rides on an already-warmed arena.
+    let epochs = paired(
+        &ir,
+        &inputs,
+        chunk_elems,
+        &mut arena,
+        &epochs_auto,
+        &on,
+        (iters / 2).max(4),
+    );
+    let stats = metrics.stats_a;
     let moved = in_chunks as f64 * chunk_elems as f64 * 4.0;
     Entry {
         collective,
         ranks,
         bytes_per_rank: moved as u64,
-        gbps: moved / best / 1e9,
-        gbps_metrics_off: moved / best_off / 1e9,
-        overhead_ratio,
+        gbps: moved / metrics.best_a / 1e9,
+        gbps_metrics_off: moved / metrics.best_b / 1e9,
+        overhead_ratio: metrics.ratio,
+        epoch_overhead_ratio: epochs.ratio,
         allocs_per_step: if stats.instructions == 0 {
             0.0
         } else {
@@ -175,7 +228,7 @@ fn to_json(mode: &str, entries: &[Entry]) -> String {
             s,
             "    {{\"collective\": \"{}\", \"ranks\": {}, \"bytes_per_rank\": {}, \
              \"gbps\": {:.3}, \"gbps_metrics_off\": {:.3}, \"metrics_overhead_ratio\": {:.4}, \
-             \"allocs_per_step\": {:.4}, \
+             \"epoch_overhead_ratio\": {:.4}, \"allocs_per_step\": {:.4}, \
              \"pool_allocated\": {}, \"pool_reused\": {}}}{comma}",
             e.collective,
             e.ranks,
@@ -183,6 +236,7 @@ fn to_json(mode: &str, entries: &[Entry]) -> String {
             e.gbps,
             e.gbps_metrics_off,
             e.overhead_ratio,
+            e.epoch_overhead_ratio,
             e.allocs_per_step,
             e.pool_allocated,
             e.pool_reused,
@@ -271,9 +325,10 @@ fn main() {
             for &bytes in &sizes {
                 let e = measure(collective, ranks, bytes, iters);
                 println!(
-                    "{:<30} ranks={} bytes/rank={:>9} {:>8.3} GB/s ({:>8.3} metrics off, overhead {:+.2}%)  allocs/step={:.4} (pool: {} allocated, {} reused)",
+                    "{:<30} ranks={} bytes/rank={:>9} {:>8.3} GB/s ({:>8.3} metrics off, overhead {:+.2}%, epochs auto {:+.2}%)  allocs/step={:.4} (pool: {} allocated, {} reused)",
                     e.collective, e.ranks, e.bytes_per_rank, e.gbps, e.gbps_metrics_off,
                     (e.overhead_ratio - 1.0) * 100.0,
+                    (e.epoch_overhead_ratio - 1.0) * 100.0,
                     e.allocs_per_step, e.pool_allocated, e.pool_reused,
                 );
                 entries.push(e);
@@ -281,42 +336,52 @@ fn main() {
         }
         entries
     };
-    // Metrics-overhead gate: geometric mean of the per-point estimators
-    // (ratios multiply, so the geomean is the right aggregate).
-    let overhead_of = |entries: &[Entry]| -> f64 {
+    // Overhead gates: geometric mean of the per-point estimators (ratios
+    // multiply, so the geomean is the right aggregate). Metrics pay for
+    // "always on"; epochs pay for `--epochs auto` on a fault-free run.
+    // Both share a 3% quick-mode budget.
+    let overhead_of = |entries: &[Entry], ratio: fn(&Entry) -> f64| -> f64 {
         (entries
             .iter()
-            .map(|e| e.overhead_ratio.max(1e-12).ln())
+            .map(|e| ratio(e).max(1e-12).ln())
             .sum::<f64>()
             / entries.len().max(1) as f64)
             .exp()
             - 1.0
     };
+    type Gate = (&'static str, fn(&Entry) -> f64);
+    let gates: [Gate; 2] = [
+        ("metrics", |e| e.overhead_ratio),
+        ("epochs-auto", |e| e.epoch_overhead_ratio),
+    ];
 
     let mut entries = run_sweep();
-    let mut overhead = overhead_of(&entries);
-    println!(
-        "metrics overhead: {:.2}% (geomean of interquartile paired on/off time ratios across {} points)",
-        overhead * 100.0,
-        entries.len()
-    );
-    if matches!(scale, Scale::Quick) && overhead > 0.03 {
-        // One re-measure before failing: at quick-mode sizes a single
-        // descheduled worker can shift the estimate past the budget. A
-        // real regression fails both sweeps.
+    for (what, ratio) in gates {
+        let mut overhead = overhead_of(&entries, ratio);
         println!(
-            "metrics overhead {:.2}% exceeds the 3% budget; re-measuring once",
-            overhead * 100.0
+            "{what} overhead: {:.2}% (geomean of interquartile paired on/off time ratios across {} points)",
+            overhead * 100.0,
+            entries.len()
         );
-        entries = run_sweep();
-        overhead = overhead_of(&entries);
-        println!("metrics overhead: {:.2}% (re-measured)", overhead * 100.0);
-        if overhead > 0.03 {
-            eprintln!(
-                "METRICS OVERHEAD: {:.2}% exceeds the 3% always-on budget in both sweeps",
+        if matches!(scale, Scale::Quick) && overhead > 0.03 {
+            // One re-measure before failing: at quick-mode sizes a single
+            // descheduled worker can shift the estimate past the budget.
+            // A real regression fails both sweeps.
+            println!(
+                "{what} overhead {:.2}% exceeds the 3% budget; re-measuring once",
                 overhead * 100.0
             );
-            std::process::exit(1);
+            entries = run_sweep();
+            overhead = overhead_of(&entries, ratio);
+            println!("{what} overhead: {:.2}% (re-measured)", overhead * 100.0);
+            if overhead > 0.03 {
+                eprintln!(
+                    "{} OVERHEAD: {:.2}% exceeds the 3% budget in both sweeps",
+                    what.to_uppercase(),
+                    overhead * 100.0
+                );
+                std::process::exit(1);
+            }
         }
     }
 

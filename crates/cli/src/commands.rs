@@ -7,12 +7,12 @@ use msccl_faults::{FaultInjector, FaultPlan, FaultUniverse};
 use msccl_metrics::{names, MetricsSnapshot};
 use msccl_runtime::{
     execute_profiled, execute_with_metrics, execute_with_recovery, reference, RecoveryPolicy,
-    RunOptions,
+    ResumePolicy, RunOptions,
 };
 use msccl_sim::{simulate, SimConfig};
 use msccl_topology::Protocol;
 use msccl_trace::{snapshot_from_trace, ClockDomain, ProfileReport, Trace};
-use mscclang::{compile, ir_xml, verify, CompileOptions, IrProgram, Program};
+use mscclang::{compile, ir_xml, verify, CompileOptions, EpochMode, IrProgram, Program};
 
 use crate::args::{Args, CliError};
 use crate::machine_spec::{parse_machine, parse_size};
@@ -42,6 +42,7 @@ COMMANDS:
     graph <file.xml>               emit a Graphviz DOT rendering of the IR
     simulate <file.xml> --machine M --size S [--protocol P] [--timeline F]
                         [--trace F] [--fault-seed N | --fault-plan F]
+                        [--epochs off|auto|N]
                                    estimate latency (M: ndv4[:N], dgx2[:N], dgx1,
                                    or custom:<nodes>x<gpus>[:intra_gbps[:nic_gbps]]);
                                    --timeline writes per-thread-block busy
@@ -49,25 +50,33 @@ COMMANDS:
                                    virtual-time event trace to F (Chrome
                                    trace JSON, or CSV if F ends in .csv);
                                    fault flags inject deterministic faults
-                                   into the virtual timeline
+                                   into the virtual timeline; --epochs
+                                   charges the epoch checkpoint model (auto
+                                   uses the compiler's cost model)
     run <file.xml> [--elems N] [--trace F] [--deadline-ms N]
                    [--fault-seed N | --fault-plan F] [--retries N]
-                   [--fallback FILE.xml]
+                   [--fallback FILE.xml] [--epochs off|auto|N]
+                   [--resume-policy epoch|retry]
                                    execute on real data and check numerics;
                                    --trace writes a wall-clock event trace
                                    to F (Chrome trace JSON, or CSV if F
                                    ends in .csv); --deadline-ms bounds
-                                   total wall-clock time; fault flags
-                                   inject deterministic faults (seeded, or
-                                   from a plan file); --retries/--fallback
-                                   enable collective-level recovery, with
-                                   every decision reported (and traced)
+                                   total wall-clock time including recovery
+                                   backoff; fault flags inject deterministic
+                                   faults (seeded, or from a plan file);
+                                   --retries/--fallback enable collective-
+                                   level recovery, with every decision
+                                   reported (and traced); --epochs snapshots
+                                   rank memory at provably quiescent cuts so
+                                   --resume-policy epoch (default) restarts a
+                                   failed attempt from the last complete
+                                   epoch instead of from scratch
     faults <file.xml> --seed N     print the deterministic fault plan that
                                    seed N generates for this program (feed
                                    it back via --fault-plan to reproduce)
     profile <file.xml> [--elems N] [--mode run|sim] [--machine M]
                        [--from-trace F.csv] [--format text|json|prom]
-                       [--threshold X] [--out FILE]
+                       [--threshold X] [--out FILE] [--epochs off|auto|N]
                                    per-step performance attribution: compute
                                    vs send vs sync-wait vs FIFO-block per
                                    thread block, per-channel traffic, and a
@@ -386,7 +395,8 @@ fn cmd_profile(args: &Args) -> Result<String, CliError> {
     // run sees the same per-chunk payload when the buffer holds exactly
     // in_chunks × chunk_elems f32 values.
     let buffer_bytes = (ir.collective.in_chunks() * chunk_elems * 4) as u64;
-    let cfg = SimConfig::new(machine).with_trace(true);
+    let epochs = epoch_mode_opt(args)?;
+    let cfg = SimConfig::new(machine).with_trace(true).with_epochs(epochs);
     let modeled = simulate(&ir, &cfg, buffer_bytes)?;
     let modeled_trace = modeled.trace.as_ref().expect("requested via with_trace");
 
@@ -410,6 +420,7 @@ fn cmd_profile(args: &Args) -> Result<String, CliError> {
                 // structurally identical schedules and the per-step
                 // comparison is meaningful.
                 tile_elems: Some(chunk_elems),
+                epochs,
                 ..RunOptions::default()
             };
             let (outputs, measured, snapshot) = execute_profiled(&ir, &inputs, chunk_elems, &opts)?;
@@ -462,6 +473,31 @@ fn cmd_profile(args: &Args) -> Result<String, CliError> {
     }
 }
 
+/// Parses `--epochs off|auto|N` into an [`EpochMode`]; `Off` when the
+/// flag is absent.
+fn epoch_mode_opt(args: &Args) -> Result<EpochMode, CliError> {
+    match args.options.get("epochs") {
+        None => Ok(EpochMode::Off),
+        Some(v) => EpochMode::parse(v).ok_or_else(|| {
+            CliError::new(format!(
+                "invalid value '{v}' for --epochs (expected off, auto or a boundary count)"
+            ))
+        }),
+    }
+}
+
+/// Parses `--resume-policy epoch|retry`; the default policy when absent.
+fn resume_policy_opt(args: &Args) -> Result<ResumePolicy, CliError> {
+    match args.options.get("resume-policy") {
+        None => Ok(ResumePolicy::default()),
+        Some(v) => ResumePolicy::parse(v).ok_or_else(|| {
+            CliError::new(format!(
+                "invalid value '{v}' for --resume-policy (expected epoch or retry)"
+            ))
+        }),
+    }
+}
+
 /// Resolves `--fault-seed N` or `--fault-plan FILE` into a validated
 /// [`FaultPlan`] for `ir`; `None` when neither flag was given.
 fn load_fault_plan(args: &Args, ir: &IrProgram) -> Result<Option<FaultPlan>, CliError> {
@@ -506,7 +542,7 @@ fn cmd_simulate(args: &Args) -> Result<String, CliError> {
             .get("size")
             .ok_or_else(|| CliError::new("--size is required"))?,
     )?;
-    let mut cfg = SimConfig::new(machine);
+    let mut cfg = SimConfig::new(machine).with_epochs(epoch_mode_opt(args)?);
     if let Some(p) = args.options.get("protocol") {
         cfg = cfg.with_protocol(
             Protocol::parse(p).ok_or_else(|| CliError::new(format!("unknown protocol '{p}'")))?,
@@ -540,8 +576,16 @@ fn cmd_simulate(args: &Args) -> Result<String, CliError> {
         std::fs::write(path, csv)?;
     }
     let ntbs = ir.num_threadblocks().max(1) as f64;
+    let epochs = if r.epoch_boundaries > 0 {
+        format!(
+            ", {} epoch snapshot(s) +{:.1} us",
+            r.epoch_boundaries, r.epoch_us
+        )
+    } else {
+        String::new()
+    };
     Ok(format!(
-        "{}: {:.1} us at {} bytes ({} protocol, {} tiles, {} transfers, utilization {:.0}%)\n{}{extra}",
+        "{}: {:.1} us at {} bytes ({} protocol, {} tiles, {} transfers, utilization {:.0}%{epochs})\n{}{extra}",
         ir.name,
         r.total_us,
         bytes,
@@ -564,6 +608,7 @@ fn cmd_run(args: &Args) -> Result<String, CliError> {
     if let Some(ms) = args.opt::<u64>("deadline-ms")? {
         opts.deadline = Some(Duration::from_millis(ms));
     }
+    opts.epochs = epoch_mode_opt(args)?;
     let plan = load_fault_plan(args, &ir)?;
     let retries: Option<usize> = args.opt("retries")?;
     let fallback = args
@@ -627,6 +672,7 @@ fn run_with_recovery(
 ) -> Result<String, CliError> {
     let policy = RecoveryPolicy {
         max_retries: retries.unwrap_or(RecoveryPolicy::default().max_retries),
+        resume: resume_policy_opt(args)?,
         ..RecoveryPolicy::default()
     };
     let injector = plan.as_ref().map(FaultInjector::new);
@@ -664,6 +710,13 @@ fn run_with_recovery(
             step.attempt,
             step.decision.label(),
             step.detail
+        );
+    }
+    if report.epochs_completed > 0 || report.steps_resumed > 0 || report.steps_redone > 0 {
+        let _ = writeln!(
+            out,
+            "  epochs: {} completed, {} step(s) resumed, {} step(s) redone",
+            report.epochs_completed, report.steps_resumed, report.steps_redone
         );
     }
     if let Some(path) = trace_path(args)? {
@@ -1060,6 +1113,58 @@ mod tests {
         assert!(data.contains("recovery"), "decision trace missing: {data}");
         let _ = std::fs::remove_file(path);
         let _ = std::fs::remove_file(trace);
+    }
+
+    /// `--epochs` is accepted by run, simulate and profile; a forced
+    /// count charges the simulator's snapshot model and leaves a clean
+    /// runtime execution bit-exact (the numerics check still passes).
+    #[test]
+    fn epoch_flags_reach_run_simulate_and_profile() {
+        let path = tmp("epochs.xml");
+        let _ = run(&format!("compile ring-allreduce --ranks 4 -o {path}")).unwrap();
+        let r = run(&format!("run {path} --elems 16 --epochs 2")).unwrap();
+        assert!(r.contains("results match"), "got: {r}");
+        // 1 MB fits in one tile so there is no interior frontier to cut
+        // at; 16 MB tiles into 8 and the forced schedule places both.
+        let s = run(&format!(
+            "simulate {path} --machine ndv4:1 --size 16MB --epochs 2"
+        ))
+        .unwrap();
+        assert!(s.contains("2 epoch snapshot(s)"), "got: {s}");
+        let off = run(&format!("simulate {path} --machine ndv4:1 --size 16MB")).unwrap();
+        assert!(!off.contains("epoch snapshot"), "got: {off}");
+        let p = run(&format!("profile {path} --elems 32 --epochs auto")).unwrap();
+        assert!(p.contains("thread block"), "got: {p}");
+        for cmd in [
+            format!("run {path} --elems 16 --epochs banana"),
+            format!("simulate {path} --machine ndv4:1 --size 1MB --epochs banana"),
+        ] {
+            let err = run(&cmd).unwrap_err();
+            assert!(err.to_string().contains("--epochs"), "got: {err}");
+        }
+        let _ = std::fs::remove_file(path);
+    }
+
+    /// `--resume-policy` reaches the recovery loop; invalid values are
+    /// rejected with a pointer at the flag.
+    #[test]
+    fn resume_policy_flag_is_parsed_and_validated() {
+        let path = tmp("resume-policy.xml");
+        let plan_file = tmp("resume-policy.plan");
+        let _ = run(&format!("compile ring-allreduce --ranks 4 -o {path}")).unwrap();
+        std::fs::write(&plan_file, "kill block r0 tb0 step0\n").unwrap();
+        let out = run(&format!(
+            "run {path} --elems 16 --fault-plan {plan_file} --retries 2 --resume-policy retry"
+        ))
+        .unwrap();
+        assert!(out.contains("verified after 2 attempt(s)"), "got: {out}");
+        let err = run(&format!(
+            "run {path} --elems 16 --retries 1 --resume-policy sometimes"
+        ))
+        .unwrap_err();
+        assert!(err.to_string().contains("--resume-policy"), "got: {err}");
+        let _ = std::fs::remove_file(path);
+        let _ = std::fs::remove_file(plan_file);
     }
 
     #[test]

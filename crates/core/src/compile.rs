@@ -4,7 +4,7 @@
 use crate::dag::{ChunkDag, InstrDag, InstrOp};
 use crate::error::Result;
 use crate::ir::{IrDep, IrGpu, IrInstruction, IrLoc, IrProgram, IrThreadBlock, OpCode};
-use crate::passes::fuse;
+use crate::passes::{self, fuse};
 use crate::program::Program;
 use crate::schedule::{assign_channels, assign_threadblocks};
 use crate::verify;
@@ -227,14 +227,16 @@ pub fn compile(program: &Program, opts: &CompileOptions) -> Result<IrProgram> {
         });
     }
 
-    let ir = IrProgram {
+    let mut ir = IrProgram {
         name: program.name().to_owned(),
         collective: instr_dag.collective.clone(),
         protocol: program.protocol(),
         num_channels: sched.num_channels.max(1),
         refinement: instr_dag.refinement,
         gpus,
+        epoch_cuts: Vec::new(),
     };
+    ir.epoch_cuts = passes::epochs::epoch_cuts(&ir);
     ir.check_structure()?;
     if opts.verify {
         verify::check(&ir, &verify::VerifyOptions::default())?;

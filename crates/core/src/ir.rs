@@ -200,6 +200,18 @@ pub struct IrGpu {
     pub threadblocks: Vec<IrThreadBlock>,
 }
 
+/// A consistent epoch cut: per-thread-block watermarks
+/// (`watermarks[rank][tb]` = instructions completed within one tile
+/// iteration) at which every connection is drained and every cross-block
+/// dependency satisfied, so rank memory alone captures the state. Emitted
+/// by [`crate::passes::epochs::epoch_cuts`], checked symbolically by
+/// [`crate::verify::check_epoch_cut`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EpochCut {
+    /// `watermarks[rank][tb]`: completed-instruction count of each block.
+    pub watermarks: Vec<Vec<usize>>,
+}
+
 /// A compiled MSCCL-IR program.
 #[derive(Debug, Clone, PartialEq)]
 pub struct IrProgram {
@@ -216,6 +228,10 @@ pub struct IrProgram {
     pub refinement: usize,
     /// Per-GPU programs, indexed by rank.
     pub gpus: Vec<IrGpu>,
+    /// Chain of consistent epoch cuts within one tile iteration, strictly
+    /// increasing, ending at the full tile. Empty for hand-built or legacy
+    /// IR (the runtime then treats the whole run as one epoch).
+    pub epoch_cuts: Vec<EpochCut>,
 }
 
 impl IrProgram {
@@ -367,6 +383,68 @@ impl IrProgram {
                 return fail(format!(
                     "connection ({a} -> {b}, ch {c}) has a receiver but no sender"
                 ));
+            }
+        }
+        // Epoch cuts, when present, must form a well-shaped strictly
+        // increasing chain ending at the full tile. Consistency of each
+        // cut (drained connections, dependency closure) is the verifier's
+        // job; shape is structural.
+        let mut prev: Vec<Vec<usize>> = self
+            .gpus
+            .iter()
+            .map(|g| vec![0; g.threadblocks.len()])
+            .collect();
+        for (c, cut) in self.epoch_cuts.iter().enumerate() {
+            if cut.watermarks.len() != self.gpus.len() {
+                return fail(format!(
+                    "epoch cut {c}: {} rank entries for {} ranks",
+                    cut.watermarks.len(),
+                    self.gpus.len()
+                ));
+            }
+            let mut advanced = false;
+            for (r, gpu) in self.gpus.iter().enumerate() {
+                let marks = &cut.watermarks[r];
+                if marks.len() != gpu.threadblocks.len() {
+                    return fail(format!(
+                        "epoch cut {c} rank {r}: {} watermarks for {} thread blocks",
+                        marks.len(),
+                        gpu.threadblocks.len()
+                    ));
+                }
+                for (t, (&w, tb)) in marks.iter().zip(&gpu.threadblocks).enumerate() {
+                    if w > tb.instructions.len() {
+                        return fail(format!(
+                            "epoch cut {c} rank {r} tb {t}: watermark {w} beyond {} instructions",
+                            tb.instructions.len()
+                        ));
+                    }
+                    if w < prev[r][t] {
+                        return fail(format!(
+                            "epoch cut {c} rank {r} tb {t}: watermark {w} regresses below {}",
+                            prev[r][t]
+                        ));
+                    }
+                    advanced |= w > prev[r][t];
+                }
+            }
+            let is_empty_program = self.num_instructions() == 0;
+            if !advanced && !is_empty_program {
+                return fail(format!("epoch cut {c} does not advance the frontier"));
+            }
+            prev = cut.watermarks.clone();
+        }
+        if let Some(last) = self.epoch_cuts.last() {
+            for (r, gpu) in self.gpus.iter().enumerate() {
+                for (t, tb) in gpu.threadblocks.iter().enumerate() {
+                    if last.watermarks[r][t] != tb.instructions.len() {
+                        return fail(format!(
+                            "final epoch cut leaves rank {r} tb {t} at {} of {} instructions",
+                            last.watermarks[r][t],
+                            tb.instructions.len()
+                        ));
+                    }
+                }
             }
         }
         Ok(())

@@ -101,6 +101,7 @@ pub fn check(ir: &IrProgram, opts: &VerifyOptions) -> Result<VerifyReport> {
             message: "slots must be at least 1".to_owned(),
         });
     }
+    check_epoch_cuts(ir)?;
     let collective = &ir.collective;
     let num_ranks = ir.num_ranks();
 
@@ -512,6 +513,95 @@ pub fn check(ir: &IrProgram, opts: &VerifyOptions) -> Result<VerifyReport> {
     })
 }
 
+/// Symbolically checks that `cut` is a consistent epoch frontier of `ir`:
+/// no send crosses it in flight (on every connection, sends before the
+/// cut equal receives before the cut, so every FIFO is empty at the cut)
+/// and no semaphore wait spans it (every dependency of an instruction
+/// before the cut is itself before the cut). See
+/// [`crate::passes::epochs`].
+///
+/// # Errors
+///
+/// Returns [`Error::Verification`] naming the first connection left with
+/// an in-flight message or the first dependency crossing the cut.
+pub fn check_epoch_cut(ir: &IrProgram, cut: &crate::ir::EpochCut) -> Result<()> {
+    let fail = |message: String| Err(Error::Verification { message });
+    if cut.watermarks.len() != ir.gpus.len() {
+        return fail(format!(
+            "epoch cut covers {} ranks, program has {}",
+            cut.watermarks.len(),
+            ir.gpus.len()
+        ));
+    }
+    // In-flight messages: count sends and receives before the cut on each
+    // connection; any imbalance is a message crossing the frontier (or a
+    // receive waiting on one).
+    let mut balance: HashMap<(usize, usize, usize), (usize, usize)> = HashMap::new();
+    for (r, gpu) in ir.gpus.iter().enumerate() {
+        let marks = &cut.watermarks[r];
+        if marks.len() != gpu.threadblocks.len() {
+            return fail(format!(
+                "epoch cut rank {r}: {} watermarks for {} thread blocks",
+                marks.len(),
+                gpu.threadblocks.len()
+            ));
+        }
+        for (tb, &w) in gpu.threadblocks.iter().zip(marks) {
+            if w > tb.instructions.len() {
+                return fail(format!(
+                    "epoch cut rank {r} tb {}: watermark {w} beyond {} instructions",
+                    tb.id,
+                    tb.instructions.len()
+                ));
+            }
+            for instr in &tb.instructions[..w] {
+                if instr.op.has_send() {
+                    let key = (r, tb.send_peer.expect("structure checked"), tb.channel);
+                    balance.entry(key).or_default().0 += 1;
+                }
+                if instr.op.has_recv() {
+                    let key = (tb.recv_peer.expect("structure checked"), r, tb.channel);
+                    balance.entry(key).or_default().1 += 1;
+                }
+                // Quiesced semaphores: every producer this instruction
+                // waited on must also be before the cut.
+                for d in &instr.deps {
+                    if cut.watermarks[r][d.tb] < d.step + 1 {
+                        return fail(format!(
+                            "epoch cut rank {r} tb {} step {}: dependency on tb {} step {} \
+                             crosses the cut",
+                            tb.id, instr.step, d.tb, d.step
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    for ((s, d, ch), (sends, recvs)) in &balance {
+        if sends != recvs {
+            return fail(format!(
+                "epoch cut leaves connection ({s} -> {d}, ch {ch}) with {sends} sends \
+                 but {recvs} receives: a message is in flight across the cut"
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Checks every epoch cut annotated on `ir` with [`check_epoch_cut`].
+///
+/// # Errors
+///
+/// Returns [`Error::Verification`] for the first inconsistent cut.
+pub fn check_epoch_cuts(ir: &IrProgram) -> Result<()> {
+    for (i, cut) in ir.epoch_cuts.iter().enumerate() {
+        check_epoch_cut(ir, cut).map_err(|e| Error::Verification {
+            message: format!("epoch cut {i}: {e}"),
+        })?;
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -635,6 +725,7 @@ mod tests {
             num_channels: 1,
             refinement: 1,
             gpus: vec![gpu(0, 1), gpu(1, 0)],
+            epoch_cuts: vec![],
         };
         ir.check_structure().unwrap();
         let err = check(&ir, &VerifyOptions::default()).unwrap_err();
@@ -701,6 +792,7 @@ mod tests {
             num_channels: 1,
             refinement: 1,
             gpus,
+            epoch_cuts: vec![],
         };
         let err = check(&ir, &VerifyOptions::default()).unwrap_err();
         assert!(err.to_string().contains("race"), "got: {err}");
@@ -789,6 +881,7 @@ mod tests {
             num_channels: 1,
             refinement: 1,
             gpus,
+            epoch_cuts: vec![],
         };
         // Rank 1 never fills outputs 2..4 nor does rank 0; restrict the
         // postcondition to the mismatched chunks via a custom collective.

@@ -69,6 +69,18 @@ pub mod names {
     pub const RECOVERY_FALLBACKS: &str = "msccl_recovery_fallbacks_total";
     /// Counter, no labels: attempts cancelled by a worker failure.
     pub const RECOVERY_CANCELLATIONS: &str = "msccl_recovery_cancellations_total";
+    /// Counter, no labels: transient failures recovered by resuming from
+    /// the last published epoch checkpoint instead of a full retry.
+    pub const RECOVERY_RESUMES: &str = "msccl_recovery_resumes_total";
+    /// Counter, no labels: epoch checkpoints published (one per rank per
+    /// epoch boundary crossed without a fault).
+    pub const EPOCHS_COMPLETED: &str = "msccl_epochs_completed_total";
+    /// Counter, no labels: instruction executions skipped by epoch
+    /// resume (the per-block watermarks the resumed attempt started at).
+    pub const STEPS_RESUMED: &str = "msccl_steps_resumed_total";
+    /// Counter, no labels: instruction executions redone after a failure
+    /// (work the failed attempt had completed past its resume point).
+    pub const STEPS_REDONE: &str = "msccl_steps_redone_total";
 }
 
 /// Number of log2 buckets in every [`Histogram`]. Bucket `0` holds the

@@ -10,7 +10,7 @@
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex, PoisonError};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Upper bound on how long a blocked worker can take to observe a
 /// cancellation: every blocking wait is sliced to at most this long
@@ -48,7 +48,7 @@ pub struct FailureOrigin {
 #[derive(Debug, Default)]
 pub(crate) struct CancelToken {
     cancelled: AtomicBool,
-    origin: Mutex<Option<FailureOrigin>>,
+    origin: Mutex<Option<(FailureOrigin, Instant)>>,
 }
 
 impl CancelToken {
@@ -61,13 +61,14 @@ impl CancelToken {
         self.cancelled.load(Ordering::Acquire)
     }
 
-    /// Records `origin` and trips the flag. Only the first caller's
-    /// origin is kept; returns whether this call was the first.
+    /// Records `origin` (with the cancellation instant) and trips the
+    /// flag. Only the first caller's origin is kept; returns whether this
+    /// call was the first.
     pub(crate) fn cancel(&self, origin: FailureOrigin) -> bool {
         let mut guard = self.origin.lock().unwrap_or_else(PoisonError::into_inner);
         let first = guard.is_none();
         if first {
-            *guard = Some(origin);
+            *guard = Some((origin, Instant::now()));
         }
         drop(guard);
         // Release-store after the origin write so a worker that observes
@@ -81,7 +82,18 @@ impl CancelToken {
         self.origin
             .lock()
             .unwrap_or_else(PoisonError::into_inner)
-            .clone()
+            .as_ref()
+            .map(|(o, _)| o.clone())
+    }
+
+    /// When the first failure tripped the token, if any — the start of
+    /// the cancellation drain the executor measures workers against.
+    pub(crate) fn cancelled_at(&self) -> Option<Instant> {
+        self.origin
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .as_ref()
+            .map(|&(_, at)| at)
     }
 }
 

@@ -32,7 +32,10 @@ use msccl_trace::{ClockDomain, EventKind, Trace, TraceEvent};
 
 use mscclang::{IrProgram, OpCode, ReduceOp};
 
+use mscclang::EpochMode;
+
 use crate::cancel::{CancelToken, FailureCause, FailureOrigin, CANCEL_POLL};
+use crate::epoch::{EpochCheckpoint, EpochState, EpochStatus, PauseOutcome, WorkerEpoch};
 use crate::fifo::{Fifo, FifoStop, SendMoment};
 use crate::memory::{RankMemory, SpaceBuffers};
 use crate::pool::{PoolStats, PooledTile, TilePool};
@@ -71,6 +74,14 @@ pub struct RunOptions {
     /// shard, and the throughput bench gates the total overhead below a
     /// few percent. Disable only to measure that overhead.
     pub metrics: bool,
+    /// Epoch checkpoint placement (`--epochs`). `Off` (the default) runs
+    /// without barriers or snapshots; `Auto` lets the traffic-budget
+    /// cost model pick a count (possibly zero — short runs are cheaper
+    /// to retry than to checkpoint); `Count(n)` forces `n` boundaries,
+    /// clamped to the consistent cut positions available. See
+    /// [`crate::epoch`] for the machinery and
+    /// [`execute_resumable`] for resuming from a checkpoint.
+    pub epochs: EpochMode,
 }
 
 impl Default for RunOptions {
@@ -82,6 +93,7 @@ impl Default for RunOptions {
             timeout: Duration::from_secs(20),
             deadline: None,
             metrics: true,
+            epochs: EpochMode::Off,
         }
     }
 }
@@ -116,6 +128,11 @@ pub enum RuntimeError {
         /// Every thread block's most recent activity (one line per ring
         /// entry, oldest first), plus any injected faults that struck.
         context: Vec<String>,
+        /// Observed cancellation latency: time from the failing worker
+        /// tripping the cancel token to the last worker joining. This is
+        /// what "prompt teardown" means, independent of how loaded the
+        /// host is before or after the run.
+        drain: Duration,
     },
     /// The global wall-clock [`deadline`](RunOptions::deadline) passed.
     DeadlineExceeded {
@@ -128,6 +145,8 @@ pub enum RuntimeError {
         /// Every thread block's most recent activity, plus any injected
         /// faults that struck.
         context: Vec<String>,
+        /// Observed cancellation latency (see [`RuntimeError::Hang`]).
+        drain: Duration,
     },
     /// A worker thread panicked.
     WorkerPanic {
@@ -141,6 +160,8 @@ pub enum RuntimeError {
         payload: String,
         /// Every thread block's most recent activity.
         context: Vec<String>,
+        /// Observed cancellation latency (see [`RuntimeError::Hang`]).
+        drain: Duration,
     },
     /// An injected fault killed a thread block.
     InjectedFault {
@@ -155,12 +176,29 @@ pub enum RuntimeError {
         /// Every thread block's most recent activity, plus any injected
         /// faults that struck.
         context: Vec<String>,
+        /// Observed cancellation latency (see [`RuntimeError::Hang`]).
+        drain: Duration,
     },
     /// Outputs did not match the collective's reference semantics (raised
     /// by the recovery layer's verification, never by plain execution).
     VerificationFailed {
         /// First mismatch found.
         message: String,
+    },
+    /// The whole-recovery deadline budget ([`RunOptions::deadline`] under
+    /// [`execute_with_recovery`](crate::execute_with_recovery)) ran out
+    /// between attempts: the remaining budget was smaller than the next
+    /// backoff, so the loop failed fast instead of sleeping past it.
+    RecoveryBudgetExhausted {
+        /// Attempts completed before the budget ran out.
+        attempts: usize,
+        /// The backoff that would have overrun the budget, in
+        /// milliseconds.
+        next_backoff_ms: u64,
+        /// Budget remaining when the decision was taken, in milliseconds.
+        remaining_ms: u64,
+        /// The transient failure that would have been retried, rendered.
+        last_error: String,
     },
 }
 
@@ -187,6 +225,7 @@ impl fmt::Display for RuntimeError {
                 tb,
                 step,
                 context,
+                ..
             } => {
                 write!(f, "execution hung at rank {rank} tb {tb} step {step}")?;
                 write_context(f, context)
@@ -196,6 +235,7 @@ impl fmt::Display for RuntimeError {
                 tb,
                 step,
                 context,
+                ..
             } => {
                 write!(
                     f,
@@ -209,6 +249,7 @@ impl fmt::Display for RuntimeError {
                 step,
                 payload,
                 context,
+                ..
             } => {
                 write!(
                     f,
@@ -222,6 +263,7 @@ impl fmt::Display for RuntimeError {
                 step,
                 fault,
                 context,
+                ..
             } => {
                 write!(
                     f,
@@ -231,6 +273,19 @@ impl fmt::Display for RuntimeError {
             }
             RuntimeError::VerificationFailed { message } => {
                 write!(f, "output verification failed: {message}")
+            }
+            RuntimeError::RecoveryBudgetExhausted {
+                attempts,
+                next_backoff_ms,
+                remaining_ms,
+                last_error,
+            } => {
+                write!(
+                    f,
+                    "recovery deadline budget exhausted after {attempts} attempt(s): \
+                     {remaining_ms}ms remaining < {next_backoff_ms}ms next backoff \
+                     (last failure: {last_error})"
+                )
             }
         }
     }
@@ -258,7 +313,39 @@ impl RuntimeError {
             RuntimeError::InputShape { .. }
                 | RuntimeError::InvalidOptions { .. }
                 | RuntimeError::InvalidFaultPlan { .. }
+                | RuntimeError::RecoveryBudgetExhausted { .. }
         )
+    }
+
+    /// Whether this failure interrupted an otherwise-sound execution, so
+    /// resuming from an epoch checkpoint is safe. Verification failures
+    /// are excluded deliberately: a corrupting fault may have poisoned
+    /// memory *before* the checkpoint was taken, so only a from-scratch
+    /// retry clears it.
+    #[must_use]
+    pub fn is_resumable(&self) -> bool {
+        matches!(
+            self,
+            RuntimeError::Hang { .. }
+                | RuntimeError::WorkerPanic { .. }
+                | RuntimeError::InjectedFault { .. }
+        )
+    }
+
+    /// The observed cancellation latency — time from the failing worker
+    /// tripping the cancel token to the last worker joining — for the
+    /// failure variants that tear a run down. This, not wall clock around
+    /// the whole call, is the right thing to assert "prompt abort" on:
+    /// it excludes setup and scheduling noise on loaded hosts.
+    #[must_use]
+    pub fn drain(&self) -> Option<Duration> {
+        match self {
+            RuntimeError::Hang { drain, .. }
+            | RuntimeError::DeadlineExceeded { drain, .. }
+            | RuntimeError::WorkerPanic { drain, .. }
+            | RuntimeError::InjectedFault { drain, .. } => Some(*drain),
+            _ => None,
+        }
     }
 }
 
@@ -308,6 +395,11 @@ pub struct ExecArena {
     pool: Arc<TilePool>,
     spares: Vec<SpaceBuffers>,
     outputs: Vec<Vec<f32>>,
+    /// Recycled epoch-checkpoint staging buffers: drawn when a run's
+    /// [`RunOptions::epochs`] schedule places boundaries, returned after
+    /// the run. Like `spares`, reuse keeps the snapshot path free of
+    /// steady-state allocation *and* of fresh page faults.
+    snaps: Vec<SpaceBuffers>,
     /// Metric handles resolved once for the arena's program and reused
     /// by every metered run whose thread-block layout still matches.
     /// Counters accumulate across runs; a snapshotting run zeroes them
@@ -326,6 +418,7 @@ impl ExecArena {
             pool: tile_pool_for(ir, opts),
             spares: Vec::new(),
             outputs: Vec::new(),
+            snaps: Vec::new(),
             metrics: opts.metrics.then(|| Arc::new(ArenaMetrics::new(ir))),
         }
     }
@@ -724,8 +817,19 @@ pub fn execute(
     chunk_elems: usize,
     opts: &RunOptions,
 ) -> Result<Vec<Vec<f32>>, RuntimeError> {
-    execute_impl(ir, inputs, chunk_elems, opts, false, false, None, None)
-        .map(|(outputs, _, _, _)| outputs)
+    execute_impl(
+        ir,
+        inputs,
+        chunk_elems,
+        opts,
+        false,
+        false,
+        None,
+        None,
+        None,
+        None,
+    )
+    .map(|(outputs, _, _, _)| outputs)
 }
 
 /// Like [`execute`], additionally returning the run's [`ExecStats`]
@@ -740,8 +844,19 @@ pub fn execute_with_stats(
     chunk_elems: usize,
     opts: &RunOptions,
 ) -> Result<(Vec<Vec<f32>>, ExecStats), RuntimeError> {
-    execute_impl(ir, inputs, chunk_elems, opts, false, false, None, None)
-        .map(|(outputs, _, stats, _)| (outputs, stats))
+    execute_impl(
+        ir,
+        inputs,
+        chunk_elems,
+        opts,
+        false,
+        false,
+        None,
+        None,
+        None,
+        None,
+    )
+    .map(|(outputs, _, stats, _)| (outputs, stats))
 }
 
 /// Like [`execute`], additionally returning the run's [`MetricsSnapshot`]
@@ -757,8 +872,19 @@ pub fn execute_with_metrics(
     chunk_elems: usize,
     opts: &RunOptions,
 ) -> Result<(Vec<Vec<f32>>, MetricsSnapshot), RuntimeError> {
-    execute_impl(ir, inputs, chunk_elems, opts, false, true, None, None)
-        .map(|(outputs, _, _, m)| (outputs, m.unwrap_or_default()))
+    execute_impl(
+        ir,
+        inputs,
+        chunk_elems,
+        opts,
+        false,
+        true,
+        None,
+        None,
+        None,
+        None,
+    )
+    .map(|(outputs, _, _, m)| (outputs, m.unwrap_or_default()))
 }
 
 /// Like [`execute_with_stats`], reusing a caller-owned [`TilePool`]
@@ -781,6 +907,7 @@ pub fn execute_pooled(
         pool: Arc::clone(pool),
         spares: Vec::new(),
         outputs: Vec::new(),
+        snaps: Vec::new(),
         metrics: None,
     };
     execute_impl(
@@ -792,6 +919,8 @@ pub fn execute_pooled(
         false,
         None,
         Some(&mut arena),
+        None,
+        None,
     )
     .map(|(outputs, _, stats, _)| (outputs, stats))
 }
@@ -823,6 +952,8 @@ pub fn execute_in_arena(
         false,
         None,
         Some(arena),
+        None,
+        None,
     )
     .map(|(outputs, _, stats, _)| (outputs, stats))
 }
@@ -844,8 +975,19 @@ pub fn execute_traced(
     chunk_elems: usize,
     opts: &RunOptions,
 ) -> Result<(Vec<Vec<f32>>, Trace), RuntimeError> {
-    execute_impl(ir, inputs, chunk_elems, opts, true, false, None, None)
-        .map(|(outputs, trace, _, _)| (outputs, trace.expect("tracing was enabled")))
+    execute_impl(
+        ir,
+        inputs,
+        chunk_elems,
+        opts,
+        true,
+        false,
+        None,
+        None,
+        None,
+        None,
+    )
+    .map(|(outputs, trace, _, _)| (outputs, trace.expect("tracing was enabled")))
 }
 
 /// Like [`execute_traced`], additionally returning the run's
@@ -864,15 +1006,25 @@ pub fn execute_profiled(
     chunk_elems: usize,
     opts: &RunOptions,
 ) -> Result<(Vec<Vec<f32>>, Trace, MetricsSnapshot), RuntimeError> {
-    execute_impl(ir, inputs, chunk_elems, opts, true, true, None, None).map(
-        |(outputs, trace, _, m)| {
-            (
-                outputs,
-                trace.expect("tracing was enabled"),
-                m.unwrap_or_default(),
-            )
-        },
+    execute_impl(
+        ir,
+        inputs,
+        chunk_elems,
+        opts,
+        true,
+        true,
+        None,
+        None,
+        None,
+        None,
     )
+    .map(|(outputs, trace, _, m)| {
+        (
+            outputs,
+            trace.expect("tracing was enabled"),
+            m.unwrap_or_default(),
+        )
+    })
 }
 
 /// Like [`execute`], with deterministic faults injected from `injector`.
@@ -905,6 +1057,8 @@ pub fn execute_with_faults(
         false,
         Some(injector),
         None,
+        None,
+        None,
     )
     .map(|(outputs, _, _, _)| outputs)
 }
@@ -931,8 +1085,53 @@ pub fn execute_with_faults_traced(
         false,
         Some(injector),
         None,
+        None,
+        None,
     )
     .map(|(outputs, trace, _, _)| (outputs, trace.expect("tracing was enabled")))
+}
+
+/// The epoch-aware entry point behind the recovery ladder's *resume*
+/// decision. Executes `ir` with optional fault injection, either from
+/// scratch (`resume: None`) or from a previously captured
+/// [`EpochCheckpoint`]: rank memory is restored from the snapshot and
+/// every thread block starts at its checkpoint watermark, so only the
+/// work after the last consistent cut is redone.
+///
+/// Alongside the result it always returns the attempt's [`EpochStatus`]:
+/// boundary count, checkpoints published, instruction instances resumed
+/// and executed, and — when the attempt failed transiently with a
+/// checkpoint in hand — the checkpoint to feed back into the next call.
+///
+/// # Errors
+///
+/// The `Result` half fails like [`execute_with_faults`]; additionally
+/// [`RuntimeError::InvalidOptions`] when `resume` does not fit `ir`
+/// under `opts` (rank count or boundary schedule mismatch — e.g. a
+/// checkpoint replayed against different options).
+pub fn execute_resumable(
+    ir: &IrProgram,
+    inputs: &[Vec<f32>],
+    chunk_elems: usize,
+    opts: &RunOptions,
+    injector: Option<&FaultInjector>,
+    resume: Option<EpochCheckpoint>,
+) -> (Result<Vec<Vec<f32>>, RuntimeError>, EpochStatus) {
+    let mut status = EpochStatus::default();
+    let result = execute_impl(
+        ir,
+        inputs,
+        chunk_elems,
+        opts,
+        false,
+        false,
+        injector,
+        None,
+        resume,
+        Some(&mut status),
+    )
+    .map(|(outputs, _, _, _)| outputs);
+    (result, status)
 }
 
 /// Everything one run produces: per-rank outputs, the trace when
@@ -955,6 +1154,8 @@ fn execute_impl(
     want_snapshot: bool,
     injector: Option<&FaultInjector>,
     arena: Option<&mut ExecArena>,
+    resume: Option<EpochCheckpoint>,
+    epoch_out: Option<&mut EpochStatus>,
 ) -> Result<RunProducts, RuntimeError> {
     let mut arena = arena;
     validate_options(opts)?;
@@ -1028,6 +1229,98 @@ fn execute_impl(
         })
         .collect();
 
+    // ---- Epoch schedule. Resolve the mode first (Auto applies its
+    // traffic budget and may decline to checkpoint), then turn the
+    // program's verified cut chain into per-boundary completed-
+    // instruction targets. Hand-built IR that never went through the
+    // compiler gets its cuts computed on the fly.
+    let epoch_mode = opts.epochs.resolve(ir, chunk_elems);
+    let boundaries: Vec<Vec<Vec<u64>>> =
+        if matches!(epoch_mode, EpochMode::Off | EpochMode::Count(0)) {
+            Vec::new()
+        } else {
+            let computed;
+            let cuts = if ir.epoch_cuts.is_empty() {
+                computed = mscclang::passes::epoch_cuts(ir);
+                &computed
+            } else {
+                &ir.epoch_cuts
+            };
+            mscclang::passes::schedule_epochs(ir, cuts, num_tiles, epoch_mode)
+        };
+
+    // ---- Resume validation: a checkpoint only makes sense against the
+    // exact schedule it was captured under — same rank count, and its
+    // boundary present with identical targets. Anything else means the
+    // caller replayed it against different options, and the watermarks
+    // would silently corrupt the run.
+    if let Some(cp) = &resume {
+        let fits = cp.memories.len() == num_ranks
+            && boundaries
+                .get(cp.boundary)
+                .is_some_and(|b| *b == cp.targets);
+        if !fits {
+            return Err(RuntimeError::InvalidOptions {
+                message: format!(
+                    "resume checkpoint (boundary {}, {} ranks) does not match this \
+                     run's epoch schedule ({} boundaries, {num_ranks} ranks)",
+                    cp.boundary,
+                    cp.memories.len(),
+                    boundaries.len()
+                ),
+            });
+        }
+    }
+    let resume_info = resume.as_ref().map(|cp| (cp.boundary, cp.instructions));
+    let start_targets: Vec<Vec<u64>> = match &resume {
+        Some(cp) => cp.targets.clone(),
+        None => ir
+            .gpus
+            .iter()
+            .map(|g| vec![0u64; g.threadblocks.len()])
+            .collect(),
+    };
+    let start_total: u64 = start_targets.iter().flatten().sum();
+    if let Some(cp) = &resume {
+        // The snapshot was taken at a consistent cut: restoring every
+        // rank's spaces over the freshly loaded inputs reproduces the
+        // complete distributed state at that cut (FIFOs were drained,
+        // so memory is all there was).
+        for (mem, snap) in memories.iter().zip(cp.memories.iter()) {
+            mem.restore_from(snap);
+        }
+    }
+    let num_workers: usize = ir.gpus.iter().map(|g| g.threadblocks.len()).sum();
+    let epoch_state: Option<Arc<EpochState>> = if boundaries.is_empty() {
+        None
+    } else {
+        // Staging for the checkpoint slot: the consumed resume
+        // checkpoint's own buffers are the natural recycling source;
+        // otherwise the arena's stash from the previous run, grown with
+        // empty buffers on first use.
+        let mut staging: Vec<SpaceBuffers> = match resume {
+            Some(cp) => cp.memories,
+            None => arena
+                .as_mut()
+                .map(|a| std::mem::take(&mut a.snaps))
+                .unwrap_or_default(),
+        };
+        staging.resize_with(num_ranks, SpaceBuffers::default);
+        let state = EpochState::new(
+            boundaries,
+            num_workers,
+            memories.clone(),
+            staging,
+            &start_targets,
+        );
+        if let Some((b, instructions)) = resume_info {
+            // An attempt that fails again before publishing a new
+            // boundary must still hand the same checkpoint back out.
+            state.seed_resume(b, instructions);
+        }
+        Some(Arc::new(state))
+    };
+
     // ---- Connections: one bounded FIFO per (src, dst, ch), carrying
     // pooled tiles by ownership (no copy in transit).
     let mut fifos: HashMap<ConnKey, Arc<Fifo<PooledTile>>> = HashMap::new();
@@ -1052,6 +1345,17 @@ fn execute_impl(
                 .map(|t| ((g.rank, t.id), Arc::new(Semaphore::new())))
         })
         .collect();
+
+    // On resume, every semaphore restarts at its block's watermark: the
+    // monotonic encoding *is* the completed-instruction count, so the
+    // checkpoint targets are exactly the values dependents will wait on.
+    if resume_info.is_some() {
+        for (r, g) in start_targets.iter().enumerate() {
+            for (t, &start) in g.iter().enumerate() {
+                semaphores[&(r, t)].set(start);
+            }
+        }
+    }
 
     // Instruction counts per tb, for monotonic semaphore encoding.
     let tb_len: HashMap<(usize, usize), u64> = ir
@@ -1146,8 +1450,20 @@ fn execute_impl(
                 let collective = collective.clone();
                 let timeout = opts.timeout;
                 let cancel = Arc::clone(&cancel);
+                let worker_index = handles.len();
                 let worker_metrics: Option<&WorkerMetrics> =
-                    run_metrics.as_deref().map(|m| &m.workers[handles.len()]);
+                    run_metrics.as_deref().map(|m| &m.workers[worker_index]);
+                let start = start_targets[gpu.rank][tb.id];
+                let epoch_ctx: Option<WorkerEpoch> =
+                    epoch_state.as_ref().map(|state| WorkerEpoch {
+                        state: Arc::clone(state),
+                        targets: state.targets_for(gpu.rank, tb.id),
+                        // Gates at or before the resumed boundary are
+                        // never revisited — by anyone, so they stay
+                        // consistent.
+                        next: resume_info.map_or(0, |(b, _)| b + 1),
+                        worker: worker_index,
+                    });
                 handles.push(scope.spawn(move || -> WorkerOutput {
                     if want_snapshot {
                         if let Some(m) = worker_metrics {
@@ -1168,6 +1484,7 @@ fn execute_impl(
                     // bare thread death the others wait out. Every lock
                     // in the runtime is poison-tolerant, so unwinding
                     // with locks held cannot wedge the survivors.
+                    let mut epoch_ctx = epoch_ctx;
                     let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                         run_thread_block(
                             tb_ref,
@@ -1188,6 +1505,8 @@ fn execute_impl(
                             &cancel,
                             injector,
                             worker_metrics,
+                            start,
+                            &mut epoch_ctx,
                             &mut rec,
                             &mut ring,
                         )
@@ -1231,6 +1550,37 @@ fn execute_impl(
         (buffers, rings, instructions)
     });
     let (buffers, rings, instructions) = buffers_and_rings;
+    // Observed cancellation latency: the failing worker stamped the token
+    // when it recorded the origin, and at this point every worker has
+    // joined. This — not wall clock around the whole call — is what
+    // "prompt teardown" means on a loaded host.
+    let drain = cancel
+        .cancelled_at()
+        .map_or(Duration::ZERO, |at| at.elapsed());
+
+    // ---- Epoch teardown, before the memories are stashed: the state
+    // holds `Arc` clones of them, and only after dropping it can
+    // `Arc::try_unwrap` recycle the buffers. On failure the latest
+    // published checkpoint travels out in the status; on success the
+    // staging buffers go back to the arena.
+    let epoch_status = match epoch_state {
+        Some(state) => {
+            let state = Arc::try_unwrap(state)
+                .ok()
+                .expect("workers joined; no other EpochState refs remain");
+            let (status, staging) = state.finish(start_total, cancel.origin().is_some());
+            if !staging.is_empty() {
+                if let Some(a) = arena.as_deref_mut() {
+                    a.snaps = staging;
+                }
+            }
+            status
+        }
+        None => EpochStatus {
+            executed: instructions,
+            ..EpochStatus::default()
+        },
+    };
 
     let pool_now = pool.stats();
     let stats = ExecStats {
@@ -1246,11 +1596,30 @@ fn execute_impl(
     // return one — entry points that discard it shouldn't pay for it.
     let metrics_snapshot = run_metrics.as_deref().filter(|_| want_snapshot).map(|m| {
         // The pool is shared by all workers; its per-run deltas land in
-        // shard 0 once the workers have joined.
+        // shard 0 once the workers have joined. Epoch counters likewise —
+        // resolved lazily so runs without epochs carry no epoch series at
+        // all (the runtime-vs-simulator metric parity depends on that).
         m.pool_allocated.add(0, stats.pool.allocated);
         m.pool_reused.add(0, stats.pool.reused);
+        if epoch_status.epochs_completed > 0 {
+            m.registry
+                .counter(names::EPOCHS_COMPLETED, &[])
+                .add(0, epoch_status.epochs_completed);
+        }
+        if epoch_status.steps_resumed > 0 {
+            m.registry
+                .counter(names::STEPS_RESUMED, &[])
+                .add(0, epoch_status.steps_resumed);
+        }
         m.registry.snapshot()
     });
+
+    // Hand the attempt's epoch picture out before the paths below take
+    // over; on failure the checkpoint inside is exactly what a resume
+    // needs.
+    if let Some(out) = epoch_out {
+        *out = epoch_status;
+    }
 
     // After the scope the workers' Arc clones are gone, so the memories
     // unwrap cleanly and their buffers can go back to the arena.
@@ -1283,12 +1652,14 @@ fn execute_impl(
                 tb,
                 step,
                 context,
+                drain,
             },
             FailureCause::Deadline => RuntimeError::DeadlineExceeded {
                 rank,
                 tb,
                 step,
                 context,
+                drain,
             },
             FailureCause::Panic(payload) => RuntimeError::WorkerPanic {
                 rank,
@@ -1296,6 +1667,7 @@ fn execute_impl(
                 step,
                 payload,
                 context,
+                drain,
             },
             FailureCause::InjectedKill(fault) => RuntimeError::InjectedFault {
                 rank,
@@ -1303,6 +1675,7 @@ fn execute_impl(
                 step,
                 fault,
                 context,
+                drain,
             },
         });
     }
@@ -1392,25 +1765,83 @@ fn run_thread_block(
     cancel: &CancelToken,
     injector: Option<&FaultInjector>,
     metrics: Option<&WorkerMetrics>,
+    start: u64,
+    epoch: &mut Option<WorkerEpoch>,
     rec: &mut Recorder,
     ring: &mut EventRing,
 ) -> Result<u64, Stopped> {
     let tb_id = tb_ref.id;
     let my_len = tb_ref.instructions.len() as u64;
-    let mut completed = 0u64;
-    let mut send_seq = 0u64;
-    let mut recv_seq = 0u64;
+    // `start` is 0 for a fresh run, or this block's checkpoint watermark
+    // on resume — in the same monotonic encoding the semaphores use, so
+    // `completed` simply picks up where the checkpointed run left off.
+    let mut completed = start;
+    let start_tile = start.checked_div(my_len).unwrap_or(0) as usize;
+    let start_step = start.checked_rem(my_len).unwrap_or(0) as usize;
+    // Resumed FIFO sequence numbers are re-derived from the watermark by
+    // counting the send/recv instructions in the skipped prefix, so
+    // one-shot delivery-fault specs keyed by sequence number keep
+    // addressing the same logical messages across a resume.
+    let count_prefix = |sends: bool, upto: usize| -> u64 {
+        tb_ref.instructions[..upto]
+            .iter()
+            .filter(|i| {
+                if sends {
+                    i.op.has_send()
+                } else {
+                    i.op.has_recv()
+                }
+            })
+            .count() as u64
+    };
+    let mut send_seq =
+        start_tile as u64 * count_prefix(true, my_len as usize) + count_prefix(true, start_step);
+    let mut recv_seq =
+        start_tile as u64 * count_prefix(false, my_len as usize) + count_prefix(false, start_step);
     // Each blocking wait runs against min(step deadline, global deadline);
     // when one expires, `deadline_hit` disambiguates the cause.
     let wait_deadline = |now: Instant| -> Instant {
         let step = now + timeout;
         global_deadline.map_or(step, |g| step.min(g))
     };
-    for tile in 0..num_tiles {
+    // Parks at every epoch gate `completed` has reached. Workers whose
+    // first boundary target equals their start position (including every
+    // fresh worker of a block the first cut leaves at watermark 0) pause
+    // here before executing anything — the barrier needs all of them.
+    let epoch_gate = |epoch: &mut Option<WorkerEpoch>,
+                      completed: u64,
+                      step: usize,
+                      cancel: &CancelToken|
+     -> Result<(), Stopped> {
+        let Some(e) = epoch.as_mut() else {
+            return Ok(());
+        };
+        match e.on_progress(completed, wait_deadline(Instant::now()), cancel) {
+            PauseOutcome::Continue => Ok(()),
+            PauseOutcome::Cancelled => Err(Stopped),
+            PauseOutcome::TimedOut => {
+                let cause = if deadline_hit(global_deadline) {
+                    FailureCause::Deadline
+                } else {
+                    FailureCause::StepTimeout
+                };
+                cancel.cancel(FailureOrigin {
+                    rank,
+                    tb: tb_id,
+                    step,
+                    cause,
+                });
+                Err(Stopped)
+            }
+        }
+    };
+    epoch_gate(epoch, completed, start_step, cancel)?;
+    for tile in start_tile..num_tiles {
         rec.emit(EventKind::TileBegin { tile });
         let elem_off = tile * tile_elems;
         let len = (chunk_elems - elem_off).min(tile_elems);
-        for (s, instr) in tb_ref.instructions.iter().enumerate() {
+        let first = if tile == start_tile { start_step } else { 0 };
+        for (s, instr) in tb_ref.instructions.iter().enumerate().skip(first) {
             // A failure elsewhere, or the global deadline, stops the
             // worker between instructions even when it never blocks.
             if cancel.is_cancelled() {
@@ -1831,6 +2262,10 @@ fn run_thread_block(
             if instr.has_dep {
                 sem.set(completed);
             }
+            // The gate check comes *after* the semaphore advance:
+            // dependents of this instruction must be able to proceed to
+            // their own pre-cut work, or the barrier could never fill.
+            epoch_gate(epoch, completed, s, cancel)?;
         }
         rec.emit(EventKind::TileEnd { tile });
     }
@@ -1974,6 +2409,8 @@ mod tests {
             false,
             None,
             None,
+            None,
+            None,
         )
         .unwrap();
         assert!(trace.is_none());
@@ -2027,6 +2464,7 @@ mod tests {
             num_channels: 1,
             refinement: 1,
             gpus: vec![gpu(0, 1), gpu(1, 0)],
+            epoch_cuts: vec![],
         }
     }
 
@@ -2193,6 +2631,106 @@ mod tests {
             stats.pool
         );
         assert!(stats.pool.reused > 0, "pool was bypassed entirely");
+    }
+
+    /// Epoch barriers are pure synchronization on the clean path: outputs
+    /// with checkpointing on are bit-identical to epochs-off, and the
+    /// status reports every scheduled boundary as published.
+    #[test]
+    fn epochs_on_clean_run_is_bit_exact() {
+        let p = msccl_algos::ring_all_reduce(4, 1).unwrap();
+        let ir = compile(&p, &CompileOptions::default()).unwrap();
+        let chunk_elems = 8;
+        let inputs = crate::reference::random_inputs(&ir, chunk_elems, 41);
+        let opts_off = RunOptions {
+            tile_elems: Some(2),
+            ..RunOptions::default()
+        };
+        let plain = execute(&ir, &inputs, chunk_elems, &opts_off).unwrap();
+        let opts_on = RunOptions {
+            epochs: EpochMode::Count(2),
+            ..opts_off
+        };
+        let (result, status) = execute_resumable(&ir, &inputs, chunk_elems, &opts_on, None, None);
+        let outputs = result.unwrap();
+        for (a, b) in plain.iter().zip(&outputs) {
+            for (x, y) in a.iter().zip(b) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
+        assert_eq!(status.boundaries, 2);
+        assert_eq!(status.epochs_completed, 2);
+        assert_eq!(status.steps_resumed, 0);
+        assert_eq!(status.executed, (ir.num_instructions() * 4) as u64);
+        assert!(
+            status.checkpoint.is_none(),
+            "successful runs must not hand out a checkpoint"
+        );
+    }
+
+    /// Epoch snapshot staging buffers recycle through the arena: the
+    /// first epochs-on run grows them, later runs reuse them, and the
+    /// data path stays bit-exact.
+    #[test]
+    fn arena_recycles_epoch_snapshot_buffers() {
+        let p = msccl_algos::ring_all_reduce(4, 1).unwrap();
+        let ir = compile(&p, &CompileOptions::default()).unwrap();
+        let chunk_elems = 8;
+        let inputs = crate::reference::random_inputs(&ir, chunk_elems, 43);
+        let opts = RunOptions {
+            tile_elems: Some(2),
+            epochs: EpochMode::Count(2),
+            ..RunOptions::default()
+        };
+        let fresh = execute(&ir, &inputs, chunk_elems, &opts).unwrap();
+        let mut arena = ExecArena::new(&ir, &opts);
+        let (first, _) = execute_in_arena(&ir, &inputs, chunk_elems, &opts, &mut arena).unwrap();
+        assert_eq!(fresh, first);
+        assert_eq!(
+            arena.snaps.len(),
+            ir.num_ranks(),
+            "snapshot staging buffers must return to the arena"
+        );
+        arena.recycle_outputs(first);
+        let (second, _) = execute_in_arena(&ir, &inputs, chunk_elems, &opts, &mut arena).unwrap();
+        assert_eq!(fresh, second);
+        assert_eq!(arena.snaps.len(), ir.num_ranks());
+    }
+
+    /// A resume checkpoint is only honored against the exact schedule it
+    /// was captured under; anything else is a structural error, not a
+    /// silent corruption.
+    #[test]
+    fn mismatched_resume_checkpoint_is_rejected() {
+        let p = msccl_algos::ring_all_reduce(4, 1).unwrap();
+        let ir = compile(&p, &CompileOptions::default()).unwrap();
+        let chunk_elems = 8;
+        let inputs = crate::reference::random_inputs(&ir, chunk_elems, 44);
+        let bogus = crate::epoch::EpochCheckpoint {
+            boundary: 7,
+            targets: vec![vec![1]; 4],
+            memories: (0..4)
+                .map(|_| crate::memory::SpaceBuffers::default())
+                .collect(),
+            instructions: 4,
+        };
+        let (result, _) = execute_resumable(
+            &ir,
+            &inputs,
+            chunk_elems,
+            &RunOptions {
+                tile_elems: Some(2),
+                epochs: EpochMode::Count(2),
+                ..RunOptions::default()
+            },
+            None,
+            Some(bogus),
+        );
+        let err = result.unwrap_err();
+        assert!(
+            matches!(&err, RuntimeError::InvalidOptions { message } if message.contains("resume checkpoint")),
+            "got {err:?}"
+        );
     }
 
     /// The metrics snapshot agrees with the trace recorded in the same

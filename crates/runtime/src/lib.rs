@@ -28,6 +28,7 @@
 //! ```
 
 mod cancel;
+mod epoch;
 mod executor;
 mod fifo;
 pub mod kernels;
@@ -38,11 +39,14 @@ pub mod reference;
 mod semaphore;
 
 pub use cancel::{FailureCause, FailureOrigin};
+pub use epoch::{EpochCheckpoint, EpochStatus};
 pub use executor::{
-    execute, execute_in_arena, execute_pooled, execute_profiled, execute_traced,
+    execute, execute_in_arena, execute_pooled, execute_profiled, execute_resumable, execute_traced,
     execute_with_faults, execute_with_faults_traced, execute_with_metrics, execute_with_stats,
     tile_pool_for, ExecArena, ExecStats, RunOptions, RuntimeError,
 };
 pub use memory::{RankMemory, SpaceBuffers};
 pub use pool::{PoolStats, PooledTile, TilePool};
-pub use recovery::{execute_with_recovery, RecoveryPolicy, RecoveryReport, RecoveryStep};
+pub use recovery::{
+    execute_with_recovery, RecoveryPolicy, RecoveryReport, RecoveryStep, ResumePolicy,
+};

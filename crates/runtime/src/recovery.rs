@@ -1,19 +1,35 @@
-//! Collective-level recovery: bounded retry with exponential backoff for
-//! transient failures, graceful degradation to a fallback algorithm, and
-//! a decision log convertible to trace events.
+//! Collective-level recovery: an escalation ladder for transient
+//! failures — epoch resume, then full retry with capped-and-jittered
+//! exponential backoff, then graceful degradation to a fallback
+//! algorithm — under one whole-recovery deadline budget.
 //!
-//! The policy leans on two guarantees from the layers below. First,
+//! The policy leans on three guarantees from the layers below. First,
 //! errors are classified at the source: [`RuntimeError::is_transient`]
 //! separates timing/fault failures (worth retrying) from structural
-//! rejections (not). Second, injected faults are one-shot *per injector*
-//! ([`FaultInjector`]), so a retry over the same injector runs without
-//! the faults that already struck — precisely the semantics of a
-//! transient fault in a real fabric.
+//! rejections (not), and [`RuntimeError::is_resumable`] further marks
+//! the failures that interrupted an otherwise-sound execution — only
+//! those may resume from an epoch checkpoint. Second, injected faults
+//! are one-shot *per injector* ([`FaultInjector`]), so a retry (or
+//! resume) over the same injector runs without the faults that already
+//! struck — precisely the semantics of a transient fault in a real
+//! fabric. Third, epoch checkpoints are published only at
+//! verifier-checked consistent cuts ([`crate::epoch`]), so restoring
+//! one and restarting every block at its watermark is exact.
 //!
 //! Verification closes the loop on *corrupting* faults: a bit-flip or a
 //! duplicated delivery produces no error at all, only wrong numbers, so
 //! an attempt counts as successful only when its outputs match the
 //! collective's reference semantics ([`reference::check_outputs`]).
+//! A verification failure also *discards* any held checkpoint: the
+//! corruption may predate the snapshot, so only a from-scratch retry
+//! clears it.
+//!
+//! When [`RunOptions::deadline`] is set, it is the budget for the whole
+//! recovery, attempts and backoff sleeps together: each attempt runs
+//! under the *remaining* budget (sleeps are not double-counted against
+//! it), and when the remainder is smaller than the next backoff the
+//! loop fails fast with [`RuntimeError::RecoveryBudgetExhausted`]
+//! instead of sleeping past its own deadline.
 //!
 //! [`reference::check_outputs`]: crate::reference::check_outputs
 
@@ -24,16 +40,53 @@ use msccl_metrics::{names, MetricsSnapshot, Registry};
 use msccl_trace::{ClockDomain, EventKind, RecoveryDecision, Trace, TraceEvent};
 use mscclang::IrProgram;
 
-use crate::executor::{execute, execute_with_faults, RunOptions, RuntimeError};
+use crate::epoch::{EpochCheckpoint, EpochStatus};
+use crate::executor::{execute_resumable, RunOptions, RuntimeError};
+
+/// Whether the ladder may resume failed attempts from epoch checkpoints.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ResumePolicy {
+    /// Resume from the last published checkpoint when the failure is
+    /// [resumable](RuntimeError::is_resumable) and a checkpoint exists;
+    /// degrade to a full retry otherwise.
+    #[default]
+    Epoch,
+    /// Always retry from scratch, ignoring checkpoints (`--resume-policy
+    /// retry`): the pre-epoch behavior, kept for measurement and as an
+    /// escape hatch.
+    FullRetry,
+}
+
+impl ResumePolicy {
+    /// Parses the CLI syntax of `--resume-policy`.
+    #[must_use]
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "epoch" => Some(ResumePolicy::Epoch),
+            "retry" | "full" => Some(ResumePolicy::FullRetry),
+            _ => None,
+        }
+    }
+}
 
 /// How the recovery loop reacts to failed attempts.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RecoveryPolicy {
     /// How many times to re-run the primary algorithm after its first
-    /// failed attempt (0 = no retries).
+    /// failed attempt (0 = no retries). Resumes count against this
+    /// budget like full retries do.
     pub max_retries: usize,
     /// Backoff before the first retry; doubles each further retry.
     pub backoff: Duration,
+    /// Ceiling the exponential backoff saturates at, so a long ladder
+    /// degrades to fixed-interval retries instead of absurd sleeps.
+    pub max_backoff: Duration,
+    /// Seed for the deterministic ±25% backoff jitter. Jitter
+    /// desynchronizes retry herds; deriving it from a seed (no `rand`)
+    /// keeps every run reproducible.
+    pub jitter_seed: u64,
+    /// Whether failed attempts may resume from epoch checkpoints.
+    pub resume: ResumePolicy,
     /// Whether to verify outputs against the collective's reference
     /// semantics; without it, corrupting faults pass silently.
     pub verify: bool,
@@ -44,9 +97,43 @@ impl Default for RecoveryPolicy {
         Self {
             max_retries: 2,
             backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_millis(500),
+            jitter_seed: 0,
+            resume: ResumePolicy::default(),
             verify: true,
         }
     }
+}
+
+/// SplitMix64: a tiny, high-quality mixing function — all the randomness
+/// the backoff jitter needs, with no dependency and full determinism.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The delay before retry number `attempt + 1`: exponential in the
+/// attempt (shift capped at 30 bits, multiplication saturating),
+/// clamped to [`RecoveryPolicy::max_backoff`], then jittered ±25%
+/// deterministically from the policy's seed and the attempt index.
+fn backoff_delay(policy: &RecoveryPolicy, attempt: usize) -> Duration {
+    let exp = u32::try_from(attempt.min(30)).expect("bounded by min");
+    let base = policy
+        .backoff
+        .saturating_mul(1u32 << exp)
+        .min(policy.max_backoff);
+    let nanos = u64::try_from(base.as_nanos()).unwrap_or(u64::MAX);
+    let quarter = nanos / 4;
+    if quarter == 0 {
+        return base;
+    }
+    let r = splitmix64(policy.jitter_seed ^ attempt as u64);
+    // Uniform in [base - 25%, base + 25%]; the modulo bias over a range
+    // this small is irrelevant for desynchronization.
+    let jittered = (nanos - quarter).saturating_add(r % (2 * quarter + 1));
+    Duration::from_nanos(jittered)
 }
 
 /// One logged decision of the recovery loop.
@@ -71,13 +158,21 @@ pub struct RecoveryReport {
     pub attempts: usize,
     /// Whether the outputs came from the fallback algorithm.
     pub used_fallback: bool,
+    /// Epoch checkpoints published across all attempts.
+    pub epochs_completed: u64,
+    /// Instruction instances skipped by resuming from checkpoints —
+    /// work a fault did *not* cost, thanks to epochs.
+    pub steps_resumed: u64,
+    /// Instruction instances re-executed by attempts after the first —
+    /// work a fault *did* cost. With epoch resume this is strictly less
+    /// than a from-scratch rerun whenever a checkpoint was available.
+    pub steps_redone: u64,
     /// Every decision taken, in order.
     pub steps: Vec<RecoveryStep>,
     /// The decision log as metric counters (see
-    /// [`msccl_metrics::names`]): total attempts, retries, fallbacks,
-    /// and cancellations (attempts torn down without an accepted
-    /// result). Mergeable with execution snapshots via
-    /// [`MetricsSnapshot::merge`].
+    /// [`msccl_metrics::names`]): total attempts, retries, resumes,
+    /// fallbacks, cancellations, plus the epoch totals above. Mergeable
+    /// with execution snapshots via [`MetricsSnapshot::merge`].
     pub metrics: MetricsSnapshot,
 }
 
@@ -106,16 +201,38 @@ impl RecoveryReport {
     }
 }
 
+/// Cross-attempt epoch accounting, folded into the report and metrics.
+#[derive(Default)]
+struct EpochTotals {
+    epochs_completed: u64,
+    steps_resumed: u64,
+    steps_redone: u64,
+}
+
+impl EpochTotals {
+    /// Absorbs one attempt's [`EpochStatus`]. Work executed by attempts
+    /// after the first is *redone* work (the first attempt's loss is the
+    /// fault's direct cost, not a repetition).
+    fn absorb(&mut self, attempt: usize, status: &EpochStatus) {
+        self.epochs_completed += status.epochs_completed;
+        self.steps_resumed += status.steps_resumed;
+        if attempt > 0 {
+            self.steps_redone += status.executed;
+        }
+    }
+}
+
 /// Folds the decision log into the shared metric vocabulary. Derived
 /// from the log rather than incremented inline so the counters and the
 /// log can never disagree.
-fn metrics_of(steps: &[RecoveryStep], attempts: usize) -> MetricsSnapshot {
+fn metrics_of(steps: &[RecoveryStep], attempts: usize, totals: &EpochTotals) -> MetricsSnapshot {
     let reg = Registry::new(1);
     reg.counter(names::RECOVERY_ATTEMPTS, &[])
         .add(0, attempts as u64);
     for step in steps {
         match step.decision {
             RecoveryDecision::Accept => {}
+            RecoveryDecision::Resume => reg.counter(names::RECOVERY_RESUMES, &[]).inc(0),
             RecoveryDecision::Retry => reg.counter(names::RECOVERY_RETRIES, &[]).inc(0),
             RecoveryDecision::Fallback => reg.counter(names::RECOVERY_FALLBACKS, &[]).inc(0),
             RecoveryDecision::GiveUp => {}
@@ -126,42 +243,66 @@ fn metrics_of(steps: &[RecoveryStep], attempts: usize) -> MetricsSnapshot {
             reg.counter(names::RECOVERY_CANCELLATIONS, &[]).inc(0);
         }
     }
+    if totals.epochs_completed > 0 {
+        reg.counter(names::EPOCHS_COMPLETED, &[])
+            .add(0, totals.epochs_completed);
+    }
+    if totals.steps_resumed > 0 {
+        reg.counter(names::STEPS_RESUMED, &[])
+            .add(0, totals.steps_resumed);
+    }
+    if totals.steps_redone > 0 {
+        reg.counter(names::STEPS_REDONE, &[])
+            .add(0, totals.steps_redone);
+    }
     reg.snapshot()
 }
 
-fn run_once(
+/// One attempt: execute (resuming from `resume` when given), then verify
+/// if asked. Returns the attempt's epoch status alongside, checkpoint
+/// included on transient failure.
+fn run_attempt(
     ir: &IrProgram,
     inputs: &[Vec<f32>],
     chunk_elems: usize,
     opts: &RunOptions,
     injector: Option<&FaultInjector>,
     verify: bool,
-) -> Result<Vec<Vec<f32>>, RuntimeError> {
-    let outputs = match injector {
-        Some(inj) => execute_with_faults(ir, inputs, chunk_elems, opts, inj)?,
-        None => execute(ir, inputs, chunk_elems, opts)?,
-    };
-    if verify {
-        crate::reference::check_outputs(
-            &ir.collective,
-            inputs,
-            &outputs,
-            chunk_elems,
-            opts.reduce_op,
-        )
-        .map_err(|message| RuntimeError::VerificationFailed { message })?;
-    }
-    Ok(outputs)
+    resume: Option<EpochCheckpoint>,
+) -> (Result<Vec<Vec<f32>>, RuntimeError>, EpochStatus) {
+    let (result, status) = execute_resumable(ir, inputs, chunk_elems, opts, injector, resume);
+    let result = result.and_then(|outputs| {
+        if verify {
+            crate::reference::check_outputs(
+                &ir.collective,
+                inputs,
+                &outputs,
+                chunk_elems,
+                opts.reduce_op,
+            )
+            .map_err(|message| RuntimeError::VerificationFailed { message })?;
+        }
+        Ok(outputs)
+    });
+    (result, status)
 }
 
-/// Executes `primary`, retrying transient failures with exponential
-/// backoff and degrading to `fallback` once retries are exhausted.
+/// Executes `primary` under the escalation ladder: transient failures
+/// resume from the last epoch checkpoint when the policy and the failure
+/// allow it, retry from scratch otherwise (both with capped, jittered
+/// exponential backoff), and degrade to `fallback` once retries are
+/// exhausted.
 ///
 /// `fallback` must implement the same collective over the same ranks
 /// (its outputs are interchangeable with the primary's); it gets a
 /// single attempt — under one-shot injection the faults that broke the
 /// primary are already spent, and a fallback that also fails on a clean
 /// run is not worth iterating on.
+///
+/// When `opts.deadline` is set it bounds the *whole recovery* — every
+/// attempt runs under the remaining budget, and the loop fails fast with
+/// [`RuntimeError::RecoveryBudgetExhausted`] rather than start a backoff
+/// sleep the budget cannot cover.
 ///
 /// Every decision is logged in the returned [`RecoveryReport`] (and
 /// convertible to trace events via [`RecoveryReport::decision_trace`]).
@@ -170,6 +311,7 @@ fn run_once(
 ///
 /// Returns the first permanent [`RuntimeError`] immediately, or the last
 /// transient one once every attempt — retries and fallback — is spent.
+#[allow(clippy::too_many_lines)]
 pub fn execute_with_recovery(
     primary: &IrProgram,
     fallback: Option<&IrProgram>,
@@ -193,6 +335,23 @@ pub fn execute_with_recovery(
         }
     }
     let epoch = Instant::now();
+    // The whole-recovery budget: attempts and sleeps all draw from it.
+    let budget_end = opts.deadline.map(|d| epoch + d);
+    // Each attempt gets the budget *remaining at its start* as its
+    // deadline, so backoff sleeps are charged exactly once — by the
+    // clock — instead of once per layer.
+    let attempt_opts = || -> RunOptions {
+        let mut o = opts.clone();
+        if let Some(end) = budget_end {
+            o.deadline = Some(end.saturating_duration_since(Instant::now()).max(
+                // Never pass a zero deadline (the executor rejects it):
+                // an exhausted budget surfaces as DeadlineExceeded from
+                // the attempt itself, then fails fast below.
+                Duration::from_millis(1),
+            ));
+        }
+        o
+    };
     let mut steps: Vec<RecoveryStep> = Vec::new();
     let record = |steps: &mut Vec<RecoveryStep>,
                   attempt: usize,
@@ -205,41 +364,89 @@ pub fn execute_with_recovery(
             detail,
         });
     };
+    let mut totals = EpochTotals::default();
 
     let mut attempt = 0usize;
+    let mut checkpoint: Option<EpochCheckpoint> = None;
     let mut last_err: RuntimeError;
     loop {
-        match run_once(primary, inputs, chunk_elems, opts, injector, policy.verify) {
+        let resuming = checkpoint.is_some();
+        let (result, status) = run_attempt(
+            primary,
+            inputs,
+            chunk_elems,
+            &attempt_opts(),
+            injector,
+            policy.verify,
+            checkpoint.take(),
+        );
+        totals.absorb(attempt, &status);
+        match result {
             Ok(outputs) => {
-                let detail = if policy.verify {
+                let mut detail = String::from(if policy.verify {
                     "verified"
                 } else {
                     "completed"
-                };
-                record(&mut steps, attempt, RecoveryDecision::Accept, detail.into());
-                let metrics = metrics_of(&steps, attempt + 1);
+                });
+                if resuming {
+                    detail.push_str(" (resumed)");
+                }
+                record(&mut steps, attempt, RecoveryDecision::Accept, detail);
+                let metrics = metrics_of(&steps, attempt + 1, &totals);
                 return Ok(RecoveryReport {
                     outputs,
                     attempts: attempt + 1,
                     used_fallback: false,
+                    epochs_completed: totals.epochs_completed,
+                    steps_resumed: totals.steps_resumed,
+                    steps_redone: totals.steps_redone,
                     steps,
                     metrics,
                 });
             }
             Err(e) if !e.is_transient() => return Err(e),
-            Err(e) => last_err = e,
+            Err(e) => {
+                // Rung 1 of the ladder: resume from the last published
+                // checkpoint — but only for failures that interrupted a
+                // sound execution. A verification failure means memory
+                // may have been poisoned *before* the snapshot, so the
+                // checkpoint is tainted and must be discarded.
+                if policy.resume == ResumePolicy::Epoch && e.is_resumable() {
+                    checkpoint = status.checkpoint;
+                }
+                last_err = e;
+            }
         }
         if attempt < policy.max_retries {
-            record(
-                &mut steps,
-                attempt,
-                RecoveryDecision::Retry,
-                last_err.to_string(),
-            );
-            // Exponential backoff: backoff * 2^attempt, capped at 30 bits
-            // of shift to dodge overflow on absurd retry counts.
-            let exp = u32::try_from(attempt.min(30)).expect("bounded");
-            std::thread::sleep(policy.backoff.saturating_mul(1u32 << exp));
+            let decision = if checkpoint.is_some() {
+                RecoveryDecision::Resume
+            } else {
+                RecoveryDecision::Retry
+            };
+            record(&mut steps, attempt, decision, last_err.to_string());
+            let delay = backoff_delay(policy, attempt);
+            if let Some(end) = budget_end {
+                let remaining = end.saturating_duration_since(Instant::now());
+                if remaining < delay {
+                    // Fail fast: sleeping would overrun the budget, so
+                    // surface a structured, permanent error now instead
+                    // of a deadline failure later.
+                    let err = RuntimeError::RecoveryBudgetExhausted {
+                        attempts: attempt + 1,
+                        next_backoff_ms: u64::try_from(delay.as_millis()).unwrap_or(u64::MAX),
+                        remaining_ms: u64::try_from(remaining.as_millis()).unwrap_or(u64::MAX),
+                        last_error: last_err.to_string(),
+                    };
+                    record(
+                        &mut steps,
+                        attempt,
+                        RecoveryDecision::GiveUp,
+                        err.to_string(),
+                    );
+                    return Err(err);
+                }
+            }
+            std::thread::sleep(delay);
             attempt += 1;
             continue;
         }
@@ -254,7 +461,19 @@ pub fn execute_with_recovery(
             last_err.to_string(),
         );
         attempt += 1;
-        match run_once(fb, inputs, chunk_elems, opts, injector, policy.verify) {
+        // The checkpoint belongs to the primary's schedule; the fallback
+        // always starts from scratch.
+        let (result, status) = run_attempt(
+            fb,
+            inputs,
+            chunk_elems,
+            &attempt_opts(),
+            injector,
+            policy.verify,
+            None,
+        );
+        totals.absorb(attempt, &status);
+        match result {
             Ok(outputs) => {
                 let detail = if policy.verify {
                     "verified"
@@ -262,11 +481,14 @@ pub fn execute_with_recovery(
                     "completed"
                 };
                 record(&mut steps, attempt, RecoveryDecision::Accept, detail.into());
-                let metrics = metrics_of(&steps, attempt + 1);
+                let metrics = metrics_of(&steps, attempt + 1, &totals);
                 return Ok(RecoveryReport {
                     outputs,
                     attempts: attempt + 1,
                     used_fallback: true,
+                    epochs_completed: totals.epochs_completed,
+                    steps_resumed: totals.steps_resumed,
+                    steps_redone: totals.steps_redone,
                     steps,
                     metrics,
                 });
@@ -288,7 +510,7 @@ pub fn execute_with_recovery(
 mod tests {
     use super::*;
     use msccl_faults::{FaultKind, FaultPlan, FaultSite, FaultSpec};
-    use mscclang::{compile, CompileOptions};
+    use mscclang::{compile, CompileOptions, EpochMode};
 
     fn ring_ir(ranks: usize) -> IrProgram {
         let p = msccl_algos::ring_all_reduce(ranks, 1).unwrap();
@@ -300,18 +522,18 @@ mod tests {
         compile(&p, &CompileOptions::default()).unwrap()
     }
 
-    fn kill_plan(rank: usize) -> FaultPlan {
+    fn kill_plan_at(rank: usize, step: usize) -> FaultPlan {
         FaultPlan {
             seed: 0,
             specs: vec![FaultSpec {
-                site: FaultSite::Block {
-                    rank,
-                    tb: 0,
-                    step: 0,
-                },
+                site: FaultSite::Block { rank, tb: 0, step },
                 kind: FaultKind::KillBlock,
             }],
         }
+    }
+
+    fn kill_plan(rank: usize) -> FaultPlan {
+        kill_plan_at(rank, 0)
     }
 
     #[test]
@@ -333,6 +555,8 @@ mod tests {
         assert!(!report.used_fallback);
         assert_eq!(report.steps.len(), 1);
         assert_eq!(report.steps[0].decision, RecoveryDecision::Accept);
+        assert_eq!(report.steps_redone, 0);
+        assert_eq!(report.steps_resumed, 0);
     }
 
     /// A one-shot kill breaks the first attempt; the retry runs clean and
@@ -377,6 +601,8 @@ mod tests {
             1
         );
         assert_eq!(report.metrics.counter(names::RECOVERY_FALLBACKS, &[]), 0);
+        // A full retry redoes the entire program.
+        assert_eq!(report.steps_redone, ir.num_instructions() as u64);
         crate::reference::check_outputs(
             &ir.collective,
             &inputs,
@@ -387,8 +613,126 @@ mod tests {
         .unwrap();
     }
 
+    /// A one-shot drop of the first delivery of tile 3 (of 4): the
+    /// receiver hangs there, well past the 2-boundary schedule's last
+    /// checkpoint. Block faults always fire in the first tile, so a
+    /// late-tile fault needs a delivery site.
+    fn drop_in_tile3(ir: &IrProgram) -> FaultPlan {
+        let tb = &ir.gpus[0].threadblocks[0];
+        let sends_per_tile = tb.instructions.iter().filter(|i| i.op.has_send()).count() as u64;
+        FaultPlan {
+            seed: 0,
+            specs: vec![FaultSpec {
+                site: FaultSite::Delivery {
+                    src: 0,
+                    dst: tb.send_peer.unwrap(),
+                    channel: tb.channel,
+                    seq: 3 * sends_per_tile,
+                },
+                kind: FaultKind::DropDelivery,
+            }],
+        }
+    }
+
+    /// With epochs on and a fault striking *after* published checkpoints,
+    /// the ladder resumes instead of retrying: outputs stay bit-exact
+    /// with a clean run, and strictly less work is redone.
+    #[test]
+    fn epoch_resume_redoes_less_than_full_retry() {
+        let ir = ring_ir(4);
+        let chunk_elems = 8;
+        let opts = RunOptions {
+            // Short per-step timeout: the dropped delivery surfaces as a
+            // hang, and this bounds how long detection takes.
+            timeout: Duration::from_millis(400),
+            // Four tiles, so the 2-boundary schedule lands on interior
+            // tile frontiers well before the tile-3 fault.
+            tile_elems: Some(2),
+            epochs: EpochMode::Count(2),
+            ..RunOptions::default()
+        };
+        let inputs = crate::reference::random_inputs(&ir, chunk_elems, 27);
+        let clean = crate::executor::execute(&ir, &inputs, chunk_elems, &opts).unwrap();
+        let plan = drop_in_tile3(&ir);
+        plan.validate(&ir).unwrap();
+        let injector = FaultInjector::new(&plan);
+        let report = execute_with_recovery(
+            &ir,
+            None,
+            &inputs,
+            chunk_elems,
+            &opts,
+            &RecoveryPolicy {
+                backoff: Duration::from_millis(1),
+                ..RecoveryPolicy::default()
+            },
+            Some(&injector),
+        )
+        .unwrap();
+        let decisions: Vec<RecoveryDecision> = report.steps.iter().map(|s| s.decision).collect();
+        assert_eq!(
+            decisions,
+            vec![RecoveryDecision::Resume, RecoveryDecision::Accept],
+            "expected a resume, got {:?}",
+            report.steps
+        );
+        assert_eq!(report.outputs, clean, "resumed outputs must be bit-exact");
+        assert!(report.steps_resumed > 0);
+        // Four tiles of the whole program is what a from-scratch rerun
+        // would redo; the resume must beat it.
+        let full_rerun = (ir.num_instructions() * 4) as u64;
+        assert!(
+            report.steps_redone < full_rerun,
+            "resume must redo less than a full rerun ({} vs {full_rerun})",
+            report.steps_redone,
+        );
+        assert_eq!(report.metrics.counter(names::RECOVERY_RESUMES, &[]), 1);
+        assert_eq!(
+            report.metrics.counter(names::STEPS_RESUMED, &[]),
+            report.steps_resumed
+        );
+        assert_eq!(
+            report.metrics.counter(names::STEPS_REDONE, &[]),
+            report.steps_redone
+        );
+        assert!(report.metrics.counter(names::EPOCHS_COMPLETED, &[]) > 0);
+    }
+
+    /// FullRetry policy ignores checkpoints even when epochs produce them.
+    #[test]
+    fn full_retry_policy_ignores_checkpoints() {
+        let ir = ring_ir(4);
+        let chunk_elems = 8;
+        let opts = RunOptions {
+            timeout: Duration::from_millis(400),
+            tile_elems: Some(2),
+            epochs: EpochMode::Count(2),
+            ..RunOptions::default()
+        };
+        let inputs = crate::reference::random_inputs(&ir, chunk_elems, 28);
+        let injector = FaultInjector::new(&drop_in_tile3(&ir));
+        let report = execute_with_recovery(
+            &ir,
+            None,
+            &inputs,
+            chunk_elems,
+            &opts,
+            &RecoveryPolicy {
+                backoff: Duration::from_millis(1),
+                resume: ResumePolicy::FullRetry,
+                ..RecoveryPolicy::default()
+            },
+            Some(&injector),
+        )
+        .unwrap();
+        assert_eq!(report.steps[0].decision, RecoveryDecision::Retry);
+        assert_eq!(report.steps_resumed, 0);
+        assert_eq!(report.metrics.counter(names::RECOVERY_RESUMES, &[]), 0);
+    }
+
     /// A corrupting fault produces no error, only wrong numbers: the
-    /// verification step must catch it and drive a retry.
+    /// verification step must catch it, drive a retry, and *discard* any
+    /// checkpoint (the snapshot may postdate the corruption).
     #[test]
     fn corruption_is_caught_by_verification() {
         let ir = ring_ir(4);
@@ -414,7 +758,12 @@ mod tests {
             None,
             &inputs,
             chunk_elems,
-            &RunOptions::default(),
+            &RunOptions {
+                // Even with checkpoints available, a verification
+                // failure must never resume.
+                epochs: EpochMode::Count(2),
+                ..RunOptions::default()
+            },
             &RecoveryPolicy {
                 backoff: Duration::from_millis(1),
                 ..RecoveryPolicy::default()
@@ -427,6 +776,7 @@ mod tests {
         assert!(report.steps[0]
             .detail
             .contains("output verification failed"));
+        assert_eq!(report.steps_resumed, 0);
     }
 
     /// With no retry budget, a transient failure degrades to the
@@ -452,7 +802,7 @@ mod tests {
             &RecoveryPolicy {
                 max_retries: 0,
                 backoff: Duration::from_millis(1),
-                verify: true,
+                ..RecoveryPolicy::default()
             },
             Some(&injector),
         )
@@ -504,6 +854,96 @@ mod tests {
             panic!("expected InvalidOptions, got {err:?}");
         };
         assert!(message.contains("fallback"));
+    }
+
+    /// The whole-recovery deadline is a budget: when what remains cannot
+    /// cover the next backoff, the loop fails fast with a structured,
+    /// permanent error instead of sleeping past its own deadline.
+    #[test]
+    fn budget_smaller_than_backoff_fails_fast() {
+        let ir = ring_ir(4);
+        let chunk_elems = 8;
+        let inputs = crate::reference::random_inputs(&ir, chunk_elems, 29);
+        let injector = FaultInjector::new(&kill_plan(1));
+        let opts = RunOptions {
+            timeout: Duration::from_secs(5),
+            deadline: Some(Duration::from_secs(2)),
+            ..RunOptions::default()
+        };
+        let started = Instant::now();
+        let err = execute_with_recovery(
+            &ir,
+            None,
+            &inputs,
+            chunk_elems,
+            &opts,
+            &RecoveryPolicy {
+                // A backoff no 2s budget can cover forces the decision
+                // right after the first (fast) failed attempt.
+                backoff: Duration::from_secs(3600),
+                max_backoff: Duration::from_secs(3600),
+                ..RecoveryPolicy::default()
+            },
+            Some(&injector),
+        )
+        .unwrap_err();
+        let RuntimeError::RecoveryBudgetExhausted {
+            attempts,
+            next_backoff_ms,
+            remaining_ms,
+            last_error,
+        } = &err
+        else {
+            panic!("expected RecoveryBudgetExhausted, got {err:?}");
+        };
+        assert_eq!(*attempts, 1);
+        assert!(*next_backoff_ms > *remaining_ms);
+        assert!(last_error.contains("kill block"));
+        assert!(!err.is_transient(), "budget exhaustion is permanent");
+        assert!(
+            started.elapsed() < Duration::from_secs(2),
+            "must fail fast, not sleep out the backoff"
+        );
+    }
+
+    /// Backoff delays are deterministic in the seed, jittered within
+    /// ±25%, and capped by `max_backoff` even at absurd attempt counts.
+    #[test]
+    fn backoff_is_jittered_capped_and_deterministic() {
+        let policy = RecoveryPolicy {
+            backoff: Duration::from_millis(100),
+            max_backoff: Duration::from_secs(2),
+            jitter_seed: 42,
+            ..RecoveryPolicy::default()
+        };
+        for attempt in 0..64 {
+            let d = backoff_delay(&policy, attempt);
+            assert_eq!(d, backoff_delay(&policy, attempt), "must be deterministic");
+            let base = policy
+                .backoff
+                .saturating_mul(1u32 << u32::try_from(attempt.min(30)).unwrap())
+                .min(policy.max_backoff);
+            let lo = base.mul_f64(0.75);
+            let hi = base.mul_f64(1.2500001);
+            assert!(
+                d >= lo && d <= hi,
+                "attempt {attempt}: {d:?} not in [{lo:?}, {hi:?}]"
+            );
+            assert!(d <= policy.max_backoff.mul_f64(1.2500001));
+        }
+        // Different seeds actually move the delay (herd desync works).
+        let other = RecoveryPolicy {
+            jitter_seed: 43,
+            ..policy.clone()
+        };
+        assert!((0..8).any(|a| backoff_delay(&policy, a) != backoff_delay(&other, a)));
+        // Sub-4ns bases (quarter == 0) pass through unjittered rather
+        // than dividing by zero.
+        let tiny = RecoveryPolicy {
+            backoff: Duration::from_nanos(2),
+            ..RecoveryPolicy::default()
+        };
+        assert_eq!(backoff_delay(&tiny, 0), Duration::from_nanos(2));
     }
 
     /// The decision log exports as trace events.

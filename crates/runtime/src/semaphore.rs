@@ -52,6 +52,17 @@ impl Semaphore {
         }
     }
 
+    /// Adds one to the counter, wakes waiters, and returns the new value
+    /// — the arrival primitive of the epoch barrier, where each worker
+    /// contributes one arrival and the designated snapshotter waits for
+    /// the full count via [`wait_at_least`](Semaphore::wait_at_least).
+    pub fn increment(&self) -> u64 {
+        let mut guard = self.value.lock().unwrap_or_else(PoisonError::into_inner);
+        *guard += 1;
+        self.cv.notify_all();
+        *guard
+    }
+
     /// Blocks until the counter reaches `v`, the `deadline` passes, or
     /// `cancel` trips.
     #[must_use]

@@ -4,6 +4,7 @@ use std::fmt;
 
 use msccl_faults::FaultPlan;
 use msccl_topology::{Machine, Protocol};
+use mscclang::EpochMode;
 
 /// Configuration of one simulation: the machine, the protocol and a few
 /// model knobs.
@@ -58,6 +59,15 @@ pub struct SimConfig {
     /// are timing no-ops here since the simulator moves no data — use the
     /// threaded runtime to observe them.
     pub fault_plan: Option<FaultPlan>,
+    /// Epoch checkpoint schedule to model. The simulator resolves
+    /// `Auto` through the same cost model as the runtime
+    /// ([`EpochMode::resolve`]), so `--epochs auto` predicts the same
+    /// boundary count both places; each boundary charges a global
+    /// barrier plus a memory snapshot at [`SimConfig::snapshot_gbps`].
+    pub epochs: EpochMode,
+    /// Rank-memory copy bandwidth the epoch snapshot model assumes, in
+    /// GB/s (device-memory `memcpy`, so well above link bandwidth).
+    pub snapshot_gbps: f64,
 }
 
 impl SimConfig {
@@ -78,6 +88,8 @@ impl SimConfig {
             tile_overhead_us: None,
             direct_copy: false,
             fault_plan: None,
+            epochs: EpochMode::Off,
+            snapshot_gbps: 8.0,
         }
     }
 
@@ -136,6 +148,20 @@ impl SimConfig {
     #[must_use]
     pub fn with_faults(mut self, plan: FaultPlan) -> Self {
         self.fault_plan = Some(plan);
+        self
+    }
+
+    /// Sets the epoch checkpoint schedule (see [`SimConfig::epochs`]).
+    #[must_use]
+    pub fn with_epochs(mut self, epochs: EpochMode) -> Self {
+        self.epochs = epochs;
+        self
+    }
+
+    /// Sets the snapshot copy bandwidth (see [`SimConfig::snapshot_gbps`]).
+    #[must_use]
+    pub fn with_snapshot_gbps(mut self, gbps: f64) -> Self {
+        self.snapshot_gbps = gbps;
         self
     }
 }

@@ -9,7 +9,7 @@ use msccl_faults::{BlockAction, DeliveryAction, FaultInjector};
 use msccl_metrics::{names, Counter, Gauge, Histogram, MetricsSnapshot, Registry};
 use msccl_topology::{Protocol, TransferPath};
 use msccl_trace::{ClockDomain, EventKind, Trace, TraceEvent};
-use mscclang::{IrInstruction, IrProgram, OpCode};
+use mscclang::{EpochMode, IrInstruction, IrProgram, OpCode};
 
 use crate::config::{f64_bits, SimConfig, SimError};
 use crate::flow::{FlowId, FlowNet, Reschedule, ResourceTable};
@@ -76,6 +76,15 @@ pub struct SimReport {
     /// [`SimConfig::record_trace`] is set): the same event vocabulary the
     /// threaded runtime emits, timestamped by the discrete-event clock.
     pub trace: Option<Trace>,
+    /// Epoch boundaries the configured [`SimConfig::epochs`] schedule
+    /// placed (after `Auto` resolution — the same count the runtime
+    /// would checkpoint at).
+    pub epoch_boundaries: usize,
+    /// Virtual time charged to epoch checkpointing — per boundary, a
+    /// global barrier plus every rank's memory copied at
+    /// [`SimConfig::snapshot_gbps`] — already included in
+    /// [`SimReport::total_us`].
+    pub epoch_us: f64,
     /// Always-on metrics in the same vocabulary the threaded runtime
     /// records (`msccl_metrics::names`), measured on the virtual clock:
     /// every `*_NS` value is virtual microseconds × 1000. The simulator
@@ -614,8 +623,46 @@ pub fn simulate(
         }
     }
 
+    // ---- Epoch checkpoint cost. The schedule resolves exactly as the
+    // runtime resolves it — same verified cut chain, same Auto traffic
+    // budget — so the predicted boundary count matches what a real
+    // execution with these options would checkpoint.
+    let chunk_elems = ((chunk_bytes / std::mem::size_of::<f32>() as f64).ceil() as usize).max(1);
+    let epoch_mode = config.epochs.resolve(ir, chunk_elems);
+    let epoch_boundaries = if matches!(epoch_mode, EpochMode::Off | EpochMode::Count(0)) {
+        0
+    } else {
+        let computed;
+        let cuts = if ir.epoch_cuts.is_empty() {
+            computed = mscclang::passes::epoch_cuts(ir);
+            &computed
+        } else {
+            &ir.epoch_cuts
+        };
+        mscclang::passes::schedule_epochs(ir, cuts, num_tiles, epoch_mode).len()
+    };
+    let epoch_us = if epoch_boundaries > 0 {
+        // Per boundary: a global barrier (every block pays roughly one
+        // decode round to park and release) plus each rank's memory
+        // copied at snapshot bandwidth. Ranks snapshot concurrently in
+        // the runtime's designated-worker scheme only per buffer, so the
+        // model charges the full per-rank copy serially — a conservative
+        // ceiling. GB/s is bytes/µs × 1000.
+        let snap_bytes = mscclang::passes::snapshot_bytes(ir, chunk_elems) as f64;
+        let barrier_us = config.instr_overhead_us;
+        epoch_boundaries as f64 * (barrier_us + snap_bytes / (config.snapshot_gbps * 1000.0))
+    } else {
+        0.0
+    };
+    if epoch_boundaries > 0 {
+        metrics
+            .registry
+            .counter(names::EPOCHS_COMPLETED, &[])
+            .add(0, epoch_boundaries as u64);
+    }
+
     Ok(SimReport {
-        total_us: tbs.iter().map(|t| t.finish_time).fold(last_time, f64::max),
+        total_us: tbs.iter().map(|t| t.finish_time).fold(last_time, f64::max) + epoch_us,
         instructions: instructions_executed,
         flows: net.total_flows() + cross_flows,
         max_concurrent_flows: net.max_concurrent(),
@@ -645,6 +692,8 @@ pub fn simulate(
             }
             trace
         },
+        epoch_boundaries,
+        epoch_us,
         metrics: metrics.registry.snapshot(),
     })
 }
@@ -1325,6 +1374,8 @@ pub fn simulate_sequence(
     let mut protocol = Protocol::Simple;
     let mut tiles = 0;
     let mut busy = 0.0;
+    let mut epoch_boundaries = 0;
+    let mut epoch_us = 0.0;
     let mut metrics = MetricsSnapshot::default();
     for &(ir, bytes) in kernels {
         let r = simulate(ir, config, bytes)?;
@@ -1335,6 +1386,8 @@ pub fn simulate_sequence(
         protocol = r.protocol;
         tiles = tiles.max(r.tiles);
         busy += r.busy_us;
+        epoch_boundaries += r.epoch_boundaries;
+        epoch_us += r.epoch_us;
         metrics = metrics.merge(&r.metrics);
     }
     Ok(SimReport {
@@ -1350,6 +1403,8 @@ pub fn simulate_sequence(
         timeline: Vec::new(),
         resource_usage: Vec::new(),
         trace: None,
+        epoch_boundaries,
+        epoch_us,
         metrics,
     })
 }
@@ -1719,5 +1774,57 @@ mod tests {
             }
             other => panic!("expected BadFaultPlan, got {other}"),
         }
+    }
+
+    /// Epoch checkpointing costs virtual time proportional to the
+    /// boundary count, and `Auto` resolves through the same traffic
+    /// budget as the runtime: large buffers checkpoint, the epochs-off
+    /// baseline never does.
+    #[test]
+    fn epoch_model_charges_snapshot_cost() {
+        let ir = ring(8, 1, 1);
+        let bytes = 1u64 << 24;
+        let off = simulate(&ir, &ndv4_config(), bytes).unwrap();
+        assert_eq!(off.epoch_boundaries, 0);
+        assert_eq!(off.epoch_us, 0.0);
+        assert_eq!(off.metrics.counter(names::EPOCHS_COMPLETED, &[]), 0);
+
+        // Auto resolves through the exact cost-model helpers the runtime
+        // uses, whatever they decide for this program and size.
+        let auto = simulate(&ir, &ndv4_config().with_epochs(EpochMode::Auto), bytes).unwrap();
+        let chunk_elems = (bytes as usize / ir.collective.in_chunks()) / 4;
+        let expected = mscclang::passes::auto_boundaries(
+            mscclang::passes::traffic_bytes(&ir, chunk_elems),
+            mscclang::passes::snapshot_bytes(&ir, chunk_elems),
+        );
+        assert_eq!(auto.epoch_boundaries.min(1), expected.min(1));
+
+        // A forced 2-boundary schedule charges its snapshot cost into
+        // the total, visibly and exactly.
+        let two = simulate(&ir, &ndv4_config().with_epochs(EpochMode::Count(2)), bytes).unwrap();
+        assert_eq!(two.epoch_boundaries, 2);
+        assert!(two.epoch_us > 0.0);
+        assert!(two.total_us > off.total_us);
+        assert!((two.total_us - off.total_us - two.epoch_us).abs() < 1e-6);
+        assert_eq!(
+            two.metrics.counter(names::EPOCHS_COMPLETED, &[]),
+            two.epoch_boundaries as u64
+        );
+
+        // More boundaries, more cost; the schedule is clamped by the
+        // positions available, so an absurd request stays finite.
+        let many = simulate(
+            &ir,
+            &ndv4_config().with_epochs(EpochMode::Count(10_000)),
+            bytes,
+        )
+        .unwrap();
+        assert!(many.epoch_boundaries >= two.epoch_boundaries);
+        assert!(many.epoch_us >= two.epoch_us);
+
+        // A tiny buffer cannot afford snapshots: Auto declines, exactly
+        // like the runtime's resolution would.
+        let tiny = simulate(&ir, &ndv4_config().with_epochs(EpochMode::Auto), 1 << 10).unwrap();
+        assert_eq!(tiny.epoch_boundaries, 0);
     }
 }
