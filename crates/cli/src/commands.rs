@@ -42,7 +42,7 @@ COMMANDS:
     graph <file.xml>               emit a Graphviz DOT rendering of the IR
     simulate <file.xml> --machine M --size S [--protocol P] [--timeline F]
                         [--trace F] [--fault-seed N | --fault-plan F]
-                        [--epochs off|auto|N]
+                        [--epochs off|auto|N] [--parallel N]
                                    estimate latency (M: ndv4[:N], dgx2[:N], dgx1,
                                    or custom:<nodes>x<gpus>[:intra_gbps[:nic_gbps]]);
                                    --timeline writes per-thread-block busy
@@ -52,7 +52,10 @@ COMMANDS:
                                    fault flags inject deterministic faults
                                    into the virtual timeline; --epochs
                                    charges the epoch checkpoint model (auto
-                                   uses the compiler's cost model)
+                                   uses the compiler's cost model);
+                                   --parallel runs the sharded engine on N
+                                   threads (bit-identical to serial; see
+                                   docs/simulator.md)
     run <file.xml> [--elems N] [--trace F] [--deadline-ms N]
                    [--fault-seed N | --fault-plan F] [--retries N]
                    [--fallback FILE.xml] [--epochs off|auto|N]
@@ -558,6 +561,13 @@ fn cmd_simulate(args: &Args) -> Result<String, CliError> {
     if let Some(plan) = load_fault_plan(args, &ir)? {
         cfg = cfg.with_faults(plan);
     }
+    if args.options.contains_key("parallel") {
+        let threads: usize = args.opt_or("parallel", 0)?;
+        if threads == 0 {
+            return Err(CliError::new("--parallel must be a positive thread count"));
+        }
+        cfg = cfg.with_parallel(threads);
+    }
     let r = simulate(&ir, &cfg, bytes)?;
     let mut extra = String::new();
     if let Some(path) = trace_out {
@@ -898,6 +908,31 @@ mod tests {
             .unwrap_err()
             .to_string()
             .contains("--size"));
+        let _ = std::fs::remove_file(path);
+    }
+
+    /// `--parallel N` selects the sharded engine, whose output is
+    /// bit-identical to the serial default — the printed report included.
+    #[test]
+    fn simulate_parallel_matches_serial_output() {
+        let path = tmp("par.xml");
+        let _ = run(&format!(
+            "compile hierarchical-allreduce --nodes 2 --gpus 2 -o {path}"
+        ))
+        .unwrap();
+        let serial = run(&format!("simulate {path} --machine ndv4:2 --size 4MB")).unwrap();
+        for threads in [1, 4] {
+            let par = run(&format!(
+                "simulate {path} --machine ndv4:2 --size 4MB --parallel {threads}"
+            ))
+            .unwrap();
+            assert_eq!(serial, par, "--parallel {threads} changed the report");
+        }
+        let err = run(&format!(
+            "simulate {path} --machine ndv4:2 --size 4MB --parallel 0"
+        ))
+        .unwrap_err();
+        assert!(err.to_string().contains("--parallel"));
         let _ = std::fs::remove_file(path);
     }
 

@@ -68,6 +68,14 @@ pub struct SimConfig {
     /// Rank-memory copy bandwidth the epoch snapshot model assumes, in
     /// GB/s (device-memory `memcpy`, so well above link bandwidth).
     pub snapshot_gbps: f64,
+    /// Worker threads for the parallel engine; `None` (or `Some(1)`)
+    /// selects the serial oracle. The parallel engine shards the event
+    /// loop by node under conservative lookahead synchronization and is
+    /// **bit-identical** to serial for every program, seed and thread
+    /// count (see `docs/simulator.md` for the determinism contract). A
+    /// machine whose cross-node links have zero latency offers no
+    /// lookahead, and the engine silently falls back to serial.
+    pub parallel: Option<usize>,
 }
 
 impl SimConfig {
@@ -90,6 +98,7 @@ impl SimConfig {
             fault_plan: None,
             epochs: EpochMode::Off,
             snapshot_gbps: 8.0,
+            parallel: None,
         }
     }
 
@@ -162,6 +171,14 @@ impl SimConfig {
     #[must_use]
     pub fn with_snapshot_gbps(mut self, gbps: f64) -> Self {
         self.snapshot_gbps = gbps;
+        self
+    }
+
+    /// Selects the parallel engine with `threads` workers (see
+    /// [`SimConfig::parallel`]).
+    #[must_use]
+    pub fn with_parallel(mut self, threads: usize) -> Self {
+        self.parallel = Some(threads);
         self
     }
 }

@@ -1,18 +1,27 @@
-//! The discrete-event engine: thread block processes over the flow
-//! network.
+//! Simulation entry points: shard construction, the backend dispatch,
+//! and report assembly.
+//!
+//! The event loops themselves live in [`crate::actor`] (the per-node
+//! state machine) and [`crate::parallel`] (the round driver that runs
+//! the shards serially or across worker threads). This module turns an
+//! [`IrProgram`] plus a [`SimConfig`] into shards, runs them, and merges
+//! the per-shard results back into one [`SimReport`] — identically
+//! whichever backend executed the rounds.
 
-use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashMap, VecDeque};
-use std::sync::Arc;
+use std::collections::HashMap;
 
-use msccl_faults::{BlockAction, DeliveryAction, FaultInjector};
-use msccl_metrics::{names, Counter, Gauge, Histogram, MetricsSnapshot, Registry};
+use msccl_faults::FaultInjector;
+use msccl_metrics::{names, MetricsSnapshot, Registry};
 use msccl_topology::{Protocol, TransferPath};
 use msccl_trace::{ClockDomain, EventKind, Trace, TraceEvent};
-use mscclang::{EpochMode, IrInstruction, IrProgram, OpCode};
+use mscclang::{EpochMode, IrProgram};
 
-use crate::config::{f64_bits, SimConfig, SimError};
-use crate::flow::{FlowId, FlowNet, Reschedule, ResourceTable};
+use crate::actor::{Shard, ShardMetrics, Tb};
+use crate::config::{SimConfig, SimError};
+use crate::parallel::{self, RunCtx};
+
+/// Receive-side FIFO bookkeeping cost per tile, microseconds.
+pub(crate) const RECV_OVERHEAD_US: f64 = 0.4;
 
 /// What a thread block was doing during a [`TimelineEntry`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -52,7 +61,7 @@ pub struct SimReport {
     pub instructions: usize,
     /// Network flows started.
     pub flows: usize,
-    /// Peak concurrent flows.
+    /// Peak concurrent flows (summed per-node peaks).
     pub max_concurrent_flows: usize,
     /// Protocol used.
     pub protocol: Protocol,
@@ -63,7 +72,7 @@ pub struct SimReport {
     pub busy_us: f64,
     /// Discrete events processed.
     pub events: u64,
-    /// Peak event-queue length.
+    /// Peak event-queue length (the largest any shard's queue grew).
     pub max_heap: usize,
     /// Per-thread-block busy intervals (empty unless
     /// [`SimConfig::record_timeline`] is set).
@@ -92,252 +101,38 @@ pub struct SimReport {
     pub metrics: MetricsSnapshot,
 }
 
-/// Appends one trace event when tracing is enabled.
-fn emit(trace: &mut Option<Trace>, ts_us: f64, rank: usize, tb: usize, kind: EventKind) {
-    if let Some(t) = trace.as_mut() {
-        t.push(TraceEvent {
-            ts_us,
-            rank,
-            tb,
-            kind,
-        });
-    }
-}
-
-/// Opcodes in dense order for the per-op metric handles.
-const ALL_OPS: [OpCode; 9] = [
-    OpCode::Nop,
-    OpCode::Send,
-    OpCode::Recv,
-    OpCode::Copy,
-    OpCode::Reduce,
-    OpCode::RecvReduceCopy,
-    OpCode::RecvCopySend,
-    OpCode::RecvReduceSend,
-    OpCode::RecvReduceCopySend,
-];
-
-/// Dense index of an opcode into [`SimMetrics::ops`].
-fn op_index(op: OpCode) -> usize {
-    match op {
-        OpCode::Nop => 0,
-        OpCode::Send => 1,
-        OpCode::Recv => 2,
-        OpCode::Copy => 3,
-        OpCode::Reduce => 4,
-        OpCode::RecvReduceCopy => 5,
-        OpCode::RecvCopySend => 6,
-        OpCode::RecvReduceSend => 7,
-        OpCode::RecvReduceCopySend => 8,
-    }
-}
-
-/// Per-connection metric handles, parallel to the engine's `conns` vector.
-struct ConnMetrics {
-    bytes_sent: Arc<Counter>,
-    sends: Arc<Counter>,
-    peak: Arc<Gauge>,
-    bytes_received: Arc<Counter>,
-    recvs: Arc<Counter>,
-}
-
-/// Always-on metric handles for one simulation: the same vocabulary the
-/// threaded runtime records, measured on the virtual clock (virtual
-/// microseconds × 1000 stand in for nanoseconds). The engine is
-/// single-threaded, so every update lands in shard 0 of a one-shard
-/// registry.
-struct SimMetrics {
-    registry: Registry,
-    sem_wait_ns: Arc<Counter>,
-    fifo_send_block_ns: Arc<Counter>,
-    fifo_recv_block_ns: Arc<Counter>,
-    conns: Vec<ConnMetrics>,
-    /// Per-opcode `(instruction counter, latency histogram)`, indexed by
-    /// [`op_index`].
-    ops: Vec<(Arc<Counter>, Arc<Histogram>)>,
-}
-
-impl SimMetrics {
-    fn new(conn_keys: &[(usize, usize, usize)]) -> Self {
-        let registry = Registry::new(1);
-        let conns = conn_keys
-            .iter()
-            .map(|&(src, dst, channel)| {
-                let (s, d, c) = (src.to_string(), dst.to_string(), channel.to_string());
-                let labels = [
-                    ("src", s.as_str()),
-                    ("dst", d.as_str()),
-                    ("channel", c.as_str()),
-                ];
-                ConnMetrics {
-                    bytes_sent: registry.counter(names::BYTES_SENT, &labels),
-                    sends: registry.counter(names::SENDS, &labels),
-                    peak: registry.gauge(names::FIFO_PEAK_OCCUPANCY, &labels),
-                    bytes_received: registry.counter(names::BYTES_RECEIVED, &labels),
-                    recvs: registry.counter(names::RECVS, &labels),
-                }
-            })
-            .collect();
-        let ops = ALL_OPS
-            .iter()
-            .map(|op| {
-                (
-                    registry.counter(names::INSTRUCTIONS, &[("op", op.mnemonic())]),
-                    registry.histogram(names::INSTR_LATENCY_NS, &[("op", op.mnemonic())]),
-                )
-            })
-            .collect();
-        Self {
-            sem_wait_ns: registry.counter(names::SEM_WAIT_NS, &[]),
-            fifo_send_block_ns: registry.counter(names::FIFO_SEND_BLOCK_NS, &[]),
-            fifo_recv_block_ns: registry.counter(names::FIFO_RECV_BLOCK_NS, &[]),
-            conns,
-            ops,
-            registry,
-        }
-    }
-
-    /// A virtual-time interval as integer "nanoseconds".
-    fn ns(us: f64) -> u64 {
-        (us * 1000.0).round().max(0.0) as u64
-    }
-}
-
-#[derive(Debug, Clone, Copy, PartialEq)]
-enum Ev {
-    TbWake { tb: usize, gen: u64 },
-    FlowDone { flow: FlowId, generation: u64 },
-    Deliver { conn: usize },
-}
-
+/// Where a `(src, dst, channel)` connection lives: the owning shard and
+/// local id of its (send-side) state, plus the receive half's location
+/// when the connection is split across nodes.
 #[derive(Debug, Clone, Copy)]
-struct QueuedEvent {
-    time: f64,
-    seq: u64,
-    ev: Ev,
+struct ConnRef {
+    shard: usize,
+    id: usize,
+    recv: Option<(usize, usize)>,
 }
 
-impl PartialEq for QueuedEvent {
-    fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
-    }
-}
-impl Eq for QueuedEvent {}
-impl Ord for QueuedEvent {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // Min-heap by (time, seq).
-        other
-            .time
-            .total_cmp(&self.time)
-            .then_with(|| other.seq.cmp(&self.seq))
-    }
-}
-impl PartialOrd for QueuedEvent {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
+/// A fully constructed simulation, ready for the round driver.
+struct Built {
+    shards: Vec<Shard>,
+    registry: Registry,
+    injector: Option<FaultInjector>,
+    protocol: Protocol,
+    params: msccl_topology::ProtocolParams,
+    num_tiles: usize,
+    tile_bytes: f64,
+    chunk_bytes: f64,
+    /// Minimum cross-node message latency (`alpha × alpha_factor`) over
+    /// all split connections — the conservative lookahead. `None` when
+    /// no connection crosses nodes (one round processes everything).
+    lookahead: Option<f64>,
+    /// Engine-level trace events that belong to no shard (the kernel
+    /// launch marker), prepended when assembling the merged trace.
+    prelude: Vec<TraceEvent>,
 }
 
-#[derive(Debug, Clone, Copy, PartialEq)]
-enum Stage {
-    /// About to start the current instruction (deps unchecked).
-    Start,
-    /// Receive processing timer running.
-    RecvBusy,
-    /// Ready to enter the send half.
-    SendStart,
-    /// Send-side overhead/staging timer running.
-    SendBusy,
-    /// Waiting for the instruction's own intra-node flow to finish.
-    FlowWait,
-    /// Local compute timer running.
-    LocalBusy,
-}
-
-struct Conn {
-    /// Interned resource indices of the transfer path.
-    resources: Vec<usize>,
-    alpha_us: f64,
-    cross_node: bool,
-    local: bool,
-    /// Demand cap for flows on this connection (TB injection rate for
-    /// NVLink, NIC engine rate for RDMA).
-    demand_gbps: f64,
-    slots: usize,
-    in_flight: usize,
-    available: usize,
-    waiting_sender: Option<usize>,
-    waiting_receiver: Option<usize>,
-    /// `(src, dst, channel)` identity plus send/recv sequence counters,
-    /// for trace events.
-    key: (usize, usize, usize),
-    send_seq: u64,
-    recv_seq: u64,
-    /// Payload sizes of tiles sent but not yet received, so the receive
-    /// event reports the bytes the matching send put in flight (an
-    /// injected duplicate delivery falls back to the instruction's own
-    /// payload).
-    pending_bytes: VecDeque<u64>,
-    /// Injected fault actions recorded at send start for the in-flight
-    /// tile, consumed when its `Deliver` event is scheduled. A connection
-    /// has exactly one sender thread block and that block does not reach
-    /// its next send before the current tile's delivery is scheduled, so
-    /// one pending slot suffices.
-    pending_delivery: Vec<DeliveryAction>,
-}
-
-struct Tb {
-    rank: usize,
-    local_id: usize,
-    num_instructions: usize,
-    send_conn: Option<usize>,
-    recv_conn: Option<usize>,
-    tile: usize,
-    pc: usize,
-    stage: Stage,
-    completed: u64,
-    gen: u64,
-    done: bool,
-    finish_time: f64,
-    busy_us: f64,
-    flow_start_us: f64,
-    /// (target completed-count, waiting tb, its gen at registration).
-    waiters: Vec<(u64, usize, u64)>,
-    // Trace bookkeeping: which boundary events are already emitted for the
-    // current tile/instruction, and which wait/block interval is open.
-    tile_begun: bool,
-    instr_begun: bool,
-    open_wait: Option<(usize, u64)>,
-    open_recv_block: bool,
-    open_send_block: bool,
-    // Metric bookkeeping: virtual timestamps at which the open wait/block
-    // interval or the current instruction began (valid only while the
-    // matching flag above is set).
-    wait_since: f64,
-    recv_block_since: f64,
-    send_block_since: f64,
-    instr_begin_us: f64,
-}
-
-struct FlowInfo {
-    conn: usize,
-    sender_tb: Option<usize>,
-    sender_gen: u64,
-    alpha_us: f64,
-}
-
-/// Simulates one kernel executing `ir` with a per-GPU buffer of
-/// `buffer_bytes` bytes.
-///
-/// # Errors
-///
-/// Returns [`SimError`] for mismatched machines, unreachable pairs,
-/// SM over-subscription or deadlocked hand-written IR.
-pub fn simulate(
-    ir: &IrProgram,
-    config: &SimConfig,
-    buffer_bytes: u64,
-) -> Result<SimReport, SimError> {
+/// Validates the program against the machine and builds one shard per
+/// machine node.
+fn build(ir: &IrProgram, config: &SimConfig, buffer_bytes: u64) -> Result<Built, SimError> {
     let machine = &config.machine;
     if ir.num_ranks() > machine.num_ranks() {
         return Err(SimError::RankMismatch {
@@ -368,7 +163,6 @@ pub fn simulate(
         }
         None => None,
     };
-    let injector = injector.as_ref();
     let protocol = config.protocol.or(ir.protocol).unwrap_or(Protocol::Simple);
     let mut params = protocol.params();
     if let Some(overhead) = config.tile_overhead_us {
@@ -379,16 +173,26 @@ pub fn simulate(
     let exact_tiles = (chunk_bytes / params.slot_bytes as f64).ceil().max(1.0) as usize;
     let num_tiles = exact_tiles.min(config.max_tiles.max(1));
     let tile_bytes = chunk_bytes / num_tiles as f64;
-    let recv_overhead_us = 0.4;
 
-    // ---- Build connections and thread blocks.
-    let mut table = ResourceTable::new();
-    let mut conns: Vec<Conn> = Vec::new();
-    let mut conn_ids: HashMap<(usize, usize, usize), usize> = HashMap::new();
-    let mut tbs: Vec<Tb> = Vec::new();
-    let mut instrs: Vec<Vec<IrInstruction>> = Vec::new();
-    let mut tb_index: HashMap<(usize, usize), usize> = HashMap::new();
+    // ---- One shard per machine node that hosts any rank. The metrics
+    // registry is shared: each shard records into its own registry shard,
+    // and both halves of a split connection resolve the same samples.
+    let num_shards = ir
+        .gpus
+        .iter()
+        .map(|g| machine.node_of(g.rank))
+        .max()
+        .unwrap_or(0)
+        + 1;
+    let registry = Registry::new(num_shards.clamp(1, 16));
+    let mut shards: Vec<Shard> = (0..num_shards)
+        .map(|i| Shard::new(i, ShardMetrics::new(&registry, i), config.record_trace))
+        .collect();
+
+    let mut conn_ids: HashMap<(usize, usize, usize), ConnRef> = HashMap::new();
+    let mut lookahead: Option<f64> = None;
     for gpu in &ir.gpus {
+        let home = machine.node_of(gpu.rank);
         for tb in &gpu.threadblocks {
             let send_conn = match tb.send_peer {
                 Some(peer) => {
@@ -398,7 +202,6 @@ pub fn simulate(
                             dst: peer,
                         },
                     )?;
-                    let id = conns.len();
                     let cross_node = path.is_cross_node();
                     let local = path.is_local();
                     let demand_gbps = if local {
@@ -411,15 +214,14 @@ pub fn simulate(
                     // An injected link-latency spike multiplies the path's
                     // base latency for every transfer on this connection.
                     let spike = injector
+                        .as_ref()
                         .and_then(|inj| inj.link_spike(gpu.rank, peer))
                         .unwrap_or(1.0);
-                    conns.push(Conn {
-                        resources: path
-                            .resources
-                            .iter()
-                            .map(|&(r, cap)| table.intern(r, cap))
-                            .collect(),
-                        alpha_us: path.alpha_us * spike,
+                    let alpha_us = path.alpha_us * spike;
+                    let key = (gpu.rank, peer, tb.channel);
+                    let proto = |resources| crate::actor::Conn {
+                        resources,
+                        alpha_us,
                         cross_node,
                         local,
                         demand_gbps,
@@ -428,200 +230,147 @@ pub fn simulate(
                         available: 0,
                         waiting_sender: None,
                         waiting_receiver: None,
-                        key: (gpu.rank, peer, tb.channel),
+                        key,
                         send_seq: 0,
                         recv_seq: 0,
-                        pending_bytes: VecDeque::new(),
+                        pending_bytes: std::collections::VecDeque::new(),
                         pending_delivery: Vec::new(),
-                    });
-                    conn_ids.insert((gpu.rank, peer, tb.channel), id);
+                        remote_recv: None,
+                        remote_send: None,
+                    };
+                    let id = if cross_node {
+                        // Split: the send half (and the egress NIC queue)
+                        // lives with the sending node, the receive half
+                        // (and the ingress queue) with the receiving node.
+                        // The halves talk through timestamped tile/credit
+                        // messages. The spiked latency seeds the
+                        // conservative lookahead.
+                        let a = alpha_us * params.alpha_factor;
+                        lookahead = Some(lookahead.map_or(a, |l: f64| l.min(a)));
+                        let away = machine.node_of(peer);
+                        let send_id = shards[home].conns.len();
+                        let recv_id = shards[away].conns.len();
+                        let (r, cap) = path.resources[0];
+                        let egress = shards[home].table.intern(r, cap);
+                        let mut send_half = proto(vec![egress]);
+                        send_half.remote_recv = Some((away, recv_id));
+                        shards[home].conns.push(send_half);
+                        shards[home].metrics.push_conn(&registry, key);
+                        let (r, cap) = path.resources[1];
+                        let ingress = shards[away].table.intern(r, cap);
+                        let mut recv_half = proto(vec![ingress]);
+                        recv_half.remote_send = Some((home, send_id));
+                        shards[away].conns.push(recv_half);
+                        shards[away].metrics.push_conn(&registry, key);
+                        conn_ids.insert(
+                            key,
+                            ConnRef {
+                                shard: home,
+                                id: send_id,
+                                recv: Some((away, recv_id)),
+                            },
+                        );
+                        send_id
+                    } else {
+                        let id = shards[home].conns.len();
+                        let resources = path
+                            .resources
+                            .iter()
+                            .map(|&(r, cap)| shards[home].table.intern(r, cap))
+                            .collect();
+                        shards[home].conns.push(proto(resources));
+                        shards[home].metrics.push_conn(&registry, key);
+                        conn_ids.insert(
+                            key,
+                            ConnRef {
+                                shard: home,
+                                id,
+                                recv: None,
+                            },
+                        );
+                        id
+                    };
                     Some(id)
                 }
                 None => None,
             };
-            tb_index.insert((gpu.rank, tb.id), tbs.len());
-            instrs.push(tb.instructions.clone());
-            tbs.push(Tb {
-                rank: gpu.rank,
-                local_id: tb.id,
-                num_instructions: tb.instructions.len(),
-                send_conn,
-                recv_conn: None, // resolved below, once all senders exist
-                tile: 0,
-                pc: 0,
-                stage: Stage::Start,
-                completed: 0,
-                gen: 0,
-                done: false,
-                finish_time: 0.0,
-                busy_us: 0.0,
-                flow_start_us: 0.0,
-                waiters: Vec::new(),
-                tile_begun: false,
-                instr_begun: false,
-                open_wait: None,
-                open_recv_block: false,
-                open_send_block: false,
-                wait_since: 0.0,
-                recv_block_since: 0.0,
-                send_block_since: 0.0,
-                instr_begin_us: 0.0,
-            });
+            let idx = shards[home].tbs.len();
+            shards[home].tb_index.insert((gpu.rank, tb.id), idx);
+            shards[home]
+                .tb_lens
+                .insert((gpu.rank, tb.id), tb.instructions.len() as u64);
+            shards[home].instrs.push(tb.instructions.clone());
+            shards[home]
+                .tbs
+                .push(Tb::new(gpu.rank, tb.id, tb.instructions.len(), send_conn));
         }
     }
     for gpu in &ir.gpus {
+        let home = machine.node_of(gpu.rank);
         for tb in &gpu.threadblocks {
             if let Some(peer) = tb.recv_peer {
-                let conn = *conn_ids
+                let r = conn_ids
                     .get(&(peer, gpu.rank, tb.channel))
                     .expect("structure check guarantees a matching sender");
-                tbs[tb_index[&(gpu.rank, tb.id)]].recv_conn = Some(conn);
+                let conn = match r.recv {
+                    Some((shard, id)) => {
+                        debug_assert_eq!(shard, home);
+                        id
+                    }
+                    None => {
+                        debug_assert_eq!(r.shard, home);
+                        r.id
+                    }
+                };
+                let idx = shards[home].tb_index[&(gpu.rank, tb.id)];
+                shards[home].tbs[idx].recv_conn = Some(conn);
             }
         }
     }
-    let tb_lens: HashMap<(usize, usize), u64> = ir
-        .gpus
-        .iter()
-        .flat_map(|g| {
-            g.threadblocks
-                .iter()
-                .map(|t| ((g.rank, t.id), t.instructions.len() as u64))
-        })
-        .collect();
 
-    let metrics = SimMetrics::new(&conns.iter().map(|c| c.key).collect::<Vec<_>>());
-
-    // ---- Event loop.
-    let mut trace: Option<Trace> = config
-        .record_trace
-        .then(|| Trace::new(ClockDomain::Virtual));
-    emit(&mut trace, 0.0, 0, 0, EventKind::KernelLaunch);
-    let mut heap: BinaryHeap<QueuedEvent> = BinaryHeap::new();
-    let mut seq = 0u64;
+    let prelude = if config.record_trace {
+        vec![TraceEvent {
+            ts_us: 0.0,
+            rank: 0,
+            tb: 0,
+            kind: EventKind::KernelLaunch,
+        }]
+    } else {
+        Vec::new()
+    };
     let start = if config.include_launch {
         machine.launch_us() + config.tb_setup_us * ir.max_threadblocks_per_rank() as f64
     } else {
         0.0
     };
-    for tb in 0..tbs.len() {
-        heap.push(QueuedEvent {
-            time: start,
-            seq,
-            ev: Ev::TbWake { tb, gen: 0 },
-        });
-        seq += 1;
+    for shard in &mut shards {
+        shard.seal(start);
     }
-    let mut net = FlowNet::new(&table);
-    // Cross-node transfers go through the NICs' DMA engines, which drain
-    // their queues serially at line rate: an O(1) FIFO-server model (the
-    // transfer starts when both endpoint NICs are free, and occupies both
-    // for its serialization time). Intra-node NVLink transfers keep the
-    // fluid equal-share model, where concurrency is bounded by the thread
-    // block count.
-    let mut timeline: Vec<TimelineEntry> = Vec::new();
-    let mut nic_free: Vec<f64> = vec![0.0; table.len()];
-    let mut nic_busy: Vec<f64> = vec![0.0; table.len()];
-    let mut nic_bytes: Vec<f64> = vec![0.0; table.len()];
-    let mut cross_flows = 0usize;
-    let mut resched_scratch: Vec<Reschedule> = Vec::new();
-    let mut flow_info: HashMap<FlowId, FlowInfo> = HashMap::new();
-    let mut finished_tbs = 0usize;
-    let total_tbs = tbs.len();
-    let mut last_time = start;
-    let mut instructions_executed = 0usize;
+    Ok(Built {
+        shards,
+        registry,
+        injector,
+        protocol,
+        params,
+        num_tiles,
+        tile_bytes,
+        chunk_bytes,
+        lookahead,
+        prelude,
+    })
+}
 
-    // Helper macro-ish closures are impractical with split borrows; the
-    // engine uses an explicit work loop instead.
-    let mut events_processed = 0u64;
-    let mut max_heap = 0usize;
-    while finished_tbs < total_tbs {
-        let Some(QueuedEvent { time, ev, .. }) = heap.pop() else {
-            return Err(SimError::Stuck {
-                at_us: f64_bits::from_f64(last_time),
-                fired_faults: injector.map(FaultInjector::fired).unwrap_or_default(),
-            });
-        };
-        events_processed += 1;
-        max_heap = max_heap.max(heap.len());
-        last_time = last_time.max(time);
-        match ev {
-            Ev::TbWake { tb, gen } => {
-                if tbs[tb].done || tbs[tb].gen != gen {
-                    continue;
-                }
-                advance_tb(
-                    tb,
-                    time,
-                    &instrs,
-                    &mut tbs,
-                    &mut conns,
-                    &mut net,
-                    &mut nic_free,
-                    &mut nic_busy,
-                    &mut nic_bytes,
-                    &mut cross_flows,
-                    &mut timeline,
-                    &mut resched_scratch,
-                    &mut flow_info,
-                    &mut heap,
-                    &mut seq,
-                    &tb_lens,
-                    &tb_index,
-                    &params,
-                    config,
-                    tile_bytes,
-                    num_tiles,
-                    recv_overhead_us,
-                    &mut finished_tbs,
-                    &mut instructions_executed,
-                    &mut trace,
-                    &metrics,
-                    injector,
-                )?;
-            }
-            Ev::FlowDone { flow, generation } => {
-                resched_scratch.clear();
-                if !net.complete(time, flow, generation, &mut resched_scratch) {
-                    continue;
-                }
-                push_reschedules(&mut heap, &mut seq, &resched_scratch);
-                let info = flow_info.remove(&flow).expect("flow info exists");
-                push_delivery(
-                    &mut heap,
-                    &mut seq,
-                    info.conn,
-                    time + info.alpha_us,
-                    &mut conns,
-                );
-                if let Some(sender) = info.sender_tb {
-                    // Intra-node: the sending thread block was occupied
-                    // by the copy; it resumes now.
-                    debug_assert_eq!(tbs[sender].stage, Stage::FlowWait);
-                    heap.push(QueuedEvent {
-                        time,
-                        seq,
-                        ev: Ev::TbWake {
-                            tb: sender,
-                            gen: info.sender_gen,
-                        },
-                    });
-                    seq += 1;
-                }
-            }
-            Ev::Deliver { conn } => {
-                conns[conn].available += 1;
-                if let Some(rx) = conns[conn].waiting_receiver.take() {
-                    let gen = tbs[rx].gen;
-                    heap.push(QueuedEvent {
-                        time,
-                        seq,
-                        ev: Ev::TbWake { tb: rx, gen },
-                    });
-                    seq += 1;
-                }
-            }
-        }
-    }
+/// Merges the per-shard results into one report and charges the epoch
+/// checkpoint model.
+fn assemble(ir: &IrProgram, config: &SimConfig, mut built: Built) -> SimReport {
+    let Built {
+        ref mut shards,
+        ref registry,
+        protocol,
+        num_tiles,
+        chunk_bytes,
+        ..
+    } = built;
 
     // ---- Epoch checkpoint cost. The schedule resolves exactly as the
     // runtime resolves it — same verified cut chain, same Auto traffic
@@ -655,704 +404,173 @@ pub fn simulate(
         0.0
     };
     if epoch_boundaries > 0 {
-        metrics
-            .registry
+        registry
             .counter(names::EPOCHS_COMPLETED, &[])
             .add(0, epoch_boundaries as u64);
     }
 
-    Ok(SimReport {
-        total_us: tbs.iter().map(|t| t.finish_time).fold(last_time, f64::max) + epoch_us,
-        instructions: instructions_executed,
-        flows: net.total_flows() + cross_flows,
-        max_concurrent_flows: net.max_concurrent(),
+    let last_time = shards
+        .iter()
+        .map(|s| s.last_time)
+        .fold(f64::NEG_INFINITY, f64::max);
+    let total_us = shards
+        .iter()
+        .flat_map(|s| s.tbs.iter())
+        .map(|t| t.finish_time)
+        .fold(last_time, f64::max)
+        + epoch_us;
+    let timeline = shards
+        .iter_mut()
+        .flat_map(|s| std::mem::take(&mut s.timeline))
+        .collect();
+    let resource_usage = {
+        // Every resource is owned by exactly one shard: intra-node ports
+        // by their node, a cross-node link's egress queue by the sending
+        // node and its ingress queue by the receiving node — so merging
+        // is concatenation.
+        let mut usage: Vec<_> = shards
+            .iter()
+            .flat_map(|s| {
+                let carried = s.net.carried_bytes();
+                s.table
+                    .entries()
+                    .map(|(id, idx, cap)| {
+                        let bytes = carried[idx] + s.nic_bytes[idx];
+                        let busy = s.nic_busy[idx] + carried[idx] / (cap * 1000.0);
+                        (id, bytes, busy)
+                    })
+                    .collect::<Vec<_>>()
+            })
+            .filter(|&(_, bytes, _)| bytes > 0.0)
+            .collect();
+        usage.sort_by_key(|&(id, _, _)| id);
+        usage
+    };
+    let trace = if config.record_trace {
+        let mut buffers = Vec::with_capacity(shards.len() + 1);
+        buffers.push(std::mem::take(&mut built.prelude));
+        for s in &mut built.shards {
+            buffers.push(s.trace.take().unwrap_or_default());
+        }
+        Some(Trace::from_buffers(ClockDomain::Virtual, buffers))
+    } else {
+        None
+    };
+    let shards = &built.shards;
+    SimReport {
+        total_us,
+        instructions: shards.iter().map(|s| s.instructions_executed).sum(),
+        flows: shards
+            .iter()
+            .map(|s| s.net.total_flows() + s.cross_flows)
+            .sum(),
+        max_concurrent_flows: shards.iter().map(|s| s.net.max_concurrent()).sum(),
         protocol,
         tiles: num_tiles,
-        busy_us: tbs.iter().map(|t| t.busy_us).sum(),
-        events: events_processed,
-        max_heap,
+        busy_us: shards
+            .iter()
+            .flat_map(|s| s.tbs.iter())
+            .map(|t| t.busy_us)
+            .sum(),
+        events: shards.iter().map(|s| s.events).sum(),
+        max_heap: shards.iter().map(|s| s.max_heap).max().unwrap_or(0),
         timeline,
-        resource_usage: {
-            let carried = net.carried_bytes();
-            let mut usage: Vec<_> = table
-                .entries()
-                .map(|(id, idx, cap)| {
-                    let bytes = carried[idx] + nic_bytes[idx];
-                    let busy = nic_busy[idx] + carried[idx] / (cap * 1000.0);
-                    (id, bytes, busy)
-                })
-                .filter(|&(_, bytes, _)| bytes > 0.0)
-                .collect();
-            usage.sort_by_key(|&(id, _, _)| id);
-            usage
-        },
-        trace: {
-            if let Some(t) = trace.as_mut() {
-                t.sort();
-            }
-            trace
-        },
+        resource_usage,
+        trace,
         epoch_boundaries,
         epoch_us,
-        metrics: metrics.registry.snapshot(),
-    })
-}
-
-fn push_reschedules(heap: &mut BinaryHeap<QueuedEvent>, seq: &mut u64, rs: &[Reschedule]) {
-    for r in rs {
-        heap.push(QueuedEvent {
-            time: r.complete_at_us,
-            seq: *seq,
-            ev: Ev::FlowDone {
-                flow: r.flow,
-                generation: r.generation,
-            },
-        });
-        *seq += 1;
+        metrics: built.registry.snapshot(),
     }
 }
 
-/// Schedules a tile delivery on `conn` at `base_time`, honouring any
-/// injected fault actions recorded when the send started: a drop
-/// suppresses the event entirely (the receiver starves and the run wedges
-/// into [`SimError::Stuck`]), a delay postpones it, a duplicate schedules
-/// it twice. Payload corruption has no timing effect — the simulator
-/// moves no data — so it is ignored here.
-fn push_delivery(
-    heap: &mut BinaryHeap<QueuedEvent>,
-    seq: &mut u64,
-    conn: usize,
-    base_time: f64,
-    conns: &mut [Conn],
-) {
-    let actions = std::mem::take(&mut conns[conn].pending_delivery);
-    let mut copies = 1usize;
-    let mut delay_us = 0.0;
-    for action in actions {
-        match action {
-            DeliveryAction::Drop => return,
-            DeliveryAction::Delay(d) => delay_us += d.as_secs_f64() * 1e6,
-            DeliveryAction::Duplicate => copies += 1,
-            DeliveryAction::Corrupt { .. } => {}
-        }
-    }
-    for _ in 0..copies {
-        heap.push(QueuedEvent {
-            time: base_time + delay_us,
-            seq: *seq,
-            ev: Ev::Deliver { conn },
-        });
-        *seq += 1;
-    }
-}
-
-/// Runs one thread block forward as far as it can go at `now`.
+/// Simulates one kernel executing `ir` with a per-GPU buffer of
+/// `buffer_bytes` bytes.
+///
+/// [`SimConfig::parallel`] selects the engine: `None` (or 0/1 threads)
+/// runs the shards serially, larger values run them on worker threads.
+/// Both paths drive the same per-node shards through the same
+/// conservative rounds, so their results are bit-identical (see
+/// `docs/simulator.md`).
 ///
 /// # Errors
 ///
-/// Returns [`SimError::InjectedFault`] when the configured fault plan
-/// kills this thread block at the current step.
-#[allow(clippy::too_many_arguments)]
-fn advance_tb(
-    me: usize,
-    now: f64,
-    instrs: &[Vec<IrInstruction>],
-    tbs: &mut [Tb],
-    conns: &mut [Conn],
-    net: &mut FlowNet,
-    nic_free: &mut [f64],
-    nic_busy: &mut [f64],
-    nic_bytes: &mut [f64],
-    cross_flows: &mut usize,
-    timeline: &mut Vec<TimelineEntry>,
-    resched_scratch: &mut Vec<Reschedule>,
-    flow_info: &mut HashMap<FlowId, FlowInfo>,
-    heap: &mut BinaryHeap<QueuedEvent>,
-    seq: &mut u64,
-    tb_lens: &HashMap<(usize, usize), u64>,
-    tb_index: &HashMap<(usize, usize), usize>,
-    params: &msccl_topology::ProtocolParams,
+/// Returns [`SimError`] for mismatched machines, unreachable pairs,
+/// SM over-subscription or deadlocked hand-written IR.
+pub fn simulate(
+    ir: &IrProgram,
     config: &SimConfig,
-    tile_bytes: f64,
-    num_tiles: usize,
-    recv_overhead_us: f64,
-    finished_tbs: &mut usize,
-    instructions_executed: &mut usize,
-    trace: &mut Option<Trace>,
-    metrics: &SimMetrics,
-    injector: Option<&FaultInjector>,
-) -> Result<(), SimError> {
-    let machine = &config.machine;
-    loop {
-        if tbs[me].pc >= tbs[me].num_instructions {
-            if tbs[me].tile_begun {
-                let tile = tbs[me].tile;
-                emit(
-                    trace,
-                    now,
-                    tbs[me].rank,
-                    tbs[me].local_id,
-                    EventKind::TileEnd { tile },
-                );
-                tbs[me].tile_begun = false;
-            }
-            tbs[me].pc = 0;
-            tbs[me].tile += 1;
-            if tbs[me].tile >= num_tiles || tbs[me].num_instructions == 0 {
-                tbs[me].done = true;
-                tbs[me].finish_time = now;
-                *finished_tbs += 1;
-                return Ok(());
-            }
-        }
-        if !tbs[me].tile_begun {
-            let tile = tbs[me].tile;
-            emit(
-                trace,
-                now,
-                tbs[me].rank,
-                tbs[me].local_id,
-                EventKind::TileBegin { tile },
-            );
-            tbs[me].tile_begun = true;
-        }
-        let pc = tbs[me].pc;
-        let instr = &instrs[me][pc];
-        let payload = instr.count as f64 * tile_bytes;
-        match tbs[me].stage {
-            Stage::Start => {
-                // Injected block faults strike as the instruction starts,
-                // before dependency checks — mirroring the threaded
-                // runtime, where the hook sits at the top of the
-                // per-instruction loop. The plan fires on tile 0 only
-                // (steps are program counters, and each spec is one-shot).
-                if tbs[me].tile == 0 {
-                    if let Some(action) =
-                        injector.and_then(|inj| inj.on_block(tbs[me].rank, tbs[me].local_id, pc))
-                    {
-                        match action {
-                            BlockAction::Stall(d) => {
-                                // Freeze the block, then re-enter this
-                                // stage; the spec is spent so the retry
-                                // proceeds normally.
-                                tbs[me].gen += 1;
-                                let gen = tbs[me].gen;
-                                heap.push(QueuedEvent {
-                                    time: now + d.as_secs_f64() * 1e6,
-                                    seq: *seq,
-                                    ev: Ev::TbWake { tb: me, gen },
-                                });
-                                *seq += 1;
-                                return Ok(());
-                            }
-                            BlockAction::Kill => {
-                                return Err(SimError::InjectedFault {
-                                    rank: tbs[me].rank,
-                                    tb: tbs[me].local_id,
-                                    step: pc,
-                                    fault: format!(
-                                        "kill block r{} tb{} step{}",
-                                        tbs[me].rank, tbs[me].local_id, pc
-                                    ),
-                                    at_us: f64_bits::from_f64(now),
-                                });
-                            }
-                        }
-                    }
-                }
-                // Cross-thread-block dependencies.
-                let tile = tbs[me].tile as u64;
-                let mut blocked = false;
-                for d in &instr.deps {
-                    let dep_key = (tbs[me].rank, d.tb);
-                    let dep_idx = tb_index[&dep_key];
-                    let target = tile * tb_lens[&dep_key] + d.step as u64 + 1;
-                    if tbs[dep_idx].completed < target {
-                        if tbs[me].open_wait != Some((d.tb, target)) {
-                            // A previous registration may have been on an
-                            // earlier dependency of the same instruction.
-                            if let Some((ptb, pt)) = tbs[me].open_wait.take() {
-                                metrics
-                                    .sem_wait_ns
-                                    .add(0, SimMetrics::ns(now - tbs[me].wait_since));
-                                emit(
-                                    trace,
-                                    now,
-                                    tbs[me].rank,
-                                    tbs[me].local_id,
-                                    EventKind::SemWaitExit {
-                                        dep_tb: ptb,
-                                        target: pt,
-                                    },
-                                );
-                            }
-                            emit(
-                                trace,
-                                now,
-                                tbs[me].rank,
-                                tbs[me].local_id,
-                                EventKind::SemWaitEnter {
-                                    dep_tb: d.tb,
-                                    target,
-                                },
-                            );
-                            tbs[me].open_wait = Some((d.tb, target));
-                            tbs[me].wait_since = now;
-                        }
-                        tbs[me].gen += 1;
-                        let gen = tbs[me].gen;
-                        tbs[dep_idx].waiters.push((target, me, gen));
-                        blocked = true;
-                        break;
-                    }
-                }
-                if blocked {
-                    return Ok(());
-                }
-                if let Some((dep_tb, target)) = tbs[me].open_wait.take() {
-                    metrics
-                        .sem_wait_ns
-                        .add(0, SimMetrics::ns(now - tbs[me].wait_since));
-                    emit(
-                        trace,
-                        now,
-                        tbs[me].rank,
-                        tbs[me].local_id,
-                        EventKind::SemWaitExit { dep_tb, target },
-                    );
-                }
-                if !tbs[me].instr_begun {
-                    emit(
-                        trace,
-                        now,
-                        tbs[me].rank,
-                        tbs[me].local_id,
-                        EventKind::InstrBegin {
-                            step: pc,
-                            tile: tbs[me].tile,
-                            op: instr.op,
-                        },
-                    );
-                    tbs[me].instr_begun = true;
-                    tbs[me].instr_begin_us = now;
-                }
-                if instr.op.has_recv() {
-                    let conn = tbs[me].recv_conn.expect("recv needs a connection");
-                    let (src, _, channel) = conns[conn].key;
-                    if conns[conn].available == 0 {
-                        if !tbs[me].open_recv_block {
-                            emit(
-                                trace,
-                                now,
-                                tbs[me].rank,
-                                tbs[me].local_id,
-                                EventKind::RecvBlock { src, channel },
-                            );
-                            tbs[me].open_recv_block = true;
-                            tbs[me].recv_block_since = now;
-                        }
-                        conns[conn].waiting_receiver = Some(me);
-                        tbs[me].gen += 1;
-                        return Ok(());
-                    }
-                    if tbs[me].open_recv_block {
-                        metrics
-                            .fifo_recv_block_ns
-                            .add(0, SimMetrics::ns(now - tbs[me].recv_block_since));
-                        emit(
-                            trace,
-                            now,
-                            tbs[me].rank,
-                            tbs[me].local_id,
-                            EventKind::RecvResume { src, channel },
-                        );
-                        tbs[me].open_recv_block = false;
-                    }
-                    let bytes = conns[conn]
-                        .pending_bytes
-                        .pop_front()
-                        .unwrap_or_else(|| payload.round() as u64);
-                    emit(
-                        trace,
-                        now,
-                        tbs[me].rank,
-                        tbs[me].local_id,
-                        EventKind::Recv {
-                            src,
-                            channel,
-                            seq: conns[conn].recv_seq,
-                            bytes,
-                        },
-                    );
-                    let cm = &metrics.conns[conn];
-                    cm.bytes_received.add(0, bytes);
-                    cm.recvs.inc(0);
-                    conns[conn].recv_seq += 1;
-                    conns[conn].available -= 1;
-                    // Receive-side processing. A *fused* instruction
-                    // forwards the data straight out of the FIFO slot —
-                    // the send flow is the only pass over the data (the
-                    // global-memory-access saving of §4.3) — so only
-                    // unfused receives pay a copy/reduce out of the slot.
-                    // Under the direct-copy model the data already sits at
-                    // its destination and only reductions touch it.
-                    let copy_out =
-                        if instr.op.has_send() || (config.direct_copy && !instr.op.reduces()) {
-                            0.0
-                        } else {
-                            payload / (machine.local_gbps() * 1000.0)
-                        };
-                    let busy = config.instr_overhead_us + recv_overhead_us + copy_out;
-                    tbs[me].stage = Stage::RecvBusy;
-                    tbs[me].busy_us += busy;
-                    if config.record_timeline {
-                        timeline.push(TimelineEntry {
-                            rank: tbs[me].rank,
-                            tb: tbs[me].local_id,
-                            start_us: now,
-                            end_us: now + busy,
-                            activity: Activity::Recv,
-                        });
-                    }
-                    tbs[me].gen += 1;
-                    let gen = tbs[me].gen;
-                    heap.push(QueuedEvent {
-                        time: now + busy,
-                        seq: *seq,
-                        ev: Ev::TbWake { tb: me, gen },
-                    });
-                    *seq += 1;
-                    return Ok(());
-                } else if instr.op.has_send() {
-                    tbs[me].stage = Stage::SendStart;
-                } else {
-                    // Local copy/reduce.
-                    let busy = config.instr_overhead_us + payload / (machine.local_gbps() * 1000.0);
-                    tbs[me].stage = Stage::LocalBusy;
-                    tbs[me].busy_us += busy;
-                    if config.record_timeline {
-                        timeline.push(TimelineEntry {
-                            rank: tbs[me].rank,
-                            tb: tbs[me].local_id,
-                            start_us: now,
-                            end_us: now + busy,
-                            activity: Activity::Local,
-                        });
-                    }
-                    tbs[me].gen += 1;
-                    let gen = tbs[me].gen;
-                    heap.push(QueuedEvent {
-                        time: now + busy,
-                        seq: *seq,
-                        ev: Ev::TbWake { tb: me, gen },
-                    });
-                    *seq += 1;
-                    return Ok(());
-                }
-            }
-            Stage::RecvBusy => {
-                // Slot drained: release the sender's FIFO slot. Saturating
-                // because an injected duplicate delivery can let the
-                // receiver drain more tiles than the sender put in flight.
-                let conn = tbs[me].recv_conn.expect("recv needs a connection");
-                conns[conn].in_flight = conns[conn].in_flight.saturating_sub(1);
-                if let Some(tx) = conns[conn].waiting_sender.take() {
-                    let gen = tbs[tx].gen;
-                    heap.push(QueuedEvent {
-                        time: now,
-                        seq: *seq,
-                        ev: Ev::TbWake { tb: tx, gen },
-                    });
-                    *seq += 1;
-                }
-                if instr.op.has_send() {
-                    tbs[me].stage = Stage::SendStart;
-                } else {
-                    complete_instruction(
-                        me,
-                        now,
-                        tbs,
-                        heap,
-                        seq,
-                        instructions_executed,
-                        instr.op,
-                        instr.has_dep,
-                        trace,
-                        metrics,
-                    );
-                }
-            }
-            Stage::SendStart => {
-                let conn = tbs[me].send_conn.expect("send needs a connection");
-                let (_, dst, channel) = conns[conn].key;
-                if conns[conn].in_flight >= conns[conn].slots {
-                    if !tbs[me].open_send_block {
-                        emit(
-                            trace,
-                            now,
-                            tbs[me].rank,
-                            tbs[me].local_id,
-                            EventKind::SendBlock { dst, channel },
-                        );
-                        tbs[me].open_send_block = true;
-                        tbs[me].send_block_since = now;
-                    }
-                    conns[conn].waiting_sender = Some(me);
-                    tbs[me].gen += 1;
-                    return Ok(());
-                }
-                if tbs[me].open_send_block {
-                    metrics
-                        .fifo_send_block_ns
-                        .add(0, SimMetrics::ns(now - tbs[me].send_block_since));
-                    emit(
-                        trace,
-                        now,
-                        tbs[me].rank,
-                        tbs[me].local_id,
-                        EventKind::SendResume { dst, channel },
-                    );
-                    tbs[me].open_send_block = false;
-                }
-                let bytes = payload.round() as u64;
-                emit(
-                    trace,
-                    now,
-                    tbs[me].rank,
-                    tbs[me].local_id,
-                    EventKind::Send {
-                        dst,
-                        channel,
-                        seq: conns[conn].send_seq,
-                        bytes,
-                    },
-                );
-                conns[conn].pending_bytes.push_back(bytes);
-                if let Some(inj) = injector {
-                    let (src, _, _) = conns[conn].key;
-                    conns[conn].pending_delivery =
-                        inj.on_delivery(src, dst, channel, conns[conn].send_seq);
-                }
-                conns[conn].send_seq += 1;
-                conns[conn].in_flight += 1;
-                let cm = &metrics.conns[conn];
-                cm.bytes_sent.add(0, bytes);
-                cm.sends.inc(0);
-                cm.peak.set_max(conns[conn].in_flight as u64);
-                // Sender-side synchronization + (for RDMA paths) staging
-                // into the proxy buffer at local copy rate.
-                let staging = if conns[conn].cross_node {
-                    payload / (machine.local_gbps() * 1000.0)
-                } else {
-                    0.0
-                };
-                let mut busy = params.tile_overhead_us + staging;
-                if !instr.op.has_recv() {
-                    busy += config.instr_overhead_us;
-                }
-                tbs[me].stage = Stage::SendBusy;
-                tbs[me].busy_us += busy;
-                if config.record_timeline {
-                    timeline.push(TimelineEntry {
-                        rank: tbs[me].rank,
-                        tb: tbs[me].local_id,
-                        start_us: now,
-                        end_us: now + busy,
-                        activity: Activity::SendSetup,
-                    });
-                }
-                tbs[me].gen += 1;
-                let gen = tbs[me].gen;
-                heap.push(QueuedEvent {
-                    time: now + busy,
-                    seq: *seq,
-                    ev: Ev::TbWake { tb: me, gen },
-                });
-                *seq += 1;
-                return Ok(());
-            }
-            Stage::SendBusy => {
-                let conn = tbs[me].send_conn.expect("send needs a connection");
-                let wire = payload / params.bandwidth_efficiency;
-                let cross = conns[conn].cross_node;
-                // Cross node: GPUDirect RDMA, the NIC engine moves the
-                // data. Intra node: the thread block itself pushes over
-                // NVLink.
-                let demand = conns[conn].demand_gbps;
-                let alpha = conns[conn].alpha_us * params.alpha_factor;
-                if conns[conn].local {
-                    // Same-GPU transfer (not produced by the compiler, but
-                    // legal IR): treat as a local copy.
-                    push_delivery(heap, seq, conn, now, conns);
-                    complete_instruction(
-                        me,
-                        now,
-                        tbs,
-                        heap,
-                        seq,
-                        instructions_executed,
-                        instr.op,
-                        instr.has_dep,
-                        trace,
-                        metrics,
-                    );
-                    continue;
-                }
-                if cross {
-                    // Asynchronous RDMA: the transfer passes through the
-                    // endpoint NICs' serial DMA engines store-and-forward —
-                    // each engine drains its own queue at line rate
-                    // independently, so symmetric traffic keeps both
-                    // directions fully utilized; the thread block moves on.
-                    let serialize = wire / (demand * 1000.0) + config.nic_msg_overhead_us;
-                    let mut done = now;
-                    for &r in &conns[conn].resources {
-                        done = done.max(nic_free[r]) + serialize;
-                        nic_free[r] = done;
-                        nic_busy[r] += serialize;
-                        nic_bytes[r] += wire;
-                    }
-                    *cross_flows += 1;
-                    push_delivery(heap, seq, conn, done + alpha, conns);
-                    complete_instruction(
-                        me,
-                        now,
-                        tbs,
-                        heap,
-                        seq,
-                        instructions_executed,
-                        instr.op,
-                        instr.has_dep,
-                        trace,
-                        metrics,
-                    );
-                    continue;
-                }
-                resched_scratch.clear();
-                let flow = net.start(now, wire, demand, &conns[conn].resources, resched_scratch);
-                push_reschedules(heap, seq, resched_scratch);
-                // The thread block is occupied for the flow's duration.
-                tbs[me].stage = Stage::FlowWait;
-                tbs[me].flow_start_us = now;
-                tbs[me].gen += 1;
-                flow_info.insert(
-                    flow,
-                    FlowInfo {
-                        conn,
-                        sender_tb: Some(me),
-                        sender_gen: tbs[me].gen,
-                        alpha_us: alpha,
-                    },
-                );
-                return Ok(());
-            }
-            Stage::FlowWait => {
-                // Woken by FlowDone: the send is finished.
-                tbs[me].busy_us += now - tbs[me].flow_start_us;
-                if config.record_timeline {
-                    timeline.push(TimelineEntry {
-                        rank: tbs[me].rank,
-                        tb: tbs[me].local_id,
-                        start_us: tbs[me].flow_start_us,
-                        end_us: now,
-                        activity: Activity::Flow,
-                    });
-                }
-                complete_instruction(
-                    me,
-                    now,
-                    tbs,
-                    heap,
-                    seq,
-                    instructions_executed,
-                    instr.op,
-                    instr.has_dep,
-                    trace,
-                    metrics,
-                );
-            }
-            Stage::LocalBusy => {
-                complete_instruction(
-                    me,
-                    now,
-                    tbs,
-                    heap,
-                    seq,
-                    instructions_executed,
-                    instr.op,
-                    instr.has_dep,
-                    trace,
-                    metrics,
-                );
-            }
-        }
+    buffer_bytes: u64,
+) -> Result<SimReport, SimError> {
+    let mut built = build(ir, config, buffer_bytes)?;
+    let threads = match config.parallel {
+        // Zero-lookahead machines (a cross-node link with zero latency)
+        // offer no conservative window; fall back to serial rounds.
+        Some(n) if n > 1 && built.lookahead.is_none_or(|l| l > 0.0) => n,
+        _ => 1,
+    };
+    let ctx = RunCtx {
+        config,
+        params: &built.params,
+        tile_bytes: built.tile_bytes,
+        num_tiles: built.num_tiles,
+        injector: built.injector.as_ref(),
+    };
+    parallel::run(&mut built.shards, threads, built.lookahead, &ctx)?;
+    Ok(assemble(ir, config, built))
+}
+
+/// A simulation engine selector: the serial oracle or the sharded
+/// parallel engine, both producing bit-identical [`SimReport`]s.
+pub trait SimBackend {
+    /// Runs `ir` over `config`'s machine with this backend's engine,
+    /// overriding [`SimConfig::parallel`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] exactly as [`simulate`] does.
+    fn simulate(
+        &self,
+        ir: &IrProgram,
+        config: &SimConfig,
+        buffer_bytes: u64,
+    ) -> Result<SimReport, SimError>;
+}
+
+/// The serial oracle: one thread drives every shard, round by round.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SerialBackend;
+
+impl SimBackend for SerialBackend {
+    fn simulate(
+        &self,
+        ir: &IrProgram,
+        config: &SimConfig,
+        buffer_bytes: u64,
+    ) -> Result<SimReport, SimError> {
+        let mut config = config.clone();
+        config.parallel = None;
+        simulate(ir, &config, buffer_bytes)
     }
 }
 
-/// Marks the current instruction complete, wakes dependency waiters and
-/// advances the program counter.
-#[allow(clippy::too_many_arguments)]
-fn complete_instruction(
-    me: usize,
-    now: f64,
-    tbs: &mut [Tb],
-    heap: &mut BinaryHeap<QueuedEvent>,
-    seq: &mut u64,
-    instructions_executed: &mut usize,
-    op: OpCode,
-    has_dep: bool,
-    trace: &mut Option<Trace>,
-    metrics: &SimMetrics,
-) {
-    let (count, latency) = &metrics.ops[op_index(op)];
-    count.inc(0);
-    latency.record(0, SimMetrics::ns(now - tbs[me].instr_begin_us));
-    tbs[me].completed += 1;
-    if has_dep {
-        emit(
-            trace,
-            now,
-            tbs[me].rank,
-            tbs[me].local_id,
-            EventKind::SemSet {
-                value: tbs[me].completed,
-            },
-        );
-    }
-    emit(
-        trace,
-        now,
-        tbs[me].rank,
-        tbs[me].local_id,
-        EventKind::InstrEnd {
-            step: tbs[me].pc,
-            tile: tbs[me].tile,
-            op,
-        },
-    );
-    tbs[me].instr_begun = false;
-    tbs[me].pc += 1;
-    tbs[me].stage = Stage::Start;
-    *instructions_executed += 1;
-    let completed = tbs[me].completed;
-    let mut wakeups: Vec<(usize, u64)> = Vec::new();
-    tbs[me].waiters.retain(|&(target, tb, gen)| {
-        if target <= completed {
-            wakeups.push((tb, gen));
-            false
-        } else {
-            true
-        }
-    });
-    for (tb, gen) in wakeups {
-        if tbs[tb].gen == gen && !tbs[tb].done {
-            heap.push(QueuedEvent {
-                time: now,
-                seq: *seq,
-                ev: Ev::TbWake { tb, gen },
-            });
-            *seq += 1;
-        }
+/// The parallel engine: `threads` workers claim shards within each
+/// round.
+#[derive(Debug, Clone, Copy)]
+pub struct ParallelBackend {
+    /// Worker thread count (1 degenerates to the serial driver).
+    pub threads: usize,
+}
+
+impl SimBackend for ParallelBackend {
+    fn simulate(
+        &self,
+        ir: &IrProgram,
+        config: &SimConfig,
+        buffer_bytes: u64,
+    ) -> Result<SimReport, SimError> {
+        let mut config = config.clone();
+        config.parallel = Some(self.threads);
+        simulate(ir, &config, buffer_bytes)
     }
 }
 
@@ -1412,6 +630,7 @@ pub fn simulate_sequence(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use msccl_metrics::names;
     use msccl_topology::Machine;
     use mscclang::{compile, CompileOptions};
 
@@ -1826,5 +1045,23 @@ mod tests {
         // like the runtime's resolution would.
         let tiny = simulate(&ir, &ndv4_config().with_epochs(EpochMode::Auto), 1 << 10).unwrap();
         assert_eq!(tiny.epoch_boundaries, 0);
+    }
+
+    /// The backend selectors override [`SimConfig::parallel`] and agree
+    /// bit for bit — the structural core of the differential tier.
+    #[test]
+    fn backends_agree_bit_for_bit() {
+        let p = msccl_algos::hierarchical_all_reduce(2, 2).unwrap();
+        let ir = compile(&p, &CompileOptions::default()).unwrap();
+        let cfg = SimConfig::new(Machine::ndv4(2))
+            .with_trace(true)
+            .with_timeline(true);
+        let serial = SerialBackend.simulate(&ir, &cfg, 1 << 20).unwrap();
+        for threads in [1, 2, 4, 8] {
+            let par = ParallelBackend { threads }
+                .simulate(&ir, &cfg, 1 << 20)
+                .unwrap();
+            assert_eq!(serial, par, "threads={threads} diverged from serial");
+        }
     }
 }

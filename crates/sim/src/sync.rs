@@ -1,0 +1,203 @@
+//! Event ordering and cross-shard message vocabulary for the sharded
+//! engine.
+//!
+//! # The event-ordering contract
+//!
+//! Every shard (one per machine node) runs its own min-heap of
+//! [`QueuedEvent`]s ordered by `(time, seq)`. `seq` is a **per-shard**
+//! monotonically increasing insertion counter — the original engine used
+//! one engine-global counter, which only works when there is exactly one
+//! event loop. The contract that keeps the serial oracle and the
+//! parallel engine bit-identical is:
+//!
+//! 1. *Same timestamp ⇒ same winner.* Within a shard, events with equal
+//!    timestamps fire in insertion order, and insertion order is a pure
+//!    function of the shard's own deterministic execution: local pushes
+//!    happen while the shard processes its heap in `(time, seq)` order,
+//!    and cross-shard messages are appended by a single routing pass at
+//!    each round boundary in `(source shard, emission order)` order —
+//!    identically in both backends.
+//! 2. *Rounds are barriers.* A round processes, on every shard
+//!    independently, all events strictly below the conservative bound
+//!    `fmin + L` (`fmin` = the globally earliest pending event, `L` =
+//!    the minimum cross-node lookahead). Any message a shard emits while
+//!    processing an event at time `t` carries a timestamp `≥ t + L ≥
+//!    fmin + L`, so no message can land inside the round that produced
+//!    it: shards never observe each other mid-round, and the per-shard
+//!    event sequences are independent of who executes which shard, in
+//!    what order, on how many threads.
+//!
+//! Together these give *schedule independence*: the serial driver
+//! (thread count 1) and the parallel driver produce the same per-shard
+//! event sequences, hence bit-identical reports. The contract is pinned
+//! by the unit tests below and by the differential tier in
+//! `tests/sim_parallel.rs`.
+
+use std::cmp::Ordering;
+
+use crate::config::SimError;
+use crate::flow::FlowId;
+
+/// A discrete event on one shard's queue.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) enum Ev {
+    /// Re-run a thread block's state machine (generation-checked).
+    TbWake { tb: usize, gen: u64 },
+    /// An intra-node fluid flow completed (generation-checked).
+    FlowDone { flow: FlowId, generation: u64 },
+    /// A FIFO slot on `conn` becomes visible to the receiver.
+    Deliver { conn: usize },
+    /// A cross-node tile reached this shard's ingress NIC: charge the
+    /// ingress DMA engine, then schedule `copies` deliveries.
+    TileArrive {
+        conn: usize,
+        bytes: u64,
+        wire: f64,
+        copies: usize,
+    },
+    /// A cross-node FIFO credit returned to the sending half of `conn`.
+    CreditArrive { conn: usize },
+}
+
+/// One entry of a shard's event heap, min-ordered by `(time, seq)`.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct QueuedEvent {
+    pub time: f64,
+    pub seq: u64,
+    pub ev: Ev,
+}
+
+impl PartialEq for QueuedEvent {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for QueuedEvent {}
+impl Ord for QueuedEvent {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Min-heap by (time, seq).
+        other
+            .time
+            .total_cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+impl PartialOrd for QueuedEvent {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A timestamped message between shards, routed at round boundaries.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum Payload {
+    /// A tile leaving the sender's egress NIC, addressed to the receive
+    /// half of a split connection (`conn` is local to the destination
+    /// shard).
+    Tile {
+        conn: usize,
+        bytes: u64,
+        wire: f64,
+        copies: usize,
+    },
+    /// A FIFO-slot release riding the reverse link back to the send half
+    /// of a split connection (`conn` is local to the destination shard).
+    Credit { conn: usize },
+}
+
+/// An outbound message: destination shard, arrival timestamp, payload.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Outbound {
+    pub dst: usize,
+    pub ts: f64,
+    pub payload: Payload,
+}
+
+/// A structured error one shard hit, pending global resolution: the
+/// winner across shards is the lexicographically smallest `(time,
+/// shard)`, which is exactly the first error a global merge would hit
+/// (each shard halts at its own first error, and all other events below
+/// the round bound are error-free).
+#[derive(Debug)]
+pub(crate) struct Candidate {
+    pub time: f64,
+    pub shard: usize,
+    pub error: SimError,
+}
+
+impl Candidate {
+    /// Whether `self` beats `other` for the abort winner.
+    pub fn beats(&self, other: &Self) -> bool {
+        match self.time.total_cmp(&other.time) {
+            Ordering::Less => true,
+            Ordering::Greater => false,
+            Ordering::Equal => self.shard < other.shard,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BinaryHeap;
+
+    fn ev(time: f64, seq: u64) -> QueuedEvent {
+        QueuedEvent {
+            time,
+            seq,
+            ev: Ev::Deliver { conn: 0 },
+        }
+    }
+
+    /// Same timestamp ⇒ insertion order wins; earlier time always wins.
+    #[test]
+    fn heap_breaks_ties_by_insertion_order() {
+        let mut h = BinaryHeap::new();
+        h.push(ev(2.0, 0));
+        h.push(ev(1.0, 1));
+        h.push(ev(1.0, 2));
+        h.push(ev(1.0, 3));
+        let order: Vec<u64> = std::iter::from_fn(|| h.pop()).map(|e| e.seq).collect();
+        assert_eq!(order, vec![1, 2, 3, 0]);
+    }
+
+    /// `total_cmp` keeps the contract total even for exotic floats.
+    #[test]
+    fn heap_orders_negative_zero_and_infinities() {
+        let mut h = BinaryHeap::new();
+        h.push(ev(f64::INFINITY, 0));
+        h.push(ev(0.0, 1));
+        h.push(ev(-0.0, 2));
+        // -0.0 < +0.0 under total_cmp, so seq 2 fires first.
+        let order: Vec<u64> = std::iter::from_fn(|| h.pop()).map(|e| e.seq).collect();
+        assert_eq!(order, vec![2, 1, 0]);
+    }
+
+    #[test]
+    fn candidate_resolution_is_time_then_shard() {
+        let a = Candidate {
+            time: 1.0,
+            shard: 5,
+            error: SimError::BadConfig {
+                message: "a".into(),
+            },
+        };
+        let b = Candidate {
+            time: 1.0,
+            shard: 2,
+            error: SimError::BadConfig {
+                message: "b".into(),
+            },
+        };
+        let c = Candidate {
+            time: 0.5,
+            shard: 9,
+            error: SimError::BadConfig {
+                message: "c".into(),
+            },
+        };
+        assert!(b.beats(&a));
+        assert!(!a.beats(&b));
+        assert!(c.beats(&a) && c.beats(&b));
+    }
+}

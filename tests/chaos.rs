@@ -18,6 +18,8 @@ use msccl_runtime::{
     execute, execute_with_faults, execute_with_recovery, reference, RecoveryPolicy, RunOptions,
     RuntimeError,
 };
+use msccl_sim::{ParallelBackend, SerialBackend, SimBackend, SimConfig};
+use msccl_topology::{LinkParams, Machine};
 use msccl_trace::RecoveryDecision;
 use mscclang::{compile, CompileOptions, EpochMode, IrProgram, Program, ReduceOp};
 use proptest::prelude::*;
@@ -144,6 +146,80 @@ chaos_sweep! {
     chaos_reduce => 12,
     chaos_gather => 13,
     chaos_scatter => 14,
+}
+
+/// The machine the simulator differential runs algorithm `index` on:
+/// multi-node algorithms get two nodes of two GPUs each so the plan
+/// straddles a node boundary and the parallel engine really runs two
+/// shards; hcm needs the dgx1 cube-mesh; everything else is single-node.
+fn sim_machine(index: usize) -> Machine {
+    match index {
+        2..=5 => Machine::custom(
+            2,
+            2,
+            LinkParams::new(2.0, 275.0),
+            1,
+            LinkParams::new(3.5, 25.0),
+        ),
+        6 => Machine::dgx1(),
+        _ => Machine::ndv4(1),
+    }
+}
+
+/// Runs the pinned plan for `seed` through the serial simulator and the
+/// parallel one, and asserts they return the same `Result` bit for bit:
+/// a clean run yields the identical report; a kill aborts with the same
+/// `InjectedFault {rank, tb, step, at_us}`; a drop wedges into the same
+/// `Stuck {at_us, fired_faults}` naming the same faults in the same
+/// order.
+fn sim_chaos_invariant(name: &str, index: usize, ir: &IrProgram, seed: u64) {
+    let plan = FaultPlan::generate(seed, &FaultUniverse::from_ir(ir));
+    let cfg = SimConfig::new(sim_machine(index)).with_faults(plan.clone());
+    let serial = SerialBackend.simulate(ir, &cfg, 1 << 18);
+    for threads in [2, 4, 8] {
+        let parallel = ParallelBackend { threads }.simulate(ir, &cfg, 1 << 18);
+        assert_eq!(
+            serial,
+            parallel,
+            "{name} seed {seed}: simulator verdicts diverged at {threads} threads\nplan:\n{}",
+            plan.to_text()
+        );
+    }
+}
+
+/// The same 210 pinned fault plans as `chaos_sweep!`, replayed through
+/// both simulator engines instead of the runtime.
+macro_rules! sim_chaos_sweep {
+    ($($test:ident => $index:expr),* $(,)?) => {
+        $(
+            #[test]
+            fn $test() {
+                let program = &catalog()[$index];
+                let ir = compiled(program);
+                for i in 0..14u64 {
+                    sim_chaos_invariant(program.name(), $index, &ir, $index as u64 * 1000 + i);
+                }
+            }
+        )*
+    };
+}
+
+sim_chaos_sweep! {
+    sim_chaos_ring_allreduce => 0,
+    sim_chaos_allpairs_allreduce => 1,
+    sim_chaos_hierarchical_allreduce => 2,
+    sim_chaos_two_step_alltoall => 3,
+    sim_chaos_one_step_alltoall => 4,
+    sim_chaos_alltonext => 5,
+    sim_chaos_hcm_allgather => 6,
+    sim_chaos_recursive_doubling_allgather => 7,
+    sim_chaos_tree_allreduce => 8,
+    sim_chaos_double_tree_allreduce => 9,
+    sim_chaos_rabenseifner_allreduce => 10,
+    sim_chaos_broadcast => 11,
+    sim_chaos_reduce => 12,
+    sim_chaos_gather => 13,
+    sim_chaos_scatter => 14,
 }
 
 /// Killing one thread block aborts the whole collective promptly even
