@@ -29,6 +29,7 @@ pub mod alltoall;
 pub mod alltonext;
 pub mod hierarchical;
 pub mod rabenseifner;
+pub mod registry;
 pub mod ring;
 pub mod rooted;
 pub mod tree;
@@ -39,6 +40,7 @@ pub use alltoall::{one_step_all_to_all, three_step_all_to_all, two_step_all_to_a
 pub use alltonext::all_to_next;
 pub use hierarchical::hierarchical_all_reduce;
 pub use rabenseifner::rabenseifner_all_reduce;
+pub use registry::{build_by_name, AlgoSpec, RegistryError};
 pub use ring::{
     ring_all_gather, ring_all_gather_program, ring_all_reduce, ring_reduce_scatter,
     ring_reduce_scatter_program,

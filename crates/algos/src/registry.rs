@@ -1,0 +1,169 @@
+//! Name-indexed construction of every buildable algorithm.
+//!
+//! The CLI and the scenario runner both need to turn a string like
+//! `"ring-allreduce"` plus a few dimensions into a [`Program`]; this
+//! registry is the single place that mapping lives.
+
+use mscclang::Program;
+use std::fmt;
+
+/// Dimensions for building an algorithm by name. Fields an algorithm
+/// does not use are ignored.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AlgoSpec {
+    /// Total ranks, for flat algorithms (`None` when only `nodes`/`gpus`
+    /// are given).
+    pub ranks: Option<usize>,
+    /// Nodes, for hierarchical algorithms.
+    pub nodes: usize,
+    /// GPUs per node, for hierarchical algorithms.
+    pub gpus: usize,
+    /// Channels the ring variants distribute over.
+    pub channels: usize,
+    /// Chunk split for the tree/rooted variants (`None` = per-algorithm
+    /// default).
+    pub chunks: Option<usize>,
+    /// Root rank for the rooted collectives.
+    pub root: usize,
+}
+
+impl Default for AlgoSpec {
+    fn default() -> Self {
+        Self {
+            ranks: None,
+            nodes: 2,
+            gpus: 8,
+            channels: 1,
+            chunks: None,
+            root: 0,
+        }
+    }
+}
+
+/// Why a registry build failed.
+#[derive(Debug)]
+pub enum RegistryError {
+    /// No algorithm under that name.
+    UnknownAlgorithm(String),
+    /// The algorithm needs `--ranks` and the spec has none.
+    MissingRanks(&'static str),
+    /// The algorithm constructor itself rejected the dimensions.
+    Build(mscclang::Error),
+}
+
+impl fmt::Display for RegistryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RegistryError::UnknownAlgorithm(name) => write!(f, "unknown algorithm '{name}'"),
+            RegistryError::MissingRanks(name) => write!(f, "algorithm '{name}' needs ranks"),
+            RegistryError::Build(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for RegistryError {}
+
+impl From<mscclang::Error> for RegistryError {
+    fn from(e: mscclang::Error) -> Self {
+        RegistryError::Build(e)
+    }
+}
+
+/// Every name [`build_by_name`] accepts.
+pub const NAMES: &[&str] = &[
+    "ring-allreduce",
+    "allpairs-allreduce",
+    "hierarchical-allreduce",
+    "two-step-alltoall",
+    "one-step-alltoall",
+    "alltonext",
+    "hcm-allgather",
+    "recursive-doubling-allgather",
+    "tree-allreduce",
+    "double-tree-allreduce",
+    "rabenseifner-allreduce",
+    "broadcast",
+    "reduce",
+    "gather",
+    "scatter",
+];
+
+/// Builds the named algorithm with the given dimensions.
+///
+/// # Errors
+///
+/// Returns [`RegistryError`] for unknown names, missing ranks, or
+/// dimensions the constructor rejects.
+pub fn build_by_name(name: &str, spec: &AlgoSpec) -> Result<Program, RegistryError> {
+    let need_ranks = |what: &'static str| spec.ranks.ok_or(RegistryError::MissingRanks(what));
+    let program = match name {
+        "ring-allreduce" => crate::ring_all_reduce(need_ranks("ring-allreduce")?, spec.channels)?,
+        "allpairs-allreduce" => crate::allpairs_all_reduce(need_ranks("allpairs-allreduce")?)?,
+        "hierarchical-allreduce" => crate::hierarchical_all_reduce(spec.nodes, spec.gpus)?,
+        "two-step-alltoall" => crate::two_step_all_to_all(spec.nodes, spec.gpus)?,
+        "one-step-alltoall" => crate::one_step_all_to_all(spec.nodes, spec.gpus)?,
+        "alltonext" => crate::all_to_next(spec.nodes, spec.gpus)?,
+        "hcm-allgather" => crate::hcm_allgather()?,
+        "recursive-doubling-allgather" => {
+            crate::recursive_doubling_all_gather(need_ranks("recursive-doubling-allgather")?)?
+        }
+        "tree-allreduce" => {
+            crate::binary_tree_all_reduce(need_ranks("tree-allreduce")?, spec.chunks.unwrap_or(1))?
+        }
+        "double-tree-allreduce" => crate::double_binary_tree_all_reduce(
+            need_ranks("double-tree-allreduce")?,
+            spec.chunks.unwrap_or(2),
+        )?,
+        "rabenseifner-allreduce" => {
+            crate::rabenseifner_all_reduce(need_ranks("rabenseifner-allreduce")?)?
+        }
+        "broadcast" => crate::binomial_broadcast(
+            need_ranks("broadcast")?,
+            spec.chunks.unwrap_or(1),
+            spec.root,
+        )?,
+        "reduce" => {
+            crate::binomial_reduce(need_ranks("reduce")?, spec.chunks.unwrap_or(1), spec.root)?
+        }
+        "gather" => {
+            crate::linear_gather(need_ranks("gather")?, spec.chunks.unwrap_or(1), spec.root)?
+        }
+        "scatter" => {
+            crate::linear_scatter(need_ranks("scatter")?, spec.chunks.unwrap_or(1), spec.root)?
+        }
+        other => return Err(RegistryError::UnknownAlgorithm(other.to_owned())),
+    };
+    Ok(program)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_registered_name_builds() {
+        let spec = AlgoSpec {
+            ranks: Some(8),
+            nodes: 2,
+            gpus: 4,
+            ..AlgoSpec::default()
+        };
+        for name in NAMES {
+            build_by_name(name, &spec).unwrap_or_else(|e| panic!("{name}: {e}"));
+        }
+    }
+
+    #[test]
+    fn unknown_name_is_rejected() {
+        assert!(matches!(
+            build_by_name("warp-drive", &AlgoSpec::default()),
+            Err(RegistryError::UnknownAlgorithm(_))
+        ));
+    }
+
+    #[test]
+    fn missing_ranks_is_named() {
+        let err = build_by_name("ring-allreduce", &AlgoSpec::default()).unwrap_err();
+        assert!(matches!(err, RegistryError::MissingRanks("ring-allreduce")));
+    }
+}

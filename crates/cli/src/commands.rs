@@ -9,6 +9,10 @@ use msccl_runtime::{
     execute_profiled, execute_with_metrics, execute_with_recovery, reference, RecoveryPolicy,
     ResumePolicy, RunOptions,
 };
+use msccl_scenario::{
+    check_scenario, run_scenario, Engine as ScenarioEngine, RunConfig as ScenarioRunConfig,
+    Scenario,
+};
 use msccl_sim::{simulate, SimConfig};
 use msccl_topology::Protocol;
 use msccl_trace::{snapshot_from_trace, ClockDomain, ProfileReport, Trace};
@@ -74,9 +78,26 @@ COMMANDS:
                                    --resume-policy epoch (default) restarts a
                                    failed attempt from the last complete
                                    epoch instead of from scratch
-    faults <file.xml> --seed N     print the deterministic fault plan that
+    faults <file.xml> --seed N [--format text|json]
+                                   print the deterministic fault plan that
                                    seed N generates for this program (feed
-                                   it back via --fault-plan to reproduce)
+                                   it back via --fault-plan to reproduce);
+                                   --format json emits the plan with per-
+                                   fault classes for tooling
+    scenario run <file.toml> [--parallel N] [--format text|json] [--out F]
+                                   run a declarative robustness scenario:
+                                   seeded traffic storms with faults,
+                                   stragglers and SLO assertions (see
+                                   docs/scenarios.md); exits non-zero when
+                                   an SLO fails; --parallel selects the
+                                   sharded sim backend (reports stay
+                                   bit-identical); --out writes the report
+                                   and prints a one-line summary
+    scenario check <file.toml>     parse and validate a scenario without
+                                   running it (machine, collectives, fault
+                                   sites, SLO grammar)
+    scenario list [dir]            summarize the scenarios in a directory
+                                   (default: scenarios/)
     profile <file.xml> [--elems N] [--mode run|sim] [--machine M]
                        [--from-trace F.csv] [--format text|json|prom]
                        [--threshold X] [--out FILE] [--epochs off|auto|N]
@@ -118,6 +139,7 @@ pub fn dispatch(args: &Args) -> Result<String, CliError> {
         "run" => cmd_run(args),
         "profile" => cmd_profile(args),
         "faults" => cmd_faults(args),
+        "scenario" => cmd_scenario(args),
         "tune" => cmd_tune(args),
         other => Err(CliError::new(format!(
             "unknown command '{other}'; try 'msccl help'"
@@ -526,11 +548,131 @@ fn cmd_faults(args: &Args) -> Result<String, CliError> {
         .opt("seed")?
         .ok_or_else(|| CliError::new("--seed is required"))?;
     let plan = FaultPlan::generate(seed, &FaultUniverse::from_ir(&ir));
-    let mut out = plan.to_text();
-    if let Some(class) = plan.worst_class() {
-        let _ = writeln!(out, "# worst class: {class:?}");
+    match args.options.get("format").map_or("text", String::as_str) {
+        "text" => {
+            let mut out = plan.to_text();
+            if let Some(class) = plan.worst_class() {
+                let _ = writeln!(out, "# worst class: {class:?}");
+            }
+            Ok(out)
+        }
+        "json" => Ok(plan.to_json()),
+        other => Err(CliError::new(format!(
+            "unknown --format '{other}' (expected text or json)"
+        ))),
     }
-    Ok(out)
+}
+
+/// The `scenario` command family: `run`, `check` and `list` over the
+/// declarative robustness-scenario format (`msccl-scenario` crate).
+fn cmd_scenario(args: &Args) -> Result<String, CliError> {
+    let action = args
+        .positional
+        .first()
+        .map(String::as_str)
+        .ok_or_else(|| CliError::new("expected 'scenario run|check|list'"))?;
+    match action {
+        "run" | "check" => {
+            let path = args
+                .positional
+                .get(1)
+                .ok_or_else(|| CliError::new(format!("scenario {action} needs a file")))?;
+            let text = std::fs::read_to_string(path)?;
+            let scenario =
+                Scenario::parse(&text).map_err(|e| CliError::new(format!("{path}: {e}")))?;
+            let mut cfg = ScenarioRunConfig {
+                base_dir: std::path::Path::new(path).parent().map(Into::into),
+                ..ScenarioRunConfig::default()
+            };
+            if args.options.contains_key("parallel") {
+                let threads: usize = args.opt_or("parallel", 0)?;
+                if threads == 0 {
+                    return Err(CliError::new("--parallel must be a positive thread count"));
+                }
+                cfg.threads = Some(threads);
+            }
+            if action == "check" {
+                check_scenario(&scenario, &cfg)
+                    .map_err(|e| CliError::new(format!("{path}: {e}")))?;
+                return Ok(format!(
+                    "{path}: ok — {} over {} rep(s) of {} op(s) on {}, {} SLO assertion(s)\n",
+                    scenario.name,
+                    scenario.repetitions,
+                    scenario.traffic.ops,
+                    scenario.machine,
+                    scenario.slo.len()
+                ));
+            }
+            let report =
+                run_scenario(&scenario, &cfg).map_err(|e| CliError::new(format!("{path}: {e}")))?;
+            let body = match args.options.get("format").map_or("text", String::as_str) {
+                "text" => report.to_text(),
+                "json" => report.to_json(),
+                other => {
+                    return Err(CliError::new(format!(
+                        "unknown --format '{other}' (expected text or json)"
+                    )))
+                }
+            };
+            let out = match args.options.get("out") {
+                Some(file) => {
+                    std::fs::write(file, &body)?;
+                    format!(
+                        "scenario {}: {} ({} op(s), p99 {:.1} us) -> {file}\n",
+                        report.name,
+                        if report.passed { "PASS" } else { "FAIL" },
+                        report.ops,
+                        report.p99_us
+                    )
+                }
+                None => body,
+            };
+            if report.passed {
+                Ok(out)
+            } else {
+                // SLO failures exit non-zero with the full report, so CI
+                // gates directly on `msccl scenario run`.
+                Err(CliError::new(out))
+            }
+        }
+        "list" => {
+            let dir = args.positional.get(1).map_or("scenarios", String::as_str);
+            let mut entries: Vec<_> = std::fs::read_dir(dir)?
+                .filter_map(Result::ok)
+                .map(|e| e.path())
+                .filter(|p| p.extension().is_some_and(|x| x == "toml"))
+                .collect();
+            entries.sort();
+            let mut out = String::new();
+            for path in &entries {
+                let text = std::fs::read_to_string(path)?;
+                let line = match Scenario::parse(&text) {
+                    Ok(sc) => format!(
+                        "{:<28} {:<8} {} rep(s) x {} op(s) on {:<10} {}",
+                        sc.name,
+                        if matches!(sc.engine, ScenarioEngine::Sim) {
+                            "sim"
+                        } else {
+                            "runtime"
+                        },
+                        sc.repetitions,
+                        sc.traffic.ops,
+                        sc.machine,
+                        sc.description
+                    ),
+                    Err(e) => format!("{} INVALID: {e}", path.display()),
+                };
+                let _ = writeln!(out, "  {line}");
+            }
+            if out.is_empty() {
+                out = format!("no scenarios found in {dir}/\n");
+            }
+            Ok(out)
+        }
+        other => Err(CliError::new(format!(
+            "unknown scenario action '{other}' (expected run, check or list)"
+        ))),
+    }
 }
 
 fn cmd_simulate(args: &Args) -> Result<String, CliError> {
@@ -1241,5 +1383,89 @@ mod tests {
         let unfused = run("compile ring-allreduce --ranks 4 --no-fuse").unwrap();
         let count = |s: &str| s.matches("<step").count();
         assert!(count(&unfused) > count(&fused));
+    }
+
+    #[test]
+    fn faults_format_json_emits_plan_json() {
+        let path = tmp("faultsjson.xml");
+        let _ = run(&format!("compile ring-allreduce --ranks 4 -o {path}")).unwrap();
+        let out = run(&format!("faults {path} --seed 7 --format json")).unwrap();
+        assert!(out.trim_start().starts_with('{'), "got: {out}");
+        assert!(out.contains("\"seed\": 7"), "got: {out}");
+        assert!(out.contains("\"specs\""), "got: {out}");
+        let err = run(&format!("faults {path} --seed 7 --format yaml")).unwrap_err();
+        assert!(err.to_string().contains("--format"), "got: {err}");
+        let _ = std::fs::remove_file(path);
+    }
+
+    fn scenario_file(name: &str, body: &str) -> String {
+        let path = tmp(name);
+        std::fs::write(&path, body).unwrap();
+        path
+    }
+
+    const SMOKE_SCENARIO: &str = "\
+[scenario]
+name = \"cli-smoke\"
+seed = 3
+repetitions = 2
+machine = \"ndv4:1\"
+
+[traffic]
+collectives = [\"allpairs-allreduce\"]
+sizes = [\"16KB\"]
+ops = 3
+
+[slo]
+assert = [\"failures == 0\", \"verified == true\"]
+";
+
+    #[test]
+    fn scenario_check_and_run_smoke() {
+        let path = scenario_file("smoke.toml", SMOKE_SCENARIO);
+        let checked = run(&format!("scenario check {path}")).unwrap();
+        assert!(checked.contains("ok — cli-smoke"), "got: {checked}");
+        let out = run(&format!("scenario run {path}")).unwrap();
+        assert!(out.contains("verdict     PASS"), "got: {out}");
+        // Same seed, twice: byte-identical JSON, serial and parallel.
+        let a = run(&format!("scenario run {path} --format json")).unwrap();
+        let b = run(&format!("scenario run {path} --format json --parallel 2")).unwrap();
+        assert_eq!(a, b);
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn scenario_run_fails_on_blown_slo() {
+        let body = SMOKE_SCENARIO.replace("\"failures == 0\"", "\"p99_us <= 0.001\"");
+        let path = scenario_file("blown.toml", &body);
+        let err = run(&format!("scenario run {path}")).unwrap_err();
+        assert!(err.to_string().contains("verdict     FAIL"), "got: {err}");
+        assert!(err.to_string().contains("slo FAIL"), "got: {err}");
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn scenario_check_rejects_invalid_files() {
+        let body = SMOKE_SCENARIO.replace("allpairs-allreduce", "no-such-collective");
+        let path = scenario_file("badalgo.toml", &body);
+        let err = run(&format!("scenario check {path}")).unwrap_err();
+        assert!(err.to_string().contains("no-such-collective"), "got: {err}");
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn scenario_list_summarises_a_directory() {
+        let dir = tmp("scenario-dir");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(
+            std::path::Path::new(&dir).join("smoke.toml"),
+            SMOKE_SCENARIO,
+        )
+        .unwrap();
+        std::fs::write(std::path::Path::new(&dir).join("broken.toml"), "[scenario").unwrap();
+        let out = run(&format!("scenario list {dir}")).unwrap();
+        assert!(out.contains("cli-smoke"), "got: {out}");
+        assert!(out.contains("INVALID"), "got: {out}");
+        let _ = std::fs::remove_dir_all(dir);
     }
 }

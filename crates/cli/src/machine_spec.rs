@@ -1,9 +1,12 @@
 //! Parsing of machine specs (`ndv4:4`, `dgx2:2`, `dgx1`) and byte sizes
-//! (`64MB`, `4KB`, `1GB`, `512`).
+//! (`64MB`, `4KB`, `1GB`, `512`) — thin [`CliError`] adapters over the
+//! shared parsers in `msccl_topology::spec`.
 
 use msccl_topology::Machine;
 
 use crate::args::CliError;
+
+pub use msccl_topology::format_size;
 
 /// Parses a machine spec: `ndv4[:N]`, `dgx2[:N]`, `dgx1`, or a custom
 /// cluster `custom:<nodes>x<gpus>[:intra_gbps[:nic_gbps]]`.
@@ -12,66 +15,7 @@ use crate::args::CliError;
 ///
 /// Returns an error for unknown families or malformed parameters.
 pub fn parse_machine(spec: &str) -> Result<Machine, CliError> {
-    let lower = spec.to_ascii_lowercase();
-    if let Some(rest) = lower.strip_prefix("custom:") {
-        return parse_custom(rest, spec);
-    }
-    let (family, nodes) = match lower.split_once(':') {
-        Some((f, n)) => {
-            let nodes: usize = n
-                .parse()
-                .map_err(|_| CliError::new(format!("invalid node count in '{spec}'")))?;
-            if nodes == 0 {
-                return Err(CliError::new("node count must be at least 1"));
-            }
-            (f.to_owned(), nodes)
-        }
-        None => (lower, 1),
-    };
-    match family.as_str() {
-        "ndv4" | "a100" => Ok(Machine::ndv4(nodes)),
-        "ndv5" | "h100" => Ok(Machine::ndv5(nodes)),
-        "dgx2" | "v100" => Ok(Machine::dgx2(nodes)),
-        "dgx1" => {
-            if nodes != 1 {
-                return Err(CliError::new("dgx1 is a single-node machine"));
-            }
-            Ok(Machine::dgx1())
-        }
-        other => Err(CliError::new(format!(
-            "unknown machine '{other}' (expected ndv4[:N], dgx2[:N], dgx1 or              custom:<nodes>x<gpus>[:intra_gbps[:nic_gbps]])"
-        ))),
-    }
-}
-
-fn parse_custom(rest: &str, spec: &str) -> Result<Machine, CliError> {
-    let bad = || CliError::new(format!("invalid custom machine '{spec}'"));
-    let mut parts = rest.split(':');
-    let dims = parts.next().ok_or_else(bad)?;
-    let (nodes, gpus) = dims.split_once('x').ok_or_else(bad)?;
-    let nodes: usize = nodes.parse().map_err(|_| bad())?;
-    let gpus: usize = gpus.parse().map_err(|_| bad())?;
-    if nodes == 0 || gpus == 0 {
-        return Err(bad());
-    }
-    let intra_gbps: f64 = match parts.next() {
-        Some(v) => v.parse().map_err(|_| bad())?,
-        None => 200.0,
-    };
-    let nic_gbps: f64 = match parts.next() {
-        Some(v) => v.parse().map_err(|_| bad())?,
-        None => 25.0,
-    };
-    if intra_gbps <= 0.0 || nic_gbps <= 0.0 {
-        return Err(bad());
-    }
-    Ok(Machine::custom(
-        nodes,
-        gpus,
-        msccl_topology::LinkParams::new(2.0, intra_gbps),
-        gpus,
-        msccl_topology::LinkParams::new(3.5, nic_gbps),
-    ))
+    msccl_topology::parse_machine(spec).map_err(CliError::new)
 }
 
 /// Parses a byte size with optional `KB`/`MB`/`GB` suffix (binary units).
@@ -80,40 +24,7 @@ fn parse_custom(rest: &str, spec: &str) -> Result<Machine, CliError> {
 ///
 /// Returns an error for malformed numbers or unknown suffixes.
 pub fn parse_size(spec: &str) -> Result<u64, CliError> {
-    let s = spec.trim().to_ascii_uppercase();
-    let (digits, multiplier) = if let Some(d) = s.strip_suffix("GB") {
-        (d, 1u64 << 30)
-    } else if let Some(d) = s.strip_suffix("MB") {
-        (d, 1u64 << 20)
-    } else if let Some(d) = s.strip_suffix("KB") {
-        (d, 1u64 << 10)
-    } else if let Some(d) = s.strip_suffix('B') {
-        (d, 1)
-    } else {
-        (s.as_str(), 1)
-    };
-    let value: u64 = digits
-        .trim()
-        .parse()
-        .map_err(|_| CliError::new(format!("invalid size '{spec}'")))?;
-    value
-        .checked_mul(multiplier)
-        .ok_or_else(|| CliError::new(format!("size '{spec}' overflows")))
-}
-
-/// Formats a byte count compactly (inverse of [`parse_size`] for powers
-/// of two).
-#[must_use]
-pub fn format_size(bytes: u64) -> String {
-    if bytes >= 1 << 30 && bytes.is_multiple_of(1 << 30) {
-        format!("{}GB", bytes >> 30)
-    } else if bytes >= 1 << 20 && bytes.is_multiple_of(1 << 20) {
-        format!("{}MB", bytes >> 20)
-    } else if bytes >= 1 << 10 && bytes.is_multiple_of(1 << 10) {
-        format!("{}KB", bytes >> 10)
-    } else {
-        format!("{bytes}B")
-    }
+    msccl_topology::parse_size(spec).map_err(CliError::new)
 }
 
 #[cfg(test)]

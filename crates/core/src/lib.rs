@@ -48,6 +48,7 @@ pub mod ir_stats;
 pub mod ir_xml;
 pub mod passes;
 pub mod program;
+pub mod rng;
 pub mod schedule;
 pub mod verify;
 

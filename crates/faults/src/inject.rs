@@ -147,6 +147,25 @@ impl FaultInjector {
         None
     }
 
+    /// The slowdown multiplier for `rank`, if the plan makes it a
+    /// persistent straggler. Not one-shot: a straggler is chronically
+    /// slow for the whole run (both engines scale every instruction the
+    /// rank executes by this factor).
+    #[must_use]
+    pub fn rank_slowdown(&self, rank: usize) -> Option<f64> {
+        for (i, spec) in self.specs.iter().enumerate() {
+            if let (FaultSite::Rank { rank: r }, FaultKind::StragglerRank { permille }) =
+                (spec.site, spec.kind)
+            {
+                if r == rank {
+                    self.fired[i].store(true, Ordering::Relaxed);
+                    return Some(f64::from(permille) / 1000.0);
+                }
+            }
+        }
+        None
+    }
+
     /// Renders every fault that actually fired, for error context.
     #[must_use]
     pub fn fired(&self) -> Vec<String> {
@@ -206,6 +225,10 @@ mod tests {
                     site: FaultSite::Link { src: 2, dst: 3 },
                     kind: FaultKind::LinkLatencySpike { permille: 2500 },
                 },
+                FaultSpec {
+                    site: FaultSite::Rank { rank: 1 },
+                    kind: FaultKind::StragglerRank { permille: 4000 },
+                },
             ],
         }
     }
@@ -228,6 +251,17 @@ mod tests {
         assert_eq!(inj.link_spike(2, 3), Some(2.5));
         assert_eq!(inj.link_spike(2, 3), Some(2.5));
         assert_eq!(inj.link_spike(3, 2), None);
+    }
+
+    #[test]
+    fn rank_slowdown_is_not_one_shot() {
+        let inj = FaultInjector::new(&one_of_each());
+        assert_eq!(inj.rank_slowdown(1), Some(4.0));
+        assert_eq!(inj.rank_slowdown(1), Some(4.0));
+        assert_eq!(inj.rank_slowdown(0), None);
+        let fired = inj.fired();
+        assert_eq!(fired.len(), 1);
+        assert!(fired[0].contains("straggle rank r1 x4000"), "{fired:?}");
     }
 
     #[test]

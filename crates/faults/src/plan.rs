@@ -3,6 +3,7 @@
 
 use std::fmt;
 
+use mscclang::rng::Splitmix64;
 use mscclang::IrProgram;
 
 /// What goes wrong.
@@ -34,6 +35,13 @@ pub enum FaultKind {
         /// Latency multiplier in thousandths (1500 = 1.5x).
         permille: u32,
     },
+    /// A persistent straggler: every instruction the rank executes runs
+    /// slower by the given factor, for the whole run (a chronically slow
+    /// GPU — thermal throttling, a sick HBM stack, a noisy neighbor).
+    StragglerRank {
+        /// Slowdown multiplier in thousandths (4000 = 4x slower).
+        permille: u32,
+    },
 }
 
 /// How a fault manifests, which drives the recovery policy.
@@ -50,6 +58,18 @@ pub enum FaultClass {
     Disruptive,
 }
 
+impl FaultClass {
+    /// A stable lower-case name, used in JSON output.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultClass::Benign => "benign",
+            FaultClass::Corrupting => "corrupting",
+            FaultClass::Disruptive => "disruptive",
+        }
+    }
+}
+
 impl FaultKind {
     /// The failure class a fault of this kind produces.
     #[must_use]
@@ -57,7 +77,8 @@ impl FaultKind {
         match self {
             FaultKind::DelayDelivery { .. }
             | FaultKind::StallBlock { .. }
-            | FaultKind::LinkLatencySpike { .. } => FaultClass::Benign,
+            | FaultKind::LinkLatencySpike { .. }
+            | FaultKind::StragglerRank { .. } => FaultClass::Benign,
             FaultKind::DuplicateDelivery | FaultKind::CorruptPayload { .. } => {
                 FaultClass::Corrupting
             }
@@ -97,6 +118,11 @@ pub enum FaultSite {
         src: usize,
         /// Receiving rank.
         dst: usize,
+    },
+    /// A whole rank, for the duration of the run (persistent stragglers).
+    Rank {
+        /// The afflicted rank.
+        rank: usize,
     },
 }
 
@@ -162,6 +188,9 @@ impl fmt::Display for FaultSpec {
             }
             (FaultKind::LinkLatencySpike { permille }, FaultSite::Link { src, dst }) => {
                 write!(f, "spike link {src}->{dst} x{permille}")
+            }
+            (FaultKind::StragglerRank { permille }, FaultSite::Rank { rank }) => {
+                write!(f, "straggle rank r{rank} x{permille}")
             }
             (kind, site) => write!(f, "invalid fault {kind:?} at {site:?}"),
         }
@@ -258,33 +287,6 @@ impl fmt::Display for FaultPlanError {
 
 impl std::error::Error for FaultPlanError {}
 
-/// splitmix64: the deterministic generator behind seeded plans.
-pub(crate) struct Splitmix {
-    state: u64,
-}
-
-impl Splitmix {
-    pub(crate) fn new(seed: u64) -> Self {
-        // Never zero so the first outputs differ across small seeds.
-        Self {
-            state: seed ^ 0x9E37_79B9_7F4A_7C15,
-        }
-    }
-
-    pub(crate) fn next_u64(&mut self) -> u64 {
-        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
-        let mut z = self.state;
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        z ^ (z >> 31)
-    }
-
-    pub(crate) fn below(&mut self, bound: u64) -> u64 {
-        debug_assert!(bound > 0);
-        self.next_u64() % bound
-    }
-}
-
 /// The injectable surface of one program: its connections and blocks.
 /// Derived from the IR so generated plans always validate.
 #[derive(Debug, Clone)]
@@ -336,7 +338,7 @@ impl FaultPlan {
     /// The same seed over the same program always yields the same plan.
     #[must_use]
     pub fn generate(seed: u64, universe: &FaultUniverse) -> Self {
-        let mut rng = Splitmix::new(seed);
+        let mut rng = Splitmix64::new(seed);
         let mut specs = Vec::new();
         if universe.connections.is_empty() && universe.blocks.is_empty() {
             return Self { seed, specs };
@@ -419,7 +421,8 @@ impl FaultPlan {
             match spec.kind {
                 FaultKind::DelayDelivery { micros: 0 }
                 | FaultKind::StallBlock { micros: 0 }
-                | FaultKind::LinkLatencySpike { permille: 0 } => {
+                | FaultKind::LinkLatencySpike { permille: 0 }
+                | FaultKind::StragglerRank { permille: 0 } => {
                     return Err(FaultPlanError::ZeroMagnitude {
                         spec: spec.to_string(),
                     });
@@ -477,6 +480,14 @@ impl FaultPlan {
                         });
                     }
                 }
+                FaultSite::Rank { rank } => {
+                    if rank >= num_ranks {
+                        return Err(FaultPlanError::RankOutOfRange {
+                            spec: spec.to_string(),
+                            num_ranks,
+                        });
+                    }
+                }
             }
         }
         Ok(())
@@ -492,6 +503,40 @@ impl FaultPlan {
             out.push_str(&spec.to_string());
             out.push('\n');
         }
+        out
+    }
+
+    /// Renders the plan as a JSON document for tooling: the seed, the
+    /// worst class, and each injection in both its text form (parseable
+    /// back via [`parse`]) and its failure class. Spec text only ever
+    /// contains plain tokens, so no JSON escaping is needed.
+    ///
+    /// [`parse`]: FaultPlan::parse
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = format!("{{\n  \"seed\": {},\n  \"worst_class\": ", self.seed);
+        match self.worst_class() {
+            Some(class) => {
+                out.push('"');
+                out.push_str(class.name());
+                out.push('"');
+            }
+            None => out.push_str("null"),
+        }
+        out.push_str(",\n  \"specs\": [");
+        for (i, spec) in self.specs.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    {{\"text\": \"{spec}\", \"class\": \"{}\"}}",
+                spec.kind.class().name()
+            ));
+        }
+        if !self.specs.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("]\n}\n");
         out
     }
 
@@ -584,6 +629,22 @@ impl FaultPlan {
                     plan.specs.push(FaultSpec {
                         site: parse_block_site(r, tb, step).map_err(&err)?,
                         kind: FaultKind::KillBlock,
+                    });
+                }
+                ["straggle", "rank", r, factor] => {
+                    let rank = parse_num(
+                        r.strip_prefix('r')
+                            .ok_or_else(|| err(format!("bad rank '{r}' (want rN)")))?,
+                    )
+                    .map_err(&err)?;
+                    let permille = factor
+                        .strip_prefix('x')
+                        .ok_or_else(|| err(format!("bad straggle factor '{factor}'")))?;
+                    plan.specs.push(FaultSpec {
+                        site: FaultSite::Rank { rank },
+                        kind: FaultKind::StragglerRank {
+                            permille: parse_num(permille).map_err(&err)?,
+                        },
                     });
                 }
                 ["spike", "link", conn, factor] => {
@@ -741,10 +802,81 @@ mod tests {
                     site: FaultSite::Link { src: 0, dst: 1 },
                     kind: FaultKind::LinkLatencySpike { permille: 1500 },
                 },
+                FaultSpec {
+                    site: FaultSite::Rank { rank: 2 },
+                    kind: FaultKind::StragglerRank { permille: 4000 },
+                },
             ],
         };
         let text = plan.to_text();
         assert_eq!(FaultPlan::parse(&text).unwrap(), plan);
+    }
+
+    #[test]
+    fn straggler_renders_and_validates() {
+        let plan = FaultPlan {
+            seed: 0,
+            specs: vec![FaultSpec {
+                site: FaultSite::Rank { rank: 1 },
+                kind: FaultKind::StragglerRank { permille: 3000 },
+            }],
+        };
+        assert_eq!(
+            plan.to_text(),
+            "# msccl fault plan v1\nseed 0\nstraggle rank r1 x3000\n"
+        );
+        plan.validate(&ring_ir()).unwrap();
+        assert_eq!(plan.worst_class(), Some(FaultClass::Benign));
+        let bad = FaultPlan {
+            seed: 0,
+            specs: vec![FaultSpec {
+                site: FaultSite::Rank { rank: 9 },
+                kind: FaultKind::StragglerRank { permille: 3000 },
+            }],
+        };
+        assert!(matches!(
+            bad.validate(&ring_ir()),
+            Err(FaultPlanError::RankOutOfRange { .. })
+        ));
+        let zero = FaultPlan {
+            seed: 0,
+            specs: vec![FaultSpec {
+                site: FaultSite::Rank { rank: 0 },
+                kind: FaultKind::StragglerRank { permille: 0 },
+            }],
+        };
+        assert!(matches!(
+            zero.validate(&ring_ir()),
+            Err(FaultPlanError::ZeroMagnitude { .. })
+        ));
+    }
+
+    #[test]
+    fn json_rendering_names_classes() {
+        let plan = FaultPlan {
+            seed: 7,
+            specs: vec![
+                FaultSpec {
+                    site: FaultSite::Rank { rank: 1 },
+                    kind: FaultKind::StragglerRank { permille: 2000 },
+                },
+                FaultSpec {
+                    site: FaultSite::Block {
+                        rank: 0,
+                        tb: 0,
+                        step: 0,
+                    },
+                    kind: FaultKind::KillBlock,
+                },
+            ],
+        };
+        let json = plan.to_json();
+        assert!(json.contains("\"seed\": 7"));
+        assert!(json.contains("\"worst_class\": \"disruptive\""));
+        assert!(json.contains("{\"text\": \"straggle rank r1 x2000\", \"class\": \"benign\"}"));
+        assert!(FaultPlan::empty()
+            .to_json()
+            .contains("\"worst_class\": null"));
     }
 
     #[test]

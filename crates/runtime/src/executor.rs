@@ -1835,6 +1835,15 @@ fn run_thread_block(
             }
         }
     };
+    // A persistent straggler chronically slows the whole rank: every
+    // instruction pays a deterministic extra delay proportional to the
+    // planned slowdown factor. Unlike block faults this is not one-shot —
+    // the rank stays slow across tiles, steps and resumed attempts.
+    const STRAGGLE_UNIT_NS: f64 = 20_000.0;
+    let straggle = injector
+        .and_then(|i| i.rank_slowdown(rank))
+        .filter(|f| *f > 1.0)
+        .map(|f| Duration::from_nanos((STRAGGLE_UNIT_NS * (f - 1.0)) as u64));
     epoch_gate(epoch, completed, start_step, cancel)?;
     for tile in start_tile..num_tiles {
         rec.emit(EventKind::TileBegin { tile });
@@ -1875,6 +1884,11 @@ fn run_thread_block(
                         });
                         return Err(Stopped);
                     }
+                }
+            }
+            if let Some(d) = straggle {
+                if !cancellable_sleep(d, cancel) {
+                    return Err(Stopped);
                 }
             }
             // Wait on cross-thread-block dependencies. These gate the

@@ -105,15 +105,6 @@ impl Default for RecoveryPolicy {
     }
 }
 
-/// SplitMix64: a tiny, high-quality mixing function — all the randomness
-/// the backoff jitter needs, with no dependency and full determinism.
-fn splitmix64(mut z: u64) -> u64 {
-    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
-}
-
 /// The delay before retry number `attempt + 1`: exponential in the
 /// attempt (shift capped at 30 bits, multiplication saturating),
 /// clamped to [`RecoveryPolicy::max_backoff`], then jittered ±25%
@@ -129,7 +120,9 @@ fn backoff_delay(policy: &RecoveryPolicy, attempt: usize) -> Duration {
     if quarter == 0 {
         return base;
     }
-    let r = splitmix64(policy.jitter_seed ^ attempt as u64);
+    // splitmix64 mixing: all the randomness the jitter needs, with no
+    // dependency and full determinism.
+    let r = mscclang::rng::mix(policy.jitter_seed ^ attempt as u64);
     // Uniform in [base - 25%, base + 25%]; the modulo bias over a range
     // this small is irrelevant for desynchronization.
     let jittered = (nanos - quarter).saturating_add(r % (2 * quarter + 1));

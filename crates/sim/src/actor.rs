@@ -588,6 +588,14 @@ impl Shard {
     ) -> Result<(), SimError> {
         let machine = &config.machine;
         let recv_overhead_us = crate::engine::RECV_OVERHEAD_US;
+        // A planned persistent straggler chronically slows this rank:
+        // every busy interval the block spends computing (receive
+        // processing, local copy/reduce, send setup) is multiplied for
+        // the whole run. The factor depends only on the rank, so both
+        // the serial and parallel drivers model it identically.
+        let slow = injector
+            .and_then(|inj| inj.rank_slowdown(self.tbs[me].rank))
+            .unwrap_or(1.0);
         loop {
             if self.tbs[me].pc >= self.tbs[me].num_instructions {
                 if self.tbs[me].tile_begun {
@@ -796,7 +804,7 @@ impl Shard {
                         } else {
                             payload / (machine.local_gbps() * 1000.0)
                         };
-                        let busy = config.instr_overhead_us + recv_overhead_us + copy_out;
+                        let busy = (config.instr_overhead_us + recv_overhead_us + copy_out) * slow;
                         self.tbs[me].stage = Stage::RecvBusy;
                         self.tbs[me].busy_us += busy;
                         if config.record_timeline {
@@ -820,8 +828,9 @@ impl Shard {
                         self.tbs[me].stage = Stage::SendStart;
                     } else {
                         // Local copy/reduce.
-                        let busy =
-                            config.instr_overhead_us + payload / (machine.local_gbps() * 1000.0);
+                        let busy = (config.instr_overhead_us
+                            + payload / (machine.local_gbps() * 1000.0))
+                            * slow;
                         self.tbs[me].stage = Stage::LocalBusy;
                         self.tbs[me].busy_us += busy;
                         if config.record_timeline {
@@ -938,6 +947,7 @@ impl Shard {
                     if !op.has_recv() {
                         busy += config.instr_overhead_us;
                     }
+                    busy *= slow;
                     self.tbs[me].stage = Stage::SendBusy;
                     self.tbs[me].busy_us += busy;
                     if config.record_timeline {

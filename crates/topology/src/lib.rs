@@ -32,8 +32,10 @@ mod link;
 mod machine;
 mod path;
 mod protocol;
+pub mod spec;
 
 pub use link::{LinkKind, LinkParams};
 pub use machine::{Machine, MachineKind};
 pub use path::{Direction, ResourceId, TransferPath};
 pub use protocol::{Protocol, ProtocolParams};
+pub use spec::{format_size, parse_machine, parse_size};
