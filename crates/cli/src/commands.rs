@@ -60,14 +60,17 @@ COMMANDS:
                                    --parallel runs the sharded engine on N
                                    threads (bit-identical to serial; see
                                    docs/simulator.md)
-    run <file.xml> [--elems N] [--trace F] [--deadline-ms N]
+    run <file.xml> [--elems N] [--threads N] [--trace F] [--deadline-ms N]
                    [--fault-seed N | --fault-plan F] [--retries N]
                    [--fallback FILE.xml] [--epochs off|auto|N]
                    [--resume-policy epoch|retry]
                                    execute on real data and check numerics;
-                                   --trace writes a wall-clock event trace
-                                   to F (Chrome trace JSON, or CSV if F
-                                   ends in .csv); --deadline-ms bounds
+                                   --threads sizes the scheduler's worker
+                                   pool (default 0 = min(cores, thread
+                                   blocks); results are bit-exact at any
+                                   size); --trace writes a wall-clock event
+                                   trace to F (Chrome trace JSON, or CSV if
+                                   F ends in .csv); --deadline-ms bounds
                                    total wall-clock time including recovery
                                    backoff; fault flags inject deterministic
                                    faults (seeded, or from a plan file);
@@ -760,6 +763,10 @@ fn cmd_run(args: &Args) -> Result<String, CliError> {
     if let Some(ms) = args.opt::<u64>("deadline-ms")? {
         opts.deadline = Some(Duration::from_millis(ms));
     }
+    // 0 = auto: min(available cores, thread blocks). Any value is safe —
+    // results are bit-exact at every pool size — so no validation beyond
+    // the parse.
+    opts.worker_threads = args.opt_or("threads", 0)?;
     opts.epochs = epoch_mode_opt(args)?;
     let plan = load_fault_plan(args, &ir)?;
     let retries: Option<usize> = args.opt("retries")?;
@@ -799,10 +806,18 @@ fn cmd_run(args: &Args) -> Result<String, CliError> {
         mscclang::ReduceOp::Sum,
     )
     .map_err(CliError::new)?;
+    // Mirror the executor's pool sizing so the report states what ran.
+    let workers = if opts.worker_threads == 0 {
+        std::thread::available_parallelism().map_or(1, usize::from)
+    } else {
+        opts.worker_threads
+    }
+    .clamp(1, ir.num_threadblocks().max(1));
     Ok(format!(
-        "{}: executed on {} threads, {} elements/rank — results match the golden collective\n{}{extra}",
+        "{}: executed {} thread blocks on {} worker threads, {} elements/rank — results match the golden collective\n{}{extra}",
         ir.name,
         ir.num_threadblocks(),
+        workers,
         ir.collective.in_chunks() * chunk_elems,
         stats_line(&snapshot)
     ))

@@ -175,12 +175,36 @@ pub enum ReduceOp {
 
 impl ReduceOp {
     /// Applies the operator to two `f32` operands.
+    ///
+    /// Max/min are IEEE `maxNum`/`minNum` with a pinned operand
+    /// selection: a NaN in `a` yields `b` (and vice versa), and a ±0.0
+    /// tie yields `a`. `f32::max` itself leaves the tie choice to
+    /// codegen ("either may be returned"), which would let two
+    /// inlinings of the same reduction disagree bitwise — every
+    /// consumer (replay oracle, simulator, scalar and SIMD kernels)
+    /// goes through this pinned definition instead.
     #[must_use]
     pub fn apply(self, a: f32, b: f32) -> f32 {
         match self {
             ReduceOp::Sum => a + b,
-            ReduceOp::Max => a.max(b),
-            ReduceOp::Min => a.min(b),
+            ReduceOp::Max => {
+                if a.is_nan() {
+                    b
+                } else if b.is_nan() || a >= b {
+                    a
+                } else {
+                    b
+                }
+            }
+            ReduceOp::Min => {
+                if a.is_nan() {
+                    b
+                } else if b.is_nan() || a <= b {
+                    a
+                } else {
+                    b
+                }
+            }
             ReduceOp::Prod => a * b,
         }
     }

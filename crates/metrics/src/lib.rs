@@ -81,6 +81,14 @@ pub mod names {
     /// Counter, no labels: instruction executions redone after a failure
     /// (work the failed attempt had completed past its resume point).
     pub const STEPS_REDONE: &str = "msccl_steps_redone_total";
+    /// Counter, no labels: tasks taken from another worker's deque by the
+    /// work-stealing scheduler.
+    pub const SCHED_STEALS: &str = "msccl_sched_steals_total";
+    /// Counter, no labels: times a worker parked with nothing runnable.
+    pub const SCHED_PARKS: &str = "msccl_sched_parks_total";
+    /// Gauge, no labels: peak number of simultaneously runnable tasks
+    /// (queue depth high-watermark across all deques and the injector).
+    pub const SCHED_RUNNABLE_PEAK: &str = "msccl_sched_runnable_peak";
 }
 
 /// Number of log2 buckets in every [`Histogram`]. Bucket `0` holds the

@@ -2,20 +2,26 @@
 //!
 //! The first failure anywhere — a blocking-step timeout, the global
 //! deadline, a panic, an injected kill — cancels the token and records
-//! the *originating* failure. Every other worker observes the token in
-//! its blocking loops (FIFO sends/receives, semaphore waits, fault
-//! stalls, all of which slice their waits by [`CANCEL_POLL`]) and aborts
-//! within milliseconds, so the run reports one precise origin instead of
-//! a cascade of secondary timeouts.
+//! the *originating* failure. Cancellation is **event-driven**: parked
+//! waiters (the scheduler's worker pool, or a primitive's condvar in the
+//! blocking test APIs) register a [`Poke`] waker on the token, and
+//! [`CancelToken::cancel`] notifies every registered waker after
+//! tripping the flag. No wait anywhere in the runtime polls the token on
+//! a timer; a blocked thread observes cancellation as one wakeup, so the
+//! run reports one precise origin instead of a cascade of secondary
+//! timeouts — and idle workers burn no CPU slicing their sleeps.
 
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex, PoisonError};
-use std::time::{Duration, Instant};
+use std::sync::{Arc, Mutex, PoisonError, Weak};
+use std::time::Instant;
 
-/// Upper bound on how long a blocked worker can take to observe a
-/// cancellation: every blocking wait is sliced to at most this long
-/// between checks of the token.
-pub(crate) const CANCEL_POLL: Duration = Duration::from_millis(5);
+/// A parked waiter that a cancellation must wake. Implementations lock
+/// whatever mutex their condvar waits under before notifying, so the
+/// wakeup can never race past a waiter that has checked the flag but not
+/// yet parked (the classic lost-wakeup window).
+pub(crate) trait Poke: Send + Sync {
+    fn poke(&self);
+}
 
 /// Why an execution failed, as seen at the point of origin.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -43,12 +49,21 @@ pub struct FailureOrigin {
     pub cause: FailureCause,
 }
 
-/// A shared flag workers poll inside blocking waits, plus the recorded
-/// origin of the first failure.
-#[derive(Debug, Default)]
+/// A shared flag workers check between instructions, plus the recorded
+/// origin of the first failure and the wakers to notify when it trips.
+#[derive(Default)]
 pub(crate) struct CancelToken {
     cancelled: AtomicBool,
     origin: Mutex<Option<(FailureOrigin, Instant)>>,
+    wakers: Mutex<Vec<Weak<dyn Poke>>>,
+}
+
+impl std::fmt::Debug for CancelToken {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CancelToken")
+            .field("cancelled", &self.is_cancelled())
+            .finish_non_exhaustive()
+    }
 }
 
 impl CancelToken {
@@ -61,9 +76,40 @@ impl CancelToken {
         self.cancelled.load(Ordering::Acquire)
     }
 
-    /// Records `origin` (with the cancellation instant) and trips the
-    /// flag. Only the first caller's origin is kept; returns whether this
-    /// call was the first.
+    /// Registers a waker to notify when the token trips. Weak: the token
+    /// may outlive the primitive it wakes. If the token has already
+    /// tripped, the waker is poked immediately instead of stored, so a
+    /// waiter that registers after the failure still cannot sleep through
+    /// it.
+    pub(crate) fn attach(&self, waker: Weak<dyn Poke>) {
+        if self.is_cancelled() {
+            if let Some(w) = waker.upgrade() {
+                w.poke();
+            }
+            return;
+        }
+        let mut guard = self.wakers.lock().unwrap_or_else(PoisonError::into_inner);
+        guard.push(waker);
+        drop(guard);
+        // Trip observed between the check and the push: the canceller may
+        // have drained the list already, so poke from here.
+        if self.is_cancelled() {
+            self.poke_all();
+        }
+    }
+
+    fn poke_all(&self) {
+        let wakers = self.wakers.lock().unwrap_or_else(PoisonError::into_inner);
+        for w in wakers.iter() {
+            if let Some(w) = w.upgrade() {
+                w.poke();
+            }
+        }
+    }
+
+    /// Records `origin` (with the cancellation instant), trips the flag
+    /// and wakes every attached waiter. Only the first caller's origin is
+    /// kept; returns whether this call was the first.
     pub(crate) fn cancel(&self, origin: FailureOrigin) -> bool {
         let mut guard = self.origin.lock().unwrap_or_else(PoisonError::into_inner);
         let first = guard.is_none();
@@ -74,6 +120,7 @@ impl CancelToken {
         // Release-store after the origin write so a worker that observes
         // the flag can rely on the origin being present.
         self.cancelled.store(true, Ordering::Release);
+        self.poke_all();
         first
     }
 
@@ -100,6 +147,8 @@ impl CancelToken {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::time::Duration;
 
     fn origin(rank: usize) -> FailureOrigin {
         FailureOrigin {
@@ -134,5 +183,30 @@ mod tests {
         std::thread::sleep(Duration::from_millis(10));
         t.cancel(origin(5));
         assert_eq!(h.join().unwrap(), 5);
+    }
+
+    struct CountingPoke(AtomicUsize);
+    impl Poke for CountingPoke {
+        fn poke(&self) {
+            self.0.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+
+    #[test]
+    fn cancel_pokes_attached_wakers() {
+        let t = CancelToken::new();
+        let p = Arc::new(CountingPoke(AtomicUsize::new(0)));
+        t.attach(Arc::downgrade(&p) as Weak<dyn Poke>);
+        t.cancel(origin(0));
+        assert_eq!(p.0.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn attach_after_cancel_pokes_immediately() {
+        let t = CancelToken::new();
+        t.cancel(origin(0));
+        let p = Arc::new(CountingPoke(AtomicUsize::new(0)));
+        t.attach(Arc::downgrade(&p) as Weak<dyn Poke>);
+        assert_eq!(p.0.load(Ordering::SeqCst), 1);
     }
 }

@@ -4,12 +4,16 @@
 //! The pass proves per-block watermark vectors at which no message is in
 //! flight and no semaphore wait spans the frontier; [`schedule`]
 //! (`mscclang::passes::epochs::schedule`) turns them into monotonic
-//! per-block completed-instruction *targets*. Workers count completed
+//! per-block completed-instruction *targets*. Tasks count completed
 //! instruction instances anyway (it is the semaphore encoding), so hitting
 //! a boundary costs one comparison per instruction.
 //!
-//! At a boundary every worker parks on the boundary's gate. The **last
-//! arriver** is the designated snapshotter: with all workers parked at a
+//! The barrier is **non-blocking** so it composes with the work-stealing
+//! scheduler: a task whose position reaches a boundary target calls
+//! [`EpochState::arrive`] and, unless it was the last arriver, suspends on
+//! the boundary's gate key in the scheduler's wait table — the worker
+//! thread moves on to other runnable tasks instead of parking. The **last
+//! arriver** is the designated snapshotter: with every task suspended at a
 //! verifier-checked consistent cut, rank memory alone is the complete
 //! distributed state, and one [`RankMemory::snapshot_into`] pass per rank
 //! captures it into recycled staging buffers. Publication is guarded
@@ -17,21 +21,21 @@
 //! unpublished before the first byte of the new one is copied, so a fault
 //! mid-snapshot degrades recovery to a full retry but can never surface a
 //! half-written snapshot as resumable. Cancellation observed at the gate
-//! skips the snapshot entirely.
+//! skips the snapshot entirely (the gate still releases, so suspended
+//! tasks wake, observe the cancellation, and unwind).
 //!
 //! On failure the latest published checkpoint travels out in
 //! [`EpochStatus`]; the recovery ladder feeds it back as a *resume*: rank
-//! memory is restored, each worker starts at its watermark, FIFO sequence
+//! memory is restored, each task starts at its watermark, FIFO sequence
 //! numbers and semaphore values are re-derived from the watermarks, and
 //! FIFOs restart empty because nothing crossed the cut.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, PoisonError};
-use std::time::Instant;
 
 use crate::cancel::CancelToken;
 use crate::memory::{RankMemory, SpaceBuffers};
-use crate::semaphore::{Semaphore, WaitOutcome};
+use crate::semaphore::Semaphore;
 
 /// A published epoch checkpoint: everything needed to resume a failed run
 /// from its last consistent cut instead of from scratch. Produced by
@@ -97,7 +101,9 @@ pub struct EpochStatus {
 }
 
 /// One boundary's barrier: an arrival counter and a release latch, both
-/// built on the runtime's cancellable [`Semaphore`].
+/// built on the runtime's monotonic [`Semaphore`]. Neither side blocks:
+/// the scheduler suspends non-last arrivers on the gate's wait key and
+/// probes [`released`](Gate::released) on wakeup.
 struct Gate {
     arrived: Semaphore,
     released: Semaphore,
@@ -116,20 +122,9 @@ struct CheckpointSlot {
     fresh: u64,
 }
 
-/// How a worker's pause at an epoch gate ended.
-pub(crate) enum PauseOutcome {
-    /// The barrier completed (and, on the last arriver, the snapshot was
-    /// taken); continue executing.
-    Continue,
-    /// Cancelled from elsewhere while parked.
-    Cancelled,
-    /// The wait deadline expired while parked.
-    TimedOut,
-}
-
 /// Shared state of one epoch-enabled execution: the schedule, the gates,
-/// the staging slot, and per-worker progress counters that survive a
-/// worker's death (the error path reads them for `steps_redone`
+/// the staging slot, and per-task progress counters that survive a
+/// task's death (the error path reads them for `steps_redone`
 /// accounting).
 pub(crate) struct EpochState {
     /// Per-boundary targets `[boundary][rank][tb]`.
@@ -139,9 +134,9 @@ pub(crate) struct EpochState {
     /// Every rank's memory, for the designated snapshotter.
     memories: Vec<Arc<RankMemory>>,
     slot: Mutex<CheckpointSlot>,
-    /// Absolute completed-instruction position per worker, updated with a
+    /// Absolute completed-instruction position per task, updated with a
     /// relaxed store each instruction. Seeded with the resume watermarks
-    /// so `sum - start_total` is executed work even for workers that die
+    /// so `sum - start_total` is executed work even for tasks that die
     /// before their first store.
     progress: Vec<AtomicU64>,
 }
@@ -192,47 +187,52 @@ impl EpochState {
         slot.instructions = instructions;
     }
 
-    /// This worker's per-boundary targets, cloned out for the hot loop.
+    /// This task's per-boundary targets, cloned out for the hot loop.
     pub(crate) fn targets_for(&self, rank: usize, tb: usize) -> Vec<u64> {
         self.boundaries.iter().map(|b| b[rank][tb]).collect()
     }
 
-    /// Records `completed` as worker `worker`'s absolute position.
+    /// Records `completed` as task `worker`'s absolute position.
     pub(crate) fn note_progress(&self, worker: usize, completed: u64) {
         self.progress[worker].store(completed, Ordering::Relaxed);
     }
 
-    /// Parks the calling worker at boundary `b`. The last arriver
-    /// snapshots all rank memory (unless cancellation already tripped)
-    /// and releases the gate; everyone else waits, cancellably.
-    pub(crate) fn pause(&self, b: usize, deadline: Instant, cancel: &CancelToken) -> PauseOutcome {
+    /// Registers the calling task's arrival at boundary `b` without
+    /// blocking. Returns `true` iff this was the **last** arrival: the
+    /// snapshot has been taken (unless cancellation already tripped) and
+    /// the gate released — the caller must then wake every task suspended
+    /// on the boundary's gate key. On `false` the caller suspends until
+    /// [`is_released`](Self::is_released) holds.
+    pub(crate) fn arrive(&self, b: usize, cancel: &CancelToken) -> bool {
         let gate = &self.gates[b];
-        if gate.arrived.increment() == self.num_workers {
-            // All workers are parked at a verifier-checked consistent
-            // cut: FIFOs drained, semaphores quiesced, rank memory the
-            // complete state. Snapshot it — unless a failure tripped
-            // cancellation, in which case the memories may be mid-epoch
-            // somewhere and must not be published.
-            if !cancel.is_cancelled() {
-                let mut slot = self.slot.lock().unwrap_or_else(PoisonError::into_inner);
-                // Invalidate-then-write: no torn snapshot can ever be
-                // published, at worst the previous checkpoint is lost.
-                slot.published = None;
-                for (mem, snap) in self.memories.iter().zip(slot.buffers.iter_mut()) {
-                    mem.snapshot_into(snap);
-                }
-                slot.published = Some(b);
-                slot.instructions = self.boundaries[b].iter().flatten().sum();
-                slot.fresh += 1;
+        if gate.arrived.increment() < self.num_workers {
+            return false;
+        }
+        // Every task is suspended at a verifier-checked consistent cut:
+        // FIFOs drained, inboxes empty, semaphores quiesced — rank memory
+        // is the complete state. Snapshot it — unless a failure tripped
+        // cancellation, in which case the memories may be mid-epoch
+        // somewhere and must not be published.
+        if !cancel.is_cancelled() {
+            let mut slot = self.slot.lock().unwrap_or_else(PoisonError::into_inner);
+            // Invalidate-then-write: no torn snapshot can ever be
+            // published, at worst the previous checkpoint is lost.
+            slot.published = None;
+            for (mem, snap) in self.memories.iter().zip(slot.buffers.iter_mut()) {
+                mem.snapshot_into(snap);
             }
-            gate.released.set(1);
-            return PauseOutcome::Continue;
+            slot.published = Some(b);
+            slot.instructions = self.boundaries[b].iter().flatten().sum();
+            slot.fresh += 1;
         }
-        match gate.released.wait_at_least(1, deadline, cancel) {
-            WaitOutcome::Reached => PauseOutcome::Continue,
-            WaitOutcome::Cancelled => PauseOutcome::Cancelled,
-            WaitOutcome::TimedOut => PauseOutcome::TimedOut,
-        }
+        gate.released.set(1);
+        true
+    }
+
+    /// Whether boundary `b`'s gate has been released — the readiness
+    /// probe for tasks suspended at the gate.
+    pub(crate) fn is_released(&self, b: usize) -> bool {
+        self.gates[b].released.current() >= 1
     }
 
     /// Tears the state down after the workers have joined, producing the
@@ -274,39 +274,45 @@ impl EpochState {
     }
 }
 
-/// A worker's epoch context: the shared state plus this worker's slice of
-/// the schedule, carried through the interpreter loop.
+/// A task's epoch context: the shared state plus this task's slice of
+/// the schedule, carried through the interpreter loop. Boundary targets
+/// are indexed by the task's *flat spawn order*, which is stable however
+/// the scheduler migrates the task between worker threads — watermark
+/// accounting is scheduler-invariant.
 pub(crate) struct WorkerEpoch {
     pub(crate) state: Arc<EpochState>,
-    /// This worker's target per boundary (monotonic).
+    /// This task's target per boundary (monotonic).
     pub(crate) targets: Vec<u64>,
-    /// Next boundary to pause at.
+    /// Next boundary to arrive at.
     pub(crate) next: usize,
-    /// Flat worker index (spawn order) for progress notes.
+    /// Flat task index (spawn order) for progress notes.
     pub(crate) worker: usize,
 }
 
 impl WorkerEpoch {
     /// Called after every completed instruction (and once at start, for
-    /// resumed workers already sitting on a boundary): records progress
-    /// and parks at each boundary whose target this position reaches.
-    pub(crate) fn on_progress(
-        &mut self,
-        completed: u64,
-        deadline: Instant,
-        cancel: &CancelToken,
-    ) -> PauseOutcome {
+    /// resumed tasks already sitting on a boundary): records progress and
+    /// reports the boundary this position lands on, if any. The caller
+    /// then runs the arrive/suspend protocol and acknowledges with
+    /// [`passed`](Self::passed) once through the gate.
+    pub(crate) fn boundary_due(&mut self, completed: u64) -> Option<usize> {
         self.state.note_progress(self.worker, completed);
-        while self.next < self.targets.len() && self.targets[self.next] <= completed {
+        if self.next < self.targets.len() && self.targets[self.next] <= completed {
             debug_assert_eq!(
                 self.targets[self.next], completed,
-                "worker overshot an epoch boundary"
+                "task overshot an epoch boundary"
             );
-            match self.state.pause(self.next, deadline, cancel) {
-                PauseOutcome::Continue => self.next += 1,
-                stopped => return stopped,
-            }
+            return Some(self.next);
         }
-        PauseOutcome::Continue
+        None
+    }
+
+    /// Marks the current boundary as passed. Call exactly once per
+    /// boundary reported by [`boundary_due`](Self::boundary_due), after
+    /// the gate released. The next `boundary_due` probe (at the same
+    /// `completed` position) then reports the following boundary if its
+    /// target coincides.
+    pub(crate) fn passed(&mut self) {
+        self.next += 1;
     }
 }

@@ -1,5 +1,19 @@
-//! The interpreter proper: one thread per IR thread block, a tiling outer
-//! loop, bounded FIFO connections and semaphore dependencies (Figure 5).
+//! The interpreter proper: one resumable *task* per IR thread block on a
+//! work-stealing worker pool, a tiling outer loop, bounded FIFO
+//! connections and semaphore dependencies (Figure 5).
+//!
+//! Each thread block's interpreter loop is compiled into a [`TbTask`]
+//! state machine that runs until it would block — on a dependency
+//! semaphore, a FIFO, an epoch gate, or a fault-injected sleep — and
+//! then suspends with a [`WakeKey`] naming what it waits for. A fixed
+//! pool of `min(num_cpus, num_tbs)` workers (override:
+//! [`RunOptions::worker_threads`]) runs the tasks from per-worker deques
+//! with stealing; the peer that makes a blocked condition true (a
+//! semaphore set, a FIFO push/drain, a gate release) wakes the key and
+//! the task resumes, possibly on a different worker. The compiled
+//! per-block instruction order is untouched — only *who* runs a block's
+//! next step, and when, changed — so results stay bit-exact with the
+//! dedicated-thread executor this replaced, at any pool size.
 //!
 //! Execution can be traced: [`execute_traced`] returns a wall-clock
 //! [`Trace`] built from lock-free per-worker event buffers merged after
@@ -20,9 +34,9 @@
 //! points: block faults (stall/kill) as an instruction starts, delivery
 //! faults (drop/delay/duplicate/corrupt) as a tile is handed to its FIFO.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::fmt;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, PoisonError, Weak};
 use std::time::{Duration, Instant};
 
 use msccl_faults::{corrupt_payload, BlockAction, DeliveryAction, FaultInjector, FaultPlanError};
@@ -30,16 +44,17 @@ use msccl_metrics::{names, Counter, Gauge, Histogram, MetricsSnapshot, Registry}
 use msccl_topology::Protocol;
 use msccl_trace::{ClockDomain, EventKind, Trace, TraceEvent};
 
-use mscclang::{IrProgram, OpCode, ReduceOp};
+use mscclang::{IrProgram, OpCode, ReduceOp, Space};
 
 use mscclang::EpochMode;
 
-use crate::cancel::{CancelToken, FailureCause, FailureOrigin, CANCEL_POLL};
-use crate::epoch::{EpochCheckpoint, EpochState, EpochStatus, PauseOutcome, WorkerEpoch};
-use crate::fifo::{Fifo, FifoStop, SendMoment};
+use crate::cancel::{CancelToken, FailureCause, FailureOrigin, Poke};
+use crate::epoch::{EpochCheckpoint, EpochState, EpochStatus, WorkerEpoch};
+use crate::fifo::Fifo;
 use crate::memory::{RankMemory, SpaceBuffers};
 use crate::pool::{PoolStats, PooledTile, TilePool};
-use crate::semaphore::{Semaphore, WaitOutcome};
+use crate::sched::{Scheduler, WakeKey};
+use crate::semaphore::Semaphore;
 
 /// Options controlling an execution.
 #[derive(Debug, Clone, PartialEq)]
@@ -82,6 +97,12 @@ pub struct RunOptions {
     /// [`crate::epoch`] for the machinery and
     /// [`execute_resumable`] for resuming from a checkpoint.
     pub epochs: EpochMode,
+    /// Size of the work-stealing worker pool (`--threads`). `0` (the
+    /// default) picks `min(available_parallelism, num_tbs)`; any other
+    /// value is clamped to `[1, num_tbs]`. Results are bit-exact at
+    /// every pool size — the setting trades scheduling parallelism
+    /// against oversubscription, nothing else.
+    pub worker_threads: usize,
 }
 
 impl Default for RunOptions {
@@ -94,6 +115,7 @@ impl Default for RunOptions {
             deadline: None,
             metrics: true,
             epochs: EpochMode::Off,
+            worker_threads: 0,
         }
     }
 }
@@ -752,27 +774,6 @@ impl ArenaMetrics {
     }
 }
 
-/// Marker for a worker that stopped early. The reason lives in the
-/// [`CancelToken`]: the failing worker records it there before returning
-/// this, and cancelled bystanders return it without recording anything.
-struct Stopped;
-
-/// Sleeps for `duration` in [`CANCEL_POLL`] slices, aborting early on
-/// cancellation. Returns whether the full duration elapsed.
-fn cancellable_sleep(duration: Duration, cancel: &CancelToken) -> bool {
-    let until = Instant::now() + duration;
-    loop {
-        if cancel.is_cancelled() {
-            return false;
-        }
-        let remaining = until.saturating_duration_since(Instant::now());
-        if remaining.is_zero() {
-            return true;
-        }
-        std::thread::sleep(remaining.min(CANCEL_POLL));
-    }
-}
-
 fn payload_string(payload: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
@@ -1210,11 +1211,26 @@ fn execute_impl(
     // ---- Memory, loaded with the inputs. Recycled space buffers keep
     // their warmed-up pages; the input load below completes the
     // fresh-construction semantics `RankMemory::recycled` documents.
+    // Chunks the instruction scan proves write-before-read skip even
+    // the re-zero — their stale recycled contents are unobservable.
     let memories: Vec<Arc<RankMemory>> = (0..num_ranks)
         .map(|r| {
             let spare = spares.pop().unwrap_or_default();
-            let mem =
-                RankMemory::recycled(collective, r, ir.gpu(r).scratch_chunks, chunk_elems, spare);
+            // Fresh (non-recycled) construction zeroes everything anyway, so
+            // only pay for the write-before-read scan when buffers recycle.
+            let skip = if spare.is_empty() {
+                Default::default()
+            } else {
+                overwrite_only_chunks(ir, collective, r)
+            };
+            let mem = RankMemory::recycled_skipping(
+                collective,
+                r,
+                ir.gpu(r).scratch_chunks,
+                chunk_elems,
+                spare,
+                |space, c| skip[space_slot(space)].get(c).copied().unwrap_or(false),
+            );
             for index in 0..collective.in_chunks() {
                 let base = index * chunk_elems;
                 mem.write(
@@ -1405,140 +1421,142 @@ fn execute_impl(
         if let Some(m) = &run_metrics {
             m.pool_allocated.reset_shard(0);
             m.pool_reused.reset_shard(0);
+            m.registry.gauge(names::SCHED_RUNNABLE_PEAK, &[]).reset();
         }
     }
 
-    type WorkerOutput = (Vec<TraceEvent>, EventRing, u64);
-    let buffers_and_rings = std::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for gpu in &ir.gpus {
-            for tb in &gpu.threadblocks {
-                let mem = Arc::clone(&memories[gpu.rank]);
-                let sem = Arc::clone(&semaphores[&(gpu.rank, tb.id)]);
-                let pool = Arc::clone(&pool);
-                let send: Option<(usize, usize, Arc<Fifo<PooledTile>>)> = tb.send_peer.map(|p| {
-                    (
-                        p,
-                        tb.channel,
-                        Arc::clone(&fifos[&(gpu.rank, p, tb.channel)]),
-                    )
-                });
-                let recv: Option<(usize, usize, Arc<Fifo<PooledTile>>)> = tb.recv_peer.map(|p| {
-                    (
-                        p,
-                        tb.channel,
-                        Arc::clone(&fifos[&(p, gpu.rank, tb.channel)]),
-                    )
-                });
-                let dep_sems: Vec<Vec<(Arc<Semaphore>, u64)>> = tb
-                    .instructions
-                    .iter()
-                    .map(|i| {
-                        i.deps
-                            .iter()
-                            .map(|d| {
-                                (
-                                    Arc::clone(&semaphores[&(gpu.rank, d.tb)]),
-                                    tb_len[&(gpu.rank, d.tb)],
-                                )
-                            })
-                            .collect()
-                    })
-                    .collect();
-                let rank = gpu.rank;
-                let tb_ref = tb;
-                let collective = collective.clone();
-                let timeout = opts.timeout;
-                let cancel = Arc::clone(&cancel);
-                let worker_index = handles.len();
-                let worker_metrics: Option<&WorkerMetrics> =
-                    run_metrics.as_deref().map(|m| &m.workers[worker_index]);
-                let start = start_targets[gpu.rank][tb.id];
-                let epoch_ctx: Option<WorkerEpoch> =
-                    epoch_state.as_ref().map(|state| WorkerEpoch {
-                        state: Arc::clone(state),
-                        targets: state.targets_for(gpu.rank, tb.id),
-                        // Gates at or before the resumed boundary are
-                        // never revisited — by anyone, so they stay
-                        // consistent.
-                        next: resume_info.map_or(0, |(b, _)| b + 1),
-                        worker: worker_index,
-                    });
-                handles.push(scope.spawn(move || -> WorkerOutput {
-                    if want_snapshot {
-                        if let Some(m) = worker_metrics {
-                            m.reset_own_shard();
-                        }
-                    }
-                    let tb_id = tb_ref.id;
-                    let mut rec = Recorder {
-                        enabled: tracing,
-                        epoch,
-                        rank,
-                        tb: tb_id,
-                        events: Vec::new(),
-                    };
-                    let mut ring = EventRing::new(rank, tb_id);
-                    // Catch panics so a bug in one worker becomes a
-                    // cancellation with a recorded origin rather than a
-                    // bare thread death the others wait out. Every lock
-                    // in the runtime is poison-tolerant, so unwinding
-                    // with locks held cannot wedge the survivors.
-                    let mut epoch_ctx = epoch_ctx;
-                    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                        run_thread_block(
-                            tb_ref,
-                            rank,
-                            &collective,
-                            &mem,
-                            &sem,
-                            &pool,
-                            &send,
-                            &recv,
-                            &dep_sems,
-                            num_tiles,
-                            tile_elems,
-                            chunk_elems,
-                            op,
-                            timeout,
-                            global_deadline,
-                            &cancel,
-                            injector,
-                            worker_metrics,
-                            start,
-                            &mut epoch_ctx,
-                            &mut rec,
-                            &mut ring,
-                        )
-                    }));
-                    let completed = match result {
-                        Ok(Ok(completed)) => completed,
-                        Ok(Err(Stopped)) => 0,
-                        Err(payload) => {
-                            cancel.cancel(FailureOrigin {
-                                rank,
-                                tb: tb_id,
-                                step: ring.last_step(),
-                                cause: FailureCause::Panic(payload_string(payload.as_ref())),
-                            });
-                            0
-                        }
-                    };
-                    (rec.events, ring, completed)
-                }));
+    // ---- Dense connection indices so FIFO wake keys are plain integers.
+    // The assignment order is arbitrary but fixed for the run; both
+    // endpoints of a connection resolve the same index.
+    let conn_index: HashMap<(usize, usize, usize), usize> =
+        fifos.keys().enumerate().map(|(i, k)| (*k, i)).collect();
+
+    // ---- Flat task indices in spawn order: semaphore wake keys and
+    // metrics shards are addressed by this index, so watermarks and
+    // shard ownership are invariant under worker migration.
+    let flat_index: HashMap<(usize, usize), usize> = ir
+        .gpus
+        .iter()
+        .flat_map(|g| g.threadblocks.iter().map(|t| (g.rank, t.id)))
+        .enumerate()
+        .map(|(i, k)| (k, i))
+        .collect();
+
+    // ---- One resumable task per thread block, in spawn order. Each
+    // task owns its interpreter state behind a `Mutex`; the scheduler's
+    // ownership discipline guarantees at most one worker holds it at a
+    // time, so the lock is uncontended by construction.
+    let tasks: Vec<Mutex<TbTask>> = ir
+        .gpus
+        .iter()
+        .flat_map(|gpu| gpu.threadblocks.iter().map(move |tb| (gpu, tb)))
+        .map(|(gpu, tb)| {
+            let flat = flat_index[&(gpu.rank, tb.id)];
+            let worker_metrics: Option<&WorkerMetrics> =
+                run_metrics.as_deref().map(|m| &m.workers[flat]);
+            if want_snapshot {
+                if let Some(m) = worker_metrics {
+                    m.reset_own_shard();
+                }
             }
-        }
-        let mut buffers: Vec<Vec<TraceEvent>> = Vec::new();
-        let mut rings: Vec<EventRing> = Vec::new();
-        let mut instructions = 0u64;
-        for h in handles {
-            // Workers never unwind past catch_unwind; a join error would
-            // mean the runtime itself (recorder, ring) panicked.
-            if let Ok((events, ring, completed)) = h.join() {
-                buffers.push(events);
-                rings.push(ring);
-                instructions += completed;
-            } else if !cancel.is_cancelled() {
+            let send = tb.send_peer.map(|p| ConnRef {
+                peer: p,
+                channel: tb.channel,
+                idx: conn_index[&(gpu.rank, p, tb.channel)],
+                fifo: Arc::clone(&fifos[&(gpu.rank, p, tb.channel)]),
+            });
+            let recv = tb.recv_peer.map(|p| ConnRef {
+                peer: p,
+                channel: tb.channel,
+                idx: conn_index[&(p, gpu.rank, tb.channel)],
+                fifo: Arc::clone(&fifos[&(p, gpu.rank, tb.channel)]),
+            });
+            let dep_sems: Vec<Vec<(Arc<Semaphore>, u64, usize)>> = tb
+                .instructions
+                .iter()
+                .map(|i| {
+                    i.deps
+                        .iter()
+                        .map(|d| {
+                            (
+                                Arc::clone(&semaphores[&(gpu.rank, d.tb)]),
+                                tb_len[&(gpu.rank, d.tb)],
+                                flat_index[&(gpu.rank, d.tb)],
+                            )
+                        })
+                        .collect()
+                })
+                .collect();
+            let epoch_ctx: Option<WorkerEpoch> = epoch_state.as_ref().map(|state| WorkerEpoch {
+                state: Arc::clone(state),
+                targets: state.targets_for(gpu.rank, tb.id),
+                // Gates at or before the resumed boundary are
+                // never revisited — by anyone, so they stay
+                // consistent.
+                next: resume_info.map_or(0, |(b, _)| b + 1),
+                worker: flat,
+            });
+            Mutex::new(TbTask::new(TbTaskInit {
+                rank: gpu.rank,
+                tb,
+                flat,
+                collective,
+                mem: Arc::clone(&memories[gpu.rank]),
+                sem: Arc::clone(&semaphores[&(gpu.rank, tb.id)]),
+                pool: Arc::clone(&pool),
+                send,
+                recv,
+                dep_sems,
+                num_tiles,
+                tile_elems,
+                chunk_elems,
+                op,
+                timeout: opts.timeout,
+                global_deadline,
+                cancel: Arc::clone(&cancel),
+                injector,
+                metrics: worker_metrics,
+                epoch_ctx,
+                start: start_targets[gpu.rank][tb.id],
+                tracing,
+                clock_epoch: epoch,
+            }))
+        })
+        .collect();
+
+    // ---- Worker pool: `min(num_cpus, num_tbs)` threads by default,
+    // pinned by `worker_threads`. Tasks outnumbering workers is the
+    // normal case — oversubscription is handled by cooperative yields,
+    // not by the OS scheduler thrashing between hundreds of threads.
+    let num_tasks = tasks.len();
+    let pool_threads = {
+        let auto = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+        let want = if opts.worker_threads == 0 {
+            auto
+        } else {
+            opts.worker_threads
+        };
+        want.clamp(1, num_tasks.max(1))
+    };
+    let sched = Scheduler::new(pool_threads, num_tasks);
+    // Cancellation from anywhere wakes every parked worker immediately.
+    cancel.attach(Arc::downgrade(&sched.parker) as Weak<dyn Poke>);
+    std::thread::scope(|scope| {
+        // Worker 0 runs inline on the calling thread — a one-worker pool
+        // spawns no threads at all, which on small runs saves the full
+        // spawn+join round trip. Workers 1.. get their own threads.
+        let handles: Vec<_> = (1..pool_threads)
+            .map(|w| {
+                let sched = &sched;
+                let tasks = &tasks;
+                let cancel = &cancel;
+                scope.spawn(move || worker_loop(w, sched, tasks, cancel))
+            })
+            .collect();
+        // Tasks never unwind past run_task's catch_unwind; a panic out of
+        // the loop itself (inline or joined) means the scheduler broke.
+        let dead_scheduler = |cancel: &CancelToken| {
+            if !cancel.is_cancelled() {
                 cancel.cancel(FailureOrigin {
                     rank: 0,
                     tb: 0,
@@ -1546,10 +1564,33 @@ fn execute_impl(
                     cause: FailureCause::Panic("worker died outside the interpreter".into()),
                 });
             }
+        };
+        let inline = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            worker_loop(0, &sched, &tasks, &cancel);
+        }));
+        if inline.is_err() {
+            dead_scheduler(&cancel);
         }
-        (buffers, rings, instructions)
+        for h in handles {
+            if h.join().is_err() {
+                dead_scheduler(&cancel);
+            }
+        }
     });
-    let (buffers, rings, instructions) = buffers_and_rings;
+    let sched_stats = sched.stats();
+    let mut buffers: Vec<Vec<TraceEvent>> = Vec::with_capacity(num_tasks);
+    let mut rings: Vec<EventRing> = Vec::with_capacity(num_tasks);
+    let mut instructions = 0u64;
+    for task in tasks {
+        let t = task.into_inner().unwrap_or_else(PoisonError::into_inner);
+        // A task that died (cancelled, panicked, or stranded) matches the
+        // old model where a stopped worker contributed no instructions.
+        if t.done && !t.dead {
+            instructions += t.completed;
+        }
+        buffers.push(t.rec.events);
+        rings.push(t.ring);
+    }
     // Observed cancellation latency: the failing worker stamped the token
     // when it recorded the origin, and at this point every worker has
     // joined. This — not wall clock around the whole call — is what
@@ -1611,6 +1652,22 @@ fn execute_impl(
                 .counter(names::STEPS_RESUMED, &[])
                 .add(0, epoch_status.steps_resumed);
         }
+        // Scheduler counters, likewise lazy: a run whose pool never
+        // stole or parked carries no scheduler series, so the
+        // runtime-vs-simulator metric parity is undisturbed.
+        if sched_stats.steals > 0 {
+            m.registry
+                .counter(names::SCHED_STEALS, &[])
+                .add(0, sched_stats.steals);
+        }
+        if sched_stats.parks > 0 {
+            m.registry
+                .counter(names::SCHED_PARKS, &[])
+                .add(0, sched_stats.parks);
+        }
+        m.registry
+            .gauge(names::SCHED_RUNNABLE_PEAK, &[])
+            .set_max(sched_stats.peak_runnable);
         m.registry.snapshot()
     });
 
@@ -1702,19 +1759,38 @@ fn execute_impl(
         Trace::from_buffers(ClockDomain::Wall, buffers)
     });
 
-    // ---- Extract outputs: one `read_into` pass per chunk, straight
-    // into the result buffer (no intermediate per-chunk allocation).
-    // Recycled result vectors are overwritten in full by the reads.
+    // ---- Extract outputs. When a rank's output chunks map identity-
+    // style onto one whole space, that space's backing vector *is* the
+    // result: steal it via a pointer swap (handing in a recycled vector
+    // so the arena cycle stays allocation-free) instead of copying
+    // `out_chunks × chunk_elems` elements. Ranks whose output layout is
+    // scattered fall back to one `read_into` pass per chunk.
+    let out_chunks = collective.out_chunks();
+    let stealable = |r: usize| -> Option<Space> {
+        if out_chunks == 0 {
+            return None;
+        }
+        let (space, off0) = collective.space_of(r, mscclang::BufferKind::Output, 0);
+        (off0 == 0
+            && collective.space_size(space) == Some(out_chunks)
+            && (1..out_chunks)
+                .all(|i| collective.space_of(r, mscclang::BufferKind::Output, i) == (space, i)))
+        .then_some(space)
+    };
     let outputs = (0..num_ranks)
         .map(|r| {
-            let elems = collective.out_chunks() * chunk_elems;
-            let mut out = spare_outs.pop().unwrap_or_default();
+            let spare = spare_outs.pop().unwrap_or_default();
+            if let Some(space) = stealable(r) {
+                return memories[r].swap_space_buffer(space, spare);
+            }
+            let elems = out_chunks * chunk_elems;
+            let mut out = spare;
             if out.is_empty() {
                 out = vec![0.0; elems];
             } else {
                 out.resize(elems, 0.0);
             }
-            for index in 0..collective.out_chunks() {
+            for index in 0..out_chunks {
                 let base = index * chunk_elems;
                 memories[r].read_into(
                     collective,
@@ -1731,559 +1807,1375 @@ fn execute_impl(
     Ok((outputs, trace, stats, metrics_snapshot))
 }
 
+/// Index of a space in the fixed-size per-space tables below.
+fn space_slot(space: Space) -> usize {
+    match space {
+        Space::Data => 0,
+        Space::Output => 1,
+        Space::Scratch => 2,
+    }
+}
+
+/// Per-space bitmap of `rank`'s chunks that the program provably fully
+/// overwrites before ever reading — `[Data, Output, Scratch]`, indexed by
+/// [`space_slot`].
+///
+/// A chunk qualifies when it is the destination of at least one
+/// plain-overwrite instruction (`r`, `cpy`, `rcs` — each writes its full
+/// destination chunks, since the tile loop spans `chunk_elems`) and
+/// every read of it — source of any instruction, or destination of a
+/// reduce-family instruction (read-modify-write) — is ordered *after*
+/// one of those overwrites by the rank's own happens-before relation:
+/// program order within a thread block plus the IR's cross-block dep
+/// edges. Dep semaphore targets are per-tile (`tile * len + step + 1`),
+/// and distinct tiles touch disjoint element ranges, so instruction-
+/// level reachability is exactly the per-element guarantee. Orderings
+/// that exist only through a cross-rank FIFO round trip are not modeled
+/// — such chunks conservatively keep their re-zero.
+///
+/// Stale recycled data in a qualifying chunk is unobservable — output
+/// extraction runs only after every instruction completed, failed runs
+/// never extract, and epoch resume overwrites every space in full — so
+/// [`RankMemory::recycled_skipping`] can keep it instead of re-zeroing.
+fn overwrite_only_chunks(
+    ir: &IrProgram,
+    collective: &mscclang::Collective,
+    rank: usize,
+) -> [Vec<bool>; 3] {
+    let gpu = ir.gpu(rank);
+    let sizes = [
+        collective.space_size(Space::Data).unwrap_or(0),
+        collective.space_size(Space::Output).unwrap_or(0),
+        gpu.scratch_chunks,
+    ];
+    // Flat node ids over the rank's instructions, in (tb, step) order.
+    let mut offsets = Vec::with_capacity(gpu.threadblocks.len());
+    let mut n = 0usize;
+    for tb in &gpu.threadblocks {
+        offsets.push(n);
+        n += tb.instructions.len();
+    }
+
+    // Which nodes overwrite / read each chunk.
+    let mut writes: [Vec<Vec<u32>>; 3] = sizes.map(|s| vec![Vec::new(); s]);
+    let mut reads: [Vec<Vec<u32>>; 3] = sizes.map(|s| vec![Vec::new(); s]);
+    for (t, tb) in gpu.threadblocks.iter().enumerate() {
+        for (s, instr) in tb.instructions.iter().enumerate() {
+            let node = (offsets[t] + s) as u32;
+            let mark = |sets: &mut [Vec<Vec<u32>>; 3], loc: Option<mscclang::IrLoc>| {
+                let Some(loc) = loc else { return };
+                for i in 0..instr.count {
+                    let (space, off) = collective.space_of(rank, loc.buffer, loc.index + i);
+                    if let Some(list) = sets[space_slot(space)].get_mut(off) {
+                        list.push(node);
+                    }
+                }
+            };
+            match instr.op {
+                OpCode::Nop => {}
+                OpCode::Recv | OpCode::RecvCopySend => mark(&mut writes, instr.dst),
+                OpCode::Copy => {
+                    mark(&mut reads, instr.src);
+                    mark(&mut writes, instr.dst);
+                }
+                OpCode::Send | OpCode::RecvReduceSend => mark(&mut reads, instr.src),
+                OpCode::Reduce => {
+                    mark(&mut reads, instr.src);
+                    mark(&mut reads, instr.dst);
+                }
+                OpCode::RecvReduceCopy | OpCode::RecvReduceCopySend => mark(&mut reads, instr.dst),
+            }
+        }
+    }
+
+    // Strict-ancestor bitsets via a topological sweep over program order
+    // + dep edges. The graphs are tiny (a rank's instruction count), so
+    // n²/64 words of bitset is nothing.
+    let words = n.div_ceil(64).max(1);
+    let mut preds: Vec<Vec<u32>> = vec![Vec::new(); n];
+    for (t, tb) in gpu.threadblocks.iter().enumerate() {
+        for (s, instr) in tb.instructions.iter().enumerate() {
+            let node = offsets[t] + s;
+            if s > 0 {
+                preds[node].push((node - 1) as u32);
+            }
+            for d in &instr.deps {
+                if gpu
+                    .threadblocks
+                    .get(d.tb)
+                    .is_some_and(|db| d.step < db.instructions.len())
+                {
+                    preds[node].push((offsets[d.tb] + d.step) as u32);
+                }
+            }
+        }
+    }
+    let mut indeg = vec![0u32; n];
+    let mut succs: Vec<Vec<u32>> = vec![Vec::new(); n];
+    for (v, ps) in preds.iter().enumerate() {
+        indeg[v] = ps.len() as u32;
+        for &p in ps {
+            succs[p as usize].push(v as u32);
+        }
+    }
+    let mut anc = vec![0u64; n * words];
+    let mut queue: Vec<u32> = (0..n as u32).filter(|&v| indeg[v as usize] == 0).collect();
+    let mut processed = 0usize;
+    let mut scratch = vec![0u64; words];
+    while let Some(v) = queue.pop() {
+        processed += 1;
+        let v = v as usize;
+        scratch.copy_from_slice(&anc[v * words..(v + 1) * words]);
+        scratch[v / 64] |= 1 << (v % 64);
+        for &u in &succs[v] {
+            let u = u as usize;
+            for (a, &b) in anc[u * words..(u + 1) * words].iter_mut().zip(&scratch) {
+                *a |= b;
+            }
+            indeg[u] -= 1;
+            if indeg[u] == 0 {
+                queue.push(u as u32);
+            }
+        }
+    }
+    // A dep cycle (malformed hand-built IR — it could not execute anyway)
+    // degrades to the sound special case: only never-read chunks skip.
+    let acyclic = processed == n;
+    let ordered_after_write = |r: u32, ws: &[u32]| -> bool {
+        let base = r as usize * words;
+        ws.iter()
+            .any(|&w| anc[base + w as usize / 64] >> (w % 64) & 1 == 1)
+    };
+
+    let mut skip = sizes.map(|s| vec![false; s]);
+    for slot in 0..3 {
+        for off in 0..sizes[slot] {
+            let (ws, rs) = (&writes[slot][off], &reads[slot][off]);
+            skip[slot][off] = !ws.is_empty()
+                && if acyclic {
+                    rs.iter().all(|&r| ordered_after_write(r, ws))
+                } else {
+                    rs.is_empty()
+                };
+        }
+    }
+    skip
+}
+
 /// Whether a just-expired wait was bounded by the global deadline rather
 /// than the per-step timeout.
 fn deadline_hit(global_deadline: Option<Instant>) -> bool {
     global_deadline.is_some_and(|g| Instant::now() >= g)
 }
 
-/// One worker: interprets a thread block's instruction list under the
-/// tiling outer loop (Figure 5), emitting trace events and ring entries
-/// along the way. Every payload travels in a [`PooledTile`] taken from
-/// the shared pool and recycled on receipt, so the steady-state hot path
-/// allocates nothing. Returns the number of instruction instances
-/// completed. On failure it records the origin in `cancel` and returns
-/// [`Stopped`]; when cancelled from elsewhere it returns [`Stopped`]
-/// without recording.
-#[allow(clippy::too_many_arguments)]
-fn run_thread_block(
-    tb_ref: &mscclang::IrThreadBlock,
+/// A persistent straggler chronically slows the whole rank: every
+/// instruction pays a deterministic extra delay proportional to the
+/// planned slowdown factor. Unlike block faults this is not one-shot —
+/// the rank stays slow across tiles, steps and resumed attempts.
+const STRAGGLE_UNIT_NS: f64 = 20_000.0;
+
+/// A connection endpoint as a task sees it: the peer, the channel, the
+/// dense connection index wake keys are built from, and the FIFO itself.
+struct ConnRef {
+    peer: usize,
+    channel: usize,
+    idx: usize,
+    fifo: Arc<Fifo<PooledTile>>,
+}
+
+/// What `TbTask::advance` hands back to its worker.
+enum Yield {
+    /// The task must wait for `key`. `timer` is set only when this is a
+    /// *fresh* wait (a hang deadline or a sleep expiry to arm); re-blocks
+    /// after a spurious wake pass `None` so the timer heap doesn't grow.
+    Blocked {
+        key: WakeKey,
+        timer: Option<Instant>,
+    },
+    /// The task finished (successfully or by dying); never run it again.
+    Done,
+}
+
+/// The resumption point of a suspended interpreter — everything between
+/// two potential waits is one arm of the `advance` loop.
+#[derive(Debug, Clone, Copy)]
+enum Pc {
+    /// Before anything: the epoch gate a resumed (or zero-watermark)
+    /// block may owe at its start position.
+    StartGate,
+    /// Emit `TileBegin` and enter the instruction list.
+    TileBegin,
+    /// Per-instruction preamble: cancellation, deadline, block faults.
+    PreInstr,
+    /// Sleeping out an injected stall; then the straggle check.
+    Stall { until: Instant },
+    /// Sleeping out the rank's chronic straggle; then dependencies.
+    Straggle { until: Instant },
+    /// Waiting on cross-thread-block dependency `idx` of this step.
+    Dep { idx: usize },
+    /// Dependencies satisfied: stamp `InstrBegin` and dispatch.
+    Body,
+    /// A receive-class op needs an inbound tile.
+    RecvTile,
+    /// The op's memory work; never blocks.
+    Compute,
+    /// Delivery-fault resolution for an outbound tile, once per send.
+    PreXmit,
+    /// Sleeping out injected delivery delays; then the send.
+    Delay { until: Instant },
+    /// Pushing `copy` (0 = original, 1 = duplicate) into the send FIFO.
+    Xmit { copy: usize },
+    /// Instruction epilogue: counters, ring, semaphore set.
+    PostInstr,
+    /// The epoch gate(s) `completed` may have reached.
+    GateCheck,
+    /// End of the instruction list for this tile.
+    PostTile,
+    /// Terminal; `advance` must not be called again.
+    Finished,
+}
+
+/// Everything a [`TbTask`] is built from, in spawn order.
+struct TbTaskInit<'a> {
     rank: usize,
-    collective: &mscclang::Collective,
-    mem: &RankMemory,
-    sem: &Semaphore,
-    pool: &Arc<TilePool>,
-    send: &Option<(usize, usize, Arc<Fifo<PooledTile>>)>,
-    recv: &Option<(usize, usize, Arc<Fifo<PooledTile>>)>,
-    dep_sems: &[Vec<(Arc<Semaphore>, u64)>],
+    tb: &'a mscclang::IrThreadBlock,
+    flat: usize,
+    collective: &'a mscclang::Collective,
+    mem: Arc<RankMemory>,
+    sem: Arc<Semaphore>,
+    pool: Arc<TilePool>,
+    send: Option<ConnRef>,
+    recv: Option<ConnRef>,
+    dep_sems: Vec<Vec<(Arc<Semaphore>, u64, usize)>>,
     num_tiles: usize,
     tile_elems: usize,
     chunk_elems: usize,
     op: ReduceOp,
     timeout: Duration,
     global_deadline: Option<Instant>,
-    cancel: &CancelToken,
-    injector: Option<&FaultInjector>,
-    metrics: Option<&WorkerMetrics>,
+    cancel: Arc<CancelToken>,
+    injector: Option<&'a FaultInjector>,
+    metrics: Option<&'a WorkerMetrics>,
+    epoch_ctx: Option<WorkerEpoch>,
     start: u64,
-    epoch: &mut Option<WorkerEpoch>,
-    rec: &mut Recorder,
-    ring: &mut EventRing,
-) -> Result<u64, Stopped> {
-    let tb_id = tb_ref.id;
-    let my_len = tb_ref.instructions.len() as u64;
-    // `start` is 0 for a fresh run, or this block's checkpoint watermark
-    // on resume — in the same monotonic encoding the semaphores use, so
-    // `completed` simply picks up where the checkpointed run left off.
-    let mut completed = start;
-    let start_tile = start.checked_div(my_len).unwrap_or(0) as usize;
-    let start_step = start.checked_rem(my_len).unwrap_or(0) as usize;
-    // Resumed FIFO sequence numbers are re-derived from the watermark by
-    // counting the send/recv instructions in the skipped prefix, so
-    // one-shot delivery-fault specs keyed by sequence number keep
-    // addressing the same logical messages across a resume.
-    let count_prefix = |sends: bool, upto: usize| -> u64 {
-        tb_ref.instructions[..upto]
-            .iter()
-            .filter(|i| {
-                if sends {
-                    i.op.has_send()
-                } else {
-                    i.op.has_recv()
-                }
-            })
-            .count() as u64
-    };
-    let mut send_seq =
-        start_tile as u64 * count_prefix(true, my_len as usize) + count_prefix(true, start_step);
-    let mut recv_seq =
-        start_tile as u64 * count_prefix(false, my_len as usize) + count_prefix(false, start_step);
-    // Each blocking wait runs against min(step deadline, global deadline);
-    // when one expires, `deadline_hit` disambiguates the cause.
-    let wait_deadline = |now: Instant| -> Instant {
-        let step = now + timeout;
-        global_deadline.map_or(step, |g| step.min(g))
-    };
-    // Parks at every epoch gate `completed` has reached. Workers whose
-    // first boundary target equals their start position (including every
-    // fresh worker of a block the first cut leaves at watermark 0) pause
-    // here before executing anything — the barrier needs all of them.
-    let epoch_gate = |epoch: &mut Option<WorkerEpoch>,
-                      completed: u64,
-                      step: usize,
-                      cancel: &CancelToken|
-     -> Result<(), Stopped> {
-        let Some(e) = epoch.as_mut() else {
-            return Ok(());
-        };
-        match e.on_progress(completed, wait_deadline(Instant::now()), cancel) {
-            PauseOutcome::Continue => Ok(()),
-            PauseOutcome::Cancelled => Err(Stopped),
-            PauseOutcome::TimedOut => {
-                let cause = if deadline_hit(global_deadline) {
-                    FailureCause::Deadline
-                } else {
-                    FailureCause::StepTimeout
-                };
-                cancel.cancel(FailureOrigin {
-                    rank,
-                    tb: tb_id,
-                    step,
-                    cause,
-                });
-                Err(Stopped)
-            }
-        }
-    };
-    // A persistent straggler chronically slows the whole rank: every
-    // instruction pays a deterministic extra delay proportional to the
-    // planned slowdown factor. Unlike block faults this is not one-shot —
-    // the rank stays slow across tiles, steps and resumed attempts.
-    const STRAGGLE_UNIT_NS: f64 = 20_000.0;
-    let straggle = injector
-        .and_then(|i| i.rank_slowdown(rank))
-        .filter(|f| *f > 1.0)
-        .map(|f| Duration::from_nanos((STRAGGLE_UNIT_NS * (f - 1.0)) as u64));
-    epoch_gate(epoch, completed, start_step, cancel)?;
-    for tile in start_tile..num_tiles {
-        rec.emit(EventKind::TileBegin { tile });
-        let elem_off = tile * tile_elems;
-        let len = (chunk_elems - elem_off).min(tile_elems);
-        let first = if tile == start_tile { start_step } else { 0 };
-        for (s, instr) in tb_ref.instructions.iter().enumerate().skip(first) {
-            // A failure elsewhere, or the global deadline, stops the
-            // worker between instructions even when it never blocks.
-            if cancel.is_cancelled() {
-                return Err(Stopped);
-            }
-            if deadline_hit(global_deadline) {
-                cancel.cancel(FailureOrigin {
-                    rank,
-                    tb: tb_id,
-                    step: s,
-                    cause: FailureCause::Deadline,
-                });
-                return Err(Stopped);
-            }
-            // Planned block faults strike as the instruction starts.
-            if let Some(action) = injector.and_then(|i| i.on_block(rank, tb_id, s)) {
-                match action {
-                    BlockAction::Stall(d) => {
-                        if !cancellable_sleep(d, cancel) {
-                            return Err(Stopped);
-                        }
-                    }
-                    BlockAction::Kill => {
-                        cancel.cancel(FailureOrigin {
-                            rank,
-                            tb: tb_id,
-                            step: s,
-                            cause: FailureCause::InjectedKill(format!(
-                                "kill block r{rank} tb{tb_id} step{s}"
-                            )),
-                        });
-                        return Err(Stopped);
-                    }
-                }
-            }
-            if let Some(d) = straggle {
-                if !cancellable_sleep(d, cancel) {
-                    return Err(Stopped);
-                }
-            }
-            // Wait on cross-thread-block dependencies. These gate the
-            // instruction, so they trace *before* InstrBegin: a begin
-            // event means the dependencies were already satisfied.
-            for (d_idx, dep) in instr.deps.iter().enumerate() {
-                let (sem_d, dep_len) = &dep_sems[s][d_idx];
-                let target = tile as u64 * dep_len + dep.step as u64 + 1;
-                ring.push(
-                    tile,
-                    s,
-                    instr.op,
-                    Moment::WaitingDep {
-                        dep_tb: dep.tb,
-                        target,
-                    },
-                );
-                rec.emit(EventKind::SemWaitEnter {
-                    dep_tb: dep.tb,
-                    target,
-                });
-                let wait_start = Instant::now();
-                match sem_d.wait_at_least(target, wait_deadline(wait_start), cancel) {
-                    WaitOutcome::Reached => {
-                        if let Some(m) = metrics {
-                            m.sem_wait_ns
-                                .add(m.shard, wait_start.elapsed().as_nanos() as u64);
-                        }
-                    }
-                    WaitOutcome::Cancelled => return Err(Stopped),
-                    WaitOutcome::TimedOut => {
-                        let cause = if deadline_hit(global_deadline) {
-                            FailureCause::Deadline
-                        } else {
-                            FailureCause::StepTimeout
-                        };
-                        cancel.cancel(FailureOrigin {
-                            rank,
-                            tb: tb_id,
-                            step: s,
-                            cause,
-                        });
-                        return Err(Stopped);
-                    }
-                }
-                rec.emit(EventKind::SemWaitExit {
-                    dep_tb: dep.tb,
-                    target,
-                });
-            }
-            ring.push(tile, s, instr.op, Moment::Started);
-            rec.emit(EventKind::InstrBegin {
-                step: s,
-                tile,
-                op: instr.op,
-            });
+    tracing: bool,
+    clock_epoch: Instant,
+}
 
-            // Tile-shaped memory closures: each moves `count` chunk
-            // segments directly between rank memory and a pooled tile —
-            // no intermediate Vec on any path.
-            let fill_src = |tile: &mut PooledTile| {
-                let loc = instr.src.expect("instruction requires src");
-                for i in 0..instr.count {
-                    mem.read_into(
-                        collective,
-                        loc.buffer,
-                        loc.index + i,
-                        elem_off,
-                        &mut tile[i * len..(i + 1) * len],
-                    );
-                }
-            };
-            let write_dst = |values: &[f32]| {
-                let loc = instr.dst.expect("instruction requires dst");
-                for i in 0..instr.count {
-                    mem.write(
-                        collective,
-                        loc.buffer,
-                        loc.index + i,
-                        elem_off,
-                        &values[i * len..(i + 1) * len],
-                    );
-                }
-            };
-            // dst-memory = op(dst-memory, tile), tile = dst-memory: the
-            // in-place form of the old read-combine-write round trip,
-            // preserving its operand order exactly.
-            let reduce_merge_dst = |tile: &mut PooledTile| {
-                let loc = instr.dst.expect("instruction requires dst");
-                for i in 0..instr.count {
-                    mem.reduce_merge(
-                        collective,
-                        loc.buffer,
-                        loc.index + i,
-                        elem_off,
-                        &mut tile[i * len..(i + 1) * len],
-                        op,
-                    );
-                }
-            };
-            // tile = op(src-memory, tile): the receive-side merge of
-            // RecvReduceSend, local operand on the left as before.
-            let combine_read_src = |tile: &mut PooledTile| {
-                let loc = instr.src.expect("instruction requires src");
-                for i in 0..instr.count {
-                    mem.combine_read(
-                        collective,
-                        loc.buffer,
-                        loc.index + i,
-                        elem_off,
-                        &mut tile[i * len..(i + 1) * len],
-                        op,
-                    );
-                }
-            };
-            // On a FIFO stop: a timeout is this worker's own failure (it
-            // records the origin); a cancellation is someone else's.
-            let stop_to_err = |stop: FifoStop, step: usize| -> Stopped {
-                if stop == FifoStop::Timeout {
-                    let cause = if deadline_hit(global_deadline) {
-                        FailureCause::Deadline
+/// One thread block's interpreter as a resumable state machine (the
+/// tiling outer loop of Figure 5). `advance` runs until the block must
+/// wait, then yields the [`WakeKey`] naming what it waits for instead of
+/// blocking its OS thread — so a fixed worker pool can carry any number
+/// of blocks. Every payload travels in a [`PooledTile`] taken from the
+/// shared pool and recycled on receipt; the steady-state hot path
+/// allocates nothing. The per-block sequence of trace events, ring
+/// entries, semaphore values and FIFO operations is identical to the
+/// retired thread-per-block executor at any pool size.
+struct TbTask<'a> {
+    // ---- Identity and wiring (fixed for the run).
+    rank: usize,
+    tb_id: usize,
+    /// This task's index in spawn order: its semaphore wake key, its
+    /// metrics shard, and its epoch progress slot.
+    flat: usize,
+    tb: &'a mscclang::IrThreadBlock,
+    collective: &'a mscclang::Collective,
+    mem: Arc<RankMemory>,
+    sem: Arc<Semaphore>,
+    pool: Arc<TilePool>,
+    send: Option<ConnRef>,
+    recv: Option<ConnRef>,
+    /// Per instruction, per dep: the dep's semaphore, its block length
+    /// (for the monotonic target encoding), and its task index (for the
+    /// wake key).
+    dep_sems: Vec<Vec<(Arc<Semaphore>, u64, usize)>>,
+    num_tiles: usize,
+    tile_elems: usize,
+    chunk_elems: usize,
+    op: ReduceOp,
+    timeout: Duration,
+    global_deadline: Option<Instant>,
+    cancel: Arc<CancelToken>,
+    injector: Option<&'a FaultInjector>,
+    metrics: Option<&'a WorkerMetrics>,
+    epoch_ctx: Option<WorkerEpoch>,
+    straggle: Option<Duration>,
+    // ---- Interpreter position.
+    /// Monotonic completed-instruction count — the same encoding the
+    /// semaphores and epoch watermarks use, seeded from the checkpoint
+    /// watermark on resume.
+    completed: u64,
+    tile: usize,
+    step: usize,
+    send_seq: u64,
+    recv_seq: u64,
+    pc: Pc,
+    // ---- Wait scratch (at most one wait in flight).
+    /// The hang deadline of the wait in flight: min(step timeout, global
+    /// deadline), fixed when the wait starts and kept across re-blocks.
+    fail_at: Option<Instant>,
+    /// Whether the wait's timer has been pushed on the scheduler heap.
+    timer_armed: bool,
+    /// When the in-flight dependency wait began (sem_wait_ns base).
+    wait_start: Option<Instant>,
+    /// When the in-flight FIFO wait began (fifo_*_block_ns base).
+    blocked_at: Option<Instant>,
+    /// Whether the in-flight FIFO wait already emitted its Block event.
+    block_emitted: bool,
+    /// The epoch boundary this task has arrived at but not yet passed.
+    gate_arrived: Option<usize>,
+    // ---- Instruction scratch.
+    instr_start: Option<Instant>,
+    /// Tiles drained from the receive FIFO but not yet consumed: one
+    /// `try_recv_into` batches a whole queue under a single lock.
+    inbox: VecDeque<PooledTile>,
+    inbound: Option<PooledTile>,
+    outbound: Option<PooledTile>,
+    dup_pending: Option<PooledTile>,
+    xmit_bytes: u64,
+    // ---- Diagnostics and results.
+    rec: Recorder,
+    ring: EventRing,
+    /// The task will never advance again.
+    done: bool,
+    /// The task stopped without finishing its program (cancelled, failed
+    /// or panicked); it contributes no completed instructions.
+    dead: bool,
+}
+
+impl<'a> TbTask<'a> {
+    fn new(init: TbTaskInit<'a>) -> Self {
+        let TbTaskInit {
+            rank,
+            tb,
+            flat,
+            collective,
+            mem,
+            sem,
+            pool,
+            send,
+            recv,
+            dep_sems,
+            num_tiles,
+            tile_elems,
+            chunk_elems,
+            op,
+            timeout,
+            global_deadline,
+            cancel,
+            injector,
+            metrics,
+            epoch_ctx,
+            start,
+            tracing,
+            clock_epoch,
+        } = init;
+        let my_len = tb.instructions.len() as u64;
+        // `start` is 0 for a fresh run, or this block's checkpoint
+        // watermark on resume — the same monotonic encoding the
+        // semaphores use, so `completed` picks up where the checkpointed
+        // run left off.
+        let start_tile = start.checked_div(my_len).unwrap_or(0) as usize;
+        let start_step = start.checked_rem(my_len).unwrap_or(0) as usize;
+        // Resumed FIFO sequence numbers are re-derived from the watermark
+        // by counting the send/recv instructions in the skipped prefix,
+        // so one-shot delivery-fault specs keyed by sequence number keep
+        // addressing the same logical messages across a resume.
+        let count_prefix = |sends: bool, upto: usize| -> u64 {
+            tb.instructions[..upto]
+                .iter()
+                .filter(|i| {
+                    if sends {
+                        i.op.has_send()
                     } else {
-                        FailureCause::StepTimeout
-                    };
-                    cancel.cancel(FailureOrigin {
-                        rank,
-                        tb: tb_id,
-                        step,
-                        cause,
-                    });
-                }
-                Stopped
+                        i.op.has_recv()
+                    }
+                })
+                .count() as u64
+        };
+        let send_seq = start_tile as u64 * count_prefix(true, my_len as usize)
+            + count_prefix(true, start_step);
+        let recv_seq = start_tile as u64 * count_prefix(false, my_len as usize)
+            + count_prefix(false, start_step);
+        let straggle = injector
+            .and_then(|i| i.rank_slowdown(rank))
+            .filter(|f| *f > 1.0)
+            .map(|f| Duration::from_nanos((STRAGGLE_UNIT_NS * (f - 1.0)) as u64));
+        Self {
+            rank,
+            tb_id: tb.id,
+            flat,
+            tb,
+            collective,
+            mem,
+            sem,
+            pool,
+            send,
+            recv,
+            dep_sems,
+            num_tiles,
+            tile_elems,
+            chunk_elems,
+            op,
+            timeout,
+            global_deadline,
+            cancel,
+            injector,
+            metrics,
+            epoch_ctx,
+            straggle,
+            completed: start,
+            tile: start_tile,
+            step: start_step,
+            send_seq,
+            recv_seq,
+            pc: Pc::StartGate,
+            fail_at: None,
+            timer_armed: false,
+            wait_start: None,
+            blocked_at: None,
+            block_emitted: false,
+            gate_arrived: None,
+            instr_start: None,
+            inbox: VecDeque::new(),
+            inbound: None,
+            outbound: None,
+            dup_pending: None,
+            xmit_bytes: 0,
+            rec: Recorder {
+                enabled: tracing,
+                epoch: clock_epoch,
+                rank,
+                tb: tb.id,
+                events: Vec::new(),
+            },
+            ring: EventRing::new(rank, tb.id),
+            done: false,
+            dead: false,
+        }
+    }
+
+    /// Each blocking wait runs against min(step deadline, global
+    /// deadline); when one expires, `deadline_hit` disambiguates the
+    /// cause.
+    fn wait_deadline(&self, now: Instant) -> Instant {
+        let step = now + self.timeout;
+        self.global_deadline.map_or(step, |g| step.min(g))
+    }
+
+    /// Opens a fresh wait at `now`: fixes its hang deadline and marks its
+    /// timer unarmed so the first `Blocked` yield pushes it.
+    fn open_wait(&mut self, now: Instant) {
+        self.fail_at = Some(self.wait_deadline(now));
+        self.timer_armed = false;
+    }
+
+    /// The timer to hand the scheduler for the wait in flight: its hang
+    /// deadline on the first block, `None` on re-blocks.
+    fn arm_fail(&mut self) -> Option<Instant> {
+        if self.timer_armed {
+            None
+        } else {
+            self.timer_armed = true;
+            self.fail_at
+        }
+    }
+
+    /// Like [`Self::arm_fail`], for sleeps (which have an expiry instead
+    /// of a hang deadline).
+    fn arm_at(&mut self, at: Instant) -> Option<Instant> {
+        if self.timer_armed {
+            None
+        } else {
+            self.timer_armed = true;
+            Some(at)
+        }
+    }
+
+    /// Stops without finishing: cancelled from elsewhere, own failure
+    /// already recorded, or killed.
+    fn die(&mut self) -> Yield {
+        self.dead = true;
+        self.done = true;
+        self.pc = Pc::Finished;
+        Yield::Done
+    }
+
+    /// Records this task's own wait-timeout failure and dies.
+    fn fail_own(&mut self) -> Yield {
+        let cause = if deadline_hit(self.global_deadline) {
+            FailureCause::Deadline
+        } else {
+            FailureCause::StepTimeout
+        };
+        self.cancel.cancel(FailureOrigin {
+            rank: self.rank,
+            tb: self.tb_id,
+            step: self.step,
+            cause,
+        });
+        self.die()
+    }
+
+    /// Parks at every epoch gate `completed` has reached. Blocks whose
+    /// next boundary target equals their current position (including
+    /// every fresh block a first cut leaves at watermark 0) gate here
+    /// before executing anything — the barrier needs all of them.
+    /// Returns `None` when no gate is due (or all due gates passed).
+    fn gate_step(&mut self, sched: &Scheduler, w: usize) -> Option<Yield> {
+        loop {
+            let completed = self.completed;
+            let due = match self.epoch_ctx.as_mut() {
+                Some(e) => e.boundary_due(completed),
+                None => return None,
             };
-            let mut receive =
-                |rec: &mut Recorder, ring: &mut EventRing| -> Result<PooledTile, Stopped> {
-                    let (src, channel, fifo) = recv
-                        .as_ref()
-                        .expect("recv op requires a receive connection");
-                    let mut blocked_at = None;
-                    let (value, blocked) = fifo
-                        .recv(wait_deadline(Instant::now()), cancel, || {
-                            ring.push(
-                                tile,
-                                s,
-                                instr.op,
-                                Moment::BlockedRecv {
-                                    src: *src,
-                                    channel: *channel,
-                                },
-                            );
-                            rec.emit(EventKind::RecvBlock {
-                                src: *src,
-                                channel: *channel,
-                            });
-                            blocked_at = Some(Instant::now());
-                        })
-                        .map_err(|stop| stop_to_err(stop, s))?;
-                    if blocked {
-                        rec.emit(EventKind::RecvResume {
-                            src: *src,
-                            channel: *channel,
+            let Some(b) = due else {
+                self.gate_arrived = None;
+                return None;
+            };
+            if self.gate_arrived != Some(b) {
+                // First visit: arrive at the barrier. A consistent cut
+                // has every connection drained, so the inbox must be
+                // empty — a batched tile crossing the cut would escape
+                // the checkpoint.
+                debug_assert!(self.inbox.is_empty(), "in-flight tile crosses an epoch cut");
+                self.gate_arrived = Some(b);
+                self.open_wait(Instant::now());
+                let released = {
+                    let e = self.epoch_ctx.as_ref().expect("gate implies epoch ctx");
+                    e.state.arrive(b, &self.cancel)
+                };
+                if released {
+                    // Last arriver: the checkpoint is published; free the
+                    // whole barrier.
+                    sched.wake(WakeKey::Gate(b), w);
+                }
+            }
+            let released = {
+                let e = self.epoch_ctx.as_ref().expect("gate implies epoch ctx");
+                e.state.is_released(b)
+            };
+            if released {
+                self.epoch_ctx
+                    .as_mut()
+                    .expect("gate implies epoch ctx")
+                    .passed();
+                self.gate_arrived = None;
+                self.fail_at = None;
+                continue;
+            }
+            if self.cancel.is_cancelled() {
+                return Some(self.die());
+            }
+            if self.fail_at.is_some_and(|at| Instant::now() >= at) {
+                return Some(self.fail_own());
+            }
+            return Some(Yield::Blocked {
+                key: WakeKey::Gate(b),
+                timer: self.arm_fail(),
+            });
+        }
+    }
+
+    /// Whether the condition this task suspended on now holds. Called by
+    /// the scheduler under its wait-table race (register-then-recheck),
+    /// and by timer fires indirectly: a woken task re-runs `advance`,
+    /// which re-evaluates the same condition authoritatively. Cancellation
+    /// and an expired hang deadline always count as ready — the task must
+    /// run to observe them and die.
+    fn blocked_ready(&self, now: Instant) -> bool {
+        if self.cancel.is_cancelled() {
+            return true;
+        }
+        if self.fail_at.is_some_and(|at| now >= at) {
+            return true;
+        }
+        match self.pc {
+            Pc::Stall { until } | Pc::Straggle { until } | Pc::Delay { until } => now >= until,
+            Pc::Dep { idx } => {
+                let instr = &self.tb.instructions[self.step];
+                let dep = &instr.deps[idx];
+                let (sem_d, dep_len, _) = &self.dep_sems[self.step][idx];
+                sem_d.current() > self.tile as u64 * dep_len + dep.step as u64
+            }
+            Pc::RecvTile => self.recv.as_ref().is_some_and(|c| !c.fifo.is_empty()),
+            Pc::Xmit { .. } => self
+                .send
+                .as_ref()
+                .is_some_and(|c| c.fifo.len() < c.fifo.capacity()),
+            Pc::StartGate | Pc::GateCheck => match (self.gate_arrived, &self.epoch_ctx) {
+                (Some(b), Some(e)) => e.state.is_released(b),
+                _ => true,
+            },
+            _ => true,
+        }
+    }
+
+    /// Runs the interpreter until it finishes or must wait. The worker
+    /// calls this with the task's lock held; on `Blocked` it registers
+    /// the key with the scheduler and moves on to other tasks.
+    fn advance(&mut self, sched: &Scheduler, w: usize) -> Yield {
+        loop {
+            match self.pc {
+                Pc::StartGate => {
+                    if let Some(y) = self.gate_step(sched, w) {
+                        return y;
+                    }
+                    if self.tile >= self.num_tiles {
+                        // A checkpoint taken at the very end of the
+                        // program resumes to nothing.
+                        return self.finish();
+                    }
+                    self.pc = Pc::TileBegin;
+                }
+                Pc::TileBegin => {
+                    self.rec.emit(EventKind::TileBegin { tile: self.tile });
+                    self.pc = if self.step < self.tb.instructions.len() {
+                        Pc::PreInstr
+                    } else {
+                        Pc::PostTile
+                    };
+                }
+                Pc::PostTile => {
+                    self.rec.emit(EventKind::TileEnd { tile: self.tile });
+                    self.tile += 1;
+                    self.step = 0;
+                    if self.tile >= self.num_tiles {
+                        return self.finish();
+                    }
+                    self.pc = Pc::TileBegin;
+                }
+                Pc::PreInstr => {
+                    // A failure elsewhere, or the global deadline, stops
+                    // the task between instructions even when it never
+                    // blocks.
+                    if self.cancel.is_cancelled() {
+                        return self.die();
+                    }
+                    if deadline_hit(self.global_deadline) {
+                        self.cancel.cancel(FailureOrigin {
+                            rank: self.rank,
+                            tb: self.tb_id,
+                            step: self.step,
+                            cause: FailureCause::Deadline,
                         });
-                        if let (Some(m), Some(t0)) = (metrics, blocked_at) {
+                        return self.die();
+                    }
+                    // Planned block faults strike as the instruction
+                    // starts; `on_block` is one-shot, so it is consulted
+                    // exactly once per (rank, tb, step) firing.
+                    match self
+                        .injector
+                        .and_then(|i| i.on_block(self.rank, self.tb_id, self.step))
+                    {
+                        Some(BlockAction::Stall(d)) => {
+                            self.timer_armed = false;
+                            self.pc = Pc::Stall {
+                                until: Instant::now() + d,
+                            };
+                        }
+                        Some(BlockAction::Kill) => {
+                            let (rank, tb_id, step) = (self.rank, self.tb_id, self.step);
+                            self.cancel.cancel(FailureOrigin {
+                                rank,
+                                tb: tb_id,
+                                step,
+                                cause: FailureCause::InjectedKill(format!(
+                                    "kill block r{rank} tb{tb_id} step{step}"
+                                )),
+                            });
+                            return self.die();
+                        }
+                        None => self.pc = self.after_stall(),
+                    }
+                }
+                Pc::Stall { until } => {
+                    if self.cancel.is_cancelled() {
+                        return self.die();
+                    }
+                    if Instant::now() < until {
+                        return Yield::Blocked {
+                            key: WakeKey::Sleep(self.flat),
+                            timer: self.arm_at(until),
+                        };
+                    }
+                    self.pc = self.after_stall();
+                }
+                Pc::Straggle { until } => {
+                    if self.cancel.is_cancelled() {
+                        return self.die();
+                    }
+                    if Instant::now() < until {
+                        return Yield::Blocked {
+                            key: WakeKey::Sleep(self.flat),
+                            timer: self.arm_at(until),
+                        };
+                    }
+                    self.pc = Pc::Dep { idx: 0 };
+                }
+                Pc::Dep { idx } => {
+                    // Cross-thread-block dependencies gate the
+                    // instruction, so they trace *before* InstrBegin: a
+                    // begin event means they were already satisfied.
+                    let tb = self.tb;
+                    let instr = &tb.instructions[self.step];
+                    let Some(dep) = instr.deps.get(idx) else {
+                        self.pc = Pc::Body;
+                        continue;
+                    };
+                    let (sem_d, dep_len, dep_flat) = {
+                        let (s, l, f) = &self.dep_sems[self.step][idx];
+                        (Arc::clone(s), *l, *f)
+                    };
+                    let target = self.tile as u64 * dep_len + dep.step as u64 + 1;
+                    if self.wait_start.is_none() {
+                        self.ring.push(
+                            self.tile,
+                            self.step,
+                            instr.op,
+                            Moment::WaitingDep {
+                                dep_tb: dep.tb,
+                                target,
+                            },
+                        );
+                        self.rec.emit(EventKind::SemWaitEnter {
+                            dep_tb: dep.tb,
+                            target,
+                        });
+                        let now = Instant::now();
+                        self.wait_start = Some(now);
+                        self.open_wait(now);
+                    }
+                    if sem_d.current() >= target {
+                        if let Some(m) = self.metrics {
+                            let t0 = self.wait_start.expect("dep wait opened above");
+                            m.sem_wait_ns.add(m.shard, t0.elapsed().as_nanos() as u64);
+                        }
+                        self.rec.emit(EventKind::SemWaitExit {
+                            dep_tb: dep.tb,
+                            target,
+                        });
+                        self.wait_start = None;
+                        self.fail_at = None;
+                        self.pc = Pc::Dep { idx: idx + 1 };
+                        continue;
+                    }
+                    if self.cancel.is_cancelled() {
+                        return self.die();
+                    }
+                    if Instant::now() >= self.fail_at.expect("dep wait opened above") {
+                        return self.fail_own();
+                    }
+                    return Yield::Blocked {
+                        key: WakeKey::Sem(dep_flat),
+                        timer: self.arm_fail(),
+                    };
+                }
+                Pc::Body => {
+                    let tb = self.tb;
+                    let instr = &tb.instructions[self.step];
+                    self.ring
+                        .push(self.tile, self.step, instr.op, Moment::Started);
+                    self.rec.emit(EventKind::InstrBegin {
+                        step: self.step,
+                        tile: self.tile,
+                        op: instr.op,
+                    });
+                    // Latency observations are sampled: the two clock
+                    // reads they need cost more than every counter in
+                    // this loop combined, and taking them on every
+                    // instruction busts the always-on overhead budget at
+                    // small sizes. One instruction in
+                    // [`LATENCY_SAMPLE_PERIOD`] per block keeps the
+                    // histogram's shape; the `instructions` counter
+                    // stays exact.
+                    self.instr_start = self
+                        .metrics
+                        .filter(|_| self.completed.is_multiple_of(LATENCY_SAMPLE_PERIOD))
+                        .map(|_| Instant::now());
+                    self.pc = if instr.op.has_recv() {
+                        Pc::RecvTile
+                    } else {
+                        Pc::Compute
+                    };
+                }
+                Pc::RecvTile => {
+                    if self.inbox.is_empty() {
+                        let conn = self
+                            .recv
+                            .as_ref()
+                            .expect("recv op requires a receive connection");
+                        // Batched pop: drain everything the peer has
+                        // queued under one lock. The freed slots may
+                        // unblock the sender — wake it.
+                        if conn.fifo.try_recv_into(&mut self.inbox) > 0 {
+                            let idx = conn.idx;
+                            sched.wake(WakeKey::Send(idx), w);
+                        }
+                    }
+                    if self.inbox.is_empty() {
+                        let (src, channel, idx) = {
+                            let c = self.recv.as_ref().expect("checked above");
+                            (c.peer, c.channel, c.idx)
+                        };
+                        if !self.block_emitted {
+                            self.block_emitted = true;
+                            let tb = self.tb;
+                            let op = tb.instructions[self.step].op;
+                            self.ring.push(
+                                self.tile,
+                                self.step,
+                                op,
+                                Moment::BlockedRecv { src, channel },
+                            );
+                            self.rec.emit(EventKind::RecvBlock { src, channel });
+                            let now = Instant::now();
+                            self.blocked_at = Some(now);
+                            self.open_wait(now);
+                        }
+                        if self.cancel.is_cancelled() {
+                            return self.die();
+                        }
+                        if Instant::now() >= self.fail_at.expect("recv wait opened above") {
+                            return self.fail_own();
+                        }
+                        return Yield::Blocked {
+                            key: WakeKey::Recv(idx),
+                            timer: self.arm_fail(),
+                        };
+                    }
+                    let value = self.inbox.pop_front().expect("checked non-empty");
+                    let (src, channel) = {
+                        let c = self.recv.as_ref().expect("checked above");
+                        (c.peer, c.channel)
+                    };
+                    if self.block_emitted {
+                        self.rec.emit(EventKind::RecvResume { src, channel });
+                        if let (Some(m), Some(t0)) = (self.metrics, self.blocked_at) {
                             m.fifo_recv_block_ns
                                 .add(m.shard, t0.elapsed().as_nanos() as u64);
                         }
+                        self.block_emitted = false;
+                        self.blocked_at = None;
+                        self.fail_at = None;
                     }
                     let bytes = (value.len() * std::mem::size_of::<f32>()) as u64;
-                    rec.emit(EventKind::Recv {
-                        src: *src,
-                        channel: *channel,
-                        seq: recv_seq,
+                    self.rec.emit(EventKind::Recv {
+                        src,
+                        channel,
+                        seq: self.recv_seq,
                         bytes,
                     });
-                    if let Some(m) = metrics {
+                    if let Some(m) = self.metrics {
                         if let Some((bytes_recv, recvs)) = &m.recv_conn {
                             bytes_recv.add(m.shard, bytes);
                             recvs.inc(m.shard);
                         }
                     }
-                    recv_seq += 1;
-                    Ok(value)
-                };
-            let mut transmit = |rec: &mut Recorder,
-                                ring: &mut EventRing,
-                                outbound: PooledTile|
-             -> Result<(), Stopped> {
-                let (dst, channel, fifo) =
-                    send.as_ref().expect("send op requires a send connection");
-                // Planned delivery faults apply here, where the tile
-                // leaves the sender: corruption rewrites the payload,
-                // a delay holds it back, a drop discards it (the
-                // sequence number still advances, as a real lost packet
-                // leaves the sender none the wiser), a duplicate
-                // enqueues it twice.
-                let mut outbound = outbound;
-                let mut dropped = false;
-                let mut duplicated = false;
-                if let Some(inj) = injector {
-                    for action in inj.on_delivery(rank, *dst, *channel, send_seq) {
-                        match action {
-                            DeliveryAction::Corrupt { bit } => corrupt_payload(&mut outbound, bit),
-                            DeliveryAction::Delay(d) => {
-                                if !cancellable_sleep(d, cancel) {
-                                    return Err(Stopped);
+                    self.recv_seq += 1;
+                    self.inbound = Some(value);
+                    self.pc = Pc::Compute;
+                }
+                Pc::Compute => {
+                    let tb = self.tb;
+                    let instr = &tb.instructions[self.step];
+                    let elem_off = self.tile * self.tile_elems;
+                    let len = (self.chunk_elems - elem_off).min(self.tile_elems);
+                    match instr.op {
+                        OpCode::Nop => {}
+                        OpCode::Send => {
+                            let mut tile = self.pool.take(instr.count * len);
+                            self.fill_src(instr, elem_off, len, &mut tile);
+                            self.outbound = Some(tile);
+                        }
+                        OpCode::Recv => {
+                            let tile = self.inbound.take().expect("recv op received a tile");
+                            self.write_dst(instr, elem_off, len, &tile);
+                        }
+                        OpCode::Copy => {
+                            // Local data movement never touches the pool:
+                            // the chunks move memory-to-memory under the
+                            // fixed lock order (see
+                            // `memory::copy_between`).
+                            let src = instr.src.expect("instruction requires src");
+                            let dst = instr.dst.expect("instruction requires dst");
+                            for i in 0..instr.count {
+                                self.mem.copy_between(
+                                    self.collective,
+                                    (src.buffer, src.index + i),
+                                    (dst.buffer, dst.index + i),
+                                    elem_off,
+                                    len,
+                                );
+                            }
+                        }
+                        OpCode::Reduce => {
+                            let src = instr.src.expect("instruction requires src");
+                            let dst = instr.dst.expect("instruction requires dst");
+                            for i in 0..instr.count {
+                                self.mem.reduce_between(
+                                    self.collective,
+                                    (src.buffer, src.index + i),
+                                    (dst.buffer, dst.index + i),
+                                    elem_off,
+                                    len,
+                                    self.op,
+                                );
+                            }
+                        }
+                        OpCode::RecvReduceCopy => {
+                            let mut tile = self.inbound.take().expect("recv op received a tile");
+                            self.reduce_merge_dst(instr, elem_off, len, &mut tile);
+                        }
+                        OpCode::RecvCopySend => {
+                            // Zero-copy forward: the received tile is
+                            // written to memory and handed onward as-is.
+                            let tile = self.inbound.take().expect("recv op received a tile");
+                            self.write_dst(instr, elem_off, len, &tile);
+                            self.outbound = Some(tile);
+                        }
+                        OpCode::RecvReduceSend => {
+                            let mut tile = self.inbound.take().expect("recv op received a tile");
+                            self.combine_read_src(instr, elem_off, len, &mut tile);
+                            self.outbound = Some(tile);
+                        }
+                        OpCode::RecvReduceCopySend => {
+                            let mut tile = self.inbound.take().expect("recv op received a tile");
+                            self.reduce_merge_dst(instr, elem_off, len, &mut tile);
+                            self.outbound = Some(tile);
+                        }
+                    }
+                    self.pc = if self.outbound.is_some() {
+                        Pc::PreXmit
+                    } else {
+                        Pc::PostInstr
+                    };
+                }
+                Pc::PreXmit => {
+                    // Planned delivery faults apply here, where the tile
+                    // leaves the sender: corruption rewrites the payload,
+                    // a delay holds it back, a drop discards it (the
+                    // sequence number still advances, as a real lost
+                    // packet leaves the sender none the wiser), a
+                    // duplicate enqueues it twice. `on_delivery` drains
+                    // one-shot specs, so it is consulted exactly once per
+                    // logical send.
+                    let (dst, channel) = {
+                        let c = self
+                            .send
+                            .as_ref()
+                            .expect("send op requires a send connection");
+                        (c.peer, c.channel)
+                    };
+                    let mut dropped = false;
+                    let mut duplicated = false;
+                    let mut delay = Duration::ZERO;
+                    if let Some(inj) = self.injector {
+                        let outbound = self.outbound.as_mut().expect("entered with outbound");
+                        for action in inj.on_delivery(self.rank, dst, channel, self.send_seq) {
+                            match action {
+                                DeliveryAction::Corrupt { bit } => corrupt_payload(outbound, bit),
+                                DeliveryAction::Delay(d) => delay += d,
+                                DeliveryAction::Drop => dropped = true,
+                                DeliveryAction::Duplicate => duplicated = true,
+                            }
+                        }
+                    }
+                    if dropped {
+                        // The tile drops here and its buffer returns to
+                        // the pool: a lost packet costs nothing.
+                        self.send_seq += 1;
+                        self.outbound = None;
+                        self.pc = Pc::PostInstr;
+                        continue;
+                    }
+                    // Copy-on-write duplication: the second tile is taken
+                    // from the pool only when the fault actually fires,
+                    // and only after corruption, so both deliveries carry
+                    // the same (possibly corrupted) payload.
+                    self.dup_pending = duplicated.then(|| {
+                        self.outbound
+                            .as_ref()
+                            .expect("entered with outbound")
+                            .duplicate()
+                    });
+                    self.xmit_bytes = (self.outbound.as_ref().expect("entered with outbound").len()
+                        * std::mem::size_of::<f32>()) as u64;
+                    if delay > Duration::ZERO {
+                        self.timer_armed = false;
+                        self.pc = Pc::Delay {
+                            until: Instant::now() + delay,
+                        };
+                    } else {
+                        self.pc = Pc::Xmit { copy: 0 };
+                    }
+                }
+                Pc::Delay { until } => {
+                    if self.cancel.is_cancelled() {
+                        return self.die();
+                    }
+                    if Instant::now() < until {
+                        return Yield::Blocked {
+                            key: WakeKey::Sleep(self.flat),
+                            timer: self.arm_at(until),
+                        };
+                    }
+                    self.pc = Pc::Xmit { copy: 0 };
+                }
+                Pc::Xmit { copy } => {
+                    let payload = if copy == 0 {
+                        self.outbound.take()
+                    } else {
+                        self.dup_pending.take()
+                    };
+                    let payload = payload.expect("xmit entered with a payload staged");
+                    let (dst, channel, idx, fifo) = {
+                        let c = self
+                            .send
+                            .as_ref()
+                            .expect("send op requires a send connection");
+                        (c.peer, c.channel, c.idx, Arc::clone(&c.fifo))
+                    };
+                    let bytes = self.xmit_bytes;
+                    let seq = self.send_seq;
+                    let was_blocked = self.block_emitted;
+                    let blocked_at = self.blocked_at;
+                    // `SendResume` and `Send` are stamped from inside the
+                    // callback — while the queue lock is held — so the
+                    // receiver's `Recv` timestamp can never precede them.
+                    let rec = &mut self.rec;
+                    let metrics = self.metrics;
+                    let result = fifo.try_send(payload, |depth| {
+                        if was_blocked {
+                            rec.emit(EventKind::SendResume { dst, channel });
+                        }
+                        if copy == 0 {
+                            rec.emit(EventKind::Send {
+                                dst,
+                                channel,
+                                seq,
+                                bytes,
+                            });
+                        }
+                        if let Some(m) = metrics {
+                            if was_blocked {
+                                if let Some(t0) = blocked_at {
+                                    m.fifo_send_block_ns
+                                        .add(m.shard, t0.elapsed().as_nanos() as u64);
                                 }
                             }
-                            DeliveryAction::Drop => dropped = true,
-                            DeliveryAction::Duplicate => duplicated = true,
+                            if let Some((bytes_sent, sends, peak)) = &m.send_conn {
+                                peak.set_max(depth as u64);
+                                if copy == 0 {
+                                    bytes_sent.add(m.shard, bytes);
+                                    sends.inc(m.shard);
+                                }
+                            }
+                        }
+                    });
+                    match result {
+                        Ok(()) => {
+                            self.block_emitted = false;
+                            self.blocked_at = None;
+                            self.fail_at = None;
+                            // The enqueued tile may unblock the receiver.
+                            sched.wake(WakeKey::Recv(idx), w);
+                            if copy == 0 && self.dup_pending.is_some() {
+                                self.pc = Pc::Xmit { copy: 1 };
+                            } else {
+                                self.send_seq += 1;
+                                self.pc = Pc::PostInstr;
+                            }
+                        }
+                        Err(returned) => {
+                            if copy == 0 {
+                                self.outbound = Some(returned);
+                            } else {
+                                self.dup_pending = Some(returned);
+                            }
+                            if !self.block_emitted {
+                                self.block_emitted = true;
+                                let tb = self.tb;
+                                let op = tb.instructions[self.step].op;
+                                self.ring.push(
+                                    self.tile,
+                                    self.step,
+                                    op,
+                                    Moment::BlockedSend { dst, channel },
+                                );
+                                self.rec.emit(EventKind::SendBlock { dst, channel });
+                                let now = Instant::now();
+                                self.blocked_at = Some(now);
+                                self.open_wait(now);
+                            }
+                            if self.cancel.is_cancelled() {
+                                return self.die();
+                            }
+                            if Instant::now() >= self.fail_at.expect("send wait opened above") {
+                                return self.fail_own();
+                            }
+                            return Yield::Blocked {
+                                key: WakeKey::Send(idx),
+                                timer: self.arm_fail(),
+                            };
                         }
                     }
                 }
-                if dropped {
-                    send_seq += 1;
-                    // The tile drops here and its buffer returns to the
-                    // pool: a lost packet costs nothing.
-                    return Ok(());
-                }
-                // Copy-on-write duplication: the second tile is taken
-                // from the pool only when the fault actually fires, and
-                // only after corruption, so both deliveries carry the
-                // same (possibly corrupted) payload.
-                let dup = duplicated.then(|| outbound.duplicate());
-                let bytes = (outbound.len() * std::mem::size_of::<f32>()) as u64;
-                // `SendResume` and `Send` are stamped from inside the
-                // callback — `Send` while the queue lock is held — so the
-                // receiver's `Recv` timestamp can never precede them.
-                for (copy, payload) in std::iter::once(outbound).chain(dup).enumerate() {
-                    let mut was_blocked = false;
-                    let mut blocked_at = None;
-                    fifo.send(
-                        payload,
-                        wait_deadline(Instant::now()),
-                        cancel,
-                        |moment| match moment {
-                            SendMoment::Blocked => {
-                                was_blocked = true;
-                                ring.push(
-                                    tile,
-                                    s,
-                                    instr.op,
-                                    Moment::BlockedSend {
-                                        dst: *dst,
-                                        channel: *channel,
-                                    },
-                                );
-                                rec.emit(EventKind::SendBlock {
-                                    dst: *dst,
-                                    channel: *channel,
-                                });
-                                blocked_at = Some(Instant::now());
-                            }
-                            SendMoment::Enqueued { depth } => {
-                                if was_blocked {
-                                    rec.emit(EventKind::SendResume {
-                                        dst: *dst,
-                                        channel: *channel,
-                                    });
-                                }
-                                if copy == 0 {
-                                    rec.emit(EventKind::Send {
-                                        dst: *dst,
-                                        channel: *channel,
-                                        seq: send_seq,
-                                        bytes,
-                                    });
-                                }
-                                if let Some(m) = metrics {
-                                    if let (Some(t0), true) = (blocked_at.take(), was_blocked) {
-                                        m.fifo_send_block_ns
-                                            .add(m.shard, t0.elapsed().as_nanos() as u64);
-                                    }
-                                    if let Some((bytes_sent, sends, peak)) = &m.send_conn {
-                                        peak.set_max(depth as u64);
-                                        if copy == 0 {
-                                            bytes_sent.add(m.shard, bytes);
-                                            sends.inc(m.shard);
-                                        }
-                                    }
-                                }
-                            }
-                        },
-                    )
-                    .map_err(|stop| stop_to_err(stop, s))?;
-                }
-                send_seq += 1;
-                Ok(())
-            };
-
-            // Latency observations are sampled: the two clock reads they
-            // need cost more than every counter in this loop combined
-            // (~85ns against a sub-10ns relaxed add), and taking them on
-            // every instruction busts the always-on overhead budget at
-            // small sizes. One instruction in [`LATENCY_SAMPLE_PERIOD`]
-            // per worker keeps the histogram's shape; the `instructions`
-            // counter below stays exact.
-            let instr_start = metrics
-                .filter(|_| completed.is_multiple_of(LATENCY_SAMPLE_PERIOD))
-                .map(|_| Instant::now());
-            match instr.op {
-                OpCode::Nop => {}
-                OpCode::Send => {
-                    let mut tile = pool.take(instr.count * len);
-                    fill_src(&mut tile);
-                    transmit(rec, ring, tile)?;
-                }
-                OpCode::Recv => {
-                    let tile = receive(rec, ring)?;
-                    write_dst(&tile);
-                }
-                OpCode::Copy => {
-                    // Local data movement never touches the pool: the
-                    // chunks move memory-to-memory under the fixed lock
-                    // order (see `memory::copy_between`).
-                    let src = instr.src.expect("instruction requires src");
-                    let dst = instr.dst.expect("instruction requires dst");
-                    for i in 0..instr.count {
-                        mem.copy_between(
-                            collective,
-                            (src.buffer, src.index + i),
-                            (dst.buffer, dst.index + i),
-                            elem_off,
-                            len,
-                        );
+                Pc::PostInstr => {
+                    let tb = self.tb;
+                    let instr = &tb.instructions[self.step];
+                    if let Some(m) = self.metrics {
+                        let (count, latency) = &m.ops[op_index(instr.op)];
+                        count.inc(m.shard);
+                        if let Some(t0) = self.instr_start.take() {
+                            latency.record(m.shard, t0.elapsed().as_nanos() as u64);
+                        }
                     }
-                }
-                OpCode::Reduce => {
-                    let src = instr.src.expect("instruction requires src");
-                    let dst = instr.dst.expect("instruction requires dst");
-                    for i in 0..instr.count {
-                        mem.reduce_between(
-                            collective,
-                            (src.buffer, src.index + i),
-                            (dst.buffer, dst.index + i),
-                            elem_off,
-                            len,
-                            op,
-                        );
+                    self.completed += 1;
+                    debug_assert_eq!(
+                        self.completed,
+                        self.tile as u64 * self.tb.instructions.len() as u64 + self.step as u64 + 1
+                    );
+                    self.ring
+                        .push(self.tile, self.step, instr.op, Moment::Completed);
+                    // Stamp completion *before* advancing the semaphore:
+                    // a waiter the set releases stamps its own events
+                    // after returning from the wait, so this InstrEnd can
+                    // never postdate a dependent's InstrBegin.
+                    if instr.has_dep {
+                        self.rec.emit(EventKind::SemSet {
+                            value: self.completed,
+                        });
                     }
+                    self.rec.emit(EventKind::InstrEnd {
+                        step: self.step,
+                        tile: self.tile,
+                        op: instr.op,
+                    });
+                    if instr.has_dep {
+                        self.sem.set(self.completed);
+                        sched.wake(WakeKey::Sem(self.flat), w);
+                    }
+                    self.pc = Pc::GateCheck;
                 }
-                OpCode::RecvReduceCopy => {
-                    let mut tile = receive(rec, ring)?;
-                    reduce_merge_dst(&mut tile);
+                Pc::GateCheck => {
+                    // The gate check comes *after* the semaphore advance:
+                    // dependents of this instruction must be able to
+                    // proceed to their own pre-cut work, or the barrier
+                    // could never fill.
+                    if let Some(y) = self.gate_step(sched, w) {
+                        return y;
+                    }
+                    self.step += 1;
+                    self.pc = if self.step < self.tb.instructions.len() {
+                        Pc::PreInstr
+                    } else {
+                        Pc::PostTile
+                    };
                 }
-                OpCode::RecvCopySend => {
-                    // Zero-copy forward: the received tile is written to
-                    // memory and then handed onward as-is.
-                    let tile = receive(rec, ring)?;
-                    write_dst(&tile);
-                    transmit(rec, ring, tile)?;
-                }
-                OpCode::RecvReduceSend => {
-                    let mut tile = receive(rec, ring)?;
-                    combine_read_src(&mut tile);
-                    transmit(rec, ring, tile)?;
-                }
-                OpCode::RecvReduceCopySend => {
-                    let mut tile = receive(rec, ring)?;
-                    reduce_merge_dst(&mut tile);
-                    transmit(rec, ring, tile)?;
-                }
+                Pc::Finished => return Yield::Done,
             }
-            if let Some(m) = metrics {
-                let (count, latency) = &m.ops[op_index(instr.op)];
-                count.inc(m.shard);
-                if let Some(t0) = instr_start {
-                    latency.record(m.shard, t0.elapsed().as_nanos() as u64);
-                }
-            }
-            completed += 1;
-            debug_assert_eq!(completed, tile as u64 * my_len + s as u64 + 1);
-            ring.push(tile, s, instr.op, Moment::Completed);
-            // Stamp completion *before* advancing the semaphore: a waiter
-            // the set releases stamps its own events after returning from
-            // the wait, so this InstrEnd can never postdate a dependent's
-            // InstrBegin.
-            if instr.has_dep {
-                rec.emit(EventKind::SemSet { value: completed });
-            }
-            rec.emit(EventKind::InstrEnd {
-                step: s,
-                tile,
-                op: instr.op,
-            });
-            if instr.has_dep {
-                sem.set(completed);
-            }
-            // The gate check comes *after* the semaphore advance:
-            // dependents of this instruction must be able to proceed to
-            // their own pre-cut work, or the barrier could never fill.
-            epoch_gate(epoch, completed, s, cancel)?;
         }
-        rec.emit(EventKind::TileEnd { tile });
     }
-    Ok(completed)
+
+    /// Where control goes after the (possible) injected stall: the
+    /// chronic straggle delay, or straight to the dependency waits.
+    fn after_stall(&mut self) -> Pc {
+        match self.straggle {
+            Some(d) => {
+                self.timer_armed = false;
+                Pc::Straggle {
+                    until: Instant::now() + d,
+                }
+            }
+            None => Pc::Dep { idx: 0 },
+        }
+    }
+
+    fn finish(&mut self) -> Yield {
+        debug_assert!(self.inbox.is_empty(), "undelivered tile at program end");
+        self.done = true;
+        self.pc = Pc::Finished;
+        Yield::Done
+    }
+
+    // ---- Tile-shaped memory helpers: each moves `count` chunk segments
+    // directly between rank memory and a pooled tile — no intermediate
+    // Vec on any path.
+
+    fn fill_src(
+        &self,
+        instr: &mscclang::IrInstruction,
+        elem_off: usize,
+        len: usize,
+        tile: &mut PooledTile,
+    ) {
+        let loc = instr.src.expect("instruction requires src");
+        for i in 0..instr.count {
+            self.mem.read_into(
+                self.collective,
+                loc.buffer,
+                loc.index + i,
+                elem_off,
+                &mut tile[i * len..(i + 1) * len],
+            );
+        }
+    }
+
+    fn write_dst(
+        &self,
+        instr: &mscclang::IrInstruction,
+        elem_off: usize,
+        len: usize,
+        values: &[f32],
+    ) {
+        let loc = instr.dst.expect("instruction requires dst");
+        for i in 0..instr.count {
+            self.mem.write(
+                self.collective,
+                loc.buffer,
+                loc.index + i,
+                elem_off,
+                &values[i * len..(i + 1) * len],
+            );
+        }
+    }
+
+    /// dst-memory = op(dst-memory, tile), tile = dst-memory: the in-place
+    /// form of the old read-combine-write round trip, preserving its
+    /// operand order exactly.
+    fn reduce_merge_dst(
+        &self,
+        instr: &mscclang::IrInstruction,
+        elem_off: usize,
+        len: usize,
+        tile: &mut PooledTile,
+    ) {
+        let loc = instr.dst.expect("instruction requires dst");
+        for i in 0..instr.count {
+            self.mem.reduce_merge(
+                self.collective,
+                loc.buffer,
+                loc.index + i,
+                elem_off,
+                &mut tile[i * len..(i + 1) * len],
+                self.op,
+            );
+        }
+    }
+
+    /// tile = op(src-memory, tile): the receive-side merge of
+    /// RecvReduceSend, local operand on the left as before.
+    fn combine_read_src(
+        &self,
+        instr: &mscclang::IrInstruction,
+        elem_off: usize,
+        len: usize,
+        tile: &mut PooledTile,
+    ) {
+        let loc = instr.src.expect("instruction requires src");
+        for i in 0..instr.count {
+            self.mem.combine_read(
+                self.collective,
+                loc.buffer,
+                loc.index + i,
+                elem_off,
+                &mut tile[i * len..(i + 1) * len],
+                self.op,
+            );
+        }
+    }
+}
+
+/// Runs `tasks[t]` until it parks or finishes. Panics inside the
+/// interpreter become a cancellation with a recorded origin rather than a
+/// bare thread death the others wait out; every lock in the runtime is
+/// poison-tolerant, so unwinding with locks held cannot wedge the
+/// survivors.
+fn run_task(t: usize, w: usize, sched: &Scheduler, tasks: &[Mutex<TbTask>], cancel: &CancelToken) {
+    // Uncontended by the scheduler's ownership discipline: a task index
+    // lives in exactly one place (a deque, the injector, the wait table,
+    // or here), so no other worker holds this lock.
+    let mut task = tasks[t].lock().unwrap_or_else(PoisonError::into_inner);
+    loop {
+        let step =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| task.advance(sched, w)));
+        match step {
+            Ok(Yield::Done) => {
+                sched.task_done();
+                return;
+            }
+            Ok(Yield::Blocked { key, timer }) => {
+                let probe_task = &*task;
+                if !sched.block(t, key, timer, || probe_task.blocked_ready(Instant::now())) {
+                    // Parked: a waker, a timer, or the cancellation drain
+                    // re-enqueues it. This worker moves on.
+                    return;
+                }
+                // The condition turned true between registering and
+                // probing, and this call won the reclaim race: keep
+                // running the task.
+            }
+            Err(payload) => {
+                cancel.cancel(FailureOrigin {
+                    rank: task.rank,
+                    tb: task.tb_id,
+                    step: task.ring.last_step(),
+                    cause: FailureCause::Panic(payload_string(payload.as_ref())),
+                });
+                task.dead = true;
+                task.done = true;
+                task.pc = Pc::Finished;
+                sched.task_done();
+                return;
+            }
+        }
+    }
+}
+
+/// One pool worker: pops tasks (own deque LIFO, then the injector, then
+/// stealing FIFO from peers) and runs each until it parks. When idle it
+/// fires due timers and parks on the scheduler's [`Parker`] until
+/// something is published. Exits when every task is done — or, after a
+/// cancellation, when the queues are drained dry.
+fn worker_loop(w: usize, sched: &Scheduler, tasks: &[Mutex<TbTask>], cancel: &CancelToken) {
+    loop {
+        let t = 'find: loop {
+            if let Some(t) = sched.pop(w) {
+                break 'find t;
+            }
+            if sched.is_finished() {
+                return;
+            }
+            if cancel.is_cancelled() {
+                // Wake everything so each task observes the token and
+                // unwinds; once the queues are dry this worker is done —
+                // a task stranded by a worker death outside the
+                // interpreter no longer counts.
+                sched.drain_waiting();
+                match sched.pop(w) {
+                    Some(t) => break 'find t,
+                    None => return,
+                }
+            }
+            // Park protocol: read the epoch, re-probe, then sleep bounded
+            // by the next timer. Any publish after the epoch read bumps
+            // it and the park returns immediately.
+            let seen = sched.parker.epoch();
+            if let Some(t) = sched.pop(w) {
+                break 'find t;
+            }
+            if sched.is_finished() || cancel.is_cancelled() {
+                continue;
+            }
+            let (woke, next_timer) = sched.fire_timers(Instant::now());
+            if woke {
+                continue;
+            }
+            sched.park(seen, next_timer);
+        };
+        run_task(t, w, sched, tasks, cancel);
+    }
 }
 
 #[cfg(test)]
@@ -2804,5 +3696,47 @@ mod tests {
         };
         let (_, _, empty) = execute_profiled(&ir, &inputs, chunk_elems, &opts).unwrap();
         assert!(empty.samples.is_empty());
+    }
+}
+
+#[cfg(test)]
+mod zero_elision {
+    use super::*;
+    use mscclang::{compile, CompileOptions};
+
+    /// Recursive-doubling allgather(4): every chunk a rank *receives* is
+    /// provably overwritten before any read of it. The round-2 send of
+    /// the round-1 chunk reads it, but only behind the dep edge on the
+    /// round-1 recv — the happens-before sweep must see through that
+    /// edge instead of conservatively re-zeroing the chunk. The rank's
+    /// own chunk is never elided (the input load covers it instead).
+    #[test]
+    fn rd_allgather_elides_every_received_chunk() {
+        let p = msccl_algos::recursive_doubling_all_gather(4).unwrap();
+        let ir = compile(&p, &CompileOptions::default()).unwrap();
+        for r in 0..4 {
+            let skip = overwrite_only_chunks(&ir, &ir.collective, r);
+            let want: Vec<bool> = (0..4).map(|c| c != r).collect();
+            assert_eq!(skip[0], want, "rank {r} data-space elision");
+        }
+    }
+
+    /// Ring allreduce reduces in place — every data chunk is the target
+    /// of read-modify-write reduce steps with no prior overwrite, so
+    /// nothing may skip its re-zero (the input load covers the chunks
+    /// instead; this guards against the analysis ever treating a reduce
+    /// destination as a plain overwrite).
+    #[test]
+    fn ring_allreduce_elides_nothing() {
+        let p = msccl_algos::ring_all_reduce(4, 1).unwrap();
+        let ir = compile(&p, &CompileOptions::default()).unwrap();
+        for r in 0..4 {
+            let skip = overwrite_only_chunks(&ir, &ir.collective, r);
+            assert!(
+                skip[0].iter().all(|&s| !s),
+                "rank {r}: reduce-target chunks must keep their re-zero, got {:?}",
+                skip[0]
+            );
+        }
     }
 }

@@ -7,18 +7,32 @@
 //! the moment blocking starts, which is what lets the tracer timestamp
 //! `SendBlock`/`RecvBlock` at the start of the stall rather than after it.
 //!
-//! Blocking calls are *cooperative*: they take an absolute deadline and a
-//! [`CancelToken`], and their condvar waits are sliced by
-//! [`CANCEL_POLL`](crate::cancel::CANCEL_POLL) so a failure anywhere in
-//! the run unblocks them within milliseconds.
+//! The scheduler's hot path uses the non-blocking half — [`try_send`]
+//! deposits under the queue lock (so a `Send` trace timestamp taken in
+//! its callback provably precedes the matching `Recv`), and
+//! [`try_recv_into`] drains every available tile in one lock acquisition,
+//! amortizing synchronization across a burst. A task that finds the queue
+//! full/empty parks in the scheduler's wait table; the peer's next
+//! `try_*` call wakes it. The blocking [`send`]/[`recv`] remain for
+//! direct users and tests; their condvar waits run to the full deadline,
+//! interrupted by cancellation through the token's [`Poke`] waker rather
+//! than by slicing the sleep.
+//!
+//! [`try_send`]: Fifo::try_send
+//! [`try_recv_into`]: Fifo::try_recv_into
+//! [`send`]: Fifo::send
+//! [`recv`]: Fifo::recv
 
 use std::collections::VecDeque;
 use std::sync::{Condvar, Mutex, MutexGuard};
 use std::time::Instant;
 
-use crate::cancel::{CancelToken, CANCEL_POLL};
+use crate::cancel::{CancelToken, Poke};
 
-/// Why a blocking FIFO call stopped without completing.
+/// Why a blocking FIFO call stopped without completing. The executor's
+/// hot path uses the non-blocking `try_*` API; the blocking calls remain
+/// as the reference semantics their unit tests pin down.
+#[cfg_attr(not(test), allow(dead_code))]
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum FifoStop {
     /// The deadline elapsed while blocked (deadlock or hang).
@@ -28,6 +42,7 @@ pub enum FifoStop {
 }
 
 /// What a [`Fifo::send`] reports through its callback, in call order.
+#[cfg_attr(not(test), allow(dead_code))]
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SendMoment {
     /// Every slot was full; the call is about to block (reported once).
@@ -62,6 +77,18 @@ fn relock<T>(result: Result<T, std::sync::PoisonError<T>>) -> T {
     result.unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
+impl<T: Send> Poke for Fifo<T> {
+    /// Wakes blocked senders and receivers so they observe a
+    /// cancellation. Takes the queue lock first: a waiter between its
+    /// flag check and its park holds that lock, so the notification
+    /// cannot slip past it.
+    fn poke(&self) {
+        let _guard = relock(self.queue.lock());
+        self.not_full.notify_all();
+        self.not_empty.notify_all();
+    }
+}
+
 impl<T> Fifo<T> {
     /// A FIFO with `capacity` slots (at least one), preallocated.
     #[must_use]
@@ -75,6 +102,72 @@ impl<T> Fifo<T> {
         }
     }
 
+    /// The slot bound this connection was created with.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current queue depth — the scheduler's readiness probe for parked
+    /// send/receive waits.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        relock(self.queue.lock()).len()
+    }
+
+    /// Whether the queue is currently empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Deposits `value` if a slot is free, without blocking. `on_enqueued`
+    /// runs under the queue lock with the post-push depth, preserving the
+    /// happens-before contract of [`SendMoment::Enqueued`]. On a full
+    /// queue the value is handed back unchanged.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err(value)` when every slot is full.
+    pub fn try_send(&self, value: T, on_enqueued: impl FnOnce(usize)) -> Result<(), T> {
+        let mut guard = relock(self.queue.lock());
+        if guard.len() >= self.capacity {
+            return Err(value);
+        }
+        on_enqueued(guard.len() + 1);
+        debug_assert!(
+            guard.len() < self.capacity && guard.capacity() >= self.capacity,
+            "FIFO bound violated: {} of {} slots used (capacity {})",
+            guard.len(),
+            self.capacity,
+            guard.capacity()
+        );
+        guard.push_back(value);
+        drop(guard);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Drains every queued tile into `out` under one lock acquisition,
+    /// oldest first, and returns how many were moved. The receiver-side
+    /// batching half of the scheduler's FIFO protocol: one wakeup can
+    /// hand a task a whole burst of tiles, each consumed by a later
+    /// instruction without touching the queue lock again. Draining frees
+    /// slots exactly like [`recv`](Fifo::recv) does, so blocked senders
+    /// are woken (and a parked sender's scheduler wakeup should follow
+    /// any call that returns nonzero).
+    pub fn try_recv_into(&self, out: &mut VecDeque<T>) -> usize {
+        let mut guard = relock(self.queue.lock());
+        let n = guard.len();
+        out.extend(guard.drain(..));
+        drop(guard);
+        if n > 0 {
+            self.not_full.notify_all();
+        }
+        n
+    }
+
+    #[cfg_attr(not(test), allow(dead_code))]
     fn wait_until<'a>(
         cv: &Condvar,
         guard: MutexGuard<'a, VecDeque<T>>,
@@ -88,7 +181,7 @@ impl<T> Fifo<T> {
         if remaining.is_zero() {
             return Err(FifoStop::Timeout);
         }
-        let (guard, _) = relock(cv.wait_timeout(guard, remaining.min(CANCEL_POLL)));
+        let (guard, _) = relock(cv.wait_timeout(guard, remaining));
         Ok(guard)
     }
 
@@ -96,11 +189,14 @@ impl<T> Fifo<T> {
     /// reports [`SendMoment::Blocked`] once at the moment the call starts
     /// blocking (only if it blocks) and [`SendMoment::Enqueued`] under the
     /// queue lock as the tile goes in. Returns whether the call blocked.
+    /// For cancellation to interrupt the wait before the deadline, attach
+    /// the FIFO to the token as a waker (see `CancelToken::attach`).
     ///
     /// # Errors
     ///
     /// Returns [`FifoStop::Timeout`] if the queue stays full past
     /// `deadline`, or [`FifoStop::Cancelled`] if the run is cancelled.
+    #[cfg_attr(not(test), allow(dead_code))]
     pub fn send(
         &self,
         value: T,
@@ -135,12 +231,15 @@ impl<T> Fifo<T> {
 
     /// Removes the oldest tile, blocking while the queue is empty.
     /// `on_block` runs once, at the moment the call starts blocking, only
-    /// if it blocks. Returns the tile and whether the call blocked.
+    /// if it blocks. Returns the tile and whether the call blocked. As
+    /// with [`send`](Fifo::send), prompt cancellation requires attaching
+    /// the FIFO to the token.
     ///
     /// # Errors
     ///
     /// Returns [`FifoStop::Timeout`] if the queue stays empty past
     /// `deadline`, or [`FifoStop::Cancelled`] if the run is cancelled.
+    #[cfg_attr(not(test), allow(dead_code))]
     pub fn recv(
         &self,
         deadline: Instant,
@@ -168,7 +267,7 @@ impl<T> Fifo<T> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::Arc;
+    use std::sync::{Arc, Weak};
     use std::time::Duration;
 
     use crate::cancel::{FailureCause, FailureOrigin};
@@ -185,6 +284,48 @@ mod tests {
         assert_eq!(f.send(vec![2.0], after(100), &c, |_| ()), Ok(false));
         assert_eq!(f.recv(after(100), &c, || ()), Ok((vec![1.0], false)));
         assert_eq!(f.recv(after(100), &c, || ()), Ok((vec![2.0], false)));
+    }
+
+    #[test]
+    fn try_send_fills_to_capacity_then_rejects() {
+        let f = Fifo::new(2);
+        assert_eq!(f.try_send(vec![1.0], |d| assert_eq!(d, 1)), Ok(()));
+        assert_eq!(f.try_send(vec![2.0], |d| assert_eq!(d, 2)), Ok(()));
+        assert_eq!(f.len(), 2);
+        // Full: the payload comes back unchanged, no callback.
+        assert_eq!(
+            f.try_send(vec![3.0], |_| panic!("enqueued")),
+            Err(vec![3.0])
+        );
+    }
+
+    #[test]
+    fn try_recv_into_drains_in_order() {
+        let f = Fifo::new(4);
+        for v in 1..=3 {
+            f.try_send(vec![v as f32], |_| ()).unwrap();
+        }
+        let mut out = VecDeque::new();
+        assert_eq!(f.try_recv_into(&mut out), 3);
+        assert!(f.is_empty());
+        assert_eq!(out, VecDeque::from(vec![vec![1.0], vec![2.0], vec![3.0]]));
+        assert_eq!(f.try_recv_into(&mut out), 0);
+    }
+
+    /// Draining wakes a blocked (legacy-API) sender: the slots really do
+    /// free up.
+    #[test]
+    fn try_recv_into_unblocks_sender() {
+        let f = Arc::new(Fifo::new(1));
+        let c = CancelToken::new();
+        f.try_send(vec![0.0], |_| ()).unwrap();
+        let f2 = Arc::clone(&f);
+        let c2 = Arc::clone(&c);
+        let h = std::thread::spawn(move || f2.send(vec![1.0], after(5000), &c2, |_| ()));
+        std::thread::sleep(Duration::from_millis(20));
+        let mut out = VecDeque::new();
+        assert_eq!(f.try_recv_into(&mut out), 1);
+        assert_eq!(h.join().unwrap(), Ok(true));
     }
 
     #[test]
@@ -238,12 +379,13 @@ mod tests {
         assert_eq!(moments, vec![SendMoment::Blocked]);
     }
 
-    /// A cancellation elsewhere unblocks a receiver long before its
-    /// deadline.
+    /// A cancellation elsewhere unblocks an attached receiver long before
+    /// its deadline — via the token's waker, with no polling in the wait.
     #[test]
     fn cancellation_unblocks_promptly() {
         let f = Arc::new(Fifo::<Vec<f32>>::new(1));
         let c = CancelToken::new();
+        c.attach(Arc::downgrade(&f) as Weak<dyn Poke>);
         let f2 = Arc::clone(&f);
         let c2 = Arc::clone(&c);
         let h = std::thread::spawn(move || {

@@ -1,7 +1,9 @@
 //! A multi-threaded functional interpreter for MSCCL-IR.
 //!
 //! This crate is the CPU analog of the paper's CUDA interpreter (Figure 5,
-//! §6): each IR thread block runs on its own OS thread, executing its
+//! §6): each IR thread block becomes a resumable task scheduled onto a
+//! work-stealing pool of `min(num_cpus, num_tbs)` worker threads (see
+//! [`RunOptions::worker_threads`]), executing its
 //! instruction list sequentially inside an outer *tiling* loop; chunks
 //! larger than a FIFO slot are split into tiles and pipelined exactly as
 //! the GPU interpreter does. Point-to-point connections are bounded
@@ -36,6 +38,7 @@ mod memory;
 mod pool;
 mod recovery;
 pub mod reference;
+mod sched;
 mod semaphore;
 
 pub use cancel::{FailureCause, FailureOrigin};

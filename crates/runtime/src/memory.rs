@@ -55,6 +55,15 @@ pub struct SpaceBuffers {
     scratch: Vec<f32>,
 }
 
+impl SpaceBuffers {
+    /// Whether all three buffers are unallocated — i.e. there is nothing
+    /// to recycle and construction will take the fresh zeroed path.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty() && self.output.is_empty() && self.scratch.is_empty()
+    }
+}
+
 impl RankMemory {
     /// Allocates the buffers for `rank` given the collective's layout and
     /// the rank's scratch size in chunks.
@@ -89,6 +98,33 @@ impl RankMemory {
         chunk_elems: usize,
         spare: SpaceBuffers,
     ) -> Self {
+        Self::recycled_skipping(
+            collective,
+            rank,
+            scratch_chunks,
+            chunk_elems,
+            spare,
+            |_, _| false,
+        )
+    }
+
+    /// Like [`recycled`](RankMemory::recycled), additionally skipping the
+    /// re-zero of every chunk slot for which `overwritten(space, chunk)`
+    /// holds. The caller vouches that the program fully overwrites such a
+    /// chunk before ever reading it (see the executor's per-rank
+    /// instruction scan), so its stale recycled contents are unobservable
+    /// — the same argument that lets input-covered slots skip the zero.
+    /// Only the recycled path consults the predicate; fresh allocations
+    /// are zero by construction.
+    #[must_use]
+    pub fn recycled_skipping(
+        collective: &Collective,
+        rank: usize,
+        scratch_chunks: usize,
+        chunk_elems: usize,
+        spare: SpaceBuffers,
+        overwritten: impl Fn(Space, usize) -> bool,
+    ) -> Self {
         let data_chunks = collective.space_size(Space::Data).unwrap_or(0);
         let output_chunks = collective.space_size(Space::Output).unwrap_or(0);
         // Which chunk slots the input load will overwrite.
@@ -102,15 +138,16 @@ impl RankMemory {
                 Space::Scratch => {}
             }
         }
-        let prep = |mut buf: Vec<f32>, chunks: usize, covered: &[bool]| -> Vec<f32> {
+        let prep = |mut buf: Vec<f32>, chunks: usize, covered: &[bool], space: Space| -> Vec<f32> {
             let elems = chunks * chunk_elems;
             if buf.is_empty() {
                 // Fresh path: a zeroed allocation maps pages lazily.
                 return vec![0.0; elems];
             }
             buf.resize(elems, 0.0);
-            for (c, &cov) in covered.iter().enumerate() {
-                if !cov {
+            for c in 0..chunks {
+                let cov = covered.get(c).copied().unwrap_or(false);
+                if !cov && !overwritten(space, c) {
                     buf[c * chunk_elems..(c + 1) * chunk_elems].fill(0.0);
                 }
             }
@@ -119,13 +156,14 @@ impl RankMemory {
         Self {
             rank,
             chunk_elems,
-            data: RwLock::new(prep(spare.data, data_chunks, &covered_data)),
-            output: RwLock::new(prep(spare.output, output_chunks, &covered_output)),
-            scratch: RwLock::new(prep(
-                spare.scratch,
-                scratch_chunks,
-                &vec![false; scratch_chunks],
+            data: RwLock::new(prep(spare.data, data_chunks, &covered_data, Space::Data)),
+            output: RwLock::new(prep(
+                spare.output,
+                output_chunks,
+                &covered_output,
+                Space::Output,
             )),
+            scratch: RwLock::new(prep(spare.scratch, scratch_chunks, &[], Space::Scratch)),
         }
     }
 
@@ -177,6 +215,24 @@ impl RankMemory {
         paste(&self.data, &snap.data);
         paste(&self.output, &snap.output);
         paste(&self.scratch, &snap.scratch);
+    }
+
+    /// Swaps the backing storage of `space` for `replacement`, returning
+    /// the old buffer. The executor's output-extraction path uses this to
+    /// *steal* a space whose chunks map identity-style onto the output
+    /// buffer — the backing vector already is the result, so handing a
+    /// recycled vector in (its length is irrelevant; the next
+    /// [`recycled`](RankMemory::recycled) resizes and re-zeroes) replaces
+    /// an `out_chunks × chunk_elems` copy with a pointer swap. Only valid
+    /// once execution is over: the swapped-in buffer has arbitrary
+    /// contents.
+    #[must_use]
+    pub fn swap_space_buffer(&self, space: Space, replacement: Vec<f32>) -> Vec<f32> {
+        let mut guard = self
+            .space(space)
+            .write()
+            .unwrap_or_else(PoisonError::into_inner);
+        std::mem::replace(&mut *guard, replacement)
     }
 
     fn space(&self, space: Space) -> &RwLock<Vec<f32>> {

@@ -1,0 +1,449 @@
+//! Work-stealing scheduler for resumable thread-block tasks.
+//!
+//! The executor compiles each IR thread block into a resumable state
+//! machine (`TbTask` in [`crate::executor`]) and runs all of them on a
+//! fixed pool of `min(num_cpus, num_tbs)` worker threads instead of one
+//! OS thread per block. This module is the machinery under that: per-
+//! worker run queues with stealing, a wait table keyed by *what* a task
+//! is blocked on, a timer heap for sleeps and hang deadlines, and a
+//! [`Parker`] that lets idle workers sleep without polling.
+//!
+//! Ownership discipline: a task index lives in **exactly one** place at
+//! any moment — some worker's deque, the global injector, the wait
+//! table, or "running" on a worker. Every transfer is a removal from one
+//! place followed by an insertion into another under the respective
+//! lock, so a task can never be run by two workers at once.
+//!
+//! The blocked path uses *register-then-recheck*: the worker inserts the
+//! blocked task into the wait table, then re-probes the condition. If
+//! the condition turned true in between, whoever removed the entry first
+//! (the worker itself, or a waker that got there between the insert and
+//! the probe) owns the single ticket to make the task runnable again.
+//! Combined with wakers that fire *after* publishing their state
+//! (semaphore set, FIFO push, gate release), no wakeup can be lost.
+//!
+//! Parking uses a sequence lock: producers bump [`Parker::bump`] after
+//! every enqueue, and a worker only sleeps if the sequence is unchanged
+//! from before it last probed the queues. The parker implements
+//! [`Poke`], so attaching it to the run's [`CancelToken`]
+//! (`crate::cancel`) turns a cancellation anywhere into an immediate
+//! wakeup of every parked worker — no sleep anywhere in the executor is
+//! sliced by a poll interval.
+//!
+//! [`CancelToken`]: crate::cancel::CancelToken
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::time::Instant;
+
+use crate::cancel::Poke;
+
+fn relock<T>(r: Result<T, PoisonError<T>>) -> T {
+    r.unwrap_or_else(PoisonError::into_inner)
+}
+
+/// What a blocked task is waiting for. The task that makes the condition
+/// true wakes the key; tasks whose condition involves a timeout also arm
+/// a timer so hangs are detected without any waker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub(crate) enum WakeKey {
+    /// Task `i`'s own semaphore advanced (dependency waits).
+    Sem(usize),
+    /// Connection `i`'s FIFO received a tile (receive waits).
+    Recv(usize),
+    /// Connection `i`'s FIFO freed a slot (send waits on a full FIFO).
+    Send(usize),
+    /// Epoch boundary `i`'s gate released.
+    Gate(usize),
+    /// Task `i`'s private timer (fault stalls, straggle pauses, delivery
+    /// delays) — nothing wakes this key except the timer heap and
+    /// cancellation.
+    Sleep(usize),
+}
+
+/// The pool's sleep/wake rendezvous: a sequence counter under a mutex
+/// plus a condvar. Producers bump after enqueuing; a worker reads the
+/// sequence, re-probes the queues, and only then sleeps — a bump between
+/// the read and the sleep aborts the sleep, so wakeups cannot be lost.
+pub(crate) struct Parker {
+    seq: Mutex<u64>,
+    cv: Condvar,
+}
+
+impl Parker {
+    fn new() -> Arc<Self> {
+        Arc::new(Self {
+            seq: Mutex::new(0),
+            cv: Condvar::new(),
+        })
+    }
+
+    /// Current sequence; take this *before* the final queue probe.
+    pub(crate) fn epoch(&self) -> u64 {
+        *relock(self.seq.lock())
+    }
+
+    /// Advances the sequence and wakes every parked worker. Called after
+    /// each enqueue, timer arm, and by cancellation (via [`Poke`]).
+    pub(crate) fn bump(&self) {
+        let mut guard = relock(self.seq.lock());
+        *guard = guard.wrapping_add(1);
+        self.cv.notify_all();
+    }
+
+    /// Sleeps until a bump past `seen`, `until` (when set), or a
+    /// spurious wakeup. Returns immediately if the sequence already
+    /// moved.
+    fn park(&self, seen: u64, until: Option<Instant>) {
+        let guard = relock(self.seq.lock());
+        if *guard != seen {
+            return;
+        }
+        match until {
+            Some(at) => {
+                let remaining = at.saturating_duration_since(Instant::now());
+                if remaining.is_zero() {
+                    return;
+                }
+                drop(relock(self.cv.wait_timeout(guard, remaining)));
+            }
+            None => drop(relock(self.cv.wait(guard))),
+        }
+    }
+}
+
+impl Poke for Parker {
+    fn poke(&self) {
+        self.bump();
+    }
+}
+
+/// Counters the scheduler keeps about itself, read after the run for the
+/// `msccl_sched_*` metrics.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct SchedStats {
+    /// Tasks a worker took from another worker's deque.
+    pub(crate) steals: u64,
+    /// Times a worker went to sleep with nothing runnable.
+    pub(crate) parks: u64,
+    /// Peak number of runnable tasks queued at once.
+    pub(crate) peak_runnable: u64,
+}
+
+/// The work-stealing scheduler: run queues, wait table, timers, parker.
+pub(crate) struct Scheduler {
+    /// One deque per worker. Owners pop the back (LIFO, cache-warm);
+    /// thieves and wakers touch the front/back under the same mutex.
+    deques: Vec<Mutex<VecDeque<usize>>>,
+    /// Overflow/fairness queue: timer-fired and drained tasks land here
+    /// so any worker can pick them up.
+    injector: Mutex<VecDeque<usize>>,
+    waits: Mutex<HashMap<WakeKey, Vec<usize>>>,
+    /// Min-heap of (fire time, key, task). Entries are lazily discarded:
+    /// a fired entry whose (key, task) is no longer in the wait table is
+    /// a stale leftover from a wait that already ended.
+    timers: Mutex<BinaryHeap<Reverse<(Instant, WakeKey, usize)>>>,
+    pub(crate) parker: Arc<Parker>,
+    /// Tasks not yet finished; workers exit when this hits zero.
+    remaining: AtomicUsize,
+    /// Tasks currently sitting in some queue (not running, not waiting).
+    runnable: AtomicUsize,
+    peak_runnable: AtomicU64,
+    steals: AtomicU64,
+    parks: AtomicU64,
+}
+
+impl Scheduler {
+    /// A scheduler for `num_tasks` tasks on `workers` worker threads,
+    /// with the initial tasks dealt round-robin across the deques.
+    pub(crate) fn new(workers: usize, num_tasks: usize) -> Self {
+        let mut deques: Vec<VecDeque<usize>> = (0..workers).map(|_| VecDeque::new()).collect();
+        for t in 0..num_tasks {
+            deques[t % workers].push_back(t);
+        }
+        Self {
+            deques: deques.into_iter().map(Mutex::new).collect(),
+            injector: Mutex::new(VecDeque::new()),
+            waits: Mutex::new(HashMap::new()),
+            timers: Mutex::new(BinaryHeap::new()),
+            parker: Parker::new(),
+            remaining: AtomicUsize::new(num_tasks),
+            runnable: AtomicUsize::new(num_tasks),
+            peak_runnable: AtomicU64::new(num_tasks as u64),
+            steals: AtomicU64::new(0),
+            parks: AtomicU64::new(0),
+        }
+    }
+
+    /// Counts `n` tasks as runnable. Must be called *before* the tasks
+    /// are published to a queue: a peer can pop a published task
+    /// immediately, and its decrement landing before this increment
+    /// would wrap the counter. A transient over-count is harmless.
+    fn note_enqueued(&self, n: usize) {
+        let now = self.runnable.fetch_add(n, Ordering::Relaxed) + n;
+        self.peak_runnable.fetch_max(now as u64, Ordering::Relaxed);
+    }
+
+    /// Next task for worker `w`: own deque first (LIFO), then the
+    /// injector, then stealing from the other deques (FIFO — the
+    /// coldest work).
+    pub(crate) fn pop(&self, w: usize) -> Option<usize> {
+        if let Some(t) = relock(self.deques[w].lock()).pop_back() {
+            self.runnable.fetch_sub(1, Ordering::Relaxed);
+            return Some(t);
+        }
+        if let Some(t) = relock(self.injector.lock()).pop_front() {
+            self.runnable.fetch_sub(1, Ordering::Relaxed);
+            return Some(t);
+        }
+        let n = self.deques.len();
+        for i in 1..n {
+            let victim = (w + i) % n;
+            if let Some(t) = relock(self.deques[victim].lock()).pop_front() {
+                self.runnable.fetch_sub(1, Ordering::Relaxed);
+                self.steals.fetch_add(1, Ordering::Relaxed);
+                return Some(t);
+            }
+        }
+        None
+    }
+
+    /// Registers `task` as blocked on `key`, arms `timer` (a hang
+    /// deadline or a sleep expiry) when given, then re-probes the
+    /// condition via `probe`. Returns `true` when the condition is
+    /// already satisfied *and* this call won the race to reclaim the
+    /// task — the caller keeps running it. On `false` the task is
+    /// parked (or a concurrent waker owns its re-enqueue).
+    pub(crate) fn block(
+        &self,
+        task: usize,
+        key: WakeKey,
+        timer: Option<Instant>,
+        probe: impl FnOnce() -> bool,
+    ) -> bool {
+        relock(self.waits.lock()).entry(key).or_default().push(task);
+        if let Some(at) = timer {
+            relock(self.timers.lock()).push(Reverse((at, key, task)));
+            // Parked workers compute their sleep bound from the timer
+            // heap; an earlier deadline must re-bound those sleeps.
+            self.parker.bump();
+        }
+        if probe() {
+            let mut waits = relock(self.waits.lock());
+            if let Some(v) = waits.get_mut(&key) {
+                if let Some(pos) = v.iter().position(|&t| t == task) {
+                    v.swap_remove(pos);
+                    if v.is_empty() {
+                        waits.remove(&key);
+                    }
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// Makes every task blocked on `key` runnable on worker `w`'s deque.
+    /// Call *after* publishing the state the key stands for. Returns how
+    /// many tasks were woken.
+    pub(crate) fn wake(&self, key: WakeKey, w: usize) -> usize {
+        let woken = relock(self.waits.lock()).remove(&key).unwrap_or_default();
+        let n = woken.len();
+        if n > 0 {
+            self.note_enqueued(n);
+            relock(self.deques[w].lock()).extend(woken);
+            self.parker.bump();
+        }
+        n
+    }
+
+    /// Fires every timer at or before `now`: each (key, task) still in
+    /// the wait table moves to the injector (the task re-probes its
+    /// condition itself — a fired hang deadline makes it fail, a fired
+    /// sleep makes it continue). Returns whether anything was woken and
+    /// the next pending fire time.
+    pub(crate) fn fire_timers(&self, now: Instant) -> (bool, Option<Instant>) {
+        let mut due: Vec<(WakeKey, usize)> = Vec::new();
+        let next = {
+            let mut timers = relock(self.timers.lock());
+            loop {
+                match timers.peek() {
+                    Some(Reverse((at, _, _))) if *at <= now => {
+                        let Reverse((_, key, task)) = timers.pop().expect("peeked");
+                        due.push((key, task));
+                    }
+                    Some(Reverse((at, _, _))) => break Some(*at),
+                    None => break None,
+                }
+            }
+        };
+        let mut woke = false;
+        if !due.is_empty() {
+            let mut waits = relock(self.waits.lock());
+            let mut fired: Vec<usize> = Vec::new();
+            for (key, task) in due {
+                if let Some(v) = waits.get_mut(&key) {
+                    if let Some(pos) = v.iter().position(|&t| t == task) {
+                        v.swap_remove(pos);
+                        if v.is_empty() {
+                            waits.remove(&key);
+                        }
+                        fired.push(task);
+                    }
+                }
+            }
+            drop(waits);
+            if !fired.is_empty() {
+                self.note_enqueued(fired.len());
+                relock(self.injector.lock()).extend(fired);
+                woke = true;
+            }
+        }
+        (woke, next)
+    }
+
+    /// Moves every waiting task to the injector — the cancellation path:
+    /// each woken task observes the tripped token and unwinds, so the
+    /// run drains within wakeup latency instead of timeout bounds.
+    pub(crate) fn drain_waiting(&self) {
+        let drained: Vec<usize> = relock(self.waits.lock())
+            .drain()
+            .flat_map(|(_, v)| v)
+            .collect();
+        if !drained.is_empty() {
+            self.note_enqueued(drained.len());
+            relock(self.injector.lock()).extend(drained);
+            self.parker.bump();
+        }
+    }
+
+    /// Marks one task finished. The last finish wakes every parked
+    /// worker so the pool can exit.
+    pub(crate) fn task_done(&self) {
+        if self.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+            self.parker.bump();
+        }
+    }
+
+    /// Whether every task has finished (the workers' exit condition).
+    pub(crate) fn is_finished(&self) -> bool {
+        self.remaining.load(Ordering::Acquire) == 0
+    }
+
+    /// Parks the calling worker until the parker sequence moves past
+    /// `seen` or `until` arrives.
+    pub(crate) fn park(&self, seen: u64, until: Option<Instant>) {
+        self.parks.fetch_add(1, Ordering::Relaxed);
+        self.parker.park(seen, until);
+    }
+
+    /// The run's scheduler counters, read after the workers join.
+    pub(crate) fn stats(&self) -> SchedStats {
+        SchedStats {
+            steals: self.steals.load(Ordering::Relaxed),
+            parks: self.parks.load(Ordering::Relaxed),
+            peak_runnable: self.peak_runnable.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn seeds_tasks_round_robin_and_pops_own_first() {
+        let s = Scheduler::new(2, 5);
+        // Worker 0 got 0, 2, 4; owner pops LIFO.
+        assert_eq!(s.pop(0), Some(4));
+        assert_eq!(s.pop(0), Some(2));
+        assert_eq!(s.pop(0), Some(0));
+        // Own deque empty: steal from worker 1's front (FIFO), counted.
+        assert_eq!(s.pop(0), Some(1));
+        assert_eq!(s.stats().steals, 1);
+        assert_eq!(s.pop(1), Some(3));
+        assert_eq!(s.pop(0), None);
+        assert_eq!(s.stats().peak_runnable, 5);
+    }
+
+    #[test]
+    fn block_reclaims_when_probe_turns_true() {
+        let s = Scheduler::new(1, 1);
+        assert_eq!(s.pop(0), Some(0));
+        // Condition already true at re-probe: the worker keeps the task.
+        assert!(s.block(0, WakeKey::Sem(0), None, || true));
+        // And the wait table is clean: a later wake finds nothing.
+        assert_eq!(s.wake(WakeKey::Sem(0), 0), 0);
+    }
+
+    #[test]
+    fn wake_moves_blocked_tasks_to_deque() {
+        let s = Scheduler::new(1, 2);
+        assert_eq!(s.pop(0), Some(1));
+        assert_eq!(s.pop(0), Some(0));
+        assert!(!s.block(0, WakeKey::Recv(7), None, || false));
+        assert_eq!(s.pop(0), None);
+        assert_eq!(s.wake(WakeKey::Recv(7), 0), 1);
+        assert_eq!(s.pop(0), Some(0));
+    }
+
+    #[test]
+    fn timers_fire_into_injector() {
+        let s = Scheduler::new(1, 1);
+        assert_eq!(s.pop(0), Some(0));
+        let past = Instant::now() - Duration::from_millis(1);
+        assert!(!s.block(0, WakeKey::Sleep(0), Some(past), || false));
+        let (woke, next) = s.fire_timers(Instant::now());
+        assert!(woke);
+        assert_eq!(next, None);
+        assert_eq!(s.pop(0), Some(0));
+        // A stale timer for an ended wait is discarded silently.
+        let (woke, _) = s.fire_timers(Instant::now());
+        assert!(!woke);
+    }
+
+    #[test]
+    fn drain_wakes_everything() {
+        let s = Scheduler::new(2, 3);
+        for _ in 0..2 {
+            s.pop(0);
+        }
+        s.pop(1);
+        assert!(!s.block(0, WakeKey::Sem(1), None, || false));
+        assert!(!s.block(1, WakeKey::Gate(0), None, || false));
+        assert!(!s.block(2, WakeKey::Send(3), None, || false));
+        s.drain_waiting();
+        let mut got = [s.pop(0), s.pop(0), s.pop(0)]
+            .into_iter()
+            .flatten()
+            .collect::<Vec<_>>();
+        got.sort_unstable();
+        assert_eq!(got, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn finish_accounting_reaches_zero() {
+        let s = Scheduler::new(1, 2);
+        assert!(!s.is_finished());
+        s.task_done();
+        assert!(!s.is_finished());
+        s.task_done();
+        assert!(s.is_finished());
+    }
+
+    /// The parker's sequence protocol: a bump between epoch-read and
+    /// park aborts the park, so an enqueue cannot be slept through.
+    #[test]
+    fn parker_bump_between_probe_and_park_aborts_sleep() {
+        let s = Scheduler::new(1, 1);
+        let seen = s.parker.epoch();
+        s.parker.bump();
+        let t0 = Instant::now();
+        s.park(seen, Some(Instant::now() + Duration::from_secs(5)));
+        assert!(t0.elapsed() < Duration::from_secs(1));
+        assert_eq!(s.stats().parks, 1);
+    }
+}

@@ -3,22 +3,27 @@
 //! The CUDA interpreter (Figure 5) gives every thread block a semaphore in
 //! global memory set to the completed step after each instruction with
 //! `hasDep`; dependent instructions spin until the value is reached. Here
-//! a mutex + condvar pair replaces the spin, and the value counts
-//! instructions monotonically *across tiles* so that waits from tile `t`
-//! can never be satisfied by a completion from tile `t - 1`.
+//! the value counts instructions monotonically *across tiles* so that
+//! waits from tile `t` can never be satisfied by a completion from tile
+//! `t - 1`.
 //!
-//! Waits are *cooperative*: they run against an absolute deadline and a
-//! [`CancelToken`], slicing the condvar wait by [`CANCEL_POLL`] so a
-//! cancellation anywhere in the run wakes a blocked waiter within
-//! milliseconds instead of letting it ride out its own timeout.
+//! The scheduler's hot path never blocks on a semaphore: a task polls
+//! [`current`](Semaphore::current) and, if the target is not yet reached,
+//! parks in the scheduler's wait table until the setter wakes it. The
+//! blocking [`wait_at_least`](Semaphore::wait_at_least) remains for the
+//! epoch machinery's tests and direct users; its condvar wait runs to the
+//! full deadline and is interrupted by cancellation through the token's
+//! [`Poke`] waker (attach the semaphore to the token for that), not by
+//! slicing the sleep.
 
 use std::sync::{Condvar, Mutex, PoisonError};
 use std::time::Instant;
 
-use crate::cancel::{CancelToken, CANCEL_POLL};
+use crate::cancel::{CancelToken, Poke};
 
 /// How a cooperative wait ended.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(not(test), allow(dead_code))]
 pub enum WaitOutcome {
     /// The awaited condition became true.
     Reached,
@@ -35,11 +40,28 @@ pub struct Semaphore {
     cv: Condvar,
 }
 
+impl Poke for Semaphore {
+    /// Wakes blocked waiters so they observe a cancellation. Takes the
+    /// value lock first: a waiter between its flag check and its park
+    /// holds that lock, so the notification cannot slip past it.
+    fn poke(&self) {
+        let _guard = self.value.lock().unwrap_or_else(PoisonError::into_inner);
+        self.cv.notify_all();
+    }
+}
+
 impl Semaphore {
     /// Creates a semaphore at zero.
     #[must_use]
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// The current value, without blocking — the scheduler's readiness
+    /// probe for parked dependency waits.
+    #[must_use]
+    pub fn current(&self) -> u64 {
+        *self.value.lock().unwrap_or_else(PoisonError::into_inner)
     }
 
     /// Advances the counter to `v` (monotonic; lower values are ignored)
@@ -53,9 +75,9 @@ impl Semaphore {
     }
 
     /// Adds one to the counter, wakes waiters, and returns the new value
-    /// — the arrival primitive of the epoch barrier, where each worker
-    /// contributes one arrival and the designated snapshotter waits for
-    /// the full count via [`wait_at_least`](Semaphore::wait_at_least).
+    /// — the arrival primitive of the epoch barrier: each worker
+    /// contributes one arrival and the last one (the designated
+    /// snapshotter) sees the full count.
     pub fn increment(&self) -> u64 {
         let mut guard = self.value.lock().unwrap_or_else(PoisonError::into_inner);
         *guard += 1;
@@ -64,8 +86,11 @@ impl Semaphore {
     }
 
     /// Blocks until the counter reaches `v`, the `deadline` passes, or
-    /// `cancel` trips.
+    /// `cancel` trips. For the cancellation to interrupt the wait before
+    /// the deadline, the semaphore must be attached to the token as a
+    /// waker (see [`CancelToken::attach`]); the wait itself never polls.
     #[must_use]
+    #[cfg_attr(not(test), allow(dead_code))]
     pub fn wait_at_least(&self, v: u64, deadline: Instant, cancel: &CancelToken) -> WaitOutcome {
         let mut guard = self.value.lock().unwrap_or_else(PoisonError::into_inner);
         while *guard < v {
@@ -78,7 +103,7 @@ impl Semaphore {
             }
             guard = self
                 .cv
-                .wait_timeout(guard, remaining.min(CANCEL_POLL))
+                .wait_timeout(guard, remaining)
                 .unwrap_or_else(PoisonError::into_inner)
                 .0;
         }
@@ -89,7 +114,7 @@ impl Semaphore {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::Arc;
+    use std::sync::{Arc, Weak};
     use std::time::Duration;
 
     use crate::cancel::{FailureCause, FailureOrigin};
@@ -103,6 +128,7 @@ mod tests {
         let s = Semaphore::new();
         let c = CancelToken::new();
         s.set(3);
+        assert_eq!(s.current(), 3);
         assert_eq!(s.wait_at_least(3, soon(10), &c), WaitOutcome::Reached);
         assert_eq!(s.wait_at_least(4, soon(10), &c), WaitOutcome::TimedOut);
     }
@@ -113,6 +139,7 @@ mod tests {
         let c = CancelToken::new();
         s.set(5);
         s.set(2);
+        assert_eq!(s.current(), 5);
         assert_eq!(s.wait_at_least(5, soon(10), &c), WaitOutcome::Reached);
     }
 
@@ -128,12 +155,13 @@ mod tests {
         assert_eq!(h.join().unwrap(), WaitOutcome::Reached);
     }
 
-    /// A cancellation elsewhere must wake a waiter long before its own
-    /// deadline.
+    /// A cancellation elsewhere must wake an attached waiter long before
+    /// its own deadline — without any polling inside the wait.
     #[test]
     fn cancellation_interrupts_wait_promptly() {
         let s = Arc::new(Semaphore::new());
         let c = CancelToken::new();
+        c.attach(Arc::downgrade(&s) as Weak<dyn Poke>);
         let s2 = Arc::clone(&s);
         let c2 = Arc::clone(&c);
         let h = std::thread::spawn(move || {
