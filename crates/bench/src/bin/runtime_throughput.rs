@@ -22,7 +22,9 @@
 //! registry's contract that "always on" is affordable. (The budget is
 //! relative; it was re-set from 3% when the scheduler work tripled
 //! small-row throughput and the unchanged absolute cost tripled as a
-//! percentage.)
+//! percentage.) The flight recorder — the always-on black-box ring
+//! buffers behind `msccl doctor` — is gated by the same estimator and
+//! the same 4% budget.
 
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -44,6 +46,10 @@ struct Entry {
     /// ratios — the overhead gate's estimator (1.02 = metrics cost 2% of
     /// wall time here).
     overhead_ratio: f64,
+    /// Paired estimator for the always-on flight recorder
+    /// ([`RunOptions::flight`], the default) against a run with it
+    /// disabled: what the black-box ring buffers cost on the hot path.
+    flight_overhead_ratio: f64,
     /// The same paired estimator for `--epochs auto` vs epochs off on a
     /// fault-free run: what the epoch subsystem costs when nothing
     /// fails. `Auto` consults the compiler's cost model, which declines
@@ -185,6 +191,10 @@ fn measure(
         metrics: false,
         ..RunOptions::default()
     };
+    let flight_off = RunOptions {
+        flight: false,
+        ..RunOptions::default()
+    };
     let epochs_auto = RunOptions {
         epochs: EpochMode::Auto,
         ..RunOptions::default()
@@ -211,6 +221,17 @@ fn measure(
     }
 
     let metrics = paired(&ir, &inputs, chunk_elems, &mut arena, &on, &off, iters);
+    // Flight-recorder cost: the always-on default against flight off,
+    // same estimator and budget split as the epoch pair.
+    let flight = paired(
+        &ir,
+        &inputs,
+        chunk_elems,
+        &mut arena,
+        &on,
+        &flight_off,
+        (iters / 2).max(4),
+    );
     // Fault-free epoch cost: `--epochs auto` against the plain default,
     // same estimator. Half the pair budget — the gate aggregates across
     // points, and this pair rides on an already-warmed arena.
@@ -242,6 +263,7 @@ fn measure(
         gbps: moved / metrics.best_a / 1e9,
         gbps_metrics_off: moved / metrics.best_b / 1e9,
         overhead_ratio: metrics.ratio,
+        flight_overhead_ratio: flight.ratio,
         epoch_overhead_ratio: epochs.ratio,
         sched_speedup_ratio: sched.ratio,
         allocs_per_step: if stats.instructions == 0 {
@@ -268,6 +290,7 @@ fn to_json(mode: &str, entries: &[Entry]) -> String {
             s,
             "    {{\"collective\": \"{}\", \"ranks\": {}, \"bytes_per_rank\": {}, \
              \"gbps\": {:.3}, \"gbps_metrics_off\": {:.3}, \"metrics_overhead_ratio\": {:.4}, \
+             \"flight_overhead_ratio\": {:.4}, \
              \"epoch_overhead_ratio\": {:.4}, \"sched_speedup_ratio\": {:.4}, \
              \"allocs_per_step\": {:.4}, \
              \"pool_allocated\": {}, \"pool_reused\": {}}}{comma}",
@@ -277,6 +300,7 @@ fn to_json(mode: &str, entries: &[Entry]) -> String {
             e.gbps,
             e.gbps_metrics_off,
             e.overhead_ratio,
+            e.flight_overhead_ratio,
             e.epoch_overhead_ratio,
             e.sched_speedup_ratio,
             e.allocs_per_step,
@@ -385,9 +409,10 @@ fn main() {
             for &(ranks, bytes, iters, gated) in &rows {
                 let e = measure(collective, ranks, bytes, iters, gated);
                 println!(
-                    "{:<30} ranks={} bytes/rank={:>9} {:>8.3} GB/s ({:>8.3} metrics off, overhead {:+.2}%, epochs auto {:+.2}%, sched speedup {:.2}x)  allocs/step={:.4} (pool: {} allocated, {} reused)",
+                    "{:<30} ranks={} bytes/rank={:>9} {:>8.3} GB/s ({:>8.3} metrics off, overhead {:+.2}%, flight {:+.2}%, epochs auto {:+.2}%, sched speedup {:.2}x)  allocs/step={:.4} (pool: {} allocated, {} reused)",
                     e.collective, e.ranks, e.bytes_per_rank, e.gbps, e.gbps_metrics_off,
                     (e.overhead_ratio - 1.0) * 100.0,
+                    (e.flight_overhead_ratio - 1.0) * 100.0,
                     (e.epoch_overhead_ratio - 1.0) * 100.0,
                     e.sched_speedup_ratio,
                     e.allocs_per_step, e.pool_allocated, e.pool_reused,
@@ -414,8 +439,9 @@ fn main() {
         (logs.iter().sum::<f64>() / logs.len().max(1) as f64).exp() - 1.0
     };
     type Gate = (&'static str, fn(&Entry) -> f64);
-    let gates: [Gate; 2] = [
+    let gates: [Gate; 3] = [
         ("metrics", |e| e.overhead_ratio),
+        ("flight", |e| e.flight_overhead_ratio),
         ("epochs-auto", |e| e.epoch_overhead_ratio),
     ];
 

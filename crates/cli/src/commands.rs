@@ -6,8 +6,8 @@ use std::time::Duration;
 use msccl_faults::{FaultInjector, FaultPlan, FaultUniverse};
 use msccl_metrics::{names, MetricsSnapshot};
 use msccl_runtime::{
-    execute_profiled, execute_with_metrics, execute_with_recovery, reference, RecoveryPolicy,
-    ResumePolicy, RunOptions,
+    execute_profiled, execute_with_metrics, execute_with_recovery, reference, Blackbox,
+    RecoveryPolicy, ResumePolicy, RunOptions,
 };
 use msccl_scenario::{
     check_scenario, run_scenario, Engine as ScenarioEngine, RunConfig as ScenarioRunConfig,
@@ -63,7 +63,7 @@ COMMANDS:
     run <file.xml> [--elems N] [--threads N] [--trace F] [--deadline-ms N]
                    [--fault-seed N | --fault-plan F] [--retries N]
                    [--fallback FILE.xml] [--epochs off|auto|N]
-                   [--resume-policy epoch|retry]
+                   [--resume-policy epoch|retry] [--blackbox-dir DIR]
                                    execute on real data and check numerics;
                                    --threads sizes the scheduler's worker
                                    pool (default 0 = min(cores, thread
@@ -80,7 +80,20 @@ COMMANDS:
                                    rank memory at provably quiescent cuts so
                                    --resume-policy epoch (default) restarts a
                                    failed attempt from the last complete
-                                   epoch instead of from scratch
+                                   epoch instead of from scratch;
+                                   --blackbox-dir writes a post-mortem
+                                   black-box dump (flight records, wait-for
+                                   graph, stall diagnosis) there when the
+                                   run fails — inspect it with msccl doctor
+    doctor <dump.json> [--format human|json|chrome] [--out F]
+                                   diagnose a black-box dump written by a
+                                   failed run (--blackbox-dir): names the
+                                   root-cause rank/tb/step, classifies the
+                                   stall (deadlock cycle, orphaned wait,
+                                   straggler, injected fault) and walks the
+                                   wait chain; --format json re-emits the
+                                   dump, chrome renders the flight recorder
+                                   as a Chrome trace (requires --out)
     faults <file.xml> --seed N [--format text|json]
                                    print the deterministic fault plan that
                                    seed N generates for this program (feed
@@ -88,6 +101,7 @@ COMMANDS:
                                    --format json emits the plan with per-
                                    fault classes for tooling
     scenario run <file.toml> [--parallel N] [--format text|json] [--out F]
+                 [--blackbox-dir DIR]
                                    run a declarative robustness scenario:
                                    seeded traffic storms with faults,
                                    stragglers and SLO assertions (see
@@ -95,7 +109,10 @@ COMMANDS:
                                    an SLO fails; --parallel selects the
                                    sharded sim backend (reports stay
                                    bit-identical); --out writes the report
-                                   and prints a one-line summary
+                                   and prints a one-line summary;
+                                   --blackbox-dir dumps a black box for
+                                   every op that fails outright (runtime
+                                   engine), with paths in the report
     scenario check <file.toml>     parse and validate a scenario without
                                    running it (machine, collectives, fault
                                    sites, SLO grammar)
@@ -143,6 +160,7 @@ pub fn dispatch(args: &Args) -> Result<String, CliError> {
         "profile" => cmd_profile(args),
         "faults" => cmd_faults(args),
         "scenario" => cmd_scenario(args),
+        "doctor" => cmd_doctor(args),
         "tune" => cmd_tune(args),
         other => Err(CliError::new(format!(
             "unknown command '{other}'; try 'msccl help'"
@@ -361,6 +379,18 @@ fn trace_path(args: &Args) -> Result<Option<&str>, CliError> {
             "--trace requires a file path (e.g. --trace out.json)",
         )),
         other => Ok(other),
+    }
+}
+
+/// Extracts the `--blackbox-dir` dump directory. Like [`trace_path`],
+/// a bare flag (recorded as `"true"`) is rejected so it cannot silently
+/// create a directory named `true`.
+fn blackbox_dir(args: &Args) -> Result<Option<std::path::PathBuf>, CliError> {
+    match args.options.get("blackbox-dir").map(String::as_str) {
+        Some("true") => Err(CliError::new(
+            "--blackbox-dir requires a directory path (e.g. --blackbox-dir dumps/)",
+        )),
+        other => Ok(other.map(std::path::PathBuf::from)),
     }
 }
 
@@ -594,6 +624,7 @@ fn cmd_scenario(args: &Args) -> Result<String, CliError> {
                 }
                 cfg.threads = Some(threads);
             }
+            cfg.blackbox_dir = blackbox_dir(args)?;
             if action == "check" {
                 check_scenario(&scenario, &cfg)
                     .map_err(|e| CliError::new(format!("{path}: {e}")))?;
@@ -675,6 +706,45 @@ fn cmd_scenario(args: &Args) -> Result<String, CliError> {
         other => Err(CliError::new(format!(
             "unknown scenario action '{other}' (expected run, check or list)"
         ))),
+    }
+}
+
+/// The `doctor` command: post-mortem analysis of a black-box dump
+/// written by a failed run (`--blackbox-dir`). The default output is the
+/// human-readable diagnosis — failure origin, stall classification, wait
+/// chain, root cause; `--format json` re-emits the (already parsed and
+/// validated) dump; `--format chrome` renders the flight recorder's
+/// per-worker event stream through the standard trace writer, so the
+/// last moments before the failure open in any Chrome-trace viewer.
+fn cmd_doctor(args: &Args) -> Result<String, CliError> {
+    let path = args.positional1("black-box dump (blackbox-*.json)")?;
+    let text = std::fs::read_to_string(path)?;
+    let bb = Blackbox::from_json(&text).map_err(|e| CliError::new(format!("{path}: {e}")))?;
+    let body = match args.options.get("format").map_or("human", String::as_str) {
+        "human" => bb.render_human(),
+        "json" => bb.to_json(),
+        "chrome" => {
+            // The trace writer produces the file itself; `--out` names it.
+            let out = args.options.get("out").ok_or_else(|| {
+                CliError::new("--format chrome requires --out FILE (Chrome trace JSON)")
+            })?;
+            return write_trace(out, &bb.to_trace());
+        }
+        other => {
+            return Err(CliError::new(format!(
+                "unknown --format '{other}' (expected human, json or chrome)"
+            )))
+        }
+    };
+    match args.options.get("out") {
+        Some(file) => {
+            std::fs::write(file, &body)?;
+            Ok(format!(
+                "doctor: {} — {} at rank {} tb {} step {} -> {file}\n",
+                bb.program, bb.failure.cause, bb.failure.rank, bb.failure.tb, bb.failure.step
+            ))
+        }
+        None => Ok(body),
     }
 }
 
@@ -768,6 +838,7 @@ fn cmd_run(args: &Args) -> Result<String, CliError> {
     // the parse.
     opts.worker_threads = args.opt_or("threads", 0)?;
     opts.epochs = epoch_mode_opt(args)?;
+    opts.blackbox_dir = blackbox_dir(args)?;
     let plan = load_fault_plan(args, &ir)?;
     let retries: Option<usize> = args.opt("retries")?;
     let fallback = args
@@ -1288,6 +1359,83 @@ mod tests {
         assert!(out.contains("kill block r0 tb0 step0"), "got: {out}");
         let _ = std::fs::remove_file(path);
         let _ = std::fs::remove_file(plan_file);
+    }
+
+    /// The whole forensics loop: a failed run with `--blackbox-dir`
+    /// writes a dump, the error points at it, and `msccl doctor` names
+    /// the injected fault site as the root cause in every format.
+    #[test]
+    fn doctor_diagnoses_a_blackbox_dump_end_to_end() {
+        let path = tmp("doctor.xml");
+        let plan_file = tmp("doctor.plan");
+        let dir = tmp("doctor-dumps");
+        let _ = std::fs::remove_dir_all(&dir);
+        let _ = run(&format!("compile ring-allreduce --ranks 4 -o {path}")).unwrap();
+        std::fs::write(&plan_file, "kill block r1 tb0 step0\n").unwrap();
+        // Zero retries make the one-shot kill terminal, so the run fails
+        // and its error message carries the dump path.
+        let err = run(&format!(
+            "run {path} --elems 16 --fault-plan {plan_file} --retries 0 --blackbox-dir {dir}"
+        ))
+        .unwrap_err()
+        .to_string();
+        assert!(err.contains("black box: "), "no dump pointer in: {err}");
+        assert!(err.contains("msccl doctor"), "no doctor hint in: {err}");
+        let dump = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(Result::ok)
+            .map(|e| e.path())
+            .find(|p| {
+                p.file_name()
+                    .is_some_and(|n| n.to_string_lossy().starts_with("blackbox-"))
+            })
+            .expect("a blackbox-*.json dump in the dir");
+        let dump = dump.display();
+
+        let human = run(&format!("doctor {dump}")).unwrap();
+        assert!(human.contains("injected_kill"), "got: {human}");
+        assert!(human.contains("diagnosis: self_fault"), "got: {human}");
+        assert!(human.contains("root cause: rank 1 tb 0"), "got: {human}");
+        assert!(
+            human.contains("kill block r1 tb0 step0"),
+            "fault plan line missing: {human}"
+        );
+
+        let json = run(&format!("doctor {dump} --format json")).unwrap();
+        assert!(
+            json.contains("\"version\": \"msccl-blackbox-v1\""),
+            "{json}"
+        );
+
+        let chrome = tmp("doctor-trace.json");
+        assert!(run(&format!("doctor {dump} --format chrome"))
+            .unwrap_err()
+            .to_string()
+            .contains("--out"));
+        let out = run(&format!("doctor {dump} --format chrome --out {chrome}")).unwrap();
+        assert!(out.contains("trace:"), "got: {out}");
+        let data = std::fs::read_to_string(&chrome).unwrap();
+        assert!(data.contains("\"traceEvents\""));
+
+        let _ = std::fs::remove_file(path);
+        let _ = std::fs::remove_file(plan_file);
+        let _ = std::fs::remove_file(chrome);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn doctor_rejects_garbage_and_bare_blackbox_dir() {
+        let garbage = tmp("doctor-garbage.json");
+        std::fs::write(&garbage, "not a dump").unwrap();
+        let err = run(&format!("doctor {garbage}")).unwrap_err();
+        assert!(err.to_string().contains(&garbage), "got: {err}");
+        let _ = std::fs::remove_file(&garbage);
+
+        let path = tmp("doctor-bare.xml");
+        let _ = run(&format!("compile ring-allreduce --ranks 4 -o {path}")).unwrap();
+        let err = run(&format!("run {path} --elems 16 --blackbox-dir")).unwrap_err();
+        assert!(err.to_string().contains("--blackbox-dir requires"));
+        let _ = std::fs::remove_file(path);
     }
 
     #[test]

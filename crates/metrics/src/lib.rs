@@ -89,6 +89,11 @@ pub mod names {
     /// Gauge, no labels: peak number of simultaneously runnable tasks
     /// (queue depth high-watermark across all deques and the injector).
     pub const SCHED_RUNNABLE_PEAK: &str = "msccl_sched_runnable_peak";
+    /// Histogram, no labels: nanoseconds per worker park episode. Read
+    /// together with [`SCHED_PARKS`], it distinguishes "parked often"
+    /// (many short observations) from "parked long" (few buckets far to
+    /// the right) — the two look identical in the bare counter.
+    pub const SCHED_PARK_NS: &str = "msccl_sched_park_ns";
 }
 
 /// Number of log2 buckets in every [`Histogram`]. Bucket `0` holds the
@@ -257,6 +262,18 @@ impl Histogram {
         s.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
         s.count.fetch_add(1, Ordering::Relaxed);
         s.sum.fetch_add(value, Ordering::Relaxed);
+    }
+
+    /// Merges `count` pre-bucketed observations summing to `sum` into
+    /// `bucket` on the given shard. This is the bulk-import path for
+    /// subsystems that keep their own bucket arrays on the hot path (the
+    /// scheduler's park-time buckets) and fold them into the registry
+    /// once per run.
+    pub fn record_bucketed(&self, shard: usize, bucket: usize, count: u64, sum: u64) {
+        let s = &self.shards[shard % self.shards.len()];
+        s.buckets[bucket.min(BUCKETS - 1)].fetch_add(count, Ordering::Relaxed);
+        s.count.fetch_add(count, Ordering::Relaxed);
+        s.sum.fetch_add(sum, Ordering::Relaxed);
     }
 
     /// Total observations across shards.

@@ -36,6 +36,27 @@ pub enum FailureCause {
     InjectedKill(String),
 }
 
+impl FailureCause {
+    /// Stable machine-readable label used by the black-box dump format.
+    pub fn label(&self) -> &'static str {
+        match self {
+            FailureCause::StepTimeout => "hang",
+            FailureCause::Deadline => "deadline",
+            FailureCause::Panic(_) => "panic",
+            FailureCause::InjectedKill(_) => "injected_kill",
+        }
+    }
+
+    /// The free-form payload carried by the cause, if any (panic message
+    /// or the injected fault's plan line).
+    pub fn detail(&self) -> &str {
+        match self {
+            FailureCause::StepTimeout | FailureCause::Deadline => "",
+            FailureCause::Panic(s) | FailureCause::InjectedKill(s) => s,
+        }
+    }
+}
+
 /// The first failure of a run: who, where, why.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FailureOrigin {

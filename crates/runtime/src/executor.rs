@@ -51,6 +51,10 @@ use mscclang::EpochMode;
 use crate::cancel::{CancelToken, FailureCause, FailureOrigin, Poke};
 use crate::epoch::{EpochCheckpoint, EpochState, EpochStatus, WorkerEpoch};
 use crate::fifo::Fifo;
+use crate::flight::{
+    Blackbox, BlackboxConn, BlackboxFailure, BlackboxSched, BlockedOn, EventRing, FlightRecorder,
+    Moment, StallDiagnosis, TaskStall, WaitForGraph,
+};
 use crate::memory::{RankMemory, SpaceBuffers};
 use crate::pool::{PoolStats, PooledTile, TilePool};
 use crate::sched::{Scheduler, WakeKey};
@@ -103,6 +107,23 @@ pub struct RunOptions {
     /// every pool size — the setting trades scheduling parallelism
     /// against oversubscription, nothing else.
     pub worker_threads: usize,
+    /// Whether to keep the always-on flight recorder: per-worker
+    /// fixed-capacity ring buffers of compact binary records (task
+    /// dispatches, blocks, wakes, steals, parks, semaphore sets, FIFO
+    /// depths, gate arrivals). On by default — the hot path is two
+    /// relaxed atomic stores into a preallocated ring with no clock
+    /// reads, and the throughput bench gates the overhead below the
+    /// same few-percent budget as metrics. The rings feed the
+    /// post-mortem black box; disable only to measure the overhead.
+    pub flight: bool,
+    /// Directory for post-mortem black-box dumps. When set, every failed
+    /// run (hang, deadline, panic, injected kill) serializes a versioned
+    /// [`msccl-blackbox-v1`](crate::BLACKBOX_VERSION) JSON artifact —
+    /// flight rings, wait-for graph, stall diagnosis, scheduler and
+    /// connection state — readable by `msccl doctor`. `None` (the
+    /// default) writes nothing; the library never touches the
+    /// filesystem unless asked.
+    pub blackbox_dir: Option<std::path::PathBuf>,
 }
 
 impl Default for RunOptions {
@@ -116,6 +137,8 @@ impl Default for RunOptions {
             metrics: true,
             epochs: EpochMode::Off,
             worker_threads: 0,
+            flight: true,
+            blackbox_dir: None,
         }
     }
 }
@@ -148,8 +171,12 @@ pub enum RuntimeError {
         /// Step it was executing.
         step: usize,
         /// Every thread block's most recent activity (one line per ring
-        /// entry, oldest first), plus any injected faults that struck.
+        /// entry, oldest first), plus any injected faults that struck
+        /// and the classified stall diagnosis.
         context: Vec<String>,
+        /// Structured wait-for-graph diagnosis of the stall (boxed: the
+        /// graph snapshot is large relative to the happy-path variants).
+        diagnosis: Box<StallDiagnosis>,
         /// Observed cancellation latency: time from the failing worker
         /// tripping the cancel token to the last worker joining. This is
         /// what "prompt teardown" means, independent of how loaded the
@@ -167,6 +194,8 @@ pub enum RuntimeError {
         /// Every thread block's most recent activity, plus any injected
         /// faults that struck.
         context: Vec<String>,
+        /// Structured stall diagnosis (see [`RuntimeError::Hang`]).
+        diagnosis: Box<StallDiagnosis>,
         /// Observed cancellation latency (see [`RuntimeError::Hang`]).
         drain: Duration,
     },
@@ -182,6 +211,8 @@ pub enum RuntimeError {
         payload: String,
         /// Every thread block's most recent activity.
         context: Vec<String>,
+        /// Structured stall diagnosis (see [`RuntimeError::Hang`]).
+        diagnosis: Box<StallDiagnosis>,
         /// Observed cancellation latency (see [`RuntimeError::Hang`]).
         drain: Duration,
     },
@@ -198,6 +229,8 @@ pub enum RuntimeError {
         /// Every thread block's most recent activity, plus any injected
         /// faults that struck.
         context: Vec<String>,
+        /// Structured stall diagnosis (see [`RuntimeError::Hang`]).
+        diagnosis: Box<StallDiagnosis>,
         /// Observed cancellation latency (see [`RuntimeError::Hang`]).
         drain: Duration,
     },
@@ -369,6 +402,26 @@ impl RuntimeError {
             _ => None,
         }
     }
+
+    /// The structured wait-for-graph diagnosis for the failure variants
+    /// that tear a run down, or `None` for structural rejections.
+    #[must_use]
+    pub fn diagnosis(&self) -> Option<&StallDiagnosis> {
+        match self {
+            RuntimeError::Hang { diagnosis, .. }
+            | RuntimeError::DeadlineExceeded { diagnosis, .. }
+            | RuntimeError::WorkerPanic { diagnosis, .. }
+            | RuntimeError::InjectedFault { diagnosis, .. } => Some(diagnosis),
+            _ => None,
+        }
+    }
+
+    /// Path of the black-box dump written for this failure, when
+    /// [`RunOptions::blackbox_dir`] was set.
+    #[must_use]
+    pub fn blackbox_path(&self) -> Option<&std::path::Path> {
+        self.diagnosis().and_then(|d| d.dump.as_deref())
+    }
 }
 
 /// Observability counters for one execution.
@@ -427,6 +480,9 @@ pub struct ExecArena {
     /// Counters accumulate across runs; a snapshotting run zeroes them
     /// first.
     metrics: Option<Arc<ArenaMetrics>>,
+    /// Flight-recorder rings reused across runs when the worker count
+    /// matches; reset (not reallocated) at the start of each run.
+    flight: Option<Arc<FlightRecorder>>,
 }
 
 impl ExecArena {
@@ -442,6 +498,7 @@ impl ExecArena {
             outputs: Vec::new(),
             snaps: Vec::new(),
             metrics: opts.metrics.then(|| Arc::new(ArenaMetrics::new(ir))),
+            flight: None,
         }
     }
 
@@ -461,9 +518,6 @@ impl ExecArena {
 
 type ConnKey = (usize, usize, usize); // (src rank, dst rank, channel)
 
-/// How many recent ring entries each worker keeps for failure diagnostics.
-const RING_CAPACITY: usize = 8;
-
 /// One in this many instructions (per worker) gets a latency-histogram
 /// observation. Counting every instruction is cheap; *timing* every
 /// instruction is not — two clock reads dwarf the relaxed adds the rest
@@ -473,94 +527,8 @@ const RING_CAPACITY: usize = 8;
 /// one-instruction run produces an observation per active opcode.
 const LATENCY_SAMPLE_PERIOD: u64 = 8;
 
-/// A phase of an instruction's life, recorded in the diagnostic ring.
-#[derive(Clone, Copy)]
-enum Moment {
-    Started,
-    WaitingDep { dep_tb: usize, target: u64 },
-    BlockedRecv { src: usize, channel: usize },
-    BlockedSend { dst: usize, channel: usize },
-    Completed,
-}
-
-#[derive(Clone, Copy)]
-struct RingEntry {
-    tile: usize,
-    step: usize,
-    op: OpCode,
-    moment: Moment,
-}
-
-/// Fixed-size ring of a worker's recent activity. Always on: pushing is a
-/// couple of word stores, and it is the only evidence left when a
-/// hand-written IR deadlocks or a worker panics.
-struct EventRing {
-    rank: usize,
-    tb: usize,
-    entries: [Option<RingEntry>; RING_CAPACITY],
-    next: usize,
-}
-
-impl EventRing {
-    fn new(rank: usize, tb: usize) -> Self {
-        Self {
-            rank,
-            tb,
-            entries: [None; RING_CAPACITY],
-            next: 0,
-        }
-    }
-
-    fn push(&mut self, tile: usize, step: usize, op: OpCode, moment: Moment) {
-        self.entries[self.next % RING_CAPACITY] = Some(RingEntry {
-            tile,
-            step,
-            op,
-            moment,
-        });
-        self.next += 1;
-    }
-
-    /// The step of the most recent entry — the best available guess at
-    /// where a worker was when it panicked.
-    fn last_step(&self) -> usize {
-        if self.next == 0 {
-            return 0;
-        }
-        self.entries[(self.next - 1) % RING_CAPACITY].map_or(0, |e| e.step)
-    }
-
-    fn dump(&self) -> Vec<String> {
-        let mut out = Vec::new();
-        for i in self.next.saturating_sub(RING_CAPACITY)..self.next {
-            let Some(e) = self.entries[i % RING_CAPACITY] else {
-                continue;
-            };
-            let what = match e.moment {
-                Moment::Started => "started".to_string(),
-                Moment::WaitingDep { dep_tb, target } => {
-                    format!("waiting on tb {dep_tb} (semaphore target {target})")
-                }
-                Moment::BlockedRecv { src, channel } => {
-                    format!("blocked receiving from rank {src} on channel {channel}")
-                }
-                Moment::BlockedSend { dst, channel } => {
-                    format!("blocked sending to rank {dst} on channel {channel} (FIFO full)")
-                }
-                Moment::Completed => "completed".to_string(),
-            };
-            out.push(format!(
-                "rank {} tb {} tile {} step {} ({}): {what}",
-                self.rank,
-                self.tb,
-                e.tile,
-                e.step,
-                e.op.mnemonic()
-            ));
-        }
-        out
-    }
-}
+// The per-task diagnostic ring (`EventRing`, `Moment`) lives in
+// `crate::flight` alongside the rest of the forensics layer.
 
 /// Per-worker trace recorder: a plain `Vec` owned by the worker thread
 /// (lock-free by construction), merged into one [`Trace`] after join.
@@ -910,6 +878,7 @@ pub fn execute_pooled(
         outputs: Vec::new(),
         snaps: Vec::new(),
         metrics: None,
+        flight: None,
     };
     execute_impl(
         ir,
@@ -1442,6 +1411,36 @@ fn execute_impl(
         .map(|(i, k)| (k, i))
         .collect();
 
+    // ---- Worker pool size: `min(num_cpus, num_tbs)` threads by
+    // default, pinned by `worker_threads`. Tasks outnumbering workers is
+    // the normal case — oversubscription is handled by cooperative
+    // yields, not by the OS scheduler thrashing between threads.
+    let pool_threads = {
+        let auto = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+        let want = if opts.worker_threads == 0 {
+            auto
+        } else {
+            opts.worker_threads
+        };
+        want.clamp(1, flat_index.len().max(1))
+    };
+
+    // ---- Flight recorder: per-worker forensic rings, reused from the
+    // arena when the shard count still matches, reset (not reallocated)
+    // per run. Created before the tasks so each can record through it.
+    let flight: Option<Arc<FlightRecorder>> = opts.flight.then(|| {
+        let cached = arena
+            .as_deref()
+            .and_then(|a| a.flight.clone())
+            .filter(|f| f.shards() == pool_threads);
+        let f = cached.unwrap_or_else(|| Arc::new(FlightRecorder::new(pool_threads)));
+        f.reset();
+        if let Some(a) = arena.as_deref_mut() {
+            a.flight = Some(Arc::clone(&f));
+        }
+        f
+    });
+
     // ---- One resumable task per thread block, in spawn order. Each
     // task owns its interpreter state behind a `Mutex`; the scheduler's
     // ownership discipline guarantees at most one worker holds it at a
@@ -1520,25 +1519,13 @@ fn execute_impl(
                 start: start_targets[gpu.rank][tb.id],
                 tracing,
                 clock_epoch: epoch,
+                flight: flight.as_deref(),
             }))
         })
         .collect();
 
-    // ---- Worker pool: `min(num_cpus, num_tbs)` threads by default,
-    // pinned by `worker_threads`. Tasks outnumbering workers is the
-    // normal case — oversubscription is handled by cooperative yields,
-    // not by the OS scheduler thrashing between hundreds of threads.
     let num_tasks = tasks.len();
-    let pool_threads = {
-        let auto = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
-        let want = if opts.worker_threads == 0 {
-            auto
-        } else {
-            opts.worker_threads
-        };
-        want.clamp(1, num_tasks.max(1))
-    };
-    let sched = Scheduler::new(pool_threads, num_tasks);
+    let sched = Scheduler::new(pool_threads, num_tasks, flight.clone());
     // Cancellation from anywhere wakes every parked worker immediately.
     cancel.attach(Arc::downgrade(&sched.parker) as Weak<dyn Poke>);
     std::thread::scope(|scope| {
@@ -1578,8 +1565,9 @@ fn execute_impl(
         }
     });
     let sched_stats = sched.stats();
+    let failed = cancel.origin().is_some();
     let mut buffers: Vec<Vec<TraceEvent>> = Vec::with_capacity(num_tasks);
-    let mut rings: Vec<EventRing> = Vec::with_capacity(num_tasks);
+    let mut stalls: Vec<TaskStall> = Vec::new();
     let mut instructions = 0u64;
     for task in tasks {
         let t = task.into_inner().unwrap_or_else(PoisonError::into_inner);
@@ -1588,8 +1576,25 @@ fn execute_impl(
         if t.done && !t.dead {
             instructions += t.completed;
         }
+        if failed {
+            // Snapshot what the task was (or froze) waiting on, in spawn
+            // order, for the wait-for graph. Dead tasks stashed their
+            // wait in `die()`; parked tasks still hold it in their `pc`.
+            stalls.push(TaskStall {
+                rank: t.rank,
+                tb: t.tb_id,
+                tile: t.tile,
+                step: t.step,
+                done: t.done,
+                dead: t.dead,
+                completed: t.completed,
+                wait: t.frozen.clone().or_else(|| t.frozen_wait()),
+                send_peer: t.send.as_ref().map(|c| (c.peer, c.channel)),
+                recv_peer: t.recv.as_ref().map(|c| (c.peer, c.channel)),
+                recent: t.ring.dump(),
+            });
+        }
         buffers.push(t.rec.events);
-        rings.push(t.ring);
     }
     // Observed cancellation latency: the failing worker stamped the token
     // when it recorded the origin, and at this point every worker has
@@ -1664,6 +1669,12 @@ fn execute_impl(
             m.registry
                 .counter(names::SCHED_PARKS, &[])
                 .add(0, sched_stats.parks);
+            // Park *time*, pre-bucketed by the scheduler on its idle
+            // path: distinguishes "parked often" from "parked long".
+            let park_hist = m.registry.histogram(names::SCHED_PARK_NS, &[]);
+            for (bucket, count, sum) in sched.park_histogram() {
+                park_hist.record_bucketed(0, bucket, count, sum);
+            }
         }
         m.registry
             .gauge(names::SCHED_RUNNABLE_PEAK, &[])
@@ -1692,23 +1703,82 @@ fn execute_impl(
 
     if let Some(origin) = cancel.origin() {
         stash(arena.take(), memories);
-        // One origin, full context: every thread block's recent activity
-        // plus the injected faults that actually struck.
-        let mut context: Vec<String> = rings.iter().flat_map(EventRing::dump).collect();
-        if let Some(inj) = injector {
-            context.extend(
-                inj.fired()
-                    .into_iter()
-                    .map(|f| format!("injected fault struck: {f}")),
-            );
-        }
         let FailureOrigin { rank, tb, step, .. } = origin;
+        let fired: Vec<String> = injector.map_or_else(Vec::new, |inj| {
+            inj.fired().into_iter().map(|f| f.to_string()).collect()
+        });
+        // One origin, one structured story: classify the wait-for graph
+        // built from every task's frozen wait, rooted at the origin.
+        let mut diagnosis = if stalls.is_empty() {
+            StallDiagnosis::unavailable((rank, tb, step), fired)
+        } else {
+            let origin_idx = stalls
+                .iter()
+                .position(|s| s.rank == rank && s.tb == tb)
+                .unwrap_or(0);
+            let graph = WaitForGraph::build(stalls);
+            let mut d = graph.classify(origin_idx, fired);
+            // The error reports the origin's step as recorded at the
+            // cancel, which can lag the task's own counter by the
+            // in-flight instruction; keep the two consistent.
+            d.origin = (rank, tb, step);
+            d
+        };
+        // Post-mortem artifact, only when asked for: the library never
+        // touches the filesystem on its own.
+        if let Some(dir) = opts.blackbox_dir.as_deref() {
+            let mut conns: Vec<Option<BlackboxConn>> = vec![None; conn_index.len()];
+            for (&(src, dst, channel), &idx) in &conn_index {
+                conns[idx] = Some(BlackboxConn {
+                    src,
+                    dst,
+                    channel,
+                    occupancy: fifos[&(src, dst, channel)].len(),
+                    capacity: fifos[&(src, dst, channel)].capacity(),
+                });
+            }
+            let blackbox = Blackbox {
+                version: crate::flight::BLACKBOX_VERSION.to_string(),
+                program: ir.name.clone(),
+                failure: BlackboxFailure {
+                    cause: origin.cause.label().to_string(),
+                    detail: origin.cause.detail().to_string(),
+                    rank,
+                    tb,
+                    step,
+                    drain_us: drain.as_micros() as u64,
+                },
+                diagnosis: diagnosis.clone(),
+                sched: BlackboxSched {
+                    steals: sched_stats.steals,
+                    parks: sched_stats.parks,
+                    park_ns: sched_stats.park_ns,
+                    waits: sched.captured_waits(),
+                },
+                conns: conns.into_iter().flatten().collect(),
+                flight: flight
+                    .as_deref()
+                    .map_or_else(Vec::new, FlightRecorder::drain),
+                metrics: vec![
+                    ("instructions_completed".to_string(), instructions),
+                    ("pool_tiles_allocated".to_string(), stats.pool.allocated),
+                    ("pool_tiles_reused".to_string(), stats.pool.reused),
+                ],
+            };
+            match blackbox.write_to_dir(dir) {
+                Ok(path) => diagnosis.dump = Some(path),
+                Err(e) => eprintln!("msccl: failed to write black-box dump: {e}"),
+            }
+        }
+        let context = diagnosis.context_lines();
+        let diagnosis = Box::new(diagnosis);
         return Err(match origin.cause {
             FailureCause::StepTimeout => RuntimeError::Hang {
                 rank,
                 tb,
                 step,
                 context,
+                diagnosis,
                 drain,
             },
             FailureCause::Deadline => RuntimeError::DeadlineExceeded {
@@ -1716,6 +1786,7 @@ fn execute_impl(
                 tb,
                 step,
                 context,
+                diagnosis,
                 drain,
             },
             FailureCause::Panic(payload) => RuntimeError::WorkerPanic {
@@ -1724,6 +1795,7 @@ fn execute_impl(
                 step,
                 payload,
                 context,
+                diagnosis,
                 drain,
             },
             FailureCause::InjectedKill(fault) => RuntimeError::InjectedFault {
@@ -1732,6 +1804,7 @@ fn execute_impl(
                 step,
                 fault,
                 context,
+                diagnosis,
                 drain,
             },
         });
@@ -2060,6 +2133,7 @@ struct TbTaskInit<'a> {
     start: u64,
     tracing: bool,
     clock_epoch: Instant,
+    flight: Option<&'a FlightRecorder>,
 }
 
 /// One thread block's interpreter as a resumable state machine (the
@@ -2099,6 +2173,7 @@ struct TbTask<'a> {
     injector: Option<&'a FaultInjector>,
     metrics: Option<&'a WorkerMetrics>,
     epoch_ctx: Option<WorkerEpoch>,
+    flight: Option<&'a FlightRecorder>,
     straggle: Option<Duration>,
     // ---- Interpreter position.
     /// Monotonic completed-instruction count — the same encoding the
@@ -2136,6 +2211,10 @@ struct TbTask<'a> {
     // ---- Diagnostics and results.
     rec: Recorder,
     ring: EventRing,
+    /// The wait the task was stuck on when it died, stashed by `die()`
+    /// before the program counter is overwritten — the wait-for graph's
+    /// evidence for dead tasks.
+    frozen: Option<BlockedOn>,
     /// The task will never advance again.
     done: bool,
     /// The task stopped without finishing its program (cancelled, failed
@@ -2169,6 +2248,7 @@ impl<'a> TbTask<'a> {
             start,
             tracing,
             clock_epoch,
+            flight,
         } = init;
         let my_len = tb.instructions.len() as u64;
         // `start` is 0 for a fresh run, or this block's checkpoint
@@ -2223,6 +2303,7 @@ impl<'a> TbTask<'a> {
             injector,
             metrics,
             epoch_ctx,
+            flight,
             straggle,
             completed: start,
             tile: start_tile,
@@ -2250,6 +2331,7 @@ impl<'a> TbTask<'a> {
                 events: Vec::new(),
             },
             ring: EventRing::new(rank, tb.id),
+            frozen: None,
             done: false,
             dead: false,
         }
@@ -2293,12 +2375,46 @@ impl<'a> TbTask<'a> {
     }
 
     /// Stops without finishing: cancelled from elsewhere, own failure
-    /// already recorded, or killed.
+    /// already recorded, or killed. Stashes the wait the task was stuck
+    /// on before the program counter is overwritten, so the post-mortem
+    /// wait-for graph keeps its edge.
     fn die(&mut self) -> Yield {
+        self.frozen = self.frozen_wait();
         self.dead = true;
         self.done = true;
         self.pc = Pc::Finished;
         Yield::Done
+    }
+
+    /// The resource the current program counter is blocked on, typed for
+    /// the wait-for graph, or `None` when the task is mid-computation.
+    /// Mirrors the probes in [`blocked_ready`](Self::blocked_ready).
+    fn frozen_wait(&self) -> Option<BlockedOn> {
+        match self.pc {
+            Pc::Dep { idx } => {
+                let instr = &self.tb.instructions[self.step];
+                let dep = instr.deps.get(idx)?;
+                let (sem_d, dep_len, _) = self.dep_sems.get(self.step)?.get(idx)?;
+                Some(BlockedOn::Sem {
+                    dep_tb: dep.tb,
+                    target: self.tile as u64 * dep_len + dep.step as u64 + 1,
+                    current: sem_d.current(),
+                })
+            }
+            Pc::RecvTile => self.recv.as_ref().map(|c| BlockedOn::Recv {
+                src: c.peer,
+                channel: c.channel,
+            }),
+            Pc::Xmit { .. } => self.send.as_ref().map(|c| BlockedOn::Send {
+                dst: c.peer,
+                channel: c.channel,
+            }),
+            Pc::Stall { .. } | Pc::Straggle { .. } | Pc::Delay { .. } => Some(BlockedOn::Sleep),
+            Pc::StartGate | Pc::GateCheck => self
+                .gate_arrived
+                .map(|boundary| BlockedOn::Gate { boundary }),
+            _ => None,
+        }
     }
 
     /// Records this task's own wait-timeout failure and dies.
@@ -2340,6 +2456,9 @@ impl<'a> TbTask<'a> {
                 // the checkpoint.
                 debug_assert!(self.inbox.is_empty(), "in-flight tile crosses an epoch cut");
                 self.gate_arrived = Some(b);
+                if let Some(fl) = self.flight {
+                    fl.gate(w, self.rank, self.tb_id, b);
+                }
                 self.open_wait(Instant::now());
                 let released = {
                     let e = self.epoch_ctx.as_ref().expect("gate implies epoch ctx");
@@ -2610,6 +2729,10 @@ impl<'a> TbTask<'a> {
                         // unblock the sender — wake it.
                         if conn.fifo.try_recv_into(&mut self.inbox) > 0 {
                             let idx = conn.idx;
+                            if let Some(fl) = self.flight {
+                                // A batched drain leaves the FIFO empty.
+                                fl.fifo_depth(w, self.rank, self.tb_id, idx, 0);
+                            }
                             sched.wake(WakeKey::Send(idx), w);
                         }
                     }
@@ -2845,7 +2968,12 @@ impl<'a> TbTask<'a> {
                     // receiver's `Recv` timestamp can never precede them.
                     let rec = &mut self.rec;
                     let metrics = self.metrics;
+                    let flight = self.flight;
+                    let (rank, tb_id) = (self.rank, self.tb_id);
                     let result = fifo.try_send(payload, |depth| {
+                        if let Some(fl) = flight {
+                            fl.fifo_depth(w, rank, tb_id, idx, depth);
+                        }
                         if was_blocked {
                             rec.emit(EventKind::SendResume { dst, channel });
                         }
@@ -2954,6 +3082,9 @@ impl<'a> TbTask<'a> {
                     });
                     if instr.has_dep {
                         self.sem.set(self.completed);
+                        if let Some(fl) = self.flight {
+                            fl.sem_set(w, self.rank, self.tb_id, self.flat, self.completed);
+                        }
                         sched.wake(WakeKey::Sem(self.flat), w);
                     }
                     self.pc = Pc::GateCheck;
@@ -3097,6 +3228,9 @@ fn run_task(t: usize, w: usize, sched: &Scheduler, tasks: &[Mutex<TbTask>], canc
     // lives in exactly one place (a deque, the injector, the wait table,
     // or here), so no other worker holds this lock.
     let mut task = tasks[t].lock().unwrap_or_else(PoisonError::into_inner);
+    if let Some(fl) = task.flight {
+        fl.run(w, task.rank, task.tb_id, t, task.completed);
+    }
     loop {
         let step =
             std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| task.advance(sched, w)));
@@ -3106,6 +3240,16 @@ fn run_task(t: usize, w: usize, sched: &Scheduler, tasks: &[Mutex<TbTask>], canc
                 return;
             }
             Ok(Yield::Blocked { key, timer }) => {
+                if let Some(fl) = task.flight {
+                    fl.block(
+                        w,
+                        task.rank,
+                        task.tb_id,
+                        key.flight_code(),
+                        task.tile,
+                        task.step,
+                    );
+                }
                 let probe_task = &*task;
                 if !sched.block(t, key, timer, || probe_task.blocked_ready(Instant::now())) {
                     // Parked: a waker, a timer, or the cancellation drain
@@ -3123,6 +3267,9 @@ fn run_task(t: usize, w: usize, sched: &Scheduler, tasks: &[Mutex<TbTask>], canc
                     step: task.ring.last_step(),
                     cause: FailureCause::Panic(payload_string(payload.as_ref())),
                 });
+                // Panicked mid-advance: the pc is wherever the unwind left
+                // it, which names no trustworthy wait — freeze nothing.
+                task.frozen = None;
                 task.dead = true;
                 task.done = true;
                 task.pc = Pc::Finished;
@@ -3148,6 +3295,10 @@ fn worker_loop(w: usize, sched: &Scheduler, tasks: &[Mutex<TbTask>], cancel: &Ca
                 return;
             }
             if cancel.is_cancelled() {
+                // Snapshot the wait table before the drain empties it:
+                // it is the post-mortem's record of who was parked on
+                // what at the moment of failure. First capture wins.
+                sched.capture_waits();
                 // Wake everything so each task observes the token and
                 // unwinds; once the queues are dry this worker is done —
                 // a task stranded by a worker death outside the
@@ -3172,7 +3323,7 @@ fn worker_loop(w: usize, sched: &Scheduler, tasks: &[Mutex<TbTask>], cancel: &Ca
             if woke {
                 continue;
             }
-            sched.park(seen, next_timer);
+            sched.park(w, seen, next_timer);
         };
         run_task(t, w, sched, tasks, cancel);
     }
@@ -3414,6 +3565,123 @@ mod tests {
         let shown = err.to_string();
         assert!(shown.contains("recent activity per thread block:"));
         assert!(shown.contains("blocked receiving"));
+    }
+
+    /// The hang error carries a structured diagnosis: the two mutually
+    /// blocked receives close a cycle in the wait-for graph.
+    #[test]
+    fn hang_diagnosis_classifies_deadlock_cycle() {
+        let ir = deadlocked_ir();
+        let opts = RunOptions {
+            timeout: Duration::from_millis(200),
+            ..RunOptions::default()
+        };
+        let inputs = vec![vec![1.0], vec![2.0]];
+        let err = execute(&ir, &inputs, 1, &opts).unwrap_err();
+        let d = err.diagnosis().expect("hang carries a diagnosis");
+        assert_eq!(d.kind, crate::flight::StallKind::DeadlockCycle, "{d:?}");
+        assert!(!d.chain.is_empty());
+        assert_eq!(d.graph.tasks.len(), 2);
+        let RuntimeError::Hang { context, .. } = &err else {
+            panic!("expected hang, got {err:?}");
+        };
+        assert!(
+            context
+                .iter()
+                .any(|l| l.contains("diagnosis: deadlock_cycle")),
+            "{context:?}"
+        );
+        assert!(
+            context.iter().any(|l| l.starts_with("root cause: ")),
+            "{context:?}"
+        );
+    }
+
+    /// With `blackbox_dir` set, a failed run writes a versioned dump
+    /// that parses back and names the same failure.
+    #[test]
+    fn failed_run_writes_parseable_blackbox() {
+        let dir = std::env::temp_dir().join(format!("msccl-bb-test-{}", std::process::id()));
+        let ir = deadlocked_ir();
+        let opts = RunOptions {
+            timeout: Duration::from_millis(200),
+            blackbox_dir: Some(dir.clone()),
+            ..RunOptions::default()
+        };
+        let inputs = vec![vec![1.0], vec![2.0]];
+        let err = execute(&ir, &inputs, 1, &opts).unwrap_err();
+        let path = err
+            .blackbox_path()
+            .expect("dump path recorded on the error")
+            .to_path_buf();
+        let raw = std::fs::read_to_string(&path).unwrap();
+        let bb = Blackbox::from_json(&raw).expect("dump parses");
+        assert_eq!(bb.version, crate::flight::BLACKBOX_VERSION);
+        assert_eq!(bb.failure.cause, "hang");
+        assert_eq!(bb.program, "deadlock");
+        assert_eq!(bb.diagnosis.kind, crate::flight::StallKind::DeadlockCycle);
+        assert!(!bb.flight.is_empty(), "flight rings captured");
+        assert!(!bb.conns.is_empty());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// An injected kill's diagnosis is a self-fault rooted at the
+    /// injected rank/tb/step, with the fired fault attached.
+    #[test]
+    fn injected_kill_diagnosis_names_fault_site() {
+        use msccl_faults::{FaultKind, FaultPlan, FaultSite, FaultSpec};
+        let p = msccl_algos::ring_all_reduce(4, 1).unwrap();
+        let ir = compile(&p, &CompileOptions::default()).unwrap();
+        let chunk_elems = 8;
+        let inputs = crate::reference::random_inputs(&ir, chunk_elems, 5);
+        let plan = FaultPlan {
+            seed: 0,
+            specs: vec![FaultSpec {
+                site: FaultSite::Block {
+                    rank: 1,
+                    tb: 0,
+                    step: 0,
+                },
+                kind: FaultKind::KillBlock,
+            }],
+        };
+        let injector = FaultInjector::new(&plan);
+        let opts = RunOptions {
+            timeout: Duration::from_secs(5),
+            ..RunOptions::default()
+        };
+        let err = execute_with_faults(&ir, &inputs, chunk_elems, &opts, &injector).unwrap_err();
+        let d = err.diagnosis().expect("kill carries a diagnosis");
+        assert_eq!(d.kind, crate::flight::StallKind::SelfFault, "{d:?}");
+        assert_eq!(
+            (d.root.0, d.root.1),
+            (1, 0),
+            "root names the killed block: {d:?}"
+        );
+        assert!(
+            d.fired_faults
+                .iter()
+                .any(|f| f.contains("kill block r1 tb0 step0")),
+            "{d:?}"
+        );
+    }
+
+    /// Disabling the flight recorder still yields a full wait-for-graph
+    /// diagnosis — only the binary rings go missing.
+    #[test]
+    fn flight_off_still_diagnoses() {
+        let ir = deadlocked_ir();
+        let opts = RunOptions {
+            timeout: Duration::from_millis(200),
+            flight: false,
+            ..RunOptions::default()
+        };
+        let inputs = vec![vec![1.0], vec![2.0]];
+        let err = execute(&ir, &inputs, 1, &opts).unwrap_err();
+        assert_eq!(
+            err.diagnosis().unwrap().kind,
+            crate::flight::StallKind::DeadlockCycle
+        );
     }
 
     /// A global deadline fires even when every step makes progress, and

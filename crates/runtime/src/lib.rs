@@ -33,6 +33,7 @@ mod cancel;
 mod epoch;
 mod executor;
 mod fifo;
+mod flight;
 pub mod kernels;
 mod memory;
 mod pool;
@@ -47,6 +48,10 @@ pub use executor::{
     execute, execute_in_arena, execute_pooled, execute_profiled, execute_resumable, execute_traced,
     execute_with_faults, execute_with_faults_traced, execute_with_metrics, execute_with_stats,
     tile_pool_for, ExecArena, ExecStats, RunOptions, RuntimeError,
+};
+pub use flight::{
+    Blackbox, BlackboxConn, BlackboxFailure, BlackboxSched, BlockedOn, FlightRecord,
+    StallDiagnosis, StallKind, TaskStall, WaitEdge, WaitForGraph, BLACKBOX_VERSION,
 };
 pub use memory::{RankMemory, SpaceBuffers};
 pub use pool::{PoolStats, PooledTile, TilePool};

@@ -38,7 +38,13 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::time::Instant;
 
+use msccl_metrics::{bucket_index, BUCKETS};
+
 use crate::cancel::Poke;
+use crate::flight::{
+    encode_key, FlightRecorder, KEY_TAG_GATE, KEY_TAG_RECV, KEY_TAG_SEM, KEY_TAG_SEND,
+    KEY_TAG_SLEEP,
+};
 
 fn relock<T>(r: Result<T, PoisonError<T>>) -> T {
     r.unwrap_or_else(PoisonError::into_inner)
@@ -61,6 +67,30 @@ pub(crate) enum WakeKey {
     /// delays) — nothing wakes this key except the timer heap and
     /// cancellation.
     Sleep(usize),
+}
+
+impl WakeKey {
+    /// Compact encoding for flight-recorder payloads.
+    pub(crate) fn flight_code(self) -> u64 {
+        match self {
+            WakeKey::Sem(i) => encode_key(KEY_TAG_SEM, i),
+            WakeKey::Recv(i) => encode_key(KEY_TAG_RECV, i),
+            WakeKey::Send(i) => encode_key(KEY_TAG_SEND, i),
+            WakeKey::Gate(i) => encode_key(KEY_TAG_GATE, i),
+            WakeKey::Sleep(i) => encode_key(KEY_TAG_SLEEP, i),
+        }
+    }
+
+    /// Human rendering for the black-box wait-table snapshot.
+    pub(crate) fn render(self) -> String {
+        match self {
+            WakeKey::Sem(i) => format!("sem({i})"),
+            WakeKey::Recv(i) => format!("recv({i})"),
+            WakeKey::Send(i) => format!("send({i})"),
+            WakeKey::Gate(i) => format!("gate({i})"),
+            WakeKey::Sleep(i) => format!("sleep({i})"),
+        }
+    }
 }
 
 /// The pool's sleep/wake rendezvous: a sequence counter under a mutex
@@ -128,11 +158,17 @@ pub(crate) struct SchedStats {
     pub(crate) steals: u64,
     /// Times a worker went to sleep with nothing runnable.
     pub(crate) parks: u64,
+    /// Total nanoseconds workers spent parked.
+    pub(crate) park_ns: u64,
     /// Peak number of runnable tasks queued at once.
     pub(crate) peak_runnable: u64,
 }
 
 /// The work-stealing scheduler: run queues, wait table, timers, parker.
+/// Wait-table snapshot frozen at cancellation: each blocked key with the
+/// task indices parked on it.
+type CapturedWaits = Vec<(WakeKey, Vec<usize>)>;
+
 pub(crate) struct Scheduler {
     /// One deque per worker. Owners pop the back (LIFO, cache-warm);
     /// thieves and wakers touch the front/back under the same mutex.
@@ -153,12 +189,29 @@ pub(crate) struct Scheduler {
     peak_runnable: AtomicU64,
     steals: AtomicU64,
     parks: AtomicU64,
+    /// Per-log2-bucket park-episode counts and nanosecond sums, folded
+    /// into the `msccl_sched_park_ns` histogram after the run. Kept here
+    /// (not in the registry) so parking stays registry-free on the idle
+    /// path and the runtime's lazy metric policy is preserved.
+    park_bucket_counts: Box<[AtomicU64]>,
+    park_bucket_ns: Box<[AtomicU64]>,
+    /// First-wins snapshot of the wait table, captured by whichever
+    /// worker first observes cancellation — *before* `drain_waiting`
+    /// scatters the evidence into the injector.
+    captured_waits: Mutex<Option<CapturedWaits>>,
+    /// The always-on flight recorder, shared with the executor.
+    flight: Option<Arc<FlightRecorder>>,
 }
 
 impl Scheduler {
     /// A scheduler for `num_tasks` tasks on `workers` worker threads,
     /// with the initial tasks dealt round-robin across the deques.
-    pub(crate) fn new(workers: usize, num_tasks: usize) -> Self {
+    /// `flight`, when given, receives steal/park/wake records.
+    pub(crate) fn new(
+        workers: usize,
+        num_tasks: usize,
+        flight: Option<Arc<FlightRecorder>>,
+    ) -> Self {
         let mut deques: Vec<VecDeque<usize>> = (0..workers).map(|_| VecDeque::new()).collect();
         for t in 0..num_tasks {
             deques[t % workers].push_back(t);
@@ -174,6 +227,10 @@ impl Scheduler {
             peak_runnable: AtomicU64::new(num_tasks as u64),
             steals: AtomicU64::new(0),
             parks: AtomicU64::new(0),
+            park_bucket_counts: (0..BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            park_bucket_ns: (0..BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            captured_waits: Mutex::new(None),
+            flight,
         }
     }
 
@@ -204,6 +261,9 @@ impl Scheduler {
             if let Some(t) = relock(self.deques[victim].lock()).pop_front() {
                 self.runnable.fetch_sub(1, Ordering::Relaxed);
                 self.steals.fetch_add(1, Ordering::Relaxed);
+                if let Some(fl) = &self.flight {
+                    fl.steal(w, victim, t);
+                }
                 return Some(t);
             }
         }
@@ -255,6 +315,9 @@ impl Scheduler {
             self.note_enqueued(n);
             relock(self.deques[w].lock()).extend(woken);
             self.parker.bump();
+            if let Some(fl) = &self.flight {
+                fl.wake(w, key.flight_code(), n);
+            }
         }
         n
     }
@@ -332,11 +395,60 @@ impl Scheduler {
         self.remaining.load(Ordering::Acquire) == 0
     }
 
-    /// Parks the calling worker until the parker sequence moves past
-    /// `seen` or `until` arrives.
-    pub(crate) fn park(&self, seen: u64, until: Option<Instant>) {
+    /// Parks worker `w` until the parker sequence moves past `seen` or
+    /// `until` arrives, and buckets how long the nap actually lasted.
+    /// The two clock reads live on the *idle* path — a worker only gets
+    /// here with nothing runnable — so measuring costs nothing where
+    /// throughput is made.
+    pub(crate) fn park(&self, w: usize, seen: u64, until: Option<Instant>) {
         self.parks.fetch_add(1, Ordering::Relaxed);
+        let t0 = Instant::now();
         self.parker.park(seen, until);
+        let ns = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        let b = bucket_index(ns);
+        self.park_bucket_counts[b].fetch_add(1, Ordering::Relaxed);
+        self.park_bucket_ns[b].fetch_add(ns, Ordering::Relaxed);
+        if let Some(fl) = &self.flight {
+            fl.park(w, ns / 1_000);
+        }
+    }
+
+    /// Non-empty park-time buckets as `(bucket, episodes, total_ns)`,
+    /// for folding into the `msccl_sched_park_ns` histogram.
+    pub(crate) fn park_histogram(&self) -> Vec<(usize, u64, u64)> {
+        (0..BUCKETS)
+            .filter_map(|b| {
+                let count = self.park_bucket_counts[b].load(Ordering::Relaxed);
+                (count > 0).then(|| (b, count, self.park_bucket_ns[b].load(Ordering::Relaxed)))
+            })
+            .collect()
+    }
+
+    /// Captures the wait table for the post-mortem wait-for graph. First
+    /// capture wins; callers invoke this *before* [`drain_waiting`]
+    /// (which empties the table to tear the run down) so the evidence of
+    /// who-waited-on-what survives cancellation.
+    ///
+    /// [`drain_waiting`]: Self::drain_waiting
+    pub(crate) fn capture_waits(&self) {
+        let mut slot = relock(self.captured_waits.lock());
+        if slot.is_none() {
+            let mut snap: Vec<(WakeKey, Vec<usize>)> = relock(self.waits.lock())
+                .iter()
+                .map(|(k, v)| (*k, v.clone()))
+                .collect();
+            snap.sort();
+            *slot = Some(snap);
+        }
+    }
+
+    /// The captured wait table (empty when the run never cancelled),
+    /// rendered for the black box.
+    pub(crate) fn captured_waits(&self) -> Vec<(String, Vec<usize>)> {
+        relock(self.captured_waits.lock())
+            .as_ref()
+            .map(|snap| snap.iter().map(|(k, v)| (k.render(), v.clone())).collect())
+            .unwrap_or_default()
     }
 
     /// The run's scheduler counters, read after the workers join.
@@ -344,6 +456,11 @@ impl Scheduler {
         SchedStats {
             steals: self.steals.load(Ordering::Relaxed),
             parks: self.parks.load(Ordering::Relaxed),
+            park_ns: self
+                .park_bucket_ns
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .sum(),
             peak_runnable: self.peak_runnable.load(Ordering::Relaxed),
         }
     }
@@ -356,7 +473,7 @@ mod tests {
 
     #[test]
     fn seeds_tasks_round_robin_and_pops_own_first() {
-        let s = Scheduler::new(2, 5);
+        let s = Scheduler::new(2, 5, None);
         // Worker 0 got 0, 2, 4; owner pops LIFO.
         assert_eq!(s.pop(0), Some(4));
         assert_eq!(s.pop(0), Some(2));
@@ -371,7 +488,7 @@ mod tests {
 
     #[test]
     fn block_reclaims_when_probe_turns_true() {
-        let s = Scheduler::new(1, 1);
+        let s = Scheduler::new(1, 1, None);
         assert_eq!(s.pop(0), Some(0));
         // Condition already true at re-probe: the worker keeps the task.
         assert!(s.block(0, WakeKey::Sem(0), None, || true));
@@ -381,7 +498,7 @@ mod tests {
 
     #[test]
     fn wake_moves_blocked_tasks_to_deque() {
-        let s = Scheduler::new(1, 2);
+        let s = Scheduler::new(1, 2, None);
         assert_eq!(s.pop(0), Some(1));
         assert_eq!(s.pop(0), Some(0));
         assert!(!s.block(0, WakeKey::Recv(7), None, || false));
@@ -392,7 +509,7 @@ mod tests {
 
     #[test]
     fn timers_fire_into_injector() {
-        let s = Scheduler::new(1, 1);
+        let s = Scheduler::new(1, 1, None);
         assert_eq!(s.pop(0), Some(0));
         let past = Instant::now() - Duration::from_millis(1);
         assert!(!s.block(0, WakeKey::Sleep(0), Some(past), || false));
@@ -407,7 +524,7 @@ mod tests {
 
     #[test]
     fn drain_wakes_everything() {
-        let s = Scheduler::new(2, 3);
+        let s = Scheduler::new(2, 3, None);
         for _ in 0..2 {
             s.pop(0);
         }
@@ -426,7 +543,7 @@ mod tests {
 
     #[test]
     fn finish_accounting_reaches_zero() {
-        let s = Scheduler::new(1, 2);
+        let s = Scheduler::new(1, 2, None);
         assert!(!s.is_finished());
         s.task_done();
         assert!(!s.is_finished());
@@ -438,11 +555,11 @@ mod tests {
     /// park aborts the park, so an enqueue cannot be slept through.
     #[test]
     fn parker_bump_between_probe_and_park_aborts_sleep() {
-        let s = Scheduler::new(1, 1);
+        let s = Scheduler::new(1, 1, None);
         let seen = s.parker.epoch();
         s.parker.bump();
         let t0 = Instant::now();
-        s.park(seen, Some(Instant::now() + Duration::from_secs(5)));
+        s.park(0, seen, Some(Instant::now() + Duration::from_secs(5)));
         assert!(t0.elapsed() < Duration::from_secs(1));
         assert_eq!(s.stats().parks, 1);
     }

@@ -29,6 +29,10 @@ pub struct RepStats {
     /// Virtual (sim) or wall-clock (runtime) time from first arrival to
     /// last completion, microseconds.
     pub makespan_us: f64,
+    /// Black-box dump paths written for ops that failed outright, in op
+    /// order. Populated only by the runtime engine when the runner is
+    /// given a dump directory; each path feeds `msccl doctor`.
+    pub blackboxes: Vec<String>,
 }
 
 /// One evaluated SLO assertion.
@@ -324,17 +328,24 @@ impl ScenarioReport {
         let _ = writeln!(out, "  \"reps\": [");
         for (i, r) in self.reps.iter().enumerate() {
             let comma = if i + 1 == self.reps.len() { "" } else { "," };
+            let boxes: Vec<String> = r
+                .blackboxes
+                .iter()
+                .map(|p| format!("\"{}\"", p.replace('\\', "\\\\").replace('"', "\\\"")))
+                .collect();
             let _ = writeln!(
                 out,
                 "    {{\"faulted\": {}, \"retries\": {}, \"resumes\": {}, \"fallbacks\": {}, \
-                 \"failures\": {}, \"epochs_completed\": {}, \"makespan_us\": {:.3}}}{comma}",
+                 \"failures\": {}, \"epochs_completed\": {}, \"makespan_us\": {:.3}, \
+                 \"blackboxes\": [{}]}}{comma}",
                 r.faulted,
                 r.retries,
                 r.resumes,
                 r.fallbacks,
                 r.failures,
                 r.epochs_completed,
-                r.makespan_us
+                r.makespan_us,
+                boxes.join(", ")
             );
         }
         let _ = writeln!(out, "  ],");
@@ -369,6 +380,7 @@ mod tests {
                 failures: 0,
                 epochs_completed: 4,
                 makespan_us: 900.0,
+                blackboxes: Vec::new(),
             },
             RepStats {
                 faulted: true,
@@ -378,6 +390,7 @@ mod tests {
                 failures: 0,
                 epochs_completed: 6,
                 makespan_us: 1100.0,
+                blackboxes: Vec::new(),
             },
         ];
         let assertions = vec![

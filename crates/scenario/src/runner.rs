@@ -69,6 +69,11 @@ pub struct RunConfig {
     pub threads: Option<usize>,
     /// Directory scenario-relative paths (`plan_file`) resolve against.
     pub base_dir: Option<std::path::PathBuf>,
+    /// Directory the runtime engine writes black-box dumps into when an
+    /// op exhausts the recovery ladder and fails outright. `None` (the
+    /// default) writes nothing; the sim engine never dumps. Dump paths
+    /// land in each repetition's report entry, ready for `msccl doctor`.
+    pub blackbox_dir: Option<std::path::PathBuf>,
 }
 
 /// One compiled collective from the scenario's traffic mix.
@@ -489,6 +494,7 @@ fn run_sim(
             failures: 0,
             epochs_completed: 0,
             makespan_us: 0.0,
+            blackboxes: Vec::new(),
         };
         let mut arrival = 0.0f64;
         let mut finish = 0.0f64;
@@ -525,7 +531,11 @@ fn run_sim(
 /// Runs every repetition on the threaded runtime. Latencies are
 /// wall-clock per-op durations (arrival gaps are not slept through);
 /// decisions and counts are deterministic, timings are not.
-fn run_runtime(sc: &Scenario, pre: &Preflight) -> Result<EngineOutput, ScenarioError> {
+fn run_runtime(
+    sc: &Scenario,
+    pre: &Preflight,
+    blackbox_dir: Option<&std::path::Path>,
+) -> Result<EngineOutput, ScenarioError> {
     let mut latencies = Vec::with_capacity(sc.repetitions * sc.traffic.ops);
     let mut reps = Vec::with_capacity(sc.repetitions);
     let mut tenant_counts = vec![0usize; sc.traffic.tenants.len()];
@@ -545,6 +555,7 @@ fn run_runtime(sc: &Scenario, pre: &Preflight) -> Result<EngineOutput, ScenarioE
             failures: 0,
             epochs_completed: 0,
             makespan_us: 0.0,
+            blackboxes: Vec::new(),
         };
         for (i, op) in draw.ops.iter().enumerate() {
             let ir = &pre.programs[op.coll].ir;
@@ -559,6 +570,7 @@ fn run_runtime(sc: &Scenario, pre: &Preflight) -> Result<EngineOutput, ScenarioE
             let inputs = reference::random_inputs(ir, chunk_elems, op.input_seed);
             let opts = RunOptions {
                 epochs: sc.recovery.epochs,
+                blackbox_dir: blackbox_dir.map(Into::into),
                 ..RunOptions::default()
             };
             let policy = RecoveryPolicy {
@@ -610,7 +622,14 @@ fn run_runtime(sc: &Scenario, pre: &Preflight) -> Result<EngineOutput, ScenarioE
                     stats.epochs_completed += report.epochs_completed;
                 }
                 // The ladder ran dry: the op failed, the storm goes on.
-                Err(_) => stats.failures += 1,
+                // Keep the black-box path (if a dump directory was
+                // given) so the report points straight at the evidence.
+                Err(e) => {
+                    stats.failures += 1;
+                    if let Some(p) = e.blackbox_path() {
+                        stats.blackboxes.push(p.display().to_string());
+                    }
+                }
             }
             let us = started.elapsed().as_secs_f64() * 1e6;
             latencies.push(us);
@@ -634,7 +653,10 @@ pub fn run_scenario(sc: &Scenario, cfg: &RunConfig) -> Result<ScenarioReport, Sc
     let pre = preflight(sc, cfg)?;
     let (engine, (latencies, reps, tenant_counts, total_bytes)) = match sc.engine {
         Engine::Sim => ("sim", run_sim(sc, &pre, cfg.threads)?),
-        Engine::Runtime => ("runtime", run_runtime(sc, &pre)?),
+        Engine::Runtime => (
+            "runtime",
+            run_runtime(sc, &pre, cfg.blackbox_dir.as_deref())?,
+        ),
     };
     let tenant_ops = sc
         .traffic
@@ -697,7 +719,7 @@ resume = true
                 &sc,
                 &RunConfig {
                     threads: Some(threads),
-                    base_dir: None,
+                    ..RunConfig::default()
                 },
             )
             .unwrap();

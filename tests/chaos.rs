@@ -15,8 +15,8 @@ use std::time::{Duration, Instant};
 
 use msccl_faults::{FaultInjector, FaultKind, FaultPlan, FaultSite, FaultSpec, FaultUniverse};
 use msccl_runtime::{
-    execute, execute_with_faults, execute_with_recovery, reference, RecoveryPolicy, RunOptions,
-    RuntimeError,
+    execute, execute_with_faults, execute_with_recovery, reference, Blackbox, RecoveryPolicy,
+    RunOptions, RuntimeError, StallKind,
 };
 use msccl_sim::{ParallelBackend, SerialBackend, SimBackend, SimConfig};
 use msccl_topology::{LinkParams, Machine};
@@ -372,6 +372,162 @@ resume_sweep! {
     resume_reduce => 12,
     resume_gather => 13,
     resume_scatter => 14,
+}
+
+/// The first thread block with a send instruction — a site every peer
+/// transitively depends on, so both killing and stalling it disrupt the
+/// whole collective.
+fn sending_block(ir: &IrProgram) -> (usize, usize) {
+    ir.gpus
+        .iter()
+        .enumerate()
+        .flat_map(|(r, g)| {
+            g.threadblocks
+                .iter()
+                .enumerate()
+                .map(move |(t, tb)| (r, t, tb))
+        })
+        .find(|(_, _, tb)| {
+            tb.send_peer.is_some() && tb.instructions.iter().any(|i| i.op.has_send())
+        })
+        .map(|(r, t, _)| (r, t))
+        .expect("every catalog collective has a sending thread block")
+}
+
+/// Asserts the hang-doctor contract for synthesized block faults at a
+/// pinned site: a kill classifies as `self_fault` rooted at the killed
+/// block, and a stall far longer than the step timeout classifies as
+/// `straggler` rooted at the sleeping block — in both cases the
+/// diagnosis names the injected rank/tb/step and the fired fault.
+fn diagnosis_invariant(name: &str, ir: &IrProgram) {
+    let (rank, tb) = sending_block(ir);
+    let chunk_elems = 8;
+    let inputs = reference::random_inputs(ir, chunk_elems, 0xD1A6);
+
+    let kill_line = format!("kill block r{rank} tb{tb} step0");
+    let plan = FaultPlan::parse(&kill_line).unwrap();
+    plan.validate(ir)
+        .unwrap_or_else(|e| panic!("{name}: kill plan invalid: {e}"));
+    let injector = FaultInjector::new(&plan);
+    let err = execute_with_faults(ir, &inputs, chunk_elems, &RunOptions::default(), &injector)
+        .unwrap_err();
+    let d = err
+        .diagnosis()
+        .expect("an injected kill carries a diagnosis");
+    assert_eq!(d.kind, StallKind::SelfFault, "{name}: {d:?}");
+    assert_eq!(
+        d.root,
+        (rank, tb, 0),
+        "{name}: kill root must be the injected site: {d:?}"
+    );
+    assert!(
+        d.fired_faults.iter().any(|f| f == &kill_line),
+        "{name}: diagnosis does not name the kill: {:?}",
+        d.fired_faults
+    );
+
+    // 5 s stall against a 200 ms step timeout: a *peer* times out first
+    // (the stalled block is asleep, not waiting), and the wait chain
+    // must walk back to the sleeper.
+    let stall_line = format!("stall block r{rank} tb{tb} step0 us 5000000");
+    let plan = FaultPlan::parse(&stall_line).unwrap();
+    plan.validate(ir)
+        .unwrap_or_else(|e| panic!("{name}: stall plan invalid: {e}"));
+    let injector = FaultInjector::new(&plan);
+    let opts = RunOptions {
+        timeout: Duration::from_millis(200),
+        deadline: Some(Duration::from_secs(10)),
+        ..RunOptions::default()
+    };
+    let err = execute_with_faults(ir, &inputs, chunk_elems, &opts, &injector).unwrap_err();
+    let d = err
+        .diagnosis()
+        .expect("a stall-induced hang carries a diagnosis");
+    assert_eq!(d.kind, StallKind::Straggler, "{name}: {d:?}");
+    assert_eq!(
+        d.root,
+        (rank, tb, 0),
+        "{name}: stall root must be the sleeping block: {d:?}"
+    );
+    assert!(
+        d.fired_faults.iter().any(|f| f == &stall_line),
+        "{name}: diagnosis does not name the stall: {:?}",
+        d.fired_faults
+    );
+}
+
+/// Diagnosis sweep: kill + stall at a pinned site on every algorithm.
+macro_rules! diagnosis_sweep {
+    ($($test:ident => $index:expr),* $(,)?) => {
+        $(
+            #[test]
+            fn $test() {
+                let program = &catalog()[$index];
+                let ir = compiled(program);
+                diagnosis_invariant(program.name(), &ir);
+            }
+        )*
+    };
+}
+
+diagnosis_sweep! {
+    diagnose_ring_allreduce => 0,
+    diagnose_allpairs_allreduce => 1,
+    diagnose_hierarchical_allreduce => 2,
+    diagnose_two_step_alltoall => 3,
+    diagnose_one_step_alltoall => 4,
+    diagnose_alltonext => 5,
+    diagnose_hcm_allgather => 6,
+    diagnose_recursive_doubling_allgather => 7,
+    diagnose_tree_allreduce => 8,
+    diagnose_double_tree_allreduce => 9,
+    diagnose_rabenseifner_allreduce => 10,
+    diagnose_broadcast => 11,
+    diagnose_reduce => 12,
+    diagnose_gather => 13,
+    diagnose_scatter => 14,
+}
+
+/// The pinned stall-one-tb forensics path end to end in-process: the
+/// failed run writes a black box, and re-reading it from disk still
+/// deterministically names the injected rank/tb/step as root cause.
+#[test]
+fn stalled_block_blackbox_names_the_straggler_root() {
+    let program = msccl_algos::ring_all_reduce(4, 1).unwrap();
+    let ir = compiled(&program);
+    let plan = FaultPlan::parse("stall block r1 tb0 step0 us 5000000").unwrap();
+    plan.validate(&ir).unwrap();
+    let injector = FaultInjector::new(&plan);
+    let inputs = reference::random_inputs(&ir, 8, 3);
+    let dir = std::env::temp_dir().join(format!("msccl-chaos-bb-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let opts = RunOptions {
+        timeout: Duration::from_millis(200),
+        deadline: Some(Duration::from_secs(10)),
+        blackbox_dir: Some(dir.clone()),
+        ..RunOptions::default()
+    };
+    let err = execute_with_faults(&ir, &inputs, 8, &opts, &injector).unwrap_err();
+    let path = err.blackbox_path().expect("failed run wrote a black box");
+    let bb = Blackbox::from_json(&std::fs::read_to_string(path).unwrap()).unwrap();
+    assert_eq!(
+        bb.diagnosis.kind,
+        StallKind::Straggler,
+        "{:?}",
+        bb.diagnosis
+    );
+    assert_eq!(
+        bb.diagnosis.root,
+        (1, 0, 0),
+        "root must be the stalled block: {:?}",
+        bb.diagnosis
+    );
+    let human = bb.render_human();
+    assert!(
+        human.contains("stall block r1 tb0 step0"),
+        "rendered diagnosis does not name the stall: {human}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 /// A dropped delivery starves the receiver into a `Hang` whose context
