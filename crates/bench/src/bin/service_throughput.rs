@@ -1,0 +1,335 @@
+//! Service throughput tier: drives the in-process collective-as-a-
+//! service daemon ([`msccl_service`]) through its real admission path
+//! (token buckets, bounded queues, weighted-fair dequeue, shared
+//! arenas) and reports request throughput, latency percentiles, cache
+//! hit rate and shed rate — emitting `BENCH_SERVICE.json`.
+//!
+//! Two phases, each its own daemon:
+//!
+//! * **steady**: a warm, generously-quota'd daemon serving one request
+//!   shape from several closed-loop clients. After the first compile
+//!   every request must hit the IR cache — the phase *fails* if the hit
+//!   rate lands at or below 90%, pinning the compile-or-hit contract.
+//! * **overload**: a starved tenant (one-token bucket, glacial refill)
+//!   and a shallow queue take a burst far over quota. Most of it must
+//!   shed — structurally, with admission counters to show for it — and
+//!   the accepted remainder must still meet the latency SLO. The phase
+//!   fails when nothing sheds or when accepted p99 blows the budget.
+//!
+//! Scale: `MSCCL_BENCH_QUICK=1` shrinks clients/requests for CI.
+//! Output: `MSCCL_BENCH_OUT` overrides the JSON path (default
+//! `BENCH_SERVICE.json`).
+//! Regression gate: `--baseline <path>` (or `MSCCL_BENCH_BASELINE`)
+//! compares per-phase served-requests-per-second and exits non-zero on
+//! a >30% loss (service latency is scheduler-noisier than raw executor
+//! throughput, hence the wider band than runtime_throughput's 20%).
+
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use msccl_bench::Scale;
+use msccl_service::{start, CollectiveRequest, Reply, ServiceConfig, TenantSpec};
+
+/// Accepted-request p99 budget for the overload phase, µs. Generous —
+/// quick mode runs tiny collectives, so a blown budget means requests
+/// queued far past their fair share, not a slow machine.
+const OVERLOAD_P99_BUDGET_US: f64 = 2_000_000.0;
+
+struct PhaseReport {
+    phase: &'static str,
+    requests: usize,
+    served: usize,
+    shed: usize,
+    failed: usize,
+    wall_s: f64,
+    /// Served requests per wall second — the gated figure.
+    rps: f64,
+    p50_us: f64,
+    p99_us: f64,
+    cache_hit_rate: f64,
+    shed_rate: f64,
+}
+
+/// Nearest-rank percentile of an ascending-sorted slice.
+fn pct(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = (q / 100.0 * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+/// Runs `total` copies of `req` through `cfg`'s daemon from `clients`
+/// closed-loop threads; returns the aggregated phase report.
+fn run_phase(
+    phase: &'static str,
+    cfg: ServiceConfig,
+    req: &CollectiveRequest,
+    clients: usize,
+    total: usize,
+) -> PhaseReport {
+    let handle = start(cfg).expect("daemon starts");
+    let core = handle.core();
+    // One priming request so the steady phase measures the cached
+    // regime, not the first compile.
+    let _ = core.call(req.clone());
+    let next = AtomicUsize::new(0);
+    let latencies = Mutex::new(Vec::with_capacity(total));
+    let shed = AtomicUsize::new(0);
+    let failed = AtomicUsize::new(0);
+    let t0 = Instant::now();
+    std::thread::scope(|scope| {
+        for _ in 0..clients {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= total {
+                    break;
+                }
+                let mut r = req.clone();
+                r.seed = 1 + i as u64; // vary inputs, not the cache key
+                let started = Instant::now();
+                match core.call(r) {
+                    Reply::Ok(_) => {
+                        let us = started.elapsed().as_secs_f64() * 1e6;
+                        latencies.lock().expect("latency lock").push(us);
+                    }
+                    Reply::Shed(_) => {
+                        shed.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Reply::Failed(_) | Reply::BadRequest(_) => {
+                        failed.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            });
+        }
+    });
+    let wall_s = t0.elapsed().as_secs_f64();
+    let stats = handle.shutdown();
+    let mut lats = latencies.into_inner().expect("latency lock");
+    lats.sort_by(f64::total_cmp);
+    let served = lats.len();
+    PhaseReport {
+        phase,
+        requests: total,
+        served,
+        shed: shed.load(Ordering::Relaxed),
+        failed: failed.load(Ordering::Relaxed),
+        wall_s,
+        rps: if wall_s > 0.0 {
+            served as f64 / wall_s
+        } else {
+            0.0
+        },
+        p50_us: pct(&lats, 50.0),
+        p99_us: pct(&lats, 99.0),
+        cache_hit_rate: stats.cache.hit_rate(),
+        shed_rate: shed.load(Ordering::Relaxed) as f64 / total as f64,
+    }
+}
+
+fn to_json(mode: &str, phases: &[PhaseReport]) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "{{");
+    let _ = writeln!(s, "  \"bench\": \"service_throughput\",");
+    let _ = writeln!(s, "  \"mode\": \"{mode}\",");
+    let _ = writeln!(s, "  \"unit\": \"served requests / wall second\",");
+    let _ = writeln!(s, "  \"entries\": [");
+    for (i, p) in phases.iter().enumerate() {
+        let comma = if i + 1 == phases.len() { "" } else { "," };
+        let _ = writeln!(
+            s,
+            "    {{\"phase\": \"{}\", \"requests\": {}, \"served\": {}, \"shed\": {}, \
+             \"failed\": {}, \"rps\": {:.3}, \"p50_us\": {:.1}, \"p99_us\": {:.1}, \
+             \"cache_hit_rate\": {:.4}, \"shed_rate\": {:.4}}}{comma}",
+            p.phase,
+            p.requests,
+            p.served,
+            p.shed,
+            p.failed,
+            p.rps,
+            p.p50_us,
+            p.p99_us,
+            p.cache_hit_rate,
+            p.shed_rate,
+        );
+    }
+    let _ = writeln!(s, "  ]");
+    let _ = writeln!(s, "}}");
+    s
+}
+
+/// Pulls `phase -> rps` out of a previously emitted JSON with a
+/// line-oriented scan (one entry per line; no JSON parser available).
+fn parse_baseline(text: &str) -> Vec<(String, f64)> {
+    let field = |line: &str, key: &str| -> Option<String> {
+        let pat = format!("\"{key}\": ");
+        let start = line.find(&pat)? + pat.len();
+        let rest = &line[start..];
+        let rest = rest.strip_prefix('"').unwrap_or(rest);
+        let end = rest.find([',', '"', '}']).unwrap_or(rest.len());
+        Some(rest[..end].trim().to_string())
+    };
+    text.lines()
+        .filter(|l| l.contains("\"phase\""))
+        .filter_map(|l| Some((field(l, "phase")?, field(l, "rps")?.parse().ok()?)))
+        .collect()
+}
+
+fn check_regression(phases: &[PhaseReport], baseline: &str, tolerance: f64) -> Result<(), String> {
+    let base = parse_baseline(baseline);
+    let mut compared = 0usize;
+    for p in phases {
+        let Some((_, base_rps)) = base.iter().find(|(name, _)| name == p.phase) else {
+            continue;
+        };
+        compared += 1;
+        let floor = base_rps * (1.0 - tolerance);
+        if p.rps < floor {
+            return Err(format!(
+                "phase {}: {:.1} req/s is a >{:.0}% regression vs baseline {:.1} req/s",
+                p.phase,
+                p.rps,
+                tolerance * 100.0,
+                base_rps,
+            ));
+        }
+    }
+    if compared == 0 {
+        return Err("baseline shares no phases with this run".into());
+    }
+    Ok(())
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let (clients, steady_total, burst_total, ranks, elems) = match scale {
+        Scale::Full => (8, 2000, 400, 8, 4096),
+        Scale::Quick => (4, 200, 80, 4, 256),
+    };
+    let mode = match scale {
+        Scale::Full => "full",
+        Scale::Quick => "quick",
+    };
+    let req = CollectiveRequest {
+        algorithm: "ring-allreduce".into(),
+        chunk_elems: elems,
+        tenant: "bench".into(),
+        seed: 1,
+        ..CollectiveRequest::default()
+    };
+    let mut spec = req.spec.clone();
+    spec.ranks = Some(ranks);
+    let req = CollectiveRequest { spec, ..req };
+
+    // Steady phase: quota far above the offered load, deep queue —
+    // every request admitted, every request (after priming) a cache hit.
+    let steady = run_phase(
+        "steady",
+        ServiceConfig {
+            exec_workers: 2,
+            queue_depth: clients * 2,
+            default_rate: 1e6,
+            default_burst: (steady_total + clients) as f64,
+            ..ServiceConfig::default()
+        },
+        &req,
+        clients,
+        steady_total,
+    );
+
+    // Overload phase: one token, glacial refill, shallow queue — the
+    // burst must shed, the accepted remainder must stay fast.
+    let overload = run_phase(
+        "overload",
+        ServiceConfig {
+            exec_workers: 2,
+            queue_depth: 2,
+            tenants: vec![TenantSpec {
+                name: "bench".into(),
+                rate: 0.001,
+                burst: (burst_total / 8).max(2) as f64,
+                weight: 1,
+            }],
+            ..ServiceConfig::default()
+        },
+        &req,
+        clients,
+        burst_total,
+    );
+
+    for p in [&steady, &overload] {
+        println!(
+            "{:<9} {} requests: {} served, {} shed, {} failed in {:.2}s — {:>8.1} req/s, \
+             p50 {:>9.1} us, p99 {:>9.1} us, cache hit rate {:.1}%, shed rate {:.1}%",
+            p.phase,
+            p.requests,
+            p.served,
+            p.shed,
+            p.failed,
+            p.wall_s,
+            p.rps,
+            p.p50_us,
+            p.p99_us,
+            p.cache_hit_rate * 100.0,
+            p.shed_rate * 100.0,
+        );
+    }
+
+    // Contract gates — these are the acceptance criteria of the service
+    // PR, enforced on every run, not just against a baseline.
+    let mut bad = Vec::new();
+    if steady.cache_hit_rate <= 0.90 {
+        bad.push(format!(
+            "steady cache hit rate {:.1}% must exceed 90% after warmup",
+            steady.cache_hit_rate * 100.0
+        ));
+    }
+    if steady.failed > 0 || overload.failed > 0 {
+        bad.push(format!(
+            "no request may fail outright ({} steady, {} overload did)",
+            steady.failed, overload.failed
+        ));
+    }
+    if overload.shed == 0 {
+        bad.push("overload phase shed nothing; the quota gate is not engaging".into());
+    }
+    if overload.served == 0 {
+        bad.push("overload phase served nothing; shedding must not starve the tenant".into());
+    }
+    if overload.p99_us > OVERLOAD_P99_BUDGET_US {
+        bad.push(format!(
+            "overload accepted p99 {:.0} us blows the {:.0} us SLO budget",
+            overload.p99_us, OVERLOAD_P99_BUDGET_US
+        ));
+    }
+    if !bad.is_empty() {
+        for b in &bad {
+            eprintln!("SERVICE CONTRACT: {b}");
+        }
+        std::process::exit(1);
+    }
+
+    let phases = [steady, overload];
+    let json = to_json(mode, &phases);
+    let out = std::env::var("MSCCL_BENCH_OUT").unwrap_or_else(|_| "BENCH_SERVICE.json".into());
+    std::fs::write(&out, &json).expect("write BENCH_SERVICE.json");
+    println!("wrote {out}");
+
+    let baseline_path = std::env::args()
+        .skip_while(|a| a != "--baseline")
+        .nth(1)
+        .or_else(|| std::env::var("MSCCL_BENCH_BASELINE").ok());
+    if let Some(path) = baseline_path {
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}"));
+        match check_regression(&phases, &text, 0.30) {
+            Ok(()) => println!("no regression vs {path}"),
+            Err(msg) => {
+                eprintln!("REGRESSION: {msg}");
+                std::process::exit(1);
+            }
+        }
+    }
+}

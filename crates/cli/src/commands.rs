@@ -10,9 +10,10 @@ use msccl_runtime::{
     RecoveryPolicy, ResumePolicy, RunOptions,
 };
 use msccl_scenario::{
-    check_scenario, run_scenario, Engine as ScenarioEngine, RunConfig as ScenarioRunConfig,
-    Scenario,
+    check_scenario, drive_scenario, run_scenario, DriveConfig, Engine as ScenarioEngine,
+    RunConfig as ScenarioRunConfig, Scenario,
 };
+use msccl_service::{signal as service_signal, start as service_start, ServiceConfig, TenantSpec};
 use msccl_sim::{simulate, SimConfig};
 use msccl_topology::Protocol;
 use msccl_trace::{snapshot_from_trace, ClockDomain, ProfileReport, Trace};
@@ -118,6 +119,35 @@ COMMANDS:
                                    sites, SLO grammar)
     scenario list [dir]            summarize the scenarios in a directory
                                    (default: scenarios/)
+    scenario drive <file.toml> --addr HOST:PORT [--connections N]
+                   [--deadline-ms N] [--format text|json] [--out F]
+                                   replay the scenario's seeded traffic
+                                   program against a live `msccl serve`
+                                   daemon: the same algorithm mix, sizes,
+                                   tenants and input seeds the local
+                                   engines would run, issued closed-loop
+                                   over N keep-alive connections
+                                   (default 4); 429/503 sheds are
+                                   counted per tenant, not errors
+    serve [--addr HOST:PORT] [--exec-workers N] [--http-workers N]
+          [--queue-depth N] [--cache-capacity N]
+          [--tenants name:rate:burst[:weight],...]
+          [--default-rate R] [--default-burst B] [--deadline-ms N]
+          [--retries N] [--no-verify] [--blackbox-dir DIR]
+          [--topology NAME] [--max-ranks N]
+                                   run the collective-as-a-service daemon
+                                   (default addr 127.0.0.1:8080; port 0
+                                   picks an ephemeral port): GET/POST
+                                   /collective executes a collective
+                                   (compile-or-hit IR cache), /healthz,
+                                   /metrics (Prometheus), /stats (JSON),
+                                   POST /shutdown drains; per-tenant
+                                   token-bucket admission with weighted-
+                                   fair dequeue sheds overload as
+                                   structured 429/503 + Retry-After;
+                                   SIGTERM/SIGINT stop admission, finish
+                                   every in-flight request and exit 0
+                                   (see docs/service.md)
     profile <file.xml> [--elems N] [--mode run|sim] [--machine M]
                        [--from-trace F.csv] [--format text|json|prom]
                        [--threshold X] [--out FILE] [--epochs off|auto|N]
@@ -160,6 +190,7 @@ pub fn dispatch(args: &Args) -> Result<String, CliError> {
         "profile" => cmd_profile(args),
         "faults" => cmd_faults(args),
         "scenario" => cmd_scenario(args),
+        "serve" => cmd_serve(args),
         "doctor" => cmd_doctor(args),
         "tune" => cmd_tune(args),
         other => Err(CliError::new(format!(
@@ -333,10 +364,19 @@ fn cmd_compile(args: &Args) -> Result<String, CliError> {
     }
 }
 
+/// Reads a user-named input file, producing an error that names both
+/// the path and what it was supposed to be. The blanket
+/// `From<io::Error>` conversion would render a bare "No such file or
+/// directory" with no hint which of several path arguments was wrong.
+fn read_input(path: &str, what: &str) -> Result<String, CliError> {
+    std::fs::read_to_string(path)
+        .map_err(|e| CliError::new(format!("cannot read {what} '{path}': {e}")))
+}
+
 fn load_ir(args: &Args) -> Result<IrProgram, CliError> {
     let path = args.positional1("MSCCL-IR XML file")?;
-    let xml = std::fs::read_to_string(path)?;
-    Ok(ir_xml::from_xml(&xml)?)
+    let xml = read_input(path, "MSCCL-IR XML file")?;
+    ir_xml::from_xml(&xml).map_err(|e| CliError::new(format!("{path}: {e}")))
 }
 
 fn cmd_verify(args: &Args) -> Result<String, CliError> {
@@ -568,7 +608,8 @@ fn load_fault_plan(args: &Args, ir: &IrProgram) -> Result<Option<FaultPlan>, Cli
             ))
         }
         (Some(seed), None) => FaultPlan::generate(seed, &FaultUniverse::from_ir(ir)),
-        (None, Some(path)) => FaultPlan::parse(&std::fs::read_to_string(path)?)?,
+        (None, Some(path)) => FaultPlan::parse(&read_input(path, "fault plan")?)
+            .map_err(|e| CliError::new(format!("{path}: {e}")))?,
         (None, None) => return Ok(None),
     };
     plan.validate(ir)?;
@@ -610,7 +651,7 @@ fn cmd_scenario(args: &Args) -> Result<String, CliError> {
                 .positional
                 .get(1)
                 .ok_or_else(|| CliError::new(format!("scenario {action} needs a file")))?;
-            let text = std::fs::read_to_string(path)?;
+            let text = read_input(path, "scenario file")?;
             let scenario =
                 Scenario::parse(&text).map_err(|e| CliError::new(format!("{path}: {e}")))?;
             let mut cfg = ScenarioRunConfig {
@@ -669,6 +710,47 @@ fn cmd_scenario(args: &Args) -> Result<String, CliError> {
                 Err(CliError::new(out))
             }
         }
+        "drive" => {
+            let path = args
+                .positional
+                .get(1)
+                .ok_or_else(|| CliError::new("scenario drive needs a file"))?;
+            let text = read_input(path, "scenario file")?;
+            let scenario =
+                Scenario::parse(&text).map_err(|e| CliError::new(format!("{path}: {e}")))?;
+            let addr = args
+                .options
+                .get("addr")
+                .cloned()
+                .ok_or_else(|| CliError::new("scenario drive needs --addr HOST:PORT"))?;
+            let cfg = DriveConfig {
+                addr,
+                connections: args.opt_or("connections", DriveConfig::default().connections)?,
+                deadline_ms: args.opt("deadline-ms")?,
+            };
+            let report = drive_scenario(&scenario, &cfg)
+                .map_err(|e| CliError::new(format!("{path}: {e}")))?;
+            let body = match args.options.get("format").map_or("text", String::as_str) {
+                "text" => report.to_text(),
+                "json" => report.to_json(),
+                other => {
+                    return Err(CliError::new(format!(
+                        "unknown --format '{other}' (expected text or json)"
+                    )))
+                }
+            };
+            match args.options.get("out") {
+                Some(file) => {
+                    std::fs::write(file, &body)
+                        .map_err(|e| CliError::new(format!("cannot write {file}: {e}")))?;
+                    Ok(format!(
+                        "drive {}: {} sent, {} ok, {} shed, {} failed -> {file}\n",
+                        report.name, report.sent, report.ok, report.shed, report.failed
+                    ))
+                }
+                None => Ok(body),
+            }
+        }
         "list" => {
             let dir = args.positional.get(1).map_or("scenarios", String::as_str);
             let mut entries: Vec<_> = std::fs::read_dir(dir)?
@@ -704,9 +786,90 @@ fn cmd_scenario(args: &Args) -> Result<String, CliError> {
             Ok(out)
         }
         other => Err(CliError::new(format!(
-            "unknown scenario action '{other}' (expected run, check or list)"
+            "unknown scenario action '{other}' (expected run, check, list or drive)"
         ))),
     }
+}
+
+/// The `serve` command: runs the collective-as-a-service daemon until a
+/// drain is requested (SIGTERM, SIGINT or `POST /shutdown`), then
+/// finishes every in-flight request and returns the drain summary.
+/// The readiness line goes to stdout immediately — scripts (and the CI
+/// smoke job) wait for it before sending traffic.
+fn cmd_serve(args: &Args) -> Result<String, CliError> {
+    let defaults = ServiceConfig::default();
+    let mut tenants = Vec::new();
+    if let Some(spec) = args.options.get("tenants") {
+        for part in spec.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+            tenants.push(TenantSpec::parse(part).map_err(CliError::new)?);
+        }
+    }
+    let cfg = ServiceConfig {
+        addr: args
+            .options
+            .get("addr")
+            .cloned()
+            .unwrap_or_else(|| "127.0.0.1:8080".to_owned()),
+        http_workers: args.opt_or("http-workers", defaults.http_workers)?,
+        exec_workers: args.opt_or("exec-workers", defaults.exec_workers)?,
+        queue_depth: args.opt_or("queue-depth", defaults.queue_depth)?,
+        cache_capacity: args.opt_or("cache-capacity", defaults.cache_capacity)?,
+        tenants,
+        default_rate: args.opt_or("default-rate", defaults.default_rate)?,
+        default_burst: args.opt_or("default-burst", defaults.default_burst)?,
+        // `--deadline-ms 0` disables the default deadline entirely.
+        default_deadline: match args.opt::<u64>("deadline-ms")? {
+            Some(0) => None,
+            Some(ms) => Some(Duration::from_millis(ms)),
+            None => defaults.default_deadline,
+        },
+        max_retries: args.opt_or("retries", defaults.max_retries)?,
+        verify: !args.flag("no-verify"),
+        blackbox_dir: blackbox_dir(args)?,
+        topology: args
+            .options
+            .get("topology")
+            .cloned()
+            .unwrap_or(defaults.topology),
+        max_ranks: args.opt_or("max-ranks", defaults.max_ranks)?,
+    };
+    let handle =
+        service_start(cfg).map_err(|e| CliError::new(format!("cannot start service: {e}")))?;
+    let addr = handle.addr();
+    println!(
+        "msccl serve: listening on http://{addr} \
+         (endpoints: /collective /healthz /metrics /stats /shutdown)"
+    );
+    let _ = std::io::Write::flush(&mut std::io::stdout());
+    if service_signal::install_term_handler() {
+        // Turn the signal flag into a drain request; exits once a
+        // shutdown is requested from any source.
+        let core = std::sync::Arc::clone(handle.core());
+        std::thread::spawn(move || loop {
+            if service_signal::term_requested() {
+                core.request_shutdown();
+                break;
+            }
+            if core.shutdown_requested() {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(50));
+        });
+    }
+    handle.core().wait_shutdown_requested();
+    let stats = handle.shutdown();
+    Ok(format!(
+        "msccl serve: drained — {} admitted, {} served, {} shed, {} failed; \
+         cache {} hit(s) / {} miss(es) ({:.1}% hit rate), {} eviction(s)\n",
+        stats.admitted,
+        stats.served,
+        stats.shed,
+        stats.failed,
+        stats.cache.hits,
+        stats.cache.misses,
+        stats.cache.hit_rate() * 100.0,
+        stats.cache.evictions
+    ))
 }
 
 /// The `doctor` command: post-mortem analysis of a black-box dump
@@ -718,7 +881,7 @@ fn cmd_scenario(args: &Args) -> Result<String, CliError> {
 /// last moments before the failure open in any Chrome-trace viewer.
 fn cmd_doctor(args: &Args) -> Result<String, CliError> {
     let path = args.positional1("black-box dump (blackbox-*.json)")?;
-    let text = std::fs::read_to_string(path)?;
+    let text = read_input(path, "black-box dump")?;
     let bb = Blackbox::from_json(&text).map_err(|e| CliError::new(format!("{path}: {e}")))?;
     let body = match args.options.get("format").map_or("human", String::as_str) {
         "human" => bb.render_human(),
@@ -1075,6 +1238,66 @@ mod tests {
     #[test]
     fn unknown_command_errors() {
         assert!(run("frobnicate").is_err());
+    }
+
+    #[test]
+    fn missing_ir_file_error_names_the_path() {
+        let err = run("verify /no/such/dir/missing.xml")
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("/no/such/dir/missing.xml"), "error: {err}");
+        assert!(err.contains("MSCCL-IR XML file"), "error: {err}");
+    }
+
+    #[test]
+    fn missing_scenario_file_error_names_the_path() {
+        let err = run("scenario run /no/such/storm.toml")
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("/no/such/storm.toml"), "error: {err}");
+        assert!(err.contains("scenario file"), "error: {err}");
+        // The drive action shares the hardened read path.
+        let err = run("scenario drive /no/such/storm.toml --addr 127.0.0.1:1")
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("/no/such/storm.toml"), "error: {err}");
+    }
+
+    #[test]
+    fn missing_fault_plan_error_names_the_path() {
+        let path = tmp("plan-target.xml");
+        let _ = run(&format!("compile ring-allreduce --ranks 4 -o {path}")).unwrap();
+        let err = run(&format!("run {path} --fault-plan /no/such/faults.plan"))
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("/no/such/faults.plan"), "error: {err}");
+        assert!(err.contains("fault plan"), "error: {err}");
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn serve_rejects_malformed_tenant_specs_before_binding() {
+        let err = run("serve --tenants alpha:fast:10")
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("alpha"), "error: {err}");
+        assert!(err.contains("rate"), "error: {err}");
+    }
+
+    #[test]
+    fn drive_requires_an_address() {
+        let path = tmp("drive-needs-addr.toml");
+        std::fs::write(
+            &path,
+            "[scenario]\nname = \"t\"\nmachine = \"custom:1x4\"\n\n\
+             [traffic]\ncollectives = [\"ring-allreduce\"]\nsizes = [4096]\nops = 1\n",
+        )
+        .unwrap();
+        let err = run(&format!("scenario drive {path}"))
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("--addr"), "error: {err}");
+        let _ = std::fs::remove_file(path);
     }
 
     #[test]

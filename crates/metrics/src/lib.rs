@@ -94,6 +94,29 @@ pub mod names {
     /// (many short observations) from "parked long" (few buckets far to
     /// the right) — the two look identical in the bare counter.
     pub const SCHED_PARK_NS: &str = "msccl_sched_park_ns";
+    /// Counter, label `tenant`: requests admitted by the service daemon.
+    pub const SERVICE_ADMITTED: &str = "msccl_service_admitted_total";
+    /// Counter, label `tenant`: admitted requests completed successfully.
+    pub const SERVICE_SERVED: &str = "msccl_service_served_total";
+    /// Counter, labels `tenant`/`reason`: requests shed at admission
+    /// (`rate_limited`, `queue_full`, `draining`).
+    pub const SERVICE_SHED: &str = "msccl_service_shed_total";
+    /// Counter, label `tenant`: admitted requests that failed in
+    /// execution (deadline, fault, verification).
+    pub const SERVICE_FAILED: &str = "msccl_service_failed_total";
+    /// Counter, no labels: compile-cache hits on admission.
+    pub const SERVICE_CACHE_HITS: &str = "msccl_service_cache_hits_total";
+    /// Counter, no labels: compile-cache misses (fresh compiles).
+    pub const SERVICE_CACHE_MISSES: &str = "msccl_service_cache_misses_total";
+    /// Counter, no labels: cache entries evicted by LRU pressure.
+    pub const SERVICE_CACHE_EVICTIONS: &str = "msccl_service_cache_evictions_total";
+    /// Gauge, no labels: requests queued across all tenants right now.
+    pub const SERVICE_QUEUE_DEPTH: &str = "msccl_service_queue_depth";
+    /// Gauge, no labels: requests executing right now.
+    pub const SERVICE_INFLIGHT: &str = "msccl_service_inflight";
+    /// Histogram, no labels: admitted-request end-to-end latency
+    /// (queue wait + execution), microseconds.
+    pub const SERVICE_LATENCY_US: &str = "msccl_service_latency_us";
 }
 
 /// Number of log2 buckets in every [`Histogram`]. Bucket `0` holds the

@@ -1087,6 +1087,29 @@ pub fn execute_resumable(
     injector: Option<&FaultInjector>,
     resume: Option<EpochCheckpoint>,
 ) -> (Result<Vec<Vec<f32>>, RuntimeError>, EpochStatus) {
+    execute_resumable_in_arena(ir, inputs, chunk_elems, opts, injector, resume, None)
+}
+
+/// [`execute_resumable`] drawing the data path from a caller-owned
+/// [`ExecArena`] when one is given, as [`execute_in_arena`] is to
+/// [`execute_with_stats`]. This is the attempt primitive behind
+/// [`execute_with_recovery_in_arena`](crate::execute_with_recovery_in_arena):
+/// a long-running process (the service daemon) keeps one arena per
+/// executor worker and every attempt of every request — resume, retry,
+/// fallback — reuses its tiles, rank memory and result buffers.
+///
+/// # Errors
+///
+/// As for [`execute_resumable`].
+pub fn execute_resumable_in_arena(
+    ir: &IrProgram,
+    inputs: &[Vec<f32>],
+    chunk_elems: usize,
+    opts: &RunOptions,
+    injector: Option<&FaultInjector>,
+    resume: Option<EpochCheckpoint>,
+    arena: Option<&mut ExecArena>,
+) -> (Result<Vec<Vec<f32>>, RuntimeError>, EpochStatus) {
     let mut status = EpochStatus::default();
     let result = execute_impl(
         ir,
@@ -1096,7 +1119,7 @@ pub fn execute_resumable(
         false,
         false,
         injector,
-        None,
+        arena,
         resume,
         Some(&mut status),
     )

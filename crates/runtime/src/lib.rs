@@ -45,9 +45,10 @@ mod semaphore;
 pub use cancel::{FailureCause, FailureOrigin};
 pub use epoch::{EpochCheckpoint, EpochStatus};
 pub use executor::{
-    execute, execute_in_arena, execute_pooled, execute_profiled, execute_resumable, execute_traced,
-    execute_with_faults, execute_with_faults_traced, execute_with_metrics, execute_with_stats,
-    tile_pool_for, ExecArena, ExecStats, RunOptions, RuntimeError,
+    execute, execute_in_arena, execute_pooled, execute_profiled, execute_resumable,
+    execute_resumable_in_arena, execute_traced, execute_with_faults, execute_with_faults_traced,
+    execute_with_metrics, execute_with_stats, tile_pool_for, ExecArena, ExecStats, RunOptions,
+    RuntimeError,
 };
 pub use flight::{
     Blackbox, BlackboxConn, BlackboxFailure, BlackboxSched, BlockedOn, FlightRecord,
@@ -56,5 +57,6 @@ pub use flight::{
 pub use memory::{RankMemory, SpaceBuffers};
 pub use pool::{PoolStats, PooledTile, TilePool};
 pub use recovery::{
-    execute_with_recovery, RecoveryPolicy, RecoveryReport, RecoveryStep, ResumePolicy,
+    execute_with_recovery, execute_with_recovery_in_arena, RecoveryPolicy, RecoveryReport,
+    RecoveryStep, ResumePolicy,
 };

@@ -41,7 +41,7 @@ use msccl_trace::{ClockDomain, EventKind, RecoveryDecision, Trace, TraceEvent};
 use mscclang::IrProgram;
 
 use crate::epoch::{EpochCheckpoint, EpochStatus};
-use crate::executor::{execute_resumable, RunOptions, RuntimeError};
+use crate::executor::{execute_resumable_in_arena, ExecArena, RunOptions, RuntimeError};
 
 /// Whether the ladder may resume failed attempts from epoch checkpoints.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -254,6 +254,7 @@ fn metrics_of(steps: &[RecoveryStep], attempts: usize, totals: &EpochTotals) -> 
 /// One attempt: execute (resuming from `resume` when given), then verify
 /// if asked. Returns the attempt's epoch status alongside, checkpoint
 /// included on transient failure.
+#[allow(clippy::too_many_arguments)]
 fn run_attempt(
     ir: &IrProgram,
     inputs: &[Vec<f32>],
@@ -262,8 +263,10 @@ fn run_attempt(
     injector: Option<&FaultInjector>,
     verify: bool,
     resume: Option<EpochCheckpoint>,
+    arena: Option<&mut ExecArena>,
 ) -> (Result<Vec<Vec<f32>>, RuntimeError>, EpochStatus) {
-    let (result, status) = execute_resumable(ir, inputs, chunk_elems, opts, injector, resume);
+    let (result, status) =
+        execute_resumable_in_arena(ir, inputs, chunk_elems, opts, injector, resume, arena);
     let result = result.and_then(|outputs| {
         if verify {
             crate::reference::check_outputs(
@@ -304,7 +307,6 @@ fn run_attempt(
 ///
 /// Returns the first permanent [`RuntimeError`] immediately, or the last
 /// transient one once every attempt — retries and fallback — is spent.
-#[allow(clippy::too_many_lines)]
 pub fn execute_with_recovery(
     primary: &IrProgram,
     fallback: Option<&IrProgram>,
@@ -313,6 +315,40 @@ pub fn execute_with_recovery(
     opts: &RunOptions,
     policy: &RecoveryPolicy,
     injector: Option<&FaultInjector>,
+) -> Result<RecoveryReport, RuntimeError> {
+    execute_with_recovery_in_arena(
+        primary,
+        fallback,
+        inputs,
+        chunk_elems,
+        opts,
+        policy,
+        injector,
+        None,
+    )
+}
+
+/// [`execute_with_recovery`] drawing every attempt's data path from a
+/// caller-owned [`ExecArena`] when one is given. This is the execution
+/// primitive of the `msccl serve` daemon: each executor worker owns one
+/// arena for its whole lifetime and runs every admitted request's full
+/// ladder — resume, retry, fallback — on it, so steady-state service
+/// traffic allocates nothing on the data path regardless of how many
+/// tenants or programs share the worker.
+///
+/// # Errors
+///
+/// As for [`execute_with_recovery`].
+#[allow(clippy::too_many_arguments, clippy::too_many_lines)]
+pub fn execute_with_recovery_in_arena(
+    primary: &IrProgram,
+    fallback: Option<&IrProgram>,
+    inputs: &[Vec<f32>],
+    chunk_elems: usize,
+    opts: &RunOptions,
+    policy: &RecoveryPolicy,
+    injector: Option<&FaultInjector>,
+    mut arena: Option<&mut ExecArena>,
 ) -> Result<RecoveryReport, RuntimeError> {
     if let Some(fb) = fallback {
         if fb.num_ranks() != primary.num_ranks()
@@ -372,6 +408,7 @@ pub fn execute_with_recovery(
             injector,
             policy.verify,
             checkpoint.take(),
+            arena.as_deref_mut(),
         );
         totals.absorb(attempt, &status);
         match result {
@@ -464,6 +501,7 @@ pub fn execute_with_recovery(
             injector,
             policy.verify,
             None,
+            arena,
         );
         totals.absorb(attempt, &status);
         match result {

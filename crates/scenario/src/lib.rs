@@ -23,9 +23,11 @@
 pub mod format;
 pub mod report;
 pub mod runner;
+pub mod service;
 pub mod slo;
 
 pub use format::{Arrival, Engine, FaultEnv, Recovery, Scenario, ScenarioError, Traffic};
 pub use report::{RepStats, ScenarioReport, SloResult};
 pub use runner::{check_scenario, run_scenario, RunConfig};
+pub use service::{drive_scenario, DriveConfig, DriveReport, TenantDrive};
 pub use slo::{Assertion, Cmp, METRICS};

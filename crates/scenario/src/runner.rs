@@ -58,8 +58,10 @@ type EngineOutput = (Vec<f64>, Vec<RepStats>, Vec<usize>, u64);
 const DETECT_MARGIN_US: f64 = 5.0;
 
 /// Per-chunk element cap for the runtime engine, bounding wall-clock
-/// cost when a scenario lists large sizes.
-const MAX_CHUNK_ELEMS: usize = 1 << 16;
+/// cost when a scenario lists large sizes. The service traffic driver
+/// ([`crate::service`]) applies the same cap so a scenario drives the
+/// daemon with exactly the sizes the local engines would run.
+pub(crate) const MAX_CHUNK_ELEMS: usize = 1 << 16;
 
 /// Runner knobs that come from the command line, not the scenario file.
 #[derive(Debug, Clone, Default)]
@@ -228,24 +230,24 @@ pub fn check_scenario(sc: &Scenario, cfg: &RunConfig) -> Result<(), ScenarioErro
 }
 
 /// The per-op draws, in their fixed stream order.
-struct OpDraw {
-    gap_roll: f64,
-    coll: usize,
-    size: usize,
-    tenant_roll: u64,
+pub(crate) struct OpDraw {
+    pub(crate) gap_roll: f64,
+    pub(crate) coll: usize,
+    pub(crate) size: usize,
+    pub(crate) tenant_roll: u64,
     /// Extra entropy for the runtime engine's input buffers.
-    input_seed: u64,
+    pub(crate) input_seed: u64,
 }
 
 /// The per-repetition draws: fault rolls first, then each op's tuple.
-struct RepDraw {
-    faulted: bool,
-    fault_op: usize,
-    plan_seed: u64,
-    ops: Vec<OpDraw>,
+pub(crate) struct RepDraw {
+    pub(crate) faulted: bool,
+    pub(crate) fault_op: usize,
+    pub(crate) plan_seed: u64,
+    pub(crate) ops: Vec<OpDraw>,
 }
 
-fn draw_rep(sc: &Scenario, rep: usize) -> RepDraw {
+pub(crate) fn draw_rep(sc: &Scenario, rep: usize) -> RepDraw {
     let mut rng = Splitmix64::new(mix(sc.seed ^ rep as u64));
     // Unconditional draws: the traffic stream must not shift when the
     // fault environment is toggled.

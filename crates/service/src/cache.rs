@@ -1,0 +1,340 @@
+//! The daemon's compile cache: MSCCL-IR keyed by everything that could
+//! change the compiled artifact or how it should be run.
+//!
+//! GC3's compiled-program model (the paper's §4) is what makes caching
+//! sound: a program is fully determined by its directives, so two
+//! requests that agree on `(collective, ranks, size-class, topology,
+//! protocol, epoch-mode)` can share one compiled [`IrProgram`]. The
+//! size *class* — the log2 bucket of the chunk element count — is part
+//! of the key even though today's compiler emits identical IR across
+//! sizes: size-dependent directive tuning (instance counts, aggregation
+//! thresholds) keys on exactly this bucket, and a key that is too
+//! coarse would silently serve a mistuned program later. Keys that are
+//! too *fine* only cost cache entries; keys that alias cost
+//! correctness, which is why [`CacheKey::fingerprint`] is injective and
+//! property-tested.
+//!
+//! Eviction is least-recently-used over a monotonic access tick. The
+//! map is small (tens of entries); the O(n) scan on eviction is noise
+//! next to the compile it replaces.
+
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+use msccl_topology::Protocol;
+use mscclang::{EpochMode, IrProgram};
+
+/// Everything that identifies one compiled program in the cache.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CacheKey {
+    /// Registry name of the collective algorithm (`ring-allreduce`, …).
+    pub collective: String,
+    /// Total ranks the program is compiled for.
+    pub ranks: usize,
+    /// Log2 bucket of the chunk element count (see [`size_class`]).
+    pub size_class: u32,
+    /// Topology label the daemon serves (one daemon, one machine shape;
+    /// the label keys dumps and future multi-topology deployments).
+    pub topology: String,
+    /// Protocol the program will run under.
+    pub protocol: Protocol,
+    /// Epoch checkpoint placement the program will run under.
+    pub epochs: EpochMode,
+}
+
+/// Stable numeric code for an [`EpochMode`] (it derives no `Hash`):
+/// `Off` → 0, `Auto` → 1, `Count(n)` → 2 + n.
+fn epoch_code(mode: EpochMode) -> u64 {
+    match mode {
+        EpochMode::Off => 0,
+        EpochMode::Auto => 1,
+        EpochMode::Count(n) => 2 + n as u64,
+    }
+}
+
+/// Canonical label for an [`EpochMode`], the CLI's `--epochs` syntax.
+#[must_use]
+pub fn epoch_label(mode: EpochMode) -> String {
+    match mode {
+        EpochMode::Off => "off".into(),
+        EpochMode::Auto => "auto".into(),
+        EpochMode::Count(n) => n.to_string(),
+    }
+}
+
+impl Hash for CacheKey {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.collective.hash(state);
+        self.ranks.hash(state);
+        self.size_class.hash(state);
+        self.topology.hash(state);
+        self.protocol.hash(state);
+        epoch_code(self.epochs).hash(state);
+    }
+}
+
+impl CacheKey {
+    /// Injective one-line rendering of the key, used in `/stats` and in
+    /// log lines. Free-form fields (collective, topology) are escaped
+    /// (`\` → `\\`, `|` → `\|`) so no two distinct keys ever render the
+    /// same — the property the cache proptests pin.
+    #[must_use]
+    pub fn fingerprint(&self) -> String {
+        let esc = |s: &str| s.replace('\\', "\\\\").replace('|', "\\|");
+        format!(
+            "{}|r{}|c{}|{}|{}|e{}",
+            esc(&self.collective),
+            self.ranks,
+            self.size_class,
+            esc(&self.topology),
+            self.protocol.as_str(),
+            epoch_label(self.epochs),
+        )
+    }
+}
+
+/// Log2 size bucket of a chunk element count: the smallest `c` with
+/// `chunk_elems <= 2^c`. Requests in the same bucket share a cache
+/// entry.
+#[must_use]
+pub fn size_class(chunk_elems: usize) -> u32 {
+    chunk_elems.max(1).next_power_of_two().trailing_zeros()
+}
+
+/// Cumulative cache counters, exported through `/stats`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups served from the cache.
+    pub hits: u64,
+    /// Lookups that compiled fresh.
+    pub misses: u64,
+    /// Entries evicted by LRU pressure.
+    pub evictions: u64,
+    /// Entries resident right now.
+    pub entries: usize,
+    /// Eviction threshold.
+    pub capacity: usize,
+    /// Nanoseconds spent compiling on misses.
+    pub compile_ns: u64,
+}
+
+impl CacheStats {
+    /// Fraction of lookups served from the cache (0 when none yet).
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+struct Slot {
+    ir: Arc<IrProgram>,
+    last_used: u64,
+}
+
+/// A bounded LRU cache of compiled programs.
+pub struct IrCache {
+    capacity: usize,
+    tick: u64,
+    map: HashMap<CacheKey, Slot>,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+    compile_ns: u64,
+}
+
+impl IrCache {
+    /// A cache that holds at most `capacity` programs (min 1).
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity: capacity.max(1),
+            tick: 0,
+            map: HashMap::new(),
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+            compile_ns: 0,
+        }
+    }
+
+    /// Entries resident right now.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache holds no entries.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Cumulative counters.
+    #[must_use]
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits,
+            misses: self.misses,
+            evictions: self.evictions,
+            entries: self.map.len(),
+            capacity: self.capacity,
+            compile_ns: self.compile_ns,
+        }
+    }
+
+    /// Returns the cached program for `key`, or builds, inserts and
+    /// returns it (evicting the least-recently-used entry when over
+    /// capacity). The `bool` is true on a hit.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `build`'s error; the cache is unchanged then (the
+    /// miss is still counted — a failing key that is retried forever
+    /// should be visible in the miss counter, not hidden).
+    pub fn get_or_try_insert<E>(
+        &mut self,
+        key: &CacheKey,
+        build: impl FnOnce() -> Result<IrProgram, E>,
+    ) -> Result<(Arc<IrProgram>, bool), E> {
+        self.tick += 1;
+        if let Some(slot) = self.map.get_mut(key) {
+            slot.last_used = self.tick;
+            self.hits += 1;
+            return Ok((Arc::clone(&slot.ir), true));
+        }
+        self.misses += 1;
+        let t0 = std::time::Instant::now();
+        let ir = Arc::new(build()?);
+        self.compile_ns += u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        self.map.insert(
+            key.clone(),
+            Slot {
+                ir: Arc::clone(&ir),
+                last_used: self.tick,
+            },
+        );
+        while self.map.len() > self.capacity {
+            // O(n) min-scan; n is the cache capacity (tens).
+            let coldest = self
+                .map
+                .iter()
+                .min_by_key(|(_, s)| s.last_used)
+                .map(|(k, _)| k.clone())
+                .expect("map is over capacity, hence non-empty");
+            self.map.remove(&coldest);
+            self.evictions += 1;
+        }
+        Ok((ir, false))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(name: &str, ranks: usize, class: u32) -> CacheKey {
+        CacheKey {
+            collective: name.into(),
+            ranks,
+            size_class: class,
+            topology: "local".into(),
+            protocol: Protocol::Simple,
+            epochs: EpochMode::Off,
+        }
+    }
+
+    fn tiny_ir() -> IrProgram {
+        let p = msccl_algos::ring_all_reduce(2, 1).unwrap();
+        mscclang::compile(&p, &mscclang::CompileOptions::default()).unwrap()
+    }
+
+    #[test]
+    fn size_class_buckets_by_next_power_of_two() {
+        assert_eq!(size_class(1), 0);
+        assert_eq!(size_class(2), 1);
+        assert_eq!(size_class(3), 2);
+        assert_eq!(size_class(4), 2);
+        assert_eq!(size_class(5), 3);
+        assert_eq!(size_class(1 << 16), 16);
+        assert_eq!(size_class(0), 0);
+    }
+
+    #[test]
+    fn hit_on_second_lookup_miss_on_first() {
+        let mut cache = IrCache::new(4);
+        let k = key("ring-allreduce", 2, 6);
+        let (a, hit) = cache.get_or_try_insert::<()>(&k, || Ok(tiny_ir())).unwrap();
+        assert!(!hit);
+        let (b, hit) = cache
+            .get_or_try_insert::<()>(&k, || panic!("must not rebuild"))
+            .unwrap();
+        assert!(hit);
+        assert!(Arc::ptr_eq(&a, &b));
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.entries), (1, 1, 1));
+    }
+
+    #[test]
+    fn lru_evicts_the_coldest() {
+        let mut cache = IrCache::new(2);
+        let (k1, k2, k3) = (key("a", 2, 1), key("a", 2, 2), key("a", 2, 3));
+        for k in [&k1, &k2] {
+            cache.get_or_try_insert::<()>(k, || Ok(tiny_ir())).unwrap();
+        }
+        // Touch k1 so k2 is the coldest.
+        cache
+            .get_or_try_insert::<()>(&k1, || panic!("hit expected"))
+            .unwrap();
+        cache
+            .get_or_try_insert::<()>(&k3, || Ok(tiny_ir()))
+            .unwrap();
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.stats().evictions, 1);
+        // k2 was evicted; k1 and k3 still hit.
+        cache
+            .get_or_try_insert::<()>(&k1, || panic!("k1 evicted"))
+            .unwrap();
+        cache
+            .get_or_try_insert::<()>(&k3, || panic!("k3 evicted"))
+            .unwrap();
+        let (_, hit) = cache
+            .get_or_try_insert::<()>(&k2, || Ok(tiny_ir()))
+            .unwrap();
+        assert!(!hit);
+    }
+
+    #[test]
+    fn failed_build_leaves_cache_unchanged() {
+        let mut cache = IrCache::new(2);
+        let k = key("a", 2, 1);
+        let r = cache.get_or_try_insert(&k, || Err("compile failed"));
+        assert_eq!(r.err(), Some("compile failed"));
+        assert_eq!(cache.len(), 0);
+        assert_eq!(cache.stats().misses, 1);
+    }
+
+    #[test]
+    fn fingerprint_escapes_delimiters() {
+        let a = key("a|b", 2, 1);
+        let mut b = key("a", 2, 1);
+        b.topology = "b|local".into();
+        assert_ne!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn epoch_modes_do_not_alias() {
+        let mut a = key("a", 2, 1);
+        let mut b = key("a", 2, 1);
+        a.epochs = EpochMode::Auto;
+        b.epochs = EpochMode::Count(1);
+        assert_ne!(a, b);
+        assert_ne!(a.fingerprint(), b.fingerprint());
+        assert_ne!(epoch_code(a.epochs), epoch_code(b.epochs));
+    }
+}

@@ -530,6 +530,57 @@ fn stalled_block_blackbox_names_the_straggler_root() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// Concurrent failures dumping into one directory must never collide on
+/// a filename: the dump name carries a process-wide atomic sequence
+/// number precisely so that a serving daemon writing one black box per
+/// failed request can take simultaneous failures. Every failure must
+/// produce its own distinct file, all of them parseable.
+#[test]
+fn concurrent_failures_write_distinct_blackboxes() {
+    const FAILERS: usize = 6;
+    let program = msccl_algos::ring_all_reduce(4, 1).unwrap();
+    let ir = compiled(&program);
+    let dir = std::env::temp_dir().join(format!("msccl-chaos-bb-race-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let paths: Vec<std::path::PathBuf> = std::thread::scope(|scope| {
+        let joins: Vec<_> = (0..FAILERS)
+            .map(|i| {
+                let ir = &ir;
+                let dir = dir.clone();
+                scope.spawn(move || {
+                    let plan = FaultPlan::parse("stall block r1 tb0 step0 us 5000000").unwrap();
+                    let injector = FaultInjector::new(&plan);
+                    let inputs = reference::random_inputs(ir, 8, i as u64);
+                    let opts = RunOptions {
+                        timeout: Duration::from_millis(200),
+                        deadline: Some(Duration::from_secs(10)),
+                        blackbox_dir: Some(dir),
+                        ..RunOptions::default()
+                    };
+                    let err = execute_with_faults(ir, &inputs, 8, &opts, &injector)
+                        .expect_err("stalled run must fail");
+                    err.blackbox_path()
+                        .expect("failed run wrote a black box")
+                        .to_path_buf()
+                })
+            })
+            .collect();
+        joins.into_iter().map(|j| j.join().expect("join")).collect()
+    });
+    let distinct: std::collections::HashSet<_> = paths.iter().collect();
+    assert_eq!(
+        distinct.len(),
+        FAILERS,
+        "colliding dump filenames: {paths:?}"
+    );
+    for p in &paths {
+        let text = std::fs::read_to_string(p).expect("dump exists on disk");
+        let bb = Blackbox::from_json(&text).expect("dump parses");
+        assert_eq!(bb.diagnosis.root.0, 1, "dump names the stalled rank");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 /// A dropped delivery starves the receiver into a `Hang` whose context
 /// dump names the injected fault — the error-path formatting contract.
 #[test]
